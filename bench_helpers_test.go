@@ -1,0 +1,68 @@
+package convgpu_test
+
+import (
+	"time"
+
+	"convgpu/internal/bytesize"
+	"convgpu/internal/clock"
+	"convgpu/internal/cluster"
+	"convgpu/internal/container"
+	"convgpu/internal/core"
+	"convgpu/internal/ipc"
+	"convgpu/internal/multigpu"
+	"convgpu/internal/nvdocker"
+	"convgpu/internal/plugin"
+	"convgpu/internal/sim"
+	"convgpu/internal/workload"
+)
+
+// newNVDocker wires a customized nvidia-docker to an engine and a
+// scheduler control client for the Fig. 5 benchmarks.
+func newNVDocker(eng *container.Engine, ctl *ipc.Client) *nvdocker.NVDocker {
+	return nvdocker.New(eng, ctl, plugin.New(ctl))
+}
+
+func nvOptions(img container.Image, limit bytesize.Size, prog container.Program) nvdocker.Options {
+	return nvdocker.Options{Image: img, NvidiaMemory: limit, Program: prog}
+}
+
+// runMultiGPU replays a trace over an n-GPU scheduler (least-loaded
+// placement, Best-Fit redistribution) in virtual time.
+func runMultiGPU(trace []workload.TraceEntry, n int) (sim.Result, error) {
+	clk := clock.NewManual()
+	sched, err := multigpu.New(multigpu.Config{
+		Devices:           n,
+		CapacityPerDevice: 5 * bytesize.GiB,
+		Algorithm:         core.AlgBestFit,
+		Policy:            multigpu.LeastLoaded{},
+		Clock:             clk,
+	})
+	if err != nil {
+		return sim.Result{}, err
+	}
+	return sim.RunWith(trace, multigpu.SimBackend{Scheduler: sched}, clk, sim.Config{})
+}
+
+// runCluster replays a trace over an n-node (1 GPU each) cluster with
+// the spread strategy in virtual time.
+func runCluster(trace []workload.TraceEntry, n int) (sim.Result, error) {
+	clk := clock.NewManual()
+	cl, err := cluster.New(cluster.Config{
+		Nodes:          n,
+		GPUsPerNode:    1,
+		CapacityPerGPU: 5 * bytesize.GiB,
+		Algorithm:      core.AlgBestFit,
+		Strategy:       cluster.Spread{},
+		Clock:          clk,
+	})
+	if err != nil {
+		return sim.Result{}, err
+	}
+	return sim.RunWith(trace, cl, clk, sim.Config{})
+}
+
+// runSimTrace replays a fresh Best-Fit trace with custom arrival spacing.
+func runSimTrace(n int, spacing time.Duration) (sim.Result, error) {
+	trace := workload.GenerateTrace(n, spacing, 42)
+	return sim.Run(trace, sim.Config{Algorithm: core.AlgBestFit})
+}

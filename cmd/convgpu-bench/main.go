@@ -1,0 +1,56 @@
+// Command convgpu-bench regenerates the paper's evaluation artifacts:
+// every figure and table of Section IV, the design-choice ablations, and
+// the future-work extensions. Each experiment prints the measured data
+// in the shape of the paper's artifact plus shape-check notes comparing
+// against the paper's claims.
+//
+// Usage:
+//
+//	convgpu-bench -list
+//	convgpu-bench -exp fig7
+//	convgpu-bench -exp all -quick
+//	convgpu-bench -exp fig8 -csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"convgpu/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment id (see -list), or 'all'")
+		quick = flag.Bool("quick", false, "shrink repetitions and sweeps for a fast run")
+		csv   = flag.Bool("csv", false, "emit tables as CSV instead of rendered text")
+		list  = flag.Bool("list", false, "list experiment ids")
+	)
+	flag.Parse()
+	if *list || *exp == "" {
+		fmt.Println("experiments:")
+		for _, id := range experiments.IDs() {
+			fmt.Printf("  %-20s %s\n", id, experiments.Describe(id))
+		}
+		fmt.Printf("  %-20s %s\n", "all", "run every experiment")
+		if *exp == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+	rep, err := experiments.Run(*exp, experiments.Options{Quick: *quick})
+	if err != nil {
+		log.Fatalf("convgpu-bench: %v", err)
+	}
+	if *csv {
+		if err := rep.CSV(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if err := rep.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

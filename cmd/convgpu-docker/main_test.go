@@ -1,0 +1,71 @@
+package main
+
+import (
+	"testing"
+
+	"convgpu/internal/container"
+	"convgpu/internal/gpu"
+	"convgpu/internal/nvdocker"
+)
+
+func TestResolveImageSample(t *testing.T) {
+	img, prog, err := resolveImage("cuda-sample:medium", 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog == nil {
+		t.Fatal("no program")
+	}
+	if img.Label(nvdocker.VolumesNeededLabel) == "" {
+		t.Fatal("sample image lacks the CUDA label")
+	}
+	if img.Label(nvdocker.MemoryLimitLabel) != "1GiB" {
+		t.Fatalf("memory label = %q, want the medium type's 1GiB", img.Label(nvdocker.MemoryLimitLabel))
+	}
+	// The program actually runs against a raw device.
+	eng, err := container.NewEngine(container.Config{Device: gpu.New(gpu.K20m())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := eng.Create(container.Spec{Name: "t", Program: prog})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	if err := c.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResolveImageSampleUnknownType(t *testing.T) {
+	if _, _, err := resolveImage("cuda-sample:mega", 1); err == nil {
+		t.Fatal("unknown sample type accepted")
+	}
+}
+
+func TestResolveImageMNIST(t *testing.T) {
+	img, prog, err := resolveImage("cuda-mnist", 0.001)
+	if err != nil || prog == nil {
+		t.Fatalf("(%v, %v)", prog, err)
+	}
+	if img.Label(nvdocker.VolumesNeededLabel) == "" {
+		t.Fatal("mnist image lacks the CUDA label")
+	}
+}
+
+func TestResolveImageIdleAndPlain(t *testing.T) {
+	img, prog, err := resolveImage("idle", 1)
+	if err != nil || prog == nil {
+		t.Fatal(err)
+	}
+	if img.Label(nvdocker.VolumesNeededLabel) == "" {
+		t.Fatal("idle image should be a CUDA image")
+	}
+	img, prog, err = resolveImage("alpine:3.18", 1)
+	if err != nil || prog == nil {
+		t.Fatal(err)
+	}
+	if img.Label(nvdocker.VolumesNeededLabel) != "" {
+		t.Fatal("plain image must not carry CUDA labels (passthrough)")
+	}
+}

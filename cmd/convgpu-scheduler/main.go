@@ -1,0 +1,96 @@
+// Command convgpu-scheduler runs the GPU memory scheduler as a host
+// daemon — the standalone Go program of the paper's §III-D. It owns the
+// control socket that the customized nvidia-docker (registration) and
+// nvidia-docker-plugin (close signals) connect to, and one socket per
+// registered container for the wrapper modules.
+//
+// Usage:
+//
+//	convgpu-scheduler -basedir /var/run/convgpu -capacity 5GiB -algorithm bestfit
+//
+// The daemon prints the control socket path on startup and, with
+// -status, a periodic snapshot of per-container grants and usage.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"convgpu/internal/bytesize"
+	"convgpu/internal/core"
+	"convgpu/internal/daemon"
+)
+
+func main() {
+	var (
+		baseDir   = flag.String("basedir", "", "directory for the control socket and per-container directories (required)")
+		capacity  = flag.String("capacity", "5GiB", "schedulable GPU memory")
+		algorithm = flag.String("algorithm", core.AlgFIFO, "redistribution algorithm: fifo|bestfit|recentuse|random")
+		seed      = flag.Int64("seed", 1, "seed for the random algorithm")
+		status    = flag.Duration("status", 0, "print a scheduler snapshot at this interval (0 = off)")
+		rescue    = flag.Bool("fault-tolerant", false, "enable the rescue pass of the authors' prior fault-tolerance study")
+	)
+	flag.Parse()
+	if *baseDir == "" {
+		fmt.Fprintln(os.Stderr, "convgpu-scheduler: -basedir is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	cap, err := bytesize.Parse(*capacity)
+	if err != nil {
+		log.Fatalf("convgpu-scheduler: -capacity: %v", err)
+	}
+	alg, err := core.NewAlgorithm(*algorithm, *seed)
+	if err != nil {
+		log.Fatalf("convgpu-scheduler: %v", err)
+	}
+	st, err := core.New(core.Config{Capacity: cap, Algorithm: alg, FaultTolerant: *rescue})
+	if err != nil {
+		log.Fatalf("convgpu-scheduler: %v", err)
+	}
+	d, err := daemon.Start(daemon.Config{BaseDir: *baseDir, Core: st})
+	if err != nil {
+		log.Fatalf("convgpu-scheduler: %v", err)
+	}
+	defer d.Close()
+	log.Printf("GPU memory scheduler up: capacity=%v algorithm=%s control=%s",
+		cap, alg.Name(), d.ControlSocket())
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+
+	var tick <-chan time.Time
+	if *status > 0 {
+		t := time.NewTicker(*status)
+		defer t.Stop()
+		tick = t.C
+	}
+	var lastEvent uint64
+	for {
+		select {
+		case <-stop:
+			log.Printf("shutting down")
+			return
+		case <-tick:
+			snap := st.Snapshot()
+			log.Printf("pool free: %v, containers: %d", st.PoolFree(), len(snap))
+			for _, c := range snap {
+				state := "running"
+				if c.Suspended {
+					state = fmt.Sprintf("suspended (%d pending)", c.Pending)
+				}
+				log.Printf("  %-20s limit=%-8v grant=%-8v used=%-8v %s",
+					c.ID, c.Limit, c.Grant, c.Used, state)
+			}
+			for _, e := range st.EventsSince(lastEvent) {
+				log.Printf("  event %s", e)
+				lastEvent = e.Seq
+			}
+		}
+	}
+}

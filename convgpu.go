@@ -1,0 +1,400 @@
+// Package convgpu is a reproduction of "ConVGPU: GPU Management
+// Middleware in Container Based Virtualized Environment" (Kang, Jun,
+// Kim, Kim, Kim — IEEE CLUSTER 2017): middleware that lets multiple
+// containers share one GPU by virtualizing the *amount* of GPU memory
+// each container may use.
+//
+// A CUDA wrapper module injected into every container (via the
+// LD_PRELOAD seam) intercepts the allocation APIs of the paper's
+// Table II and consults a host-side GPU memory scheduler over a UNIX
+// domain socket. The scheduler accepts, suspends (pauses the container's
+// allocation call), or rejects each request so that containers never
+// oversubscribe physical GPU memory, and redistributes memory freed by
+// terminating containers using one of four algorithms: FIFO, Best-Fit,
+// Recent-Use, Random.
+//
+// This package is the public facade. It exposes:
+//
+//   - System: the full middleware stack (simulated GPU + CUDA runtime,
+//     container engine, scheduler daemon over real UNIX sockets,
+//     customized nvidia-docker, volume plugin) assembled and wired, for
+//     running containerized GPU workloads in-process;
+//   - Simulate/SimulateSweep: the discrete-event replay of the paper's
+//     scheduling experiments (Figures 7/8, Tables IV/V) in virtual time;
+//   - re-exports of the option types a caller needs (container types,
+//     algorithms, sizes).
+//
+// The hardware and proprietary components of the paper's testbed
+// (Tesla K20m, CUDA 8, Docker, NVIDIA Docker) are faithful simulations;
+// the scheduler, wire protocol, wrapper logic and algorithms are real
+// implementations. See DESIGN.md for the substitution table and
+// EXPERIMENTS.md for measured-vs-paper results.
+package convgpu
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"convgpu/internal/bytesize"
+	"convgpu/internal/clock"
+	"convgpu/internal/cluster"
+	"convgpu/internal/container"
+	"convgpu/internal/core"
+	"convgpu/internal/cuda"
+	"convgpu/internal/daemon"
+	"convgpu/internal/gpu"
+	"convgpu/internal/ipc"
+	"convgpu/internal/multigpu"
+	"convgpu/internal/nvdocker"
+	"convgpu/internal/plugin"
+	"convgpu/internal/sim"
+	"convgpu/internal/workload"
+)
+
+// Size is a byte quantity ("512MiB"-style). See ParseSize.
+type Size = bytesize.Size
+
+// Size units.
+const (
+	KiB = bytesize.KiB
+	MiB = bytesize.MiB
+	GiB = bytesize.GiB
+)
+
+// ParseSize parses "128MiB", "1g", "4096" (bytes).
+func ParseSize(s string) (Size, error) { return bytesize.Parse(s) }
+
+// Scheduling algorithm names (paper §III-D).
+const (
+	FIFO      = core.AlgFIFO
+	BestFit   = core.AlgBestFit
+	RecentUse = core.AlgRecentUse
+	Random    = core.AlgRandom
+)
+
+// Algorithms lists the four algorithm names in the paper's order.
+func Algorithms() []string { return core.AlgorithmNames() }
+
+// Re-exported workload types (paper Table III).
+type ContainerType = workload.ContainerType
+
+// ContainerTypes returns the paper's Table III (nano .. xlarge).
+func ContainerTypes() []ContainerType { return workload.Types() }
+
+// CUDA is the (simulated) CUDA Runtime API surface a containerized
+// process programs against; inside a ConVGPU container it is interposed
+// by the wrapper module.
+type CUDA = cuda.API
+
+// CUDAStreams is the stream/event surface (cudaStreamCreate,
+// cudaEventRecord, cudaMemcpyAsync, ...). It is not intercepted by
+// ConVGPU — execution passes through — and is reached by type-asserting
+// a Proc's CUDA: p.CUDA.(convgpu.CUDAStreams).
+type CUDAStreams = cuda.StreamAPI
+
+// CUDADriver is the Driver-API surface (cuInit, cuCtxCreate,
+// cuMemAlloc, ...). The wrapper module covers it exactly like the
+// Runtime API (paper §III-C).
+type CUDADriver = cuda.DriverAPI
+
+// Kernel describes a simulated kernel launch.
+type Kernel = cuda.Kernel
+
+// GPUDevice is the simulated GPU.
+type GPUDevice = gpu.Device
+
+// RawDevice returns a fresh simulated Tesla K20m outside any ConVGPU
+// management — the state of the world under plain NVIDIA Docker, where
+// containers collide on device memory unarbitrated.
+func RawDevice() *GPUDevice { return gpu.New(gpu.K20m()) }
+
+// RawCUDA binds a process directly to a raw device, with no wrapper
+// module in between.
+func RawCUDA(dev *GPUDevice, pid int) CUDA { return cuda.NewRuntime(dev, pid) }
+
+// Image, Spec-level types re-exported for running containers.
+type (
+	// Image is a container image with labels.
+	Image = container.Image
+	// Proc is the in-container process view handed to programs.
+	Proc = container.Proc
+	// Program is code run inside a container.
+	Program = container.Program
+	// Container is a created container.
+	Container = container.Container
+	// RunOptions configures a Run through the customized nvidia-docker.
+	RunOptions = nvdocker.Options
+)
+
+// Image label keys nvidia-docker consults.
+const (
+	VolumesNeededLabel = nvdocker.VolumesNeededLabel
+	CUDAVersionLabel   = nvdocker.CUDAVersionLabel
+	MemoryLimitLabel   = nvdocker.MemoryLimitLabel
+)
+
+// DefaultMemoryLimit is the 1 GiB fallback limit (paper §III-B).
+const DefaultMemoryLimit = nvdocker.DefaultMemoryLimit
+
+// Config assembles a System.
+type Config struct {
+	// BaseDir hosts the scheduler's control socket and per-container
+	// directories. Default: a fresh temporary directory.
+	BaseDir string
+	// Capacity is the schedulable GPU memory. Default: the K20m's 5 GiB.
+	Capacity Size
+	// Algorithm is the redistribution algorithm name. Default FIFO.
+	Algorithm string
+	// AlgorithmSeed seeds the Random algorithm.
+	AlgorithmSeed int64
+	// GPU overrides the simulated device properties (default K20m).
+	GPU *gpu.Properties
+	// Latency enables the Figure 4 latency calibration on the device,
+	// making CUDA calls consume realistic time.
+	Latency bool
+	// CreateLatency models the container runtime's creation cost
+	// (Fig. 5 uses ~0.4 s).
+	CreateLatency time.Duration
+}
+
+// System is the assembled ConVGPU middleware stack.
+type System struct {
+	cfg     Config
+	device  *gpu.Device
+	state   *core.State
+	daemon  *daemon.Daemon
+	engine  *container.Engine
+	plugin  *plugin.Plugin
+	nv      *nvdocker.NVDocker
+	ctl     *ipc.Client
+	tempdir string
+}
+
+// NewSystem builds and starts the full stack: simulated GPU, scheduler
+// core + daemon (real UNIX sockets), container engine, plugin, and the
+// customized nvidia-docker. Close releases everything.
+func NewSystem(cfg Config) (*System, error) {
+	if cfg.Capacity == 0 {
+		cfg.Capacity = 5 * GiB
+	}
+	if cfg.Algorithm == "" {
+		cfg.Algorithm = FIFO
+	}
+	props := gpu.K20m()
+	if cfg.GPU != nil {
+		props = *cfg.GPU
+	}
+	props.TotalGlobalMem = cfg.Capacity
+
+	sys := &System{cfg: cfg}
+	if cfg.BaseDir == "" {
+		dir, err := os.MkdirTemp("", "convgpu")
+		if err != nil {
+			return nil, fmt.Errorf("convgpu: tempdir: %w", err)
+		}
+		cfg.BaseDir = dir
+		sys.tempdir = dir
+	}
+
+	var opts []gpu.Option
+	if cfg.Latency {
+		opts = append(opts, gpu.WithLatency(gpu.PaperLatency(), nil))
+	}
+	sys.device = gpu.New(props, opts...)
+
+	alg, err := core.NewAlgorithm(cfg.Algorithm, cfg.AlgorithmSeed)
+	if err != nil {
+		sys.cleanup()
+		return nil, err
+	}
+	sys.state, err = core.New(core.Config{Capacity: cfg.Capacity, Algorithm: alg})
+	if err != nil {
+		sys.cleanup()
+		return nil, err
+	}
+	sys.daemon, err = daemon.Start(daemon.Config{BaseDir: cfg.BaseDir, Core: sys.state})
+	if err != nil {
+		sys.cleanup()
+		return nil, err
+	}
+	sys.engine, err = container.NewEngine(container.Config{Device: sys.device, CreateLatency: cfg.CreateLatency})
+	if err != nil {
+		sys.cleanup()
+		return nil, err
+	}
+	sys.ctl, err = ipc.Dial(sys.daemon.ControlSocket())
+	if err != nil {
+		sys.cleanup()
+		return nil, err
+	}
+	sys.plugin = plugin.New(sys.ctl)
+	sys.nv = nvdocker.New(sys.engine, sys.ctl, sys.plugin)
+	return sys, nil
+}
+
+func (s *System) cleanup() {
+	if s.ctl != nil {
+		s.ctl.Close()
+	}
+	if s.daemon != nil {
+		s.daemon.Close()
+	}
+	if s.tempdir != "" {
+		os.RemoveAll(s.tempdir)
+	}
+}
+
+// Close shuts the stack down.
+func (s *System) Close() error {
+	s.cleanup()
+	return nil
+}
+
+// Run launches a container through the customized nvidia-docker: the
+// full paper flow (limit resolution, registration, wrapper injection,
+// exit detection).
+func (s *System) Run(opts RunOptions) (*Container, error) { return s.nv.Run(opts) }
+
+// Create is Run without starting the container.
+func (s *System) Create(opts RunOptions) (*Container, error) { return s.nv.Create(opts) }
+
+// SampleProgram returns the paper's evaluation sample program for a
+// container type, with kernel time compressed by scale (1.0 = the
+// paper's 5–45 s).
+func SampleProgram(ct ContainerType, scale float64) Program {
+	return workload.SampleProgram(ct, scale)
+}
+
+// MNISTProgram returns the Fig. 6 TensorFlow-MNIST-shaped workload.
+func MNISTProgram(cfg MNISTConfig) Program { return workload.MNISTProgram(cfg) }
+
+// MNISTConfig parameterizes MNISTProgram.
+type MNISTConfig = workload.MNISTConfig
+
+// CUDAImage returns an image carrying the labels a CUDA image has, with
+// an optional memory-limit label.
+func CUDAImage(name string, memoryLimit string) Image {
+	labels := map[string]string{
+		VolumesNeededLabel: "nvidia_driver",
+		CUDAVersionLabel:   plugin.HostCUDAVersion,
+	}
+	if memoryLimit != "" {
+		labels[MemoryLimitLabel] = memoryLimit
+	}
+	return Image{Name: name, Labels: labels}
+}
+
+// SchedulerInfo is a snapshot row of the scheduler's view.
+type SchedulerInfo = core.ContainerInfo
+
+// SchedulerEvent is one entry of the scheduler's event log.
+type SchedulerEvent = core.EventRecord
+
+// Snapshot reports the scheduler's per-container state.
+func (s *System) Snapshot() []SchedulerInfo { return s.state.Snapshot() }
+
+// Events returns the scheduler's retained event log (registrations,
+// accepts, suspensions, grants, closes, ...), oldest first.
+func (s *System) Events() []SchedulerEvent { return s.state.Events() }
+
+// PoolFree reports unassigned GPU memory.
+func (s *System) PoolFree() Size { return s.state.PoolFree() }
+
+// Device exposes the simulated GPU (e.g. for device-view assertions).
+func (s *System) Device() *gpu.Device { return s.device }
+
+// ControlSocket returns the scheduler daemon's control socket path.
+func (s *System) ControlSocket() string { return s.daemon.ControlSocket() }
+
+// --- Discrete-event experiment surface (Figures 7/8, Tables IV/V) ---
+
+// SimConfig configures a simulated scheduling run.
+type SimConfig = sim.Config
+
+// SimResult is the outcome of one simulated run.
+type SimResult = sim.Result
+
+// TraceEntry is one container arrival.
+type TraceEntry = workload.TraceEntry
+
+// GenerateTrace draws the paper's randomized cloud trace: n containers
+// of uniformly random Table III types arriving every `spacing`.
+func GenerateTrace(n int, spacing time.Duration, seed int64) []TraceEntry {
+	return workload.GenerateTrace(n, spacing, seed)
+}
+
+// GeneratePoissonTrace draws a bursty cloud trace: Poisson arrivals with
+// the given mean spacing (see the `poisson` experiment).
+func GeneratePoissonTrace(n int, meanSpacing time.Duration, seed int64) []TraceEntry {
+	return workload.GeneratePoissonTrace(n, meanSpacing, seed)
+}
+
+// Simulate replays one trace against the scheduler core in virtual time.
+func Simulate(trace []TraceEntry, cfg SimConfig) (SimResult, error) {
+	return sim.Run(trace, cfg)
+}
+
+// Sweep is the paper's full Fig. 7/8 parameter sweep.
+type Sweep = sim.Sweep
+
+// SweepResult aggregates a sweep.
+type SweepResult = sim.SweepResult
+
+// DefaultSweep returns the paper's sweep: 4–38 containers step 2, four
+// algorithms, six repetitions, 5 s arrivals.
+func DefaultSweep() Sweep { return sim.DefaultSweep() }
+
+// SimulateMultiGPU replays a trace against the multi-GPU extension
+// (paper §V future work): `devices` GPUs of the configured capacity,
+// containers placed by `policy` ("roundrobin", "leastloaded",
+// "firstfit", "bestfit") and scheduled per device by `algorithm`.
+func SimulateMultiGPU(trace []TraceEntry, devices int, policy, algorithm string) (SimResult, error) {
+	clk := clock.NewManual()
+	pol, err := multigpu.NewPolicy(policy)
+	if err != nil {
+		return SimResult{}, err
+	}
+	sched, err := multigpu.New(multigpu.Config{
+		Devices:           devices,
+		CapacityPerDevice: 5 * GiB,
+		Algorithm:         algorithm,
+		Policy:            pol,
+		Clock:             clk,
+	})
+	if err != nil {
+		return SimResult{}, err
+	}
+	return sim.RunWith(trace, multigpu.SimBackend{Scheduler: sched}, clk, sim.Config{})
+}
+
+// MultiGPUPolicies lists the placement policies of the multi-GPU
+// extension.
+func MultiGPUPolicies() []string { return multigpu.PolicyNames() }
+
+// SimulateCluster replays a trace against the cluster extension (paper
+// §V future work): `nodes` single-GPU nodes, containers placed by the
+// Swarm-style `strategy` ("spread", "binpack", "random").
+func SimulateCluster(trace []TraceEntry, nodes int, strategy, algorithm string) (SimResult, error) {
+	clk := clock.NewManual()
+	strat, err := cluster.NewStrategy(strategy, 1)
+	if err != nil {
+		return SimResult{}, err
+	}
+	cl, err := cluster.New(cluster.Config{
+		Nodes:          nodes,
+		GPUsPerNode:    1,
+		CapacityPerGPU: 5 * GiB,
+		Algorithm:      algorithm,
+		Strategy:       strat,
+		Clock:          clk,
+	})
+	if err != nil {
+		return SimResult{}, err
+	}
+	return sim.RunWith(trace, cl, clk, sim.Config{})
+}
+
+// ClusterStrategies lists the Swarm-style strategies of the cluster
+// extension.
+func ClusterStrategies() []string { return cluster.StrategyNames() }

@@ -1,0 +1,3 @@
+module convgpu
+
+go 1.22

@@ -1,0 +1,149 @@
+// Package bytesize provides parsing and formatting of byte quantities as
+// they appear in ConVGPU options and Docker image labels, such as the
+// --nvidia-memory=<size> flag and the com.nvidia.memory.limit:<size> label.
+//
+// Sizes use binary (IEC) units: 1 KiB = 1024 B. Both the IEC spellings
+// ("512MiB") and the short spellings NVIDIA Docker accepted ("512M",
+// "512MB") are understood; the short forms are treated as binary units,
+// matching the paper's usage (e.g. the 128 MiB managed-memory granularity).
+package bytesize
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Size is a byte count. The zero value is zero bytes.
+type Size int64
+
+// Binary unit multipliers.
+const (
+	Byte Size = 1
+	KiB       = 1024 * Byte
+	MiB       = 1024 * KiB
+	GiB       = 1024 * MiB
+	TiB       = 1024 * GiB
+)
+
+var unitTable = map[string]Size{
+	"":    Byte,
+	"b":   Byte,
+	"k":   KiB,
+	"kb":  KiB,
+	"kib": KiB,
+	"m":   MiB,
+	"mb":  MiB,
+	"mib": MiB,
+	"g":   GiB,
+	"gb":  GiB,
+	"gib": GiB,
+	"t":   TiB,
+	"tb":  TiB,
+	"tib": TiB,
+}
+
+// Parse converts a human-readable size such as "512MiB", "1g" or "4096"
+// (plain bytes) into a Size. Fractional values like "1.5GiB" are accepted.
+// Negative sizes are rejected: a memory limit can never be negative.
+func Parse(s string) (Size, error) {
+	t := strings.TrimSpace(strings.ToLower(s))
+	if t == "" {
+		return 0, fmt.Errorf("bytesize: empty size")
+	}
+	i := len(t)
+	for i > 0 {
+		c := t[i-1]
+		if c >= '0' && c <= '9' || c == '.' {
+			break
+		}
+		i--
+	}
+	numPart, unitPart := t[:i], strings.TrimSpace(t[i:])
+	mult, ok := unitTable[unitPart]
+	if !ok {
+		return 0, fmt.Errorf("bytesize: unknown unit %q in %q", unitPart, s)
+	}
+	if numPart == "" {
+		return 0, fmt.Errorf("bytesize: missing number in %q", s)
+	}
+	if strings.Contains(numPart, ".") {
+		f, err := strconv.ParseFloat(numPart, 64)
+		if err != nil {
+			return 0, fmt.Errorf("bytesize: bad number in %q: %v", s, err)
+		}
+		if f < 0 {
+			return 0, fmt.Errorf("bytesize: negative size %q", s)
+		}
+		return Size(f * float64(mult)), nil
+	}
+	n, err := strconv.ParseInt(numPart, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bytesize: bad number in %q: %v", s, err)
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("bytesize: negative size %q", s)
+	}
+	if n > int64(TiB)*1024/int64(mult) {
+		return 0, fmt.Errorf("bytesize: size %q overflows", s)
+	}
+	return Size(n) * mult, nil
+}
+
+// MustParse is like Parse but panics on error. It is intended for
+// compile-time constants in tests and tables.
+func MustParse(s string) Size {
+	v, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// String formats the size with the largest binary unit that divides it
+// exactly, falling back to a two-decimal representation otherwise, in the
+// style of the paper's tables ("128MiB", "4GiB").
+func (s Size) String() string {
+	if s < 0 {
+		return "-" + (-s).String()
+	}
+	type unit struct {
+		mult Size
+		name string
+	}
+	units := []unit{{TiB, "TiB"}, {GiB, "GiB"}, {MiB, "MiB"}, {KiB, "KiB"}}
+	for _, u := range units {
+		if s >= u.mult && s%u.mult == 0 {
+			return fmt.Sprintf("%d%s", int64(s/u.mult), u.name)
+		}
+	}
+	for _, u := range units {
+		if s >= u.mult {
+			return fmt.Sprintf("%.2f%s", float64(s)/float64(u.mult), u.name)
+		}
+	}
+	return fmt.Sprintf("%dB", int64(s))
+}
+
+// MiBs reports the size in whole mebibytes, rounding up. The paper quotes
+// all container memory quantities in MiB.
+func (s Size) MiBs() int64 {
+	if s <= 0 {
+		return 0
+	}
+	return int64((s + MiB - 1) / MiB)
+}
+
+// RoundUp returns the smallest multiple of quantum that is >= s.
+// It is used for the 128 MiB cudaMallocManaged granularity and for
+// pitch alignment arithmetic. A non-positive quantum returns s unchanged.
+func (s Size) RoundUp(quantum Size) Size {
+	if quantum <= 0 {
+		return s
+	}
+	r := s % quantum
+	if r == 0 {
+		return s
+	}
+	return s + quantum - r
+}

@@ -1,0 +1,157 @@
+package bytesize
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Size
+	}{
+		{"0", 0},
+		{"1", 1},
+		{"1024", 1 * KiB},
+		{"1b", 1},
+		{"1k", 1 * KiB},
+		{"1kb", 1 * KiB},
+		{"1KiB", 1 * KiB},
+		{"128MiB", 128 * MiB},
+		{"128M", 128 * MiB},
+		{"128mb", 128 * MiB},
+		{"1g", 1 * GiB},
+		{"1GB", 1 * GiB},
+		{"1GiB", 1 * GiB},
+		{"5GiB", 5 * GiB},
+		{"1t", 1 * TiB},
+		{"1.5GiB", GiB + 512*MiB},
+		{"0.5MiB", 512 * KiB},
+		{" 256 MiB ", 256 * MiB},
+		{"4096MiB", 4 * GiB},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.in)
+		if err != nil {
+			t.Errorf("Parse(%q): unexpected error: %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("Parse(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, in := range []string{
+		"", "   ", "MiB", "abc", "-1", "-1GiB", "1X", "1..5M", "1 2 MiB", "999999999999999G",
+	} {
+		if got, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) = %d, want error", in, got)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse on invalid input did not panic")
+		}
+	}()
+	MustParse("not a size")
+}
+
+func TestMustParseOK(t *testing.T) {
+	if got := MustParse("2GiB"); got != 2*GiB {
+		t.Fatalf("MustParse(2GiB) = %d, want %d", got, 2*GiB)
+	}
+}
+
+func TestString(t *testing.T) {
+	cases := []struct {
+		in   Size
+		want string
+	}{
+		{0, "0B"},
+		{1, "1B"},
+		{1023, "1023B"},
+		{KiB, "1KiB"},
+		{MiB, "1MiB"},
+		{128 * MiB, "128MiB"},
+		{GiB, "1GiB"},
+		{5 * GiB, "5GiB"},
+		{4096 * MiB, "4GiB"},
+		{GiB + 512*MiB, "1536MiB"},     // largest unit that divides exactly
+		{GiB + 512*MiB + 1, "1.50GiB"}, // no exact unit: fractional form
+		{-128 * MiB, "-128MiB"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Size(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestRoundTripStringParse(t *testing.T) {
+	// Any exactly-representable size must survive String -> Parse.
+	f := func(mib uint16) bool {
+		s := Size(mib) * MiB
+		back, err := Parse(s.String())
+		return err == nil && back == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMiBs(t *testing.T) {
+	cases := []struct {
+		in   Size
+		want int64
+	}{
+		{0, 0},
+		{-5, 0},
+		{1, 1},
+		{MiB, 1},
+		{MiB + 1, 2},
+		{128 * MiB, 128},
+		{5 * GiB, 5120},
+	}
+	for _, c := range cases {
+		if got := c.in.MiBs(); got != c.want {
+			t.Errorf("Size(%d).MiBs() = %d, want %d", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestRoundUp(t *testing.T) {
+	cases := []struct {
+		s, q, want Size
+	}{
+		{0, 128 * MiB, 0},
+		{1, 128 * MiB, 128 * MiB},
+		{128 * MiB, 128 * MiB, 128 * MiB},
+		{128*MiB + 1, 128 * MiB, 256 * MiB},
+		{300 * MiB, 128 * MiB, 384 * MiB},
+		{100, 0, 100},  // quantum 0: unchanged
+		{100, -8, 100}, // negative quantum: unchanged
+	}
+	for _, c := range cases {
+		if got := c.s.RoundUp(c.q); got != c.want {
+			t.Errorf("Size(%d).RoundUp(%d) = %d, want %d", int64(c.s), int64(c.q), got, c.want)
+		}
+	}
+}
+
+func TestRoundUpProperties(t *testing.T) {
+	// RoundUp(q) is >= s, is a multiple of q, and is idempotent.
+	f := func(sRaw, qRaw uint32) bool {
+		s := Size(sRaw)
+		q := Size(qRaw%4096) + 1
+		r := s.RoundUp(q)
+		return r >= s && r%q == 0 && r.RoundUp(q) == r && r-s < q
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

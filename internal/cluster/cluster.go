@@ -1,0 +1,387 @@
+// Package cluster implements the paper's second piece of future work
+// (§V): "adopt the ConVGPU in the clustering system like Docker Swarm."
+//
+// A cluster is a set of nodes, each running its own multi-GPU ConVGPU
+// scheduler (package multigpu). A cluster-level strategy — named after
+// Docker Swarm's scheduling strategies — picks the node for each new
+// container; the node's placement policy then picks the GPU, and the
+// per-GPU memory scheduler takes over exactly as in the single-machine
+// system. Nothing in the core changes: the cluster layer only routes.
+//
+// Strategies:
+//
+//   - spread: the node with the fewest containers (Swarm's default),
+//     ties broken by most free GPU memory;
+//   - binpack: the most loaded node that can still fully hold the
+//     container, concentrating load to leave whole nodes free;
+//   - random: uniform over nodes that can ever hold the container.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+
+	"convgpu/internal/bytesize"
+	"convgpu/internal/clock"
+	"convgpu/internal/core"
+	"convgpu/internal/multigpu"
+)
+
+// ErrUnknownContainer mirrors core.ErrUnknownContainer at cluster scope.
+var ErrUnknownContainer = errors.New("cluster: unknown container")
+
+// NodeInfo summarizes one node for strategy decisions.
+type NodeInfo struct {
+	// Index is the node ordinal.
+	Index int
+	// Name is the node's display name.
+	Name string
+	// Containers is the number of containers placed on the node.
+	Containers int
+	// MaxDeviceCapacity is the largest single-GPU capacity, the bound
+	// on what limit the node can ever hold.
+	MaxDeviceCapacity bytesize.Size
+	// MaxDevicePool is the largest per-GPU free pool on the node.
+	MaxDevicePool bytesize.Size
+	// TotalFree sums free pool across the node's GPUs.
+	TotalFree bytesize.Size
+}
+
+// Strategy selects a node for a container. Place returns a node index
+// or -1 when no node can ever hold the limit.
+type Strategy interface {
+	Name() string
+	Place(limit bytesize.Size, nodes []NodeInfo) int
+}
+
+// Strategy names (Docker Swarm's vocabulary).
+const (
+	StrategySpread  = "spread"
+	StrategyBinpack = "binpack"
+	StrategyRandom  = "random"
+)
+
+// StrategyNames lists the strategies.
+func StrategyNames() []string {
+	return []string{StrategySpread, StrategyBinpack, StrategyRandom}
+}
+
+// NewStrategy constructs a strategy by name; seed only affects random.
+func NewStrategy(name string, seed int64) (Strategy, error) {
+	switch strings.ToLower(name) {
+	case StrategySpread:
+		return Spread{}, nil
+	case StrategyBinpack:
+		return Binpack{}, nil
+	case StrategyRandom, "rand":
+		return NewRandomStrategy(seed), nil
+	default:
+		return nil, fmt.Errorf("cluster: unknown strategy %q", name)
+	}
+}
+
+// Spread picks the node with the fewest containers (ties: most total
+// free memory) among nodes that can ever hold the limit.
+type Spread struct{}
+
+// Name implements Strategy.
+func (Spread) Name() string { return StrategySpread }
+
+// Place implements Strategy.
+func (Spread) Place(limit bytesize.Size, nodes []NodeInfo) int {
+	best := -1
+	for _, n := range nodes {
+		if n.MaxDeviceCapacity < limit {
+			continue
+		}
+		if best == -1 ||
+			n.Containers < nodes[best].Containers ||
+			(n.Containers == nodes[best].Containers && n.TotalFree > nodes[best].TotalFree) {
+			best = n.Index
+		}
+	}
+	return best
+}
+
+// Binpack picks the most loaded node whose largest free GPU pool still
+// covers the whole limit, falling back to spread when none fits.
+type Binpack struct{}
+
+// Name implements Strategy.
+func (Binpack) Name() string { return StrategyBinpack }
+
+// Place implements Strategy.
+func (Binpack) Place(limit bytesize.Size, nodes []NodeInfo) int {
+	best := -1
+	for _, n := range nodes {
+		if n.MaxDeviceCapacity < limit || n.MaxDevicePool < limit {
+			continue
+		}
+		if best == -1 || n.Containers > nodes[best].Containers {
+			best = n.Index
+		}
+	}
+	if best != -1 {
+		return best
+	}
+	return Spread{}.Place(limit, nodes)
+}
+
+// RandomStrategy places uniformly among nodes that can ever hold the
+// limit; seeded for reproducible experiments.
+type RandomStrategy struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewRandomStrategy builds a seeded random strategy.
+func NewRandomStrategy(seed int64) *RandomStrategy {
+	return &RandomStrategy{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements Strategy.
+func (*RandomStrategy) Name() string { return StrategyRandom }
+
+// Place implements Strategy.
+func (r *RandomStrategy) Place(limit bytesize.Size, nodes []NodeInfo) int {
+	var eligible []int
+	for _, n := range nodes {
+		if n.MaxDeviceCapacity >= limit {
+			eligible = append(eligible, n.Index)
+		}
+	}
+	if len(eligible) == 0 {
+		return -1
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return eligible[r.rng.Intn(len(eligible))]
+}
+
+// Config assembles a cluster.
+type Config struct {
+	// Nodes is the number of nodes (required, >= 1).
+	Nodes int
+	// GPUsPerNode is the GPU count per node (required, >= 1).
+	GPUsPerNode int
+	// CapacityPerGPU is each GPU's schedulable memory.
+	CapacityPerGPU bytesize.Size
+	// Algorithm is the per-GPU redistribution algorithm name.
+	Algorithm string
+	// AlgSeed seeds the Random redistribution algorithm.
+	AlgSeed int64
+	// DevicePolicy places containers on GPUs within a node (default
+	// least-loaded).
+	DevicePolicy string
+	// Strategy places containers on nodes (default spread).
+	Strategy Strategy
+	// Clock is shared by every scheduler in the cluster.
+	Clock clock.Clock
+	// ContextOverhead per process (default 66 MiB).
+	ContextOverhead bytesize.Size
+}
+
+// Cluster routes containers to per-node ConVGPU schedulers.
+type Cluster struct {
+	nodes    []*multigpu.Scheduler
+	names    []string
+	strategy Strategy
+
+	mu        sync.Mutex
+	placement map[core.ContainerID]int
+}
+
+// New builds a cluster of identical nodes.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Nodes < 1 {
+		return nil, fmt.Errorf("cluster: need at least one node, got %d", cfg.Nodes)
+	}
+	if cfg.GPUsPerNode < 1 {
+		return nil, fmt.Errorf("cluster: need at least one GPU per node, got %d", cfg.GPUsPerNode)
+	}
+	if cfg.Strategy == nil {
+		cfg.Strategy = Spread{}
+	}
+	devPolicyName := cfg.DevicePolicy
+	if devPolicyName == "" {
+		devPolicyName = multigpu.PolicyLeastLoaded
+	}
+	c := &Cluster{strategy: cfg.Strategy, placement: make(map[core.ContainerID]int)}
+	for i := 0; i < cfg.Nodes; i++ {
+		pol, err := multigpu.NewPolicy(devPolicyName)
+		if err != nil {
+			return nil, err
+		}
+		sched, err := multigpu.New(multigpu.Config{
+			Devices:           cfg.GPUsPerNode,
+			CapacityPerDevice: cfg.CapacityPerGPU,
+			Algorithm:         cfg.Algorithm,
+			AlgSeed:           cfg.AlgSeed + int64(i)*100,
+			Policy:            pol,
+			Clock:             cfg.Clock,
+			ContextOverhead:   cfg.ContextOverhead,
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.nodes = append(c.nodes, sched)
+		c.names = append(c.names, fmt.Sprintf("node-%d", i))
+	}
+	return c, nil
+}
+
+// Nodes reports per-node summaries.
+func (c *Cluster) Nodes() []NodeInfo {
+	c.mu.Lock()
+	perNode := make([]int, len(c.nodes))
+	for _, n := range c.placement {
+		perNode[n]++
+	}
+	c.mu.Unlock()
+	out := make([]NodeInfo, len(c.nodes))
+	for i, n := range c.nodes {
+		info := NodeInfo{Index: i, Name: c.names[i], Containers: perNode[i]}
+		for _, d := range n.Devices() {
+			info.TotalFree += d.PoolFree
+			if d.Capacity > info.MaxDeviceCapacity {
+				info.MaxDeviceCapacity = d.Capacity
+			}
+			if d.PoolFree > info.MaxDevicePool {
+				info.MaxDevicePool = d.PoolFree
+			}
+		}
+		out[i] = info
+	}
+	return out
+}
+
+// StrategyName returns the active strategy's name.
+func (c *Cluster) StrategyName() string { return c.strategy.Name() }
+
+// Register places the container on a node (strategy) and GPU (node
+// policy) and registers it with that GPU's scheduler.
+func (c *Cluster) Register(id core.ContainerID, limit bytesize.Size) (bytesize.Size, error) {
+	node := c.strategy.Place(limit, c.Nodes())
+	if node < 0 || node >= len(c.nodes) {
+		return 0, fmt.Errorf("cluster: no node can hold a %v container", limit)
+	}
+	_, granted, err := c.nodes[node].Register(id, limit)
+	if err != nil {
+		return 0, err
+	}
+	c.mu.Lock()
+	c.placement[id] = node
+	c.mu.Unlock()
+	return granted, nil
+}
+
+// Placement reports the node and GPU a container lives on.
+func (c *Cluster) Placement(id core.ContainerID) (node, device int, err error) {
+	sched, node, err := c.nodeOf(id)
+	if err != nil {
+		return -1, -1, err
+	}
+	device, err = sched.Placement(id)
+	return node, device, err
+}
+
+func (c *Cluster) nodeOf(id core.ContainerID) (*multigpu.Scheduler, int, error) {
+	c.mu.Lock()
+	n, ok := c.placement[id]
+	c.mu.Unlock()
+	if !ok {
+		return nil, -1, fmt.Errorf("%w: %s", ErrUnknownContainer, id)
+	}
+	return c.nodes[n], n, nil
+}
+
+// RequestAlloc forwards to the container's node.
+func (c *Cluster) RequestAlloc(id core.ContainerID, pid int, size bytesize.Size) (core.AllocResult, error) {
+	sched, _, err := c.nodeOf(id)
+	if err != nil {
+		return core.AllocResult{}, err
+	}
+	return sched.RequestAlloc(id, pid, size)
+}
+
+// ConfirmAlloc forwards to the container's node.
+func (c *Cluster) ConfirmAlloc(id core.ContainerID, pid int, addr uint64, size bytesize.Size) error {
+	sched, _, err := c.nodeOf(id)
+	if err != nil {
+		return err
+	}
+	return sched.ConfirmAlloc(id, pid, addr, size)
+}
+
+// Free forwards to the container's node.
+func (c *Cluster) Free(id core.ContainerID, pid int, addr uint64) (bytesize.Size, core.Update, error) {
+	sched, _, err := c.nodeOf(id)
+	if err != nil {
+		return 0, core.Update{}, err
+	}
+	return sched.Free(id, pid, addr)
+}
+
+// ProcessExit forwards to the container's node.
+func (c *Cluster) ProcessExit(id core.ContainerID, pid int) (bytesize.Size, core.Update, error) {
+	sched, _, err := c.nodeOf(id)
+	if err != nil {
+		return 0, core.Update{}, err
+	}
+	return sched.ProcessExit(id, pid)
+}
+
+// Close forwards the close signal and forgets the placement.
+func (c *Cluster) Close(id core.ContainerID) (bytesize.Size, core.Update, error) {
+	sched, _, err := c.nodeOf(id)
+	if err != nil {
+		return 0, core.Update{}, err
+	}
+	released, u, err := sched.Close(id)
+	if err == nil {
+		c.mu.Lock()
+		delete(c.placement, id)
+		c.mu.Unlock()
+	}
+	return released, u, err
+}
+
+// MemInfo forwards to the container's node.
+func (c *Cluster) MemInfo(id core.ContainerID) (free, total bytesize.Size, err error) {
+	sched, _, err := c.nodeOf(id)
+	if err != nil {
+		return 0, 0, err
+	}
+	return sched.MemInfo(id)
+}
+
+// Info returns the scheduler snapshot row for a container.
+func (c *Cluster) Info(id core.ContainerID) (core.ContainerInfo, error) {
+	sched, _, err := c.nodeOf(id)
+	if err != nil {
+		return core.ContainerInfo{}, err
+	}
+	return sched.Info(id)
+}
+
+// TotalUsed sums usage across every node.
+func (c *Cluster) TotalUsed() bytesize.Size {
+	var total bytesize.Size
+	for _, n := range c.nodes {
+		total += n.TotalUsed()
+	}
+	return total
+}
+
+// CheckInvariants validates every node.
+func (c *Cluster) CheckInvariants() error {
+	for i, n := range c.nodes {
+		if err := n.CheckInvariants(); err != nil {
+			return fmt.Errorf("node %d: %w", i, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"convgpu/internal/bytesize"
+)
+
+// genCandidates builds a random, well-formed candidate slice.
+func genCandidates(rng *rand.Rand) []Candidate {
+	n := rng.Intn(12)
+	out := make([]Candidate, n)
+	for i := range out {
+		out[i] = Candidate{
+			ID:         ContainerID(string(rune('a' + i))),
+			CreatedSeq: uint64(rng.Intn(1000)) + 1,
+			SuspendSeq: uint64(rng.Intn(1000)) + 1,
+			Deficit:    bytesize.Size(rng.Intn(4096)+1) * bytesize.MiB,
+		}
+	}
+	return out
+}
+
+// TestAlgorithmsPickInRangeProperty: every algorithm returns either -1
+// (only on empty candidates for the deterministic ones) or a valid
+// index, for arbitrary pools and candidate sets.
+func TestAlgorithmsPickInRangeProperty(t *testing.T) {
+	algs := []Algorithm{FIFO{}, BestFit{}, RecentUse{}, NewRandom(7)}
+	f := func(seed int64, poolMiB uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cands := genCandidates(rng)
+		pool := bytesize.Size(poolMiB) * bytesize.MiB
+		for _, a := range algs {
+			i := a.Pick(pool, cands)
+			if len(cands) == 0 {
+				if i != -1 {
+					return false
+				}
+				continue
+			}
+			if i < 0 || i >= len(cands) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBestFitProperty: when any candidate's deficit fits the pool,
+// Best-Fit returns a fitting candidate with the maximal deficit; when
+// none fits, it returns the minimal deficit.
+func TestBestFitProperty(t *testing.T) {
+	f := func(seed int64, poolMiB uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cands := genCandidates(rng)
+		if len(cands) == 0 {
+			return true
+		}
+		pool := bytesize.Size(poolMiB) * bytesize.MiB
+		i := (BestFit{}).Pick(pool, cands)
+		picked := cands[i]
+		anyFits := false
+		var maxFitting, minDeficit bytesize.Size
+		for _, c := range cands {
+			if c.Deficit <= pool {
+				anyFits = true
+				if c.Deficit > maxFitting {
+					maxFitting = c.Deficit
+				}
+			}
+			if minDeficit == 0 || c.Deficit < minDeficit {
+				minDeficit = c.Deficit
+			}
+		}
+		if anyFits {
+			return picked.Deficit <= pool && picked.Deficit == maxFitting
+		}
+		return picked.Deficit == minDeficit
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFIFOAndRUProperty: FIFO always returns the minimal CreatedSeq,
+// Recent-Use the maximal SuspendSeq, independent of pool size.
+func TestFIFOAndRUProperty(t *testing.T) {
+	f := func(seed int64, poolMiB uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cands := genCandidates(rng)
+		if len(cands) == 0 {
+			return true
+		}
+		pool := bytesize.Size(poolMiB) * bytesize.MiB
+		fi := (FIFO{}).Pick(pool, cands)
+		ri := (RecentUse{}).Pick(pool, cands)
+		for _, c := range cands {
+			if c.CreatedSeq < cands[fi].CreatedSeq {
+				return false
+			}
+			if c.SuspendSeq > cands[ri].SuspendSeq {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRegisterGrantProperty: for arbitrary registration sequences the
+// initial grant equals min(limit, pool-before) and the pool never goes
+// negative.
+func TestRegisterGrantProperty(t *testing.T) {
+	f := func(limitsMiB []uint16) bool {
+		s, err := New(Config{Capacity: 5 * bytesize.GiB, ContextOverhead: 1})
+		if err != nil {
+			return false
+		}
+		for i, lm := range limitsMiB {
+			limit := bytesize.Size(int(lm)%4096+1) * bytesize.MiB
+			before := s.PoolFree()
+			granted, err := s.Register(ContainerID("c"+itoa(i)), limit)
+			if err != nil {
+				return false
+			}
+			want := limit
+			if want > before {
+				want = before
+			}
+			if granted != want {
+				return false
+			}
+			if s.PoolFree() != before-granted {
+				return false
+			}
+			if s.CheckInvariants() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMemInfoProperty: after any accepted allocation, the virtualized
+// view satisfies free + used == limit and never exposes other
+// containers' usage.
+func TestMemInfoProperty(t *testing.T) {
+	f := func(sizesMiB []uint8) bool {
+		s, err := New(Config{Capacity: 5 * bytesize.GiB, ContextOverhead: 1})
+		if err != nil {
+			return false
+		}
+		if _, err := s.Register("other", bytesize.GiB); err != nil {
+			return false
+		}
+		if res, err := s.RequestAlloc("other", 1, 512*bytesize.MiB); err != nil || res.Decision != Accept {
+			return false
+		}
+		if _, err := s.Register("me", bytesize.GiB); err != nil {
+			return false
+		}
+		var used bytesize.Size = 1 // overhead byte charged on first alloc
+		first := true
+		for _, sm := range sizesMiB {
+			size := bytesize.Size(int(sm)%64+1) * bytesize.MiB
+			res, err := s.RequestAlloc("me", 2, size)
+			if err != nil {
+				return false
+			}
+			if res.Decision == Accept {
+				used += size
+				if first {
+					first = false
+				}
+			}
+			free, total, err := s.MemInfo("me")
+			if err != nil || total != bytesize.GiB {
+				return false
+			}
+			if free+usedOf(s, "me") != total {
+				return false
+			}
+		}
+		info, _ := s.Info("me")
+		return info.Used == used || len(sizesMiB) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func usedOf(s *State, id ContainerID) bytesize.Size {
+	info, _ := s.Info(id)
+	return info.Used
+}

@@ -1,0 +1,865 @@
+// Package core implements the GPU memory scheduler at the heart of
+// ConVGPU (paper §III-D): the host-side component that decides, for every
+// GPU memory allocation a container attempts, whether to accept it,
+// suspend it until memory becomes available, or reject it.
+//
+// The scheduler maintains, per container, the creation-time memory
+// request (the limit), the memory currently assigned to the container
+// (the grant) and the memory actually in use. Invariants, enforced and
+// property-tested:
+//
+//	0 <= used_i <= grant_i <= limit_i         for every container i
+//	Σ grant_i <= capacity
+//
+// A container whose allocation cannot be served within its grant is
+// paused — its response is withheld — until a scheduling algorithm
+// (FIFO, Best-Fit, Recent-Use or Random) assigns it memory freed by
+// terminating containers. Because a container never waits for memory
+// beyond its creation-time request, and grants are never revoked,
+// admitted containers that received their full request always run to
+// completion: the middleware turns the unmanaged case's failures and
+// deadlocks into bounded waiting.
+//
+// The core is a synchronous state machine. Suspension is represented by
+// tickets: RequestAlloc returns Suspend with a ticket, and later calls
+// that free memory return the tickets that were admitted as a result.
+// The daemon (package daemon) maps tickets to withheld socket responses;
+// the discrete-event simulator (package sim) maps them to blocked virtual
+// processes. All methods are safe for concurrent use — every step is
+// protected by a mutex, as in the paper.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"convgpu/internal/bytesize"
+	"convgpu/internal/clock"
+	"sync"
+)
+
+// ContainerID identifies a container (Docker container ID in the real
+// system).
+type ContainerID string
+
+// Errors reported by the scheduler.
+var (
+	ErrUnknownContainer     = errors.New("core: unknown container")
+	ErrDuplicateContainer   = errors.New("core: container already registered")
+	ErrLimitExceedsCapacity = errors.New("core: memory limit exceeds GPU capacity")
+	ErrInvalidLimit         = errors.New("core: memory limit must be positive")
+	ErrInvalidSize          = errors.New("core: allocation size must be positive")
+	ErrUnknownAddr          = errors.New("core: unknown allocation address")
+	ErrUnknownPID           = errors.New("core: unknown pid")
+	ErrNotCharged           = errors.New("core: confirm/abort without an accepted request")
+)
+
+// DefaultContextOverhead is the GPU memory CUDA consumes when a process
+// first allocates: 64 MiB of process data plus 2 MiB of CUDA context
+// (paper §III-D).
+const DefaultContextOverhead = 66 * bytesize.MiB
+
+// Decision is the scheduler's verdict on an allocation request.
+type Decision int
+
+// Decisions.
+const (
+	// Accept: the memory is charged; the wrapper may call the real CUDA
+	// allocation.
+	Accept Decision = iota
+	// Suspend: the request is parked; the caller waits for its ticket to
+	// be admitted by a later redistribution.
+	Suspend
+	// Reject: the request exceeds the container's own limit and can never
+	// be satisfied; the wrapper returns cudaErrorMemoryAllocation.
+	Reject
+)
+
+func (d Decision) String() string {
+	switch d {
+	case Accept:
+		return "accept"
+	case Suspend:
+		return "suspend"
+	case Reject:
+		return "reject"
+	default:
+		return fmt.Sprintf("Decision(%d)", int(d))
+	}
+}
+
+// Ticket identifies a suspended allocation request.
+type Ticket uint64
+
+// AllocResult is the outcome of RequestAlloc.
+type AllocResult struct {
+	Decision Decision
+	// Ticket is set when Decision == Suspend.
+	Ticket Ticket
+}
+
+// Admitted names a formerly suspended request that has now been charged
+// and may proceed to the real allocation.
+type Admitted struct {
+	Container ContainerID
+	Ticket    Ticket
+}
+
+// Update reports the side effects of an operation that freed memory:
+// which suspended requests were admitted, and which were cancelled
+// because their container closed.
+type Update struct {
+	Admitted  []Admitted
+	Cancelled []Admitted
+}
+
+// Config configures a scheduler.
+type Config struct {
+	// Capacity is the schedulable GPU memory.
+	Capacity bytesize.Size
+	// ContextOverhead is charged for the first allocation of each process
+	// (default DefaultContextOverhead). It counts against the container's
+	// limit, so limits must include per-process headroom.
+	ContextOverhead bytesize.Size
+	// Algorithm selects paused containers during redistribution
+	// (default FIFO{}).
+	Algorithm Algorithm
+	// Clock provides time for suspension metrics (default the wall
+	// clock). The experiment simulator injects its virtual clock.
+	Clock clock.Clock
+	// PersistentGrants disables the reclamation of paused containers'
+	// unused assignments during redistribution: once memory is assigned
+	// to a container it stays assigned until the container closes. This
+	// reading of the paper strands partial grants with paused containers
+	// and can wedge Recent-Use and Random under heavy load (the ablation
+	// benches quantify it); the default (reclaiming) semantics cannot
+	// wedge on single-allocation workloads.
+	PersistentGrants bool
+	// EventLogSize sets the scheduler event-log ring capacity
+	// (DefaultEventLogSize when 0; negative disables retention).
+	EventLogSize int
+	// FaultTolerant enables the rescue pass of the authors' prior study
+	// ("Fault-tolerant Scheduler for Shareable Virtualized GPU
+	// Resource", SC16 poster [10]): whenever a redistribution admits
+	// nothing while paused containers remain, every paused container's
+	// unused assignment is forcibly reclaimed and the pending request
+	// with the smallest charge is admitted first, guaranteeing progress
+	// whenever progress is possible at all — even under
+	// PersistentGrants or multi-allocation hold-and-wait.
+	FaultTolerant bool
+}
+
+type pendingReq struct {
+	ticket Ticket
+	pid    int
+	size   bytesize.Size // raw request size; overhead is computed at admit time
+}
+
+type procState struct {
+	charged bool // context overhead charged
+	allocs  map[uint64]bytesize.Size
+	// accepted tracks charges awaiting Confirm/Abort: per accepted
+	// request, the charged size (excluding overhead).
+	accepted []bytesize.Size
+}
+
+type containerState struct {
+	id         ContainerID
+	limit      bytesize.Size
+	grant      bytesize.Size
+	used       bytesize.Size
+	createdSeq uint64
+	createdAt  time.Time
+	suspendSeq uint64
+	pending    []pendingReq
+	procs      map[int]*procState
+
+	// Suspension metrics: total time with >= 1 pending request.
+	suspendedSince time.Time
+	suspendedTotal time.Duration
+	everSuspended  bool
+}
+
+// State is the scheduler. Create it with New.
+type State struct {
+	mu         sync.Mutex
+	cfg        Config
+	pool       bytesize.Size // capacity not granted to any container
+	containers map[ContainerID]*containerState
+	nextSeq    uint64
+	nextTicket Ticket
+	closedIDs  map[ContainerID]bool
+	events     *eventLog
+}
+
+// New creates a scheduler. Capacity must be positive.
+func New(cfg Config) (*State, error) {
+	if cfg.Capacity <= 0 {
+		return nil, fmt.Errorf("core: capacity must be positive, got %v", cfg.Capacity)
+	}
+	if cfg.ContextOverhead == 0 {
+		cfg.ContextOverhead = DefaultContextOverhead
+	}
+	if cfg.ContextOverhead < 0 {
+		return nil, fmt.Errorf("core: negative context overhead %v", cfg.ContextOverhead)
+	}
+	if cfg.Algorithm == nil {
+		cfg.Algorithm = FIFO{}
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Real{}
+	}
+	logSize := cfg.EventLogSize
+	if logSize == 0 {
+		logSize = DefaultEventLogSize
+	}
+	return &State{
+		cfg:        cfg,
+		pool:       cfg.Capacity,
+		containers: make(map[ContainerID]*containerState),
+		closedIDs:  make(map[ContainerID]bool),
+		events:     newEventLog(logSize),
+	}, nil
+}
+
+// MustNew is New for known-good configurations (tests, examples).
+func MustNew(cfg Config) *State {
+	s, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Capacity returns the configured schedulable memory.
+func (s *State) Capacity() bytesize.Size { return s.cfg.Capacity }
+
+// AlgorithmName returns the active redistribution algorithm's name.
+func (s *State) AlgorithmName() string { return s.cfg.Algorithm.Name() }
+
+// Register admits a new container with its creation-time memory request
+// (paper: sent by the customized nvidia-docker before the container is
+// created). It returns the memory granted immediately, which may be
+// partial (Fig. 3b) or zero.
+func (s *State) Register(id ContainerID, limit bytesize.Size) (granted bytesize.Size, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if limit <= 0 {
+		return 0, ErrInvalidLimit
+	}
+	if limit > s.cfg.Capacity {
+		return 0, fmt.Errorf("%w: %v > %v", ErrLimitExceedsCapacity, limit, s.cfg.Capacity)
+	}
+	if _, ok := s.containers[id]; ok {
+		return 0, fmt.Errorf("%w: %s", ErrDuplicateContainer, id)
+	}
+	s.nextSeq++
+	c := &containerState{
+		id:         id,
+		limit:      limit,
+		createdSeq: s.nextSeq,
+		createdAt:  s.cfg.Clock.Now(),
+		procs:      make(map[int]*procState),
+	}
+	c.grant = limit
+	if c.grant > s.pool {
+		c.grant = s.pool
+	}
+	s.pool -= c.grant
+	s.containers[id] = c
+	delete(s.closedIDs, id)
+	s.logEvent(EvRegister, id, 0, c.grant)
+	return c.grant, nil
+}
+
+// chargeFor computes what admitting (pid, size) costs the container:
+// the raw size plus, for the process's first allocation, the context
+// overhead.
+func (s *State) chargeFor(c *containerState, pid int, size bytesize.Size) bytesize.Size {
+	if p, ok := c.procs[pid]; ok && p.charged {
+		return size
+	}
+	return size + s.cfg.ContextOverhead
+}
+
+func (s *State) proc(c *containerState, pid int) *procState {
+	p, ok := c.procs[pid]
+	if !ok {
+		p = &procState{allocs: make(map[uint64]bytesize.Size)}
+		c.procs[pid] = p
+	}
+	return p
+}
+
+// admit charges an accepted request to the container.
+func (s *State) admit(c *containerState, pid int, size bytesize.Size) {
+	charge := s.chargeFor(c, pid, size)
+	c.used += charge
+	p := s.proc(c, pid)
+	p.charged = true
+	p.accepted = append(p.accepted, size)
+}
+
+// RequestAlloc handles an allocation request of the given (already
+// pitch/managed-adjusted) size from a process inside a container.
+func (s *State) RequestAlloc(id ContainerID, pid int, size bytesize.Size) (AllocResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.containers[id]
+	if !ok {
+		return AllocResult{}, fmt.Errorf("%w: %s", ErrUnknownContainer, id)
+	}
+	if size <= 0 {
+		return AllocResult{}, ErrInvalidSize
+	}
+	charge := s.chargeFor(c, pid, size)
+	if c.used+charge > c.limit {
+		// Exceeds the container's own creation-time request: deny the
+		// call (the paper's "rejects if the memory is already exceeded").
+		s.logEvent(EvReject, id, pid, size)
+		return AllocResult{Decision: Reject}, nil
+	}
+	if c.used+charge > c.grant {
+		// Top up from the unassigned pool first: memory nobody holds must
+		// not keep a container waiting.
+		need := c.used + charge - c.grant
+		take := need
+		if take > s.pool {
+			take = s.pool
+		}
+		c.grant += take
+		s.pool -= take
+	}
+	if c.used+charge <= c.grant {
+		s.admit(c, pid, size)
+		s.logEvent(EvAccept, id, pid, charge)
+		return AllocResult{Decision: Accept}, nil
+	}
+	// Suspend: park the request until redistribution grants enough.
+	s.nextTicket++
+	t := s.nextTicket
+	c.pending = append(c.pending, pendingReq{ticket: t, pid: pid, size: size})
+	s.nextSeq++
+	c.suspendSeq = s.nextSeq
+	if len(c.pending) == 1 {
+		c.suspendedSince = s.cfg.Clock.Now()
+		c.everSuspended = true
+	}
+	s.logEvent(EvSuspend, id, pid, size)
+	return AllocResult{Decision: Suspend, Ticket: t}, nil
+}
+
+// ConfirmAlloc records the device address the real allocation returned,
+// so the scheduler can track it (paper: "Scheduler tracks this
+// information using hash structure and calculates total memory usage").
+func (s *State) ConfirmAlloc(id ContainerID, pid int, addr uint64, size bytesize.Size) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.containers[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownContainer, id)
+	}
+	p, ok := c.procs[pid]
+	if !ok || len(p.accepted) == 0 {
+		return fmt.Errorf("%w: container %s pid %d", ErrNotCharged, id, pid)
+	}
+	// Confirms may arrive out of order when a process has several
+	// threads allocating: match any accepted charge of this size.
+	i := indexOfSize(p.accepted, size)
+	if i < 0 {
+		return fmt.Errorf("core: confirm size %v does not match any accepted request", size)
+	}
+	// A confirm for an address the scheduler still tracks means the old
+	// record is stale: the device reused the address, so its previous
+	// allocation was already freed and the (fire-and-forget) free report
+	// is still in flight. Release the stale usage implicitly; the late
+	// report will fail with ErrUnknownAddr and be ignored by the wrapper.
+	for _, q := range c.procs {
+		if stale, dup := q.allocs[addr]; dup {
+			delete(q.allocs, addr)
+			c.used -= stale
+		}
+	}
+	p.accepted = append(p.accepted[:i], p.accepted[i+1:]...)
+	p.allocs[addr] = size
+	return nil
+}
+
+// AbortAlloc returns the charge of an accepted request whose real CUDA
+// allocation failed (e.g. device fragmentation). The freed charge may
+// admit suspended requests.
+func (s *State) AbortAlloc(id ContainerID, pid int, size bytesize.Size) (Update, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.containers[id]
+	if !ok {
+		return Update{}, fmt.Errorf("%w: %s", ErrUnknownContainer, id)
+	}
+	p, ok := c.procs[pid]
+	if !ok || len(p.accepted) == 0 {
+		return Update{}, fmt.Errorf("%w: container %s pid %d", ErrNotCharged, id, pid)
+	}
+	i := indexOfSize(p.accepted, size)
+	if i < 0 {
+		return Update{}, fmt.Errorf("core: abort size %v does not match any accepted request", size)
+	}
+	p.accepted = append(p.accepted[:i], p.accepted[i+1:]...)
+	c.used -= size // overhead stays charged: the context was created
+	s.logEvent(EvAbort, id, pid, size)
+	return s.afterRelease(), nil
+}
+
+// Free releases the allocation at addr (the wrapper reports cudaFree).
+// It returns the released size and any requests admitted as a result.
+func (s *State) Free(id ContainerID, pid int, addr uint64) (bytesize.Size, Update, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.containers[id]
+	if !ok {
+		return 0, Update{}, fmt.Errorf("%w: %s", ErrUnknownContainer, id)
+	}
+	p, ok := c.procs[pid]
+	if !ok {
+		return 0, Update{}, fmt.Errorf("%w: container %s pid %d", ErrUnknownPID, id, pid)
+	}
+	size, ok := p.allocs[addr]
+	if !ok {
+		return 0, Update{}, fmt.Errorf("%w: %#x", ErrUnknownAddr, addr)
+	}
+	delete(p.allocs, addr)
+	c.used -= size
+	s.logEvent(EvFree, id, pid, size)
+	return size, s.afterRelease(), nil
+}
+
+// ProcessExit releases everything a process holds — leaked allocations
+// and its context overhead (the wrapper reports
+// __cudaUnregisterFatBinary; "some program may not free its allocated
+// GPU memory"). It returns the total released.
+func (s *State) ProcessExit(id ContainerID, pid int) (bytesize.Size, Update, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.containers[id]
+	if !ok {
+		return 0, Update{}, fmt.Errorf("%w: %s", ErrUnknownContainer, id)
+	}
+	var released bytesize.Size
+	if p, ok := c.procs[pid]; ok {
+		for _, sz := range p.allocs {
+			released += sz
+		}
+		for _, sz := range p.accepted {
+			released += sz
+		}
+		if p.charged {
+			released += s.cfg.ContextOverhead
+		}
+		c.used -= released
+	}
+	// Drop and cancel the pid's pending requests: the process is gone, so
+	// any responder parked on them must be released.
+	var u Update
+	for _, r := range c.pending {
+		if r.pid == pid {
+			u.Cancelled = append(u.Cancelled, Admitted{Container: id, Ticket: r.ticket})
+		}
+	}
+	c.pending = filterPending(c.pending, pid)
+	s.noteSuspensionEnd(c)
+	delete(c.procs, pid)
+	s.logEvent(EvProcExit, id, pid, released)
+	more := s.afterRelease()
+	u.Admitted = more.Admitted
+	u.Cancelled = append(u.Cancelled, more.Cancelled...)
+	return released, u, nil
+}
+
+// Close removes a container entirely (nvidia-docker-plugin's close
+// signal on container stop): its grant returns to the pool and the
+// scheduler redistributes it among paused containers with the configured
+// algorithm. Pending requests of the closed container are cancelled.
+func (s *State) Close(id ContainerID) (bytesize.Size, Update, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.containers[id]
+	if !ok {
+		if s.closedIDs[id] {
+			// Idempotent: the plugin may deliver close more than once.
+			return 0, Update{}, nil
+		}
+		return 0, Update{}, fmt.Errorf("%w: %s", ErrUnknownContainer, id)
+	}
+	var u Update
+	for _, req := range c.pending {
+		u.Cancelled = append(u.Cancelled, Admitted{Container: id, Ticket: req.ticket})
+	}
+	c.pending = nil
+	s.noteSuspensionEnd(c)
+	released := c.grant
+	s.pool += c.grant
+	delete(s.containers, id)
+	s.closedIDs[id] = true
+	s.logEvent(EvClose, id, 0, released)
+	more := s.afterRelease()
+	u.Admitted = append(u.Admitted, more.Admitted...)
+	u.Cancelled = append(u.Cancelled, more.Cancelled...)
+	return released, u, nil
+}
+
+// MemInfo returns the container's virtualized view of GPU memory: total
+// is its limit and free is what remains below it. This is what the
+// wrapper returns for cudaMemGetInfo — the container sees only its own
+// slice of the GPU.
+func (s *State) MemInfo(id ContainerID) (free, total bytesize.Size, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.containers[id]
+	if !ok {
+		return 0, 0, fmt.Errorf("%w: %s", ErrUnknownContainer, id)
+	}
+	return c.limit - c.used, c.limit, nil
+}
+
+// afterRelease runs redistribution and per-container admission after any
+// memory release. Callers hold s.mu.
+func (s *State) afterRelease() Update {
+	var u Update
+	// First, requests that now fit within their container's own grant
+	// (its usage dropped).
+	for _, c := range s.sortedContainersLocked() {
+		u.Admitted = append(u.Admitted, s.admitFittingLocked(c)...)
+	}
+	// Then distribute the pool among paused containers.
+	u.Admitted = append(u.Admitted, s.redistributeLocked()...)
+	if len(u.Admitted) == 0 && s.cfg.FaultTolerant {
+		// The policy's redistribution achieved nothing. If any paused
+		// request is feasible at all, the rescue pass admits it.
+		u.Admitted = append(u.Admitted, s.rescueLocked()...)
+	}
+	return u
+}
+
+// rescueLocked is the fault-tolerance pass ([10]): reclaim every paused
+// container's unused assignment unconditionally, then admit pending
+// head requests smallest-charge-first while they fit. It ignores the
+// configured algorithm by design — it only runs when that algorithm
+// has wedged.
+func (s *State) rescueLocked() []Admitted {
+	anyPaused := false
+	for _, c := range s.containers {
+		if len(c.pending) > 0 {
+			anyPaused = true
+			if c.grant > c.used {
+				s.pool += c.grant - c.used
+				c.grant = c.used
+			}
+		}
+	}
+	if !anyPaused {
+		return nil
+	}
+	var admitted []Admitted
+	for {
+		// Pick the paused container whose head request is cheapest to
+		// satisfy and feasible within the pool.
+		var pick *containerState
+		var pickNeed bytesize.Size
+		for _, c := range s.sortedContainersLocked() {
+			if len(c.pending) == 0 {
+				continue
+			}
+			head := c.pending[0]
+			charge := s.chargeFor(c, head.pid, head.size)
+			if c.used+charge > c.limit {
+				continue // only the container's own frees can help it
+			}
+			need := c.used + charge - c.grant
+			if need > s.pool {
+				continue // infeasible right now
+			}
+			if pick == nil || need < pickNeed {
+				pick, pickNeed = c, need
+			}
+		}
+		if pick == nil {
+			return admitted
+		}
+		pick.grant += pickNeed
+		s.pool -= pickNeed
+		s.logEvent(EvRescue, pick.id, 0, pickNeed)
+		admitted = append(admitted, s.admitFittingLocked(pick)...)
+	}
+}
+
+// admitFittingLocked admits the container's pending requests, in FIFO
+// order, while they fit under the current grant.
+func (s *State) admitFittingLocked(c *containerState) []Admitted {
+	var admitted []Admitted
+	for len(c.pending) > 0 {
+		req := c.pending[0]
+		charge := s.chargeFor(c, req.pid, req.size)
+		if c.used+charge > c.grant {
+			break
+		}
+		s.admit(c, req.pid, req.size)
+		s.logEvent(EvResume, c.id, req.pid, charge)
+		admitted = append(admitted, Admitted{Container: c.id, Ticket: req.ticket})
+		c.pending = c.pending[1:]
+	}
+	s.noteSuspensionEnd(c)
+	return admitted
+}
+
+// redistributeLocked implements the paper's redistribution loop: while
+// free memory and paused containers remain, the algorithm picks a
+// container and assigns it memory up to its creation-time request.
+//
+// Before picking, the unused assignments of paused containers are
+// reclaimed into the pool. A paused container is blocked anyway and its
+// demand is fully described by its limit and usage, so re-granting every
+// round lets the algorithm steer *all* distributable memory (Fig. 3d:
+// the selected container is "guaranteed all GPU memory which the
+// container firstly requested" out of whatever is free). Without
+// reclamation, partial grants stranded with paused containers wedge the
+// system under heavy load — precisely the deadlock ConVGPU exists to
+// prevent. Running containers keep their creation-time guarantee
+// untouched.
+func (s *State) redistributeLocked() []Admitted {
+	if !s.cfg.PersistentGrants {
+		for _, c := range s.containers {
+			if len(c.pending) > 0 && c.grant > c.used {
+				s.pool += c.grant - c.used
+				c.grant = c.used
+			}
+		}
+	}
+	var admitted []Admitted
+	for s.pool > 0 {
+		cands, byIdx := s.candidatesLocked()
+		if len(cands) == 0 {
+			break
+		}
+		i := s.cfg.Algorithm.Pick(s.pool, cands)
+		if i < 0 || i >= len(cands) {
+			break
+		}
+		c := byIdx[i]
+		give := c.limit - c.grant
+		if give > s.pool {
+			give = s.pool
+		}
+		c.grant += give
+		s.pool -= give
+		s.logEvent(EvGrant, c.id, 0, give)
+		admitted = append(admitted, s.admitFittingLocked(c)...)
+		if len(c.pending) > 0 {
+			// Partial grant: pool is exhausted (give < deficit implies
+			// pool hit zero), so the loop ends naturally.
+			continue
+		}
+	}
+	return admitted
+}
+
+// candidatesLocked assembles the paused containers (those with pending
+// requests), ordered by creation.
+func (s *State) candidatesLocked() ([]Candidate, []*containerState) {
+	var cands []Candidate
+	var byIdx []*containerState
+	for _, c := range s.sortedContainersLocked() {
+		if len(c.pending) == 0 || c.grant >= c.limit {
+			// Not paused, or already holds its full creation-time request
+			// (its head request only fits after the container's own
+			// frees): more memory cannot help it.
+			continue
+		}
+		cands = append(cands, Candidate{
+			ID:         c.id,
+			CreatedSeq: c.createdSeq,
+			SuspendSeq: c.suspendSeq,
+			Deficit:    c.limit - c.grant,
+		})
+		byIdx = append(byIdx, c)
+	}
+	return cands, byIdx
+}
+
+func (s *State) sortedContainersLocked() []*containerState {
+	out := make([]*containerState, 0, len(s.containers))
+	for _, c := range s.containers {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].createdSeq < out[j].createdSeq })
+	return out
+}
+
+// noteSuspensionEnd closes the current suspension interval if the
+// container has no pending requests left. Callers hold s.mu.
+func (s *State) noteSuspensionEnd(c *containerState) {
+	if len(c.pending) == 0 && !c.suspendedSince.IsZero() {
+		c.suspendedTotal += s.cfg.Clock.Now().Sub(c.suspendedSince)
+		c.suspendedSince = time.Time{}
+	}
+}
+
+// ContainerInfo is a snapshot of one container's scheduler state.
+type ContainerInfo struct {
+	ID        ContainerID
+	Limit     bytesize.Size
+	Grant     bytesize.Size
+	Used      bytesize.Size
+	Pending   int
+	CreatedAt time.Time
+	Suspended bool
+	// SuspendedTotal is the cumulative time the container has spent with
+	// at least one allocation suspended (including the open interval).
+	SuspendedTotal time.Duration
+	EverSuspended  bool
+}
+
+// Snapshot returns the state of all registered containers, ordered by
+// creation.
+func (s *State) Snapshot() []ContainerInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.cfg.Clock.Now()
+	var out []ContainerInfo
+	for _, c := range s.sortedContainersLocked() {
+		info := ContainerInfo{
+			ID:             c.id,
+			Limit:          c.limit,
+			Grant:          c.grant,
+			Used:           c.used,
+			Pending:        len(c.pending),
+			CreatedAt:      c.createdAt,
+			Suspended:      len(c.pending) > 0,
+			SuspendedTotal: c.suspendedTotal,
+			EverSuspended:  c.everSuspended,
+		}
+		if !c.suspendedSince.IsZero() {
+			info.SuspendedTotal += now.Sub(c.suspendedSince)
+		}
+		out = append(out, info)
+	}
+	return out
+}
+
+// Info returns the snapshot for one container.
+func (s *State) Info(id ContainerID) (ContainerInfo, error) {
+	for _, info := range s.Snapshot() {
+		if info.ID == id {
+			return info, nil
+		}
+	}
+	return ContainerInfo{}, fmt.Errorf("%w: %s", ErrUnknownContainer, id)
+}
+
+// PoolFree returns the memory not granted to any container.
+func (s *State) PoolFree() bytesize.Size {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pool
+}
+
+// TotalUsed sums the usage of every registered container — the
+// scheduler's view of occupied GPU memory (the simulator integrates it
+// into a utilization figure).
+func (s *State) TotalUsed() bytesize.Size {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var total bytesize.Size
+	for _, c := range s.containers {
+		total += c.used
+	}
+	return total
+}
+
+// Stalled reports whether the system can make no progress without
+// operator intervention: at least one container is paused and every
+// registered container is paused. Redistribution runs only when memory
+// is released (free, process exit, close); if every container is
+// blocked in a suspended allocation, no such event can occur again.
+//
+// With single-allocation programs — the paper's entire evaluation —
+// this state is unreachable: a paused container then holds no usage, so
+// the reclaim step of the previous redistribution had the full freed
+// capacity available and always fully satisfies at least its first
+// pick. Multi-allocation programs can reach it via classic
+// hold-and-wait (a paused container retaining earlier allocations),
+// the residual risk the authors' prior fault-tolerance study [10]
+// addresses.
+func (s *State) Stalled() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	anyPaused := false
+	for _, c := range s.containers {
+		if len(c.pending) > 0 {
+			anyPaused = true
+		} else {
+			return false // an unblocked container may still release memory
+		}
+	}
+	return anyPaused
+}
+
+func indexOfSize(sizes []bytesize.Size, size bytesize.Size) int {
+	for i, s := range sizes {
+		if s == size {
+			return i
+		}
+	}
+	return -1
+}
+
+func filterPending(reqs []pendingReq, pid int) []pendingReq {
+	out := reqs[:0]
+	for _, r := range reqs {
+		if r.pid != pid {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// CheckInvariants verifies the scheduler's core invariants and returns a
+// descriptive error if any is violated. Tests and the simulator call it
+// after every step.
+func (s *State) CheckInvariants() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var grantSum bytesize.Size
+	for id, c := range s.containers {
+		if c.used < 0 {
+			return fmt.Errorf("core: container %s used %v < 0", id, c.used)
+		}
+		if c.used > c.grant {
+			return fmt.Errorf("core: container %s used %v > grant %v", id, c.used, c.grant)
+		}
+		if c.grant > c.limit {
+			return fmt.Errorf("core: container %s grant %v > limit %v", id, c.grant, c.limit)
+		}
+		grantSum += c.grant
+		var tracked bytesize.Size
+		charged := 0
+		for _, p := range c.procs {
+			for _, sz := range p.allocs {
+				tracked += sz
+			}
+			for _, sz := range p.accepted {
+				tracked += sz
+			}
+			if p.charged {
+				charged++
+			}
+		}
+		if want := tracked + bytesize.Size(charged)*s.cfg.ContextOverhead; want != c.used {
+			return fmt.Errorf("core: container %s used %v != tracked %v", id, c.used, want)
+		}
+	}
+	if grantSum+s.pool != s.cfg.Capacity {
+		return fmt.Errorf("core: grants %v + pool %v != capacity %v", grantSum, s.pool, s.cfg.Capacity)
+	}
+	return nil
+}

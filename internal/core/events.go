@@ -1,0 +1,159 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"convgpu/internal/bytesize"
+)
+
+// EventKind classifies scheduler events.
+type EventKind int
+
+// Event kinds, in rough lifecycle order.
+const (
+	EvRegister EventKind = iota // container admitted; Amount = initial grant
+	EvAccept                    // allocation accepted; Amount = charged size
+	EvSuspend                   // allocation paused; Amount = requested size
+	EvReject                    // allocation denied; Amount = requested size
+	EvResume                    // paused allocation admitted; Amount = charged size
+	EvGrant                     // redistribution grant; Amount = memory given
+	EvRescue                    // fault-tolerance rescue grant; Amount = memory given
+	EvFree                      // cudaFree; Amount = released size
+	EvAbort                     // accepted allocation aborted; Amount = returned size
+	EvProcExit                  // process exit cleanup; Amount = released total
+	EvClose                     // container closed; Amount = returned grant
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvRegister:
+		return "register"
+	case EvAccept:
+		return "accept"
+	case EvSuspend:
+		return "suspend"
+	case EvReject:
+		return "reject"
+	case EvResume:
+		return "resume"
+	case EvGrant:
+		return "grant"
+	case EvRescue:
+		return "rescue"
+	case EvFree:
+		return "free"
+	case EvAbort:
+		return "abort"
+	case EvProcExit:
+		return "procexit"
+	case EvClose:
+		return "close"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// EventRecord is one entry of the scheduler's event log.
+type EventRecord struct {
+	// Seq orders events totally (monotonic, never reused).
+	Seq uint64
+	// At is the scheduler-clock timestamp.
+	At time.Time
+	// Kind classifies the event.
+	Kind EventKind
+	// Container the event concerns.
+	Container ContainerID
+	// PID of the process involved, when applicable.
+	PID int
+	// Amount is the memory quantity the event moved (see EventKind).
+	Amount bytesize.Size
+}
+
+// String renders the record for logs.
+func (e EventRecord) String() string {
+	if e.PID != 0 {
+		return fmt.Sprintf("#%d %s %s pid=%d %v", e.Seq, e.Kind, e.Container, e.PID, e.Amount)
+	}
+	return fmt.Sprintf("#%d %s %s %v", e.Seq, e.Kind, e.Container, e.Amount)
+}
+
+// DefaultEventLogSize is the ring buffer capacity when Config leaves
+// EventLogSize zero.
+const DefaultEventLogSize = 512
+
+// eventLog is a fixed-capacity ring buffer. Callers hold the state
+// mutex.
+type eventLog struct {
+	buf   []EventRecord
+	next  int // write position
+	count int // filled entries
+	seq   uint64
+}
+
+func newEventLog(capacity int) *eventLog {
+	if capacity <= 0 {
+		return &eventLog{}
+	}
+	return &eventLog{buf: make([]EventRecord, capacity)}
+}
+
+func (l *eventLog) append(e EventRecord) {
+	l.seq++
+	e.Seq = l.seq
+	if len(l.buf) == 0 {
+		return // disabled: sequence numbers still advance
+	}
+	l.buf[l.next] = e
+	l.next = (l.next + 1) % len(l.buf)
+	if l.count < len(l.buf) {
+		l.count++
+	}
+}
+
+// snapshot returns the retained events, oldest first.
+func (l *eventLog) snapshot() []EventRecord {
+	out := make([]EventRecord, 0, l.count)
+	start := l.next - l.count
+	if start < 0 {
+		start += len(l.buf)
+	}
+	for i := 0; i < l.count; i++ {
+		out = append(out, l.buf[(start+i)%len(l.buf)])
+	}
+	return out
+}
+
+// logEvent appends to the state's event log. Callers hold s.mu.
+func (s *State) logEvent(kind EventKind, id ContainerID, pid int, amount bytesize.Size) {
+	s.events.append(EventRecord{
+		At:        s.cfg.Clock.Now(),
+		Kind:      kind,
+		Container: id,
+		PID:       pid,
+		Amount:    amount,
+	})
+}
+
+// Events returns the retained event log, oldest first. The log is a
+// ring of Config.EventLogSize entries (DefaultEventLogSize when unset;
+// negative disables retention).
+func (s *State) Events() []EventRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.events.snapshot()
+}
+
+// EventsSince returns retained events with Seq > after, oldest first —
+// the daemon's status loop tails the log with this.
+func (s *State) EventsSince(after uint64) []EventRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	all := s.events.snapshot()
+	for i, e := range all {
+		if e.Seq > after {
+			return all[i:]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEventKindStrings(t *testing.T) {
+	kinds := map[EventKind]string{
+		EvRegister: "register", EvAccept: "accept", EvSuspend: "suspend",
+		EvReject: "reject", EvResume: "resume", EvGrant: "grant",
+		EvRescue: "rescue", EvFree: "free", EvAbort: "abort",
+		EvProcExit: "procexit", EvClose: "close",
+		EventKind(99): "EventKind(99)",
+	}
+	for k, want := range kinds {
+		if got := k.String(); got != want {
+			t.Errorf("EventKind(%d) = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+func TestEventLogRecordsLifecycle(t *testing.T) {
+	s := newStateNoOverhead(t, 1000, FIFO{})
+	mustRegister(t, s, "a", mib(700))
+	mustAlloc(t, s, "a", 1, mib(600))
+	if err := s.ConfirmAlloc("a", 1, 0x1, mib(600)); err != nil {
+		t.Fatal(err)
+	}
+	mustRegister(t, s, "b", mib(600)) // grant 300
+	res, _ := s.RequestAlloc("b", 2, mib(500))
+	if res.Decision != Suspend {
+		t.Fatalf("setup: %v", res.Decision)
+	}
+	// Rejected request.
+	if res, _ := s.RequestAlloc("b", 2, mib(900)); res.Decision != Reject {
+		t.Fatalf("setup reject: %v", res.Decision)
+	}
+	if _, _, err := s.Free("a", 1, 0x1); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.ProcessExit("a", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Close("a"); err != nil {
+		t.Fatal(err)
+	}
+
+	var kinds []string
+	for _, e := range s.Events() {
+		kinds = append(kinds, e.Kind.String())
+	}
+	got := strings.Join(kinds, ",")
+	// register a, accept, register b, suspend, reject, free, procexit,
+	// close, grant (redistribution to b), resume (b's pending).
+	for _, want := range []string{"register", "accept", "suspend", "reject", "free", "procexit", "close", "grant", "resume"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("event log %q missing %q", got, want)
+		}
+	}
+	// Sequence numbers are strictly increasing.
+	events := s.Events()
+	for i := 1; i < len(events); i++ {
+		if events[i].Seq <= events[i-1].Seq {
+			t.Fatalf("event seq not increasing: %v then %v", events[i-1], events[i])
+		}
+	}
+	// The grant event targets b with a's returned memory.
+	found := false
+	for _, e := range events {
+		if e.Kind == EvGrant && e.Container == "b" && e.Amount > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no grant-to-b event in %v", events)
+	}
+}
+
+func TestEventsSince(t *testing.T) {
+	s := newStateNoOverhead(t, 1000, nil)
+	mustRegister(t, s, "a", mib(100))
+	mustRegister(t, s, "b", mib(100))
+	all := s.Events()
+	if len(all) != 2 {
+		t.Fatalf("events = %v", all)
+	}
+	tail := s.EventsSince(all[0].Seq)
+	if len(tail) != 1 || tail[0].Container != "b" {
+		t.Fatalf("EventsSince = %v", tail)
+	}
+	if got := s.EventsSince(all[1].Seq); got != nil {
+		t.Fatalf("EventsSince(latest) = %v, want nil", got)
+	}
+}
+
+func TestEventLogRingWraps(t *testing.T) {
+	s, err := New(Config{Capacity: mib(10000), ContextOverhead: 1, EventLogSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		mustRegister(t, s, ContainerID("c"+itoa(i)), mib(10))
+	}
+	events := s.Events()
+	if len(events) != 4 {
+		t.Fatalf("retained %d events, want ring capacity 4", len(events))
+	}
+	// The newest four registrations survive, in order.
+	for i, e := range events {
+		want := ContainerID("c" + itoa(6+i))
+		if e.Container != want {
+			t.Fatalf("ring[%d] = %v, want container %s", i, e, want)
+		}
+	}
+}
+
+func TestEventLogDisabled(t *testing.T) {
+	s, err := New(Config{Capacity: mib(100), EventLogSize: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustRegister(t, s, "a", mib(10))
+	if got := s.Events(); len(got) != 0 {
+		t.Fatalf("disabled log retained %v", got)
+	}
+}
+
+func TestEventRecordString(t *testing.T) {
+	e := EventRecord{Seq: 7, Kind: EvAccept, Container: "c1", PID: 42, Amount: mib(10)}
+	got := e.String()
+	for _, want := range []string{"#7", "accept", "c1", "pid=42", "10MiB"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("String() = %q missing %q", got, want)
+		}
+	}
+	e.PID = 0
+	if strings.Contains(e.String(), "pid=") {
+		t.Errorf("String() with no pid = %q", e.String())
+	}
+}
+
+func TestRescueEventLogged(t *testing.T) {
+	s, ticketB, _ := stalledSetupFT(t)
+	if _, _, err := s.Close("filler"); err != nil {
+		t.Fatal(err)
+	}
+	_ = ticketB
+	found := false
+	for _, e := range s.Events() {
+		if e.Kind == EvRescue && e.Container == "B" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no rescue event logged")
+	}
+}
+
+// stalledSetupFT builds the wedge scenario with fault tolerance on.
+func stalledSetupFT(t *testing.T) (*State, Ticket, Ticket) {
+	t.Helper()
+	s, err := New(Config{
+		Capacity:        mib(1000),
+		ContextOverhead: 1,
+		Algorithm:       RecentUse{},
+		FaultTolerant:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustRegister(t, s, "filler", mib(500))
+	mustAlloc(t, s, "filler", 9, mib(450))
+	mustRegister(t, s, "B", mib(900))
+	mustAlloc(t, s, "B", 1, mib(400))
+	resB, _ := s.RequestAlloc("B", 1, mib(480))
+	mustRegister(t, s, "C", mib(900))
+	resC, _ := s.RequestAlloc("C", 2, mib(600))
+	if resB.Decision != Suspend || resC.Decision != Suspend {
+		t.Fatalf("setup decisions: %v/%v", resB.Decision, resC.Decision)
+	}
+	return s, resB.Ticket, resC.Ticket
+}

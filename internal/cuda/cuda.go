@@ -1,0 +1,239 @@
+// Package cuda simulates the CUDA Runtime API surface that ConVGPU's
+// wrapper module covers (paper Table II) plus the calls the evaluation
+// workloads need (memcpy, kernel launch, synchronization).
+//
+// In the real system each container process dynamically links
+// libcudart.so and the wrapper library overrides a subset of its symbols
+// via LD_PRELOAD. Here the same seam is expressed as an interface: user
+// programs call through API, the plain Runtime implements it against the
+// simulated device, and the wrapper module (package wrapper) implements
+// the same interface by interposing on a Runtime — the Go analogue of
+// symbol interposition, preserving the property the paper highlights:
+// only the hooked entry points are replaced, everything else passes
+// through untouched.
+package cuda
+
+import (
+	"fmt"
+	"time"
+
+	"convgpu/internal/bytesize"
+	"convgpu/internal/gpu"
+)
+
+// DevPtr is a device pointer as returned by the allocation APIs.
+type DevPtr uint64
+
+// Error is a cudaError_t. The zero value is cudaSuccess; non-zero values
+// implement the error interface so Go callers use the usual err != nil.
+type Error int
+
+// CUDA error codes used by the simulation (CUDA 8 numbering).
+const (
+	Success                   Error = 0
+	ErrorMemoryAllocation     Error = 2
+	ErrorInitializationError  Error = 3
+	ErrorInvalidValue         Error = 11
+	ErrorInvalidDevicePointer Error = 17
+	ErrorUnknown              Error = 30
+)
+
+func (e Error) Error() string {
+	switch e {
+	case Success:
+		return "cudaSuccess"
+	case ErrorMemoryAllocation:
+		return "cudaErrorMemoryAllocation"
+	case ErrorInitializationError:
+		return "cudaErrorInitializationError"
+	case ErrorInvalidValue:
+		return "cudaErrorInvalidValue"
+	case ErrorInvalidDevicePointer:
+		return "cudaErrorInvalidDevicePointer"
+	default:
+		return fmt.Sprintf("cudaError(%d)", int(e))
+	}
+}
+
+// FromDevice maps simulated-device failures to CUDA error codes.
+func FromDevice(err error) error {
+	switch err {
+	case nil:
+		return nil
+	case gpu.ErrOutOfMemory:
+		return ErrorMemoryAllocation
+	case gpu.ErrInvalidValue:
+		return ErrorInvalidValue
+	case gpu.ErrInvalidDevicePointer:
+		return ErrorInvalidDevicePointer
+	case gpu.ErrNoContext:
+		return ErrorInitializationError
+	default:
+		return ErrorUnknown
+	}
+}
+
+// MemcpyKind mirrors cudaMemcpyKind.
+type MemcpyKind int
+
+// Transfer directions.
+const (
+	MemcpyHostToDevice   MemcpyKind = 1
+	MemcpyDeviceToHost   MemcpyKind = 2
+	MemcpyDeviceToDevice MemcpyKind = 3
+)
+
+// Kernel describes a launch: a name for diagnostics and the simulated
+// execution duration standing in for the kernel's real work.
+type Kernel struct {
+	Name     string
+	Duration time.Duration
+}
+
+// Extent is a cudaExtent: the dimensions of a 3D allocation in bytes
+// (width) and elements (height, depth).
+type Extent struct {
+	Width  bytesize.Size
+	Height int64
+	Depth  int64
+}
+
+// PitchedPtr is a cudaPitchedPtr: the result of cudaMalloc3D.
+type PitchedPtr struct {
+	Ptr   DevPtr
+	Pitch bytesize.Size
+}
+
+// API is the CUDA Runtime surface visible to user programs. The methods
+// marked (Table II) are the ones the ConVGPU wrapper module intercepts.
+type API interface {
+	// Malloc is cudaMalloc (Table II).
+	Malloc(size bytesize.Size) (DevPtr, error)
+	// MallocManaged is cudaMallocManaged (Table II).
+	MallocManaged(size bytesize.Size) (DevPtr, error)
+	// MallocPitch is cudaMallocPitch (Table II).
+	MallocPitch(width, height bytesize.Size) (DevPtr, bytesize.Size, error)
+	// Malloc3D is cudaMalloc3D (Table II).
+	Malloc3D(extent Extent) (PitchedPtr, error)
+	// Free is cudaFree (Table II).
+	Free(ptr DevPtr) error
+	// MemGetInfo is cudaMemGetInfo (Table II).
+	MemGetInfo() (free, total bytesize.Size, err error)
+	// GetDeviceProperties is cudaGetDeviceProperties (Table II).
+	GetDeviceProperties() (gpu.Properties, error)
+	// Memcpy is cudaMemcpy; devPtr addresses the device side of the copy.
+	Memcpy(devPtr DevPtr, size bytesize.Size, kind MemcpyKind) error
+	// LaunchKernel stands in for the <<<>>> launch of a compiled kernel.
+	LaunchKernel(k Kernel, stream int) error
+	// DeviceSynchronize is cudaDeviceSynchronize.
+	DeviceSynchronize() error
+	// UnregisterFatBinary is __cudaUnregisterFatBinary (Table II): the
+	// implicit call the runtime makes when the process exits.
+	UnregisterFatBinary() error
+}
+
+// Runtime is the un-intercepted CUDA runtime bound to one process: the
+// "original CUDA API" the wrapper module forwards to.
+type Runtime struct {
+	dev     *gpu.Device
+	pid     int
+	streams streamState
+}
+
+// NewRuntime binds a process to the device, as linking libcudart does.
+func NewRuntime(dev *gpu.Device, pid int) *Runtime {
+	return &Runtime{dev: dev, pid: pid}
+}
+
+// now reads the device clock (virtual in simulations).
+func (r *Runtime) now() time.Time { return r.dev.Clock().Now() }
+
+// PID returns the owning process id.
+func (r *Runtime) PID() int { return r.pid }
+
+// Device exposes the underlying simulated device (used by tests).
+func (r *Runtime) Device() *gpu.Device { return r.dev }
+
+// Malloc implements API.
+func (r *Runtime) Malloc(size bytesize.Size) (DevPtr, error) {
+	addr, err := r.dev.Alloc(r.pid, size)
+	return DevPtr(addr), FromDevice(err)
+}
+
+// MallocManaged implements API.
+func (r *Runtime) MallocManaged(size bytesize.Size) (DevPtr, error) {
+	addr, err := r.dev.AllocManaged(r.pid, size)
+	return DevPtr(addr), FromDevice(err)
+}
+
+// MallocPitch implements API.
+func (r *Runtime) MallocPitch(width, height bytesize.Size) (DevPtr, bytesize.Size, error) {
+	addr, pitch, err := r.dev.AllocPitch(r.pid, width, height)
+	return DevPtr(addr), pitch, FromDevice(err)
+}
+
+// Malloc3D implements API. A 3D allocation is a pitched allocation of
+// height*depth rows.
+func (r *Runtime) Malloc3D(extent Extent) (PitchedPtr, error) {
+	if extent.Width <= 0 || extent.Height <= 0 || extent.Depth <= 0 {
+		return PitchedPtr{}, ErrorInvalidValue
+	}
+	rows := bytesize.Size(extent.Height * extent.Depth)
+	addr, pitch, err := r.dev.AllocPitch(r.pid, extent.Width, rows)
+	if err != nil {
+		return PitchedPtr{}, FromDevice(err)
+	}
+	return PitchedPtr{Ptr: DevPtr(addr), Pitch: pitch}, nil
+}
+
+// Free implements API.
+func (r *Runtime) Free(ptr DevPtr) error {
+	_, err := r.dev.Free(r.pid, uint64(ptr))
+	return FromDevice(err)
+}
+
+// MemGetInfo implements API: the raw device view.
+func (r *Runtime) MemGetInfo() (free, total bytesize.Size, err error) {
+	free, total = r.dev.MemInfo()
+	return free, total, nil
+}
+
+// GetDeviceProperties implements API.
+func (r *Runtime) GetDeviceProperties() (gpu.Properties, error) {
+	return r.dev.Properties(), nil
+}
+
+// Memcpy implements API.
+func (r *Runtime) Memcpy(devPtr DevPtr, size bytesize.Size, kind MemcpyKind) error {
+	switch kind {
+	case MemcpyHostToDevice, MemcpyDeviceToHost, MemcpyDeviceToDevice:
+	default:
+		return ErrorInvalidValue
+	}
+	return FromDevice(r.dev.Memcpy(r.pid, uint64(devPtr), size))
+}
+
+// LaunchKernel implements API.
+func (r *Runtime) LaunchKernel(k Kernel, stream int) error {
+	return FromDevice(r.dev.Launch(r.pid, stream, k.Duration))
+}
+
+// DeviceSynchronize implements API.
+func (r *Runtime) DeviceSynchronize() error {
+	r.dev.Synchronize(r.pid)
+	return nil
+}
+
+// UnregisterFatBinary implements API: it tears down the process context,
+// releasing everything the process still holds (leaks included).
+func (r *Runtime) UnregisterFatBinary() error {
+	_, err := r.dev.DestroyContext(r.pid)
+	if err == gpu.ErrNoContext {
+		// The process never touched the device; unregistering is a no-op,
+		// matching a CUDA program that exits before any API call.
+		return nil
+	}
+	return FromDevice(err)
+}
+
+var _ API = (*Runtime)(nil)

@@ -1,0 +1,203 @@
+package cuda
+
+import (
+	"errors"
+	"testing"
+
+	"convgpu/internal/bytesize"
+	"convgpu/internal/gpu"
+)
+
+func newRT(pid int) *Runtime {
+	return NewRuntime(gpu.New(gpu.K20m()), pid)
+}
+
+func TestErrorStrings(t *testing.T) {
+	cases := map[Error]string{
+		Success:                   "cudaSuccess",
+		ErrorMemoryAllocation:     "cudaErrorMemoryAllocation",
+		ErrorInitializationError:  "cudaErrorInitializationError",
+		ErrorInvalidValue:         "cudaErrorInvalidValue",
+		ErrorInvalidDevicePointer: "cudaErrorInvalidDevicePointer",
+		Error(99):                 "cudaError(99)",
+	}
+	for e, want := range cases {
+		if got := e.Error(); got != want {
+			t.Errorf("Error(%d).Error() = %q, want %q", int(e), got, want)
+		}
+	}
+}
+
+func TestFromDevice(t *testing.T) {
+	cases := []struct {
+		in   error
+		want error
+	}{
+		{nil, nil},
+		{gpu.ErrOutOfMemory, ErrorMemoryAllocation},
+		{gpu.ErrInvalidValue, ErrorInvalidValue},
+		{gpu.ErrInvalidDevicePointer, ErrorInvalidDevicePointer},
+		{gpu.ErrNoContext, ErrorInitializationError},
+		{errors.New("weird"), ErrorUnknown},
+	}
+	for _, c := range cases {
+		if got := FromDevice(c.in); got != c.want {
+			t.Errorf("FromDevice(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestMallocFree(t *testing.T) {
+	rt := newRT(1)
+	ptr, err := rt.Malloc(bytesize.MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ptr == 0 {
+		t.Fatal("Malloc returned null pointer")
+	}
+	if err := rt.Free(ptr); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Free(ptr); err != ErrorInvalidDevicePointer {
+		t.Fatalf("double Free err = %v, want cudaErrorInvalidDevicePointer", err)
+	}
+}
+
+func TestMallocOOM(t *testing.T) {
+	rt := newRT(1)
+	if _, err := rt.Malloc(6 * bytesize.GiB); err != ErrorMemoryAllocation {
+		t.Fatalf("oversized Malloc err = %v, want cudaErrorMemoryAllocation", err)
+	}
+}
+
+func TestMallocPitch(t *testing.T) {
+	rt := newRT(1)
+	ptr, pitch, err := rt.MallocPitch(100, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pitch != 512 {
+		t.Fatalf("pitch = %v, want 512 (K20m alignment)", pitch)
+	}
+	size, _, ok := rt.Device().Lookup(uint64(ptr))
+	if !ok || size != 512*8 {
+		t.Fatalf("pitched consumption = %v (ok=%v), want 4096", size, ok)
+	}
+}
+
+func TestMalloc3D(t *testing.T) {
+	rt := newRT(1)
+	pp, err := rt.Malloc3D(Extent{Width: 100, Height: 4, Depth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pp.Pitch != 512 {
+		t.Fatalf("3D pitch = %v, want 512", pp.Pitch)
+	}
+	size, _, _ := rt.Device().Lookup(uint64(pp.Ptr))
+	if size != 512*4*3 {
+		t.Fatalf("3D consumption = %v, want %v", size, 512*4*3)
+	}
+	if _, err := rt.Malloc3D(Extent{Width: 100, Height: 0, Depth: 3}); err != ErrorInvalidValue {
+		t.Fatalf("degenerate extent err = %v, want cudaErrorInvalidValue", err)
+	}
+}
+
+func TestMallocManagedRounding(t *testing.T) {
+	rt := newRT(1)
+	ptr, err := rt.MallocManaged(bytesize.MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size, _, _ := rt.Device().Lookup(uint64(ptr))
+	if size != 128*bytesize.MiB {
+		t.Fatalf("managed consumption = %v, want 128MiB", size)
+	}
+}
+
+func TestMemGetInfo(t *testing.T) {
+	rt := newRT(1)
+	free, total, err := rt.MemGetInfo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 5*bytesize.GiB || free != total {
+		t.Fatalf("MemGetInfo = (%v,%v)", free, total)
+	}
+}
+
+func TestGetDeviceProperties(t *testing.T) {
+	rt := newRT(1)
+	p, err := rt.GetDeviceProperties()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "Tesla K20m" {
+		t.Fatalf("device name = %q", p.Name)
+	}
+}
+
+func TestMemcpy(t *testing.T) {
+	rt := newRT(1)
+	ptr, err := rt.Malloc(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Memcpy(ptr, 4096, MemcpyHostToDevice); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Memcpy(ptr, 4096, MemcpyDeviceToHost); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Memcpy(ptr, 4096, MemcpyKind(0)); err != ErrorInvalidValue {
+		t.Fatalf("bad kind err = %v, want cudaErrorInvalidValue", err)
+	}
+	if err := rt.Memcpy(ptr+1, 1, MemcpyHostToDevice); err != ErrorInvalidDevicePointer {
+		t.Fatalf("bad ptr err = %v, want cudaErrorInvalidDevicePointer", err)
+	}
+}
+
+func TestLaunchAndSynchronize(t *testing.T) {
+	rt := newRT(1)
+	if err := rt.LaunchKernel(Kernel{Name: "complement", Duration: 0}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.DeviceSynchronize(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnregisterFatBinaryReleasesLeaks(t *testing.T) {
+	rt := newRT(1)
+	if _, err := rt.Malloc(bytesize.GiB); err != nil {
+		t.Fatal(err) // deliberately leaked
+	}
+	if err := rt.UnregisterFatBinary(); err != nil {
+		t.Fatal(err)
+	}
+	if used := rt.Device().Used(); used != 0 {
+		t.Fatalf("device Used = %v after UnregisterFatBinary, want 0", used)
+	}
+	// Unregistering a process that never touched the device is a no-op.
+	rt2 := NewRuntime(rt.Device(), 2)
+	if err := rt2.UnregisterFatBinary(); err != nil {
+		t.Fatalf("no-op UnregisterFatBinary err = %v", err)
+	}
+}
+
+func TestTwoProcessesIsolated(t *testing.T) {
+	dev := gpu.New(gpu.K20m())
+	a := NewRuntime(dev, 1)
+	b := NewRuntime(dev, 2)
+	pa, err := a.Malloc(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Free(pa); err != ErrorInvalidDevicePointer {
+		t.Fatalf("cross-process Free err = %v, want cudaErrorInvalidDevicePointer", err)
+	}
+	if err := a.Free(pa); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,269 @@
+package cuda
+
+import (
+	"fmt"
+	"sync"
+
+	"convgpu/internal/bytesize"
+	"convgpu/internal/gpu"
+)
+
+// The paper (§III-C) stresses that the wrapper module "can cover both
+// CUDA Driver API and Runtime API": programs using the low-level driver
+// interface (cuMemAlloc, explicit contexts) are managed exactly like
+// Runtime-API programs. This file provides that driver surface over the
+// same simulated device, with the Driver API's distinctive semantics:
+// explicit initialization (cuInit), explicit context lifecycle
+// (cuCtxCreate/cuCtxDestroy), and CUresult error codes.
+
+// CUresult is the Driver API's error type. Zero is CUDA_SUCCESS;
+// non-zero values implement error.
+type CUresult int
+
+// Driver API result codes (CUDA 8 numbering).
+const (
+	CUDASuccess             CUresult = 0
+	CUDAErrorInvalidValue   CUresult = 1
+	CUDAErrorOutOfMemory    CUresult = 2
+	CUDAErrorNotInitialized CUresult = 3
+	CUDAErrorDeinitialized  CUresult = 4
+	CUDAErrorInvalidContext CUresult = 201
+)
+
+func (r CUresult) Error() string {
+	switch r {
+	case CUDASuccess:
+		return "CUDA_SUCCESS"
+	case CUDAErrorInvalidValue:
+		return "CUDA_ERROR_INVALID_VALUE"
+	case CUDAErrorOutOfMemory:
+		return "CUDA_ERROR_OUT_OF_MEMORY"
+	case CUDAErrorNotInitialized:
+		return "CUDA_ERROR_NOT_INITIALIZED"
+	case CUDAErrorDeinitialized:
+		return "CUDA_ERROR_DEINITIALIZED"
+	case CUDAErrorInvalidContext:
+		return "CUDA_ERROR_INVALID_CONTEXT"
+	default:
+		return fmt.Sprintf("CUresult(%d)", int(r))
+	}
+}
+
+// driverResult maps simulated-device failures to CUresult codes.
+func driverResult(err error) error {
+	switch err {
+	case nil:
+		return nil
+	case gpu.ErrOutOfMemory:
+		return CUDAErrorOutOfMemory
+	case gpu.ErrInvalidValue, gpu.ErrInvalidDevicePointer:
+		return CUDAErrorInvalidValue
+	case gpu.ErrNoContext:
+		return CUDAErrorInvalidContext
+	default:
+		return CUDAErrorInvalidValue
+	}
+}
+
+// DriverAPI is the Driver-API surface visible to user programs. The
+// wrapper's DriverModule interposes on MemAlloc, MemFree, MemGetInfo and
+// CtxDestroy, mirroring its Runtime-API coverage.
+type DriverAPI interface {
+	// Init is cuInit: mandatory before any other call. flags must be 0.
+	Init(flags uint) error
+	// DeviceGet is cuDeviceGet; only ordinal 0 exists.
+	DeviceGet(ordinal int) (DeviceHandle, error)
+	// DeviceTotalMem is cuDeviceTotalMem.
+	DeviceTotalMem(dev DeviceHandle) (bytesize.Size, error)
+	// CtxCreate is cuCtxCreate: the explicit context the Driver API
+	// requires ("Driver API can perform fine-grained context control").
+	CtxCreate(dev DeviceHandle) error
+	// CtxDestroy is cuCtxDestroy: tears the context down, releasing all
+	// of the process's device memory.
+	CtxDestroy() error
+	// MemAlloc is cuMemAlloc.
+	MemAlloc(size bytesize.Size) (DevPtr, error)
+	// MemFree is cuMemFree.
+	MemFree(ptr DevPtr) error
+	// MemGetInfo is cuMemGetInfo.
+	MemGetInfo() (free, total bytesize.Size, err error)
+	// MemcpyHtoD / MemcpyDtoH are the synchronous copies.
+	MemcpyHtoD(dst DevPtr, size bytesize.Size) error
+	MemcpyDtoH(src DevPtr, size bytesize.Size) error
+	// LaunchKernel is cuLaunchKernel.
+	LaunchKernel(k Kernel, stream int) error
+	// CtxSynchronize is cuCtxSynchronize.
+	CtxSynchronize() error
+}
+
+// DeviceHandle is a CUdevice.
+type DeviceHandle int
+
+// Driver is the un-intercepted Driver API bound to one process.
+type Driver struct {
+	dev *gpu.Device
+	pid int
+
+	mu          sync.Mutex
+	initialized bool
+	ctxLive     bool
+}
+
+// NewDriver binds a process to the device at the driver level.
+func NewDriver(dev *gpu.Device, pid int) *Driver {
+	return &Driver{dev: dev, pid: pid}
+}
+
+// PID returns the owning process id.
+func (d *Driver) PID() int { return d.pid }
+
+// Device exposes the underlying simulated device (tests).
+func (d *Driver) Device() *gpu.Device { return d.dev }
+
+// Init implements DriverAPI.
+func (d *Driver) Init(flags uint) error {
+	if flags != 0 {
+		return CUDAErrorInvalidValue
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.initialized = true
+	return nil
+}
+
+func (d *Driver) requireInit() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.initialized {
+		return CUDAErrorNotInitialized
+	}
+	return nil
+}
+
+func (d *Driver) requireCtx() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.initialized {
+		return CUDAErrorNotInitialized
+	}
+	if !d.ctxLive {
+		return CUDAErrorInvalidContext
+	}
+	return nil
+}
+
+// DeviceGet implements DriverAPI.
+func (d *Driver) DeviceGet(ordinal int) (DeviceHandle, error) {
+	if err := d.requireInit(); err != nil {
+		return 0, err
+	}
+	if ordinal != 0 {
+		return 0, CUDAErrorInvalidValue
+	}
+	return DeviceHandle(0), nil
+}
+
+// DeviceTotalMem implements DriverAPI.
+func (d *Driver) DeviceTotalMem(dev DeviceHandle) (bytesize.Size, error) {
+	if err := d.requireInit(); err != nil {
+		return 0, err
+	}
+	if dev != 0 {
+		return 0, CUDAErrorInvalidValue
+	}
+	return d.dev.Properties().TotalGlobalMem, nil
+}
+
+// CtxCreate implements DriverAPI.
+func (d *Driver) CtxCreate(dev DeviceHandle) error {
+	if err := d.requireInit(); err != nil {
+		return err
+	}
+	if dev != 0 {
+		return CUDAErrorInvalidValue
+	}
+	if _, err := d.dev.EnsureContext(d.pid); err != nil {
+		return driverResult(err)
+	}
+	d.mu.Lock()
+	d.ctxLive = true
+	d.mu.Unlock()
+	return nil
+}
+
+// CtxDestroy implements DriverAPI.
+func (d *Driver) CtxDestroy() error {
+	if err := d.requireCtx(); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	d.ctxLive = false
+	d.mu.Unlock()
+	if _, err := d.dev.DestroyContext(d.pid); err != nil && err != gpu.ErrNoContext {
+		return driverResult(err)
+	}
+	return nil
+}
+
+// MemAlloc implements DriverAPI. Unlike cudaMalloc, there is no implicit
+// context creation: the Driver API demands the explicit cuCtxCreate.
+func (d *Driver) MemAlloc(size bytesize.Size) (DevPtr, error) {
+	if err := d.requireCtx(); err != nil {
+		return 0, err
+	}
+	addr, err := d.dev.Alloc(d.pid, size)
+	return DevPtr(addr), driverResult(err)
+}
+
+// MemFree implements DriverAPI.
+func (d *Driver) MemFree(ptr DevPtr) error {
+	if err := d.requireCtx(); err != nil {
+		return err
+	}
+	_, err := d.dev.Free(d.pid, uint64(ptr))
+	return driverResult(err)
+}
+
+// MemGetInfo implements DriverAPI.
+func (d *Driver) MemGetInfo() (free, total bytesize.Size, err error) {
+	if err := d.requireCtx(); err != nil {
+		return 0, 0, err
+	}
+	free, total = d.dev.MemInfo()
+	return free, total, nil
+}
+
+// MemcpyHtoD implements DriverAPI.
+func (d *Driver) MemcpyHtoD(dst DevPtr, size bytesize.Size) error {
+	if err := d.requireCtx(); err != nil {
+		return err
+	}
+	return driverResult(d.dev.Memcpy(d.pid, uint64(dst), size))
+}
+
+// MemcpyDtoH implements DriverAPI.
+func (d *Driver) MemcpyDtoH(src DevPtr, size bytesize.Size) error {
+	if err := d.requireCtx(); err != nil {
+		return err
+	}
+	return driverResult(d.dev.Memcpy(d.pid, uint64(src), size))
+}
+
+// LaunchKernel implements DriverAPI.
+func (d *Driver) LaunchKernel(k Kernel, stream int) error {
+	if err := d.requireCtx(); err != nil {
+		return err
+	}
+	return driverResult(d.dev.Launch(d.pid, stream, k.Duration))
+}
+
+// CtxSynchronize implements DriverAPI.
+func (d *Driver) CtxSynchronize() error {
+	if err := d.requireCtx(); err != nil {
+		return err
+	}
+	d.dev.Synchronize(d.pid)
+	return nil
+}
+
+var _ DriverAPI = (*Driver)(nil)

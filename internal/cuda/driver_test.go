@@ -1,0 +1,151 @@
+package cuda
+
+import (
+	"testing"
+
+	"convgpu/internal/bytesize"
+	"convgpu/internal/gpu"
+)
+
+func newDriver(t *testing.T) *Driver {
+	t.Helper()
+	return NewDriver(gpu.New(gpu.K20m()), 77)
+}
+
+func TestCUresultStrings(t *testing.T) {
+	cases := map[CUresult]string{
+		CUDASuccess:             "CUDA_SUCCESS",
+		CUDAErrorInvalidValue:   "CUDA_ERROR_INVALID_VALUE",
+		CUDAErrorOutOfMemory:    "CUDA_ERROR_OUT_OF_MEMORY",
+		CUDAErrorNotInitialized: "CUDA_ERROR_NOT_INITIALIZED",
+		CUDAErrorDeinitialized:  "CUDA_ERROR_DEINITIALIZED",
+		CUDAErrorInvalidContext: "CUDA_ERROR_INVALID_CONTEXT",
+		CUresult(999):           "CUresult(999)",
+	}
+	for r, want := range cases {
+		if got := r.Error(); got != want {
+			t.Errorf("CUresult(%d) = %q, want %q", int(r), got, want)
+		}
+	}
+}
+
+func TestDriverRequiresInit(t *testing.T) {
+	d := newDriver(t)
+	if _, err := d.DeviceGet(0); err != CUDAErrorNotInitialized {
+		t.Fatalf("DeviceGet before cuInit: %v", err)
+	}
+	if err := d.CtxCreate(0); err != CUDAErrorNotInitialized {
+		t.Fatalf("CtxCreate before cuInit: %v", err)
+	}
+	if err := d.Init(1); err != CUDAErrorInvalidValue {
+		t.Fatalf("cuInit(1): %v, want invalid value", err)
+	}
+	if err := d.Init(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.DeviceGet(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.DeviceGet(3); err != CUDAErrorInvalidValue {
+		t.Fatalf("DeviceGet(3): %v", err)
+	}
+}
+
+func TestDriverRequiresContext(t *testing.T) {
+	d := newDriver(t)
+	if err := d.Init(0); err != nil {
+		t.Fatal(err)
+	}
+	// Unlike the Runtime API, no implicit context: allocation fails.
+	if _, err := d.MemAlloc(4096); err != CUDAErrorInvalidContext {
+		t.Fatalf("MemAlloc without ctx: %v", err)
+	}
+	if err := d.CtxSynchronize(); err != CUDAErrorInvalidContext {
+		t.Fatalf("CtxSynchronize without ctx: %v", err)
+	}
+	if err := d.CtxCreate(0); err != nil {
+		t.Fatal(err)
+	}
+	ptr, err := d.MemAlloc(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.MemFree(ptr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDriverLifecycleAndLeaks(t *testing.T) {
+	d := newDriver(t)
+	d.Init(0)
+	if err := d.CtxCreate(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.MemAlloc(bytesize.GiB); err != nil {
+		t.Fatal(err) // leaked deliberately
+	}
+	if err := d.CtxDestroy(); err != nil {
+		t.Fatal(err)
+	}
+	if used := d.Device().Used(); used != 0 {
+		t.Fatalf("device used = %v after cuCtxDestroy", used)
+	}
+	// Context gone: operations fail again.
+	if _, err := d.MemAlloc(1); err != CUDAErrorInvalidContext {
+		t.Fatalf("MemAlloc after destroy: %v", err)
+	}
+	if err := d.CtxDestroy(); err != CUDAErrorInvalidContext {
+		t.Fatalf("double CtxDestroy: %v", err)
+	}
+}
+
+func TestDriverMemOps(t *testing.T) {
+	d := newDriver(t)
+	d.Init(0)
+	d.CtxCreate(0)
+	total, err := d.DeviceTotalMem(0)
+	if err != nil || total != 5*bytesize.GiB {
+		t.Fatalf("DeviceTotalMem = (%v,%v)", total, err)
+	}
+	if _, err := d.DeviceTotalMem(1); err != CUDAErrorInvalidValue {
+		t.Fatalf("DeviceTotalMem(1): %v", err)
+	}
+	free, tot, err := d.MemGetInfo()
+	if err != nil || tot != 5*bytesize.GiB || free >= tot {
+		t.Fatalf("MemGetInfo = (%v,%v,%v)", free, tot, err) // ctx overhead consumed
+	}
+	ptr, err := d.MemAlloc(bytesize.MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.MemcpyHtoD(ptr, bytesize.MiB); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.MemcpyDtoH(ptr, bytesize.MiB); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.MemcpyHtoD(ptr+1, 1); err != CUDAErrorInvalidValue {
+		t.Fatalf("bogus HtoD: %v", err)
+	}
+	if err := d.LaunchKernel(Kernel{Name: "k"}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.CtxSynchronize(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.MemFree(ptr); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.MemFree(ptr); err != CUDAErrorInvalidValue {
+		t.Fatalf("double MemFree: %v", err)
+	}
+}
+
+func TestDriverOOM(t *testing.T) {
+	d := newDriver(t)
+	d.Init(0)
+	d.CtxCreate(0)
+	if _, err := d.MemAlloc(6 * bytesize.GiB); err != CUDAErrorOutOfMemory {
+		t.Fatalf("oversized MemAlloc: %v", err)
+	}
+}

@@ -1,0 +1,183 @@
+package cuda
+
+import (
+	"sync"
+	"time"
+
+	"convgpu/internal/bytesize"
+)
+
+// Streams and events: the part of the Runtime API that makes the K20m's
+// Hyper-Q visible to programs ("it can run multiple GPU kernels
+// concurrently up to 32 kernels", paper §IV-A). None of these entry
+// points are in Table II — ConVGPU deliberately leaves execution
+// untouched and manages memory only — so the wrapper forwards them
+// verbatim (see package wrapper).
+
+// StreamAPI is the optional stream/event surface. Runtime implements
+// it; the wrapper module forwards it.
+type StreamAPI interface {
+	// StreamCreate is cudaStreamCreate; it returns a stream id distinct
+	// from the default stream 0.
+	StreamCreate() (int, error)
+	// StreamDestroy is cudaStreamDestroy.
+	StreamDestroy(stream int) error
+	// StreamSynchronize is cudaStreamSynchronize.
+	StreamSynchronize(stream int) error
+	// MemcpyAsync is cudaMemcpyAsync: the transfer is queued on the
+	// stream and the call returns immediately.
+	MemcpyAsync(devPtr DevPtr, size bytesize.Size, kind MemcpyKind, stream int) error
+	// EventCreate is cudaEventCreate.
+	EventCreate() (*Event, error)
+	// EventRecord is cudaEventRecord: the event completes when the work
+	// queued on the stream before it drains.
+	EventRecord(ev *Event, stream int) error
+	// EventSynchronize is cudaEventSynchronize.
+	EventSynchronize(ev *Event) error
+	// EventElapsed is cudaEventElapsedTime.
+	EventElapsed(start, end *Event) (time.Duration, error)
+}
+
+// Event is a cudaEvent_t.
+type Event struct {
+	mu       sync.Mutex
+	recorded bool
+	at       time.Time
+}
+
+// streamState tracks the runtime's created streams.
+type streamState struct {
+	mu      sync.Mutex
+	nextID  int
+	created map[int]bool
+}
+
+func (s *streamState) create() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.created == nil {
+		s.created = make(map[int]bool)
+	}
+	s.nextID++
+	s.created[s.nextID] = true
+	return s.nextID
+}
+
+func (s *streamState) valid(stream int) bool {
+	if stream == 0 {
+		return true // the default stream always exists
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.created[stream]
+}
+
+func (s *streamState) destroy(stream int) bool {
+	if stream == 0 {
+		return false // the default stream cannot be destroyed
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.created[stream] {
+		return false
+	}
+	delete(s.created, stream)
+	return true
+}
+
+// StreamCreate implements StreamAPI.
+func (r *Runtime) StreamCreate() (int, error) {
+	if _, err := r.dev.EnsureContext(r.pid); err != nil {
+		return 0, FromDevice(err)
+	}
+	return r.streams.create(), nil
+}
+
+// StreamDestroy implements StreamAPI. Destroying a stream with pending
+// work is legal in CUDA (the work completes); here the stream id simply
+// becomes invalid for new submissions.
+func (r *Runtime) StreamDestroy(stream int) error {
+	if !r.streams.destroy(stream) {
+		return ErrorInvalidValue
+	}
+	return nil
+}
+
+// StreamSynchronize implements StreamAPI.
+func (r *Runtime) StreamSynchronize(stream int) error {
+	if !r.streams.valid(stream) {
+		return ErrorInvalidValue
+	}
+	r.dev.SynchronizeStream(r.pid, stream)
+	return nil
+}
+
+// MemcpyAsync implements StreamAPI.
+func (r *Runtime) MemcpyAsync(devPtr DevPtr, size bytesize.Size, kind MemcpyKind, stream int) error {
+	switch kind {
+	case MemcpyHostToDevice, MemcpyDeviceToHost, MemcpyDeviceToDevice:
+	default:
+		return ErrorInvalidValue
+	}
+	if !r.streams.valid(stream) {
+		return ErrorInvalidValue
+	}
+	return FromDevice(r.dev.EnqueueCopy(r.pid, uint64(devPtr), size, stream))
+}
+
+// EventCreate implements StreamAPI.
+func (r *Runtime) EventCreate() (*Event, error) {
+	return &Event{}, nil
+}
+
+// EventRecord implements StreamAPI.
+func (r *Runtime) EventRecord(ev *Event, stream int) error {
+	if ev == nil || !r.streams.valid(stream) {
+		return ErrorInvalidValue
+	}
+	at := r.dev.StreamDrainTime(r.pid, stream)
+	if at.IsZero() {
+		at = r.now()
+	}
+	ev.mu.Lock()
+	ev.recorded = true
+	ev.at = at
+	ev.mu.Unlock()
+	return nil
+}
+
+// EventSynchronize implements StreamAPI.
+func (r *Runtime) EventSynchronize(ev *Event) error {
+	if ev == nil {
+		return ErrorInvalidValue
+	}
+	ev.mu.Lock()
+	recorded, at := ev.recorded, ev.at
+	ev.mu.Unlock()
+	if !recorded {
+		return ErrorInvalidValue
+	}
+	if wait := at.Sub(r.now()); wait > 0 {
+		r.dev.Clock().Sleep(wait)
+	}
+	return nil
+}
+
+// EventElapsed implements StreamAPI.
+func (r *Runtime) EventElapsed(start, end *Event) (time.Duration, error) {
+	if start == nil || end == nil {
+		return 0, ErrorInvalidValue
+	}
+	start.mu.Lock()
+	sRec, sAt := start.recorded, start.at
+	start.mu.Unlock()
+	end.mu.Lock()
+	eRec, eAt := end.recorded, end.at
+	end.mu.Unlock()
+	if !sRec || !eRec {
+		return 0, ErrorInvalidValue
+	}
+	return eAt.Sub(sAt), nil
+}
+
+var _ StreamAPI = (*Runtime)(nil)

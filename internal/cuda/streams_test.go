@@ -1,0 +1,205 @@
+package cuda
+
+import (
+	"testing"
+	"time"
+
+	"convgpu/internal/bytesize"
+	"convgpu/internal/clock"
+	"convgpu/internal/gpu"
+)
+
+// virtualRT builds a runtime on a virtual clock so stream timing is
+// deterministic.
+func virtualRT(t *testing.T) (*Runtime, *clock.Manual) {
+	t.Helper()
+	clk := clock.NewManual()
+	dev := gpu.New(gpu.K20m(), gpu.WithLatency(gpu.Latency{}, clk))
+	return NewRuntime(dev, 5), clk
+}
+
+func TestStreamCreateDestroy(t *testing.T) {
+	rt, _ := virtualRT(t)
+	s1, err := rt.StreamCreate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := rt.StreamCreate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 == s2 || s1 == 0 || s2 == 0 {
+		t.Fatalf("stream ids: %d, %d", s1, s2)
+	}
+	if err := rt.StreamDestroy(s1); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.StreamDestroy(s1); err != ErrorInvalidValue {
+		t.Fatalf("double destroy: %v", err)
+	}
+	if err := rt.StreamDestroy(0); err != ErrorInvalidValue {
+		t.Fatalf("destroying the default stream: %v", err)
+	}
+	// Operations on a destroyed stream fail.
+	if err := rt.StreamSynchronize(s1); err != ErrorInvalidValue {
+		t.Fatalf("sync on destroyed stream: %v", err)
+	}
+}
+
+func TestStreamsOverlapKernels(t *testing.T) {
+	rt, clk := virtualRT(t)
+	s1, _ := rt.StreamCreate()
+	s2, _ := rt.StreamCreate()
+	// Two 10 s kernels on different streams overlap (Hyper-Q); the
+	// device drains at +10 s, not +20 s.
+	if err := rt.LaunchKernel(Kernel{Name: "a", Duration: 10 * time.Second}, s1); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.LaunchKernel(Kernel{Name: "b", Duration: 10 * time.Second}, s2); err != nil {
+		t.Fatal(err)
+	}
+	end, _ := rt.EventCreate()
+	if err := rt.EventRecord(end, s1); err != nil {
+		t.Fatal(err)
+	}
+	if want := clock.Epoch.Add(10 * time.Second); !end.at.Equal(want) {
+		t.Fatalf("stream 1 drains at %v, want %v (overlapped)", end.at, want)
+	}
+	end2, _ := rt.EventCreate()
+	rt.EventRecord(end2, s2)
+	if want := clock.Epoch.Add(10 * time.Second); !end2.at.Equal(want) {
+		t.Fatalf("stream 2 drains at %v, want %v", end2.at, want)
+	}
+	_ = clk
+}
+
+func TestEventElapsedMeasuresKernelTime(t *testing.T) {
+	rt, _ := virtualRT(t)
+	s, _ := rt.StreamCreate()
+	start, _ := rt.EventCreate()
+	end, _ := rt.EventCreate()
+	if err := rt.EventRecord(start, s); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.LaunchKernel(Kernel{Name: "k", Duration: 3 * time.Second}, s); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.EventRecord(end, s); err != nil {
+		t.Fatal(err)
+	}
+	d, err := rt.EventElapsed(start, end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 3*time.Second {
+		t.Fatalf("elapsed = %v, want 3s", d)
+	}
+}
+
+func TestEventValidation(t *testing.T) {
+	rt, _ := virtualRT(t)
+	ev, _ := rt.EventCreate()
+	if err := rt.EventSynchronize(ev); err != ErrorInvalidValue {
+		t.Fatalf("sync of unrecorded event: %v", err)
+	}
+	if _, err := rt.EventElapsed(ev, ev); err != ErrorInvalidValue {
+		t.Fatalf("elapsed of unrecorded events: %v", err)
+	}
+	if err := rt.EventRecord(nil, 0); err != ErrorInvalidValue {
+		t.Fatalf("record nil event: %v", err)
+	}
+	if err := rt.EventRecord(ev, 99); err != ErrorInvalidValue {
+		t.Fatalf("record on bogus stream: %v", err)
+	}
+	if err := rt.EventSynchronize(nil); err != ErrorInvalidValue {
+		t.Fatalf("sync nil event: %v", err)
+	}
+	if _, err := rt.EventElapsed(nil, ev); err != ErrorInvalidValue {
+		t.Fatalf("elapsed with nil: %v", err)
+	}
+}
+
+func TestEventSynchronizeWaits(t *testing.T) {
+	rt, clk := virtualRT(t)
+	if err := rt.LaunchKernel(Kernel{Name: "k", Duration: 5 * time.Second}, 0); err != nil {
+		t.Fatal(err)
+	}
+	ev, _ := rt.EventCreate()
+	if err := rt.EventRecord(ev, 0); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		rt.EventSynchronize(ev)
+		close(done)
+	}()
+	for clk.Pending() == 0 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	select {
+	case <-done:
+		t.Fatal("EventSynchronize returned before the kernel drained")
+	default:
+	}
+	clk.Advance(5 * time.Second)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("EventSynchronize never returned")
+	}
+}
+
+func TestMemcpyAsyncQueuesOnStream(t *testing.T) {
+	rt, _ := virtualRT(t)
+	ptr, err := rt.Malloc(bytesize.GiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := rt.StreamCreate()
+	if err := rt.MemcpyAsync(ptr, bytesize.GiB, MemcpyHostToDevice, s); err != nil {
+		t.Fatal(err)
+	}
+	// 1 GiB at 6 GiB/s: the stream is busy for ~1/6 s.
+	ev, _ := rt.EventCreate()
+	rt.EventRecord(ev, s)
+	busy := ev.at.Sub(clock.Epoch)
+	want := time.Second / 6
+	if busy < want-time.Millisecond || busy > want+time.Millisecond {
+		t.Fatalf("async copy queued %v of work, want ~%v", busy, want)
+	}
+	// Validation failures are synchronous.
+	if err := rt.MemcpyAsync(ptr+1, 1, MemcpyHostToDevice, s); err != ErrorInvalidDevicePointer {
+		t.Fatalf("bogus async ptr: %v", err)
+	}
+	if err := rt.MemcpyAsync(ptr, 1, MemcpyKind(9), s); err != ErrorInvalidValue {
+		t.Fatalf("bogus kind: %v", err)
+	}
+	if err := rt.MemcpyAsync(ptr, 1, MemcpyHostToDevice, 12345); err != ErrorInvalidValue {
+		t.Fatalf("bogus stream: %v", err)
+	}
+}
+
+func TestStreamSynchronizeOnlyThatStream(t *testing.T) {
+	rt, clk := virtualRT(t)
+	s1, _ := rt.StreamCreate()
+	s2, _ := rt.StreamCreate()
+	rt.LaunchKernel(Kernel{Duration: 2 * time.Second}, s1)
+	rt.LaunchKernel(Kernel{Duration: 10 * time.Second}, s2)
+	done := make(chan struct{})
+	go func() {
+		rt.StreamSynchronize(s1)
+		close(done)
+	}()
+	for clk.Pending() == 0 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	clk.Advance(2 * time.Second)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("StreamSynchronize(s1) blocked on s2's work")
+	}
+	if rt.Device().BusyStreams() != 1 {
+		t.Fatalf("busy streams = %d, want s2 still running", rt.Device().BusyStreams())
+	}
+}

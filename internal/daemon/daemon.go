@@ -1,0 +1,339 @@
+// Package daemon runs the GPU memory scheduler as a host-side service
+// (paper §III-D): "GPU memory scheduler is a standalone program written
+// in Go ... It runs on the host machine similar to nvidia-docker-plugin."
+//
+// The daemon exposes a control socket for the customized nvidia-docker
+// (container registration) and nvidia-docker-plugin (close signals). For
+// every registered container it prepares a dedicated directory holding a
+// UNIX socket plus the wrapper module, which nvidia-docker mounts into
+// the container as a volume. Allocation requests arriving on a
+// container's socket are decided by the core scheduler; suspended
+// requests have their responses parked until a redistribution admits
+// them — the wrapper module inside the container stays blocked in the
+// allocation call exactly as the paper describes.
+package daemon
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"convgpu/internal/bytesize"
+	"convgpu/internal/core"
+	"convgpu/internal/ipc"
+	"convgpu/internal/protocol"
+	"convgpu/internal/wrapper"
+)
+
+// ControlSocketName is the control socket file inside the base directory.
+const ControlSocketName = "scheduler.sock"
+
+// ContainerSocketName is the per-container socket file name.
+const ContainerSocketName = wrapper.SocketFileName
+
+// WrapperModuleName is the file name of the wrapper module the scheduler
+// copies into each container directory (libgpushare.so in the paper; here
+// a Go marker whose presence the container runtime checks when "loading"
+// the wrapper).
+const WrapperModuleName = wrapper.ModuleFileName
+
+// Config configures the daemon.
+type Config struct {
+	// BaseDir is where the control socket and per-container directories
+	// are created.
+	BaseDir string
+	// Core is the scheduler state. Required.
+	Core *core.State
+}
+
+// Daemon is a running scheduler service.
+type Daemon struct {
+	cfg     Config
+	control *ipc.Server
+
+	mu      sync.Mutex
+	parked  map[core.Ticket]func(*protocol.Message)
+	servers map[core.ContainerID]*ipc.Server
+	dirs    map[core.ContainerID]string
+	closed  bool
+}
+
+// Start creates the base directory, launches the control socket and
+// returns the running daemon.
+func Start(cfg Config) (*Daemon, error) {
+	if cfg.Core == nil {
+		return nil, fmt.Errorf("daemon: Config.Core is required")
+	}
+	if cfg.BaseDir == "" {
+		return nil, fmt.Errorf("daemon: Config.BaseDir is required")
+	}
+	if err := os.MkdirAll(cfg.BaseDir, 0o755); err != nil {
+		return nil, fmt.Errorf("daemon: create base dir: %w", err)
+	}
+	d := &Daemon{
+		cfg:     cfg,
+		parked:  make(map[core.Ticket]func(*protocol.Message)),
+		servers: make(map[core.ContainerID]*ipc.Server),
+		dirs:    make(map[core.ContainerID]string),
+	}
+	ctl, err := ipc.Listen(filepath.Join(cfg.BaseDir, ControlSocketName), controlHandler{d})
+	if err != nil {
+		return nil, err
+	}
+	d.control = ctl
+	return d, nil
+}
+
+// ControlSocket returns the path of the control socket nvidia-docker and
+// the plugin connect to.
+func (d *Daemon) ControlSocket() string { return d.control.Addr() }
+
+// Core exposes the scheduler state (read-mostly: snapshots, metrics).
+func (d *Daemon) Core() *core.State { return d.cfg.Core }
+
+// Close shuts down the control socket and every container socket.
+// Parked requests are released with an error.
+func (d *Daemon) Close() error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil
+	}
+	d.closed = true
+	servers := make([]*ipc.Server, 0, len(d.servers))
+	for _, s := range d.servers {
+		servers = append(servers, s)
+	}
+	parked := d.parked
+	d.parked = make(map[core.Ticket]func(*protocol.Message))
+	d.mu.Unlock()
+
+	for _, respond := range parked {
+		respond(&protocol.Message{OK: false, Error: "scheduler shutting down"})
+	}
+	err := d.control.Close()
+	for _, s := range servers {
+		s.Close()
+	}
+	return err
+}
+
+// containerDir builds the per-container directory path. Container IDs
+// are sanitized defensively: they become directory names.
+func (d *Daemon) containerDir(id core.ContainerID) string {
+	safe := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_', r == '.':
+			return r
+		default:
+			return '_'
+		}
+	}, string(id))
+	return filepath.Join(d.cfg.BaseDir, "containers", safe)
+}
+
+// register implements the Register control message: it admits the
+// container with the core, prepares its directory, socket and wrapper
+// module copy, and reports the directory back to nvidia-docker.
+func (d *Daemon) register(id core.ContainerID, limit int64) (*protocol.Message, error) {
+	granted, err := d.cfg.Core.Register(id, bytesize.Size(limit))
+	if err != nil {
+		return nil, err
+	}
+	dir := d.containerDir(id)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		d.cfg.Core.Close(id)
+		return nil, fmt.Errorf("daemon: container dir: %w", err)
+	}
+	// "copies the wrapper module to the directory" — the module carries
+	// the socket path it must talk to.
+	sockPath := filepath.Join(dir, ContainerSocketName)
+	module := fmt.Sprintf("convgpu wrapper module for container %s\nsocket=%s\n", id, sockPath)
+	if err := os.WriteFile(filepath.Join(dir, WrapperModuleName), []byte(module), 0o644); err != nil {
+		d.cfg.Core.Close(id)
+		return nil, fmt.Errorf("daemon: write wrapper module: %w", err)
+	}
+	os.Remove(sockPath) // stale socket from a previous run
+	srv, err := ipc.Listen(sockPath, containerHandler{d: d, id: id})
+	if err != nil {
+		d.cfg.Core.Close(id)
+		return nil, err
+	}
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		srv.Close()
+		return nil, fmt.Errorf("daemon: shutting down")
+	}
+	d.servers[id] = srv
+	d.dirs[id] = dir
+	d.mu.Unlock()
+
+	resp := &protocol.Message{OK: true, Granted: int64(granted), SocketDir: dir}
+	return resp, nil
+}
+
+// closeContainer implements the plugin's close signal.
+func (d *Daemon) closeContainer(id core.ContainerID) (*protocol.Message, error) {
+	released, update, err := d.cfg.Core.Close(id)
+	if err != nil {
+		return nil, err
+	}
+	d.dispatch(update)
+	d.mu.Lock()
+	srv := d.servers[id]
+	delete(d.servers, id)
+	delete(d.dirs, id)
+	d.mu.Unlock()
+	if srv != nil {
+		// Shut the container socket down in the background: the close
+		// signal must not wait for in-flight handlers.
+		go srv.Close()
+	}
+	return &protocol.Message{OK: true, Free: int64(released)}, nil
+}
+
+// park stores a suspended request's responder under its ticket.
+func (d *Daemon) park(t core.Ticket, respond func(*protocol.Message)) {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		respond(&protocol.Message{OK: false, Error: "scheduler shutting down"})
+		return
+	}
+	d.parked[t] = respond
+	d.mu.Unlock()
+}
+
+// dispatch releases parked responders according to a core update:
+// admitted requests get an accept, cancelled ones an error.
+func (d *Daemon) dispatch(u core.Update) {
+	if len(u.Admitted) == 0 && len(u.Cancelled) == 0 {
+		return
+	}
+	d.mu.Lock()
+	type rel struct {
+		respond func(*protocol.Message)
+		msg     *protocol.Message
+	}
+	var rels []rel
+	for _, a := range u.Admitted {
+		if respond, ok := d.parked[a.Ticket]; ok {
+			delete(d.parked, a.Ticket)
+			rels = append(rels, rel{respond, &protocol.Message{OK: true, Decision: protocol.DecisionAccept}})
+		}
+	}
+	for _, c := range u.Cancelled {
+		if respond, ok := d.parked[c.Ticket]; ok {
+			delete(d.parked, c.Ticket)
+			rels = append(rels, rel{respond, &protocol.Message{OK: false, Error: "container closed"}})
+		}
+	}
+	d.mu.Unlock()
+	for _, r := range rels {
+		r.respond(r.msg)
+	}
+}
+
+// controlHandler serves the control socket: registration and close.
+type controlHandler struct{ d *Daemon }
+
+// Handle implements ipc.Handler.
+func (h controlHandler) Handle(conn *ipc.ServerConn, msg *protocol.Message, respond func(*protocol.Message)) {
+	switch msg.Type {
+	case protocol.TypeRegister:
+		resp, err := h.d.register(core.ContainerID(msg.Container), msg.Limit)
+		if err != nil {
+			respond(protocol.ErrorResponse(msg, "%v", err))
+			return
+		}
+		respond(resp)
+	case protocol.TypeClose:
+		resp, err := h.d.closeContainer(core.ContainerID(msg.Container))
+		if err != nil {
+			respond(protocol.ErrorResponse(msg, "%v", err))
+			return
+		}
+		respond(resp)
+	default:
+		respond(protocol.ErrorResponse(msg, "daemon: unexpected %s on control socket", msg.Type))
+	}
+}
+
+// Closed implements ipc.Handler.
+func (h controlHandler) Closed(conn *ipc.ServerConn) {}
+
+// containerHandler serves one container's socket: the wrapper module's
+// allocation traffic.
+type containerHandler struct {
+	d  *Daemon
+	id core.ContainerID
+}
+
+// Handle implements ipc.Handler.
+func (h containerHandler) Handle(conn *ipc.ServerConn, msg *protocol.Message, respond func(*protocol.Message)) {
+	c := h.d.cfg.Core
+	switch msg.Type {
+	case protocol.TypeAlloc:
+		res, err := c.RequestAlloc(h.id, msg.PID, msg.SizeBytes())
+		if err != nil {
+			respond(protocol.ErrorResponse(msg, "%v", err))
+			return
+		}
+		switch res.Decision {
+		case core.Accept:
+			respond(&protocol.Message{OK: true, Decision: protocol.DecisionAccept})
+		case core.Reject:
+			respond(&protocol.Message{OK: true, Decision: protocol.DecisionReject})
+		case core.Suspend:
+			// The paper's pause: withhold the response until granted.
+			h.d.park(res.Ticket, respond)
+		}
+	case protocol.TypeConfirm:
+		if err := c.ConfirmAlloc(h.id, msg.PID, msg.Addr, msg.SizeBytes()); err != nil {
+			respond(protocol.ErrorResponse(msg, "%v", err))
+			return
+		}
+		respond(&protocol.Message{OK: true})
+	case protocol.TypeAbort:
+		u, err := c.AbortAlloc(h.id, msg.PID, msg.SizeBytes())
+		if err != nil {
+			respond(protocol.ErrorResponse(msg, "%v", err))
+			return
+		}
+		respond(&protocol.Message{OK: true})
+		h.d.dispatch(u)
+	case protocol.TypeFree:
+		size, u, err := c.Free(h.id, msg.PID, msg.Addr)
+		if err != nil {
+			respond(protocol.ErrorResponse(msg, "%v", err))
+			return
+		}
+		respond(&protocol.Message{OK: true, Free: int64(size)})
+		h.d.dispatch(u)
+	case protocol.TypeProcExit:
+		size, u, err := c.ProcessExit(h.id, msg.PID)
+		if err != nil {
+			respond(protocol.ErrorResponse(msg, "%v", err))
+			return
+		}
+		respond(&protocol.Message{OK: true, Free: int64(size)})
+		h.d.dispatch(u)
+	case protocol.TypeMemInfo:
+		free, total, err := c.MemInfo(h.id)
+		if err != nil {
+			respond(protocol.ErrorResponse(msg, "%v", err))
+			return
+		}
+		respond(&protocol.Message{OK: true, Free: int64(free), Total: int64(total)})
+	default:
+		respond(protocol.ErrorResponse(msg, "daemon: unexpected %s on container socket", msg.Type))
+	}
+}
+
+// Closed implements ipc.Handler. The wrapper process vanished without a
+// procexit (crash, kill -9): the explicit close signal from the plugin
+// still performs the cleanup, so nothing to do here.
+func (h containerHandler) Closed(conn *ipc.ServerConn) {}

@@ -1,0 +1,345 @@
+package daemon
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"convgpu/internal/bytesize"
+	"convgpu/internal/core"
+	"convgpu/internal/ipc"
+	"convgpu/internal/protocol"
+)
+
+func mib(n int) bytesize.Size { return bytesize.Size(n) * bytesize.MiB }
+
+func startDaemon(t *testing.T, capacity bytesize.Size) *Daemon {
+	t.Helper()
+	st := core.MustNew(core.Config{Capacity: capacity, ContextOverhead: 1})
+	d, err := Start(Config{BaseDir: filepath.Join(t.TempDir(), "cv"), Core: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	return d
+}
+
+func dialControl(t *testing.T, d *Daemon) *ipc.Client {
+	t.Helper()
+	cli, err := ipc.Dial(d.ControlSocket())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cli.Close() })
+	return cli
+}
+
+func register(t *testing.T, ctl *ipc.Client, id string, limit bytesize.Size) *protocol.Message {
+	t.Helper()
+	resp, err := ctl.Call(context.Background(), &protocol.Message{
+		Type: protocol.TypeRegister, Container: id, Limit: int64(limit),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func dialContainer(t *testing.T, resp *protocol.Message) *ipc.Client {
+	t.Helper()
+	cli, err := ipc.Dial(filepath.Join(resp.SocketDir, ContainerSocketName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cli.Close() })
+	return cli
+}
+
+func TestStartValidation(t *testing.T) {
+	if _, err := Start(Config{}); err == nil {
+		t.Error("Start without core succeeded")
+	}
+	st := core.MustNew(core.Config{Capacity: mib(100)})
+	if _, err := Start(Config{Core: st}); err == nil {
+		t.Error("Start without base dir succeeded")
+	}
+}
+
+func TestRegisterPreparesContainerDir(t *testing.T) {
+	d := startDaemon(t, mib(1000))
+	ctl := dialControl(t, d)
+	resp := register(t, ctl, "c1", mib(400))
+	if !resp.OK {
+		t.Fatalf("register failed: %s", resp.Error)
+	}
+	if resp.Granted != int64(mib(400)) {
+		t.Fatalf("granted = %d, want full 400MiB", resp.Granted)
+	}
+	if resp.SocketDir == "" {
+		t.Fatal("no socket dir returned")
+	}
+	// The directory must contain the wrapper module copy and the socket.
+	mod, err := os.ReadFile(filepath.Join(resp.SocketDir, WrapperModuleName))
+	if err != nil {
+		t.Fatalf("wrapper module missing: %v", err)
+	}
+	if !strings.Contains(string(mod), "c1") {
+		t.Fatalf("wrapper module content = %q", mod)
+	}
+	if _, err := os.Stat(filepath.Join(resp.SocketDir, ContainerSocketName)); err != nil {
+		t.Fatalf("container socket missing: %v", err)
+	}
+}
+
+func TestRegisterDuplicateFails(t *testing.T) {
+	d := startDaemon(t, mib(1000))
+	ctl := dialControl(t, d)
+	register(t, ctl, "c1", mib(100))
+	resp := register(t, ctl, "c1", mib(100))
+	if resp.OK {
+		t.Fatal("duplicate register succeeded")
+	}
+	if !strings.Contains(resp.Error, "already registered") {
+		t.Fatalf("error = %q", resp.Error)
+	}
+}
+
+func TestRegisterOverCapacityFails(t *testing.T) {
+	d := startDaemon(t, mib(1000))
+	ctl := dialControl(t, d)
+	resp := register(t, ctl, "big", mib(2000))
+	if resp.OK {
+		t.Fatal("over-capacity register succeeded")
+	}
+}
+
+func TestAllocAcceptRejectFlow(t *testing.T) {
+	d := startDaemon(t, mib(1000))
+	ctl := dialControl(t, d)
+	cc := dialContainer(t, register(t, ctl, "c1", mib(400)))
+
+	ctx := context.Background()
+	resp, err := cc.Call(ctx, &protocol.Message{Type: protocol.TypeAlloc, PID: 1, Size: int64(mib(100)), API: "cudaMalloc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.OK || resp.Decision != protocol.DecisionAccept {
+		t.Fatalf("alloc resp = %+v", resp)
+	}
+	resp, err = cc.Call(ctx, &protocol.Message{Type: protocol.TypeConfirm, PID: 1, Size: int64(mib(100)), Addr: 0xAA})
+	if err != nil || !resp.OK {
+		t.Fatalf("confirm resp = %+v err=%v", resp, err)
+	}
+	// Over the container limit: reject.
+	resp, err = cc.Call(ctx, &protocol.Message{Type: protocol.TypeAlloc, PID: 1, Size: int64(mib(350))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Decision != protocol.DecisionReject {
+		t.Fatalf("over-limit resp = %+v, want reject", resp)
+	}
+	// MemInfo: the virtualized view.
+	resp, err = cc.Call(ctx, &protocol.Message{Type: protocol.TypeMemInfo})
+	if err != nil || !resp.OK {
+		t.Fatal(err)
+	}
+	if resp.Total != int64(mib(400)) {
+		t.Fatalf("meminfo total = %d, want the 400MiB limit", resp.Total)
+	}
+	// Free returns the size.
+	resp, err = cc.Call(ctx, &protocol.Message{Type: protocol.TypeFree, PID: 1, Addr: 0xAA})
+	if err != nil || !resp.OK {
+		t.Fatalf("free resp = %+v err=%v", resp, err)
+	}
+	if resp.Free != int64(mib(100)) {
+		t.Fatalf("free size = %d", resp.Free)
+	}
+}
+
+func TestSuspendResumeAcrossContainers(t *testing.T) {
+	d := startDaemon(t, mib(1000))
+	ctl := dialControl(t, d)
+	ccA := dialContainer(t, register(t, ctl, "a", mib(700)))
+	respB := register(t, ctl, "b", mib(600)) // grant 300 partial
+	ccB := dialContainer(t, respB)
+
+	ctx := context.Background()
+	if resp, err := ccA.Call(ctx, &protocol.Message{Type: protocol.TypeAlloc, PID: 1, Size: int64(mib(600))}); err != nil || resp.Decision != protocol.DecisionAccept {
+		t.Fatalf("a's alloc: %+v %v", resp, err)
+	}
+
+	// b's 500 MiB request suspends: the call blocks.
+	done := make(chan *protocol.Message, 1)
+	go func() {
+		resp, err := ccB.Call(ctx, &protocol.Message{Type: protocol.TypeAlloc, PID: 2, Size: int64(mib(500))})
+		if err == nil {
+			done <- resp
+		} else {
+			close(done)
+		}
+	}()
+	select {
+	case <-done:
+		t.Fatal("suspended alloc returned early")
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	// The plugin reports a's exit: close signal. b resumes.
+	if resp, err := ctl.Call(ctx, &protocol.Message{Type: protocol.TypeClose, Container: "a"}); err != nil || !resp.OK {
+		t.Fatalf("close: %+v %v", resp, err)
+	}
+	select {
+	case resp, ok := <-done:
+		if !ok {
+			t.Fatal("suspended alloc failed")
+		}
+		if resp.Decision != protocol.DecisionAccept {
+			t.Fatalf("resumed resp = %+v", resp)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("suspended alloc never resumed after close")
+	}
+}
+
+func TestCloseCancelsSuspendedRequests(t *testing.T) {
+	d := startDaemon(t, mib(1000))
+	ctl := dialControl(t, d)
+	ccA := dialContainer(t, register(t, ctl, "a", mib(700)))
+	ccB := dialContainer(t, register(t, ctl, "b", mib(600)))
+
+	ctx := context.Background()
+	if _, err := ccA.Call(ctx, &protocol.Message{Type: protocol.TypeAlloc, PID: 1, Size: int64(mib(600))}); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan *protocol.Message, 1)
+	go func() {
+		resp, err := ccB.Call(ctx, &protocol.Message{Type: protocol.TypeAlloc, PID: 2, Size: int64(mib(500))})
+		if err == nil {
+			done <- resp
+		} else {
+			close(done)
+		}
+	}()
+	time.Sleep(50 * time.Millisecond)
+	// b itself is closed while suspended: its parked request is released
+	// with an error.
+	if resp, err := ctl.Call(ctx, &protocol.Message{Type: protocol.TypeClose, Container: "b"}); err != nil || !resp.OK {
+		t.Fatalf("close: %+v %v", resp, err)
+	}
+	select {
+	case resp, ok := <-done:
+		if ok && resp.OK {
+			t.Fatalf("cancelled request got OK response: %+v", resp)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled request never released")
+	}
+}
+
+func TestProcExitReleasesMemory(t *testing.T) {
+	d := startDaemon(t, mib(1000))
+	ctl := dialControl(t, d)
+	cc := dialContainer(t, register(t, ctl, "c", mib(400)))
+	ctx := context.Background()
+	if _, err := cc.Call(ctx, &protocol.Message{Type: protocol.TypeAlloc, PID: 1, Size: int64(mib(100))}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cc.Call(ctx, &protocol.Message{Type: protocol.TypeConfirm, PID: 1, Size: int64(mib(100)), Addr: 0x1}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := cc.Call(ctx, &protocol.Message{Type: protocol.TypeProcExit, PID: 1})
+	if err != nil || !resp.OK {
+		t.Fatalf("procexit: %+v %v", resp, err)
+	}
+	if bytesize.Size(resp.Free) != mib(100)+1 { // alloc + 1B overhead
+		t.Fatalf("procexit released %d", resp.Free)
+	}
+	info, err := d.Core().Info("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Used != 0 {
+		t.Fatalf("used after procexit = %v", info.Used)
+	}
+}
+
+func TestAbortReturnsCharge(t *testing.T) {
+	d := startDaemon(t, mib(1000))
+	ctl := dialControl(t, d)
+	cc := dialContainer(t, register(t, ctl, "c", mib(400)))
+	ctx := context.Background()
+	if _, err := cc.Call(ctx, &protocol.Message{Type: protocol.TypeAlloc, PID: 1, Size: int64(mib(100))}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := cc.Call(ctx, &protocol.Message{Type: protocol.TypeAbort, PID: 1, Size: int64(mib(100))})
+	if err != nil || !resp.OK {
+		t.Fatalf("abort: %+v %v", resp, err)
+	}
+	info, _ := d.Core().Info("c")
+	if info.Used != 1 {
+		t.Fatalf("used after abort = %v, want 1B overhead", info.Used)
+	}
+}
+
+func TestUnknownContainerErrors(t *testing.T) {
+	d := startDaemon(t, mib(1000))
+	ctl := dialControl(t, d)
+	resp, err := ctl.Call(context.Background(), &protocol.Message{Type: protocol.TypeClose, Container: "ghost"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.OK {
+		t.Fatal("close of unknown container succeeded")
+	}
+}
+
+func TestControlRejectsContainerMessages(t *testing.T) {
+	d := startDaemon(t, mib(1000))
+	ctl := dialControl(t, d)
+	resp, err := ctl.Call(context.Background(), &protocol.Message{Type: protocol.TypeAlloc, PID: 1, Size: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.OK {
+		t.Fatal("alloc on control socket succeeded")
+	}
+}
+
+func TestDaemonCloseReleasesParked(t *testing.T) {
+	d := startDaemon(t, mib(1000))
+	ctl := dialControl(t, d)
+	ccA := dialContainer(t, register(t, ctl, "a", mib(700)))
+	ccB := dialContainer(t, register(t, ctl, "b", mib(600)))
+	ctx := context.Background()
+	if _, err := ccA.Call(ctx, &protocol.Message{Type: protocol.TypeAlloc, PID: 1, Size: int64(mib(600))}); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		ccB.Call(ctx, &protocol.Message{Type: protocol.TypeAlloc, PID: 2, Size: int64(mib(500))})
+	}()
+	time.Sleep(50 * time.Millisecond)
+	d.Close()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("parked request survived daemon shutdown")
+	}
+}
+
+func TestContainerDirSanitized(t *testing.T) {
+	d := startDaemon(t, mib(1000))
+	ctl := dialControl(t, d)
+	resp := register(t, ctl, "../evil/../../name", mib(10))
+	if !resp.OK {
+		t.Fatalf("register: %s", resp.Error)
+	}
+	base := filepath.Clean(filepath.Join(resp.SocketDir, ".."))
+	if filepath.Base(base) != "containers" {
+		t.Fatalf("socket dir escaped the containers directory: %s", resp.SocketDir)
+	}
+}

@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// runQuick executes one experiment in quick mode and renders it.
+func runQuick(t *testing.T, id string) *Report {
+	t.Helper()
+	rep, err := Run(id, Options{Quick: true})
+	if err != nil {
+		t.Fatalf("Run(%s): %v", id, err)
+	}
+	var b strings.Builder
+	if err := rep.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.CSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() == 0 {
+		t.Fatalf("%s rendered nothing", id)
+	}
+	return rep
+}
+
+// assertShapes fails on any "SHAPE MISMATCH" note.
+func assertShapes(t *testing.T, rep *Report) {
+	t.Helper()
+	for _, n := range rep.Notes {
+		if strings.HasPrefix(n, "SHAPE MISMATCH") {
+			t.Errorf("%s: %s", rep.ID, n)
+		}
+	}
+}
+
+// runTimingQuick runs a wall-clock-sensitive experiment, retrying a
+// bounded number of times: `go test ./...` runs packages in parallel,
+// and the spin-calibrated device latencies of *other* packages' tests
+// can distort a single timing run's ratios.
+func runTimingQuick(t *testing.T, id string) {
+	t.Helper()
+	const attempts = 3
+	for attempt := 1; ; attempt++ {
+		rep, err := Run(id, Options{Quick: true})
+		if err != nil {
+			t.Fatalf("Run(%s): %v", id, err)
+		}
+		mismatch := ""
+		for _, n := range rep.Notes {
+			if strings.HasPrefix(n, "SHAPE MISMATCH") {
+				mismatch = n
+				break
+			}
+		}
+		if mismatch == "" {
+			return
+		}
+		if attempt == attempts {
+			t.Fatalf("%s after %d attempts: %s", id, attempts, mismatch)
+		}
+		t.Logf("%s attempt %d: %s (retrying; timing noise)", id, attempt, mismatch)
+	}
+}
+
+func TestIDsAndDescribe(t *testing.T) {
+	ids := IDs()
+	want := []string{"ablation-grants", "ablation-transport", "cluster", "deadlock",
+		"fig4", "fig5", "fig6", "fig7", "fig8", "multigpu", "poisson",
+		"sensitivity", "starvation", "table1", "table2", "table3"}
+	if len(ids) != len(want) {
+		t.Fatalf("IDs() = %v", ids)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("IDs() = %v, want %v", ids, want)
+		}
+		if Describe(ids[i]) == "" {
+			t.Errorf("no description for %s", ids[i])
+		}
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run("fig99", Options{}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestTable1(t *testing.T) {
+	assertShapes(t, runQuick(t, "table1"))
+}
+
+func TestTable2(t *testing.T) {
+	assertShapes(t, runQuick(t, "table2"))
+}
+
+func TestTable3(t *testing.T) {
+	assertShapes(t, runQuick(t, "table3"))
+}
+
+func TestFig4Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing experiment")
+	}
+	runTimingQuick(t, "fig4")
+}
+
+func TestFig5Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing experiment")
+	}
+	runTimingQuick(t, "fig5")
+}
+
+func TestFig6Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing experiment")
+	}
+	runTimingQuick(t, "fig6")
+}
+
+func TestFig7Quick(t *testing.T) {
+	assertShapes(t, runQuick(t, "fig7"))
+}
+
+func TestFig8Quick(t *testing.T) {
+	rep := runQuick(t, "fig8")
+	// fig8 carries an expected caveat note; only hard mismatches fail.
+	assertShapes(t, rep)
+}
+
+func TestDeadlockQuick(t *testing.T) {
+	assertShapes(t, runQuick(t, "deadlock"))
+}
+
+func TestAblationTransportQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing experiment")
+	}
+	runTimingQuick(t, "ablation-transport")
+}
+
+func TestAblationGrantsQuick(t *testing.T) {
+	assertShapes(t, runQuick(t, "ablation-grants"))
+}
+
+func TestMultiGPUQuick(t *testing.T) {
+	assertShapes(t, runQuick(t, "multigpu"))
+}
+
+func TestClusterQuick(t *testing.T) {
+	assertShapes(t, runQuick(t, "cluster"))
+}
+
+func TestSensitivityQuick(t *testing.T) {
+	assertShapes(t, runQuick(t, "sensitivity"))
+}
+
+func TestStarvationQuick(t *testing.T) {
+	assertShapes(t, runQuick(t, "starvation"))
+}
+
+func TestPoissonQuick(t *testing.T) {
+	assertShapes(t, runQuick(t, "poisson"))
+}

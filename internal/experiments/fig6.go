@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"convgpu/internal/bytesize"
+	"convgpu/internal/container"
+	"convgpu/internal/cuda"
+	"convgpu/internal/metrics"
+	"convgpu/internal/workload"
+)
+
+func init() {
+	register("fig6", "overall runtime of the TensorFlow-MNIST workload with/without ConVGPU", Fig6)
+}
+
+// Fig6 measures the end-to-end runtime of the MNIST-CNN training
+// workload with and without ConVGPU. The paper measured 404.93 s with
+// versus ~402 s without — a 0.7 % overhead — because a training run
+// spends nearly all its time in kernels and host<->device copies, which
+// ConVGPU does not intercept; only the handful of allocation calls pay
+// the wrapper round trip. The workload here is time-compressed (fewer,
+// shorter steps), which *inflates* the relative overhead; the shape
+// claim is that it stays in the low single digits even so.
+func Fig6(opt Options) (*Report, error) {
+	cfg := workload.MNISTConfig{
+		Steps:        400,
+		StepTime:     5 * time.Millisecond,
+		BatchBytes:   4 * bytesize.MiB,
+		ParamAllocs:  16,
+		ParamBytes:   16 * bytesize.MiB,
+		ReallocEvery: 50,
+	}
+	if opt.Quick {
+		cfg.Steps = 60
+		cfg.StepTime = 2 * time.Millisecond
+	}
+
+	r, err := newRig(true, 2*bytesize.GiB)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+
+	reps := 4
+	if opt.Quick {
+		reps = 2
+	}
+	once := func(api cuda.API) (time.Duration, error) {
+		prog := workload.MNISTProgram(cfg)
+		proc := &container.Proc{PID: 0, CUDA: api}
+		start := time.Now()
+		if err := prog(proc); err != nil {
+			return 0, err
+		}
+		return time.Since(start), nil
+	}
+	// Interleave the two arms and keep each arm's minimum: the workload
+	// is dominated by calibrated spin-waits, so CPU frequency drift
+	// between back-to-back multi-second runs would otherwise swamp the
+	// few milliseconds of middleware cost being measured.
+	var with, without time.Duration
+	for i := 0; i < reps; i++ {
+		order := []cuda.API{r.Wrapped, r.Raw}
+		if i%2 == 1 {
+			order[0], order[1] = order[1], order[0]
+		}
+		for _, api := range order {
+			d, err := once(api)
+			if err != nil {
+				return nil, fmt.Errorf("fig6: %w", err)
+			}
+			if api == cuda.API(r.Wrapped) {
+				if with == 0 || d < with {
+					with = d
+				}
+			} else if without == 0 || d < without {
+				without = d
+			}
+		}
+	}
+	overhead := float64(with-without) / float64(without) * 100
+
+	bar := &metrics.Bar{Title: "Fig. 6: overall runtime of the MNIST program (s)", Unit: "s"}
+	bar.Add("with ConVGPU", with.Seconds())
+	bar.Add("without", without.Seconds())
+	table := &metrics.Table{
+		Title: "Fig. 6: MNIST end-to-end runtime",
+		Cols:  []string{"seconds", "overhead %", "intercepted calls"},
+	}
+	table.AddRow("with ConVGPU", []float64{with.Seconds(), overhead, float64(cfg.InterceptedCalls())})
+	table.AddRow("without", []float64{without.Seconds(), 0, 0})
+
+	return &Report{
+		ID:     "fig6",
+		Title:  "TensorFlow MNIST end-to-end runtime (paper Fig. 6)",
+		Tables: []*metrics.Table{table},
+		Bars:   []*metrics.Bar{bar},
+		Notes: []string{
+			// "Negligible" is the paper's claim; a measured overhead
+			// within noise of zero (possibly slightly negative) confirms
+			// it as strongly as a small positive number does.
+			shapeNote("end-to-end overhead negligible (|overhead| < 5% even time-compressed; paper: 0.7%)",
+				overhead < 5 && overhead > -5),
+			fmt.Sprintf("measured %+.2f%% over %d intercepted calls; the paper's 20000-step run "+
+				"amortizes the same per-call cost to 0.7%%", overhead, cfg.InterceptedCalls()),
+		},
+	}, nil
+}

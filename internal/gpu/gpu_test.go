@@ -1,0 +1,536 @@
+package gpu
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"convgpu/internal/bytesize"
+	"convgpu/internal/clock"
+)
+
+func testProps() Properties {
+	p := K20m()
+	return p
+}
+
+func TestK20mProperties(t *testing.T) {
+	p := K20m()
+	if p.TotalGlobalMem != 5*bytesize.GiB {
+		t.Errorf("TotalGlobalMem = %v, want 5GiB", p.TotalGlobalMem)
+	}
+	if p.ConcurrentKernels != 32 {
+		t.Errorf("ConcurrentKernels = %d, want 32 (Hyper-Q)", p.ConcurrentKernels)
+	}
+	if p.ContextOverhead != 66*bytesize.MiB {
+		t.Errorf("ContextOverhead = %v, want 66MiB", p.ContextOverhead)
+	}
+	if p.ManagedGranularity != 128*bytesize.MiB {
+		t.Errorf("ManagedGranularity = %v, want 128MiB", p.ManagedGranularity)
+	}
+}
+
+func TestAllocFreeRoundTrip(t *testing.T) {
+	d := New(testProps())
+	addr, err := d.Alloc(100, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size, pid, ok := d.Lookup(addr)
+	if !ok || size != 4096 || pid != 100 {
+		t.Fatalf("Lookup = (%v,%v,%v)", size, pid, ok)
+	}
+	freed, err := d.Free(100, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if freed != 4096 {
+		t.Fatalf("Free returned %v, want 4096", freed)
+	}
+	if _, _, ok := d.Lookup(addr); ok {
+		t.Fatal("allocation survived Free")
+	}
+}
+
+func TestAllocCreatesContext(t *testing.T) {
+	d := New(testProps())
+	if d.HasContext(7) {
+		t.Fatal("context exists before first alloc")
+	}
+	if _, err := d.Alloc(7, 1024); err != nil {
+		t.Fatal(err)
+	}
+	if !d.HasContext(7) {
+		t.Fatal("first alloc did not create context")
+	}
+	// Used = allocation + 66 MiB context overhead.
+	want := bytesize.Size(1024) + 66*bytesize.MiB
+	if got := d.Used(); got != want {
+		t.Fatalf("Used = %v, want %v", got, want)
+	}
+	created, err := d.EnsureContext(7)
+	if err != nil || created {
+		t.Fatalf("EnsureContext on existing = (%v,%v), want (false,nil)", created, err)
+	}
+}
+
+func TestAllocInvalid(t *testing.T) {
+	d := New(testProps())
+	if _, err := d.Alloc(1, 0); !errors.Is(err, ErrInvalidValue) {
+		t.Errorf("Alloc(0) err = %v, want ErrInvalidValue", err)
+	}
+	if _, err := d.Alloc(1, -5); !errors.Is(err, ErrInvalidValue) {
+		t.Errorf("Alloc(-5) err = %v, want ErrInvalidValue", err)
+	}
+	if _, err := d.AllocManaged(1, 0); !errors.Is(err, ErrInvalidValue) {
+		t.Errorf("AllocManaged(0) err = %v, want ErrInvalidValue", err)
+	}
+	if _, _, err := d.AllocPitch(1, 0, 10); !errors.Is(err, ErrInvalidValue) {
+		t.Errorf("AllocPitch(0,10) err = %v, want ErrInvalidValue", err)
+	}
+}
+
+func TestOutOfMemory(t *testing.T) {
+	d := New(testProps())
+	// Capacity 5 GiB, minus 66 MiB context: a 5 GiB alloc must fail,
+	// and one of capacity-66MiB must succeed.
+	if _, err := d.Alloc(1, 5*bytesize.GiB); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("oversized alloc err = %v, want ErrOutOfMemory", err)
+	}
+	fits := 5*bytesize.GiB - 66*bytesize.MiB
+	addr, err := d.Alloc(1, fits)
+	if err != nil {
+		t.Fatalf("exact-fit alloc failed: %v", err)
+	}
+	if _, err := d.Alloc(1, 1); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("alloc on full device err = %v, want ErrOutOfMemory", err)
+	}
+	if _, err := d.Free(1, addr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestContextOverheadOOM(t *testing.T) {
+	d := New(testProps())
+	fits := 5*bytesize.GiB - 66*bytesize.MiB
+	if _, err := d.Alloc(1, fits); err != nil {
+		t.Fatal(err)
+	}
+	// No room for a second process's 66 MiB context.
+	if _, err := d.Alloc(2, 1); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("second context on full device err = %v, want ErrOutOfMemory", err)
+	}
+	if d.HasContext(2) {
+		t.Fatal("failed context creation left state behind")
+	}
+}
+
+func TestFreeWrongPIDOrAddr(t *testing.T) {
+	d := New(testProps())
+	addr, err := d.Alloc(1, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Free(2, addr); !errors.Is(err, ErrInvalidDevicePointer) {
+		t.Errorf("Free with wrong pid err = %v, want ErrInvalidDevicePointer", err)
+	}
+	if _, err := d.Free(1, addr+1); !errors.Is(err, ErrInvalidDevicePointer) {
+		t.Errorf("Free of bogus addr err = %v, want ErrInvalidDevicePointer", err)
+	}
+	if _, err := d.Free(1, addr); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Free(1, addr); !errors.Is(err, ErrInvalidDevicePointer) {
+		t.Errorf("double Free err = %v, want ErrInvalidDevicePointer", err)
+	}
+}
+
+func TestPitchArithmetic(t *testing.T) {
+	d := New(testProps())
+	// Width 100 rounds up to the 512-byte pitch alignment.
+	addr, pitch, err := d.AllocPitch(1, 100, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pitch != 512 {
+		t.Fatalf("pitch = %v, want 512", pitch)
+	}
+	size, _, _ := d.Lookup(addr)
+	if size != 512*10 {
+		t.Fatalf("pitched consumption = %v, want %v", size, 512*10)
+	}
+	// Aligned width keeps its pitch.
+	_, pitch2, err := d.AllocPitch(1, 1024, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pitch2 != 1024 {
+		t.Fatalf("aligned pitch = %v, want 1024", pitch2)
+	}
+}
+
+func TestManagedGranularity(t *testing.T) {
+	d := New(testProps())
+	addr, err := d.AllocManaged(1, 1) // 1 byte consumes 128 MiB
+	if err != nil {
+		t.Fatal(err)
+	}
+	size, _, _ := d.Lookup(addr)
+	if size != 128*bytesize.MiB {
+		t.Fatalf("managed consumption = %v, want 128MiB", size)
+	}
+	addr2, err := d.AllocManaged(1, 129*bytesize.MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size2, _, _ := d.Lookup(addr2)
+	if size2 != 256*bytesize.MiB {
+		t.Fatalf("managed consumption = %v, want 256MiB", size2)
+	}
+}
+
+func TestDestroyContextRecoversLeaks(t *testing.T) {
+	d := New(testProps())
+	var total bytesize.Size
+	for i := 0; i < 5; i++ {
+		if _, err := d.Alloc(9, 10*bytesize.MiB); err != nil {
+			t.Fatal(err)
+		}
+		total += 10 * bytesize.MiB
+	}
+	// Another process's allocation must survive.
+	keep, err := d.Alloc(8, bytesize.MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recovered, err := d.DestroyContext(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := total + 66*bytesize.MiB; recovered != want {
+		t.Fatalf("DestroyContext recovered %v, want %v", recovered, want)
+	}
+	if d.HasContext(9) {
+		t.Fatal("context survived DestroyContext")
+	}
+	if _, _, ok := d.Lookup(keep); !ok {
+		t.Fatal("DestroyContext(9) destroyed pid 8's allocation")
+	}
+	if _, err := d.DestroyContext(9); !errors.Is(err, ErrNoContext) {
+		t.Fatalf("double DestroyContext err = %v, want ErrNoContext", err)
+	}
+}
+
+func TestMemInfo(t *testing.T) {
+	d := New(testProps())
+	free, total := d.MemInfo()
+	if total != 5*bytesize.GiB || free != total {
+		t.Fatalf("fresh MemInfo = (%v,%v)", free, total)
+	}
+	if _, err := d.Alloc(1, bytesize.GiB); err != nil {
+		t.Fatal(err)
+	}
+	free, _ = d.MemInfo()
+	if want := 5*bytesize.GiB - bytesize.GiB - 66*bytesize.MiB; free != want {
+		t.Fatalf("MemInfo free = %v, want %v", free, want)
+	}
+}
+
+func TestCoalescing(t *testing.T) {
+	d := New(testProps())
+	var addrs []uint64
+	for i := 0; i < 10; i++ {
+		a, err := d.Alloc(1, bytesize.MiB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs = append(addrs, a)
+	}
+	// Free in a scrambled order; the free list must fully coalesce.
+	order := []int{3, 7, 1, 9, 5, 0, 8, 2, 6, 4}
+	for _, i := range order {
+		if _, err := d.Free(1, addrs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := d.FreeRegions(); n != 1 {
+		t.Fatalf("free list has %d regions after freeing everything, want 1", n)
+	}
+	if d.AllocCount() != 0 {
+		t.Fatalf("AllocCount = %d, want 0", d.AllocCount())
+	}
+}
+
+func TestFragmentationOOM(t *testing.T) {
+	// Carve the device into alternating 512 MiB allocations, free every
+	// other one, then ask for a contiguous region larger than any hole.
+	d := New(testProps())
+	var addrs []uint64
+	chunk := 512 * bytesize.MiB
+	for {
+		a, err := d.Alloc(1, chunk)
+		if err != nil {
+			break
+		}
+		addrs = append(addrs, a)
+	}
+	if len(addrs) < 4 {
+		t.Fatalf("only %d chunks allocated", len(addrs))
+	}
+	// Keep the final chunk allocated so the trailing free region stays
+	// separated from the holes (context overhead is accounted but not
+	// address-mapped, so the address space tail is a real free region).
+	for i := 0; i+1 < len(addrs); i += 2 {
+		if _, err := d.Free(1, addrs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Total free exceeds 1 GiB but no hole is bigger than 512 MiB.
+	if _, err := d.Alloc(1, bytesize.GiB); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("fragmented alloc err = %v, want ErrOutOfMemory", err)
+	}
+	// A chunk-sized allocation still fits in a hole.
+	if _, err := d.Alloc(1, chunk); err != nil {
+		t.Fatalf("hole-sized alloc failed: %v", err)
+	}
+}
+
+func TestCopyDuration(t *testing.T) {
+	d := New(testProps())
+	if got := d.CopyDuration(0); got != 0 {
+		t.Errorf("CopyDuration(0) = %v", got)
+	}
+	// 6 GiB/s -> 1 GiB takes ~1/6 s.
+	got := d.CopyDuration(bytesize.GiB)
+	want := time.Second / 6
+	if got < want-time.Millisecond || got > want+time.Millisecond {
+		t.Errorf("CopyDuration(1GiB) = %v, want ~%v", got, want)
+	}
+}
+
+func TestMemcpyValidation(t *testing.T) {
+	d := New(testProps())
+	addr, err := d.Alloc(1, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Memcpy(1, addr, 4096); err != nil {
+		t.Errorf("valid Memcpy: %v", err)
+	}
+	if err := d.Memcpy(1, addr, 8192); !errors.Is(err, ErrInvalidValue) {
+		t.Errorf("oversized Memcpy err = %v, want ErrInvalidValue", err)
+	}
+	if err := d.Memcpy(2, addr, 1); !errors.Is(err, ErrInvalidDevicePointer) {
+		t.Errorf("cross-pid Memcpy err = %v, want ErrInvalidDevicePointer", err)
+	}
+	if err := d.Memcpy(1, addr+4, 1); !errors.Is(err, ErrInvalidDevicePointer) {
+		t.Errorf("bogus addr Memcpy err = %v, want ErrInvalidDevicePointer", err)
+	}
+}
+
+func TestLaunchSynchronizeVirtualTime(t *testing.T) {
+	clk := clock.NewManual()
+	d := New(testProps(), WithLatency(Latency{}, clk))
+	if err := d.Launch(1, 0, 3*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if d.BusyStreams() != 1 {
+		t.Fatalf("BusyStreams = %d, want 1", d.BusyStreams())
+	}
+	done := make(chan struct{})
+	go func() {
+		d.Synchronize(1)
+		close(done)
+	}()
+	for clk.Pending() == 0 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	select {
+	case <-done:
+		t.Fatal("Synchronize returned before the kernel finished")
+	default:
+	}
+	clk.Advance(3 * time.Second)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Synchronize did not return after the kernel drained")
+	}
+	if d.BusyStreams() != 0 {
+		t.Fatalf("BusyStreams after drain = %d, want 0", d.BusyStreams())
+	}
+}
+
+func TestStreamSerialization(t *testing.T) {
+	clk := clock.NewManual()
+	e := newStreamEngine(clk, 32)
+	e.launch(1, 0, 2*time.Second)
+	e.launch(1, 0, 2*time.Second) // queues behind the first
+	until := e.busyUntil[streamKey{1, 0}]
+	if want := clock.Epoch.Add(4 * time.Second); !until.Equal(want) {
+		t.Fatalf("same-stream work drains at %v, want %v", until, want)
+	}
+	// A different stream overlaps.
+	e.launch(1, 1, 2*time.Second)
+	until = e.busyUntil[streamKey{1, 1}]
+	if want := clock.Epoch.Add(2 * time.Second); !until.Equal(want) {
+		t.Fatalf("parallel stream drains at %v, want %v", until, want)
+	}
+}
+
+func TestHyperQLimit(t *testing.T) {
+	clk := clock.NewManual()
+	e := newStreamEngine(clk, 2)
+	e.launch(1, 0, 10*time.Second)
+	e.launch(2, 0, 4*time.Second)
+	// Third concurrent stream: must queue behind the earliest (4s).
+	e.launch(3, 0, 1*time.Second)
+	until := e.busyUntil[streamKey{3, 0}]
+	if want := clock.Epoch.Add(5 * time.Second); !until.Equal(want) {
+		t.Fatalf("over-limit stream drains at %v, want %v", until, want)
+	}
+}
+
+func TestLaunchCreatesContext(t *testing.T) {
+	d := New(testProps())
+	if err := d.Launch(42, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !d.HasContext(42) {
+		t.Fatal("Launch did not create a context")
+	}
+}
+
+func TestLatencyConsumesVirtualTime(t *testing.T) {
+	clk := clock.NewManual()
+	lat := Latency{Malloc: 35 * time.Microsecond}
+	d := New(testProps(), WithLatency(lat, clk))
+	done := make(chan struct{})
+	go func() {
+		if _, err := d.Alloc(1, 4096); err != nil {
+			t.Error(err)
+		}
+		close(done)
+	}()
+	for clk.Pending() == 0 {
+		time.Sleep(50 * time.Microsecond)
+	}
+	clk.Advance(35 * time.Microsecond)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Alloc did not complete after advancing the latency")
+	}
+}
+
+// Property-style test: a random alloc/free workload never produces
+// overlapping allocations, never loses memory, and fully coalesces once
+// everything is freed.
+func TestAllocatorRandomWorkload(t *testing.T) {
+	rng := rand.New(rand.NewSource(20170510))
+	for trial := 0; trial < 20; trial++ {
+		d := New(testProps())
+		live := map[uint64]bytesize.Size{}
+		for op := 0; op < 400; op++ {
+			if len(live) == 0 || rng.Intn(2) == 0 {
+				size := bytesize.Size(rng.Intn(int(32*bytesize.MiB))) + 1
+				addr, err := d.Alloc(1, size)
+				if errors.Is(err, ErrOutOfMemory) {
+					continue
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				live[addr] = size
+			} else {
+				var addr uint64
+				for a := range live {
+					addr = a
+					break
+				}
+				freed, err := d.Free(1, addr)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if freed != live[addr] {
+					t.Fatalf("Free(%#x) returned %v, want %v", addr, freed, live[addr])
+				}
+				delete(live, addr)
+			}
+			assertNoOverlap(t, live)
+			var sum bytesize.Size
+			for _, s := range live {
+				sum += s
+			}
+			if got := d.Used(); got != sum+66*bytesize.MiB {
+				t.Fatalf("Used = %v, want %v (allocs %v + context)", got, sum+66*bytesize.MiB, sum)
+			}
+		}
+		for addr := range live {
+			if _, err := d.Free(1, addr); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if n := d.FreeRegions(); n != 1 {
+			t.Fatalf("trial %d: %d free regions after draining, want 1", trial, n)
+		}
+	}
+}
+
+func assertNoOverlap(t *testing.T, live map[uint64]bytesize.Size) {
+	t.Helper()
+	type span struct {
+		lo, hi uint64
+	}
+	spans := make([]span, 0, len(live))
+	for a, s := range live {
+		spans = append(spans, span{a, a + uint64(s)})
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].lo < spans[j].lo })
+	for i := 1; i < len(spans); i++ {
+		if spans[i].lo < spans[i-1].hi {
+			t.Fatalf("allocations overlap: [%#x,%#x) and [%#x,%#x)",
+				spans[i-1].lo, spans[i-1].hi, spans[i].lo, spans[i].hi)
+		}
+	}
+}
+
+func TestConcurrentAllocFree(t *testing.T) {
+	d := New(testProps())
+	const workers = 8
+	done := make(chan struct{}, workers)
+	for w := 0; w < workers; w++ {
+		go func(pid int) {
+			defer func() { done <- struct{}{} }()
+			rng := rand.New(rand.NewSource(int64(pid)))
+			var addrs []uint64
+			for i := 0; i < 200; i++ {
+				if len(addrs) == 0 || rng.Intn(2) == 0 {
+					a, err := d.Alloc(pid, bytesize.Size(rng.Intn(1<<20))+1)
+					if err == nil {
+						addrs = append(addrs, a)
+					}
+				} else {
+					i := rng.Intn(len(addrs))
+					d.Free(pid, addrs[i])
+					addrs = append(addrs[:i], addrs[i+1:]...)
+				}
+			}
+			for _, a := range addrs {
+				d.Free(pid, a)
+			}
+			d.DestroyContext(pid)
+		}(w + 1)
+	}
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	if got := d.Used(); got != 0 {
+		t.Fatalf("Used = %v after all workers drained, want 0", got)
+	}
+	if n := d.FreeRegions(); n != 1 {
+		t.Fatalf("%d free regions after drain, want 1", n)
+	}
+}

@@ -1,0 +1,131 @@
+package gpu
+
+import (
+	"sync"
+	"time"
+
+	"convgpu/internal/clock"
+)
+
+// streamKey identifies a CUDA stream within a process.
+type streamKey struct {
+	pid    int
+	stream int
+}
+
+// streamEngine models Hyper-Q: up to `limit` streams make progress
+// concurrently; work within a stream serializes. The engine tracks, per
+// stream, the time at which its queued work drains. When the concurrency
+// limit is hit, newly launched work cannot start before the earliest busy
+// stream drains — a deliberately simple model of Hyper-Q's 32 hardware
+// work queues that preserves the property the paper relies on: up to 32
+// containers' kernels genuinely overlap on a K20m.
+type streamEngine struct {
+	clk   clock.Clock
+	limit int
+
+	mu        sync.Mutex
+	busyUntil map[streamKey]time.Time
+}
+
+func newStreamEngine(clk clock.Clock, limit int) *streamEngine {
+	if limit <= 0 {
+		limit = 1
+	}
+	return &streamEngine{clk: clk, limit: limit, busyUntil: make(map[streamKey]time.Time)}
+}
+
+func (e *streamEngine) launch(pid, stream int, duration time.Duration) {
+	if duration < 0 {
+		duration = 0
+	}
+	now := e.clk.Now()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.pruneLocked(now)
+	key := streamKey{pid, stream}
+	start := now
+	if until, ok := e.busyUntil[key]; ok && until.After(start) {
+		start = until
+	}
+	// Hyper-Q limit: when `limit` other streams are busy, the new work
+	// queues behind the earliest one to drain.
+	if _, mine := e.busyUntil[key]; !mine && len(e.busyUntil) >= e.limit {
+		earliest := time.Time{}
+		for _, until := range e.busyUntil {
+			if earliest.IsZero() || until.Before(earliest) {
+				earliest = until
+			}
+		}
+		if earliest.After(start) {
+			start = earliest
+		}
+	}
+	e.busyUntil[key] = start.Add(duration)
+}
+
+func (e *streamEngine) pruneLocked(now time.Time) {
+	for k, until := range e.busyUntil {
+		if !until.After(now) {
+			delete(e.busyUntil, k)
+		}
+	}
+}
+
+// synchronize blocks until every stream belonging to pid has drained.
+func (e *streamEngine) synchronize(pid int) {
+	for {
+		now := e.clk.Now()
+		e.mu.Lock()
+		e.pruneLocked(now)
+		var wait time.Duration
+		for k, until := range e.busyUntil {
+			if k.pid == pid {
+				if d := until.Sub(now); d > wait {
+					wait = d
+				}
+			}
+		}
+		e.mu.Unlock()
+		if wait <= 0 {
+			return
+		}
+		e.clk.Sleep(wait)
+	}
+}
+
+// drainTime reports when a stream's queued work completes; the zero
+// time means the stream is idle.
+func (e *streamEngine) drainTime(pid, stream int) time.Time {
+	now := e.clk.Now()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.pruneLocked(now)
+	return e.busyUntil[streamKey{pid, stream}]
+}
+
+// synchronizeStream blocks until one stream of pid drains.
+func (e *streamEngine) synchronizeStream(pid, stream int) {
+	for {
+		now := e.clk.Now()
+		e.mu.Lock()
+		e.pruneLocked(now)
+		until, busy := e.busyUntil[streamKey{pid, stream}]
+		e.mu.Unlock()
+		if !busy {
+			return
+		}
+		if wait := until.Sub(now); wait > 0 {
+			e.clk.Sleep(wait)
+		}
+	}
+}
+
+// busy reports the number of streams with undrained work.
+func (e *streamEngine) busy() int {
+	now := e.clk.Now()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.pruneLocked(now)
+	return len(e.busyUntil)
+}

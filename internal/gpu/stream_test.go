@@ -1,0 +1,118 @@
+package gpu
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"convgpu/internal/bytesize"
+	"convgpu/internal/clock"
+)
+
+func virtualDev(t *testing.T) (*Device, *clock.Manual) {
+	t.Helper()
+	clk := clock.NewManual()
+	return New(K20m(), WithLatency(Latency{}, clk)), clk
+}
+
+func TestStreamDrainTime(t *testing.T) {
+	d, _ := virtualDev(t)
+	if got := d.StreamDrainTime(1, 0); !got.IsZero() {
+		t.Fatalf("idle stream drain time = %v, want zero", got)
+	}
+	if err := d.Launch(1, 0, 4*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := d.StreamDrainTime(1, 0), clock.Epoch.Add(4*time.Second); !got.Equal(want) {
+		t.Fatalf("drain time = %v, want %v", got, want)
+	}
+	// Another pid's stream is unaffected.
+	if got := d.StreamDrainTime(2, 0); !got.IsZero() {
+		t.Fatalf("other pid's drain time = %v, want zero", got)
+	}
+}
+
+func TestSynchronizeStreamWaitsOnlyThatStream(t *testing.T) {
+	d, clk := virtualDev(t)
+	d.Launch(1, 0, 2*time.Second)
+	d.Launch(1, 1, 9*time.Second)
+	done := make(chan struct{})
+	go func() {
+		d.SynchronizeStream(1, 0)
+		close(done)
+	}()
+	for clk.Pending() == 0 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	clk.Advance(2 * time.Second)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("SynchronizeStream blocked on the other stream")
+	}
+	if d.BusyStreams() != 1 {
+		t.Fatalf("BusyStreams = %d, want the 9s stream still busy", d.BusyStreams())
+	}
+}
+
+func TestSynchronizeStreamIdleReturnsImmediately(t *testing.T) {
+	d, _ := virtualDev(t)
+	done := make(chan struct{})
+	go func() {
+		d.SynchronizeStream(1, 0)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("SynchronizeStream on idle stream blocked")
+	}
+}
+
+func TestEnqueueCopy(t *testing.T) {
+	d, _ := virtualDev(t)
+	addr, err := d.Alloc(1, bytesize.GiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.EnqueueCopy(1, addr, bytesize.GiB, 3); err != nil {
+		t.Fatal(err)
+	}
+	// The stream is busy for the PCIe transfer duration (~1/6 s).
+	drain := d.StreamDrainTime(1, 3)
+	busy := drain.Sub(clock.Epoch)
+	want := time.Second / 6
+	if busy < want-time.Millisecond || busy > want+time.Millisecond {
+		t.Fatalf("copy queued %v, want ~%v", busy, want)
+	}
+	// Validation errors.
+	if err := d.EnqueueCopy(1, addr+1, 1, 0); !errors.Is(err, ErrInvalidDevicePointer) {
+		t.Fatalf("bogus addr: %v", err)
+	}
+	if err := d.EnqueueCopy(2, addr, 1, 0); !errors.Is(err, ErrInvalidDevicePointer) {
+		t.Fatalf("cross pid: %v", err)
+	}
+	if err := d.EnqueueCopy(1, addr, 2*bytesize.GiB, 0); !errors.Is(err, ErrInvalidValue) {
+		t.Fatalf("oversized: %v", err)
+	}
+}
+
+func TestEnqueueCopyDoesNotBlockCaller(t *testing.T) {
+	// Unlike Memcpy, EnqueueCopy returns immediately even for a huge
+	// transfer — the stream consumes the time, not the caller.
+	d, _ := virtualDev(t)
+	addr, err := d.Alloc(1, 4*bytesize.GiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		d.EnqueueCopy(1, addr, 4*bytesize.GiB, 0)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("EnqueueCopy blocked the caller")
+	}
+}

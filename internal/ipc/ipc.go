@@ -1,0 +1,347 @@
+// Package ipc implements the UNIX-domain-socket transport ConVGPU uses
+// between the host-side scheduler and the per-container wrapper modules
+// (paper §III-A). The paper chose UNIX sockets because Docker blocks other
+// host<->container IPC and TCP costs more; the scheduler creates one
+// socket per container inside a shared volume directory.
+//
+// Framing is newline-delimited JSON (package protocol). A connection
+// multiplexes concurrent requests: responses are matched to requests by
+// sequence number, so the scheduler can withhold the response to a
+// suspended allocation while continuing to serve the container's other
+// processes.
+package ipc
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"convgpu/internal/protocol"
+)
+
+// MaxLine bounds a single message line. A message is a small JSON object;
+// anything larger indicates a corrupt or hostile peer.
+const MaxLine = 64 * 1024
+
+// ErrClosed is returned for operations on a closed client or server.
+var ErrClosed = errors.New("ipc: connection closed")
+
+// Handler reacts to requests arriving on a server connection.
+//
+// Handle must eventually call respond exactly once with the response
+// message; it may do so after returning (that is how the scheduler
+// suspends an allocation: it parks respond until memory is granted).
+// Closed is invoked once when the connection drops, letting the scheduler
+// release any requests still parked on it.
+type Handler interface {
+	Handle(conn *ServerConn, msg *protocol.Message, respond func(*protocol.Message))
+	Closed(conn *ServerConn)
+}
+
+// Server accepts connections on a UNIX socket and dispatches messages to
+// a Handler.
+type Server struct {
+	ln      net.Listener
+	handler Handler
+	wg      sync.WaitGroup
+
+	mu     sync.Mutex
+	conns  map[*ServerConn]struct{}
+	closed bool
+}
+
+// Listen creates a UNIX socket at path and starts accepting connections.
+func Listen(path string, h Handler) (*Server, error) {
+	return ListenNet("unix", path, h)
+}
+
+// ListenNet is Listen over an arbitrary network ("unix", "tcp"). The
+// paper chose UNIX sockets over TCP for complexity and performance
+// reasons (§III-A); the TCP path exists so the transport ablation can
+// measure that choice.
+func ListenNet(network, addr string, h Handler) (*Server, error) {
+	ln, err := net.Listen(network, addr)
+	if err != nil {
+		return nil, fmt.Errorf("ipc: listen %s %s: %w", network, addr, err)
+	}
+	s := &Server{ln: ln, handler: h, conns: make(map[*ServerConn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the socket path the server listens on.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		sc := &ServerConn{conn: c, server: s}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			c.Close()
+			return
+		}
+		s.conns[sc] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			sc.readLoop(s.handler)
+			s.mu.Lock()
+			delete(s.conns, sc)
+			s.mu.Unlock()
+			s.handler.Closed(sc)
+		}()
+	}
+}
+
+// Close shuts the listener and all live connections down and waits for
+// the handler goroutines to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := make([]*ServerConn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	for _, c := range conns {
+		c.conn.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// ServerConn is one accepted connection. The scheduler attaches the
+// owning container's identity to it via SetTag.
+type ServerConn struct {
+	conn   net.Conn
+	server *Server
+
+	writeMu sync.Mutex
+
+	tagMu sync.Mutex
+	tag   string
+}
+
+// SetTag associates an identity (the container ID) with the connection.
+func (c *ServerConn) SetTag(tag string) {
+	c.tagMu.Lock()
+	defer c.tagMu.Unlock()
+	c.tag = tag
+}
+
+// Tag returns the identity set by SetTag, or "".
+func (c *ServerConn) Tag() string {
+	c.tagMu.Lock()
+	defer c.tagMu.Unlock()
+	return c.tag
+}
+
+// Send writes a message on the connection. Sends are serialized, so
+// delayed responses from parked allocation requests never interleave
+// bytes with concurrent replies.
+func (c *ServerConn) Send(m *protocol.Message) error {
+	b, err := protocol.Encode(m)
+	if err != nil {
+		return err
+	}
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	_, err = c.conn.Write(b)
+	return err
+}
+
+func (c *ServerConn) readLoop(h Handler) {
+	r := bufio.NewReaderSize(c.conn, 4096)
+	for {
+		line, err := readLine(r)
+		if err != nil {
+			return
+		}
+		msg, err := protocol.Decode(line)
+		if err != nil {
+			// A malformed message gets an error response when we can
+			// still extract a sequence number; otherwise the connection
+			// is dropped to protect the scheduler.
+			c.Send(&protocol.Message{Type: protocol.TypeResponse, OK: false, Error: err.Error()})
+			continue
+		}
+		respond := respondOnce(c, msg)
+		h.Handle(c, msg, respond)
+	}
+}
+
+// respondOnce wraps ServerConn.Send so a handler calling respond more
+// than once (a bug) cannot emit duplicate responses on the wire.
+func respondOnce(c *ServerConn, req *protocol.Message) func(*protocol.Message) {
+	var once sync.Once
+	return func(resp *protocol.Message) {
+		once.Do(func() {
+			resp.Seq = req.Seq
+			resp.Type = protocol.TypeResponse
+			c.Send(resp)
+		})
+	}
+}
+
+func readLine(r *bufio.Reader) ([]byte, error) {
+	var buf []byte
+	for {
+		chunk, isPrefix, err := r.ReadLine()
+		if err != nil {
+			return nil, err
+		}
+		buf = append(buf, chunk...)
+		if len(buf) > MaxLine {
+			return nil, fmt.Errorf("ipc: message exceeds %d bytes", MaxLine)
+		}
+		if !isPrefix {
+			return buf, nil
+		}
+	}
+}
+
+// Client is the wrapper-module side of a connection.
+type Client struct {
+	conn net.Conn
+
+	writeMu sync.Mutex
+
+	mu      sync.Mutex
+	pending map[uint64]chan *protocol.Message
+	seq     uint64
+	closed  bool
+	readErr error
+	done    chan struct{}
+}
+
+// Dial connects to the scheduler's UNIX socket at path.
+func Dial(path string) (*Client, error) {
+	return DialNet("unix", path)
+}
+
+// DialNet is Dial over an arbitrary network ("unix", "tcp").
+func DialNet(network, addr string) (*Client, error) {
+	conn, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, fmt.Errorf("ipc: dial %s %s: %w", network, addr, err)
+	}
+	c := &Client{
+		conn:    conn,
+		pending: make(map[uint64]chan *protocol.Message),
+		done:    make(chan struct{}),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+func (c *Client) readLoop() {
+	r := bufio.NewReaderSize(c.conn, 4096)
+	var err error
+	for {
+		var line []byte
+		line, err = readLine(r)
+		if err != nil {
+			break
+		}
+		msg, derr := protocol.Decode(line)
+		if derr != nil {
+			continue // skip unparseable frames; Call timeouts surface it
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[msg.Seq]
+		if ok {
+			delete(c.pending, msg.Seq)
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- msg
+		}
+	}
+	if err == io.EOF {
+		err = ErrClosed
+	}
+	c.mu.Lock()
+	c.closed = true
+	c.readErr = err
+	for seq, ch := range c.pending {
+		close(ch)
+		delete(c.pending, seq)
+	}
+	c.mu.Unlock()
+	close(c.done)
+}
+
+// Call sends m (assigning a fresh sequence number) and blocks until the
+// matching response arrives, the context is done, or the connection
+// fails. A suspended allocation simply blocks here — that is the
+// mechanism by which ConVGPU pauses a container's allocation call.
+func (c *Client) Call(ctx context.Context, m *protocol.Message) (*protocol.Message, error) {
+	ch := make(chan *protocol.Message, 1)
+	c.mu.Lock()
+	if c.closed {
+		err := c.readErr
+		c.mu.Unlock()
+		if err == nil {
+			err = ErrClosed
+		}
+		return nil, err
+	}
+	c.seq++
+	m.Seq = c.seq
+	c.pending[m.Seq] = ch
+	c.mu.Unlock()
+
+	b, err := protocol.Encode(m)
+	if err != nil {
+		c.forget(m.Seq)
+		return nil, err
+	}
+	c.writeMu.Lock()
+	_, err = c.conn.Write(b)
+	c.writeMu.Unlock()
+	if err != nil {
+		c.forget(m.Seq)
+		return nil, fmt.Errorf("ipc: write: %w", err)
+	}
+
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			return nil, ErrClosed
+		}
+		return resp, nil
+	case <-ctx.Done():
+		c.forget(m.Seq)
+		return nil, ctx.Err()
+	}
+}
+
+func (c *Client) forget(seq uint64) {
+	c.mu.Lock()
+	delete(c.pending, seq)
+	c.mu.Unlock()
+}
+
+// Close tears the connection down; in-flight Calls fail with ErrClosed.
+func (c *Client) Close() error {
+	err := c.conn.Close()
+	<-c.done
+	return err
+}

@@ -1,0 +1,382 @@
+package ipc
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"convgpu/internal/protocol"
+)
+
+// echoHandler responds immediately, echoing the request's Size.
+type echoHandler struct {
+	closed int32
+}
+
+func (h *echoHandler) Handle(conn *ServerConn, msg *protocol.Message, respond func(*protocol.Message)) {
+	respond(&protocol.Message{OK: true, Free: msg.Size})
+}
+
+func (h *echoHandler) Closed(conn *ServerConn) { atomic.AddInt32(&h.closed, 1) }
+
+// parkHandler withholds responses until Release is called — the same
+// mechanism the scheduler uses to suspend an allocation.
+type parkHandler struct {
+	mu     sync.Mutex
+	parked []func(*protocol.Message)
+}
+
+func (h *parkHandler) Handle(conn *ServerConn, msg *protocol.Message, respond func(*protocol.Message)) {
+	if msg.Type == protocol.TypeAlloc {
+		h.mu.Lock()
+		h.parked = append(h.parked, respond)
+		h.mu.Unlock()
+		return
+	}
+	respond(&protocol.Message{OK: true})
+}
+
+func (h *parkHandler) Closed(conn *ServerConn) {}
+
+func (h *parkHandler) Release() int {
+	h.mu.Lock()
+	parked := h.parked
+	h.parked = nil
+	h.mu.Unlock()
+	for _, r := range parked {
+		r(&protocol.Message{OK: true, Decision: protocol.DecisionAccept})
+	}
+	return len(parked)
+}
+
+func sockPath(t *testing.T) string {
+	t.Helper()
+	// Unix socket paths are length-limited (~104 bytes); keep them short.
+	return filepath.Join(t.TempDir(), "s.sock")
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	h := &echoHandler{}
+	srv, err := Listen(sockPath(t), h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	resp, err := cli.Call(context.Background(), &protocol.Message{Type: protocol.TypeMemInfo, Size: 1234})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.OK || resp.Free != 1234 {
+		t.Fatalf("resp = %+v, want OK with Free=1234", resp)
+	}
+}
+
+func TestConcurrentCallsMultiplex(t *testing.T) {
+	h := &echoHandler{}
+	srv, err := Listen(sockPath(t), h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	const n = 64
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 1; i <= n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := cli.Call(context.Background(), &protocol.Message{Type: protocol.TypeMemInfo, Size: int64(i)})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if resp.Free != int64(i) {
+				errs <- fmt.Errorf("call %d got Free=%d", i, resp.Free)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestSuspendedResponseDelivery(t *testing.T) {
+	h := &parkHandler{}
+	srv, err := Listen(sockPath(t), h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	got := make(chan *protocol.Message, 1)
+	go func() {
+		resp, err := cli.Call(context.Background(), &protocol.Message{Type: protocol.TypeAlloc, PID: 1, Size: 64})
+		if err == nil {
+			got <- resp
+		} else {
+			close(got)
+		}
+	}()
+
+	// While one request is parked, a second request on the same
+	// connection must still get through.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		h.mu.Lock()
+		n := len(h.parked)
+		h.mu.Unlock()
+		if n == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("alloc request never reached the handler")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	resp, err := cli.Call(context.Background(), &protocol.Message{Type: protocol.TypeMemInfo})
+	if err != nil || !resp.OK {
+		t.Fatalf("second call during suspension: resp=%+v err=%v", resp, err)
+	}
+	select {
+	case <-got:
+		t.Fatal("suspended call returned before Release")
+	default:
+	}
+
+	if n := h.Release(); n != 1 {
+		t.Fatalf("Release freed %d requests, want 1", n)
+	}
+	select {
+	case resp, ok := <-got:
+		if !ok {
+			t.Fatal("suspended call failed")
+		}
+		if resp.Decision != protocol.DecisionAccept {
+			t.Fatalf("suspended call resp = %+v", resp)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("suspended call never completed after Release")
+	}
+}
+
+func TestCallContextCancel(t *testing.T) {
+	h := &parkHandler{}
+	srv, err := Listen(sockPath(t), h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, err = cli.Call(ctx, &protocol.Message{Type: protocol.TypeAlloc, PID: 1, Size: 64})
+	if err != context.DeadlineExceeded {
+		t.Fatalf("Call err = %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestClientCloseFailsInflight(t *testing.T) {
+	h := &parkHandler{}
+	srv, err := Listen(sockPath(t), h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := cli.Call(context.Background(), &protocol.Message{Type: protocol.TypeAlloc, PID: 1, Size: 64})
+		errCh <- err
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		h.mu.Lock()
+		n := len(h.parked)
+		h.mu.Unlock()
+		if n == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("request never parked")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	cli.Close()
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Fatal("in-flight call succeeded after Close")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("in-flight call did not fail after Close")
+	}
+	if _, err := cli.Call(context.Background(), &protocol.Message{Type: protocol.TypeMemInfo}); err == nil {
+		t.Fatal("Call on closed client succeeded")
+	}
+}
+
+func TestServerCloseNotifiesHandler(t *testing.T) {
+	h := &echoHandler{}
+	srv, err := Listen(sockPath(t), h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.Call(context.Background(), &protocol.Message{Type: protocol.TypeMemInfo}); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close() // waits for connection goroutines
+	if n := atomic.LoadInt32(&h.closed); n != 1 {
+		t.Fatalf("Closed called %d times, want 1", n)
+	}
+	cli.Close()
+}
+
+func TestServerConnTag(t *testing.T) {
+	type tagCheck struct {
+		mu  sync.Mutex
+		got string
+	}
+	tc := &tagCheck{}
+	h := handlerFunc{
+		handle: func(conn *ServerConn, msg *protocol.Message, respond func(*protocol.Message)) {
+			if msg.Type == protocol.TypeRegister {
+				conn.SetTag(msg.Container)
+			}
+			tc.mu.Lock()
+			tc.got = conn.Tag()
+			tc.mu.Unlock()
+			respond(&protocol.Message{OK: true})
+		},
+	}
+	srv, err := Listen(sockPath(t), h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if _, err := cli.Call(context.Background(), &protocol.Message{Type: protocol.TypeRegister, Container: "cont-7", Limit: 1}); err != nil {
+		t.Fatal(err)
+	}
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	if tc.got != "cont-7" {
+		t.Fatalf("connection tag = %q, want cont-7", tc.got)
+	}
+}
+
+type handlerFunc struct {
+	handle func(*ServerConn, *protocol.Message, func(*protocol.Message))
+}
+
+func (h handlerFunc) Handle(c *ServerConn, m *protocol.Message, r func(*protocol.Message)) {
+	h.handle(c, m, r)
+}
+func (h handlerFunc) Closed(c *ServerConn) {}
+
+func TestRespondOnceSuppressesDuplicates(t *testing.T) {
+	h := handlerFunc{
+		handle: func(c *ServerConn, m *protocol.Message, respond func(*protocol.Message)) {
+			respond(&protocol.Message{OK: true, Free: 1})
+			respond(&protocol.Message{OK: true, Free: 2}) // must be dropped
+		},
+	}
+	srv, err := Listen(sockPath(t), h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	resp, err := cli.Call(context.Background(), &protocol.Message{Type: protocol.TypeMemInfo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Free != 1 {
+		t.Fatalf("got Free=%d, want first response (1)", resp.Free)
+	}
+	// A second call still works; the duplicate did not corrupt framing.
+	resp, err = cli.Call(context.Background(), &protocol.Message{Type: protocol.TypeMemInfo})
+	if err != nil || resp.Free != 1 {
+		t.Fatalf("followup call resp=%+v err=%v", resp, err)
+	}
+}
+
+func TestMalformedFrameDoesNotKillConnection(t *testing.T) {
+	h := &echoHandler{}
+	srv, err := Listen(sockPath(t), h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	// Inject garbage directly, then make a normal call.
+	if _, err := cli.conn.Write([]byte("this is not json\n")); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	resp, err := cli.Call(ctx, &protocol.Message{Type: protocol.TypeMemInfo, Size: 7})
+	if err != nil {
+		t.Fatalf("call after garbage frame: %v", err)
+	}
+	if resp.Free != 7 {
+		t.Fatalf("resp = %+v", resp)
+	}
+}
+
+func TestDialMissingSocket(t *testing.T) {
+	if _, err := Dial(filepath.Join(t.TempDir(), "absent.sock")); err == nil {
+		t.Fatal("Dial on missing socket succeeded")
+	}
+}

@@ -1,0 +1,265 @@
+// Package metrics provides the statistics and table rendering the
+// experiment harness uses to report results in the shape of the paper's
+// tables (Table IV/V: algorithm rows x container-count columns) and
+// figures.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Summary describes a sample of measurements.
+type Summary struct {
+	N        int
+	Mean     float64
+	Std      float64 // sample standard deviation
+	StdErr   float64
+	Min, Max float64
+}
+
+// Summarize computes summary statistics. An empty sample yields zeros.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if s.N == 0 {
+		return s
+	}
+	s.Min, s.Max = xs[0], xs[0]
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N > 1 {
+		var ss float64
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Std = math.Sqrt(ss / float64(s.N-1))
+		s.StdErr = s.Std / math.Sqrt(float64(s.N))
+	}
+	return s
+}
+
+// Mean is the arithmetic mean (0 for an empty sample).
+func Mean(xs []float64) float64 { return Summarize(xs).Mean }
+
+// MeanDuration averages durations.
+func MeanDuration(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range ds {
+		sum += d
+	}
+	return sum / time.Duration(len(ds))
+}
+
+// Seconds converts durations to float seconds for summarizing.
+func Seconds(ds []time.Duration) []float64 {
+	out := make([]float64, len(ds))
+	for i, d := range ds {
+		out[i] = d.Seconds()
+	}
+	return out
+}
+
+// Table is a labelled grid of numbers, rendered like the paper's tables.
+type Table struct {
+	// Title is printed above the table.
+	Title string
+	// ColHeader labels the column dimension (e.g. "Number of Containers").
+	ColHeader string
+	// Cols are the column labels (e.g. "4", "6", ... "38").
+	Cols []string
+	// Rows hold one labelled series each (e.g. "FIFO (sec)").
+	Rows []Row
+}
+
+// Row is one labelled series.
+type Row struct {
+	Label string
+	Cells []float64
+}
+
+// AddRow appends a series; the cell count should match Cols.
+func (t *Table) AddRow(label string, cells []float64) {
+	t.Rows = append(t.Rows, Row{Label: label, Cells: cells})
+}
+
+// Render writes an aligned text table.
+func (t *Table) Render(w io.Writer) error {
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", t.Title); err != nil {
+			return err
+		}
+	}
+	if t.ColHeader != "" {
+		if _, err := fmt.Fprintf(w, "  (%s)\n", t.ColHeader); err != nil {
+			return err
+		}
+	}
+	labelW := 0
+	for _, r := range t.Rows {
+		if len(r.Label) > labelW {
+			labelW = len(r.Label)
+		}
+	}
+	colW := make([]int, len(t.Cols))
+	cells := make([][]string, len(t.Rows))
+	for i, r := range t.Rows {
+		cells[i] = make([]string, len(r.Cells))
+		for j, v := range r.Cells {
+			cells[i][j] = formatCell(v)
+		}
+	}
+	for j, c := range t.Cols {
+		colW[j] = len(c)
+		for i := range cells {
+			if j < len(cells[i]) && len(cells[i][j]) > colW[j] {
+				colW[j] = len(cells[i][j])
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-*s", labelW, "")
+	for j, c := range t.Cols {
+		fmt.Fprintf(&b, "  %*s", colW[j], c)
+	}
+	b.WriteByte('\n')
+	for i, r := range t.Rows {
+		fmt.Fprintf(&b, "%-*s", labelW, r.Label)
+		for j := range t.Cols {
+			cell := ""
+			if j < len(cells[i]) {
+				cell = cells[i][j]
+			}
+			fmt.Fprintf(&b, "  %*s", colW[j], cell)
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// CSV writes the table as comma-separated values with a header row.
+func (t *Table) CSV(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("series")
+	for _, c := range t.Cols {
+		b.WriteByte(',')
+		b.WriteString(c)
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		b.WriteString(r.Label)
+		for j := range t.Cols {
+			b.WriteByte(',')
+			if j < len(r.Cells) {
+				b.WriteString(formatCell(r.Cells[j]))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func formatCell(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "-"
+	case v != math.Trunc(v) || math.Abs(v) < 1000:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}
+
+// Bar renders a simple horizontal ASCII bar chart for figure-style
+// output (Fig. 4/5/6 are bar charts in the paper).
+type Bar struct {
+	Title string
+	Unit  string
+	Items []BarItem
+	// Width is the maximum bar width in characters (default 50).
+	Width int
+}
+
+// BarItem is one bar.
+type BarItem struct {
+	Label string
+	Value float64
+}
+
+// Add appends a bar.
+func (b *Bar) Add(label string, v float64) {
+	b.Items = append(b.Items, BarItem{label, v})
+}
+
+// Render writes the chart.
+func (b *Bar) Render(w io.Writer) error {
+	width := b.Width
+	if width <= 0 {
+		width = 50
+	}
+	if b.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", b.Title); err != nil {
+			return err
+		}
+	}
+	labelW, max := 0, 0.0
+	for _, it := range b.Items {
+		if len(it.Label) > labelW {
+			labelW = len(it.Label)
+		}
+		if it.Value > max {
+			max = it.Value
+		}
+	}
+	for _, it := range b.Items {
+		n := 0
+		if max > 0 {
+			n = int(math.Round(it.Value / max * float64(width)))
+		}
+		if _, err := fmt.Fprintf(w, "%-*s | %s %.4g %s\n", labelW, it.Label, strings.Repeat("#", n), it.Value, b.Unit); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Percentile returns the p-quantile (0..1) of xs by linear
+// interpolation; xs need not be sorted.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 1 {
+		return s[len(s)-1]
+	}
+	pos := p * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= len(s) {
+		return s[lo]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}

@@ -1,0 +1,146 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || !almost(s.Mean, 5) {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Fatalf("min/max = %v/%v", s.Min, s.Max)
+	}
+	// Sample std of this classic dataset is sqrt(32/7).
+	if want := math.Sqrt(32.0 / 7.0); !almost(s.Std, want) {
+		t.Fatalf("std = %v, want %v", s.Std, want)
+	}
+	if want := math.Sqrt(32.0/7.0) / math.Sqrt(8); !almost(s.StdErr, want) {
+		t.Fatalf("stderr = %v, want %v", s.StdErr, want)
+	}
+}
+
+func TestSummarizeEdge(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+	if s := Summarize([]float64{3}); s.N != 1 || s.Mean != 3 || s.Std != 0 {
+		t.Fatalf("singleton summary = %+v", s)
+	}
+}
+
+func TestMeanDuration(t *testing.T) {
+	if MeanDuration(nil) != 0 {
+		t.Fatal("empty MeanDuration != 0")
+	}
+	got := MeanDuration([]time.Duration{time.Second, 3 * time.Second})
+	if got != 2*time.Second {
+		t.Fatalf("MeanDuration = %v", got)
+	}
+}
+
+func TestSeconds(t *testing.T) {
+	got := Seconds([]time.Duration{1500 * time.Millisecond})
+	if len(got) != 1 || !almost(got[0], 1.5) {
+		t.Fatalf("Seconds = %v", got)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{Title: "T", ColHeader: "N", Cols: []string{"4", "6"}}
+	tab.AddRow("FIFO (sec)", []float64{67.6, 134.1})
+	tab.AddRow("BF (sec)", []float64{68.2, 134.0})
+	var b strings.Builder
+	if err := tab.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"T\n", "FIFO (sec)", "BF (sec)", "67.6", "134.0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := &Table{Cols: []string{"4", "6"}}
+	tab.AddRow("FIFO", []float64{1, 2})
+	var b strings.Builder
+	if err := tab.CSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if lines[0] != "series,4,6" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "FIFO,1.0,2.0" {
+		t.Fatalf("row = %q", lines[1])
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tab := &Table{Cols: []string{"a", "b", "c"}}
+	tab.AddRow("short", []float64{1})
+	var b strings.Builder
+	if err := tab.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.CSV(&b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarRender(t *testing.T) {
+	bar := &Bar{Title: "Fig", Unit: "ms", Width: 10}
+	bar.Add("with", 0.082)
+	bar.Add("without", 0.035)
+	var b strings.Builder
+	if err := bar.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "with") || !strings.Contains(out, "0.082 ms") {
+		t.Fatalf("bar output:\n%s", out)
+	}
+	// The larger value gets the full width.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if !strings.Contains(lines[1], strings.Repeat("#", 10)) {
+		t.Fatalf("max bar not full width:\n%s", out)
+	}
+}
+
+func TestBarEmptyAndZero(t *testing.T) {
+	bar := &Bar{}
+	var b strings.Builder
+	if err := bar.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	bar.Add("zero", 0)
+	if err := bar.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {-1, 1}, {2, 4},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !almost(got, c.want) {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 0.5) != 0 {
+		t.Error("empty percentile != 0")
+	}
+}

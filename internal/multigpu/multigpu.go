@@ -1,0 +1,390 @@
+// Package multigpu implements the paper's first stated piece of future
+// work (§V): "extend the ConVGPU in a multiple GPU with an appropriate
+// algorithm to achieve better performance."
+//
+// The design keeps the single-GPU scheduler core untouched: one
+// core.State per device, plus a placement policy that decides, at
+// registration time, which GPU a container lives on. A container's
+// processes then talk to their device's scheduler exactly as before —
+// CUDA contexts are bound to one device, so a container never migrates.
+//
+// Four placement policies are provided, mirroring the flavor of the
+// paper's four redistribution algorithms:
+//
+//   - round-robin: rotate across devices;
+//   - least-loaded: the device with the most unassigned memory;
+//   - first-fit: the first device whose pool covers the full request;
+//   - best-fit: the device with the smallest pool still covering the
+//     full request (pack tight, keep big pools for big containers).
+package multigpu
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"convgpu/internal/bytesize"
+	"convgpu/internal/clock"
+	"convgpu/internal/core"
+)
+
+// ErrUnknownContainer mirrors core.ErrUnknownContainer at cluster scope.
+var ErrUnknownContainer = errors.New("multigpu: unknown container")
+
+// DeviceInfo summarizes one device for placement decisions.
+type DeviceInfo struct {
+	// Index is the device ordinal.
+	Index int
+	// Capacity is the device's schedulable memory.
+	Capacity bytesize.Size
+	// PoolFree is the memory not assigned to any container.
+	PoolFree bytesize.Size
+	// Containers is the number of containers placed on the device.
+	Containers int
+}
+
+// Policy selects a device for a new container. Place returns a device
+// index, or -1 to refuse (no device can ever hold the limit).
+type Policy interface {
+	Name() string
+	Place(limit bytesize.Size, devs []DeviceInfo) int
+}
+
+// Policy names understood by NewPolicy.
+const (
+	PolicyRoundRobin  = "roundrobin"
+	PolicyLeastLoaded = "leastloaded"
+	PolicyFirstFit    = "firstfit"
+	PolicyBestFit     = "bestfit"
+)
+
+// PolicyNames lists the placement policies.
+func PolicyNames() []string {
+	return []string{PolicyRoundRobin, PolicyLeastLoaded, PolicyFirstFit, PolicyBestFit}
+}
+
+// NewPolicy constructs a policy by name.
+func NewPolicy(name string) (Policy, error) {
+	switch strings.ToLower(name) {
+	case PolicyRoundRobin, "rr":
+		return &RoundRobin{}, nil
+	case PolicyLeastLoaded, "ll":
+		return LeastLoaded{}, nil
+	case PolicyFirstFit, "ff":
+		return FirstFit{}, nil
+	case PolicyBestFit, "bf":
+		return BestFitDevice{}, nil
+	default:
+		return nil, fmt.Errorf("multigpu: unknown placement policy %q", name)
+	}
+}
+
+// RoundRobin rotates placements across devices that can ever fit the
+// limit.
+type RoundRobin struct {
+	mu   sync.Mutex
+	next int
+}
+
+// Name implements Policy.
+func (*RoundRobin) Name() string { return PolicyRoundRobin }
+
+// Place implements Policy.
+func (r *RoundRobin) Place(limit bytesize.Size, devs []DeviceInfo) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := 0; i < len(devs); i++ {
+		d := devs[(r.next+i)%len(devs)]
+		if d.Capacity >= limit {
+			r.next = (d.Index + 1) % len(devs)
+			return d.Index
+		}
+	}
+	return -1
+}
+
+// LeastLoaded picks the device with the largest unassigned pool,
+// balancing memory pressure.
+type LeastLoaded struct{}
+
+// Name implements Policy.
+func (LeastLoaded) Name() string { return PolicyLeastLoaded }
+
+// Place implements Policy.
+func (LeastLoaded) Place(limit bytesize.Size, devs []DeviceInfo) int {
+	best := -1
+	for _, d := range devs {
+		if d.Capacity < limit {
+			continue
+		}
+		if best == -1 || d.PoolFree > devs[best].PoolFree {
+			best = d.Index
+		}
+	}
+	return best
+}
+
+// FirstFit picks the first device whose free pool covers the whole
+// limit, falling back to the least-loaded when none does.
+type FirstFit struct{}
+
+// Name implements Policy.
+func (FirstFit) Name() string { return PolicyFirstFit }
+
+// Place implements Policy.
+func (FirstFit) Place(limit bytesize.Size, devs []DeviceInfo) int {
+	for _, d := range devs {
+		if d.Capacity >= limit && d.PoolFree >= limit {
+			return d.Index
+		}
+	}
+	return LeastLoaded{}.Place(limit, devs)
+}
+
+// BestFitDevice picks the device with the smallest pool that still
+// covers the whole limit (tight packing keeps large pools intact for
+// large containers), falling back to the least-loaded.
+type BestFitDevice struct{}
+
+// Name implements Policy.
+func (BestFitDevice) Name() string { return PolicyBestFit }
+
+// Place implements Policy.
+func (BestFitDevice) Place(limit bytesize.Size, devs []DeviceInfo) int {
+	best := -1
+	for _, d := range devs {
+		if d.Capacity < limit || d.PoolFree < limit {
+			continue
+		}
+		if best == -1 || d.PoolFree < devs[best].PoolFree {
+			best = d.Index
+		}
+	}
+	if best != -1 {
+		return best
+	}
+	return LeastLoaded{}.Place(limit, devs)
+}
+
+// Config assembles a multi-GPU scheduler.
+type Config struct {
+	// Devices is the number of GPUs (required, >= 1).
+	Devices int
+	// CapacityPerDevice is each device's schedulable memory.
+	CapacityPerDevice bytesize.Size
+	// Algorithm is the per-device redistribution algorithm name.
+	Algorithm string
+	// AlgSeed seeds the Random algorithm.
+	AlgSeed int64
+	// Policy places containers onto devices (default least-loaded).
+	Policy Policy
+	// Clock is shared by all per-device schedulers.
+	Clock clock.Clock
+	// ContextOverhead per process (default 66 MiB).
+	ContextOverhead bytesize.Size
+	// PersistentGrants selects the non-reclaiming grant semantics.
+	PersistentGrants bool
+}
+
+// Scheduler manages one core.State per GPU plus the placement map.
+type Scheduler struct {
+	states []*core.State
+	policy Policy
+
+	mu        sync.Mutex
+	placement map[core.ContainerID]int
+}
+
+// New builds the multi-GPU scheduler.
+func New(cfg Config) (*Scheduler, error) {
+	if cfg.Devices < 1 {
+		return nil, fmt.Errorf("multigpu: need at least one device, got %d", cfg.Devices)
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = LeastLoaded{}
+	}
+	if cfg.Algorithm == "" {
+		cfg.Algorithm = core.AlgFIFO
+	}
+	states := make([]*core.State, cfg.Devices)
+	for i := range states {
+		alg, err := core.NewAlgorithm(cfg.Algorithm, cfg.AlgSeed+int64(i))
+		if err != nil {
+			return nil, err
+		}
+		st, err := core.New(core.Config{
+			Capacity:         cfg.CapacityPerDevice,
+			Algorithm:        alg,
+			Clock:            cfg.Clock,
+			ContextOverhead:  cfg.ContextOverhead,
+			PersistentGrants: cfg.PersistentGrants,
+		})
+		if err != nil {
+			return nil, err
+		}
+		states[i] = st
+	}
+	return &Scheduler{
+		states:    states,
+		policy:    cfg.Policy,
+		placement: make(map[core.ContainerID]int),
+	}, nil
+}
+
+// Devices reports per-device summaries.
+func (s *Scheduler) Devices() []DeviceInfo {
+	s.mu.Lock()
+	perDev := make([]int, len(s.states))
+	for _, d := range s.placement {
+		perDev[d]++
+	}
+	s.mu.Unlock()
+	out := make([]DeviceInfo, len(s.states))
+	for i, st := range s.states {
+		out[i] = DeviceInfo{
+			Index:      i,
+			Capacity:   st.Capacity(),
+			PoolFree:   st.PoolFree(),
+			Containers: perDev[i],
+		}
+	}
+	return out
+}
+
+// PolicyName returns the active placement policy's name.
+func (s *Scheduler) PolicyName() string { return s.policy.Name() }
+
+// Register places the container on a device and registers it there.
+// It returns the chosen device and the initial grant.
+func (s *Scheduler) Register(id core.ContainerID, limit bytesize.Size) (device int, granted bytesize.Size, err error) {
+	devs := s.Devices()
+	device = s.policy.Place(limit, devs)
+	if device < 0 || device >= len(s.states) {
+		return -1, 0, fmt.Errorf("multigpu: no device can hold a %v container", limit)
+	}
+	granted, err = s.states[device].Register(id, limit)
+	if err != nil {
+		return -1, 0, err
+	}
+	s.mu.Lock()
+	s.placement[id] = device
+	s.mu.Unlock()
+	return device, granted, nil
+}
+
+// stateOf resolves the device scheduler owning a container.
+func (s *Scheduler) stateOf(id core.ContainerID) (*core.State, int, error) {
+	s.mu.Lock()
+	d, ok := s.placement[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, -1, fmt.Errorf("%w: %s", ErrUnknownContainer, id)
+	}
+	return s.states[d], d, nil
+}
+
+// Placement reports which device a container lives on.
+func (s *Scheduler) Placement(id core.ContainerID) (int, error) {
+	_, d, err := s.stateOf(id)
+	return d, err
+}
+
+// RequestAlloc forwards to the container's device scheduler.
+func (s *Scheduler) RequestAlloc(id core.ContainerID, pid int, size bytesize.Size) (core.AllocResult, error) {
+	st, _, err := s.stateOf(id)
+	if err != nil {
+		return core.AllocResult{}, err
+	}
+	return st.RequestAlloc(id, pid, size)
+}
+
+// ConfirmAlloc forwards to the container's device scheduler.
+func (s *Scheduler) ConfirmAlloc(id core.ContainerID, pid int, addr uint64, size bytesize.Size) error {
+	st, _, err := s.stateOf(id)
+	if err != nil {
+		return err
+	}
+	return st.ConfirmAlloc(id, pid, addr, size)
+}
+
+// Free forwards to the container's device scheduler.
+func (s *Scheduler) Free(id core.ContainerID, pid int, addr uint64) (bytesize.Size, core.Update, error) {
+	st, _, err := s.stateOf(id)
+	if err != nil {
+		return 0, core.Update{}, err
+	}
+	return st.Free(id, pid, addr)
+}
+
+// ProcessExit forwards to the container's device scheduler.
+func (s *Scheduler) ProcessExit(id core.ContainerID, pid int) (bytesize.Size, core.Update, error) {
+	st, _, err := s.stateOf(id)
+	if err != nil {
+		return 0, core.Update{}, err
+	}
+	return st.ProcessExit(id, pid)
+}
+
+// Close forwards the close signal and forgets the placement.
+func (s *Scheduler) Close(id core.ContainerID) (bytesize.Size, core.Update, error) {
+	st, _, err := s.stateOf(id)
+	if err != nil {
+		return 0, core.Update{}, err
+	}
+	released, u, err := st.Close(id)
+	if err == nil {
+		s.mu.Lock()
+		delete(s.placement, id)
+		s.mu.Unlock()
+	}
+	return released, u, err
+}
+
+// MemInfo forwards to the container's device scheduler.
+func (s *Scheduler) MemInfo(id core.ContainerID) (free, total bytesize.Size, err error) {
+	st, _, err := s.stateOf(id)
+	if err != nil {
+		return 0, 0, err
+	}
+	return st.MemInfo(id)
+}
+
+// Info returns the scheduler snapshot row for a container.
+func (s *Scheduler) Info(id core.ContainerID) (core.ContainerInfo, error) {
+	st, _, err := s.stateOf(id)
+	if err != nil {
+		return core.ContainerInfo{}, err
+	}
+	return st.Info(id)
+}
+
+// TotalUsed sums usage across every device.
+func (s *Scheduler) TotalUsed() bytesize.Size {
+	var total bytesize.Size
+	for _, st := range s.states {
+		total += st.TotalUsed()
+	}
+	return total
+}
+
+// SimBackend adapts the scheduler to the simulator's Backend interface
+// (whose Register does not report the placement).
+type SimBackend struct{ *Scheduler }
+
+// Register implements the simulator backend by dropping the device
+// index from the placement result.
+func (b SimBackend) Register(id core.ContainerID, limit bytesize.Size) (bytesize.Size, error) {
+	_, granted, err := b.Scheduler.Register(id, limit)
+	return granted, err
+}
+
+// CheckInvariants validates every per-device scheduler.
+func (s *Scheduler) CheckInvariants() error {
+	for i, st := range s.states {
+		if err := st.CheckInvariants(); err != nil {
+			return fmt.Errorf("device %d: %w", i, err)
+		}
+	}
+	return nil
+}

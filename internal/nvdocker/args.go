@@ -1,0 +1,131 @@
+package nvdocker
+
+import (
+	"fmt"
+	"strings"
+
+	"convgpu/internal/bytesize"
+)
+
+// Command is a parsed docker-style command line. nvidia-docker "only
+// captures run and create command, and the other docker commands are
+// passed through to the docker" (paper §II-D); Passthrough marks those.
+type Command struct {
+	// Verb is the docker subcommand ("run", "create", "ps", ...).
+	Verb string
+	// Passthrough is true for verbs nvidia-docker does not interpret.
+	Passthrough bool
+	// ImageName is the positional image argument of run/create.
+	ImageName string
+	// Args are the remaining positional arguments after the image.
+	Args []string
+	// Options carries the interpreted flags (Image and Program are
+	// resolved by the caller).
+	Options Options
+}
+
+// ParseArgs parses a docker-like command line:
+//
+//	run|create [--nvidia-memory=SIZE] [--name NAME] [-e|--env K=V]
+//	           [-v|--volume CTR=HOST] IMAGE [ARGS...]
+//
+// Any other verb is returned as a passthrough command, untouched.
+func ParseArgs(args []string) (*Command, error) {
+	if len(args) == 0 {
+		return nil, fmt.Errorf("nvdocker: empty command")
+	}
+	cmd := &Command{Verb: args[0], Options: Options{
+		Env:     map[string]string{},
+		Volumes: map[string]string{},
+	}}
+	if cmd.Verb != "run" && cmd.Verb != "create" {
+		cmd.Passthrough = true
+		cmd.Args = args[1:]
+		return cmd, nil
+	}
+	rest := args[1:]
+	for len(rest) > 0 {
+		arg := rest[0]
+		rest = rest[1:]
+		take := func(flag string) (string, error) {
+			if len(rest) == 0 {
+				return "", fmt.Errorf("nvdocker: %s requires a value", flag)
+			}
+			v := rest[0]
+			rest = rest[1:]
+			return v, nil
+		}
+		switch {
+		case strings.HasPrefix(arg, "--nvidia-memory="):
+			v := strings.TrimPrefix(arg, "--nvidia-memory=")
+			size, err := bytesize.Parse(v)
+			if err != nil {
+				return nil, fmt.Errorf("nvdocker: --nvidia-memory: %v", err)
+			}
+			cmd.Options.NvidiaMemory = size
+		case arg == "--nvidia-memory":
+			v, err := take(arg)
+			if err != nil {
+				return nil, err
+			}
+			size, err := bytesize.Parse(v)
+			if err != nil {
+				return nil, fmt.Errorf("nvdocker: --nvidia-memory: %v", err)
+			}
+			cmd.Options.NvidiaMemory = size
+		case strings.HasPrefix(arg, "--name="):
+			cmd.Options.Name = strings.TrimPrefix(arg, "--name=")
+		case arg == "--name":
+			v, err := take(arg)
+			if err != nil {
+				return nil, err
+			}
+			cmd.Options.Name = v
+		case arg == "-e" || arg == "--env":
+			v, err := take(arg)
+			if err != nil {
+				return nil, err
+			}
+			k, val, ok := cut(v, "=")
+			if !ok {
+				return nil, fmt.Errorf("nvdocker: bad env %q, want K=V", v)
+			}
+			cmd.Options.Env[k] = val
+		case strings.HasPrefix(arg, "--env="):
+			v := strings.TrimPrefix(arg, "--env=")
+			k, val, ok := cut(v, "=")
+			if !ok {
+				return nil, fmt.Errorf("nvdocker: bad env %q, want K=V", v)
+			}
+			cmd.Options.Env[k] = val
+		case arg == "-v" || arg == "--volume":
+			v, err := take(arg)
+			if err != nil {
+				return nil, err
+			}
+			ctr, host, ok := cut(v, "=")
+			if !ok {
+				return nil, fmt.Errorf("nvdocker: bad volume %q, want CTR=HOST", v)
+			}
+			cmd.Options.Volumes[ctr] = host
+		case strings.HasPrefix(arg, "-"):
+			return nil, fmt.Errorf("nvdocker: unknown option %q", arg)
+		default:
+			cmd.ImageName = arg
+			cmd.Args = rest
+			rest = nil
+		}
+	}
+	if cmd.ImageName == "" {
+		return nil, fmt.Errorf("nvdocker: %s requires an image", cmd.Verb)
+	}
+	return cmd, nil
+}
+
+func cut(s, sep string) (before, after string, found bool) {
+	i := strings.Index(s, sep)
+	if i < 0 {
+		return s, "", false
+	}
+	return s[:i], s[i+len(sep):], true
+}

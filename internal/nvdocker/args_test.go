@@ -1,0 +1,78 @@
+package nvdocker
+
+import (
+	"testing"
+
+	"convgpu/internal/bytesize"
+)
+
+func TestParseArgsRun(t *testing.T) {
+	cmd, err := ParseArgs([]string{
+		"run", "--nvidia-memory=512MiB", "--name", "job1",
+		"-e", "FOO=bar", "--env=BAZ=qux", "-v", "/data=/host/data",
+		"cuda-sample:small", "arg1", "arg2",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmd.Verb != "run" || cmd.Passthrough {
+		t.Fatalf("cmd = %+v", cmd)
+	}
+	if cmd.Options.NvidiaMemory != 512*bytesize.MiB {
+		t.Errorf("nvidia-memory = %v", cmd.Options.NvidiaMemory)
+	}
+	if cmd.Options.Name != "job1" {
+		t.Errorf("name = %q", cmd.Options.Name)
+	}
+	if cmd.Options.Env["FOO"] != "bar" || cmd.Options.Env["BAZ"] != "qux" {
+		t.Errorf("env = %v", cmd.Options.Env)
+	}
+	if cmd.Options.Volumes["/data"] != "/host/data" {
+		t.Errorf("volumes = %v", cmd.Options.Volumes)
+	}
+	if cmd.ImageName != "cuda-sample:small" {
+		t.Errorf("image = %q", cmd.ImageName)
+	}
+	if len(cmd.Args) != 2 || cmd.Args[0] != "arg1" {
+		t.Errorf("args = %v", cmd.Args)
+	}
+}
+
+func TestParseArgsSeparateMemoryValue(t *testing.T) {
+	cmd, err := ParseArgs([]string{"create", "--nvidia-memory", "1GiB", "--name=x", "img"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmd.Options.NvidiaMemory != bytesize.GiB || cmd.Options.Name != "x" {
+		t.Fatalf("cmd = %+v", cmd.Options)
+	}
+}
+
+func TestParseArgsPassthrough(t *testing.T) {
+	cmd, err := ParseArgs([]string{"ps", "-a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cmd.Passthrough || cmd.Verb != "ps" || len(cmd.Args) != 1 {
+		t.Fatalf("cmd = %+v", cmd)
+	}
+}
+
+func TestParseArgsErrors(t *testing.T) {
+	cases := [][]string{
+		{},
+		{"run"},                              // no image
+		{"run", "--nvidia-memory=oops", "i"}, // bad size
+		{"run", "--nvidia-memory"},           // missing value
+		{"run", "--name"},                    // missing value
+		{"run", "-e", "NOEQUALS", "i"},       // bad env
+		{"run", "-v", "NOEQUALS", "i"},       // bad volume
+		{"run", "--bogus", "i"},              // unknown flag
+		{"create", "--env"},                  // missing value
+	}
+	for _, args := range cases {
+		if cmd, err := ParseArgs(args); err == nil {
+			t.Errorf("ParseArgs(%v) = %+v, want error", args, cmd)
+		}
+	}
+}

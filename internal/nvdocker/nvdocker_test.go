@@ -1,0 +1,287 @@
+package nvdocker
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"convgpu/internal/bytesize"
+	"convgpu/internal/container"
+	"convgpu/internal/core"
+	"convgpu/internal/daemon"
+	"convgpu/internal/gpu"
+	"convgpu/internal/ipc"
+	"convgpu/internal/plugin"
+)
+
+func mib(n int) bytesize.Size { return bytesize.Size(n) * bytesize.MiB }
+
+// cudaImage is a CUDA-using image with the given labels merged in.
+func cudaImage(extra map[string]string) container.Image {
+	labels := map[string]string{
+		VolumesNeededLabel: "nvidia_driver",
+		CUDAVersionLabel:   "8.0",
+	}
+	for k, v := range extra {
+		labels[k] = v
+	}
+	return container.Image{Name: "cuda-app:latest", Labels: labels}
+}
+
+// rig assembles the full control plane: core + daemon + engine + plugin
+// + customized nvidia-docker, all over real sockets.
+type rig struct {
+	st     *core.State
+	dev    *gpu.Device
+	nv     *NVDocker
+	plugin *plugin.Plugin
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	dev := gpu.New(gpu.K20m())
+	st := core.MustNew(core.Config{Capacity: 5 * bytesize.GiB})
+	d, err := daemon.Start(daemon.Config{BaseDir: filepath.Join(t.TempDir(), "cv"), Core: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	ctl, err := ipc.Dial(d.ControlSocket())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ctl.Close() })
+	eng, err := container.NewEngine(container.Config{Device: dev})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := plugin.New(ctl)
+	return &rig{st: st, dev: dev, nv: New(eng, ctl, pl), plugin: pl}
+}
+
+func TestResolveMemoryLimitPrecedence(t *testing.T) {
+	cases := []struct {
+		name string
+		opts Options
+		want bytesize.Size
+	}{
+		{
+			"option wins",
+			Options{NvidiaMemory: mib(256), Image: cudaImage(map[string]string{MemoryLimitLabel: "512MiB"})},
+			mib(256),
+		},
+		{
+			"label when option absent",
+			Options{Image: cudaImage(map[string]string{MemoryLimitLabel: "512MiB"})},
+			mib(512),
+		},
+		{
+			"default when both absent",
+			Options{Image: cudaImage(nil)},
+			DefaultMemoryLimit,
+		},
+	}
+	for _, c := range cases {
+		got, err := ResolveMemoryLimit(c.opts)
+		if err != nil {
+			t.Errorf("%s: %v", c.name, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%s: limit = %v, want %v", c.name, got, c.want)
+		}
+	}
+	if _, err := ResolveMemoryLimit(Options{Image: cudaImage(map[string]string{MemoryLimitLabel: "garbage"})}); err == nil {
+		t.Error("garbage label accepted")
+	}
+}
+
+func TestRunWiresWrapperAndLimit(t *testing.T) {
+	r := newRig(t)
+	var viewTotal bytesize.Size
+	c, err := r.nv.Run(Options{
+		Name:         "job1",
+		Image:        cudaImage(nil),
+		NvidiaMemory: mib(512),
+		Program: func(p *container.Proc) error {
+			if !strings.Contains(p.Getenv("LD_PRELOAD"), "libgpushare.so") {
+				t.Error("LD_PRELOAD not injected")
+			}
+			ptr, err := p.CUDA.Malloc(mib(64))
+			if err != nil {
+				return err
+			}
+			_, total, err := p.CUDA.MemGetInfo()
+			if err != nil {
+				return err
+			}
+			viewTotal = total
+			return p.CUDA.Free(ptr)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if viewTotal != mib(512) {
+		t.Fatalf("container saw total %v, want its 512MiB limit", viewTotal)
+	}
+	// Exit detection delivered the close: the scheduler forgot the
+	// container and returned its grant.
+	if _, err := r.st.Info("job1"); err == nil {
+		t.Fatal("container still registered after exit")
+	}
+	if r.st.PoolFree() != 5*bytesize.GiB {
+		t.Fatalf("pool = %v after exit", r.st.PoolFree())
+	}
+	if r.plugin.ClosedCount() != 1 {
+		t.Fatalf("close signals = %d", r.plugin.ClosedCount())
+	}
+}
+
+func TestRunUsesLabelLimit(t *testing.T) {
+	r := newRig(t)
+	var total bytesize.Size
+	c, err := r.nv.Run(Options{
+		Image: cudaImage(map[string]string{MemoryLimitLabel: "256MiB"}),
+		Program: func(p *container.Proc) error {
+			_, tot, err := p.CUDA.MemGetInfo()
+			total = tot
+			return err
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Wait()
+	if total != mib(256) {
+		t.Fatalf("label-limited container saw %v", total)
+	}
+}
+
+func TestRunDefaultLimit1GiB(t *testing.T) {
+	r := newRig(t)
+	var total bytesize.Size
+	c, err := r.nv.Run(Options{
+		Image: cudaImage(nil),
+		Program: func(p *container.Proc) error {
+			_, tot, err := p.CUDA.MemGetInfo()
+			total = tot
+			return err
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Wait()
+	if total != bytesize.GiB {
+		t.Fatalf("default-limited container saw %v, want 1GiB", total)
+	}
+}
+
+func TestNonCUDAImagePassesThrough(t *testing.T) {
+	r := newRig(t)
+	c, err := r.nv.Run(Options{
+		Name:  "plain",
+		Image: container.Image{Name: "alpine"},
+		Program: func(p *container.Proc) error {
+			if p.Getenv("LD_PRELOAD") != "" {
+				t.Error("plain image got LD_PRELOAD")
+			}
+			_, total, err := p.CUDA.MemGetInfo()
+			if err != nil {
+				return err
+			}
+			if total != 5*bytesize.GiB {
+				t.Errorf("plain image saw %v, want raw device", total)
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Wait()
+	// Never registered with the scheduler.
+	if _, err := r.st.Info("plain"); err == nil {
+		t.Fatal("plain container was registered")
+	}
+}
+
+func TestCUDAVersionTooNewRejected(t *testing.T) {
+	r := newRig(t)
+	_, err := r.nv.Run(Options{
+		Image:   cudaImage(map[string]string{CUDAVersionLabel: "9.0"}),
+		Program: func(p *container.Proc) error { return nil },
+	})
+	if err == nil {
+		t.Fatal("CUDA 9.0 image accepted on an 8.0 host")
+	}
+}
+
+func TestSchedulerRefusalPropagates(t *testing.T) {
+	r := newRig(t)
+	_, err := r.nv.Run(Options{
+		Image:        cudaImage(nil),
+		NvidiaMemory: 6 * bytesize.GiB, // exceeds the 5 GiB GPU
+		Program:      func(p *container.Proc) error { return nil },
+	})
+	if err == nil {
+		t.Fatal("over-capacity container accepted")
+	}
+	if !strings.Contains(err.Error(), "refused") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCreateWithoutProgram(t *testing.T) {
+	r := newRig(t)
+	if _, err := r.nv.Create(Options{Image: cudaImage(nil)}); err == nil {
+		t.Fatal("create without program succeeded")
+	}
+}
+
+func TestUserEnvPreserved(t *testing.T) {
+	r := newRig(t)
+	c, err := r.nv.Run(Options{
+		Image: cudaImage(nil),
+		Env:   map[string]string{"LD_PRELOAD": "/opt/other.so", "FOO": "bar"},
+		Program: func(p *container.Proc) error {
+			pre := p.Getenv("LD_PRELOAD")
+			if !strings.HasPrefix(pre, WrapperMountPoint) {
+				t.Errorf("wrapper not first in LD_PRELOAD: %q", pre)
+			}
+			if !strings.Contains(pre, "/opt/other.so") {
+				t.Errorf("user preload lost: %q", pre)
+			}
+			if p.Getenv("FOO") != "bar" {
+				t.Error("user env lost")
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Wait()
+}
+
+func TestAutoNamesAreUnique(t *testing.T) {
+	r := newRig(t)
+	prog := func(p *container.Proc) error { return nil }
+	c1, err := r.nv.Run(Options{Image: cudaImage(nil), Program: prog})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := r.nv.Run(Options{Image: cudaImage(nil), Program: prog})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.ID() == c2.ID() {
+		t.Fatalf("auto names collided: %s", c1.ID())
+	}
+	c1.Wait()
+	c2.Wait()
+}

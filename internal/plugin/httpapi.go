@@ -1,0 +1,290 @@
+package plugin
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// The real nvidia-docker-plugin is a Docker *legacy volume plugin*: an
+// HTTP service on a UNIX socket speaking the /VolumeDriver.* protocol
+// (paper §II-D references Docker's legacy plugin docs [20]). Docker
+// calls Mount when a container using one of the plugin's volumes starts
+// and Unmount when it stops — the unmount of the dummy volume is
+// exactly how ConVGPU detects container exit. This file exposes the
+// simulated plugin over that same protocol, so the control flow Docker
+// would drive can be driven by tests and tools through real HTTP.
+
+// volumeKind distinguishes the plugin's two volume families.
+type volumeKind int
+
+const (
+	// kindDriver is a driver/CUDA binaries volume
+	// (e.g. "nvidia_driver_375.51"): serves library files.
+	kindDriver volumeKind = iota
+	// kindExitWatch is the per-container dummy volume whose unmount is
+	// the close signal.
+	kindExitWatch
+)
+
+// HTTPServer serves the legacy volume plugin protocol for a Plugin.
+type HTTPServer struct {
+	plugin  *Plugin
+	baseDir string
+	ln      net.Listener
+	srv     *http.Server
+
+	mu      sync.Mutex
+	volumes map[string]volumeKind
+}
+
+// DriverVolumeName is the driver-files volume the paper's plugin serves
+// (driver 375.51 on the testbed).
+const DriverVolumeName = "nvidia_driver_375.51"
+
+// ServeHTTP starts the plugin's HTTP endpoint on a UNIX socket at
+// socketPath, with volume mountpoints materialized under baseDir.
+func ServeHTTP(p *Plugin, socketPath, baseDir string) (*HTTPServer, error) {
+	if err := os.MkdirAll(baseDir, 0o755); err != nil {
+		return nil, fmt.Errorf("plugin: http base dir: %w", err)
+	}
+	ln, err := net.Listen("unix", socketPath)
+	if err != nil {
+		return nil, fmt.Errorf("plugin: http listen: %w", err)
+	}
+	h := &HTTPServer{
+		plugin:  p,
+		baseDir: baseDir,
+		ln:      ln,
+		volumes: map[string]volumeKind{DriverVolumeName: kindDriver},
+	}
+	if err := h.materialize(DriverVolumeName, kindDriver); err != nil {
+		ln.Close()
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/Plugin.Activate", h.activate)
+	mux.HandleFunc("/VolumeDriver.Create", h.create)
+	mux.HandleFunc("/VolumeDriver.Remove", h.remove)
+	mux.HandleFunc("/VolumeDriver.Mount", h.mount)
+	mux.HandleFunc("/VolumeDriver.Unmount", h.unmount)
+	mux.HandleFunc("/VolumeDriver.Path", h.path)
+	mux.HandleFunc("/VolumeDriver.Get", h.get)
+	mux.HandleFunc("/VolumeDriver.List", h.list)
+	mux.HandleFunc("/VolumeDriver.Capabilities", h.capabilities)
+	h.srv = &http.Server{Handler: mux}
+	go h.srv.Serve(ln)
+	return h, nil
+}
+
+// Addr returns the socket path the plugin listens on.
+func (h *HTTPServer) Addr() string { return h.ln.Addr().String() }
+
+// Close shuts the endpoint down.
+func (h *HTTPServer) Close() error { return h.srv.Close() }
+
+// mountpoint is where a volume's files live on the host.
+func (h *HTTPServer) mountpoint(name string) string {
+	safe := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_', r == '.':
+			return r
+		default:
+			return '_'
+		}
+	}, name)
+	return filepath.Join(h.baseDir, "volumes", safe)
+}
+
+// materialize creates the volume's directory and, for driver volumes,
+// the library files the plugin serves ("serving a proper version of
+// binaries and library files to the container").
+func (h *HTTPServer) materialize(name string, kind volumeKind) error {
+	dir := h.mountpoint(name)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if kind == kindDriver {
+		for _, lib := range []string{"libcuda.so.375.51", "libnvidia-ml.so.375.51", "nvidia-smi"} {
+			f := filepath.Join(dir, lib)
+			if err := os.WriteFile(f, []byte("simulated "+lib+"\n"), 0o644); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// --- protocol plumbing ---
+
+type volumeRequest struct {
+	Name string `json:"Name"`
+	ID   string `json:"ID,omitempty"`
+}
+
+type volumeResponse struct {
+	Mountpoint string       `json:"Mountpoint,omitempty"`
+	Err        string       `json:"Err,omitempty"`
+	Volumes    []volumeInfo `json:"Volumes,omitempty"`
+	Volume     *volumeInfo  `json:"Volume,omitempty"`
+}
+
+type volumeInfo struct {
+	Name       string `json:"Name"`
+	Mountpoint string `json:"Mountpoint"`
+}
+
+func decode(w http.ResponseWriter, r *http.Request) (*volumeRequest, bool) {
+	var req volumeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, volumeResponse{Err: "bad request: " + err.Error()})
+		return nil, false
+	}
+	return &req, true
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/vnd.docker.plugins.v1+json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func (h *HTTPServer) activate(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string][]string{"Implements": {"VolumeDriver"}})
+}
+
+func (h *HTTPServer) capabilities(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]map[string]string{"Capabilities": {"Scope": "local"}})
+}
+
+// create registers a volume. Exit-watch volumes are recognized by the
+// naming convention the customized nvidia-docker uses.
+func (h *HTTPServer) create(w http.ResponseWriter, r *http.Request) {
+	req, ok := decode(w, r)
+	if !ok {
+		return
+	}
+	kind := kindDriver
+	if strings.HasPrefix(req.Name, "nvidia_exitwatch_") {
+		kind = kindExitWatch
+	}
+	h.mu.Lock()
+	h.volumes[req.Name] = kind
+	h.mu.Unlock()
+	if err := h.materialize(req.Name, kind); err != nil {
+		writeJSON(w, volumeResponse{Err: err.Error()})
+		return
+	}
+	writeJSON(w, volumeResponse{})
+}
+
+func (h *HTTPServer) remove(w http.ResponseWriter, r *http.Request) {
+	req, ok := decode(w, r)
+	if !ok {
+		return
+	}
+	h.mu.Lock()
+	_, exists := h.volumes[req.Name]
+	delete(h.volumes, req.Name)
+	h.mu.Unlock()
+	if !exists {
+		writeJSON(w, volumeResponse{Err: "no such volume: " + req.Name})
+		return
+	}
+	os.RemoveAll(h.mountpoint(req.Name))
+	writeJSON(w, volumeResponse{})
+}
+
+// mount is called by Docker when a container using the volume starts.
+// For exit-watch volumes this arms the close-signal tracking.
+func (h *HTTPServer) mount(w http.ResponseWriter, r *http.Request) {
+	req, ok := decode(w, r)
+	if !ok {
+		return
+	}
+	h.mu.Lock()
+	kind, exists := h.volumes[req.Name]
+	h.mu.Unlock()
+	if !exists {
+		writeJSON(w, volumeResponse{Err: "no such volume: " + req.Name})
+		return
+	}
+	if kind == kindExitWatch {
+		containerID := strings.TrimPrefix(req.Name, "nvidia_exitwatch_")
+		h.plugin.Mount(containerID)
+	}
+	writeJSON(w, volumeResponse{Mountpoint: h.mountpoint(req.Name)})
+}
+
+// unmount is called by Docker when the container stops — for exit-watch
+// volumes this is the moment the close signal goes to the scheduler.
+func (h *HTTPServer) unmount(w http.ResponseWriter, r *http.Request) {
+	req, ok := decode(w, r)
+	if !ok {
+		return
+	}
+	h.mu.Lock()
+	kind, exists := h.volumes[req.Name]
+	h.mu.Unlock()
+	if !exists {
+		writeJSON(w, volumeResponse{Err: "no such volume: " + req.Name})
+		return
+	}
+	if kind == kindExitWatch {
+		if err := h.plugin.Unmount(req.Name); err != nil {
+			writeJSON(w, volumeResponse{Err: err.Error()})
+			return
+		}
+	}
+	writeJSON(w, volumeResponse{})
+}
+
+func (h *HTTPServer) path(w http.ResponseWriter, r *http.Request) {
+	req, ok := decode(w, r)
+	if !ok {
+		return
+	}
+	h.mu.Lock()
+	_, exists := h.volumes[req.Name]
+	h.mu.Unlock()
+	if !exists {
+		writeJSON(w, volumeResponse{Err: "no such volume: " + req.Name})
+		return
+	}
+	writeJSON(w, volumeResponse{Mountpoint: h.mountpoint(req.Name)})
+}
+
+func (h *HTTPServer) get(w http.ResponseWriter, r *http.Request) {
+	req, ok := decode(w, r)
+	if !ok {
+		return
+	}
+	h.mu.Lock()
+	_, exists := h.volumes[req.Name]
+	h.mu.Unlock()
+	if !exists {
+		writeJSON(w, volumeResponse{Err: "no such volume: " + req.Name})
+		return
+	}
+	writeJSON(w, volumeResponse{Volume: &volumeInfo{Name: req.Name, Mountpoint: h.mountpoint(req.Name)}})
+}
+
+func (h *HTTPServer) list(w http.ResponseWriter, r *http.Request) {
+	h.mu.Lock()
+	names := make([]string, 0, len(h.volumes))
+	for name := range h.volumes {
+		names = append(names, name)
+	}
+	h.mu.Unlock()
+	sort.Strings(names)
+	var vols []volumeInfo
+	for _, name := range names {
+		vols = append(vols, volumeInfo{Name: name, Mountpoint: h.mountpoint(name)})
+	}
+	writeJSON(w, volumeResponse{Volumes: vols})
+}

@@ -1,0 +1,189 @@
+package plugin
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// httpRig runs the plugin's HTTP endpoint over a real UNIX socket with
+// an http.Client dialing it, the way Docker does.
+type httpRig struct {
+	sched  *fakeSched
+	plugin *Plugin
+	srv    *HTTPServer
+	client *http.Client
+}
+
+func newHTTPRig(t *testing.T) *httpRig {
+	t.Helper()
+	dir := t.TempDir()
+	sched := &fakeSched{}
+	p := New(sched)
+	srv, err := ServeHTTP(p, filepath.Join(dir, "p.sock"), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	sock := srv.Addr()
+	client := &http.Client{
+		Transport: &http.Transport{
+			DialContext: func(ctx context.Context, network, addr string) (net.Conn, error) {
+				return net.Dial("unix", sock)
+			},
+		},
+	}
+	return &httpRig{sched: sched, plugin: p, srv: srv, client: client}
+}
+
+// call posts a JSON body to an endpoint and decodes the response.
+func (r *httpRig) call(t *testing.T, endpoint string, body interface{}, out interface{}) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := r.client.Post("http://plugin"+endpoint, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatalf("%s: %v", endpoint, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("%s: status %d", endpoint, resp.StatusCode)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("%s: decode: %v", endpoint, err)
+		}
+	}
+}
+
+func TestActivateImplementsVolumeDriver(t *testing.T) {
+	r := newHTTPRig(t)
+	var out map[string][]string
+	r.call(t, "/Plugin.Activate", map[string]string{}, &out)
+	impl := out["Implements"]
+	if len(impl) != 1 || impl[0] != "VolumeDriver" {
+		t.Fatalf("Implements = %v", impl)
+	}
+}
+
+func TestDriverVolumeServesLibraries(t *testing.T) {
+	r := newHTTPRig(t)
+	var out volumeResponse
+	r.call(t, "/VolumeDriver.Mount", volumeRequest{Name: DriverVolumeName, ID: "c1"}, &out)
+	if out.Err != "" {
+		t.Fatal(out.Err)
+	}
+	// The mountpoint holds the driver files ("serving a proper version
+	// of binaries and library files").
+	data, err := os.ReadFile(filepath.Join(out.Mountpoint, "libcuda.so.375.51"))
+	if err != nil {
+		t.Fatalf("driver library missing: %v", err)
+	}
+	if !strings.Contains(string(data), "libcuda") {
+		t.Fatalf("library content = %q", data)
+	}
+	// Unmounting a driver volume sends no close signal.
+	r.call(t, "/VolumeDriver.Unmount", volumeRequest{Name: DriverVolumeName, ID: "c1"}, &out)
+	if out.Err != "" || len(r.sched.closedIDs()) != 0 {
+		t.Fatalf("driver unmount: err=%q closes=%v", out.Err, r.sched.closedIDs())
+	}
+}
+
+func TestExitWatchUnmountSendsClose(t *testing.T) {
+	r := newHTTPRig(t)
+	name := "nvidia_exitwatch_cont-42"
+	var out volumeResponse
+	r.call(t, "/VolumeDriver.Create", volumeRequest{Name: name}, &out)
+	if out.Err != "" {
+		t.Fatal(out.Err)
+	}
+	r.call(t, "/VolumeDriver.Mount", volumeRequest{Name: name, ID: "cont-42"}, &out)
+	if out.Err != "" {
+		t.Fatal(out.Err)
+	}
+	if r.plugin.MountedCount() != 1 {
+		t.Fatalf("MountedCount = %d", r.plugin.MountedCount())
+	}
+	// Docker unmounts on container exit: the close signal fires.
+	r.call(t, "/VolumeDriver.Unmount", volumeRequest{Name: name, ID: "cont-42"}, &out)
+	if out.Err != "" {
+		t.Fatal(out.Err)
+	}
+	closed := r.sched.closedIDs()
+	if len(closed) != 1 || closed[0] != "cont-42" {
+		t.Fatalf("close signals = %v", closed)
+	}
+}
+
+func TestVolumeLifecycleEndpoints(t *testing.T) {
+	r := newHTTPRig(t)
+	var out volumeResponse
+	r.call(t, "/VolumeDriver.Create", volumeRequest{Name: "extra"}, &out)
+	if out.Err != "" {
+		t.Fatal(out.Err)
+	}
+	r.call(t, "/VolumeDriver.Path", volumeRequest{Name: "extra"}, &out)
+	if out.Err != "" || out.Mountpoint == "" {
+		t.Fatalf("Path = %+v", out)
+	}
+	r.call(t, "/VolumeDriver.Get", volumeRequest{Name: "extra"}, &out)
+	if out.Err != "" || out.Volume == nil || out.Volume.Name != "extra" {
+		t.Fatalf("Get = %+v", out)
+	}
+	r.call(t, "/VolumeDriver.List", volumeRequest{}, &out)
+	if len(out.Volumes) != 2 { // driver volume + extra
+		t.Fatalf("List = %+v", out.Volumes)
+	}
+	r.call(t, "/VolumeDriver.Remove", volumeRequest{Name: "extra"}, &out)
+	if out.Err != "" {
+		t.Fatal(out.Err)
+	}
+	r.call(t, "/VolumeDriver.Get", volumeRequest{Name: "extra"}, &out)
+	if out.Err == "" {
+		t.Fatal("Get after Remove succeeded")
+	}
+}
+
+func TestUnknownVolumeErrors(t *testing.T) {
+	r := newHTTPRig(t)
+	var out volumeResponse
+	for _, ep := range []string{"/VolumeDriver.Mount", "/VolumeDriver.Unmount", "/VolumeDriver.Path", "/VolumeDriver.Remove"} {
+		r.call(t, ep, volumeRequest{Name: "ghost"}, &out)
+		if out.Err == "" {
+			t.Errorf("%s on unknown volume succeeded", ep)
+		}
+	}
+}
+
+func TestCapabilities(t *testing.T) {
+	r := newHTTPRig(t)
+	var out map[string]map[string]string
+	r.call(t, "/VolumeDriver.Capabilities", map[string]string{}, &out)
+	if out["Capabilities"]["Scope"] != "local" {
+		t.Fatalf("Capabilities = %v", out)
+	}
+}
+
+func TestMalformedBody(t *testing.T) {
+	r := newHTTPRig(t)
+	resp, err := r.client.Post("http://plugin/VolumeDriver.Mount", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out volumeResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Err == "" {
+		t.Fatal("malformed body accepted")
+	}
+}

@@ -1,0 +1,159 @@
+// Package plugin simulates nvidia-docker-plugin, the Docker volume
+// plugin half of NVIDIA Docker (paper §II-D, §III-B). Its two jobs in
+// ConVGPU's architecture:
+//
+//   - serve the driver/CUDA volumes an image declares it needs (modeled
+//     as a version check of the image's com.nvidia.cuda.version label
+//     against the host CUDA version, plus a named volume per container);
+//   - detect container exit: the customized nvidia-docker mounts a dummy
+//     volume owned by this plugin into every container; when the
+//     container stops for any reason Docker unmounts it, and the plugin
+//     sends the *close* signal for that container to the GPU memory
+//     scheduler.
+package plugin
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"convgpu/internal/container"
+	"convgpu/internal/protocol"
+)
+
+// HostCUDAVersion is the CUDA toolkit version of the paper's testbed.
+const HostCUDAVersion = "8.0"
+
+// Caller sends a message to the scheduler's control socket.
+type Caller interface {
+	Call(ctx context.Context, m *protocol.Message) (*protocol.Message, error)
+}
+
+// Plugin is a running nvidia-docker-plugin instance.
+type Plugin struct {
+	sched       Caller
+	hostVersion string
+
+	mu      sync.Mutex
+	mounted map[string]string // volume name -> container id
+	closedN int
+}
+
+// New creates a plugin that reports container exits to sched.
+func New(sched Caller) *Plugin {
+	return &Plugin{sched: sched, hostVersion: HostCUDAVersion, mounted: make(map[string]string)}
+}
+
+// SetHostCUDAVersion overrides the host toolkit version (tests).
+func (p *Plugin) SetHostCUDAVersion(v string) { p.hostVersion = v }
+
+// CheckCUDAVersion verifies the host can serve an image that requires
+// the given CUDA version (empty means no requirement). The paper's
+// plugin serves "a proper version of binaries and library files"; a
+// newer-than-host requirement is unsatisfiable.
+func (p *Plugin) CheckCUDAVersion(required string) error {
+	if required == "" {
+		return nil
+	}
+	reqMaj, reqMin, err := parseVersion(required)
+	if err != nil {
+		return fmt.Errorf("plugin: bad required CUDA version %q: %v", required, err)
+	}
+	hostMaj, hostMin, err := parseVersion(p.hostVersion)
+	if err != nil {
+		return fmt.Errorf("plugin: bad host CUDA version %q: %v", p.hostVersion, err)
+	}
+	if reqMaj > hostMaj || (reqMaj == hostMaj && reqMin > hostMin) {
+		return fmt.Errorf("plugin: image requires CUDA %s but host has %s", required, p.hostVersion)
+	}
+	return nil
+}
+
+func parseVersion(v string) (major, minor int, err error) {
+	parts := strings.SplitN(strings.TrimSpace(v), ".", 3)
+	if len(parts) < 1 || parts[0] == "" {
+		return 0, 0, fmt.Errorf("empty version")
+	}
+	major, err = strconv.Atoi(parts[0])
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(parts) > 1 {
+		minor, err = strconv.Atoi(parts[1])
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	return major, minor, nil
+}
+
+// DummyVolumeName names the exit-detection volume for a container.
+func (p *Plugin) DummyVolumeName(containerID string) string {
+	return "nvidia_exitwatch_" + containerID
+}
+
+// Mount records the dummy volume as mounted into the container.
+func (p *Plugin) Mount(containerID string) string {
+	name := p.DummyVolumeName(containerID)
+	p.mu.Lock()
+	p.mounted[name] = containerID
+	p.mu.Unlock()
+	return name
+}
+
+// MountedCount reports how many dummy volumes are currently mounted.
+func (p *Plugin) MountedCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.mounted)
+}
+
+// ClosedCount reports how many close signals the plugin has delivered.
+func (p *Plugin) ClosedCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.closedN
+}
+
+// Unmount handles Docker unmounting the dummy volume — the container
+// exited — by sending the close signal to the scheduler. Unknown volumes
+// are ignored (Docker unmounts driver volumes too).
+func (p *Plugin) Unmount(volumeName string) error {
+	p.mu.Lock()
+	id, ok := p.mounted[volumeName]
+	if ok {
+		delete(p.mounted, volumeName)
+	}
+	p.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	resp, err := p.sched.Call(context.Background(), &protocol.Message{
+		Type: protocol.TypeClose, Container: id,
+	})
+	if err != nil {
+		return fmt.Errorf("plugin: close signal for %s: %w", id, err)
+	}
+	if !resp.OK {
+		return fmt.Errorf("plugin: close signal for %s rejected: %s", id, resp.Error)
+	}
+	p.mu.Lock()
+	p.closedN++
+	p.mu.Unlock()
+	return nil
+}
+
+// Watch arms exit detection for a created container: when the container
+// exits, Docker unmounts the dummy volume and the plugin delivers the
+// close signal.
+func (p *Plugin) Watch(c *container.Container) {
+	name := p.Mount(c.ID())
+	c.OnExit(func(c *container.Container, runErr error) {
+		// Failure to deliver close is logged by returning it to the
+		// hook's error sink; the scheduler's idempotent close means a
+		// retry by the operator is always safe.
+		p.Unmount(name)
+	})
+}

@@ -1,0 +1,150 @@
+package plugin
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+
+	"convgpu/internal/container"
+	"convgpu/internal/gpu"
+	"convgpu/internal/protocol"
+)
+
+// fakeSched records close signals.
+type fakeSched struct {
+	mu     sync.Mutex
+	closed []string
+	fail   bool
+}
+
+func (f *fakeSched) Call(ctx context.Context, m *protocol.Message) (*protocol.Message, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if m.Type == protocol.TypeClose {
+		if f.fail {
+			return &protocol.Message{Type: protocol.TypeResponse, OK: false, Error: "nope"}, nil
+		}
+		f.closed = append(f.closed, m.Container)
+	}
+	return &protocol.Message{Type: protocol.TypeResponse, OK: true}, nil
+}
+
+func (f *fakeSched) closedIDs() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]string(nil), f.closed...)
+}
+
+func TestCheckCUDAVersion(t *testing.T) {
+	p := New(&fakeSched{})
+	cases := []struct {
+		required string
+		ok       bool
+	}{
+		{"", true},
+		{"7.5", true},
+		{"8.0", true},
+		{"8", true},
+		{"8.1", false},
+		{"9.0", false},
+		{"banana", false},
+		{"", true},
+	}
+	for _, c := range cases {
+		err := p.CheckCUDAVersion(c.required)
+		if (err == nil) != c.ok {
+			t.Errorf("CheckCUDAVersion(%q) err = %v, want ok=%v", c.required, err, c.ok)
+		}
+	}
+}
+
+func TestCheckCUDAVersionCustomHost(t *testing.T) {
+	p := New(&fakeSched{})
+	p.SetHostCUDAVersion("9.2")
+	if err := p.CheckCUDAVersion("9.1"); err != nil {
+		t.Errorf("9.1 on 9.2 host: %v", err)
+	}
+	if err := p.CheckCUDAVersion("10.0"); err == nil {
+		t.Error("10.0 on 9.2 host accepted")
+	}
+	p.SetHostCUDAVersion("garbage")
+	if err := p.CheckCUDAVersion("8.0"); err == nil {
+		t.Error("garbage host version accepted")
+	}
+}
+
+func TestMountUnmountSendsClose(t *testing.T) {
+	f := &fakeSched{}
+	p := New(f)
+	name := p.Mount("cont-1")
+	if !strings.Contains(name, "cont-1") {
+		t.Fatalf("volume name %q does not identify the container", name)
+	}
+	if p.MountedCount() != 1 {
+		t.Fatalf("MountedCount = %d", p.MountedCount())
+	}
+	if err := p.Unmount(name); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.closedIDs(); len(got) != 1 || got[0] != "cont-1" {
+		t.Fatalf("close signals = %v", got)
+	}
+	if p.MountedCount() != 0 || p.ClosedCount() != 1 {
+		t.Fatalf("counts = (%d,%d)", p.MountedCount(), p.ClosedCount())
+	}
+	// Unknown volume: ignored.
+	if err := p.Unmount("nvidia_driver_375.51"); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.closedIDs()) != 1 {
+		t.Fatal("unknown unmount sent a close")
+	}
+}
+
+func TestUnmountSchedulerRejection(t *testing.T) {
+	f := &fakeSched{fail: true}
+	p := New(f)
+	name := p.Mount("c")
+	if err := p.Unmount(name); err == nil {
+		t.Fatal("rejected close reported success")
+	}
+	if p.ClosedCount() != 0 {
+		t.Fatal("rejected close counted as delivered")
+	}
+}
+
+func TestWatchDeliversCloseOnExit(t *testing.T) {
+	f := &fakeSched{}
+	p := New(f)
+	eng, err := container.NewEngine(container.Config{Device: gpu.New(gpu.K20m())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := eng.Create(container.Spec{Name: "w1", Program: func(pr *container.Proc) error { return nil }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Watch(c)
+	if p.MountedCount() != 1 {
+		t.Fatal("Watch did not mount the dummy volume")
+	}
+	c.Start()
+	c.Wait()
+	if got := f.closedIDs(); len(got) != 1 || got[0] != "w1" {
+		t.Fatalf("close signals after exit = %v", got)
+	}
+}
+
+func TestWatchFiresEvenOnProgramError(t *testing.T) {
+	f := &fakeSched{}
+	p := New(f)
+	eng, _ := container.NewEngine(container.Config{Device: gpu.New(gpu.K20m())})
+	c, _ := eng.Create(container.Spec{Name: "w2", Program: func(pr *container.Proc) error { panic("dead") }})
+	p.Watch(c)
+	c.Start()
+	c.Wait()
+	if got := f.closedIDs(); len(got) != 1 {
+		t.Fatalf("close signals after crash = %v", got)
+	}
+}

@@ -1,0 +1,179 @@
+// Package protocol defines the JSON message format ConVGPU components
+// exchange over UNIX domain sockets (paper §III-A): the customized
+// nvidia-docker registers containers with the GPU memory scheduler, the
+// CUDA wrapper module reports allocation traffic, and nvidia-docker-plugin
+// delivers the close signal when a container stops.
+//
+// Messages are single JSON objects, one per line (newline-delimited).
+// Every request carries a sequence number; the matching response echoes
+// it, which lets a single connection multiplex concurrent requests — a
+// container may have several processes blocked in allocation calls at
+// once while the scheduler withholds their replies (suspension).
+package protocol
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"convgpu/internal/bytesize"
+)
+
+// Type discriminates messages.
+type Type string
+
+// Request and response types.
+const (
+	// TypeRegister is sent by the customized nvidia-docker before the
+	// container is created: it declares the container's GPU memory limit
+	// and asks for the per-container socket directory.
+	TypeRegister Type = "register"
+	// TypeAlloc is sent by the wrapper module when the user program calls
+	// an allocation API. The response carries the scheduler's decision;
+	// for a suspended request the response is simply withheld until the
+	// scheduler grants the memory.
+	TypeAlloc Type = "alloc"
+	// TypeConfirm is sent by the wrapper after the real allocation
+	// succeeded, reporting the device address actually returned.
+	TypeConfirm Type = "confirm"
+	// TypeAbort is sent by the wrapper when an allocation the scheduler
+	// accepted subsequently failed in the real CUDA call (e.g. device
+	// fragmentation): the charged memory must be returned.
+	TypeAbort Type = "abort"
+	// TypeFree is sent by the wrapper when the user program deallocates.
+	TypeFree Type = "free"
+	// TypeProcExit is sent by the wrapper when __cudaUnregisterFatBinary
+	// fires: the process is gone and all its allocations must be released
+	// even if the program leaked them.
+	TypeProcExit Type = "procexit"
+	// TypeClose is sent by nvidia-docker-plugin when the dummy volume is
+	// unmounted, i.e. the container exited for any reason.
+	TypeClose Type = "close"
+	// TypeMemInfo asks the scheduler for the container's virtualized view
+	// of GPU memory (free within limit, total = limit).
+	TypeMemInfo Type = "meminfo"
+	// TypeResponse is the reply to any request.
+	TypeResponse Type = "response"
+)
+
+// Decision is the scheduler's verdict on an allocation request.
+type Decision string
+
+// Possible decisions. A "suspend" never appears on the wire as a decision:
+// suspension is expressed by delaying the response, exactly as in the
+// paper ("the response from the scheduler will be suspended until the
+// required size of memory is available"). It is still defined because the
+// in-process core reports it to the daemon and the simulator.
+const (
+	DecisionAccept  Decision = "accept"
+	DecisionReject  Decision = "reject"
+	DecisionSuspend Decision = "suspend"
+)
+
+// Message is the single on-wire envelope. Fields are populated according
+// to Type; unused fields are omitted from the encoding.
+type Message struct {
+	Type Type   `json:"type"`
+	Seq  uint64 `json:"seq"`
+
+	// Request fields.
+	Container string `json:"container,omitempty"`
+	PID       int    `json:"pid,omitempty"`
+	Size      int64  `json:"size,omitempty"`  // bytes
+	Limit     int64  `json:"limit,omitempty"` // bytes, register only
+	Addr      uint64 `json:"addr,omitempty"`
+	API       string `json:"api,omitempty"` // originating CUDA API name
+
+	// Response fields.
+	OK        bool     `json:"ok,omitempty"`
+	Error     string   `json:"error,omitempty"`
+	Decision  Decision `json:"decision,omitempty"`
+	Granted   int64    `json:"granted,omitempty"` // bytes assigned at register
+	SocketDir string   `json:"socket_dir,omitempty"`
+	Free      int64    `json:"free,omitempty"`  // meminfo: free within limit
+	Total     int64    `json:"total,omitempty"` // meminfo: the limit
+}
+
+// Encode renders the message as a single JSON line (with trailing newline).
+func Encode(m *Message) ([]byte, error) {
+	b, err := json.Marshal(m)
+	if err != nil {
+		return nil, fmt.Errorf("protocol: encode %s: %v", m.Type, err)
+	}
+	return append(b, '\n'), nil
+}
+
+// Decode parses one JSON line into a message and validates it.
+func Decode(line []byte) (*Message, error) {
+	var m Message
+	if err := json.Unmarshal(line, &m); err != nil {
+		return nil, fmt.Errorf("protocol: decode: %v", err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// Validate checks type-specific required fields.
+func (m *Message) Validate() error {
+	switch m.Type {
+	case TypeRegister:
+		if m.Container == "" {
+			return fmt.Errorf("protocol: register without container id")
+		}
+		if m.Limit <= 0 {
+			return fmt.Errorf("protocol: register %q with non-positive limit %d", m.Container, m.Limit)
+		}
+	case TypeAlloc:
+		if m.Size <= 0 {
+			return fmt.Errorf("protocol: alloc with non-positive size %d", m.Size)
+		}
+		if m.PID <= 0 {
+			return fmt.Errorf("protocol: alloc without pid")
+		}
+	case TypeConfirm:
+		if m.Size <= 0 || m.PID <= 0 {
+			return fmt.Errorf("protocol: confirm missing pid/size")
+		}
+	case TypeAbort:
+		if m.Size <= 0 || m.PID <= 0 {
+			return fmt.Errorf("protocol: abort missing pid/size")
+		}
+	case TypeFree:
+		if m.PID <= 0 {
+			return fmt.Errorf("protocol: free without pid")
+		}
+	case TypeProcExit:
+		if m.PID <= 0 {
+			return fmt.Errorf("protocol: procexit without pid")
+		}
+	case TypeClose:
+		if m.Container == "" {
+			return fmt.Errorf("protocol: close without container id")
+		}
+	case TypeMemInfo, TypeResponse:
+		// No required request fields beyond the type itself.
+	case "":
+		return fmt.Errorf("protocol: message without type")
+	default:
+		return fmt.Errorf("protocol: unknown message type %q", m.Type)
+	}
+	return nil
+}
+
+// Response constructs a success response to req, carrying no payload.
+// Payload fields are set by the caller on the returned message.
+func Response(req *Message) *Message {
+	return &Message{Type: TypeResponse, Seq: req.Seq, OK: true}
+}
+
+// ErrorResponse constructs a failure response to req.
+func ErrorResponse(req *Message, format string, args ...interface{}) *Message {
+	return &Message{Type: TypeResponse, Seq: req.Seq, OK: false, Error: fmt.Sprintf(format, args...)}
+}
+
+// SizeBytes returns the Size field as a bytesize.Size.
+func (m *Message) SizeBytes() bytesize.Size { return bytesize.Size(m.Size) }
+
+// LimitBytes returns the Limit field as a bytesize.Size.
+func (m *Message) LimitBytes() bytesize.Size { return bytesize.Size(m.Limit) }

@@ -1,0 +1,500 @@
+// Package sim is the discrete-event simulator that replays the paper's
+// multi-container scheduling experiments (Section IV-C, Figures 7/8,
+// Tables IV/V) against the real scheduler core in virtual time.
+//
+// The paper ran each configuration on hardware: containers arriving
+// every five seconds, each running the sample program (allocate the
+// type's maximum GPU memory, copy in, complement kernel, copy out) for
+// 5–45 s, with 4–38 containers per run, four algorithms, six
+// repetitions. That is hours of wall clock; here the identical event
+// sequence — arrivals, allocation requests, suspensions, admissions,
+// completions, close signals — executes against core.State with a
+// virtual clock, so a full sweep runs in milliseconds while exercising
+// the same scheduling decisions.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+
+	"convgpu/internal/bytesize"
+	"convgpu/internal/clock"
+	"convgpu/internal/core"
+	"convgpu/internal/metrics"
+	"convgpu/internal/workload"
+)
+
+// Config parameterizes one simulated run.
+type Config struct {
+	// Capacity is the schedulable GPU memory (default: the K20m's 5 GiB).
+	// For RunWith over a multi-device backend it is only the utilization
+	// denominator and should be set to the aggregate capacity.
+	Capacity bytesize.Size
+	// Algorithm names the redistribution algorithm (default "fifo").
+	Algorithm string
+	// AlgSeed seeds the Random algorithm.
+	AlgSeed int64
+	// PCIeBandwidth models host<->device copy speed for the sample
+	// program's two transfers (default 6 GiB/s, the K20m testbed).
+	PCIeBandwidth int64
+	// ContextOverhead is the per-process charge (default 66 MiB).
+	ContextOverhead bytesize.Size
+	// StartupDelay is the time between container start and its first
+	// allocation call (CUDA init); default 100 ms.
+	StartupDelay time.Duration
+	// PersistentGrants selects the non-reclaiming grant semantics
+	// (core.Config.PersistentGrants) for the ablation benches.
+	PersistentGrants bool
+	// FaultTolerant enables the rescue pass of the authors' prior
+	// study [10] (core.Config.FaultTolerant).
+	FaultTolerant bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Capacity == 0 {
+		c.Capacity = 5 * bytesize.GiB
+	}
+	if c.Algorithm == "" {
+		c.Algorithm = core.AlgFIFO
+	}
+	if c.PCIeBandwidth == 0 {
+		c.PCIeBandwidth = 6 << 30
+	}
+	if c.ContextOverhead == 0 {
+		c.ContextOverhead = core.DefaultContextOverhead
+	}
+	if c.StartupDelay == 0 {
+		c.StartupDelay = 100 * time.Millisecond
+	}
+	return c
+}
+
+// ContainerResult describes one container's simulated life.
+type ContainerResult struct {
+	ID        core.ContainerID
+	Type      string
+	Arrival   time.Duration // offset from run start
+	Finished  time.Duration // offset from run start; 0 if never finished
+	Suspended time.Duration // total time its allocation was paused
+	Completed bool
+}
+
+// Result describes one simulated run.
+type Result struct {
+	// FinishTime is when the last container completed, from run start —
+	// the paper's "finished time of all containers".
+	FinishTime time.Duration
+	// AvgSuspended averages suspension across all containers (including
+	// never-suspended ones), the paper's Fig. 8 metric.
+	AvgSuspended time.Duration
+	// MaxSuspended is the worst per-container suspension.
+	MaxSuspended time.Duration
+	// SuspendedCount is how many containers were ever suspended.
+	SuspendedCount int
+	// AvgUtilization is the time-averaged fraction of schedulable GPU
+	// memory in use over the run — the quantity behind the paper's
+	// explanation that Best-Fit wins because it "maximizes the GPU
+	// memory throughput".
+	AvgUtilization float64
+	// Stalled reports that the run wedged: suspended containers remained
+	// with no event able to release them (the deadlock the unmanaged
+	// system risks; with the paper's algorithms it indicates pathological
+	// partial grants).
+	Stalled bool
+	// Containers holds per-container detail in arrival order.
+	Containers []ContainerResult
+	// SuspendedByType averages suspension per Table III type — the
+	// starvation profile: which sizes wait under a given algorithm.
+	SuspendedByType map[string]time.Duration
+}
+
+type eventKind int
+
+const (
+	evArrive eventKind = iota
+	evAllocate
+	evFinish
+)
+
+type event struct {
+	at   time.Time
+	seq  int // FIFO tie-break
+	kind eventKind
+	idx  int // container index in the trace
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+type simContainer struct {
+	id       core.ContainerID
+	entry    workload.TraceEntry
+	ticket   core.Ticket
+	waiting  bool
+	finished bool
+	result   ContainerResult
+}
+
+// Backend is the scheduler surface the simulator drives. core.State
+// implements it directly; the multi-GPU and cluster extensions adapt
+// their schedulers to it so the same event loop replays their sweeps.
+type Backend interface {
+	Register(id core.ContainerID, limit bytesize.Size) (bytesize.Size, error)
+	RequestAlloc(id core.ContainerID, pid int, size bytesize.Size) (core.AllocResult, error)
+	ConfirmAlloc(id core.ContainerID, pid int, addr uint64, size bytesize.Size) error
+	ProcessExit(id core.ContainerID, pid int) (bytesize.Size, core.Update, error)
+	Close(id core.ContainerID) (bytesize.Size, core.Update, error)
+	Info(id core.ContainerID) (core.ContainerInfo, error)
+	TotalUsed() bytesize.Size
+	CheckInvariants() error
+}
+
+// Run replays a trace against a fresh single-GPU scheduler.
+func Run(trace []workload.TraceEntry, cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	alg, err := core.NewAlgorithm(cfg.Algorithm, cfg.AlgSeed)
+	if err != nil {
+		return Result{}, err
+	}
+	clk := clock.NewManual()
+	st, err := core.New(core.Config{
+		Capacity:         cfg.Capacity,
+		ContextOverhead:  cfg.ContextOverhead,
+		Algorithm:        alg,
+		Clock:            clk,
+		PersistentGrants: cfg.PersistentGrants,
+		FaultTolerant:    cfg.FaultTolerant,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	return RunWith(trace, st, clk, cfg)
+}
+
+// RunWith replays a trace against an existing backend whose schedulers
+// share the given manual clock.
+func RunWith(trace []workload.TraceEntry, st Backend, clk *clock.Manual, cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	start := clk.Now()
+	containers := make([]*simContainer, len(trace))
+	// Suspended containers are keyed by id: tickets are only unique per
+	// core.State, and multi-GPU/cluster backends hold several.
+	byID := make(map[core.ContainerID]int)
+	var events eventHeap
+	seq := 0
+	push := func(at time.Time, kind eventKind, idx int) {
+		seq++
+		heap.Push(&events, event{at: at, seq: seq, kind: kind, idx: idx})
+	}
+	for i, e := range trace {
+		containers[i] = &simContainer{
+			id:    core.ContainerID(fmt.Sprintf("c%03d-%s", i, e.Type.Name)),
+			entry: e,
+			result: ContainerResult{
+				Type:    e.Type.Name,
+				Arrival: e.Arrival,
+			},
+		}
+		containers[i].result.ID = containers[i].id
+		push(start.Add(e.Arrival), evArrive, i)
+	}
+
+	// runtime computes how long a container computes once its allocation
+	// succeeded: the complement kernel plus two PCIe transfers.
+	runtime := func(ct workload.ContainerType) time.Duration {
+		copies := 2 * time.Duration(int64(ct.AllocSize())*int64(time.Second)/cfg.PCIeBandwidth)
+		return ct.SampleDuration() + copies
+	}
+
+	var nextAddr uint64 = 0x1000
+	admit := func(u core.Update) {
+		now := clk.Now()
+		for _, a := range u.Admitted {
+			idx, ok := byID[a.Container]
+			if !ok || containers[idx].ticket != a.Ticket {
+				continue
+			}
+			delete(byID, a.Container)
+			sc := containers[idx]
+			sc.waiting = false
+			// The wrapper performs the real allocation and confirms.
+			nextAddr += 0x10
+			if err := st.ConfirmAlloc(sc.id, pidOf(idx), nextAddr, sc.entry.Type.AllocSize()); err != nil {
+				panic(fmt.Sprintf("sim: confirm after admit: %v", err))
+			}
+			push(now.Add(runtime(sc.entry.Type)), evFinish, idx)
+		}
+		for _, c := range u.Cancelled {
+			if idx, ok := byID[c.Container]; ok && containers[idx].ticket == c.Ticket {
+				delete(byID, c.Container)
+			}
+		}
+	}
+
+	// Utilization integral: Σ used(t) dt, sampled between events.
+	var usedIntegral float64 // byte-seconds
+	prevTime := start
+	prevUsed := st.TotalUsed()
+
+	for events.Len() > 0 {
+		e := heap.Pop(&events).(event)
+		if dt := e.at.Sub(prevTime); dt > 0 {
+			usedIntegral += float64(prevUsed) * dt.Seconds()
+		}
+		clk.AdvanceTo(e.at)
+		sc := containers[e.idx]
+		switch e.kind {
+		case evArrive:
+			// nvidia-docker registers the creation-time request, then the
+			// container starts and, after CUDA init, allocates.
+			if _, err := st.Register(sc.id, sc.entry.Type.GPUMemory); err != nil {
+				return Result{}, fmt.Errorf("sim: register %s: %w", sc.id, err)
+			}
+			push(e.at.Add(cfg.StartupDelay), evAllocate, e.idx)
+		case evAllocate:
+			res, err := st.RequestAlloc(sc.id, pidOf(e.idx), sc.entry.Type.AllocSize())
+			if err != nil {
+				return Result{}, fmt.Errorf("sim: alloc %s: %w", sc.id, err)
+			}
+			switch res.Decision {
+			case core.Accept:
+				nextAddr += 0x10
+				if err := st.ConfirmAlloc(sc.id, pidOf(e.idx), nextAddr, sc.entry.Type.AllocSize()); err != nil {
+					return Result{}, err
+				}
+				push(e.at.Add(runtime(sc.entry.Type)), evFinish, e.idx)
+			case core.Suspend:
+				sc.ticket = res.Ticket
+				sc.waiting = true
+				byID[sc.id] = e.idx
+			case core.Reject:
+				return Result{}, fmt.Errorf("sim: %s rejected its own creation-time request", sc.id)
+			}
+		case evFinish:
+			// The program exits (implicit __cudaUnregisterFatBinary
+			// releases everything), then Docker unmounts the dummy volume
+			// and the plugin closes the container.
+			info, err := st.Info(sc.id)
+			if err != nil {
+				return Result{}, err
+			}
+			sc.result.Suspended = info.SuspendedTotal
+			if _, u, err := st.ProcessExit(sc.id, pidOf(e.idx)); err != nil {
+				return Result{}, err
+			} else {
+				admit(u)
+			}
+			if _, u, err := st.Close(sc.id); err != nil {
+				return Result{}, err
+			} else {
+				admit(u)
+			}
+			sc.finished = true
+			sc.result.Completed = true
+			sc.result.Finished = clk.Since(start)
+		}
+		if err := st.CheckInvariants(); err != nil {
+			return Result{}, fmt.Errorf("sim: after event at %v: %w", clk.Since(start), err)
+		}
+		prevTime = clk.Now()
+		prevUsed = st.TotalUsed()
+	}
+
+	// Assemble the result.
+	var res Result
+	var suspended []time.Duration
+	for _, sc := range containers {
+		if !sc.finished {
+			// Wedged container: capture its open suspension interval.
+			if info, err := st.Info(sc.id); err == nil {
+				sc.result.Suspended = info.SuspendedTotal
+			}
+			res.Stalled = true
+		}
+		if sc.result.Finished > res.FinishTime {
+			res.FinishTime = sc.result.Finished
+		}
+		if sc.result.Suspended > res.MaxSuspended {
+			res.MaxSuspended = sc.result.Suspended
+		}
+		if sc.result.Suspended > 0 {
+			res.SuspendedCount++
+		}
+		suspended = append(suspended, sc.result.Suspended)
+		res.Containers = append(res.Containers, sc.result)
+	}
+	res.AvgSuspended = metrics.MeanDuration(suspended)
+	if span := clk.Since(start).Seconds(); span > 0 && cfg.Capacity > 0 {
+		res.AvgUtilization = usedIntegral / (float64(cfg.Capacity) * span)
+	}
+	byType := map[string][]time.Duration{}
+	for _, c := range res.Containers {
+		byType[c.Type] = append(byType[c.Type], c.Suspended)
+	}
+	res.SuspendedByType = make(map[string]time.Duration, len(byType))
+	for typ, ds := range byType {
+		res.SuspendedByType[typ] = metrics.MeanDuration(ds)
+	}
+	return res, nil
+}
+
+// pidOf derives the (unique) simulated host pid of a container's single
+// process.
+func pidOf(idx int) int { return 10000 + idx }
+
+// Sweep runs the paper's full Fig. 7/8 parameter sweep: for every
+// container count and every algorithm, `reps` runs with distinct trace
+// seeds (the same seed set across algorithms, as in the paper where all
+// four algorithms face comparable random loads), averaging finish and
+// suspension times.
+type Sweep struct {
+	// Counts are the container counts (paper: 4,6,...,38).
+	Counts []int
+	// Algorithms are algorithm names (paper: fifo, bestfit, recentuse,
+	// random).
+	Algorithms []string
+	// Reps is the repetitions per cell (paper: 6).
+	Reps int
+	// BaseSeed derives per-rep trace seeds.
+	BaseSeed int64
+	// Spacing is the arrival spacing (paper: 5 s).
+	Spacing time.Duration
+	// Config is the per-run configuration (capacity etc.).
+	Config Config
+}
+
+// DefaultSweep returns the paper's sweep dimensions.
+func DefaultSweep() Sweep {
+	var counts []int
+	for n := 4; n <= 38; n += 2 {
+		counts = append(counts, n)
+	}
+	return Sweep{
+		Counts:     counts,
+		Algorithms: core.AlgorithmNames(),
+		Reps:       6,
+		BaseSeed:   20170712,
+		Spacing:    workload.DefaultSpacing,
+	}
+}
+
+// Cell is one (algorithm, count) aggregate.
+type Cell struct {
+	Algorithm    string
+	Count        int
+	FinishTime   time.Duration // mean over reps
+	AvgSuspended time.Duration // mean over reps
+	Utilization  float64       // mean time-averaged memory utilization
+	Stalls       int           // runs that wedged
+}
+
+// SweepResult holds all cells plus the dimensions for table building.
+type SweepResult struct {
+	Sweep Sweep
+	Cells map[string]map[int]Cell // algorithm -> count -> cell
+}
+
+// Run executes the sweep.
+func (s Sweep) Run() (*SweepResult, error) {
+	if s.Reps <= 0 {
+		s.Reps = 1
+	}
+	if s.Spacing == 0 {
+		s.Spacing = workload.DefaultSpacing
+	}
+	out := &SweepResult{Sweep: s, Cells: make(map[string]map[int]Cell)}
+	for _, alg := range s.Algorithms {
+		out.Cells[alg] = make(map[int]Cell)
+	}
+	for _, n := range s.Counts {
+		for rep := 0; rep < s.Reps; rep++ {
+			seed := s.BaseSeed + int64(n)*1000 + int64(rep)
+			trace := workload.GenerateTrace(n, s.Spacing, seed)
+			for _, alg := range s.Algorithms {
+				cfg := s.Config
+				cfg.Algorithm = alg
+				cfg.AlgSeed = seed
+				r, err := Run(trace, cfg)
+				if err != nil {
+					return nil, fmt.Errorf("sim: n=%d rep=%d alg=%s: %w", n, rep, alg, err)
+				}
+				cell := out.Cells[alg][n]
+				cell.Algorithm = alg
+				cell.Count = n
+				cell.FinishTime += r.FinishTime / time.Duration(s.Reps)
+				cell.AvgSuspended += r.AvgSuspended / time.Duration(s.Reps)
+				cell.Utilization += r.AvgUtilization / float64(s.Reps)
+				if r.Stalled {
+					cell.Stalls++
+				}
+				out.Cells[alg][n] = cell
+			}
+		}
+	}
+	return out, nil
+}
+
+// FinishTable renders the sweep as the paper's Table IV.
+func (r *SweepResult) FinishTable() *metrics.Table {
+	return r.table("Table IV: finished time of given number of containers (sec)", "sec", func(c Cell) float64 {
+		return c.FinishTime.Seconds()
+	})
+}
+
+// SuspendTable renders the sweep as the paper's Table V.
+func (r *SweepResult) SuspendTable() *metrics.Table {
+	return r.table("Table V: average suspended time of given number of containers (sec)", "sec", func(c Cell) float64 {
+		return c.AvgSuspended.Seconds()
+	})
+}
+
+// UtilizationTable renders the measured time-averaged memory
+// utilization (%) — the quantity behind the paper's throughput
+// explanation of Best-Fit's win.
+func (r *SweepResult) UtilizationTable() *metrics.Table {
+	return r.table("Measured GPU memory utilization (%), time-averaged per run", "%", func(c Cell) float64 {
+		return c.Utilization * 100
+	})
+}
+
+func (r *SweepResult) table(title, unit string, value func(Cell) float64) *metrics.Table {
+	t := &metrics.Table{Title: title, ColHeader: "Number of Containers"}
+	for _, n := range r.Sweep.Counts {
+		t.Cols = append(t.Cols, fmt.Sprintf("%d", n))
+	}
+	labels := map[string]string{
+		core.AlgFIFO:      "FIFO",
+		core.AlgBestFit:   "BF",
+		core.AlgRecentUse: "RU",
+		core.AlgRandom:    "Rand",
+	}
+	for _, alg := range r.Sweep.Algorithms {
+		var cells []float64
+		for _, n := range r.Sweep.Counts {
+			cells = append(cells, value(r.Cells[alg][n]))
+		}
+		label := labels[alg]
+		if label == "" {
+			label = alg
+		}
+		t.AddRow(fmt.Sprintf("%s (%s)", label, unit), cells)
+	}
+	return t
+}

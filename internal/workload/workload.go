@@ -1,0 +1,273 @@
+// Package workload provides the evaluation workloads of the paper's
+// Section IV: the AWS-T2-style container type table (Table III), the
+// sample program used for the scheduling experiments ("allocates maximum
+// GPU memory and the same size of CPU memory ... copies dummy data from
+// CPU memory to GPU, calculates the complement, and returns the result"),
+// the TensorFlow-MNIST-like training workload for the end-to-end overhead
+// experiment (Fig. 6), and the randomized cloud trace the Fig. 7/8 sweeps
+// replay ("emulated the cloud usage by choosing the type of the
+// containers randomly and running it every five seconds").
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"convgpu/internal/bytesize"
+	"convgpu/internal/container"
+	"convgpu/internal/core"
+	"convgpu/internal/cuda"
+)
+
+// ContainerType is one row of the paper's Table III.
+type ContainerType struct {
+	// Index orders the types by size (0 = nano ... 5 = xlarge).
+	Index int
+	// Name is the T2-style type name.
+	Name string
+	// VCPU is the vCPU count (informational; GPU scheduling ignores it).
+	VCPU int
+	// Memory is the CPU memory of the type.
+	Memory bytesize.Size
+	// GPUMemory is the GPU memory limit the container declares.
+	GPUMemory bytesize.Size
+}
+
+// Types returns Table III in size order.
+func Types() []ContainerType {
+	return []ContainerType{
+		{0, "nano", 1, 512 * bytesize.MiB, 128 * bytesize.MiB},
+		{1, "micro", 1, 1 * bytesize.GiB, 256 * bytesize.MiB},
+		{2, "small", 1, 2 * bytesize.GiB, 512 * bytesize.MiB},
+		{3, "medium", 2, 4 * bytesize.GiB, 1024 * bytesize.MiB},
+		{4, "large", 2, 8 * bytesize.GiB, 2048 * bytesize.MiB},
+		{5, "xlarge", 4, 16 * bytesize.GiB, 4096 * bytesize.MiB},
+	}
+}
+
+// TypeByName resolves a Table III type by name.
+func TypeByName(name string) (ContainerType, error) {
+	for _, t := range Types() {
+		if t.Name == strings.ToLower(strings.TrimSpace(name)) {
+			return t, nil
+		}
+	}
+	return ContainerType{}, fmt.Errorf("workload: unknown container type %q", name)
+}
+
+// SampleDuration is the sample program's nominal compute time: "The time
+// consumed by the sample program varies by the size, from 5 seconds to
+// 45 seconds" — linear in the type index across the six types.
+func (ct ContainerType) SampleDuration() time.Duration {
+	return time.Duration(5+8*ct.Index) * time.Second
+}
+
+// AllocSize is the GPU allocation the sample program makes: the maximum
+// usable memory of its type, i.e. the limit minus the per-process CUDA
+// context overhead the scheduler accounts (paper §III-D).
+func (ct ContainerType) AllocSize() bytesize.Size {
+	s := ct.GPUMemory - core.DefaultContextOverhead
+	if s <= 0 {
+		return bytesize.MiB
+	}
+	return s
+}
+
+// SampleProgram builds the paper's evaluation sample program. scale
+// compresses simulated kernel time (1.0 = the paper's 5–45 s; benches
+// and examples use much smaller values). The program:
+//
+//	alloc(limit - overhead) -> memcpy host->device -> complement kernel
+//	-> memcpy device->host -> free
+//
+// An allocation failure is returned as-is: without ConVGPU that is the
+// program failure the paper's introduction demonstrates; with ConVGPU it
+// only happens if the request exceeds the container's own limit.
+func SampleProgram(ct ContainerType, scale float64) container.Program {
+	if scale <= 0 {
+		scale = 1
+	}
+	return func(p *container.Proc) error {
+		size := ct.AllocSize()
+		ptr, err := p.CUDA.Malloc(size)
+		if err != nil {
+			return fmt.Errorf("workload(%s): alloc %v: %w", ct.Name, size, err)
+		}
+		defer p.CUDA.Free(ptr)
+		if err := p.CUDA.Memcpy(ptr, size, cuda.MemcpyHostToDevice); err != nil {
+			return fmt.Errorf("workload(%s): copy in: %w", ct.Name, err)
+		}
+		dur := time.Duration(float64(ct.SampleDuration()) * scale)
+		if err := p.CUDA.LaunchKernel(cuda.Kernel{Name: "complement", Duration: dur}, 0); err != nil {
+			return fmt.Errorf("workload(%s): launch: %w", ct.Name, err)
+		}
+		if err := p.CUDA.DeviceSynchronize(); err != nil {
+			return fmt.Errorf("workload(%s): sync: %w", ct.Name, err)
+		}
+		if err := p.CUDA.Memcpy(ptr, size, cuda.MemcpyDeviceToHost); err != nil {
+			return fmt.Errorf("workload(%s): copy out: %w", ct.Name, err)
+		}
+		return nil
+	}
+}
+
+// MNISTConfig parameterizes the Fig. 6 end-to-end workload: a CNN
+// training loop in the shape of the TensorFlow MNIST tutorial the paper
+// benchmarks (402 s without ConVGPU on the K20m).
+type MNISTConfig struct {
+	// Steps is the number of training iterations (default 200).
+	Steps int
+	// StepTime is the simulated GPU time per training step (default
+	// 20 ms, the tutorial's ~402 s / 20000 steps on the K20m).
+	StepTime time.Duration
+	// BatchBytes is the per-step host<->device traffic (default 4 MiB:
+	// a 100-image float32 MNIST batch plus activations headroom).
+	BatchBytes bytesize.Size
+	// ParamAllocs is how many parameter/workspace tensors the framework
+	// allocates at startup (default 16).
+	ParamAllocs int
+	// ParamBytes is the per-tensor size (default 16 MiB).
+	ParamBytes bytesize.Size
+	// ReallocEvery inserts an allocator grow/shrink cycle (an alloc+free
+	// pair) every N steps, the way TF's BFC allocator occasionally turns
+	// to cudaMalloc (default 50; 0 disables).
+	ReallocEvery int
+}
+
+func (c MNISTConfig) withDefaults() MNISTConfig {
+	if c.Steps == 0 {
+		c.Steps = 200
+	}
+	if c.StepTime == 0 {
+		c.StepTime = 20 * time.Millisecond
+	}
+	if c.BatchBytes == 0 {
+		c.BatchBytes = 4 * bytesize.MiB
+	}
+	if c.ParamAllocs == 0 {
+		c.ParamAllocs = 16
+	}
+	if c.ParamBytes == 0 {
+		c.ParamBytes = 16 * bytesize.MiB
+	}
+	if c.ReallocEvery == 0 {
+		c.ReallocEvery = 50
+	}
+	return c
+}
+
+// InterceptedCalls predicts how many wrapper round-trips one run incurs
+// (allocs + frees + realloc cycles), used by EXPERIMENTS.md to relate
+// per-call overhead to end-to-end overhead.
+func (c MNISTConfig) InterceptedCalls() int {
+	c = c.withDefaults()
+	calls := 2 * c.ParamAllocs // alloc + free per tensor
+	if c.ReallocEvery > 0 {
+		calls += 2 * (c.Steps / c.ReallocEvery)
+	}
+	return calls
+}
+
+// MNISTProgram builds the Fig. 6 workload.
+func MNISTProgram(cfg MNISTConfig) container.Program {
+	cfg = cfg.withDefaults()
+	return func(p *container.Proc) error {
+		// Framework startup: parameter and workspace tensors.
+		ptrs := make([]cuda.DevPtr, 0, cfg.ParamAllocs)
+		for i := 0; i < cfg.ParamAllocs; i++ {
+			ptr, err := p.CUDA.Malloc(cfg.ParamBytes)
+			if err != nil {
+				return fmt.Errorf("workload(mnist): param alloc %d: %w", i, err)
+			}
+			ptrs = append(ptrs, ptr)
+		}
+		defer func() {
+			for _, ptr := range ptrs {
+				p.CUDA.Free(ptr)
+			}
+		}()
+		batch := ptrs[0]
+		for step := 1; step <= cfg.Steps; step++ {
+			if err := p.CUDA.Memcpy(batch, cfg.BatchBytes, cuda.MemcpyHostToDevice); err != nil {
+				return fmt.Errorf("workload(mnist): step %d copy in: %w", step, err)
+			}
+			if err := p.CUDA.LaunchKernel(cuda.Kernel{Name: "train_step", Duration: cfg.StepTime}, 0); err != nil {
+				return fmt.Errorf("workload(mnist): step %d launch: %w", step, err)
+			}
+			if err := p.CUDA.DeviceSynchronize(); err != nil {
+				return err
+			}
+			if err := p.CUDA.Memcpy(batch, 4096, cuda.MemcpyDeviceToHost); err != nil { // loss scalar etc.
+				return fmt.Errorf("workload(mnist): step %d copy out: %w", step, err)
+			}
+			if cfg.ReallocEvery > 0 && step%cfg.ReallocEvery == 0 {
+				// BFC allocator growth: a transient workspace.
+				ptr, err := p.CUDA.Malloc(cfg.ParamBytes)
+				if err != nil {
+					return fmt.Errorf("workload(mnist): step %d workspace: %w", step, err)
+				}
+				if err := p.CUDA.Free(ptr); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+}
+
+// TraceEntry is one container arrival in a Fig. 7/8 trace.
+type TraceEntry struct {
+	// Seq numbers the arrival (0-based).
+	Seq int
+	// Type is the randomly drawn Table III type.
+	Type ContainerType
+	// Arrival is the offset from trace start.
+	Arrival time.Duration
+}
+
+// DefaultSpacing is the paper's arrival cadence: a new container every
+// five seconds.
+const DefaultSpacing = 5 * time.Second
+
+// GenerateTrace draws n container arrivals with uniformly random types
+// at fixed spacing, reproducing the paper's cloud emulation. The same
+// seed yields the same trace, so the four algorithms face identical
+// workloads within a repetition — matching the paper's methodology of
+// comparing algorithms on the same randomized load.
+func GenerateTrace(n int, spacing time.Duration, seed int64) []TraceEntry {
+	rng := rand.New(rand.NewSource(seed))
+	types := Types()
+	out := make([]TraceEntry, n)
+	for i := 0; i < n; i++ {
+		out[i] = TraceEntry{
+			Seq:     i,
+			Type:    types[rng.Intn(len(types))],
+			Arrival: time.Duration(i) * spacing,
+		}
+	}
+	return out
+}
+
+// GeneratePoissonTrace draws n arrivals as a Poisson process with the
+// given mean spacing — the natural model of independent cloud tenants,
+// of which the paper's fixed five-second cadence is the deterministic
+// approximation. Bursts (several arrivals in quick succession) stress
+// the scheduler harder than the uniform trace at the same mean rate.
+func GeneratePoissonTrace(n int, meanSpacing time.Duration, seed int64) []TraceEntry {
+	rng := rand.New(rand.NewSource(seed))
+	types := Types()
+	out := make([]TraceEntry, n)
+	var at time.Duration
+	for i := 0; i < n; i++ {
+		out[i] = TraceEntry{
+			Seq:     i,
+			Type:    types[rng.Intn(len(types))],
+			Arrival: at,
+		}
+		// Exponential inter-arrival with the given mean.
+		at += time.Duration(rng.ExpFloat64() * float64(meanSpacing))
+	}
+	return out
+}

@@ -1,0 +1,229 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"convgpu/internal/bytesize"
+	"convgpu/internal/container"
+	"convgpu/internal/core"
+	"convgpu/internal/gpu"
+)
+
+func TestTypesMatchTableIII(t *testing.T) {
+	want := []struct {
+		name string
+		vcpu int
+		mem  bytesize.Size
+		gmem bytesize.Size
+	}{
+		{"nano", 1, 512 * bytesize.MiB, 128 * bytesize.MiB},
+		{"micro", 1, 1 * bytesize.GiB, 256 * bytesize.MiB},
+		{"small", 1, 2 * bytesize.GiB, 512 * bytesize.MiB},
+		{"medium", 2, 4 * bytesize.GiB, 1024 * bytesize.MiB},
+		{"large", 2, 8 * bytesize.GiB, 2048 * bytesize.MiB},
+		{"xlarge", 4, 16 * bytesize.GiB, 4096 * bytesize.MiB},
+	}
+	got := Types()
+	if len(got) != len(want) {
+		t.Fatalf("Types() has %d entries, want %d", len(got), len(want))
+	}
+	for i, w := range want {
+		g := got[i]
+		if g.Index != i || g.Name != w.name || g.VCPU != w.vcpu || g.Memory != w.mem || g.GPUMemory != w.gmem {
+			t.Errorf("Types()[%d] = %+v, want %+v", i, g, w)
+		}
+	}
+}
+
+func TestTypeByName(t *testing.T) {
+	ct, err := TypeByName(" Medium ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct.Name != "medium" || ct.GPUMemory != 1024*bytesize.MiB {
+		t.Fatalf("TypeByName(medium) = %+v", ct)
+	}
+	if _, err := TypeByName("mega"); err == nil {
+		t.Fatal("unknown type accepted")
+	}
+}
+
+func TestSampleDurationRange(t *testing.T) {
+	types := Types()
+	if d := types[0].SampleDuration(); d != 5*time.Second {
+		t.Errorf("nano duration = %v, want 5s", d)
+	}
+	if d := types[5].SampleDuration(); d != 45*time.Second {
+		t.Errorf("xlarge duration = %v, want 45s", d)
+	}
+	for i := 1; i < len(types); i++ {
+		if types[i].SampleDuration() <= types[i-1].SampleDuration() {
+			t.Errorf("durations not increasing at %s", types[i].Name)
+		}
+	}
+}
+
+func TestAllocSizeLeavesOverheadRoom(t *testing.T) {
+	for _, ct := range Types() {
+		if got := ct.AllocSize(); got+core.DefaultContextOverhead != ct.GPUMemory {
+			t.Errorf("%s AllocSize = %v; +overhead != %v", ct.Name, got, ct.GPUMemory)
+		}
+	}
+	tiny := ContainerType{GPUMemory: bytesize.MiB}
+	if got := tiny.AllocSize(); got <= 0 {
+		t.Errorf("degenerate AllocSize = %v", got)
+	}
+}
+
+func runProgram(t *testing.T, prog container.Program) error {
+	t.Helper()
+	eng, err := container.NewEngine(container.Config{Device: gpu.New(gpu.K20m())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := eng.Create(container.Spec{Name: "w", Program: prog})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return c.Wait()
+}
+
+func TestSampleProgramRunsOnRawDevice(t *testing.T) {
+	// Scale ~0: the kernel is instantaneous; copies still take their
+	// PCIe time (62 MiB, ~10 ms).
+	if err := runProgram(t, SampleProgram(Types()[0], 1e-9)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleProgramCleansUp(t *testing.T) {
+	dev := gpu.New(gpu.K20m())
+	eng, _ := container.NewEngine(container.Config{Device: dev})
+	c, _ := eng.Create(container.Spec{Name: "w", Program: SampleProgram(Types()[1], 1e-9)})
+	c.Start()
+	if err := c.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if used := dev.Used(); used != 0 {
+		t.Fatalf("device used = %v after program exit", used)
+	}
+}
+
+func TestMNISTDefaults(t *testing.T) {
+	cfg := MNISTConfig{}.withDefaults()
+	if cfg.Steps != 200 || cfg.StepTime != 20*time.Millisecond || cfg.ParamAllocs != 16 {
+		t.Fatalf("defaults = %+v", cfg)
+	}
+	// 16 allocs + 16 frees + (200/50) realloc cycles x2 = 40.
+	if got := (MNISTConfig{}).InterceptedCalls(); got != 40 {
+		t.Fatalf("InterceptedCalls = %d, want 40", got)
+	}
+}
+
+func TestMNISTProgramRuns(t *testing.T) {
+	cfg := MNISTConfig{Steps: 10, StepTime: time.Microsecond, BatchBytes: 4096, ParamAllocs: 4, ParamBytes: bytesize.MiB, ReallocEvery: 5}
+	if err := runProgram(t, MNISTProgram(cfg)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMNISTProgramLeavesDeviceClean(t *testing.T) {
+	dev := gpu.New(gpu.K20m())
+	eng, _ := container.NewEngine(container.Config{Device: dev})
+	cfg := MNISTConfig{Steps: 6, StepTime: 0, BatchBytes: 4096, ParamAllocs: 3, ParamBytes: bytesize.MiB, ReallocEvery: 2}
+	c, _ := eng.Create(container.Spec{Name: "m", Program: MNISTProgram(cfg)})
+	c.Start()
+	if err := c.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if used := dev.Used(); used != 0 {
+		t.Fatalf("device used = %v after MNIST exit", used)
+	}
+}
+
+func TestGenerateTraceProperties(t *testing.T) {
+	trace := GenerateTrace(38, DefaultSpacing, 42)
+	if len(trace) != 38 {
+		t.Fatalf("trace length = %d", len(trace))
+	}
+	for i, e := range trace {
+		if e.Seq != i {
+			t.Errorf("entry %d Seq = %d", i, e.Seq)
+		}
+		if e.Arrival != time.Duration(i)*5*time.Second {
+			t.Errorf("entry %d arrival = %v", i, e.Arrival)
+		}
+		if e.Type.Name == "" {
+			t.Errorf("entry %d has no type", i)
+		}
+	}
+	// Determinism per seed.
+	again := GenerateTrace(38, DefaultSpacing, 42)
+	for i := range trace {
+		if trace[i].Type.Name != again[i].Type.Name {
+			t.Fatalf("same seed diverged at entry %d", i)
+		}
+	}
+	// Different seeds differ somewhere (overwhelmingly likely).
+	other := GenerateTrace(38, DefaultSpacing, 43)
+	same := true
+	for i := range trace {
+		if trace[i].Type.Name != other[i].Type.Name {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestGeneratePoissonTrace(t *testing.T) {
+	trace := GeneratePoissonTrace(100, 5*time.Second, 11)
+	if len(trace) != 100 {
+		t.Fatalf("length = %d", len(trace))
+	}
+	if trace[0].Arrival != 0 {
+		t.Fatalf("first arrival = %v, want 0", trace[0].Arrival)
+	}
+	var last time.Duration
+	for i, e := range trace {
+		if e.Seq != i {
+			t.Fatalf("entry %d Seq = %d", i, e.Seq)
+		}
+		if e.Arrival < last {
+			t.Fatalf("arrivals not monotone at %d: %v < %v", i, e.Arrival, last)
+		}
+		last = e.Arrival
+	}
+	// Mean inter-arrival approaches the configured mean (99 gaps; the
+	// sample mean of an exponential concentrates well at this size).
+	mean := trace[99].Arrival / 99
+	if mean < 3*time.Second || mean > 7*time.Second {
+		t.Fatalf("mean inter-arrival = %v, want ~5s", mean)
+	}
+	// Determinism per seed.
+	again := GeneratePoissonTrace(100, 5*time.Second, 11)
+	for i := range trace {
+		if trace[i].Arrival != again[i].Arrival || trace[i].Type.Name != again[i].Type.Name {
+			t.Fatalf("same seed diverged at %d", i)
+		}
+	}
+}
+
+func TestGenerateTraceCoversAllTypes(t *testing.T) {
+	trace := GenerateTrace(200, time.Second, 7)
+	seen := map[string]bool{}
+	for _, e := range trace {
+		seen[e.Type.Name] = true
+	}
+	for _, ct := range Types() {
+		if !seen[ct.Name] {
+			t.Errorf("type %s never drawn in 200 arrivals", ct.Name)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package wrapper
+
+import (
+	"time"
+
+	"convgpu/internal/bytesize"
+	"convgpu/internal/cuda"
+)
+
+// Stream and event entry points are not in Table II: ConVGPU manages
+// memory, not execution, so the wrapper forwards them to the original
+// runtime untouched — the advantage the paper claims for LD_PRELOAD
+// interposition over full API reimplementation ("it leaves other CUDA
+// API available").
+
+// streamInner returns the wrapped runtime's stream surface.
+func (m *Module) streamInner() (cuda.StreamAPI, error) {
+	if s, ok := m.inner.(cuda.StreamAPI); ok {
+		return s, nil
+	}
+	return nil, cuda.ErrorInvalidValue
+}
+
+// StreamCreate implements cuda.StreamAPI (pass-through).
+func (m *Module) StreamCreate() (int, error) {
+	s, err := m.streamInner()
+	if err != nil {
+		return 0, err
+	}
+	return s.StreamCreate()
+}
+
+// StreamDestroy implements cuda.StreamAPI (pass-through).
+func (m *Module) StreamDestroy(stream int) error {
+	s, err := m.streamInner()
+	if err != nil {
+		return err
+	}
+	return s.StreamDestroy(stream)
+}
+
+// StreamSynchronize implements cuda.StreamAPI (pass-through).
+func (m *Module) StreamSynchronize(stream int) error {
+	s, err := m.streamInner()
+	if err != nil {
+		return err
+	}
+	return s.StreamSynchronize(stream)
+}
+
+// MemcpyAsync implements cuda.StreamAPI (pass-through).
+func (m *Module) MemcpyAsync(devPtr cuda.DevPtr, size bytesize.Size, kind cuda.MemcpyKind, stream int) error {
+	s, err := m.streamInner()
+	if err != nil {
+		return err
+	}
+	return s.MemcpyAsync(devPtr, size, kind, stream)
+}
+
+// EventCreate implements cuda.StreamAPI (pass-through).
+func (m *Module) EventCreate() (*cuda.Event, error) {
+	s, err := m.streamInner()
+	if err != nil {
+		return nil, err
+	}
+	return s.EventCreate()
+}
+
+// EventRecord implements cuda.StreamAPI (pass-through).
+func (m *Module) EventRecord(ev *cuda.Event, stream int) error {
+	s, err := m.streamInner()
+	if err != nil {
+		return err
+	}
+	return s.EventRecord(ev, stream)
+}
+
+// EventSynchronize implements cuda.StreamAPI (pass-through).
+func (m *Module) EventSynchronize(ev *cuda.Event) error {
+	s, err := m.streamInner()
+	if err != nil {
+		return err
+	}
+	return s.EventSynchronize(ev)
+}
+
+// EventElapsed implements cuda.StreamAPI (pass-through).
+func (m *Module) EventElapsed(start, end *cuda.Event) (time.Duration, error) {
+	s, err := m.streamInner()
+	if err != nil {
+		return 0, err
+	}
+	return s.EventElapsed(start, end)
+}
+
+var _ cuda.StreamAPI = (*Module)(nil)

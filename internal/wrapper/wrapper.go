@@ -1,0 +1,352 @@
+// Package wrapper implements ConVGPU's CUDA wrapper API module — the
+// libgpushare.so shared library of the paper (§III-C), recast as a Go
+// interposition layer.
+//
+// In the paper the module is injected into every container through the
+// LD_PRELOAD environment variable, overriding the function symbols of a
+// subset of the CUDA API (Table II) while leaving every other entry
+// point untouched. Here the same seam is the cuda.API interface: Module
+// wraps an inner cuda.API and replaces exactly the Table II calls —
+// allocation APIs, cudaFree, cudaMemGetInfo, and
+// __cudaUnregisterFatBinary — forwarding the rest verbatim.
+//
+// For each intercepted allocation the module:
+//
+//  1. adjusts the requested size to what the device will actually
+//     consume: pitched rows are padded to the device pitch alignment
+//     (retrieved once via cudaGetDeviceProperties, which is why the
+//     paper's first cudaMallocPitch is ~2x slower), and managed memory
+//     is rounded up to 128 MiB granularity;
+//  2. asks the GPU memory scheduler whether the size is available — the
+//     call blocks while the scheduler pauses the container;
+//  3. performs the real allocation only after a positive response, and
+//  4. reports the resulting device address back so the scheduler can
+//     track the container's usage.
+//
+// cudaMemGetInfo never touches the device: the scheduler already knows
+// the container's virtualized view, which is why the paper measures it
+// *faster* with ConVGPU than without.
+package wrapper
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"convgpu/internal/bytesize"
+	"convgpu/internal/cuda"
+	"convgpu/internal/gpu"
+	"convgpu/internal/protocol"
+)
+
+// ModuleFileName is the wrapper module's file name — libgpushare.so in
+// the paper. The scheduler daemon copies a module file under this name
+// into every per-container directory, and the container runtime treats
+// an LD_PRELOAD entry naming it as the injection signal.
+const ModuleFileName = "libgpushare.so"
+
+// SocketFileName is the per-container scheduler socket's file name,
+// created by the daemon next to the module copy.
+const SocketFileName = "gpushare.sock"
+
+// Caller sends one request to the GPU memory scheduler and returns its
+// response. *ipc.Client implements it over a UNIX socket; the benchmark
+// harness also provides an in-process implementation to isolate
+// transport cost.
+type Caller interface {
+	Call(ctx context.Context, m *protocol.Message) (*protocol.Message, error)
+}
+
+// Module is the wrapper, bound to one process inside one container.
+type Module struct {
+	inner cuda.API
+	sched Caller
+	pid   int
+	ctx   context.Context
+
+	// reports tracks in-flight asynchronous notifications (free
+	// reports); UnregisterFatBinary waits for them so the process-exit
+	// message never overtakes a free.
+	reports sync.WaitGroup
+
+	mu        sync.Mutex
+	propsOnce bool
+	props     gpu.Properties
+	exited    bool
+}
+
+// Option configures a Module.
+type Option func(*Module)
+
+// WithContext bounds the process's lifetime: when ctx is cancelled (the
+// container is being stopped — Docker would SIGKILL the process), a
+// suspended allocation unblocks with an error instead of waiting
+// forever. Without it, suspension can outlive any attempt to stop the
+// container, since the close signal only fires on exit.
+func WithContext(ctx context.Context) Option {
+	return func(m *Module) { m.ctx = ctx }
+}
+
+// New builds a wrapper module around the process's real CUDA runtime.
+func New(inner cuda.API, sched Caller, pid int, opts ...Option) *Module {
+	m := &Module{inner: inner, sched: sched, pid: pid, ctx: context.Background()}
+	for _, o := range opts {
+		o(m)
+	}
+	return m
+}
+
+// deviceProps retrieves and caches device properties (pitch alignment,
+// managed granularity) via the original cudaGetDeviceProperties, on
+// first use — the paper's observed first-call penalty for
+// cudaMallocPitch.
+func (m *Module) deviceProps() (gpu.Properties, error) {
+	m.mu.Lock()
+	cached := m.propsOnce
+	props := m.props
+	m.mu.Unlock()
+	if cached {
+		return props, nil
+	}
+	p, err := m.inner.GetDeviceProperties()
+	if err != nil {
+		return gpu.Properties{}, err
+	}
+	m.mu.Lock()
+	m.props = p
+	m.propsOnce = true
+	m.mu.Unlock()
+	return p, nil
+}
+
+// requestAlloc runs the scheduler round trip for an adjusted size and,
+// on acceptance, invokes doAlloc; it then confirms or aborts.
+func (m *Module) requestAlloc(api string, adjusted bytesize.Size, doAlloc func() (cuda.DevPtr, error)) (cuda.DevPtr, error) {
+	if adjusted <= 0 {
+		return 0, cuda.ErrorInvalidValue
+	}
+	if err := m.ctx.Err(); err != nil {
+		// The process is already being torn down: charge nothing.
+		return 0, fmt.Errorf("wrapper: process terminated: %w", err)
+	}
+	// The request — and with it a possible suspension — is bounded by
+	// the process's lifetime context; everything after acceptance uses
+	// the background context because it must complete regardless.
+	resp, err := m.sched.Call(m.ctx, &protocol.Message{
+		Type: protocol.TypeAlloc,
+		PID:  m.pid,
+		Size: int64(adjusted),
+		API:  api,
+	})
+	if err != nil {
+		if m.ctx.Err() != nil {
+			return 0, fmt.Errorf("wrapper: process terminated while allocation was suspended: %w", err)
+		}
+		return 0, fmt.Errorf("wrapper: scheduler unreachable: %w", err)
+	}
+	if !resp.OK || resp.Decision == protocol.DecisionReject {
+		// The scheduler denied the allocation: the user program sees the
+		// same failure an exhausted GPU would produce.
+		return 0, cuda.ErrorMemoryAllocation
+	}
+	ptr, err := doAlloc()
+	if err != nil {
+		// Accepted but the device failed (e.g. fragmentation): hand the
+		// charge back.
+		if _, aerr := m.sched.Call(context.Background(), &protocol.Message{
+			Type: protocol.TypeAbort, PID: m.pid, Size: int64(adjusted),
+		}); aerr != nil {
+			return 0, fmt.Errorf("wrapper: abort after failed alloc: %w", aerr)
+		}
+		return 0, err
+	}
+	resp, err = m.sched.Call(context.Background(), &protocol.Message{
+		Type: protocol.TypeConfirm, PID: m.pid, Size: int64(adjusted), Addr: uint64(ptr),
+	})
+	if err != nil {
+		return ptr, fmt.Errorf("wrapper: confirm: %w", err)
+	}
+	if !resp.OK {
+		// The allocation itself succeeded; a refused confirm means the
+		// scheduler's view diverged (a middleware bug, not a user-program
+		// condition), so it must be loud.
+		return ptr, fmt.Errorf("wrapper: confirm refused: %s", resp.Error)
+	}
+	return ptr, nil
+}
+
+// Malloc implements cuda.API (intercepted).
+func (m *Module) Malloc(size bytesize.Size) (cuda.DevPtr, error) {
+	return m.requestAlloc("cudaMalloc", size, func() (cuda.DevPtr, error) {
+		return m.inner.Malloc(size)
+	})
+}
+
+// MallocManaged implements cuda.API (intercepted). The accounted size is
+// rounded up to the device's managed granularity — cudaMallocManaged
+// consumes multiples of 128 MiB (paper §III-C).
+func (m *Module) MallocManaged(size bytesize.Size) (cuda.DevPtr, error) {
+	if size <= 0 {
+		return 0, cuda.ErrorInvalidValue
+	}
+	props, err := m.deviceProps()
+	if err != nil {
+		return 0, err
+	}
+	adjusted := size.RoundUp(props.ManagedGranularity)
+	return m.requestAlloc("cudaMallocManaged", adjusted, func() (cuda.DevPtr, error) {
+		return m.inner.MallocManaged(size)
+	})
+}
+
+// MallocPitch implements cuda.API (intercepted). The accounted size uses
+// the pitched row width, which requires the device pitch alignment — the
+// wrapper retrieves it with cudaGetDeviceProperties on the first call.
+func (m *Module) MallocPitch(width, height bytesize.Size) (cuda.DevPtr, bytesize.Size, error) {
+	if width <= 0 || height <= 0 {
+		return 0, 0, cuda.ErrorInvalidValue
+	}
+	props, err := m.deviceProps()
+	if err != nil {
+		return 0, 0, err
+	}
+	pitch := width.RoundUp(props.TexturePitchAlignment)
+	adjusted := pitch * height
+	var gotPitch bytesize.Size
+	ptr, err := m.requestAlloc("cudaMallocPitch", adjusted, func() (cuda.DevPtr, error) {
+		p, realPitch, err := m.inner.MallocPitch(width, height)
+		gotPitch = realPitch
+		return p, err
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	return ptr, gotPitch, nil
+}
+
+// Malloc3D implements cuda.API (intercepted): pitched accounting over
+// height*depth rows.
+func (m *Module) Malloc3D(extent cuda.Extent) (cuda.PitchedPtr, error) {
+	if extent.Width <= 0 || extent.Height <= 0 || extent.Depth <= 0 {
+		return cuda.PitchedPtr{}, cuda.ErrorInvalidValue
+	}
+	props, err := m.deviceProps()
+	if err != nil {
+		return cuda.PitchedPtr{}, err
+	}
+	pitch := extent.Width.RoundUp(props.TexturePitchAlignment)
+	adjusted := pitch * bytesize.Size(extent.Height*extent.Depth)
+	var out cuda.PitchedPtr
+	_, err = m.requestAlloc("cudaMalloc3D", adjusted, func() (cuda.DevPtr, error) {
+		pp, err := m.inner.Malloc3D(extent)
+		out = pp
+		return pp.Ptr, err
+	})
+	if err != nil {
+		return cuda.PitchedPtr{}, err
+	}
+	return out, nil
+}
+
+// Free implements cuda.API (intercepted): the real deallocation happens
+// first, then the address is reported to the scheduler. The report is
+// fire-and-forget — the user program "will get the result of
+// deallocation from the wrapper module" (paper §III-C) without waiting
+// for the scheduler, which is why the paper's cudaFree response time
+// with ConVGPU (0.032 ms) is below even the raw allocation cost.
+func (m *Module) Free(ptr cuda.DevPtr) error {
+	if err := m.inner.Free(ptr); err != nil {
+		return err
+	}
+	m.reports.Add(1)
+	go func() {
+		defer m.reports.Done()
+		m.sched.Call(context.Background(), &protocol.Message{
+			Type: protocol.TypeFree, PID: m.pid, Addr: uint64(ptr),
+		})
+	}()
+	return nil
+}
+
+// Flush blocks until every in-flight asynchronous report has been
+// acknowledged by the scheduler. Tests and benchmarks use it to observe
+// a settled scheduler state.
+func (m *Module) Flush() { m.reports.Wait() }
+
+// MemGetInfo implements cuda.API (intercepted): answered entirely from
+// the scheduler's per-container accounting; the original CUDA API is
+// never called, and the container sees only its own memory slice.
+func (m *Module) MemGetInfo() (free, total bytesize.Size, err error) {
+	resp, err := m.sched.Call(context.Background(), &protocol.Message{
+		Type: protocol.TypeMemInfo, PID: m.pid,
+	})
+	if err != nil {
+		return 0, 0, fmt.Errorf("wrapper: meminfo: %w", err)
+	}
+	if !resp.OK {
+		return 0, 0, fmt.Errorf("wrapper: meminfo: %s", resp.Error)
+	}
+	return bytesize.Size(resp.Free), bytesize.Size(resp.Total), nil
+}
+
+// GetDeviceProperties implements cuda.API (pass-through, but cached so
+// the wrapper's own pitch lookups are free after the first call).
+func (m *Module) GetDeviceProperties() (gpu.Properties, error) {
+	return m.deviceProps()
+}
+
+// Memcpy implements cuda.API (pass-through; not in Table II).
+func (m *Module) Memcpy(devPtr cuda.DevPtr, size bytesize.Size, kind cuda.MemcpyKind) error {
+	return m.inner.Memcpy(devPtr, size, kind)
+}
+
+// LaunchKernel implements cuda.API (pass-through; not in Table II).
+func (m *Module) LaunchKernel(k cuda.Kernel, stream int) error {
+	return m.inner.LaunchKernel(k, stream)
+}
+
+// DeviceSynchronize implements cuda.API (pass-through; not in Table II).
+func (m *Module) DeviceSynchronize() error {
+	return m.inner.DeviceSynchronize()
+}
+
+// UnregisterFatBinary implements cuda.API (intercepted): after the real
+// teardown, the scheduler is told the process exited so it releases all
+// memory the process still held — programs that never free are cleaned
+// up here (paper §III-D).
+func (m *Module) UnregisterFatBinary() error {
+	m.mu.Lock()
+	if m.exited {
+		m.mu.Unlock()
+		return nil
+	}
+	m.exited = true
+	m.mu.Unlock()
+	// Drain async reports first: the exit message must not overtake a
+	// free still in flight.
+	m.reports.Wait()
+	err := m.inner.UnregisterFatBinary()
+	if _, serr := m.sched.Call(context.Background(), &protocol.Message{
+		Type: protocol.TypeProcExit, PID: m.pid,
+	}); serr != nil && err == nil {
+		err = fmt.Errorf("wrapper: report procexit: %w", serr)
+	}
+	return err
+}
+
+// InterceptedAPIs lists the CUDA entry points the wrapper module covers,
+// exactly the paper's Table II.
+func InterceptedAPIs() []string {
+	return []string{
+		"cudaMalloc",
+		"cudaMallocManaged",
+		"cudaMallocPitch",
+		"cudaMalloc3D",
+		"cudaFree",
+		"cudaMemGetInfo",
+		"cudaGetDeviceProperties",
+		"__cudaUnregisterFatBinary",
+	}
+}
+
+var _ cuda.API = (*Module)(nil)

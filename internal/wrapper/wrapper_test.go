@@ -1,0 +1,391 @@
+package wrapper
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"convgpu/internal/bytesize"
+	"convgpu/internal/core"
+	"convgpu/internal/cuda"
+	"convgpu/internal/gpu"
+	"convgpu/internal/inproc"
+	"convgpu/internal/protocol"
+)
+
+func mib(n int) bytesize.Size { return bytesize.Size(n) * bytesize.MiB }
+
+// rig wires a wrapper to a real core via the in-process transport and a
+// real simulated device, standing in for one container with one process.
+type rig struct {
+	dev  *gpu.Device
+	st   *core.State
+	hub  *inproc.Hub
+	mod  *Module
+	rt   *cuda.Runtime
+	spy  *spyCaller
+	id   core.ContainerID
+	tHan *testing.T
+}
+
+// spyCaller records messages on their way to the scheduler.
+type spyCaller struct {
+	inner Caller
+	mu    sync.Mutex
+	sent  []protocol.Message
+}
+
+func (s *spyCaller) Call(ctx context.Context, m *protocol.Message) (*protocol.Message, error) {
+	s.mu.Lock()
+	s.sent = append(s.sent, *m)
+	s.mu.Unlock()
+	return s.inner.Call(ctx, m)
+}
+
+func (s *spyCaller) byType(t protocol.Type) []protocol.Message {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []protocol.Message
+	for _, m := range s.sent {
+		if m.Type == t {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+func newRig(t *testing.T, limit bytesize.Size) *rig {
+	t.Helper()
+	dev := gpu.New(gpu.K20m())
+	st := core.MustNew(core.Config{Capacity: 5 * bytesize.GiB})
+	hub := inproc.NewHub(st)
+	id := core.ContainerID("c1")
+	if _, err := hub.Register(id, limit); err != nil {
+		t.Fatal(err)
+	}
+	spy := &spyCaller{inner: hub.Caller(id)}
+	rt := cuda.NewRuntime(dev, 100)
+	mod := New(rt, spy, 100)
+	return &rig{dev: dev, st: st, hub: hub, mod: mod, rt: rt, spy: spy, id: id, tHan: t}
+}
+
+func TestInterceptedAPIsMatchTableII(t *testing.T) {
+	want := map[string]bool{
+		"cudaMalloc":                true,
+		"cudaMallocManaged":         true,
+		"cudaMallocPitch":           true,
+		"cudaMalloc3D":              true,
+		"cudaFree":                  true,
+		"cudaMemGetInfo":            true,
+		"cudaGetDeviceProperties":   true,
+		"__cudaUnregisterFatBinary": true,
+	}
+	got := InterceptedAPIs()
+	if len(got) != len(want) {
+		t.Fatalf("InterceptedAPIs() has %d entries, want %d (Table II)", len(got), len(want))
+	}
+	for _, api := range got {
+		if !want[api] {
+			t.Errorf("unexpected intercepted API %q", api)
+		}
+	}
+}
+
+func TestMallocAcceptedAndTracked(t *testing.T) {
+	r := newRig(t, mib(1024))
+	ptr, err := r.mod.Malloc(mib(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Device really allocated.
+	if size, pid, ok := r.dev.Lookup(uint64(ptr)); !ok || size != mib(100) || pid != 100 {
+		t.Fatalf("device Lookup = (%v,%v,%v)", size, pid, ok)
+	}
+	// Scheduler saw alloc + confirm with the same address.
+	allocs := r.spy.byType(protocol.TypeAlloc)
+	confirms := r.spy.byType(protocol.TypeConfirm)
+	if len(allocs) != 1 || len(confirms) != 1 {
+		t.Fatalf("messages: %d allocs, %d confirms", len(allocs), len(confirms))
+	}
+	if allocs[0].API != "cudaMalloc" || allocs[0].Size != int64(mib(100)) {
+		t.Fatalf("alloc msg = %+v", allocs[0])
+	}
+	if confirms[0].Addr != uint64(ptr) {
+		t.Fatalf("confirm addr = %#x, want %#x", confirms[0].Addr, ptr)
+	}
+	// Core usage includes the allocation + context overhead.
+	info, err := r.st.Info(r.id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Used != mib(100)+core.DefaultContextOverhead {
+		t.Fatalf("core used = %v", info.Used)
+	}
+}
+
+func TestMallocRejectedOverLimit(t *testing.T) {
+	r := newRig(t, mib(128))
+	// 128 + 66 overhead > 128 limit: scheduler rejects; user sees the
+	// CUDA OOM error; nothing reaches the device.
+	if _, err := r.mod.Malloc(mib(128)); err != cuda.ErrorMemoryAllocation {
+		t.Fatalf("err = %v, want cudaErrorMemoryAllocation", err)
+	}
+	if r.dev.Used() != 0 {
+		t.Fatalf("device used = %v after reject", r.dev.Used())
+	}
+	if len(r.spy.byType(protocol.TypeConfirm)) != 0 {
+		t.Fatal("confirm sent for rejected alloc")
+	}
+}
+
+func TestMallocInvalidSizeShortCircuits(t *testing.T) {
+	r := newRig(t, mib(128))
+	if _, err := r.mod.Malloc(0); err != cuda.ErrorInvalidValue {
+		t.Fatalf("Malloc(0) err = %v", err)
+	}
+	if len(r.spy.sent) != 0 {
+		t.Fatal("invalid size reached the scheduler")
+	}
+}
+
+func TestMallocPitchAdjustsSize(t *testing.T) {
+	r := newRig(t, mib(1024))
+	ptr, pitch, err := r.mod.MallocPitch(100, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pitch != 512 {
+		t.Fatalf("pitch = %v, want 512", pitch)
+	}
+	if ptr == 0 {
+		t.Fatal("null pitched pointer")
+	}
+	allocs := r.spy.byType(protocol.TypeAlloc)
+	if len(allocs) != 1 || allocs[0].Size != int64(512*1000) {
+		t.Fatalf("accounted pitched size = %d, want %d", allocs[0].Size, 512*1000)
+	}
+}
+
+func TestMallocManagedRoundsTo128MiB(t *testing.T) {
+	r := newRig(t, mib(1024))
+	if _, err := r.mod.MallocManaged(mib(1)); err != nil {
+		t.Fatal(err)
+	}
+	allocs := r.spy.byType(protocol.TypeAlloc)
+	if len(allocs) != 1 || allocs[0].Size != int64(mib(128)) {
+		t.Fatalf("accounted managed size = %d, want 128MiB", allocs[0].Size)
+	}
+}
+
+func TestMalloc3DAccountsPitchedRows(t *testing.T) {
+	r := newRig(t, mib(1024))
+	pp, err := r.mod.Malloc3D(cuda.Extent{Width: 100, Height: 10, Depth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pp.Pitch != 512 {
+		t.Fatalf("pitch = %v", pp.Pitch)
+	}
+	allocs := r.spy.byType(protocol.TypeAlloc)
+	if allocs[0].Size != int64(512*40) {
+		t.Fatalf("accounted 3D size = %d, want %d", allocs[0].Size, 512*40)
+	}
+}
+
+func TestFirstPitchCallFetchesProperties(t *testing.T) {
+	r := newRig(t, mib(1024))
+	// Count properties fetches indirectly: wrap the runtime with a
+	// counting API.
+	counter := &countingAPI{API: r.rt}
+	mod := New(counter, r.spy.inner, 100)
+	if _, _, err := mod.MallocPitch(100, 10); err != nil {
+		t.Fatal(err)
+	}
+	if counter.props != 1 {
+		t.Fatalf("first pitch fetched properties %d times, want 1", counter.props)
+	}
+	if _, _, err := mod.MallocPitch(100, 10); err != nil {
+		t.Fatal(err)
+	}
+	if counter.props != 1 {
+		t.Fatalf("second pitch re-fetched properties (%d total)", counter.props)
+	}
+}
+
+type countingAPI struct {
+	cuda.API
+	props int
+}
+
+func (c *countingAPI) GetDeviceProperties() (gpu.Properties, error) {
+	c.props++
+	return c.API.GetDeviceProperties()
+}
+
+func TestFreeReportsToScheduler(t *testing.T) {
+	r := newRig(t, mib(1024))
+	ptr, err := r.mod.Malloc(mib(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.mod.Free(ptr); err != nil {
+		t.Fatal(err)
+	}
+	r.mod.Flush() // free reports are fire-and-forget; settle first
+	frees := r.spy.byType(protocol.TypeFree)
+	if len(frees) != 1 || frees[0].Addr != uint64(ptr) {
+		t.Fatalf("free messages = %+v", frees)
+	}
+	info, _ := r.st.Info(r.id)
+	if info.Used != core.DefaultContextOverhead {
+		t.Fatalf("core used after free = %v, want just the context overhead", info.Used)
+	}
+	// Freeing a bogus pointer fails locally and is not reported.
+	if err := r.mod.Free(ptr); err != cuda.ErrorInvalidDevicePointer {
+		t.Fatalf("double free err = %v", err)
+	}
+	if len(r.spy.byType(protocol.TypeFree)) != 1 {
+		t.Fatal("failed free was reported to the scheduler")
+	}
+}
+
+func TestMemGetInfoVirtualizedAndDeviceFree(t *testing.T) {
+	r := newRig(t, mib(1024))
+	free, total, err := r.mod.MemGetInfo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != mib(1024) || free != mib(1024) {
+		t.Fatalf("MemGetInfo = (%v,%v), want the container's 1 GiB view", free, total)
+	}
+	if _, err := r.mod.Malloc(mib(100)); err != nil {
+		t.Fatal(err)
+	}
+	free, total, _ = r.mod.MemGetInfo()
+	if total != mib(1024) || free != mib(1024)-mib(100)-core.DefaultContextOverhead {
+		t.Fatalf("MemGetInfo after alloc = (%v,%v)", free, total)
+	}
+	// The raw device view is different — the wrapper hides it.
+	devFree, devTotal := r.dev.MemInfo()
+	if devTotal == total {
+		t.Fatalf("device total %v leaked through the wrapper", devTotal)
+	}
+	_ = devFree
+}
+
+func TestUnregisterFatBinaryCleansUp(t *testing.T) {
+	r := newRig(t, mib(1024))
+	if _, err := r.mod.Malloc(mib(200)); err != nil {
+		t.Fatal(err) // leaked deliberately
+	}
+	if err := r.mod.UnregisterFatBinary(); err != nil {
+		t.Fatal(err)
+	}
+	if r.dev.Used() != 0 {
+		t.Fatalf("device used = %v after unregister", r.dev.Used())
+	}
+	info, _ := r.st.Info(r.id)
+	if info.Used != 0 {
+		t.Fatalf("core used = %v after unregister", info.Used)
+	}
+	// Idempotent.
+	if err := r.mod.UnregisterFatBinary(); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(r.spy.byType(protocol.TypeProcExit)); n != 1 {
+		t.Fatalf("procexit sent %d times, want 1", n)
+	}
+}
+
+func TestPassThroughAPIs(t *testing.T) {
+	r := newRig(t, mib(1024))
+	ptr, err := r.mod.Malloc(mib(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.mod.Memcpy(ptr, mib(10), cuda.MemcpyHostToDevice); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.mod.LaunchKernel(cuda.Kernel{Name: "k", Duration: 0}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.mod.DeviceSynchronize(); err != nil {
+		t.Fatal(err)
+	}
+	// None of those touched the scheduler.
+	for _, typ := range []protocol.Type{protocol.TypeAlloc, protocol.TypeConfirm} {
+		if n := len(r.spy.byType(typ)); n != 1 {
+			t.Fatalf("%s count = %d, want only the Malloc's", typ, n)
+		}
+	}
+}
+
+func TestAbortOnDeviceFailure(t *testing.T) {
+	// The scheduler accepts (capacity 5 GiB) but the device is
+	// artificially small: the real allocation fails, and the wrapper
+	// hands the charge back via abort.
+	dev := gpu.New(gpu.Properties{
+		Name: "tiny", TotalGlobalMem: mib(100),
+		TexturePitchAlignment: 512, ManagedGranularity: mib(128),
+		ConcurrentKernels: 32, ContextOverhead: mib(1),
+	})
+	st := core.MustNew(core.Config{Capacity: 5 * bytesize.GiB, ContextOverhead: 1})
+	hub := inproc.NewHub(st)
+	if _, err := hub.Register("c1", bytesize.GiB); err != nil {
+		t.Fatal(err)
+	}
+	mod := New(cuda.NewRuntime(dev, 7), hub.Caller("c1"), 7)
+	if _, err := mod.Malloc(mib(500)); err != cuda.ErrorMemoryAllocation {
+		t.Fatalf("err = %v, want cudaErrorMemoryAllocation from the device", err)
+	}
+	info, _ := st.Info("c1")
+	if info.Used != 1 { // only the overhead byte stayed charged
+		t.Fatalf("core used after aborted alloc = %v", info.Used)
+	}
+}
+
+func TestSuspensionBlocksMallocUntilResume(t *testing.T) {
+	dev := gpu.New(gpu.K20m())
+	st := core.MustNew(core.Config{Capacity: mib(1000), ContextOverhead: 1})
+	hub := inproc.NewHub(st)
+	if _, err := hub.Register("big", mib(700)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hub.Register("small", mib(600)); err != nil {
+		t.Fatal(err)
+	}
+	modBig := New(cuda.NewRuntime(dev, 1), hub.Caller("big"), 1)
+	modSmall := New(cuda.NewRuntime(dev, 2), hub.Caller("small"), 2)
+	if _, err := modBig.Malloc(mib(600)); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() {
+		_, err := modSmall.Malloc(mib(500)) // grant 300: suspends
+		got <- err
+	}()
+	select {
+	case err := <-got:
+		t.Fatalf("suspended Malloc returned early: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	if _, err := hub.Close("big"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-got:
+		if err != nil {
+			t.Fatalf("resumed Malloc failed: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Malloc never resumed")
+	}
+	info, _ := st.Info("small")
+	if info.Used != mib(500)+1 {
+		t.Fatalf("small used = %v", info.Used)
+	}
+	if err := st.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
