@@ -1,0 +1,30 @@
+# Developer entry points. The repo is pure Go, standard library only;
+# everything below is plain go-tool invocations.
+
+GO ?= go
+
+.PHONY: all build test race bench clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# race runs the full suite under the race detector — the hot path
+# (pooled codec, coalesced writes, fast-path admit) is validated by
+# dedicated concurrency stress tests that only bite with -race on.
+race:
+	$(GO) test -race ./...
+
+# bench runs the hot-path benchmark suite with allocation tracking and
+# saves the results. BENCH_hotpath.json holds the go-test JSON stream
+# (one event per line; benchstat-compatible text is in BENCH_hotpath.txt).
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkHotPath' -benchmem -count=1 . | tee BENCH_hotpath.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkHotPath' -benchmem -count=1 -json . > BENCH_hotpath.json
+
+clean:
+	rm -f BENCH_hotpath.json BENCH_hotpath.txt

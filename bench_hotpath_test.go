@@ -1,0 +1,256 @@
+// Hot-path benchmarks (run `make bench` or
+// `go test -bench=BenchmarkHotPath -benchmem`): the steady-state accept
+// path the paper's Fig. 4 overhead numbers hinge on, measured at three
+// altitudes so a regression is attributable to one layer:
+//
+//	BenchmarkHotPathCodec*        protocol encode/decode of the fixed
+//	                              alloc/response message shapes
+//	BenchmarkHotPathCore*         scheduler admit/confirm/free with no
+//	                              transport (fast-path admit territory)
+//	BenchmarkHotPathRoundTrip*    end-to-end over the daemon's real UNIX
+//	                              socket, zero device latency
+//
+// CHANGES.md records the seed-vs-optimized numbers for these.
+package convgpu_test
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+
+	"convgpu/internal/bytesize"
+	"convgpu/internal/core"
+	"convgpu/internal/protocol"
+)
+
+// --- codec ---
+
+func hotPathAllocMsg() *protocol.Message {
+	return &protocol.Message{
+		Type: protocol.TypeAlloc,
+		Seq:  123456,
+		PID:  41,
+		Size: int64(4 * bytesize.MiB),
+		API:  "cudaMalloc",
+	}
+}
+
+func hotPathRespMsg() *protocol.Message {
+	return &protocol.Message{
+		Type:     protocol.TypeResponse,
+		Seq:      123456,
+		OK:       true,
+		Decision: protocol.DecisionAccept,
+	}
+}
+
+func BenchmarkHotPathCodecEncode(b *testing.B) {
+	m := hotPathAllocMsg()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := protocol.Encode(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHotPathCodecDecode(b *testing.B) {
+	line, err := protocol.Encode(hotPathRespMsg())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := protocol.Decode(line); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHotPathCodecRoundTrip(b *testing.B) {
+	m := hotPathAllocMsg()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		line, err := protocol.Encode(m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := protocol.Decode(line); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- core ---
+
+// BenchmarkHotPathCoreAccept is the scheduler's steady-state cycle for a
+// container far below its grant: accept, confirm, free, never a
+// redistribution.
+func BenchmarkHotPathCoreAccept(b *testing.B) {
+	st, err := core.New(core.Config{Capacity: 1 << 40})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := st.Register("c", 1<<39); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := st.RequestAlloc("c", 1, 4096)
+		if err != nil || res.Decision != core.Accept {
+			b.Fatalf("%v %v", res, err)
+		}
+		addr := uint64(i + 1)
+		if err := st.ConfirmAlloc("c", 1, addr, 4096); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := st.Free("c", 1, addr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHotPathCoreAcceptParallel stresses scheduler lock contention:
+// many containers, each its own goroutine, all in the steady-state cycle.
+func BenchmarkHotPathCoreAcceptParallel(b *testing.B) {
+	st, err := core.New(core.Config{Capacity: 1 << 44})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ids := make([]core.ContainerID, 16)
+	for i := range ids {
+		ids[i] = core.ContainerID("c" + string(rune('a'+i)))
+		if _, err := st.Register(ids[i], 1<<39); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var next int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		id := ids[int(atomicAdd(&next, 1))%len(ids)]
+		addr := uint64(atomicAdd(&next, 1)) << 32
+		for pb.Next() {
+			addr++
+			res, err := st.RequestAlloc(id, 1, 4096)
+			if err != nil || res.Decision != core.Accept {
+				b.Errorf("%v %v", res, err)
+				return
+			}
+			if err := st.ConfirmAlloc(id, 1, addr, 4096); err != nil {
+				b.Error(err)
+				return
+			}
+			if _, _, err := st.Free(id, 1, addr); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// --- end to end ---
+
+// hotPathRig is newBenchRig without device latency: what remains is pure
+// middleware cost (codec + transport + scheduler).
+func newHotPathRig(b *testing.B) *benchRig {
+	return newBenchRig(b, false)
+}
+
+// BenchmarkHotPathRoundTrip measures one accepted allocation round trip
+// over the daemon's real UNIX socket: alloc (accept), confirm, free.
+func BenchmarkHotPathRoundTrip(b *testing.B) {
+	r := newHotPathRig(b)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := r.wrapCli.Call(ctx, &protocol.Message{
+			Type: protocol.TypeAlloc, PID: 2, Size: 4096, API: "cudaMalloc",
+		})
+		if err != nil || !resp.OK || resp.Decision != protocol.DecisionAccept {
+			b.Fatalf("alloc: %+v %v", resp, err)
+		}
+		addr := uint64(i + 1)
+		resp, err = r.wrapCli.Call(ctx, &protocol.Message{
+			Type: protocol.TypeConfirm, PID: 2, Size: 4096, Addr: addr,
+		})
+		if err != nil || !resp.OK {
+			b.Fatalf("confirm: %+v %v", resp, err)
+		}
+		resp, err = r.wrapCli.Call(ctx, &protocol.Message{
+			Type: protocol.TypeFree, PID: 2, Addr: addr,
+		})
+		if err != nil || !resp.OK {
+			b.Fatalf("free: %+v %v", resp, err)
+		}
+	}
+}
+
+// BenchmarkHotPathRoundTripParallel multiplexes concurrent allocation
+// cycles over one connection — the several-blocked-processes shape the
+// protocol's sequence numbers exist for.
+func BenchmarkHotPathRoundTripParallel(b *testing.B) {
+	r := newHotPathRig(b)
+	ctx := context.Background()
+	var next int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		pid := 100 + int(atomicAdd(&next, 1))
+		addr := uint64(pid) << 32
+		for pb.Next() {
+			addr++
+			resp, err := r.wrapCli.Call(ctx, &protocol.Message{
+				Type: protocol.TypeAlloc, PID: pid, Size: 4096, API: "cudaMalloc",
+			})
+			if err != nil || !resp.OK || resp.Decision != protocol.DecisionAccept {
+				b.Errorf("alloc: %+v %v", resp, err)
+				return
+			}
+			resp, err = r.wrapCli.Call(ctx, &protocol.Message{
+				Type: protocol.TypeConfirm, PID: pid, Size: 4096, Addr: addr,
+			})
+			if err != nil || !resp.OK {
+				b.Errorf("confirm: %+v %v", resp, err)
+				return
+			}
+			resp, err = r.wrapCli.Call(ctx, &protocol.Message{
+				Type: protocol.TypeFree, PID: pid, Addr: addr,
+			})
+			if err != nil || !resp.OK {
+				b.Errorf("free: %+v %v", resp, err)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkHotPathWrappedMallocFree is the full wrapper-module cycle over
+// the socket with zero device latency — the closest analogue of the
+// paper's intercepted cudaMalloc cost with hardware time subtracted.
+func BenchmarkHotPathWrappedMallocFree(b *testing.B) {
+	r := newHotPathRig(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ptr, err := r.wrapped.Malloc(4096)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := r.wrapped.Free(ptr); err != nil {
+			b.Fatal(err)
+		}
+		if i%256 == 255 {
+			r.wrapped.Flush()
+		}
+	}
+	b.StopTimer()
+	r.wrapped.Flush()
+}
+
+func atomicAdd(p *int64, d int64) int64 { return atomic.AddInt64(p, d) }

@@ -25,19 +25,29 @@
 // that free memory return the tickets that were admitted as a result.
 // The daemon (package daemon) maps tickets to withheld socket responses;
 // the discrete-event simulator (package sim) maps them to blocked virtual
-// processes. All methods are safe for concurrent use — every step is
-// protected by a mutex, as in the paper.
+// processes. All methods are safe for concurrent use.
+//
+// Locking: the scheduler has a global RWMutex and a per-container mutex.
+// Operations that can move memory between containers (suspension,
+// redistribution, register, close) hold the write lock, which excludes
+// everything else. The common case — an allocation that fits the
+// container's existing grant, a free while nothing is paused, a confirm,
+// a meminfo — touches only one container's state and runs on a fast
+// path under the read lock plus that container's mutex, so independent
+// containers proceed in parallel (see DESIGN.md "Hot path";
+// Config.DisableFastPath forces every operation through the write lock).
 package core
 
 import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"convgpu/internal/bytesize"
 	"convgpu/internal/clock"
-	"sync"
 )
 
 // ContainerID identifies a container (Docker container ID in the real
@@ -140,6 +150,12 @@ type Config struct {
 	// EventLogSize sets the scheduler event-log ring capacity
 	// (DefaultEventLogSize when 0; negative disables retention).
 	EventLogSize int
+	// DisableFastPath forces every operation through the global write
+	// lock, turning off the read-mostly fast paths for in-grant admits,
+	// frees with nothing paused, confirms and meminfo. The fast path
+	// preserves every scheduler invariant and is on by default; this
+	// switch exists for ablation and debugging.
+	DisableFastPath bool
 	// FaultTolerant enables the rescue pass of the authors' prior study
 	// ("Fault-tolerant Scheduler for Shareable Virtualized GPU
 	// Resource", SC16 poster [10]): whenever a redistribution admits
@@ -166,6 +182,12 @@ type procState struct {
 }
 
 type containerState struct {
+	// mu serializes fast-path access to this container's mutable fields.
+	// Fast paths hold the state's read lock plus mu; slow paths hold the
+	// state's write lock, which excludes every fast path, and so never
+	// take mu.
+	mu sync.Mutex
+
 	id         ContainerID
 	limit      bytesize.Size
 	grant      bytesize.Size
@@ -184,7 +206,7 @@ type containerState struct {
 
 // State is the scheduler. Create it with New.
 type State struct {
-	mu         sync.Mutex
+	mu         sync.RWMutex
 	cfg        Config
 	pool       bytesize.Size // capacity not granted to any container
 	containers map[ContainerID]*containerState
@@ -192,6 +214,13 @@ type State struct {
 	nextTicket Ticket
 	closedIDs  map[ContainerID]bool
 	events     *eventLog
+
+	// pausedCount counts containers with at least one pending request.
+	// It changes only under the write lock (suspension and the three
+	// pending-draining paths all hold it), so a fast path holding the
+	// read lock observes a stable value: zero means no free can admit
+	// anything, making the fast Free's empty Update exact.
+	pausedCount atomic.Int64
 }
 
 // New creates a scheduler. Capacity must be positive.
@@ -305,6 +334,11 @@ func (s *State) admit(c *containerState, pid int, size bytesize.Size) {
 // RequestAlloc handles an allocation request of the given (already
 // pitch/managed-adjusted) size from a process inside a container.
 func (s *State) RequestAlloc(id ContainerID, pid int, size bytesize.Size) (AllocResult, error) {
+	if !s.cfg.DisableFastPath {
+		if res, done, err := s.fastRequestAlloc(id, pid, size); done {
+			return res, err
+		}
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	c, ok := s.containers[id]
@@ -346,21 +380,78 @@ func (s *State) RequestAlloc(id ContainerID, pid int, size bytesize.Size) (Alloc
 	if len(c.pending) == 1 {
 		c.suspendedSince = s.cfg.Clock.Now()
 		c.everSuspended = true
+		s.pausedCount.Add(1)
 	}
 	s.logEvent(EvSuspend, id, pid, size)
 	return AllocResult{Decision: Suspend, Ticket: t}, nil
 }
 
+// fastRequestAlloc decides the common case — the request fits (or can
+// never fit) the container's existing grant — under the read lock and
+// the container's own mutex, without excluding other containers. It
+// reports done=false when the decision needs global state: a pool
+// top-up or a suspension, both of which move memory between containers.
+// The pending-queue-empty guard preserves ticket FIFO order: while
+// requests are queued, new ones must go behind them through the slow
+// path.
+func (s *State) fastRequestAlloc(id ContainerID, pid int, size bytesize.Size) (res AllocResult, done bool, err error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c, ok := s.containers[id]
+	if !ok {
+		return AllocResult{}, true, fmt.Errorf("%w: %s", ErrUnknownContainer, id)
+	}
+	if size <= 0 {
+		return AllocResult{}, true, ErrInvalidSize
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.pending) > 0 {
+		return AllocResult{}, false, nil
+	}
+	charge := s.chargeFor(c, pid, size)
+	if c.used+charge > c.limit {
+		s.logEvent(EvReject, id, pid, size)
+		return AllocResult{Decision: Reject}, true, nil
+	}
+	if c.used+charge > c.grant {
+		return AllocResult{}, false, nil
+	}
+	s.admit(c, pid, size)
+	s.logEvent(EvAccept, id, pid, charge)
+	return AllocResult{Decision: Accept}, true, nil
+}
+
 // ConfirmAlloc records the device address the real allocation returned,
 // so the scheduler can track it (paper: "Scheduler tracks this
 // information using hash structure and calculates total memory usage").
+// It touches only one container's state, so it runs entirely on the
+// fast path: read lock plus the container's mutex.
 func (s *State) ConfirmAlloc(id ContainerID, pid int, addr uint64, size bytesize.Size) error {
+	if !s.cfg.DisableFastPath {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		c, ok := s.containers[id]
+		if !ok {
+			return fmt.Errorf("%w: %s", ErrUnknownContainer, id)
+		}
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return s.confirmLocked(c, pid, addr, size)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	c, ok := s.containers[id]
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownContainer, id)
 	}
+	return s.confirmLocked(c, pid, addr, size)
+}
+
+// confirmLocked is ConfirmAlloc's body; the caller holds either the
+// write lock or the read lock plus c.mu.
+func (s *State) confirmLocked(c *containerState, pid int, addr uint64, size bytesize.Size) error {
+	id := c.id
 	p, ok := c.procs[pid]
 	if !ok || len(p.accepted) == 0 {
 		return fmt.Errorf("%w: container %s pid %d", ErrNotCharged, id, pid)
@@ -414,6 +505,11 @@ func (s *State) AbortAlloc(id ContainerID, pid int, size bytesize.Size) (Update,
 // Free releases the allocation at addr (the wrapper reports cudaFree).
 // It returns the released size and any requests admitted as a result.
 func (s *State) Free(id ContainerID, pid int, addr uint64) (bytesize.Size, Update, error) {
+	if !s.cfg.DisableFastPath {
+		if size, u, done, err := s.fastFree(id, pid, addr); done {
+			return size, u, err
+		}
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	c, ok := s.containers[id]
@@ -432,6 +528,40 @@ func (s *State) Free(id ContainerID, pid int, addr uint64) (bytesize.Size, Updat
 	c.used -= size
 	s.logEvent(EvFree, id, pid, size)
 	return size, s.afterRelease(), nil
+}
+
+// fastFree releases an allocation under the read lock when no container
+// anywhere is paused. In that state afterRelease is provably a no-op —
+// there is nothing to admit, reclaim or rescue — so returning an empty
+// Update is exact, and the free touches only this container's state.
+// pausedCount only changes under the write lock, so the zero read here
+// stays true for the duration of the read lock. With paused containers
+// the free falls through to the slow path, whose redistribution may
+// admit them.
+func (s *State) fastFree(id ContainerID, pid int, addr uint64) (sz bytesize.Size, u Update, done bool, err error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.pausedCount.Load() != 0 {
+		return 0, Update{}, false, nil
+	}
+	c, ok := s.containers[id]
+	if !ok {
+		return 0, Update{}, true, fmt.Errorf("%w: %s", ErrUnknownContainer, id)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p, ok := c.procs[pid]
+	if !ok {
+		return 0, Update{}, true, fmt.Errorf("%w: container %s pid %d", ErrUnknownPID, id, pid)
+	}
+	size, ok := p.allocs[addr]
+	if !ok {
+		return 0, Update{}, true, fmt.Errorf("%w: %#x", ErrUnknownAddr, addr)
+	}
+	delete(p.allocs, addr)
+	c.used -= size
+	s.logEvent(EvFree, id, pid, size)
+	return size, Update{}, true, nil
 }
 
 // ProcessExit releases everything a process holds — leaked allocations
@@ -513,6 +643,18 @@ func (s *State) Close(id ContainerID) (bytesize.Size, Update, error) {
 // wrapper returns for cudaMemGetInfo — the container sees only its own
 // slice of the GPU.
 func (s *State) MemInfo(id ContainerID) (free, total bytesize.Size, err error) {
+	if !s.cfg.DisableFastPath {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		c, ok := s.containers[id]
+		if !ok {
+			return 0, 0, fmt.Errorf("%w: %s", ErrUnknownContainer, id)
+		}
+		c.mu.Lock()
+		free, total = c.limit-c.used, c.limit
+		c.mu.Unlock()
+		return free, total, nil
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	c, ok := s.containers[id]
@@ -696,11 +838,15 @@ func (s *State) sortedContainersLocked() []*containerState {
 }
 
 // noteSuspensionEnd closes the current suspension interval if the
-// container has no pending requests left. Callers hold s.mu.
+// container has no pending requests left. Callers hold the write lock.
+// A non-zero suspendedSince marks exactly the containers pausedCount
+// has counted — it is set when pending goes non-empty and cleared only
+// here — so the counter comes back down exactly once per pause.
 func (s *State) noteSuspensionEnd(c *containerState) {
 	if len(c.pending) == 0 && !c.suspendedSince.IsZero() {
 		c.suspendedTotal += s.cfg.Clock.Now().Sub(c.suspendedSince)
 		c.suspendedSince = time.Time{}
+		s.pausedCount.Add(-1)
 	}
 }
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"convgpu/internal/bytesize"
@@ -82,9 +83,13 @@ func (e EventRecord) String() string {
 // EventLogSize zero.
 const DefaultEventLogSize = 512
 
-// eventLog is a fixed-capacity ring buffer. Callers hold the state
-// mutex.
+// eventLog is a fixed-capacity ring buffer with its own mutex: fast
+// paths append while holding only the state's read lock, so the log
+// cannot rely on the state mutex for ordering. Sequence numbers are
+// assigned under l.mu, keeping the log totally ordered regardless of
+// which path logged.
 type eventLog struct {
+	mu    sync.Mutex
 	buf   []EventRecord
 	next  int // write position
 	count int // filled entries
@@ -99,6 +104,8 @@ func newEventLog(capacity int) *eventLog {
 }
 
 func (l *eventLog) append(e EventRecord) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	l.seq++
 	e.Seq = l.seq
 	if len(l.buf) == 0 {
@@ -113,6 +120,8 @@ func (l *eventLog) append(e EventRecord) {
 
 // snapshot returns the retained events, oldest first.
 func (l *eventLog) snapshot() []EventRecord {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	out := make([]EventRecord, 0, l.count)
 	start := l.next - l.count
 	if start < 0 {
@@ -124,7 +133,8 @@ func (l *eventLog) snapshot() []EventRecord {
 	return out
 }
 
-// logEvent appends to the state's event log. Callers hold s.mu.
+// logEvent appends to the state's event log. Callers hold the state
+// lock in either mode; the log's own mutex orders the entries.
 func (s *State) logEvent(kind EventKind, id ContainerID, pid int, amount bytesize.Size) {
 	s.events.append(EventRecord{
 		At:        s.cfg.Clock.Now(),
@@ -139,16 +149,12 @@ func (s *State) logEvent(kind EventKind, id ContainerID, pid int, amount bytesiz
 // ring of Config.EventLogSize entries (DefaultEventLogSize when unset;
 // negative disables retention).
 func (s *State) Events() []EventRecord {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	return s.events.snapshot()
 }
 
 // EventsSince returns retained events with Seq > after, oldest first —
 // the daemon's status loop tails the log with this.
 func (s *State) EventsSince(after uint64) []EventRecord {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	all := s.events.snapshot()
 	for i, e := range all {
 		if e.Seq > after {

@@ -1,0 +1,270 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"convgpu/internal/bytesize"
+)
+
+// TestFastPathStress hammers the scheduler from many goroutines with
+// the full operation mix — register, alloc, confirm, free, abort,
+// process exit, close, meminfo, snapshots — while the fast paths are
+// on (the default). Run under -race this is the fast path's aliasing
+// and locking stress test; CheckInvariants is asserted throughout and
+// at the end.
+func TestFastPathStress(t *testing.T) {
+	const (
+		workers = 8
+		iters   = 400
+	)
+	s := MustNew(Config{Capacity: bytesize.Size(workers) * bytesize.GiB})
+	var wg sync.WaitGroup
+	errs := make(chan error, workers+1)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			id := ContainerID(fmt.Sprintf("c%d", w))
+			if _, err := s.Register(id, bytesize.GiB); err != nil {
+				errs <- err
+				return
+			}
+			pid := w + 1
+			addrs := make(map[uint64]bool)
+			nextAddr := uint64(w)<<32 | 1
+			for i := 0; i < iters; i++ {
+				switch op := rng.Intn(10); {
+				case op < 5: // alloc+confirm
+					size := bytesize.Size(rng.Intn(1<<20) + 1)
+					res, err := s.RequestAlloc(id, pid, size)
+					if err != nil {
+						errs <- err
+						return
+					}
+					switch res.Decision {
+					case Accept:
+						addr := nextAddr
+						nextAddr++
+						if err := s.ConfirmAlloc(id, pid, addr, size); err != nil {
+							errs <- err
+							return
+						}
+						addrs[addr] = true
+					case Suspend:
+						// Single-pid workload per container never suspends
+						// within its own limit, but if it does the process
+						// exit below cancels the ticket. Nothing to do here.
+					}
+				case op < 8: // free one tracked allocation
+					for addr := range addrs {
+						if _, _, err := s.Free(id, pid, addr); err != nil {
+							errs <- err
+							return
+						}
+						delete(addrs, addr)
+						break
+					}
+				case op < 9:
+					if _, _, err := s.MemInfo(id); err != nil {
+						errs <- err
+						return
+					}
+				default: // process exit releases everything, restart fresh
+					if _, _, err := s.ProcessExit(id, pid); err != nil {
+						errs <- err
+						return
+					}
+					addrs = make(map[uint64]bool)
+				}
+			}
+			if _, _, err := s.Close(id); err != nil {
+				errs <- err
+			}
+		}(w)
+	}
+	// A checker goroutine exercises the read-side API concurrently with
+	// the fast-path traffic.
+	stop := make(chan struct{})
+	var checker sync.WaitGroup
+	checker.Add(1)
+	go func() {
+		defer checker.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := s.CheckInvariants(); err != nil {
+				errs <- err
+				return
+			}
+			s.Snapshot()
+			s.Events()
+			s.TotalUsed()
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	checker.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+	if got := s.PoolFree(); got != s.Capacity() {
+		t.Errorf("pool after all containers closed = %v, want %v", got, s.Capacity())
+	}
+	if n := s.pausedCount.Load(); n != 0 {
+		t.Errorf("pausedCount after quiesce = %d, want 0", n)
+	}
+}
+
+// TestFastPathEquivalence replays an identical randomized operation
+// sequence against a fast-path scheduler and a DisableFastPath one:
+// every decision, error, size and final snapshot must match. This pins
+// the fast path to the slow path's exact semantics, including rejects,
+// suspends (multi-container contention) and redistribution.
+func TestFastPathEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		fast := MustNew(Config{Capacity: 2 * bytesize.GiB})
+		slow := MustNew(Config{Capacity: 2 * bytesize.GiB, DisableFastPath: true})
+		rng := rand.New(rand.NewSource(seed))
+		ids := []ContainerID{"a", "b", "c"}
+		for _, id := range ids {
+			gf, ef := fast.Register(id, bytesize.GiB)
+			gs, es := slow.Register(id, bytesize.GiB)
+			if gf != gs || (ef == nil) != (es == nil) {
+				t.Fatalf("seed %d: register diverged", seed)
+			}
+		}
+		nextAddr := uint64(1)
+		confirmed := map[ContainerID][]uint64{}
+		sizes := map[uint64]bytesize.Size{}
+		for i := 0; i < 300; i++ {
+			id := ids[rng.Intn(len(ids))]
+			pid := rng.Intn(2) + 1
+			switch rng.Intn(6) {
+			case 0, 1, 2:
+				size := bytesize.Size(rng.Intn(512)+1) * bytesize.MiB / 2
+				rf, ef := fast.RequestAlloc(id, pid, size)
+				rs, es := slow.RequestAlloc(id, pid, size)
+				if rf.Decision != rs.Decision || (ef == nil) != (es == nil) {
+					t.Fatalf("seed %d op %d: alloc diverged: fast=%v/%v slow=%v/%v",
+						seed, i, rf.Decision, ef, rs.Decision, es)
+				}
+				if rf.Decision == Accept {
+					addr := nextAddr
+					nextAddr++
+					cf := fast.ConfirmAlloc(id, pid, addr, size)
+					cs := slow.ConfirmAlloc(id, pid, addr, size)
+					if (cf == nil) != (cs == nil) {
+						t.Fatalf("seed %d op %d: confirm diverged: %v vs %v", seed, i, cf, cs)
+					}
+					if cf == nil {
+						confirmed[id] = append(confirmed[id], addr)
+						sizes[addr] = size
+					}
+				}
+			case 3:
+				if n := len(confirmed[id]); n > 0 {
+					k := rng.Intn(n)
+					addr := confirmed[id][k]
+					szf, uf, ef := fast.Free(id, pid, addr)
+					szs, us, es := slow.Free(id, pid, addr)
+					// pid may not own addr (two pids per container): errors
+					// must still agree.
+					if szf != szs || (ef == nil) != (es == nil) || len(uf.Admitted) != len(us.Admitted) {
+						t.Fatalf("seed %d op %d: free diverged", seed, i)
+					}
+					if ef == nil {
+						confirmed[id] = append(confirmed[id][:k], confirmed[id][k+1:]...)
+					}
+				}
+			case 4:
+				ff, tf, ef := fast.MemInfo(id)
+				fs, ts, es := slow.MemInfo(id)
+				if ff != fs || tf != ts || (ef == nil) != (es == nil) {
+					t.Fatalf("seed %d op %d: meminfo diverged", seed, i)
+				}
+			case 5:
+				_, uf, ef := fast.ProcessExit(id, pid)
+				_, us, es := slow.ProcessExit(id, pid)
+				if (ef == nil) != (es == nil) || len(uf.Admitted) != len(us.Admitted) ||
+					len(uf.Cancelled) != len(us.Cancelled) {
+					t.Fatalf("seed %d op %d: procexit diverged", seed, i)
+				}
+				confirmed[id] = nil
+			}
+			if err := fast.CheckInvariants(); err != nil {
+				t.Fatalf("seed %d op %d: fast invariants: %v", seed, i, err)
+			}
+			if err := slow.CheckInvariants(); err != nil {
+				t.Fatalf("seed %d op %d: slow invariants: %v", seed, i, err)
+			}
+		}
+		sf, ss := fast.Snapshot(), slow.Snapshot()
+		if len(sf) != len(ss) {
+			t.Fatalf("seed %d: snapshot length diverged", seed)
+		}
+		for i := range sf {
+			if sf[i].ID != ss[i].ID || sf[i].Grant != ss[i].Grant ||
+				sf[i].Used != ss[i].Used || sf[i].Pending != ss[i].Pending {
+				t.Fatalf("seed %d: container %s diverged: fast=%+v slow=%+v",
+					seed, sf[i].ID, sf[i], ss[i])
+			}
+		}
+	}
+}
+
+// TestFastFreeGateOnPaused: while any container is paused, Free must
+// take the slow path so admission can run — the fast path's empty
+// Update would otherwise swallow the admitted ticket.
+func TestFastFreeGateOnPaused(t *testing.T) {
+	s := MustNew(Config{Capacity: 200 * bytesize.MiB})
+	// a soaks up pool so b's grant (80 MiB) is below its limit (180 MiB),
+	// making suspension reachable inside b.
+	if _, err := s.Register("a", 120*bytesize.MiB); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Register("b", 180*bytesize.MiB); err != nil {
+		t.Fatal(err)
+	}
+	// First alloc charges 10 MiB + 66 MiB context overhead = 76 ≤ 80.
+	res, err := s.RequestAlloc("b", 2, 10*bytesize.MiB)
+	if err != nil || res.Decision != Accept {
+		t.Fatalf("b alloc 1: %+v %v", res, err)
+	}
+	if err := s.ConfirmAlloc("b", 2, 0xb1, 10*bytesize.MiB); err != nil {
+		t.Fatal(err)
+	}
+	// Second alloc needs 86 > grant 80 with an empty pool: suspend.
+	sus, err := s.RequestAlloc("b", 2, 10*bytesize.MiB)
+	if err != nil || sus.Decision != Suspend {
+		t.Fatalf("b alloc 2: %+v %v", sus, err)
+	}
+	if n := s.pausedCount.Load(); n != 1 {
+		t.Fatalf("pausedCount = %d, want 1", n)
+	}
+	// b frees its first allocation: the gate must route this through the
+	// slow path, whose admission pass now fits the pending request.
+	_, u, err := s.Free("b", 2, 0xb1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.Admitted) != 1 || u.Admitted[0].Ticket != sus.Ticket {
+		t.Fatalf("free admitted %+v, want ticket %d", u, sus.Ticket)
+	}
+	if n := s.pausedCount.Load(); n != 0 {
+		t.Fatalf("pausedCount after admit = %d, want 0", n)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

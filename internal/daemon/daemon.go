@@ -54,10 +54,18 @@ type Daemon struct {
 	control *ipc.Server
 
 	mu      sync.Mutex
-	parked  map[core.Ticket]func(*protocol.Message)
+	parked  map[core.Ticket]parkedResponder
 	servers map[core.ContainerID]*ipc.Server
 	dirs    map[core.ContainerID]string
 	closed  bool
+}
+
+// parkedResponder is a withheld response plus the connection it will
+// leave on, kept so dispatch can batch the responses of one update into
+// a single socket write per connection.
+type parkedResponder struct {
+	respond func(*protocol.Message)
+	conn    *ipc.ServerConn
 }
 
 // Start creates the base directory, launches the control socket and
@@ -74,7 +82,7 @@ func Start(cfg Config) (*Daemon, error) {
 	}
 	d := &Daemon{
 		cfg:     cfg,
-		parked:  make(map[core.Ticket]func(*protocol.Message)),
+		parked:  make(map[core.Ticket]parkedResponder),
 		servers: make(map[core.ContainerID]*ipc.Server),
 		dirs:    make(map[core.ContainerID]string),
 	}
@@ -107,11 +115,11 @@ func (d *Daemon) Close() error {
 		servers = append(servers, s)
 	}
 	parked := d.parked
-	d.parked = make(map[core.Ticket]func(*protocol.Message))
+	d.parked = make(map[core.Ticket]parkedResponder)
 	d.mu.Unlock()
 
-	for _, respond := range parked {
-		respond(&protocol.Message{OK: false, Error: "scheduler shutting down"})
+	for _, p := range parked {
+		p.respond(&protocol.Message{OK: false, Error: "scheduler shutting down"})
 	}
 	err := d.control.Close()
 	for _, s := range servers {
@@ -196,19 +204,22 @@ func (d *Daemon) closeContainer(id core.ContainerID) (*protocol.Message, error) 
 }
 
 // park stores a suspended request's responder under its ticket.
-func (d *Daemon) park(t core.Ticket, respond func(*protocol.Message)) {
+func (d *Daemon) park(t core.Ticket, conn *ipc.ServerConn, respond func(*protocol.Message)) {
 	d.mu.Lock()
 	if d.closed {
 		d.mu.Unlock()
 		respond(&protocol.Message{OK: false, Error: "scheduler shutting down"})
 		return
 	}
-	d.parked[t] = respond
+	d.parked[t] = parkedResponder{respond: respond, conn: conn}
 	d.mu.Unlock()
 }
 
 // dispatch releases parked responders according to a core update:
-// admitted requests get an accept, cancelled ones an error.
+// admitted requests get an accept, cancelled ones an error. Responses
+// headed for the same connection are bracketed in a write batch, so the
+// N tickets one redistribution admits on a container's socket leave in
+// a single syscall instead of N.
 func (d *Daemon) dispatch(u core.Update) {
 	if len(u.Admitted) == 0 && len(u.Cancelled) == 0 {
 		return
@@ -218,22 +229,36 @@ func (d *Daemon) dispatch(u core.Update) {
 		respond func(*protocol.Message)
 		msg     *protocol.Message
 	}
-	var rels []rel
+	byConn := make(map[*ipc.ServerConn][]rel)
 	for _, a := range u.Admitted {
-		if respond, ok := d.parked[a.Ticket]; ok {
+		if p, ok := d.parked[a.Ticket]; ok {
 			delete(d.parked, a.Ticket)
-			rels = append(rels, rel{respond, &protocol.Message{OK: true, Decision: protocol.DecisionAccept}})
+			m := protocol.AcquireMessage()
+			m.OK = true
+			m.Decision = protocol.DecisionAccept
+			byConn[p.conn] = append(byConn[p.conn], rel{p.respond, m})
 		}
 	}
 	for _, c := range u.Cancelled {
-		if respond, ok := d.parked[c.Ticket]; ok {
+		if p, ok := d.parked[c.Ticket]; ok {
 			delete(d.parked, c.Ticket)
-			rels = append(rels, rel{respond, &protocol.Message{OK: false, Error: "container closed"}})
+			m := protocol.AcquireMessage()
+			m.OK = false
+			m.Error = "container closed"
+			byConn[p.conn] = append(byConn[p.conn], rel{p.respond, m})
 		}
 	}
 	d.mu.Unlock()
-	for _, r := range rels {
-		r.respond(r.msg)
+	for conn, rels := range byConn {
+		if conn != nil && len(rels) > 1 {
+			conn.BeginBatch()
+		}
+		for _, r := range rels {
+			r.respond(r.msg)
+		}
+		if conn != nil && len(rels) > 1 {
+			conn.EndBatch()
+		}
 	}
 }
 
@@ -272,6 +297,14 @@ type containerHandler struct {
 	id core.ContainerID
 }
 
+// ok acquires a pooled success response; respond consumes it (the
+// transport returns it to the pool after encoding).
+func ok() *protocol.Message {
+	m := protocol.AcquireMessage()
+	m.OK = true
+	return m
+}
+
 // Handle implements ipc.Handler.
 func (h containerHandler) Handle(conn *ipc.ServerConn, msg *protocol.Message, respond func(*protocol.Message)) {
 	c := h.d.cfg.Core
@@ -284,26 +317,30 @@ func (h containerHandler) Handle(conn *ipc.ServerConn, msg *protocol.Message, re
 		}
 		switch res.Decision {
 		case core.Accept:
-			respond(&protocol.Message{OK: true, Decision: protocol.DecisionAccept})
+			m := ok()
+			m.Decision = protocol.DecisionAccept
+			respond(m)
 		case core.Reject:
-			respond(&protocol.Message{OK: true, Decision: protocol.DecisionReject})
+			m := ok()
+			m.Decision = protocol.DecisionReject
+			respond(m)
 		case core.Suspend:
 			// The paper's pause: withhold the response until granted.
-			h.d.park(res.Ticket, respond)
+			h.d.park(res.Ticket, conn, respond)
 		}
 	case protocol.TypeConfirm:
 		if err := c.ConfirmAlloc(h.id, msg.PID, msg.Addr, msg.SizeBytes()); err != nil {
 			respond(protocol.ErrorResponse(msg, "%v", err))
 			return
 		}
-		respond(&protocol.Message{OK: true})
+		respond(ok())
 	case protocol.TypeAbort:
 		u, err := c.AbortAlloc(h.id, msg.PID, msg.SizeBytes())
 		if err != nil {
 			respond(protocol.ErrorResponse(msg, "%v", err))
 			return
 		}
-		respond(&protocol.Message{OK: true})
+		respond(ok())
 		h.d.dispatch(u)
 	case protocol.TypeFree:
 		size, u, err := c.Free(h.id, msg.PID, msg.Addr)
@@ -311,7 +348,9 @@ func (h containerHandler) Handle(conn *ipc.ServerConn, msg *protocol.Message, re
 			respond(protocol.ErrorResponse(msg, "%v", err))
 			return
 		}
-		respond(&protocol.Message{OK: true, Free: int64(size)})
+		m := ok()
+		m.Free = int64(size)
+		respond(m)
 		h.d.dispatch(u)
 	case protocol.TypeProcExit:
 		size, u, err := c.ProcessExit(h.id, msg.PID)
@@ -319,7 +358,9 @@ func (h containerHandler) Handle(conn *ipc.ServerConn, msg *protocol.Message, re
 			respond(protocol.ErrorResponse(msg, "%v", err))
 			return
 		}
-		respond(&protocol.Message{OK: true, Free: int64(size)})
+		m := ok()
+		m.Free = int64(size)
+		respond(m)
 		h.d.dispatch(u)
 	case protocol.TypeMemInfo:
 		free, total, err := c.MemInfo(h.id)
@@ -327,7 +368,10 @@ func (h containerHandler) Handle(conn *ipc.ServerConn, msg *protocol.Message, re
 			respond(protocol.ErrorResponse(msg, "%v", err))
 			return
 		}
-		respond(&protocol.Message{OK: true, Free: int64(free), Total: int64(total)})
+		m := ok()
+		m.Free = int64(free)
+		m.Total = int64(total)
+		respond(m)
 	default:
 		respond(protocol.ErrorResponse(msg, "daemon: unexpected %s on container socket", msg.Type))
 	}

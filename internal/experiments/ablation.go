@@ -32,10 +32,13 @@ type forwardHandler struct {
 }
 
 // Handle implements ipc.Handler. Each message is served on its own
-// goroutine so a suspended request never stalls the connection.
+// goroutine so a suspended request never stalls the connection; the
+// pooled request is cloned because it must outlive Handle (ipc.Handler's
+// ownership window).
 func (h forwardHandler) Handle(conn *ipc.ServerConn, msg *protocol.Message, respond func(*protocol.Message)) {
+	req := msg.Clone()
 	go func() {
-		resp, err := h.caller.Call(context.Background(), msg)
+		resp, err := h.caller.Call(context.Background(), req)
 		if err != nil {
 			respond(&protocol.Message{OK: false, Error: err.Error()})
 			return

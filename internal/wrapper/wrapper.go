@@ -53,6 +53,10 @@ const SocketFileName = "gpushare.sock"
 // response. *ipc.Client implements it over a UNIX socket; the benchmark
 // harness also provides an in-process implementation to isolate
 // transport cost.
+//
+// Ownership: the returned response belongs to the caller, which may
+// hand it back to the message pool (protocol.ReleaseMessage) once its
+// fields are consumed — implementations must not retain it.
 type Caller interface {
 	Call(ctx context.Context, m *protocol.Message) (*protocol.Message, error)
 }
@@ -144,7 +148,9 @@ func (m *Module) requestAlloc(api string, adjusted bytesize.Size, doAlloc func()
 		}
 		return 0, fmt.Errorf("wrapper: scheduler unreachable: %w", err)
 	}
-	if !resp.OK || resp.Decision == protocol.DecisionReject {
+	denied := !resp.OK || resp.Decision == protocol.DecisionReject
+	protocol.ReleaseMessage(resp) // response fields fully consumed above
+	if denied {
 		// The scheduler denied the allocation: the user program sees the
 		// same failure an exhausted GPU would produce.
 		return 0, cuda.ErrorMemoryAllocation
@@ -170,8 +176,11 @@ func (m *Module) requestAlloc(api string, adjusted bytesize.Size, doAlloc func()
 		// The allocation itself succeeded; a refused confirm means the
 		// scheduler's view diverged (a middleware bug, not a user-program
 		// condition), so it must be loud.
-		return ptr, fmt.Errorf("wrapper: confirm refused: %s", resp.Error)
+		cerr := fmt.Errorf("wrapper: confirm refused: %s", resp.Error)
+		protocol.ReleaseMessage(resp)
+		return ptr, cerr
 	}
+	protocol.ReleaseMessage(resp)
 	return ptr, nil
 }
 
@@ -261,9 +270,12 @@ func (m *Module) Free(ptr cuda.DevPtr) error {
 	m.reports.Add(1)
 	go func() {
 		defer m.reports.Done()
-		m.sched.Call(context.Background(), &protocol.Message{
+		resp, err := m.sched.Call(context.Background(), &protocol.Message{
 			Type: protocol.TypeFree, PID: m.pid, Addr: uint64(ptr),
 		})
+		if err == nil {
+			protocol.ReleaseMessage(resp)
+		}
 	}()
 	return nil
 }
@@ -284,9 +296,13 @@ func (m *Module) MemGetInfo() (free, total bytesize.Size, err error) {
 		return 0, 0, fmt.Errorf("wrapper: meminfo: %w", err)
 	}
 	if !resp.OK {
-		return 0, 0, fmt.Errorf("wrapper: meminfo: %s", resp.Error)
+		merr := fmt.Errorf("wrapper: meminfo: %s", resp.Error)
+		protocol.ReleaseMessage(resp)
+		return 0, 0, merr
 	}
-	return bytesize.Size(resp.Free), bytesize.Size(resp.Total), nil
+	free, total = bytesize.Size(resp.Free), bytesize.Size(resp.Total)
+	protocol.ReleaseMessage(resp)
+	return free, total, nil
 }
 
 // GetDeviceProperties implements cuda.API (pass-through, but cached so
@@ -326,10 +342,14 @@ func (m *Module) UnregisterFatBinary() error {
 	// free still in flight.
 	m.reports.Wait()
 	err := m.inner.UnregisterFatBinary()
-	if _, serr := m.sched.Call(context.Background(), &protocol.Message{
+	if resp, serr := m.sched.Call(context.Background(), &protocol.Message{
 		Type: protocol.TypeProcExit, PID: m.pid,
-	}); serr != nil && err == nil {
-		err = fmt.Errorf("wrapper: report procexit: %w", serr)
+	}); serr != nil {
+		if err == nil {
+			err = fmt.Errorf("wrapper: report procexit: %w", serr)
+		}
+	} else {
+		protocol.ReleaseMessage(resp)
 	}
 	return err
 }
