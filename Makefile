@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench clean
+.PHONY: all build test vet check race chaos bench clean
 
 all: build test
 
@@ -13,11 +13,28 @@ build:
 test:
 	$(GO) test ./...
 
+vet:
+	$(GO) vet ./...
+
+check: vet test
+
 # race runs the full suite under the race detector — the hot path
 # (pooled codec, coalesced writes, fast-path admit) is validated by
-# dedicated concurrency stress tests that only bite with -race on.
+# dedicated concurrency stress tests that only bite with -race on —
+# and then the full chaos sweep (see chaos below).
 race:
 	$(GO) test -race ./...
+	$(MAKE) chaos
+
+# chaos replays the full sweep of seeded fault schedules against the
+# daemon↔wrapper stack under the race detector: every connection drops,
+# delays, corrupts, truncates, and hard-closes frames on a deterministic
+# schedule while the scheduler's invariants are checked after every op.
+# A failing seed N replays with:
+#   go test -race -run 'TestChaos/seed=N$' ./internal/fault -chaos.seeds=120
+CHAOS_SEEDS ?= 120
+chaos:
+	$(GO) test -race -run TestChaos -count=1 -timeout 15m ./internal/fault -chaos.seeds=$(CHAOS_SEEDS)
 
 # bench runs the hot-path benchmark suite with allocation tracking and
 # saves the results. BENCH_hotpath.json holds the go-test JSON stream

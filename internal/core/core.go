@@ -64,6 +64,8 @@ var (
 	ErrUnknownAddr          = errors.New("core: unknown allocation address")
 	ErrUnknownPID           = errors.New("core: unknown pid")
 	ErrNotCharged           = errors.New("core: confirm/abort without an accepted request")
+	ErrLimitMismatch        = errors.New("core: re-registration limit differs from the original")
+	ErrRestoreInfeasible    = errors.New("core: cannot restore allocation within limit and capacity")
 )
 
 // DefaultContextOverhead is the GPU memory CUDA consumes when a process
@@ -275,14 +277,37 @@ func (s *State) AlgorithmName() string { return s.cfg.Algorithm.Name() }
 func (s *State) Register(id ContainerID, limit bytesize.Size) (granted bytesize.Size, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if _, ok := s.containers[id]; ok {
+		return 0, fmt.Errorf("%w: %s", ErrDuplicateContainer, id)
+	}
+	return s.registerLocked(id, limit)
+}
+
+// EnsureRegistered is Register that tolerates the container already
+// being known: it returns the existing grant untouched when the limit
+// matches (no double-counting) and ErrLimitMismatch when it does not.
+// The daemon uses it to re-adopt persisted sessions after a restart —
+// whether the scheduler state survived (same core) or is being rebuilt.
+func (s *State) EnsureRegistered(id ContainerID, limit bytesize.Size) (granted bytesize.Size, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c, ok := s.containers[id]; ok {
+		if c.limit != limit {
+			return 0, fmt.Errorf("%w: %s has %v, got %v", ErrLimitMismatch, id, c.limit, limit)
+		}
+		return c.grant, nil
+	}
+	return s.registerLocked(id, limit)
+}
+
+// registerLocked is the shared body of Register and EnsureRegistered.
+// The caller holds the write lock and has established that id is free.
+func (s *State) registerLocked(id ContainerID, limit bytesize.Size) (bytesize.Size, error) {
 	if limit <= 0 {
 		return 0, ErrInvalidLimit
 	}
 	if limit > s.cfg.Capacity {
 		return 0, fmt.Errorf("%w: %v > %v", ErrLimitExceedsCapacity, limit, s.cfg.Capacity)
-	}
-	if _, ok := s.containers[id]; ok {
-		return 0, fmt.Errorf("%w: %s", ErrDuplicateContainer, id)
 	}
 	s.nextSeq++
 	c := &containerState{
@@ -476,6 +501,94 @@ func (s *State) confirmLocked(c *containerState, pid int, addr uint64, size byte
 	p.accepted = append(p.accepted[:i], p.accepted[i+1:]...)
 	p.allocs[addr] = size
 	return nil
+}
+
+// Restore re-charges a live allocation a wrapper reports while
+// re-attaching after a reconnect. Two cases:
+//
+//   - The scheduler restarted and lost its accounting: the allocation is
+//     charged as if it had been confirmed (including the process's
+//     context overhead on its first restore), topping the grant up from
+//     the pool as needed. A report that cannot fit within the
+//     container's limit and the remaining pool fails with
+//     ErrRestoreInfeasible — the scheduler refuses to fabricate
+//     capacity it does not have.
+//   - The scheduler never lost the session (only the connection
+//     dropped): the address is already tracked with the same size and
+//     the restore is an idempotent no-op — nothing is double-counted.
+func (s *State) Restore(id ContainerID, pid int, addr uint64, size bytesize.Size) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.containers[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownContainer, id)
+	}
+	if size <= 0 {
+		return ErrInvalidSize
+	}
+	for _, q := range c.procs {
+		if have, dup := q.allocs[addr]; dup {
+			if have == size {
+				return nil // replayed restore: already accounted
+			}
+			return fmt.Errorf("core: restore of %#x with size %v conflicts with tracked %v", addr, size, have)
+		}
+	}
+	charge := s.chargeFor(c, pid, size)
+	if c.used+charge > c.limit {
+		return fmt.Errorf("%w: container %s used %v + %v > limit %v",
+			ErrRestoreInfeasible, id, c.used, charge, c.limit)
+	}
+	if c.used+charge > c.grant {
+		need := c.used + charge - c.grant
+		if need > s.pool {
+			return fmt.Errorf("%w: container %s needs %v, pool has %v",
+				ErrRestoreInfeasible, id, need, s.pool)
+		}
+		c.grant += need
+		s.pool -= need
+	}
+	p := s.proc(c, pid)
+	p.charged = true
+	p.allocs[addr] = size
+	c.used += charge
+	s.logEvent(EvRestore, id, pid, charge)
+	return nil
+}
+
+// DropPending removes the given suspended tickets — the daemon calls it
+// when the connection their responses were parked on drops, so a dead
+// wrapper cannot pin the redistribution queue. Dropping is idempotent:
+// unknown tickets and already-closed containers are ignored. Removing a
+// queue head can let the next request fit the existing grant, so the
+// returned Update must be dispatched like any other.
+func (s *State) DropPending(id ContainerID, tickets []Ticket) (Update, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.containers[id]
+	if !ok {
+		return Update{}, nil
+	}
+	drop := make(map[Ticket]bool, len(tickets))
+	for _, t := range tickets {
+		drop[t] = true
+	}
+	kept := c.pending[:0]
+	removed := 0
+	for _, r := range c.pending {
+		if drop[r.ticket] {
+			removed++
+			continue
+		}
+		kept = append(kept, r)
+	}
+	if removed == 0 {
+		return Update{}, nil
+	}
+	c.pending = kept
+	s.noteSuspensionEnd(c)
+	s.logEvent(EvDrop, id, 0, 0)
+	return s.afterRelease(), nil
 }
 
 // AbortAlloc returns the charge of an accepted request whose real CUDA

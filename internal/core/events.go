@@ -24,6 +24,8 @@ const (
 	EvAbort                     // accepted allocation aborted; Amount = returned size
 	EvProcExit                  // process exit cleanup; Amount = released total
 	EvClose                     // container closed; Amount = returned grant
+	EvRestore                   // re-attach restore; Amount = charged size
+	EvDrop                      // parked tickets dropped (connection died)
 )
 
 func (k EventKind) String() string {
@@ -50,6 +52,10 @@ func (k EventKind) String() string {
 		return "procexit"
 	case EvClose:
 		return "close"
+	case EvRestore:
+		return "restore"
+	case EvDrop:
+		return "drop"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}

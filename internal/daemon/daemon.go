@@ -19,8 +19,10 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"time"
 
 	"convgpu/internal/bytesize"
+	"convgpu/internal/clock"
 	"convgpu/internal/core"
 	"convgpu/internal/ipc"
 	"convgpu/internal/protocol"
@@ -46,12 +48,31 @@ type Config struct {
 	BaseDir string
 	// Core is the scheduler state. Required.
 	Core *core.State
+	// Lease is how long a container's session may stay silent before the
+	// daemon reaps it as dead — a container that was SIGKILLed never
+	// sends a close signal, and without a lease its grant would be
+	// pinned forever. Any message on the container's socket renews the
+	// lease (idle wrappers send heartbeats). Zero disables leasing.
+	Lease time.Duration
+	// Clock paces the lease accounting; nil uses the real clock. Tests
+	// inject a manual clock to expire leases deterministically.
+	Clock clock.Clock
 }
 
 // Daemon is a running scheduler service.
 type Daemon struct {
 	cfg     Config
+	clk     clock.Clock
 	control *ipc.Server
+
+	// lastSeen tracks per-container lease renewal times
+	// (core.ContainerID → *leaseEntry). A sync.Map keeps the hot-path
+	// touch — one Load plus one atomic store per request — off the
+	// daemon mutex. Only populated when Config.Lease > 0.
+	lastSeen sync.Map
+
+	reapStop chan struct{}
+	reapDone chan struct{}
 
 	mu      sync.Mutex
 	parked  map[core.Ticket]parkedResponder
@@ -70,6 +91,14 @@ type parkedResponder struct {
 
 // Start creates the base directory, launches the control socket and
 // returns the running daemon.
+//
+// A control socket file left behind by a previous run is taken over
+// after a dial probe proves no live daemon answers on it; if one does,
+// Start fails instead of stealing its socket. Container sessions
+// persisted by a previous run (see sessionFileName) are recovered:
+// their registrations are re-applied idempotently and their sockets
+// re-listen, so wrappers reconnect and replay instead of losing their
+// grants.
 func Start(cfg Config) (*Daemon, error) {
 	if cfg.Core == nil {
 		return nil, fmt.Errorf("daemon: Config.Core is required")
@@ -80,17 +109,36 @@ func Start(cfg Config) (*Daemon, error) {
 	if err := os.MkdirAll(cfg.BaseDir, 0o755); err != nil {
 		return nil, fmt.Errorf("daemon: create base dir: %w", err)
 	}
-	d := &Daemon{
-		cfg:     cfg,
-		parked:  make(map[core.Ticket]parkedResponder),
-		servers: make(map[core.ContainerID]*ipc.Server),
-		dirs:    make(map[core.ContainerID]string),
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Real{}
 	}
-	ctl, err := ipc.Listen(filepath.Join(cfg.BaseDir, ControlSocketName), controlHandler{d})
+	d := &Daemon{
+		cfg:      cfg,
+		clk:      cfg.Clock,
+		parked:   make(map[core.Ticket]parkedResponder),
+		servers:  make(map[core.ContainerID]*ipc.Server),
+		dirs:     make(map[core.ContainerID]string),
+		reapStop: make(chan struct{}),
+		reapDone: make(chan struct{}),
+	}
+	ctlPath := filepath.Join(cfg.BaseDir, ControlSocketName)
+	if err := takeoverSocket(ctlPath); err != nil {
+		return nil, err
+	}
+	if err := d.recoverSessions(); err != nil {
+		return nil, err
+	}
+	ctl, err := ipc.Listen(ctlPath, controlHandler{d})
 	if err != nil {
+		d.closeRecovered()
 		return nil, err
 	}
 	d.control = ctl
+	if cfg.Lease > 0 {
+		go d.reapLoop()
+	} else {
+		close(d.reapDone)
+	}
 	return d, nil
 }
 
@@ -117,6 +165,11 @@ func (d *Daemon) Close() error {
 	parked := d.parked
 	d.parked = make(map[core.Ticket]parkedResponder)
 	d.mu.Unlock()
+
+	if d.cfg.Lease > 0 {
+		close(d.reapStop)
+	}
+	<-d.reapDone
 
 	for _, p := range parked {
 		p.respond(&protocol.Message{OK: false, Error: "scheduler shutting down"})
@@ -163,6 +216,10 @@ func (d *Daemon) register(id core.ContainerID, limit int64) (*protocol.Message, 
 		d.cfg.Core.Close(id)
 		return nil, fmt.Errorf("daemon: write wrapper module: %w", err)
 	}
+	if err := writeSessionFile(dir, id, bytesize.Size(limit)); err != nil {
+		d.cfg.Core.Close(id)
+		return nil, err
+	}
 	os.Remove(sockPath) // stale socket from a previous run
 	srv, err := ipc.Listen(sockPath, containerHandler{d: d, id: id})
 	if err != nil {
@@ -178,6 +235,7 @@ func (d *Daemon) register(id core.ContainerID, limit int64) (*protocol.Message, 
 	d.servers[id] = srv
 	d.dirs[id] = dir
 	d.mu.Unlock()
+	d.touch(id)
 
 	resp := &protocol.Message{OK: true, Granted: int64(granted), SocketDir: dir}
 	return resp, nil
@@ -192,9 +250,15 @@ func (d *Daemon) closeContainer(id core.ContainerID) (*protocol.Message, error) 
 	d.dispatch(update)
 	d.mu.Lock()
 	srv := d.servers[id]
+	dir := d.dirs[id]
 	delete(d.servers, id)
 	delete(d.dirs, id)
 	d.mu.Unlock()
+	d.lastSeen.Delete(id)
+	if dir != "" {
+		// A closed session must not be recovered by a future restart.
+		os.Remove(filepath.Join(dir, sessionFileName))
+	}
 	if srv != nil {
 		// Shut the container socket down in the background: the close
 		// signal must not wait for in-flight handlers.
@@ -308,6 +372,7 @@ func ok() *protocol.Message {
 // Handle implements ipc.Handler.
 func (h containerHandler) Handle(conn *ipc.ServerConn, msg *protocol.Message, respond func(*protocol.Message)) {
 	c := h.d.cfg.Core
+	h.d.touch(h.id) // any traffic renews the session lease
 	switch msg.Type {
 	case protocol.TypeAlloc:
 		res, err := c.RequestAlloc(h.id, msg.PID, msg.SizeBytes())
@@ -372,12 +437,69 @@ func (h containerHandler) Handle(conn *ipc.ServerConn, msg *protocol.Message, re
 		m.Free = int64(free)
 		m.Total = int64(total)
 		respond(m)
+	case protocol.TypeAttach:
+		// A wrapper re-binding its session after a reconnect. The
+		// registration survived (same daemon) or was recovered from the
+		// session file (restarted daemon); either way the container must
+		// be known — an attach for an unknown one is refused so the
+		// wrapper does not run against a scheduler with no account of it.
+		if _, err := c.Info(h.id); err != nil {
+			respond(protocol.ErrorResponse(msg, "%v", err))
+			return
+		}
+		respond(ok())
+	case protocol.TypeRestore:
+		if err := c.Restore(h.id, msg.PID, msg.Addr, msg.SizeBytes()); err != nil {
+			respond(protocol.ErrorResponse(msg, "%v", err))
+			return
+		}
+		respond(ok())
+	case protocol.TypeHeartbeat:
+		// The touch above did the work; acknowledge so the wrapper's
+		// deadline-bounded call completes.
+		respond(ok())
 	default:
 		respond(protocol.ErrorResponse(msg, "daemon: unexpected %s on container socket", msg.Type))
 	}
 }
 
 // Closed implements ipc.Handler. The wrapper process vanished without a
-// procexit (crash, kill -9): the explicit close signal from the plugin
-// still performs the cleanup, so nothing to do here.
-func (h containerHandler) Closed(conn *ipc.ServerConn) {}
+// procexit (crash, kill -9, network fault): any responses still parked
+// for this connection could never be delivered, so the tickets are
+// dropped from the scheduler queue — a dead wrapper must not pin
+// memory redistribution — and the freed queue slots may admit other
+// containers' suspended requests. The explicit close signal (or the
+// lease reaper) still reclaims the container's memory later.
+func (h containerHandler) Closed(conn *ipc.ServerConn) {
+	h.d.releaseConn(h.id, conn)
+}
+
+// releaseConn drops every parked responder bound to a dead connection.
+func (d *Daemon) releaseConn(id core.ContainerID, conn *ipc.ServerConn) {
+	d.mu.Lock()
+	var tickets []core.Ticket
+	var responders []func(*protocol.Message)
+	for t, p := range d.parked {
+		if p.conn == conn {
+			delete(d.parked, t)
+			tickets = append(tickets, t)
+			responders = append(responders, p.respond)
+		}
+	}
+	d.mu.Unlock()
+	if len(tickets) == 0 {
+		return
+	}
+	for _, r := range responders {
+		// The connection is gone, so the send fails on the dead socket;
+		// responding still runs the respondOnce bookkeeping and returns
+		// the message to the pool.
+		m := protocol.AcquireMessage()
+		m.Error = "connection dropped while allocation was suspended"
+		r(m)
+	}
+	u, err := d.cfg.Core.DropPending(id, tickets)
+	if err == nil {
+		d.dispatch(u)
+	}
+}

@@ -1,0 +1,170 @@
+// Session durability and liveness: the daemon persists each container's
+// registration next to its socket so a restarted daemon can recover the
+// session instead of orphaning the wrapper, and (when configured) leases
+// each session so a container that died without a close signal is
+// reaped after a grace window rather than pinning its grant forever.
+
+package daemon
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"time"
+
+	"convgpu/internal/bytesize"
+	"convgpu/internal/core"
+	"convgpu/internal/ipc"
+)
+
+// sessionFileName is the per-container session record inside the
+// container's directory, written at registration and removed on close.
+const sessionFileName = "session.json"
+
+// sessionRecord is what survives a daemon restart — exactly the inputs
+// the control-socket registration took. Everything else (grants, usage)
+// is rebuilt by the core (EnsureRegistered) and the wrappers' replay.
+type sessionRecord struct {
+	Container string `json:"container"`
+	Limit     int64  `json:"limit"`
+}
+
+func writeSessionFile(dir string, id core.ContainerID, limit bytesize.Size) error {
+	data, err := json.Marshal(sessionRecord{Container: string(id), Limit: int64(limit)})
+	if err != nil {
+		return fmt.Errorf("daemon: encode session record: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, sessionFileName), data, 0o644); err != nil {
+		return fmt.Errorf("daemon: write session record: %w", err)
+	}
+	return nil
+}
+
+// takeoverSocket prepares a control-socket path that may hold a stale
+// file from a crashed daemon. A dial probe distinguishes stale from
+// live: nothing answering means the previous daemon is gone and the
+// file is removed; an answering peer means another daemon owns the
+// socket and starting would steal its clients mid-session.
+func takeoverSocket(path string) error {
+	if _, err := os.Stat(path); err != nil {
+		return nil // no leftover socket
+	}
+	conn, err := net.DialTimeout("unix", path, time.Second)
+	if err == nil {
+		conn.Close()
+		return fmt.Errorf("daemon: control socket %s is owned by a running daemon", path)
+	}
+	if err := os.Remove(path); err != nil {
+		return fmt.Errorf("daemon: remove stale control socket: %w", err)
+	}
+	return nil
+}
+
+// recoverSessions re-adopts container sessions a previous daemon left
+// behind: for every persisted session record the registration is
+// re-applied idempotently (a shared core keeps its grant; a fresh core
+// grants anew) and the container socket re-listens so the wrapper's
+// reconnect finds a live endpoint. A record the core refuses (e.g. a
+// diverged limit) is skipped and deleted rather than failing startup —
+// one corrupt session must not keep the scheduler down.
+func (d *Daemon) recoverSessions() error {
+	root := filepath.Join(d.cfg.BaseDir, "containers")
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("daemon: scan container dirs: %w", err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		dir := filepath.Join(root, e.Name())
+		data, err := os.ReadFile(filepath.Join(dir, sessionFileName))
+		if err != nil {
+			continue // never registered, or cleanly closed
+		}
+		var rec sessionRecord
+		if err := json.Unmarshal(data, &rec); err != nil || rec.Container == "" {
+			os.Remove(filepath.Join(dir, sessionFileName))
+			continue
+		}
+		id := core.ContainerID(rec.Container)
+		if _, err := d.cfg.Core.EnsureRegistered(id, bytesize.Size(rec.Limit)); err != nil {
+			os.Remove(filepath.Join(dir, sessionFileName))
+			continue
+		}
+		sockPath := filepath.Join(dir, ContainerSocketName)
+		os.Remove(sockPath) // the dead daemon's listener
+		srv, err := ipc.Listen(sockPath, containerHandler{d: d, id: id})
+		if err != nil {
+			d.closeRecovered()
+			return fmt.Errorf("daemon: recover %s: %w", id, err)
+		}
+		d.servers[id] = srv
+		d.dirs[id] = dir
+		d.touch(id)
+	}
+	return nil
+}
+
+// closeRecovered unwinds recoverSessions when startup fails later on.
+func (d *Daemon) closeRecovered() {
+	for id, srv := range d.servers {
+		srv.Close()
+		delete(d.servers, id)
+		delete(d.dirs, id)
+	}
+}
+
+// leaseEntry is one container's last-seen time (UnixNano), updated with
+// a single atomic store per request.
+type leaseEntry struct{ nanos atomic.Int64 }
+
+// touch renews a container's session lease. No-op unless leasing is on.
+func (d *Daemon) touch(id core.ContainerID) {
+	if d.cfg.Lease <= 0 {
+		return
+	}
+	e, ok := d.lastSeen.Load(id)
+	if !ok {
+		e, _ = d.lastSeen.LoadOrStore(id, &leaseEntry{})
+	}
+	e.(*leaseEntry).nanos.Store(d.clk.Now().UnixNano())
+}
+
+// reapLoop closes containers whose lease expired: no traffic (and no
+// heartbeat) for longer than Config.Lease means the container died
+// without a close signal, and its grant is reclaimed exactly as the
+// plugin's close would. Checked at Lease/4 granularity, so a dead
+// container is reaped within 1.25 leases.
+func (d *Daemon) reapLoop() {
+	defer close(d.reapDone)
+	interval := d.cfg.Lease / 4
+	if interval <= 0 {
+		interval = d.cfg.Lease
+	}
+	for {
+		select {
+		case <-d.reapStop:
+			return
+		case <-d.clk.After(interval):
+		}
+		now := d.clk.Now()
+		var expired []core.ContainerID
+		d.lastSeen.Range(func(k, v any) bool {
+			last := time.Unix(0, v.(*leaseEntry).nanos.Load())
+			if now.Sub(last) > d.cfg.Lease {
+				expired = append(expired, k.(core.ContainerID))
+			}
+			return true
+		})
+		for _, id := range expired {
+			d.closeContainer(id)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package fault
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// TestDecideDeterministic: the same seed yields the same action
+// sequence — a failing chaos seed can be replayed.
+func TestDecideDeterministic(t *testing.T) {
+	cfg := Config{DropProb: 0.2, DelayProb: 0.2, CorruptProb: 0.2, TruncateProb: 0.2, CloseProb: 0.1}
+	a, b := NewPlan(7, cfg), NewPlan(7, cfg)
+	for i := 0; i < 1000; i++ {
+		isRead := i%3 == 0
+		actA, delayA := a.decide(isRead)
+		actB, delayB := b.decide(isRead)
+		if actA != actB || delayA != delayB {
+			t.Fatalf("draw %d diverged: (%v,%v) vs (%v,%v)", i, actA, delayA, actB, delayB)
+		}
+	}
+	c := NewPlan(8, cfg)
+	same := true
+	a2 := NewPlan(7, cfg)
+	for i := 0; i < 1000; i++ {
+		actA, dA := a2.decide(false)
+		actC, dC := c.decide(false)
+		if actA != actC || dA != dC {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+// TestDroppedWriteReportsSuccess: the caller must not be able to tell a
+// dropped write from a delivered one.
+func TestDroppedWriteReportsSuccess(t *testing.T) {
+	p := NewPlan(1, Config{DropProb: 1})
+	client, server := net.Pipe()
+	defer server.Close()
+	fc := p.Wrap(client)
+	n, err := fc.Write([]byte("hello\n"))
+	if n != 6 || err != nil {
+		t.Fatalf("dropped write = (%d, %v), want (6, nil)", n, err)
+	}
+	// Nothing arrived.
+	server.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	if n, _ := server.Read(make([]byte, 16)); n != 0 {
+		t.Fatalf("%d bytes arrived from a dropped write", n)
+	}
+}
+
+// TestCloseFaultKillsConn: a close fault errors the operation and the
+// underlying conn really is dead.
+func TestCloseFaultKillsConn(t *testing.T) {
+	p := NewPlan(1, Config{CloseProb: 1})
+	client, server := net.Pipe()
+	defer server.Close()
+	fc := p.Wrap(client)
+	if _, err := fc.Write([]byte("x\n")); err == nil {
+		t.Fatal("close fault reported success")
+	}
+	if _, err := client.Write([]byte("y\n")); err == nil {
+		t.Fatal("underlying conn survived a close fault")
+	}
+}
+
+// TestCorruptFlipsOneByte: corruption changes payload but keeps length
+// and framing (never touches newlines).
+func TestCorruptFlipsOneByte(t *testing.T) {
+	p := NewPlan(1, Config{CorruptProb: 1})
+	client, server := net.Pipe()
+	defer server.Close()
+	fc := p.Wrap(client)
+	sent := []byte(`{"t":"alloc"}` + "\n")
+	got := make([]byte, len(sent))
+	done := make(chan error, 1)
+	go func() {
+		_, err := fc.Write(sent)
+		done <- err
+	}()
+	if _, err := server.Read(got); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	diff := 0
+	for i := range sent {
+		if got[i] != sent[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("%d bytes differ, want exactly 1", diff)
+	}
+	if got[len(got)-1] != '\n' {
+		t.Fatal("corruption broke framing")
+	}
+}
+
+// TestHealRestoresTransport: after Heal every operation passes through.
+func TestHealRestoresTransport(t *testing.T) {
+	p := NewPlan(1, Config{DropProb: 1})
+	p.Heal()
+	client, server := net.Pipe()
+	defer server.Close()
+	fc := p.Wrap(client)
+	go fc.Write([]byte("ok\n"))
+	buf := make([]byte, 3)
+	server.SetReadDeadline(time.Now().Add(time.Second))
+	if _, err := server.Read(buf); err != nil {
+		t.Fatalf("healed transport still faulting: %v", err)
+	}
+	if string(buf) != "ok\n" {
+		t.Fatalf("got %q", buf)
+	}
+}

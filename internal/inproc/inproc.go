@@ -145,6 +145,19 @@ func (c *Caller) Call(ctx context.Context, m *protocol.Message) (*protocol.Messa
 		}
 		h.dispatch(u)
 		return &protocol.Message{Type: protocol.TypeResponse, OK: true, Free: int64(size)}, nil
+	case protocol.TypeAttach, protocol.TypeHeartbeat:
+		// Session housekeeping: there is no connection to re-bind
+		// in-process, but the wrapper's replay path must be exercisable
+		// over this transport, so validate the container and acknowledge.
+		if _, err := st.Info(c.id); err != nil {
+			return &protocol.Message{Type: protocol.TypeResponse, OK: false, Error: err.Error()}, nil
+		}
+		return &protocol.Message{Type: protocol.TypeResponse, OK: true}, nil
+	case protocol.TypeRestore:
+		if err := st.Restore(c.id, m.PID, m.Addr, m.SizeBytes()); err != nil {
+			return &protocol.Message{Type: protocol.TypeResponse, OK: false, Error: err.Error()}, nil
+		}
+		return &protocol.Message{Type: protocol.TypeResponse, OK: true}, nil
 	case protocol.TypeMemInfo:
 		free, total, err := st.MemInfo(c.id)
 		if err != nil {

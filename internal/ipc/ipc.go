@@ -100,10 +100,17 @@ func ListenNet(network, addr string, h Handler) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("ipc: listen %s %s: %w", network, addr, err)
 	}
+	return NewServer(ln, h), nil
+}
+
+// NewServer serves connections accepted from an established listener —
+// the seam through which tests and the fault-injection harness
+// substitute a wrapped net.Listener.
+func NewServer(ln net.Listener, h Handler) *Server {
 	s := &Server{ln: ln, handler: h, conns: make(map[*ServerConn]struct{})}
 	s.wg.Add(1)
 	go s.acceptLoop()
-	return s, nil
+	return s
 }
 
 // Addr returns the socket path the server listens on.
@@ -129,6 +136,11 @@ func (s *Server) acceptLoop() {
 		go func() {
 			defer s.wg.Done()
 			sc.readLoop(s.handler)
+			// A poisoned frame (oversized, unreadable) exits the loop with
+			// the socket still open; close it so the peer sees a dead
+			// connection instead of hanging on a response that will never
+			// come.
+			sc.conn.Close()
 			s.mu.Lock()
 			delete(s.conns, sc)
 			s.mu.Unlock()
@@ -228,9 +240,25 @@ func (c *ServerConn) readLoop(h Handler) {
 			continue
 		}
 		respond := respondOnce(c, msg.Seq)
-		h.Handle(c, msg, respond)
+		safeHandle(h, c, msg, respond)
 		msg.Reset()
 	}
+}
+
+// safeHandle runs Handle with panic recovery: one request tripping a bug
+// must not take the whole daemon down (and every other container's
+// connection with it). The panicked request gets an error response
+// through its respondOnce wrapper — a no-op if the handler responded
+// before panicking — and the connection keeps serving.
+func safeHandle(h Handler, c *ServerConn, msg *protocol.Message, respond func(*protocol.Message)) {
+	defer func() {
+		if r := recover(); r != nil {
+			resp := protocol.AcquireMessage()
+			resp.Error = fmt.Sprintf("ipc: handler panic: %v", r)
+			respond(resp)
+		}
+	}()
+	h.Handle(c, msg, respond)
 }
 
 // respondOnce wraps ServerConn.Send so a handler calling respond more
@@ -302,6 +330,13 @@ func DialNet(network, addr string) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("ipc: dial %s %s: %w", network, addr, err)
 	}
+	return NewClient(conn), nil
+}
+
+// NewClient runs the wrapper-side protocol over an established
+// connection — the seam the Reconnector and the fault-injection harness
+// dial through.
+func NewClient(conn net.Conn) *Client {
 	c := &Client{
 		conn:    conn,
 		w:       newCoalescer(conn),
@@ -309,7 +344,7 @@ func DialNet(network, addr string) (*Client, error) {
 		done:    make(chan struct{}),
 	}
 	go c.readLoop()
-	return c, nil
+	return c
 }
 
 func (c *Client) readLoop() {
@@ -350,6 +385,11 @@ func (c *Client) readLoop() {
 	if err == io.EOF {
 		err = ErrClosed
 	}
+	// The transport is unusable once the read loop exits (a response
+	// could never be matched): poison the writer so late sends fail fast
+	// and close the socket so the peer's read loop ends too.
+	c.w.stop()
+	c.conn.Close()
 	c.mu.Lock()
 	c.closed = true
 	c.readErr = err

@@ -26,12 +26,13 @@ func (h *echoHandler) Closed(conn *ServerConn) { atomic.AddInt32(&h.closed, 1) }
 // parkHandler withholds responses until Release is called — the same
 // mechanism the scheduler uses to suspend an allocation.
 type parkHandler struct {
-	mu     sync.Mutex
-	parked []func(*protocol.Message)
+	parkAll bool // park every request, not just allocations
+	mu      sync.Mutex
+	parked  []func(*protocol.Message)
 }
 
 func (h *parkHandler) Handle(conn *ServerConn, msg *protocol.Message, respond func(*protocol.Message)) {
-	if msg.Type == protocol.TypeAlloc {
+	if h.parkAll || msg.Type == protocol.TypeAlloc {
 		h.mu.Lock()
 		h.parked = append(h.parked, respond)
 		h.mu.Unlock()

@@ -392,6 +392,12 @@ func typeToken(s []byte) Type {
 		return TypeClose
 	case string(TypeMemInfo):
 		return TypeMemInfo
+	case string(TypeAttach):
+		return TypeAttach
+	case string(TypeRestore):
+		return TypeRestore
+	case string(TypeHeartbeat):
+		return TypeHeartbeat
 	case string(TypeResponse):
 		return TypeResponse
 	default:

@@ -50,6 +50,20 @@ const (
 	// TypeMemInfo asks the scheduler for the container's virtualized view
 	// of GPU memory (free within limit, total = limit).
 	TypeMemInfo Type = "meminfo"
+	// TypeAttach is sent by the wrapper module after (re)connecting to
+	// its container socket: it announces the process and renews the
+	// container's session lease. After a reconnect it is followed by one
+	// TypeRestore per live allocation.
+	TypeAttach Type = "attach"
+	// TypeRestore re-reports one live allocation when a wrapper
+	// re-attaches: a restarted scheduler rebuilds its accounting from
+	// these instead of losing track of device memory, and a scheduler
+	// that never lost the session treats them as idempotent no-ops.
+	TypeRestore Type = "restore"
+	// TypeHeartbeat renews the container's session lease. A container
+	// whose lease expires (no traffic within the daemon's grace window
+	// and no close signal) is presumed dead and reaped.
+	TypeHeartbeat Type = "heartbeat"
 	// TypeResponse is the reply to any request.
 	TypeResponse Type = "response"
 )
@@ -147,7 +161,18 @@ func (m *Message) Validate() error {
 		if m.Container == "" {
 			return fmt.Errorf("protocol: close without container id")
 		}
-	case TypeMemInfo, TypeResponse:
+	case TypeAttach:
+		if m.PID <= 0 {
+			return fmt.Errorf("protocol: attach without pid")
+		}
+	case TypeRestore:
+		if m.PID <= 0 {
+			return fmt.Errorf("protocol: restore without pid")
+		}
+		if m.Size <= 0 {
+			return fmt.Errorf("protocol: restore with non-positive size %d", m.Size)
+		}
+	case TypeMemInfo, TypeResponse, TypeHeartbeat:
 		// No required request fields beyond the type itself.
 	case "":
 		return fmt.Errorf("protocol: message without type")

@@ -1,0 +1,47 @@
+package protocol
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestSessionMessageRoundTrip covers the session-management types the
+// failure-domain layer added: attach, restore, heartbeat.
+func TestSessionMessageRoundTrip(t *testing.T) {
+	msgs := []*Message{
+		{Type: TypeAttach, Seq: 7, PID: 42},
+		{Type: TypeRestore, Seq: 8, PID: 42, Addr: 0xBEEF, Size: 1 << 20},
+		{Type: TypeHeartbeat, Seq: 9, PID: 42},
+	}
+	for _, m := range msgs {
+		line, err := Encode(m)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", m.Type, err)
+		}
+		got, err := Decode(bytes.TrimRight(line, "\n"))
+		if err != nil {
+			t.Fatalf("%s: decode: %v", m.Type, err)
+		}
+		if *got != *m {
+			t.Fatalf("%s: round trip = %+v, want %+v", m.Type, got, m)
+		}
+	}
+}
+
+// TestSessionMessageValidation: required fields of the session types.
+func TestSessionMessageValidation(t *testing.T) {
+	bad := []*Message{
+		{Type: TypeAttach},                    // no pid
+		{Type: TypeRestore, PID: 1},           // no size
+		{Type: TypeRestore, PID: 1, Size: -4}, // negative size
+		{Type: TypeRestore, Size: 10},         // no pid
+	}
+	for _, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("%+v validated", m)
+		}
+	}
+	if err := (&Message{Type: TypeHeartbeat}).Validate(); err != nil {
+		t.Errorf("bare heartbeat rejected: %v", err)
+	}
+}

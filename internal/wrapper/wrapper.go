@@ -77,6 +77,11 @@ type Module struct {
 	propsOnce bool
 	props     gpu.Properties
 	exited    bool
+	// allocs tracks the process's live device allocations (address →
+	// adjusted size) so the module can replay them to a restarted
+	// scheduler (ReplayState) instead of silently holding unaccounted
+	// memory.
+	allocs map[cuda.DevPtr]bytesize.Size
 }
 
 // Option configures a Module.
@@ -93,7 +98,13 @@ func WithContext(ctx context.Context) Option {
 
 // New builds a wrapper module around the process's real CUDA runtime.
 func New(inner cuda.API, sched Caller, pid int, opts ...Option) *Module {
-	m := &Module{inner: inner, sched: sched, pid: pid, ctx: context.Background()}
+	m := &Module{
+		inner:  inner,
+		sched:  sched,
+		pid:    pid,
+		ctx:    context.Background(),
+		allocs: make(map[cuda.DevPtr]bytesize.Size),
+	}
 	for _, o := range opts {
 		o(m)
 	}
@@ -134,8 +145,10 @@ func (m *Module) requestAlloc(api string, adjusted bytesize.Size, doAlloc func()
 		return 0, fmt.Errorf("wrapper: process terminated: %w", err)
 	}
 	// The request — and with it a possible suspension — is bounded by
-	// the process's lifetime context; everything after acceptance uses
-	// the background context because it must complete regardless.
+	// the process's lifetime context, as is everything after acceptance:
+	// once the process is torn down, the connection-drop and lease
+	// handling on the daemon side reclaims whatever a cut-short confirm
+	// or abort left behind.
 	resp, err := m.sched.Call(m.ctx, &protocol.Message{
 		Type: protocol.TypeAlloc,
 		PID:  m.pid,
@@ -146,7 +159,10 @@ func (m *Module) requestAlloc(api string, adjusted bytesize.Size, doAlloc func()
 		if m.ctx.Err() != nil {
 			return 0, fmt.Errorf("wrapper: process terminated while allocation was suspended: %w", err)
 		}
-		return 0, fmt.Errorf("wrapper: scheduler unreachable: %w", err)
+		// Fail closed: no reachable scheduler means no grant. The user
+		// program sees the failure an exhausted GPU would produce — never
+		// a locally-approved allocation the scheduler knows nothing about.
+		return 0, fmt.Errorf("wrapper: scheduler unreachable (%v): %w", err, cuda.ErrorMemoryAllocation)
 	}
 	denied := !resp.OK || resp.Decision == protocol.DecisionReject
 	protocol.ReleaseMessage(resp) // response fields fully consumed above
@@ -159,14 +175,17 @@ func (m *Module) requestAlloc(api string, adjusted bytesize.Size, doAlloc func()
 	if err != nil {
 		// Accepted but the device failed (e.g. fragmentation): hand the
 		// charge back.
-		if _, aerr := m.sched.Call(context.Background(), &protocol.Message{
+		if _, aerr := m.sched.Call(m.ctx, &protocol.Message{
 			Type: protocol.TypeAbort, PID: m.pid, Size: int64(adjusted),
 		}); aerr != nil {
 			return 0, fmt.Errorf("wrapper: abort after failed alloc: %w", aerr)
 		}
 		return 0, err
 	}
-	resp, err = m.sched.Call(context.Background(), &protocol.Message{
+	m.mu.Lock()
+	m.allocs[ptr] = adjusted
+	m.mu.Unlock()
+	resp, err = m.sched.Call(m.ctx, &protocol.Message{
 		Type: protocol.TypeConfirm, PID: m.pid, Size: int64(adjusted), Addr: uint64(ptr),
 	})
 	if err != nil {
@@ -267,10 +286,13 @@ func (m *Module) Free(ptr cuda.DevPtr) error {
 	if err := m.inner.Free(ptr); err != nil {
 		return err
 	}
+	m.mu.Lock()
+	delete(m.allocs, ptr)
+	m.mu.Unlock()
 	m.reports.Add(1)
 	go func() {
 		defer m.reports.Done()
-		resp, err := m.sched.Call(context.Background(), &protocol.Message{
+		resp, err := m.sched.Call(m.ctx, &protocol.Message{
 			Type: protocol.TypeFree, PID: m.pid, Addr: uint64(ptr),
 		})
 		if err == nil {
@@ -289,7 +311,7 @@ func (m *Module) Flush() { m.reports.Wait() }
 // the scheduler's per-container accounting; the original CUDA API is
 // never called, and the container sees only its own memory slice.
 func (m *Module) MemGetInfo() (free, total bytesize.Size, err error) {
-	resp, err := m.sched.Call(context.Background(), &protocol.Message{
+	resp, err := m.sched.Call(m.ctx, &protocol.Message{
 		Type: protocol.TypeMemInfo, PID: m.pid,
 	})
 	if err != nil {
@@ -341,8 +363,11 @@ func (m *Module) UnregisterFatBinary() error {
 	// Drain async reports first: the exit message must not overtake a
 	// free still in flight.
 	m.reports.Wait()
+	m.mu.Lock()
+	m.allocs = make(map[cuda.DevPtr]bytesize.Size)
+	m.mu.Unlock()
 	err := m.inner.UnregisterFatBinary()
-	if resp, serr := m.sched.Call(context.Background(), &protocol.Message{
+	if resp, serr := m.sched.Call(m.ctx, &protocol.Message{
 		Type: protocol.TypeProcExit, PID: m.pid,
 	}); serr != nil {
 		if err == nil {
