@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet check race chaos bench clean
+.PHONY: all build test vet check apicheck apigen race chaos bench clean
 
 all: build test
 
@@ -16,7 +16,18 @@ test:
 vet:
 	$(GO) vet ./...
 
-check: vet test
+check: vet apicheck test
+
+# apicheck guards the public facade: the exported API of package
+# convgpu is dumped in normalized form (tools/apidump) and diffed
+# against the committed golden file. A surface change fails the build
+# until api/convgpu.txt is regenerated on purpose with `make apigen`.
+apicheck:
+	$(GO) run ./tools/apidump . | diff -u api/convgpu.txt - \
+		|| { echo "apicheck: public API changed; review and run 'make apigen'"; exit 1; }
+
+apigen:
+	$(GO) run ./tools/apidump . > api/convgpu.txt
 
 # race runs the full suite under the race detector — the hot path
 # (pooled codec, coalesced writes, fast-path admit) is validated by

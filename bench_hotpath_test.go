@@ -20,6 +20,7 @@ import (
 
 	"convgpu/internal/bytesize"
 	"convgpu/internal/core"
+	"convgpu/internal/obs"
 	"convgpu/internal/protocol"
 )
 
@@ -88,12 +89,15 @@ func BenchmarkHotPathCodecRoundTrip(b *testing.B) {
 
 // BenchmarkHotPathCoreAccept is the scheduler's steady-state cycle for a
 // container far below its grant: accept, confirm, free, never a
-// redistribution.
+// redistribution. Observability is bound, as in the real daemon: every
+// event bumps a per-kind counter and lands in the trace ring, and the
+// 0 allocs/op budget must hold with that on.
 func BenchmarkHotPathCoreAccept(b *testing.B) {
 	st, err := core.New(core.Config{Capacity: 1 << 40})
 	if err != nil {
 		b.Fatal(err)
 	}
+	obs.New(obs.Config{Algorithm: "fifo"}).BindCore(st)
 	if _, err := st.Register("c", 1<<39); err != nil {
 		b.Fatal(err)
 	}
@@ -121,6 +125,7 @@ func BenchmarkHotPathCoreAcceptParallel(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	obs.New(obs.Config{Algorithm: "fifo"}).BindCore(st)
 	ids := make([]core.ContainerID, 16)
 	for i := range ids {
 		ids[i] = core.ContainerID("c" + string(rune('a'+i)))

@@ -261,7 +261,7 @@ func benchCreate(b *testing.B, withConVGPU bool) {
 	img := container.Image{Name: "cuda", Labels: map[string]string{"com.nvidia.volumes.needed": "nvidia_driver"}}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		c, err := nv.Create(nvOptions(img, 256*bytesize.MiB, prog))
+		c, err := nv.Create(context.Background(), nvOptions(img, 256*bytesize.MiB, prog))
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -24,6 +24,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -111,7 +112,7 @@ func main() {
 	}
 
 	start := time.Now()
-	c, err := nv.Create(opts)
+	c, err := nv.Create(context.Background(), opts)
 	if err != nil {
 		log.Fatalf("convgpu-docker: create: %v", err)
 	}

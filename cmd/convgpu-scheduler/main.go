@@ -9,13 +9,19 @@
 //	convgpu-scheduler -basedir /var/run/convgpu -capacity 5GiB -algorithm bestfit
 //
 // The daemon prints the control socket path on startup and, with
-// -status, a periodic snapshot of per-container grants and usage.
+// -status, a periodic snapshot of per-container grants and usage. With
+// -http it also serves the observability endpoints: /metrics
+// (Prometheus text), /stats and /trace (JSON), /debug/vars (expvar) and
+// /debug/pprof. The same stats/trace/dump documents are always
+// available over the control socket itself (see cmd/convgpu-stats).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -24,6 +30,7 @@ import (
 	"convgpu/internal/bytesize"
 	"convgpu/internal/core"
 	"convgpu/internal/daemon"
+	"convgpu/internal/obs"
 )
 
 func main() {
@@ -34,6 +41,9 @@ func main() {
 		seed      = flag.Int64("seed", 1, "seed for the random algorithm")
 		status    = flag.Duration("status", 0, "print a scheduler snapshot at this interval (0 = off)")
 		rescue    = flag.Bool("fault-tolerant", false, "enable the rescue pass of the authors' prior fault-tolerance study")
+		lease     = flag.Duration("lease", 0, "reap containers silent for this long (0 = no leasing)")
+		httpAddr  = flag.String("http", "", "serve /metrics, /stats, /trace, /debug/vars and /debug/pprof on this address (e.g. :9090; empty = off)")
+		traceCap  = flag.Int("trace-capacity", 0, "event-trace ring capacity (0 = default, negative = disabled)")
 	)
 	flag.Parse()
 	if *baseDir == "" {
@@ -53,13 +63,29 @@ func main() {
 	if err != nil {
 		log.Fatalf("convgpu-scheduler: %v", err)
 	}
-	d, err := daemon.Start(daemon.Config{BaseDir: *baseDir, Core: st})
+	bundle := obs.New(obs.Config{Algorithm: alg.Name(), TraceCapacity: *traceCap})
+	d, err := daemon.Start(daemon.Config{BaseDir: *baseDir, Core: st, Lease: *lease, Obs: bundle})
 	if err != nil {
 		log.Fatalf("convgpu-scheduler: %v", err)
 	}
 	defer d.Close()
 	log.Printf("GPU memory scheduler up: capacity=%v algorithm=%s control=%s",
 		cap, alg.Name(), d.ControlSocket())
+
+	if *httpAddr != "" {
+		ln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			log.Fatalf("convgpu-scheduler: -http: %v", err)
+		}
+		srv := &http.Server{Handler: bundle.Handler()}
+		go func() {
+			if err := srv.Serve(ln); err != http.ErrServerClosed {
+				log.Printf("convgpu-scheduler: http: %v", err)
+			}
+		}()
+		defer srv.Close()
+		log.Printf("observability endpoint up: http://%s/metrics", ln.Addr())
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)

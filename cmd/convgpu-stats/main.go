@@ -1,0 +1,88 @@
+// Command convgpu-stats queries a running scheduler daemon's
+// introspection surface over its control socket: the same stats, trace
+// and dump documents the -http endpoint serves, but with no open port —
+// only access to the socket path.
+//
+// Usage:
+//
+//	convgpu-stats -socket /var/run/convgpu/convgpu.sock stats
+//	convgpu-stats -socket /var/run/convgpu/convgpu.sock trace [container]
+//	convgpu-stats -socket /var/run/convgpu/convgpu.sock dump
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"convgpu/internal/ipc"
+	"convgpu/internal/protocol"
+)
+
+func main() {
+	var (
+		socket  = flag.String("socket", "", "scheduler control socket path (required)")
+		timeout = flag.Duration("timeout", 5*time.Second, "round-trip deadline")
+		limit   = flag.Int("limit", 0, "max trace events to return (0 = server default)")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: convgpu-stats -socket PATH {stats | trace [container] | dump}\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *socket == "" || flag.NArg() < 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var typ protocol.Type
+	var container string
+	switch flag.Arg(0) {
+	case "stats":
+		typ = protocol.TypeStats
+	case "trace":
+		typ = protocol.TypeTrace
+		container = flag.Arg(1)
+	case "dump":
+		typ = protocol.TypeDump
+	default:
+		fmt.Fprintf(os.Stderr, "convgpu-stats: unknown query %q\n", flag.Arg(0))
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cli, err := ipc.Dial(*socket)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "convgpu-stats: %v\n", err)
+		os.Exit(1)
+	}
+	defer cli.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	resp, err := cli.Call(ctx, &protocol.Message{
+		Type:      typ,
+		Container: container,
+		Size:      int64(*limit),
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "convgpu-stats: %s: %v\n", typ, err)
+		os.Exit(1)
+	}
+	if !resp.OK {
+		fmt.Fprintf(os.Stderr, "convgpu-stats: %s: %s\n", typ, resp.Error)
+		os.Exit(1)
+	}
+	var pretty json.RawMessage = []byte(resp.Data)
+	out, err := json.MarshalIndent(pretty, "", "  ")
+	if err != nil {
+		// Not JSON after all: print the payload as-is.
+		fmt.Println(resp.Data)
+		return
+	}
+	os.Stdout.Write(append(out, '\n'))
+}

@@ -15,14 +15,25 @@
 //
 // This package is the public facade. It exposes:
 //
-//   - System: the full middleware stack (simulated GPU + CUDA runtime,
-//     container engine, scheduler daemon over real UNIX sockets,
-//     customized nvidia-docker, volume plugin) assembled and wired, for
-//     running containerized GPU workloads in-process;
+//   - Stack, built with New(opts...) and brought up with Start(ctx):
+//     the full middleware stack (simulated GPU + CUDA runtime, container
+//     engine, scheduler daemon over real UNIX sockets, customized
+//     nvidia-docker, volume plugin) assembled and wired, for running
+//     containerized GPU workloads in-process;
+//   - runtime observability: every Stack carries an Observability
+//     bundle (counters, latency histograms, gauges, event trace) that
+//     the live daemon also answers over the control socket (Stats,
+//     Trace, Dump) and that MetricsHandler serves over HTTP;
 //   - Simulate/SimulateSweep: the discrete-event replay of the paper's
 //     scheduling experiments (Figures 7/8, Tables IV/V) in virtual time;
+//   - errors.Is-able sentinels (ErrRejected, ErrSuspendedTimeout,
+//     ErrDaemonUnavailable, ErrOverCapacity) matching failures wherever
+//     they surface, including across the daemon socket;
 //   - re-exports of the option types a caller needs (container types,
 //     algorithms, sizes).
+//
+// The previous entry points (Config, NewSystem, System) remain as thin
+// deprecated shims over New/Stack.
 //
 // The hardware and proprietary components of the paper's testbed
 // (Tesla K20m, CUDA 8, Docker, NVIDIA Docker) are faithful simulations;
@@ -32,8 +43,7 @@
 package convgpu
 
 import (
-	"fmt"
-	"os"
+	"context"
 	"time"
 
 	"convgpu/internal/bytesize"
@@ -42,9 +52,7 @@ import (
 	"convgpu/internal/container"
 	"convgpu/internal/core"
 	"convgpu/internal/cuda"
-	"convgpu/internal/daemon"
 	"convgpu/internal/gpu"
-	"convgpu/internal/ipc"
 	"convgpu/internal/multigpu"
 	"convgpu/internal/nvdocker"
 	"convgpu/internal/plugin"
@@ -138,6 +146,10 @@ const (
 const DefaultMemoryLimit = nvdocker.DefaultMemoryLimit
 
 // Config assembles a System.
+//
+// Deprecated: use New with functional options (WithCapacity,
+// WithAlgorithm, ...), which cover these fields and the newer knobs
+// (leases, call timeouts, observability). Config remains as a shim.
 type Config struct {
 	// BaseDir hosts the scheduler's control socket and per-container
 	// directories. Default: a fresh temporary directory.
@@ -159,105 +171,73 @@ type Config struct {
 }
 
 // System is the assembled ConVGPU middleware stack.
+//
+// Deprecated: use Stack (built with New, started with Start). System is
+// a thin shim embedding *Stack; its Run/Create keep the old no-context
+// signatures and everything else is the Stack surface.
 type System struct {
-	cfg     Config
-	device  *gpu.Device
-	state   *core.State
-	daemon  *daemon.Daemon
-	engine  *container.Engine
-	plugin  *plugin.Plugin
-	nv      *nvdocker.NVDocker
-	ctl     *ipc.Client
-	tempdir string
+	*Stack
+}
+
+// options converts the legacy Config into the equivalent option list.
+func (cfg Config) options() []Option {
+	var opts []Option
+	if cfg.BaseDir != "" {
+		opts = append(opts, WithBaseDir(cfg.BaseDir))
+	}
+	if cfg.Capacity != 0 {
+		opts = append(opts, WithCapacity(cfg.Capacity))
+	}
+	if cfg.Algorithm != "" {
+		opts = append(opts, WithAlgorithm(cfg.Algorithm))
+	}
+	if cfg.AlgorithmSeed != 0 {
+		opts = append(opts, WithAlgorithmSeed(cfg.AlgorithmSeed))
+	}
+	if cfg.GPU != nil {
+		opts = append(opts, WithGPU(*cfg.GPU))
+	}
+	if cfg.Latency {
+		opts = append(opts, WithLatency())
+	}
+	if cfg.CreateLatency != 0 {
+		opts = append(opts, WithCreateLatency(cfg.CreateLatency))
+	}
+	return opts
 }
 
 // NewSystem builds and starts the full stack: simulated GPU, scheduler
 // core + daemon (real UNIX sockets), container engine, plugin, and the
 // customized nvidia-docker. Close releases everything.
+//
+// Deprecated: use New(opts...) followed by Start(ctx); NewSystem is
+// New + Start with a background context.
 func NewSystem(cfg Config) (*System, error) {
-	if cfg.Capacity == 0 {
-		cfg.Capacity = 5 * GiB
-	}
-	if cfg.Algorithm == "" {
-		cfg.Algorithm = FIFO
-	}
-	props := gpu.K20m()
-	if cfg.GPU != nil {
-		props = *cfg.GPU
-	}
-	props.TotalGlobalMem = cfg.Capacity
-
-	sys := &System{cfg: cfg}
-	if cfg.BaseDir == "" {
-		dir, err := os.MkdirTemp("", "convgpu")
-		if err != nil {
-			return nil, fmt.Errorf("convgpu: tempdir: %w", err)
-		}
-		cfg.BaseDir = dir
-		sys.tempdir = dir
-	}
-
-	var opts []gpu.Option
-	if cfg.Latency {
-		opts = append(opts, gpu.WithLatency(gpu.PaperLatency(), nil))
-	}
-	sys.device = gpu.New(props, opts...)
-
-	alg, err := core.NewAlgorithm(cfg.Algorithm, cfg.AlgorithmSeed)
+	st, err := New(cfg.options()...)
 	if err != nil {
-		sys.cleanup()
 		return nil, err
 	}
-	sys.state, err = core.New(core.Config{Capacity: cfg.Capacity, Algorithm: alg})
-	if err != nil {
-		sys.cleanup()
+	if err := st.Start(context.Background()); err != nil {
 		return nil, err
 	}
-	sys.daemon, err = daemon.Start(daemon.Config{BaseDir: cfg.BaseDir, Core: sys.state})
-	if err != nil {
-		sys.cleanup()
-		return nil, err
-	}
-	sys.engine, err = container.NewEngine(container.Config{Device: sys.device, CreateLatency: cfg.CreateLatency})
-	if err != nil {
-		sys.cleanup()
-		return nil, err
-	}
-	sys.ctl, err = ipc.Dial(sys.daemon.ControlSocket())
-	if err != nil {
-		sys.cleanup()
-		return nil, err
-	}
-	sys.plugin = plugin.New(sys.ctl)
-	sys.nv = nvdocker.New(sys.engine, sys.ctl, sys.plugin)
-	return sys, nil
-}
-
-func (s *System) cleanup() {
-	if s.ctl != nil {
-		s.ctl.Close()
-	}
-	if s.daemon != nil {
-		s.daemon.Close()
-	}
-	if s.tempdir != "" {
-		os.RemoveAll(s.tempdir)
-	}
-}
-
-// Close shuts the stack down.
-func (s *System) Close() error {
-	s.cleanup()
-	return nil
+	return &System{Stack: st}, nil
 }
 
 // Run launches a container through the customized nvidia-docker: the
 // full paper flow (limit resolution, registration, wrapper injection,
 // exit detection).
-func (s *System) Run(opts RunOptions) (*Container, error) { return s.nv.Run(opts) }
+//
+// Deprecated: use Stack.Run, which takes a context.
+func (s *System) Run(opts RunOptions) (*Container, error) {
+	return s.Stack.Run(context.Background(), opts)
+}
 
 // Create is Run without starting the container.
-func (s *System) Create(opts RunOptions) (*Container, error) { return s.nv.Create(opts) }
+//
+// Deprecated: use Stack.Create, which takes a context.
+func (s *System) Create(opts RunOptions) (*Container, error) {
+	return s.Stack.Create(context.Background(), opts)
+}
 
 // SampleProgram returns the paper's evaluation sample program for a
 // container type, with kernel time compressed by scale (1.0 = the
@@ -291,22 +271,6 @@ type SchedulerInfo = core.ContainerInfo
 // SchedulerEvent is one entry of the scheduler's event log.
 type SchedulerEvent = core.EventRecord
 
-// Snapshot reports the scheduler's per-container state.
-func (s *System) Snapshot() []SchedulerInfo { return s.state.Snapshot() }
-
-// Events returns the scheduler's retained event log (registrations,
-// accepts, suspensions, grants, closes, ...), oldest first.
-func (s *System) Events() []SchedulerEvent { return s.state.Events() }
-
-// PoolFree reports unassigned GPU memory.
-func (s *System) PoolFree() Size { return s.state.PoolFree() }
-
-// Device exposes the simulated GPU (e.g. for device-view assertions).
-func (s *System) Device() *gpu.Device { return s.device }
-
-// ControlSocket returns the scheduler daemon's control socket path.
-func (s *System) ControlSocket() string { return s.daemon.ControlSocket() }
-
 // --- Discrete-event experiment surface (Figures 7/8, Tables IV/V) ---
 
 // SimConfig configures a simulated scheduling run.
@@ -331,8 +295,18 @@ func GeneratePoissonTrace(n int, meanSpacing time.Duration, seed int64) []TraceE
 }
 
 // Simulate replays one trace against the scheduler core in virtual time.
+//
+// Deprecated: use SimulateContext; Simulate runs with a background
+// context.
 func Simulate(trace []TraceEntry, cfg SimConfig) (SimResult, error) {
 	return sim.Run(trace, cfg)
+}
+
+// SimulateContext replays one trace against the scheduler core in
+// virtual time. The context is checked between simulated events, so a
+// caller's deadline bounds even a pathological run.
+func SimulateContext(ctx context.Context, trace []TraceEntry, cfg SimConfig) (SimResult, error) {
+	return sim.RunContext(ctx, trace, cfg)
 }
 
 // Sweep is the paper's full Fig. 7/8 parameter sweep.

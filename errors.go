@@ -1,0 +1,29 @@
+package convgpu
+
+import (
+	"errors"
+
+	"convgpu/internal/errs"
+)
+
+// Sentinel errors, matchable with errors.Is on anything the facade, the
+// wrapper module or the nvidia-docker shim returns — including failures
+// that crossed the daemon socket, which are reconstructed from the
+// response's machine-readable error code.
+var (
+	// ErrRejected: the scheduler denied an allocation that would exceed
+	// the container's memory limit. The wrapper surfaces it alongside
+	// cudaErrorMemoryAllocation, so user code may match either.
+	ErrRejected = errs.ErrRejected
+	// ErrSuspendedTimeout: an allocation was suspended and the caller's
+	// deadline expired before the scheduler admitted it.
+	ErrSuspendedTimeout = errs.ErrSuspendedTimeout
+	// ErrDaemonUnavailable: the scheduler daemon could not be reached.
+	ErrDaemonUnavailable = errs.ErrDaemonUnavailable
+	// ErrOverCapacity: a container's memory limit exceeds the GPU's
+	// schedulable capacity.
+	ErrOverCapacity = errs.ErrOverCapacity
+	// ErrNotStarted: a Stack method that needs the running daemon was
+	// called before Start.
+	ErrNotStarted = errors.New("convgpu: stack not started (call Start first)")
+)

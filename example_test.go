@@ -1,0 +1,118 @@
+package convgpu_test
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"convgpu"
+)
+
+// ExampleNew assembles a stack with functional options, starts it, and
+// runs one container through the customized nvidia-docker.
+func ExampleNew() {
+	stack, err := convgpu.New(
+		convgpu.WithCapacity(2*convgpu.GiB),
+		convgpu.WithAlgorithm(convgpu.BestFit),
+	)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer stack.Close()
+
+	ctx := context.Background()
+	if err := stack.Start(ctx); err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	c, err := stack.Run(ctx, convgpu.RunOptions{
+		Name:         "job-1",
+		Image:        convgpu.CUDAImage("cuda-app", ""),
+		NvidiaMemory: 512 * convgpu.MiB,
+		Program: func(p *convgpu.Proc) error {
+			ptr, err := p.CUDA.Malloc(128 * convgpu.MiB)
+			if err != nil {
+				return err
+			}
+			return p.CUDA.Free(ptr)
+		},
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	if err := c.Wait(); err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	fmt.Println("algorithm:", stack.Algorithm())
+	fmt.Println("pool free:", stack.PoolFree())
+	// Output:
+	// algorithm: bestfit
+	// pool free: 2GiB
+}
+
+// ExampleStack_Observability reads the telemetry a stack gathers while
+// it schedules: per-kind event counters and the causal event trace.
+func ExampleStack_Observability() {
+	stack, err := convgpu.New(convgpu.WithCapacity(1 * convgpu.GiB))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer stack.Close()
+	ctx := context.Background()
+	if err := stack.Start(ctx); err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	c, err := stack.Run(ctx, convgpu.RunOptions{
+		Name:         "traced",
+		Image:        convgpu.CUDAImage("cuda-app", ""),
+		NvidiaMemory: 256 * convgpu.MiB,
+		Program: func(p *convgpu.Proc) error {
+			ptr, err := p.CUDA.Malloc(64 * convgpu.MiB)
+			if err != nil {
+				return err
+			}
+			return p.CUDA.Free(ptr)
+		},
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	if err := c.Wait(); err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	// The close signal arrives asynchronously after container exit;
+	// poll the close counter rather than assuming it landed already.
+	o := stack.Observability()
+	deadline := time.Now().Add(5 * time.Second)
+	for o.EventCounts()["close"] == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+
+	counts := o.EventCounts()
+	fmt.Println("registers:", counts["register"])
+	fmt.Println("accepts:", counts["accept"])
+	fmt.Println("closes:", counts["close"])
+	for _, e := range o.Tracer().Events("traced") {
+		fmt.Printf("%d %s\n", e.CSeq, e.Kind)
+	}
+	// Output:
+	// registers: 1
+	// accepts: 1
+	// closes: 1
+	// 1 register
+	// 2 accept
+	// 3 free
+	// 4 procexit
+	// 5 close
+}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -19,15 +20,19 @@ import (
 )
 
 func main() {
-	sys, err := convgpu.NewSystem(convgpu.Config{})
+	ctx := context.Background()
+	sys, err := convgpu.New() // 5 GiB K20m, FIFO; see With... options
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer sys.Close()
+	if err := sys.Start(ctx); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("scheduler up (capacity %v), control socket %s\n",
 		5*convgpu.GiB, sys.ControlSocket())
 
-	c, err := sys.Run(convgpu.RunOptions{
+	c, err := sys.Run(ctx, convgpu.RunOptions{
 		Name:         "quickstart",
 		Image:        convgpu.CUDAImage("my-cuda-app:latest", ""),
 		NvidiaMemory: 512 * convgpu.MiB, // the --nvidia-memory option
@@ -67,4 +72,11 @@ func main() {
 
 	fmt.Printf("container exited; scheduler pool back to %v, device holds %v\n",
 		sys.PoolFree(), sys.Device().Used())
+
+	// The stack gathered telemetry while it scheduled: ask the live
+	// daemon over its control socket (also served on HTTP via
+	// MetricsHandler, or from the CLI via cmd/convgpu-stats).
+	counts := sys.Observability().EventCounts()
+	fmt.Printf("scheduler events: %d accepts, %d rejects\n",
+		counts["accept"], counts["reject"])
 }

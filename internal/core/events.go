@@ -28,6 +28,10 @@ const (
 	EvDrop                      // parked tickets dropped (connection died)
 )
 
+// NumEventKinds bounds the EventKind space so observers can index
+// fixed-size per-kind tables.
+const NumEventKinds = int(EvDrop) + 1
+
 func (k EventKind) String() string {
 	switch k {
 	case EvRegister:
@@ -95,11 +99,12 @@ const DefaultEventLogSize = 512
 // assigned under l.mu, keeping the log totally ordered regardless of
 // which path logged.
 type eventLog struct {
-	mu    sync.Mutex
-	buf   []EventRecord
-	next  int // write position
-	count int // filled entries
-	seq   uint64
+	mu       sync.Mutex
+	buf      []EventRecord
+	next     int // write position
+	count    int // filled entries
+	seq      uint64
+	observer func(EventRecord)
 }
 
 func newEventLog(capacity int) *eventLog {
@@ -114,6 +119,12 @@ func (l *eventLog) append(e EventRecord) {
 	defer l.mu.Unlock()
 	l.seq++
 	e.Seq = l.seq
+	if l.observer != nil {
+		// Fired under l.mu so the observer sees records in Seq order.
+		// Observers must be fast, lock-free-or-leaf, and must not call
+		// back into the State.
+		l.observer(e)
+	}
 	if len(l.buf) == 0 {
 		return // disabled: sequence numbers still advance
 	}
@@ -156,6 +167,24 @@ func (s *State) logEvent(kind EventKind, id ContainerID, pid int, amount bytesiz
 // negative disables retention).
 func (s *State) Events() []EventRecord {
 	return s.events.snapshot()
+}
+
+// SetObserver installs fn to receive every event record as it is
+// logged, in total Seq order, with Seq already assigned. fn runs with
+// the event log's mutex held on the scheduler's request paths, so it
+// must be cheap (atomic counter bumps, ring appends) and must never
+// call back into the State. A nil fn removes the observer.
+func (s *State) SetObserver(fn func(EventRecord)) {
+	s.events.mu.Lock()
+	s.events.observer = fn
+	s.events.mu.Unlock()
+}
+
+// PausedContainers returns the number of containers with at least one
+// pending (suspended) request — the scheduler's queue depth in
+// containers. Lock-free; safe to call from metric scrapes.
+func (s *State) PausedContainers() int {
+	return int(s.pausedCount.Load())
 }
 
 // EventsSince returns retained events with Seq > after, oldest first —

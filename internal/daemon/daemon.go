@@ -14,6 +14,7 @@
 package daemon
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -25,6 +26,7 @@ import (
 	"convgpu/internal/clock"
 	"convgpu/internal/core"
 	"convgpu/internal/ipc"
+	"convgpu/internal/obs"
 	"convgpu/internal/protocol"
 	"convgpu/internal/wrapper"
 )
@@ -57,12 +59,19 @@ type Config struct {
 	// Clock paces the lease accounting; nil uses the real clock. Tests
 	// inject a manual clock to expire leases deterministically.
 	Clock clock.Clock
+	// Obs receives the daemon's runtime telemetry (handler latency,
+	// suspend waits, lease expiries) and serves the control socket's
+	// stats/trace/dump introspection. Nil builds a default bundle —
+	// observability is always on; its record paths are atomic-only, so
+	// the hot path stays allocation-free either way.
+	Obs *obs.Observability
 }
 
 // Daemon is a running scheduler service.
 type Daemon struct {
 	cfg     Config
 	clk     clock.Clock
+	obs     *obs.Observability
 	control *ipc.Server
 
 	// lastSeen tracks per-container lease renewal times
@@ -83,10 +92,12 @@ type Daemon struct {
 
 // parkedResponder is a withheld response plus the connection it will
 // leave on, kept so dispatch can batch the responses of one update into
-// a single socket write per connection.
+// a single socket write per connection. The park time feeds the
+// suspend-wait histogram when the response is finally released.
 type parkedResponder struct {
 	respond func(*protocol.Message)
 	conn    *ipc.ServerConn
+	at      time.Time
 }
 
 // Start creates the base directory, launches the control socket and
@@ -112,9 +123,14 @@ func Start(cfg Config) (*Daemon, error) {
 	if cfg.Clock == nil {
 		cfg.Clock = clock.Real{}
 	}
+	if cfg.Obs == nil {
+		cfg.Obs = obs.New(obs.Config{Algorithm: cfg.Core.AlgorithmName()})
+	}
+	cfg.Obs.BindCore(cfg.Core)
 	d := &Daemon{
 		cfg:      cfg,
 		clk:      cfg.Clock,
+		obs:      cfg.Obs,
 		parked:   make(map[core.Ticket]parkedResponder),
 		servers:  make(map[core.ContainerID]*ipc.Server),
 		dirs:     make(map[core.ContainerID]string),
@@ -149,6 +165,9 @@ func (d *Daemon) ControlSocket() string { return d.control.Addr() }
 // Core exposes the scheduler state (read-mostly: snapshots, metrics).
 func (d *Daemon) Core() *core.State { return d.cfg.Core }
 
+// Obs exposes the daemon's observability bundle (always non-nil).
+func (d *Daemon) Obs() *obs.Observability { return d.obs }
+
 // Close shuts down the control socket and every container socket.
 // Parked requests are released with an error.
 func (d *Daemon) Close() error {
@@ -171,8 +190,10 @@ func (d *Daemon) Close() error {
 	}
 	<-d.reapDone
 
+	now := d.clk.Now()
 	for _, p := range parked {
-		p.respond(&protocol.Message{OK: false, Error: "scheduler shutting down"})
+		d.obs.SuspendWait.Observe(now.Sub(p.at))
+		p.respond(&protocol.Message{OK: false, Error: "scheduler shutting down", Code: protocol.CodeUnavailable})
 	}
 	err := d.control.Close()
 	for _, s := range servers {
@@ -275,7 +296,7 @@ func (d *Daemon) park(t core.Ticket, conn *ipc.ServerConn, respond func(*protoco
 		respond(&protocol.Message{OK: false, Error: "scheduler shutting down"})
 		return
 	}
-	d.parked[t] = parkedResponder{respond: respond, conn: conn}
+	d.parked[t] = parkedResponder{respond: respond, conn: conn, at: d.clk.Now()}
 	d.mu.Unlock()
 }
 
@@ -288,6 +309,7 @@ func (d *Daemon) dispatch(u core.Update) {
 	if len(u.Admitted) == 0 && len(u.Cancelled) == 0 {
 		return
 	}
+	now := d.clk.Now()
 	d.mu.Lock()
 	type rel struct {
 		respond func(*protocol.Message)
@@ -297,6 +319,7 @@ func (d *Daemon) dispatch(u core.Update) {
 	for _, a := range u.Admitted {
 		if p, ok := d.parked[a.Ticket]; ok {
 			delete(d.parked, a.Ticket)
+			d.obs.SuspendWait.Observe(now.Sub(p.at))
 			m := protocol.AcquireMessage()
 			m.OK = true
 			m.Decision = protocol.DecisionAccept
@@ -306,6 +329,7 @@ func (d *Daemon) dispatch(u core.Update) {
 	for _, c := range u.Cancelled {
 		if p, ok := d.parked[c.Ticket]; ok {
 			delete(d.parked, c.Ticket)
+			d.obs.SuspendWait.Observe(now.Sub(p.at))
 			m := protocol.AcquireMessage()
 			m.OK = false
 			m.Error = "container closed"
@@ -326,26 +350,54 @@ func (d *Daemon) dispatch(u core.Update) {
 	}
 }
 
-// controlHandler serves the control socket: registration and close.
+// codeFor maps a scheduler error onto its wire error code (empty when
+// the failure has no machine-readable class). Clients reverse the
+// mapping with protocol.ErrFromCode to get errors.Is-able sentinels.
+func codeFor(err error) string {
+	switch {
+	case errors.Is(err, core.ErrLimitExceedsCapacity):
+		return protocol.CodeOverCapacity
+	case errors.Is(err, core.ErrUnknownContainer):
+		return protocol.CodeUnknownContainer
+	default:
+		return ""
+	}
+}
+
+// codedError builds an error response carrying the machine code for err.
+func codedError(msg *protocol.Message, err error) *protocol.Message {
+	return protocol.CodedErrorResponse(msg, codeFor(err), "%v", err)
+}
+
+// controlHandler serves the control socket: registration, close, and
+// the stats/trace/dump introspection requests.
 type controlHandler struct{ d *Daemon }
 
 // Handle implements ipc.Handler.
 func (h controlHandler) Handle(conn *ipc.ServerConn, msg *protocol.Message, respond func(*protocol.Message)) {
+	start := time.Now()
+	h.handle(conn, msg, respond)
+	h.d.obs.HandlerControl.Observe(time.Since(start))
+}
+
+func (h controlHandler) handle(conn *ipc.ServerConn, msg *protocol.Message, respond func(*protocol.Message)) {
 	switch msg.Type {
 	case protocol.TypeRegister:
 		resp, err := h.d.register(core.ContainerID(msg.Container), msg.Limit)
 		if err != nil {
-			respond(protocol.ErrorResponse(msg, "%v", err))
+			respond(codedError(msg, err))
 			return
 		}
 		respond(resp)
 	case protocol.TypeClose:
 		resp, err := h.d.closeContainer(core.ContainerID(msg.Container))
 		if err != nil {
-			respond(protocol.ErrorResponse(msg, "%v", err))
+			respond(codedError(msg, err))
 			return
 		}
 		respond(resp)
+	case protocol.TypeStats, protocol.TypeTrace, protocol.TypeDump:
+		h.d.introspect(msg, respond)
 	default:
 		respond(protocol.ErrorResponse(msg, "daemon: unexpected %s on control socket", msg.Type))
 	}
@@ -369,15 +421,24 @@ func ok() *protocol.Message {
 	return m
 }
 
-// Handle implements ipc.Handler.
+// Handle implements ipc.Handler. The latency histogram times the
+// handler from decode to local completion; for a suspended allocation
+// that is the decision latency (the response itself is parked and its
+// wait lands in the suspend-wait histogram instead).
 func (h containerHandler) Handle(conn *ipc.ServerConn, msg *protocol.Message, respond func(*protocol.Message)) {
+	start := time.Now()
+	h.handle(conn, msg, respond)
+	h.d.obs.HandlerContainer.Observe(time.Since(start))
+}
+
+func (h containerHandler) handle(conn *ipc.ServerConn, msg *protocol.Message, respond func(*protocol.Message)) {
 	c := h.d.cfg.Core
 	h.d.touch(h.id) // any traffic renews the session lease
 	switch msg.Type {
 	case protocol.TypeAlloc:
 		res, err := c.RequestAlloc(h.id, msg.PID, msg.SizeBytes())
 		if err != nil {
-			respond(protocol.ErrorResponse(msg, "%v", err))
+			respond(codedError(msg, err))
 			return
 		}
 		switch res.Decision {
@@ -395,14 +456,14 @@ func (h containerHandler) Handle(conn *ipc.ServerConn, msg *protocol.Message, re
 		}
 	case protocol.TypeConfirm:
 		if err := c.ConfirmAlloc(h.id, msg.PID, msg.Addr, msg.SizeBytes()); err != nil {
-			respond(protocol.ErrorResponse(msg, "%v", err))
+			respond(codedError(msg, err))
 			return
 		}
 		respond(ok())
 	case protocol.TypeAbort:
 		u, err := c.AbortAlloc(h.id, msg.PID, msg.SizeBytes())
 		if err != nil {
-			respond(protocol.ErrorResponse(msg, "%v", err))
+			respond(codedError(msg, err))
 			return
 		}
 		respond(ok())
@@ -410,7 +471,7 @@ func (h containerHandler) Handle(conn *ipc.ServerConn, msg *protocol.Message, re
 	case protocol.TypeFree:
 		size, u, err := c.Free(h.id, msg.PID, msg.Addr)
 		if err != nil {
-			respond(protocol.ErrorResponse(msg, "%v", err))
+			respond(codedError(msg, err))
 			return
 		}
 		m := ok()
@@ -420,7 +481,7 @@ func (h containerHandler) Handle(conn *ipc.ServerConn, msg *protocol.Message, re
 	case protocol.TypeProcExit:
 		size, u, err := c.ProcessExit(h.id, msg.PID)
 		if err != nil {
-			respond(protocol.ErrorResponse(msg, "%v", err))
+			respond(codedError(msg, err))
 			return
 		}
 		m := ok()
@@ -430,7 +491,7 @@ func (h containerHandler) Handle(conn *ipc.ServerConn, msg *protocol.Message, re
 	case protocol.TypeMemInfo:
 		free, total, err := c.MemInfo(h.id)
 		if err != nil {
-			respond(protocol.ErrorResponse(msg, "%v", err))
+			respond(codedError(msg, err))
 			return
 		}
 		m := ok()
@@ -444,13 +505,13 @@ func (h containerHandler) Handle(conn *ipc.ServerConn, msg *protocol.Message, re
 		// be known — an attach for an unknown one is refused so the
 		// wrapper does not run against a scheduler with no account of it.
 		if _, err := c.Info(h.id); err != nil {
-			respond(protocol.ErrorResponse(msg, "%v", err))
+			respond(codedError(msg, err))
 			return
 		}
 		respond(ok())
 	case protocol.TypeRestore:
 		if err := c.Restore(h.id, msg.PID, msg.Addr, msg.SizeBytes()); err != nil {
-			respond(protocol.ErrorResponse(msg, "%v", err))
+			respond(codedError(msg, err))
 			return
 		}
 		respond(ok())
@@ -476,12 +537,14 @@ func (h containerHandler) Closed(conn *ipc.ServerConn) {
 
 // releaseConn drops every parked responder bound to a dead connection.
 func (d *Daemon) releaseConn(id core.ContainerID, conn *ipc.ServerConn) {
+	now := d.clk.Now()
 	d.mu.Lock()
 	var tickets []core.Ticket
 	var responders []func(*protocol.Message)
 	for t, p := range d.parked {
 		if p.conn == conn {
 			delete(d.parked, t)
+			d.obs.SuspendWait.Observe(now.Sub(p.at))
 			tickets = append(tickets, t)
 			responders = append(responders, p.respond)
 		}

@@ -1,0 +1,99 @@
+// Control-socket introspection: a running daemon answers stats, trace
+// and dump requests so operators can ask a live scheduler "who holds
+// what, who is suspended, and where is latency going" without stopping
+// it. Payloads travel as a JSON document in the response's Data field,
+// bounded so every response fits one IPC frame.
+
+package daemon
+
+import (
+	"encoding/json"
+
+	"convgpu/internal/obs"
+	"convgpu/internal/protocol"
+)
+
+// maxTraceEvents caps the events in one trace/dump response. The IPC
+// transport rejects frames over ipc.MaxLine (64 KiB); ~160 bytes per
+// encoded event keeps 256 of them safely inside that with headroom for
+// JSON-string escaping of the payload.
+const maxTraceEvents = 256
+
+// introspect answers a stats, trace or dump request. A caller may
+// shrink (but not exceed) the trace-event cap by setting the request's
+// Size field.
+func (d *Daemon) introspect(msg *protocol.Message, respond func(*protocol.Message)) {
+	limit := maxTraceEvents
+	if msg.Size > 0 && msg.Size < int64(limit) {
+		limit = int(msg.Size)
+	}
+	var (
+		data []byte
+		err  error
+	)
+	switch msg.Type {
+	case protocol.TypeStats:
+		data, err = d.obs.StatsJSON()
+	case protocol.TypeTrace:
+		data, err = d.obs.Tracer().DumpLimit(msg.Container, limit)
+	case protocol.TypeDump:
+		data, err = d.dumpJSON(limit)
+	}
+	if err != nil {
+		respond(protocol.ErrorResponse(msg, "daemon: introspection: %v", err))
+		return
+	}
+	m := protocol.Response(msg)
+	m.Data = string(data)
+	respond(m)
+}
+
+// dumpPayload is the `dump` document: scheduler identity and pool
+// state, per-container snapshot, the full metric snapshot, and the
+// tail of the event trace.
+type dumpPayload struct {
+	Algorithm  string            `json:"algorithm"`
+	Capacity   int64             `json:"capacity"`
+	PoolFree   int64             `json:"pool_free"`
+	Containers []containerDump   `json:"containers"`
+	Metrics    []obs.MetricPoint `json:"metrics"`
+	Trace      json.RawMessage   `json:"trace"`
+}
+
+// containerDump is one container's state in a dump.
+type containerDump struct {
+	ID             string `json:"id"`
+	Limit          int64  `json:"limit"`
+	Grant          int64  `json:"grant"`
+	Used           int64  `json:"used"`
+	Pending        int    `json:"pending"`
+	Suspended      bool   `json:"suspended"`
+	SuspendedNanos int64  `json:"suspended_nanos"`
+}
+
+func (d *Daemon) dumpJSON(traceLimit int) ([]byte, error) {
+	st := d.cfg.Core
+	trace, err := d.obs.Tracer().DumpLimit("", traceLimit)
+	if err != nil {
+		return nil, err
+	}
+	p := dumpPayload{
+		Algorithm: st.AlgorithmName(),
+		Capacity:  int64(st.Capacity()),
+		PoolFree:  int64(st.PoolFree()),
+		Metrics:   d.obs.Registry().Snapshot(),
+		Trace:     trace,
+	}
+	for _, info := range st.Snapshot() {
+		p.Containers = append(p.Containers, containerDump{
+			ID:             string(info.ID),
+			Limit:          int64(info.Limit),
+			Grant:          int64(info.Grant),
+			Used:           int64(info.Used),
+			Pending:        info.Pending,
+			Suspended:      info.Suspended,
+			SuspendedNanos: info.SuspendedTotal.Nanoseconds(),
+		})
+	}
+	return json.Marshal(p)
+}

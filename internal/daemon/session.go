@@ -164,6 +164,7 @@ func (d *Daemon) reapLoop() {
 			return true
 		})
 		for _, id := range expired {
+			d.obs.LeaseExpiries.Inc()
 			d.closeContainer(id)
 		}
 	}

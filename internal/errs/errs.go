@@ -1,0 +1,27 @@
+// Package errs holds the sentinel errors shared across layer
+// boundaries. The wrapper, nvdocker shim, daemon and facade all used to
+// spell failures as free-form strings; these sentinels make the common
+// outcomes matchable with errors.Is wherever they surface — in-process,
+// or reconstructed from a protocol error code on the far side of a
+// socket (see protocol.CodeFor / protocol.ErrFromCode).
+package errs
+
+import "errors"
+
+var (
+	// ErrRejected: the scheduler denied an allocation because it would
+	// exceed the container's memory limit (the paper's reject decision).
+	ErrRejected = errors.New("convgpu: allocation rejected: exceeds container limit")
+
+	// ErrSuspendedTimeout: an allocation was suspended and the caller's
+	// deadline expired before the scheduler could admit it.
+	ErrSuspendedTimeout = errors.New("convgpu: allocation suspended past caller deadline")
+
+	// ErrDaemonUnavailable: the scheduler daemon could not be reached
+	// (dial failed, connection dropped mid-call, or daemon shut down).
+	ErrDaemonUnavailable = errors.New("convgpu: scheduler daemon unavailable")
+
+	// ErrOverCapacity: a container's memory limit exceeds the GPU's
+	// schedulable capacity, so registration can never succeed.
+	ErrOverCapacity = errors.New("convgpu: memory limit exceeds GPU capacity")
+)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -70,7 +71,7 @@ func Fig5(opt Options) (*Report, error) {
 	var withTotal, withoutTotal time.Duration
 	for i := 0; i < reps; i++ {
 		start := time.Now()
-		c, err := nv.Create(nvdocker.Options{
+		c, err := nv.Create(context.Background(), nvdocker.Options{
 			Name:         fmt.Sprintf("fig5-with-%d", i),
 			Image:        cudaImage,
 			NvidiaMemory: 512 * bytesize.MiB,

@@ -76,7 +76,20 @@ type ReconnectConfig struct {
 	Clock clock.Clock
 	// Seed makes the jitter deterministic for tests; 0 self-seeds.
 	Seed int64
+	// RTT, when set, observes each successful Call's round-trip time.
+	// The interface is satisfied by obs.Histogram without this package
+	// importing the observability layer.
+	RTT LatencyObserver
+	// Reconnects, when set, is incremented each time a dial publishes a
+	// fresh connection after the first (i.e. true reconnects).
+	Reconnects CountObserver
 }
+
+// LatencyObserver receives call round-trip durations (obs.Histogram).
+type LatencyObserver interface{ Observe(time.Duration) }
+
+// CountObserver receives occurrence ticks (obs.Counter).
+type CountObserver interface{ Inc() }
 
 // Reconnector is a Client that survives connection loss: every Call
 // dials on demand, applies the configured per-call deadline, and — on a
@@ -169,7 +182,11 @@ func (r *Reconnector) Connect(ctx context.Context) (*Client, error) {
 				}
 				r.cur = c
 				r.gen++
+				reconnected := r.gen > 1
 				r.mu.Unlock()
+				if reconnected && r.cfg.Reconnects != nil {
+					r.cfg.Reconnects.Inc()
+				}
 				return c, nil
 			}
 		}
@@ -205,7 +222,14 @@ func (r *Reconnector) Call(ctx context.Context, m *protocol.Message) (*protocol.
 		callCtx, cancel = context.WithTimeout(ctx, r.cfg.CallTimeout)
 		defer cancel()
 	}
+	var start time.Time
+	if r.cfg.RTT != nil {
+		start = time.Now()
+	}
 	resp, err := c.Call(callCtx, m)
+	if err == nil && r.cfg.RTT != nil {
+		r.cfg.RTT.Observe(time.Since(start))
+	}
 	if err != nil {
 		// Drop the connection on transport failure or per-call timeout
 		// (an unresponsive peer), but keep it when only the caller's own

@@ -29,6 +29,7 @@ import (
 
 	"convgpu/internal/bytesize"
 	"convgpu/internal/container"
+	"convgpu/internal/errs"
 	"convgpu/internal/plugin"
 	"convgpu/internal/protocol"
 	"convgpu/internal/wrapper"
@@ -127,8 +128,9 @@ func (n *NVDocker) nextName() string {
 
 // Create registers the container with the scheduler (when the image uses
 // CUDA), prepares the spec with the wrapper wiring, and creates the
-// container. The returned container is not started.
-func (n *NVDocker) Create(opts Options) (*container.Container, error) {
+// container. The returned container is not started. The context bounds
+// the registration round trip with the scheduler.
+func (n *NVDocker) Create(ctx context.Context, opts Options) (*container.Container, error) {
 	if opts.Program == nil {
 		return nil, container.ErrNoProgram
 	}
@@ -156,15 +158,18 @@ func (n *NVDocker) Create(opts Options) (*container.Container, error) {
 	}
 	// Register before creation (paper: "This limitation is sent to the
 	// scheduler via the UNIX socket before the container is created").
-	resp, err := n.sched.Call(context.Background(), &protocol.Message{
+	resp, err := n.sched.Call(ctx, &protocol.Message{
 		Type:      protocol.TypeRegister,
 		Container: name,
 		Limit:     int64(limit),
 	})
 	if err != nil {
-		return nil, fmt.Errorf("nvdocker: scheduler unreachable: %w", err)
+		return nil, fmt.Errorf("nvdocker: scheduler unreachable: %w (%v)", errs.ErrDaemonUnavailable, err)
 	}
 	if !resp.OK {
+		if sentinel := protocol.ErrFromCode(resp.Code); sentinel != nil {
+			return nil, fmt.Errorf("nvdocker: scheduler refused container: %w: %s", sentinel, resp.Error)
+		}
 		return nil, fmt.Errorf("nvdocker: scheduler refused container: %s", resp.Error)
 	}
 	// Wire the wrapper volume and LD_PRELOAD.
@@ -188,8 +193,8 @@ func (n *NVDocker) Create(opts Options) (*container.Container, error) {
 
 // Run is Create followed by Start (the docker run path the paper's
 // experiments use).
-func (n *NVDocker) Run(opts Options) (*container.Container, error) {
-	c, err := n.Create(opts)
+func (n *NVDocker) Run(ctx context.Context, opts Options) (*container.Container, error) {
+	c, err := n.Create(ctx, opts)
 	if err != nil {
 		return nil, err
 	}

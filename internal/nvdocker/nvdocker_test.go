@@ -1,6 +1,7 @@
 package nvdocker
 
 import (
+	"context"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -99,7 +100,7 @@ func TestResolveMemoryLimitPrecedence(t *testing.T) {
 func TestRunWiresWrapperAndLimit(t *testing.T) {
 	r := newRig(t)
 	var viewTotal bytesize.Size
-	c, err := r.nv.Run(Options{
+	c, err := r.nv.Run(context.Background(), Options{
 		Name:         "job1",
 		Image:        cudaImage(nil),
 		NvidiaMemory: mib(512),
@@ -144,7 +145,7 @@ func TestRunWiresWrapperAndLimit(t *testing.T) {
 func TestRunUsesLabelLimit(t *testing.T) {
 	r := newRig(t)
 	var total bytesize.Size
-	c, err := r.nv.Run(Options{
+	c, err := r.nv.Run(context.Background(), Options{
 		Image: cudaImage(map[string]string{MemoryLimitLabel: "256MiB"}),
 		Program: func(p *container.Proc) error {
 			_, tot, err := p.CUDA.MemGetInfo()
@@ -164,7 +165,7 @@ func TestRunUsesLabelLimit(t *testing.T) {
 func TestRunDefaultLimit1GiB(t *testing.T) {
 	r := newRig(t)
 	var total bytesize.Size
-	c, err := r.nv.Run(Options{
+	c, err := r.nv.Run(context.Background(), Options{
 		Image: cudaImage(nil),
 		Program: func(p *container.Proc) error {
 			_, tot, err := p.CUDA.MemGetInfo()
@@ -183,7 +184,7 @@ func TestRunDefaultLimit1GiB(t *testing.T) {
 
 func TestNonCUDAImagePassesThrough(t *testing.T) {
 	r := newRig(t)
-	c, err := r.nv.Run(Options{
+	c, err := r.nv.Run(context.Background(), Options{
 		Name:  "plain",
 		Image: container.Image{Name: "alpine"},
 		Program: func(p *container.Proc) error {
@@ -212,7 +213,7 @@ func TestNonCUDAImagePassesThrough(t *testing.T) {
 
 func TestCUDAVersionTooNewRejected(t *testing.T) {
 	r := newRig(t)
-	_, err := r.nv.Run(Options{
+	_, err := r.nv.Run(context.Background(), Options{
 		Image:   cudaImage(map[string]string{CUDAVersionLabel: "9.0"}),
 		Program: func(p *container.Proc) error { return nil },
 	})
@@ -223,7 +224,7 @@ func TestCUDAVersionTooNewRejected(t *testing.T) {
 
 func TestSchedulerRefusalPropagates(t *testing.T) {
 	r := newRig(t)
-	_, err := r.nv.Run(Options{
+	_, err := r.nv.Run(context.Background(), Options{
 		Image:        cudaImage(nil),
 		NvidiaMemory: 6 * bytesize.GiB, // exceeds the 5 GiB GPU
 		Program:      func(p *container.Proc) error { return nil },
@@ -238,14 +239,14 @@ func TestSchedulerRefusalPropagates(t *testing.T) {
 
 func TestCreateWithoutProgram(t *testing.T) {
 	r := newRig(t)
-	if _, err := r.nv.Create(Options{Image: cudaImage(nil)}); err == nil {
+	if _, err := r.nv.Create(context.Background(), Options{Image: cudaImage(nil)}); err == nil {
 		t.Fatal("create without program succeeded")
 	}
 }
 
 func TestUserEnvPreserved(t *testing.T) {
 	r := newRig(t)
-	c, err := r.nv.Run(Options{
+	c, err := r.nv.Run(context.Background(), Options{
 		Image: cudaImage(nil),
 		Env:   map[string]string{"LD_PRELOAD": "/opt/other.so", "FOO": "bar"},
 		Program: func(p *container.Proc) error {
@@ -271,11 +272,11 @@ func TestUserEnvPreserved(t *testing.T) {
 func TestAutoNamesAreUnique(t *testing.T) {
 	r := newRig(t)
 	prog := func(p *container.Proc) error { return nil }
-	c1, err := r.nv.Run(Options{Image: cudaImage(nil), Program: prog})
+	c1, err := r.nv.Run(context.Background(), Options{Image: cudaImage(nil), Program: prog})
 	if err != nil {
 		t.Fatal(err)
 	}
-	c2, err := r.nv.Run(Options{Image: cudaImage(nil), Program: prog})
+	c2, err := r.nv.Run(context.Background(), Options{Image: cudaImage(nil), Program: prog})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler returns the bundle's HTTP introspection surface:
+//
+//	/metrics      Prometheus text exposition of every registered series
+//	/stats        the same JSON payload as the control socket's `stats`
+//	/trace        trace ring as JSON (?container= filters)
+//	/debug/vars   the process's expvar page (cmdline, memstats)
+//	/debug/pprof  the standard pprof index and profiles
+//
+// The handler holds no state of its own; mount it on any mux or serve
+// it directly.
+func (o *Observability) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		o.reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		data, err := o.StatsJSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(data)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		data, err := o.TraceJSON(r.URL.Query().Get("container"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(data)
+	})
+	// expvar's package-level Handler serves the default var set without
+	// Publishing anything new, so mounting it repeatedly (tests spin up
+	// many bundles in one process) never panics on duplicate names.
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

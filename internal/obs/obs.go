@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"encoding/json"
+	"time"
+
+	"convgpu/internal/core"
+)
+
+// Metric names exported by an Observability bundle. DESIGN.md §9
+// documents the full schema; these constants keep daemon, facade and
+// tests referring to one spelling.
+const (
+	MetricEvents         = "convgpu_scheduler_events_total"
+	MetricPoolFree       = "convgpu_pool_free_bytes"
+	MetricContainers     = "convgpu_containers"
+	MetricSuspended      = "convgpu_containers_suspended"
+	MetricPending        = "convgpu_pending_requests"
+	MetricHandlerLatency = "convgpu_ipc_handler_seconds"
+	MetricSuspendWait    = "convgpu_suspend_wait_seconds"
+	MetricRTT            = "convgpu_ipc_rtt_seconds"
+	MetricReconnects     = "convgpu_ipc_reconnects_total"
+	MetricLeaseExpiries  = "convgpu_lease_expiries_total"
+)
+
+// Config parameterizes an Observability bundle.
+type Config struct {
+	// Algorithm labels every per-algorithm series (e.g. "fifo",
+	// "bestfit"). Empty is rendered as "unknown".
+	Algorithm string
+	// TraceCapacity sets the trace ring size (DefaultTraceCapacity when
+	// 0, retention disabled when negative).
+	TraceCapacity int
+}
+
+// Observability bundles the scheduler's runtime telemetry: one counter
+// per core event kind (labelled by algorithm), latency histograms for
+// the daemon's two sockets, suspension waits, control-channel round
+// trips, and the failure-domain counters from the lease/reconnect
+// machinery, plus the event trace ring. All record paths are atomic or
+// leaf-mutex only — safe inside the scheduler's 0 allocs/op hot path.
+type Observability struct {
+	reg    *Registry
+	tracer *Tracer
+	algo   string
+
+	// byKind has one counter per core.EventKind, indexed by the kind
+	// itself so the observer path is a single array load + atomic add.
+	byKind [core.NumEventKinds]*Counter
+
+	// HandlerContainer and HandlerControl time the daemon's message
+	// handlers (decode→respond) per socket kind.
+	HandlerContainer *Histogram
+	HandlerControl   *Histogram
+	// SuspendWait times parked allocations from suspension to release
+	// (admit, drop, or shutdown).
+	SuspendWait *Histogram
+	// ControlRTT times facade→daemon control calls end to end.
+	ControlRTT *Histogram
+	// Reconnects counts control-channel redials; LeaseExpiries counts
+	// sessions reaped by the daemon's lease loop.
+	Reconnects    *Counter
+	LeaseExpiries *Counter
+}
+
+// New builds an Observability bundle with every series registered.
+func New(cfg Config) *Observability {
+	algo := cfg.Algorithm
+	if algo == "" {
+		algo = "unknown"
+	}
+	reg := NewRegistry()
+	o := &Observability{
+		reg:    reg,
+		tracer: NewTracer(cfg.TraceCapacity),
+		algo:   algo,
+	}
+	for k := 0; k < core.NumEventKinds; k++ {
+		o.byKind[k] = reg.NewCounter(MetricEvents,
+			"Scheduler events by kind (admits=accept+resume, suspends, rejects, frees, ...).",
+			Labels{"algorithm": algo, "kind": core.EventKind(k).String()})
+	}
+	o.HandlerContainer = reg.NewHistogram(MetricHandlerLatency,
+		"Daemon handler latency from decode to response.",
+		Labels{"socket": "container"})
+	o.HandlerControl = reg.NewHistogram(MetricHandlerLatency,
+		"Daemon handler latency from decode to response.",
+		Labels{"socket": "control"})
+	o.SuspendWait = reg.NewHistogram(MetricSuspendWait,
+		"Time allocations spend suspended before release.", nil)
+	o.ControlRTT = reg.NewHistogram(MetricRTT,
+		"Control-channel call round-trip time.", Labels{"peer": "control"})
+	o.Reconnects = reg.NewCounter(MetricReconnects,
+		"Control-channel reconnect attempts that produced a fresh connection.", nil)
+	o.LeaseExpiries = reg.NewCounter(MetricLeaseExpiries,
+		"Container sessions reaped after their lease expired.", nil)
+	return o
+}
+
+// Registry exposes the metric registry (for extra series or export).
+func (o *Observability) Registry() *Registry { return o.reg }
+
+// Tracer exposes the event trace ring.
+func (o *Observability) Tracer() *Tracer { return o.tracer }
+
+// Algorithm returns the label value this bundle was built with.
+func (o *Observability) Algorithm() string { return o.algo }
+
+// observeEvent is the core event hook: one atomic counter bump and one
+// ring append per scheduler event. Runs under the core event log's
+// mutex — no allocation, no locks beyond the tracer's leaf mutex.
+func (o *Observability) observeEvent(e core.EventRecord) {
+	k := int(e.Kind)
+	if k >= 0 && k < len(o.byKind) {
+		o.byKind[k].Inc()
+	}
+	o.tracer.Record(e.At, e.Kind.String(), string(e.Container), e.PID, int64(e.Amount))
+	if e.Kind == core.EvClose {
+		o.tracer.EndContainer(string(e.Container))
+	}
+}
+
+// CoreObserver returns the function to install via core's SetObserver.
+func (o *Observability) CoreObserver() func(core.EventRecord) {
+	return o.observeEvent
+}
+
+// BindCore wires a scheduler into the bundle: installs the event
+// observer and (re-)registers the scrape-time gauges over the live
+// state. Rebinding after a daemon restart replaces the gauges, so a
+// long-lived bundle follows the current core.
+func (o *Observability) BindCore(st *core.State) {
+	st.SetObserver(o.observeEvent)
+	al := Labels{"algorithm": o.algo}
+	o.reg.GaugeFunc(MetricPoolFree,
+		"Schedulable GPU memory not granted to any container.", al,
+		func() int64 { return int64(st.PoolFree()) })
+	o.reg.GaugeFunc(MetricContainers,
+		"Registered containers.", al,
+		func() int64 { return int64(len(st.Snapshot())) })
+	o.reg.GaugeFunc(MetricSuspended,
+		"Containers with at least one suspended allocation.", al,
+		func() int64 { return int64(st.PausedContainers()) })
+	o.reg.GaugeFunc(MetricPending,
+		"Suspended allocation requests across all containers.", al,
+		func() int64 {
+			var n int64
+			for _, info := range st.Snapshot() {
+				n += int64(info.Pending)
+			}
+			return n
+		})
+}
+
+// EventCount returns the running total for one event kind.
+func (o *Observability) EventCount(kind core.EventKind) uint64 {
+	k := int(kind)
+	if k < 0 || k >= len(o.byKind) {
+		return 0
+	}
+	return o.byKind[k].Value()
+}
+
+// EventCounts returns every kind's running total, keyed by the kind's
+// string name ("accept", "suspend", "reject", ...).
+func (o *Observability) EventCounts() map[string]uint64 {
+	out := make(map[string]uint64, core.NumEventKinds)
+	for k := 0; k < core.NumEventKinds; k++ {
+		out[core.EventKind(k).String()] = o.byKind[k].Value()
+	}
+	return out
+}
+
+// StatsPayload is the JSON shape answered to a `stats` introspection
+// request.
+type StatsPayload struct {
+	Algorithm string        `json:"algorithm"`
+	AtNano    int64         `json:"at_unix_nano"`
+	Metrics   []MetricPoint `json:"metrics"`
+}
+
+// StatsJSON renders the full metric snapshot for the control socket.
+func (o *Observability) StatsJSON() ([]byte, error) {
+	return json.Marshal(StatsPayload{
+		Algorithm: o.algo,
+		AtNano:    time.Now().UnixNano(),
+		Metrics:   o.reg.Snapshot(),
+	})
+}
+
+// TraceJSON renders the retained event trace, optionally filtered to
+// one container.
+func (o *Observability) TraceJSON(container string) ([]byte, error) {
+	return o.tracer.Dump(container)
+}

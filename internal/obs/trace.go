@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"time"
+)
+
+// DefaultTraceCapacity is the event ring size used when a Tracer is
+// built with capacity 0.
+const DefaultTraceCapacity = 4096
+
+// TraceEvent is one scheduler event in the trace ring. Seq totally
+// orders events across the whole scheduler; CSeq is the per-container
+// causal sequence (1, 2, 3, ... within one container lifetime), so a
+// consumer can reconstruct each container's history even after the
+// ring has dropped interleaved events from other containers.
+type TraceEvent struct {
+	Seq       uint64 `json:"seq"`
+	CSeq      uint64 `json:"cseq,omitempty"`
+	At        int64  `json:"at_unix_nano"`
+	Kind      string `json:"kind"`
+	Container string `json:"container,omitempty"`
+	PID       int    `json:"pid,omitempty"`
+	Amount    int64  `json:"amount,omitempty"`
+}
+
+// Tracer is a fixed-capacity ring buffer of TraceEvents. Recording
+// copies a value struct under a short mutex — no allocation in steady
+// state (the per-container sequence map allocates only on a container's
+// first event). A capacity < 0 disables retention entirely while still
+// assigning causal sequence numbers.
+type Tracer struct {
+	mu   sync.Mutex
+	ring []TraceEvent
+	next int    // ring write cursor
+	n    int    // number of valid entries (≤ len(ring))
+	seq  uint64 // total events ever recorded
+	cseq map[string]uint64
+}
+
+// NewTracer returns a tracer holding the last capacity events
+// (DefaultTraceCapacity if capacity is 0, retention disabled if < 0).
+func NewTracer(capacity int) *Tracer {
+	if capacity == 0 {
+		capacity = DefaultTraceCapacity
+	}
+	t := &Tracer{cseq: make(map[string]uint64)}
+	if capacity > 0 {
+		t.ring = make([]TraceEvent, capacity)
+	}
+	return t
+}
+
+// Record appends one event. Seq and CSeq are assigned here, under the
+// tracer's own ordering, from the fields the caller provides.
+func (t *Tracer) Record(at time.Time, kind, container string, pid int, amount int64) {
+	t.mu.Lock()
+	t.seq++
+	e := TraceEvent{
+		Seq:       t.seq,
+		At:        at.UnixNano(),
+		Kind:      kind,
+		Container: container,
+		PID:       pid,
+		Amount:    amount,
+	}
+	if container != "" {
+		t.cseq[container]++
+		e.CSeq = t.cseq[container]
+	}
+	if len(t.ring) > 0 {
+		t.ring[t.next] = e
+		t.next = (t.next + 1) % len(t.ring)
+		if t.n < len(t.ring) {
+			t.n++
+		}
+	}
+	t.mu.Unlock()
+}
+
+// EndContainer forgets a container's causal counter — called when its
+// lifetime ends (close), so the cseq map does not grow with container
+// churn and a re-registered ID restarts its causal order at 1.
+func (t *Tracer) EndContainer(container string) {
+	t.mu.Lock()
+	delete(t.cseq, container)
+	t.mu.Unlock()
+}
+
+// Len returns the number of retained events.
+func (t *Tracer) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.n
+}
+
+// Events returns the retained events, oldest first. An empty container
+// filter returns everything; otherwise only that container's events.
+func (t *Tracer) Events(container string) []TraceEvent {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]TraceEvent, 0, t.n)
+	start := t.next - t.n
+	if start < 0 {
+		start += len(t.ring)
+	}
+	for i := 0; i < t.n; i++ {
+		e := t.ring[(start+i)%len(t.ring)]
+		if container == "" || e.Container == container {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// TraceDump is the JSON shape of a trace request's payload.
+type TraceDump struct {
+	Capacity int          `json:"capacity"`
+	Total    uint64       `json:"total_events"`
+	Dropped  uint64       `json:"dropped_events"`
+	Events   []TraceEvent `json:"events"`
+}
+
+// Dump renders the retained trace (optionally filtered by container)
+// as JSON, oldest event first, with drop accounting so a consumer can
+// tell whether the ring wrapped.
+func (t *Tracer) Dump(container string) ([]byte, error) {
+	return t.DumpLimit(container, 0)
+}
+
+// DumpLimit is Dump keeping only the newest limit events (0 = all).
+// The daemon uses it to keep a trace response inside one IPC frame.
+func (t *Tracer) DumpLimit(container string, limit int) ([]byte, error) {
+	events := t.Events(container)
+	if limit > 0 && len(events) > limit {
+		events = events[len(events)-limit:]
+	}
+	t.mu.Lock()
+	d := TraceDump{Capacity: len(t.ring), Total: t.seq, Events: events}
+	if t.seq > uint64(t.n) {
+		d.Dropped = t.seq - uint64(t.n)
+	}
+	t.mu.Unlock()
+	return json.Marshal(d)
+}

@@ -123,6 +123,10 @@ func AppendEncode(dst []byte, m *Message) []byte {
 		dst = append(dst, `,"error":`...)
 		dst = appendJSONString(dst, m.Error)
 	}
+	if m.Code != "" {
+		dst = append(dst, `,"code":`...)
+		dst = appendJSONString(dst, m.Code)
+	}
 	if m.Decision != "" {
 		dst = append(dst, `,"decision":`...)
 		dst = appendJSONString(dst, string(m.Decision))
@@ -142,6 +146,10 @@ func AppendEncode(dst []byte, m *Message) []byte {
 	if m.Total != 0 {
 		dst = append(dst, `,"total":`...)
 		dst = strconv.AppendInt(dst, m.Total, 10)
+	}
+	if m.Data != "" {
+		dst = append(dst, `,"data":`...)
+		dst = appendJSONString(dst, m.Data)
 	}
 	dst = append(dst, '}', '\n')
 	return dst
@@ -331,6 +339,20 @@ func scanField(m *Message, b []byte, i int, key []byte) (int, bool) {
 		}
 		m.Error = string(s)
 		return next, true
+	case "code":
+		s, next, ok := scanString(b, i)
+		if !ok {
+			return 0, false
+		}
+		m.Code = string(s)
+		return next, true
+	case "data":
+		s, next, ok := scanString(b, i)
+		if !ok {
+			return 0, false
+		}
+		m.Data = string(s)
+		return next, true
 	case "decision":
 		s, next, ok := scanString(b, i)
 		if !ok {
@@ -398,6 +420,12 @@ func typeToken(s []byte) Type {
 		return TypeRestore
 	case string(TypeHeartbeat):
 		return TypeHeartbeat
+	case string(TypeStats):
+		return TypeStats
+	case string(TypeTrace):
+		return TypeTrace
+	case string(TypeDump):
+		return TypeDump
 	case string(TypeResponse):
 		return TypeResponse
 	default:

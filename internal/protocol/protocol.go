@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"convgpu/internal/bytesize"
+	"convgpu/internal/errs"
 )
 
 // Type discriminates messages.
@@ -64,6 +65,17 @@ const (
 	// whose lease expires (no traffic within the daemon's grace window
 	// and no close signal) is presumed dead and reaped.
 	TypeHeartbeat Type = "heartbeat"
+	// TypeStats asks the daemon for its metric snapshot (introspection,
+	// control socket only). The response's Data field carries the JSON
+	// payload (obs.StatsPayload).
+	TypeStats Type = "stats"
+	// TypeTrace asks the daemon for its retained event trace, optionally
+	// filtered to one container (Container field). The response's Data
+	// field carries the JSON payload (obs.TraceDump).
+	TypeTrace Type = "trace"
+	// TypeDump asks the daemon for a full state dump: scheduler
+	// snapshot, metrics and trace in one JSON document (Data field).
+	TypeDump Type = "dump"
 	// TypeResponse is the reply to any request.
 	TypeResponse Type = "response"
 )
@@ -99,11 +111,13 @@ type Message struct {
 	// Response fields.
 	OK        bool     `json:"ok,omitempty"`
 	Error     string   `json:"error,omitempty"`
+	Code      string   `json:"code,omitempty"` // machine-readable error code (see Code*)
 	Decision  Decision `json:"decision,omitempty"`
 	Granted   int64    `json:"granted,omitempty"` // bytes assigned at register
 	SocketDir string   `json:"socket_dir,omitempty"`
 	Free      int64    `json:"free,omitempty"`  // meminfo: free within limit
 	Total     int64    `json:"total,omitempty"` // meminfo: the limit
+	Data      string   `json:"data,omitempty"`  // introspection payload (JSON document)
 }
 
 // Encode renders the message as a single JSON line (with trailing
@@ -172,14 +186,49 @@ func (m *Message) Validate() error {
 		if m.Size <= 0 {
 			return fmt.Errorf("protocol: restore with non-positive size %d", m.Size)
 		}
-	case TypeMemInfo, TypeResponse, TypeHeartbeat:
-		// No required request fields beyond the type itself.
+	case TypeMemInfo, TypeResponse, TypeHeartbeat, TypeStats, TypeTrace, TypeDump:
+		// No required request fields beyond the type itself (trace may
+		// carry an optional Container filter).
 	case "":
 		return fmt.Errorf("protocol: message without type")
 	default:
 		return fmt.Errorf("protocol: unknown message type %q", m.Type)
 	}
 	return nil
+}
+
+// Machine-readable error codes carried in a failure response's Code
+// field. The human-readable Error string stays free-form; the code is
+// what clients match on to reconstruct an errors.Is-able sentinel on
+// their side of the socket (ErrFromCode).
+const (
+	// CodeOverCapacity: the requested memory limit exceeds the GPU's
+	// schedulable capacity (registration can never succeed).
+	CodeOverCapacity = "over_capacity"
+	// CodeUnknownContainer: the container is not (or no longer)
+	// registered with the scheduler.
+	CodeUnknownContainer = "unknown_container"
+	// CodeRejected: the scheduler denied the allocation (over limit).
+	CodeRejected = "rejected"
+	// CodeUnavailable: the daemon is shutting down or cannot serve.
+	CodeUnavailable = "unavailable"
+)
+
+// ErrFromCode maps a response's error code to the shared sentinel it
+// stands for, so client-side wrappers can offer errors.Is matching for
+// failures that crossed the socket. Unknown or empty codes map to nil
+// (callers fall back to the free-form Error string).
+func ErrFromCode(code string) error {
+	switch code {
+	case CodeOverCapacity:
+		return errs.ErrOverCapacity
+	case CodeRejected:
+		return errs.ErrRejected
+	case CodeUnavailable:
+		return errs.ErrDaemonUnavailable
+	default:
+		return nil
+	}
 }
 
 // Response constructs a success response to req, carrying no payload.
@@ -191,6 +240,13 @@ func Response(req *Message) *Message {
 // ErrorResponse constructs a failure response to req.
 func ErrorResponse(req *Message, format string, args ...interface{}) *Message {
 	return &Message{Type: TypeResponse, Seq: req.Seq, OK: false, Error: fmt.Sprintf(format, args...)}
+}
+
+// CodedErrorResponse is ErrorResponse with a machine-readable code.
+func CodedErrorResponse(req *Message, code string, format string, args ...interface{}) *Message {
+	m := ErrorResponse(req, format, args...)
+	m.Code = code
+	return m
 }
 
 // SizeBytes returns the Size field as a bytesize.Size.

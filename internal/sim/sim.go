@@ -15,6 +15,7 @@ package sim
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"time"
 
@@ -168,6 +169,13 @@ type Backend interface {
 
 // Run replays a trace against a fresh single-GPU scheduler.
 func Run(trace []workload.TraceEntry, cfg Config) (Result, error) {
+	return RunContext(context.Background(), trace, cfg)
+}
+
+// RunContext is Run with cancellation: the context is checked between
+// simulated events, so a caller's deadline bounds even a pathological
+// run (virtual time never blocks, but huge traces still cost real CPU).
+func RunContext(ctx context.Context, trace []workload.TraceEntry, cfg Config) (Result, error) {
 	cfg = cfg.withDefaults()
 	alg, err := core.NewAlgorithm(cfg.Algorithm, cfg.AlgSeed)
 	if err != nil {
@@ -185,12 +193,17 @@ func Run(trace []workload.TraceEntry, cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	return RunWith(trace, st, clk, cfg)
+	return RunWithContext(ctx, trace, st, clk, cfg)
 }
 
 // RunWith replays a trace against an existing backend whose schedulers
 // share the given manual clock.
 func RunWith(trace []workload.TraceEntry, st Backend, clk *clock.Manual, cfg Config) (Result, error) {
+	return RunWithContext(context.Background(), trace, st, clk, cfg)
+}
+
+// RunWithContext is RunWith with cancellation, checked between events.
+func RunWithContext(ctx context.Context, trace []workload.TraceEntry, st Backend, clk *clock.Manual, cfg Config) (Result, error) {
 	cfg = cfg.withDefaults()
 	start := clk.Now()
 	containers := make([]*simContainer, len(trace))
@@ -254,6 +267,9 @@ func RunWith(trace []workload.TraceEntry, st Backend, clk *clock.Manual, cfg Con
 	prevUsed := st.TotalUsed()
 
 	for events.Len() > 0 {
+		if err := ctx.Err(); err != nil {
+			return Result{}, fmt.Errorf("sim: cancelled at %v: %w", clk.Since(start), err)
+		}
 		e := heap.Pop(&events).(event)
 		if dt := e.at.Sub(prevTime); dt > 0 {
 			usedIntegral += float64(prevUsed) * dt.Seconds()

@@ -30,11 +30,13 @@ package wrapper
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 
 	"convgpu/internal/bytesize"
 	"convgpu/internal/cuda"
+	"convgpu/internal/errs"
 	"convgpu/internal/gpu"
 	"convgpu/internal/protocol"
 )
@@ -156,20 +158,37 @@ func (m *Module) requestAlloc(api string, adjusted bytesize.Size, doAlloc func()
 		API:  api,
 	})
 	if err != nil {
-		if m.ctx.Err() != nil {
+		if cerr := m.ctx.Err(); cerr != nil {
+			if errors.Is(cerr, context.DeadlineExceeded) {
+				// The caller bounded the wait and the scheduler never
+				// granted the suspended allocation in time.
+				return 0, fmt.Errorf("wrapper: %w (%v)", errs.ErrSuspendedTimeout, err)
+			}
 			return 0, fmt.Errorf("wrapper: process terminated while allocation was suspended: %w", err)
 		}
 		// Fail closed: no reachable scheduler means no grant. The user
 		// program sees the failure an exhausted GPU would produce — never
 		// a locally-approved allocation the scheduler knows nothing about.
-		return 0, fmt.Errorf("wrapper: scheduler unreachable (%v): %w", err, cuda.ErrorMemoryAllocation)
+		return 0, fmt.Errorf("wrapper: scheduler unreachable (%v): %w: %w", err, errs.ErrDaemonUnavailable, cuda.ErrorMemoryAllocation)
 	}
-	denied := !resp.OK || resp.Decision == protocol.DecisionReject
+	rejected := resp.OK && resp.Decision == protocol.DecisionReject
+	failed := !resp.OK
+	sentinel := protocol.ErrFromCode(resp.Code)
 	protocol.ReleaseMessage(resp) // response fields fully consumed above
-	if denied {
+	if rejected {
 		// The scheduler denied the allocation: the user program sees the
-		// same failure an exhausted GPU would produce.
-		return 0, cuda.ErrorMemoryAllocation
+		// same failure an exhausted GPU would produce, and errors.Is can
+		// still distinguish the scheduler's verdict from a device OOM.
+		return 0, fmt.Errorf("wrapper: %w: %w", errs.ErrRejected, cuda.ErrorMemoryAllocation)
+	}
+	if failed {
+		// An error response (unknown container, daemon shutting down, ...)
+		// also fails closed; the wire code, when present, is surfaced as
+		// its sentinel.
+		if sentinel != nil {
+			return 0, fmt.Errorf("wrapper: allocation refused: %w: %w", sentinel, cuda.ErrorMemoryAllocation)
+		}
+		return 0, fmt.Errorf("wrapper: allocation refused: %w", cuda.ErrorMemoryAllocation)
 	}
 	ptr, err := doAlloc()
 	if err != nil {

@@ -2,6 +2,7 @@ package wrapper
 
 import (
 	"context"
+	"errors"
 	"sync"
 	"testing"
 	"time"
@@ -9,6 +10,7 @@ import (
 	"convgpu/internal/bytesize"
 	"convgpu/internal/core"
 	"convgpu/internal/cuda"
+	"convgpu/internal/errs"
 	"convgpu/internal/gpu"
 	"convgpu/internal/inproc"
 	"convgpu/internal/protocol"
@@ -127,9 +129,14 @@ func TestMallocAcceptedAndTracked(t *testing.T) {
 func TestMallocRejectedOverLimit(t *testing.T) {
 	r := newRig(t, mib(128))
 	// 128 + 66 overhead > 128 limit: scheduler rejects; user sees the
-	// CUDA OOM error; nothing reaches the device.
-	if _, err := r.mod.Malloc(mib(128)); err != cuda.ErrorMemoryAllocation {
+	// CUDA OOM error (tagged with the reject sentinel); nothing reaches
+	// the device.
+	_, err := r.mod.Malloc(mib(128))
+	if !errors.Is(err, cuda.ErrorMemoryAllocation) {
 		t.Fatalf("err = %v, want cudaErrorMemoryAllocation", err)
+	}
+	if !errors.Is(err, errs.ErrRejected) {
+		t.Fatalf("err = %v, want errs.ErrRejected", err)
 	}
 	if r.dev.Used() != 0 {
 		t.Fatalf("device used = %v after reject", r.dev.Used())

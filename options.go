@@ -1,0 +1,196 @@
+package convgpu
+
+import (
+	"fmt"
+	"time"
+
+	"convgpu/internal/gpu"
+	"convgpu/internal/obs"
+)
+
+// Option configures a Stack built by New. Options replace the old
+// positional Config wiring: each names exactly the knob it turns, the
+// zero set gives the paper's defaults (5 GiB K20m, FIFO), and new knobs
+// can land without breaking call sites.
+type Option func(*stackConfig) error
+
+// stackConfig collects the options before assembly.
+type stackConfig struct {
+	baseDir       string
+	capacity      Size
+	algorithm     string
+	algorithmSeed int64
+	gpuProps      *gpu.Properties
+	latency       bool
+	createLatency time.Duration
+
+	lease       time.Duration
+	callTimeout time.Duration
+
+	obs           *obs.Observability
+	traceCapacity int
+
+	faultTolerant    bool
+	persistentGrants bool
+	eventLogSize     int
+}
+
+// defaultStackConfig returns the paper's defaults.
+func defaultStackConfig() stackConfig {
+	return stackConfig{capacity: 5 * GiB, algorithm: FIFO}
+}
+
+// WithBaseDir hosts the scheduler's control socket and per-container
+// directories under dir instead of a fresh temporary directory.
+func WithBaseDir(dir string) Option {
+	return func(c *stackConfig) error {
+		if dir == "" {
+			return fmt.Errorf("convgpu: WithBaseDir: empty directory")
+		}
+		c.baseDir = dir
+		return nil
+	}
+}
+
+// WithCapacity sets the schedulable GPU memory (default the K20m's
+// 5 GiB).
+func WithCapacity(size Size) Option {
+	return func(c *stackConfig) error {
+		if size <= 0 {
+			return fmt.Errorf("convgpu: WithCapacity: non-positive size %v", size)
+		}
+		c.capacity = size
+		return nil
+	}
+}
+
+// WithAlgorithm selects the redistribution algorithm by name (FIFO,
+// BestFit, RecentUse, Random; default FIFO).
+func WithAlgorithm(name string) Option {
+	return func(c *stackConfig) error {
+		if name == "" {
+			return fmt.Errorf("convgpu: WithAlgorithm: empty name")
+		}
+		c.algorithm = name
+		return nil
+	}
+}
+
+// WithAlgorithmSeed seeds the Random algorithm deterministically.
+func WithAlgorithmSeed(seed int64) Option {
+	return func(c *stackConfig) error {
+		c.algorithmSeed = seed
+		return nil
+	}
+}
+
+// WithGPU overrides the simulated device properties (default K20m).
+// The device's total memory is set to the stack's capacity.
+func WithGPU(props gpu.Properties) Option {
+	return func(c *stackConfig) error {
+		p := props
+		c.gpuProps = &p
+		return nil
+	}
+}
+
+// WithLatency enables the Figure 4 latency calibration on the device,
+// making CUDA calls consume realistic time.
+func WithLatency() Option {
+	return func(c *stackConfig) error {
+		c.latency = true
+		return nil
+	}
+}
+
+// WithCreateLatency models the container runtime's creation cost
+// (Fig. 5 uses ~0.4 s).
+func WithCreateLatency(d time.Duration) Option {
+	return func(c *stackConfig) error {
+		if d < 0 {
+			return fmt.Errorf("convgpu: WithCreateLatency: negative duration %v", d)
+		}
+		c.createLatency = d
+		return nil
+	}
+}
+
+// WithLease reaps container sessions silent for longer than d (no
+// traffic, no heartbeat): a SIGKILLed container never sends a close
+// signal, and without a lease its grant would be pinned forever. Zero
+// (the default) disables leasing.
+func WithLease(d time.Duration) Option {
+	return func(c *stackConfig) error {
+		if d < 0 {
+			return fmt.Errorf("convgpu: WithLease: negative duration %v", d)
+		}
+		c.lease = d
+		return nil
+	}
+}
+
+// WithCallTimeout bounds each control-socket call (registration, close,
+// introspection). Allocation requests are exempt by design — a
+// suspended allocation legitimately blocks. Zero disables the bound;
+// the per-call context passed to Run/Create still applies either way.
+func WithCallTimeout(d time.Duration) Option {
+	return func(c *stackConfig) error {
+		if d < 0 {
+			return fmt.Errorf("convgpu: WithCallTimeout: negative duration %v", d)
+		}
+		c.callTimeout = d
+		return nil
+	}
+}
+
+// WithObservability installs a caller-built telemetry bundle instead of
+// the stack's default one — e.g. to share one registry across stacks.
+// Observability is always on; this option only substitutes the sink.
+func WithObservability(o *Observability) Option {
+	return func(c *stackConfig) error {
+		if o == nil {
+			return fmt.Errorf("convgpu: WithObservability: nil bundle")
+		}
+		c.obs = o
+		return nil
+	}
+}
+
+// WithTraceCapacity sizes the event-trace ring of the stack's default
+// observability bundle (obs.DefaultTraceCapacity when unset; negative
+// disables trace retention). Ignored when WithObservability supplies a
+// bundle, which carries its own ring.
+func WithTraceCapacity(n int) Option {
+	return func(c *stackConfig) error {
+		c.traceCapacity = n
+		return nil
+	}
+}
+
+// WithFaultTolerant enables the rescue pass of the authors' prior
+// fault-tolerant scheduler study (see core.Config.FaultTolerant).
+func WithFaultTolerant() Option {
+	return func(c *stackConfig) error {
+		c.faultTolerant = true
+		return nil
+	}
+}
+
+// WithPersistentGrants keeps memory assigned to a container until it
+// closes, never reclaiming paused containers' unused assignments (see
+// core.Config.PersistentGrants for the trade-offs).
+func WithPersistentGrants() Option {
+	return func(c *stackConfig) error {
+		c.persistentGrants = true
+		return nil
+	}
+}
+
+// WithEventLogSize sets the scheduler event-log ring capacity
+// (core.DefaultEventLogSize when unset; negative disables retention).
+func WithEventLogSize(n int) Option {
+	return func(c *stackConfig) error {
+		c.eventLogSize = n
+		return nil
+	}
+}

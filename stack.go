@@ -1,0 +1,301 @@
+package convgpu
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"os"
+	"sync"
+
+	"convgpu/internal/container"
+	"convgpu/internal/core"
+	"convgpu/internal/daemon"
+	"convgpu/internal/gpu"
+	"convgpu/internal/ipc"
+	"convgpu/internal/nvdocker"
+	"convgpu/internal/obs"
+	"convgpu/internal/plugin"
+	"convgpu/internal/protocol"
+)
+
+// Observability is the stack's runtime telemetry bundle: per-algorithm
+// event counters, latency histograms, scrape-time gauges and the event
+// trace ring. Reach it with Stack.Observability; serve it over HTTP
+// with its Handler method.
+type Observability = obs.Observability
+
+// Stack is the assembled ConVGPU middleware: simulated GPU + CUDA
+// runtime, scheduler core, scheduler daemon over real UNIX sockets,
+// container engine, volume plugin and the customized nvidia-docker.
+//
+// Build it with New, bring it up with Start, and launch containers with
+// Run/Create. Every method that performs I/O takes a context as its
+// first argument; cancellation propagates into the control channel's
+// dial/backoff and per-call deadlines.
+type Stack struct {
+	cfg    stackConfig
+	device *gpu.Device
+	state  *core.State
+	obs    *obs.Observability
+
+	mu      sync.Mutex
+	started bool
+	closed  bool
+	daemon  *daemon.Daemon
+	engine  *container.Engine
+	plugin  *plugin.Plugin
+	nv      *nvdocker.NVDocker
+	ctl     *ipc.Reconnector
+	tempdir string
+}
+
+// New assembles an unstarted Stack from functional options: the device,
+// scheduler core and telemetry exist after New; sockets, directories
+// and the daemon only after Start. Zero options give the paper's
+// defaults (5 GiB K20m, FIFO redistribution).
+func New(options ...Option) (*Stack, error) {
+	cfg := defaultStackConfig()
+	for _, o := range options {
+		if err := o(&cfg); err != nil {
+			return nil, err
+		}
+	}
+
+	props := gpu.K20m()
+	if cfg.gpuProps != nil {
+		props = *cfg.gpuProps
+	}
+	props.TotalGlobalMem = cfg.capacity
+
+	var gpuOpts []gpu.Option
+	if cfg.latency {
+		gpuOpts = append(gpuOpts, gpu.WithLatency(gpu.PaperLatency(), nil))
+	}
+
+	alg, err := core.NewAlgorithm(cfg.algorithm, cfg.algorithmSeed)
+	if err != nil {
+		return nil, err
+	}
+	state, err := core.New(core.Config{
+		Capacity:         cfg.capacity,
+		Algorithm:        alg,
+		FaultTolerant:    cfg.faultTolerant,
+		PersistentGrants: cfg.persistentGrants,
+		EventLogSize:     cfg.eventLogSize,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	o := cfg.obs
+	if o == nil {
+		o = obs.New(obs.Config{Algorithm: cfg.algorithm, TraceCapacity: cfg.traceCapacity})
+	}
+
+	return &Stack{
+		cfg:    cfg,
+		device: gpu.New(props, gpuOpts...),
+		state:  state,
+		obs:    o,
+	}, nil
+}
+
+// Start brings the stack up: base directory, scheduler daemon on its
+// control socket, container engine, plugin and nvidia-docker wiring.
+// The context bounds the initial control-channel dial. Start is
+// idempotent once it has succeeded.
+func (s *Stack) Start(ctx context.Context) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("convgpu: stack closed")
+	}
+	if s.started {
+		return nil
+	}
+
+	baseDir := s.cfg.baseDir
+	if baseDir == "" {
+		dir, err := os.MkdirTemp("", "convgpu")
+		if err != nil {
+			return fmt.Errorf("convgpu: tempdir: %w", err)
+		}
+		s.tempdir = dir
+		baseDir = dir
+	}
+
+	fail := func(err error) error {
+		s.stopLocked()
+		return err
+	}
+
+	var err error
+	s.daemon, err = daemon.Start(daemon.Config{
+		BaseDir: baseDir,
+		Core:    s.state,
+		Lease:   s.cfg.lease,
+		Obs:     s.obs,
+	})
+	if err != nil {
+		return fail(err)
+	}
+	s.engine, err = container.NewEngine(container.Config{
+		Device:        s.device,
+		CreateLatency: s.cfg.createLatency,
+	})
+	if err != nil {
+		return fail(err)
+	}
+	// The control channel is a Reconnector: callers' contexts propagate
+	// into its dial/backoff, WithCallTimeout bounds the non-blocking
+	// message types, and its round trips/redials feed the telemetry.
+	s.ctl = ipc.NewReconnector(ipc.ReconnectConfig{
+		Network:     "unix",
+		Addr:        s.daemon.ControlSocket(),
+		CallTimeout: s.cfg.callTimeout,
+		RTT:         s.obs.ControlRTT,
+		Reconnects:  s.obs.Reconnects,
+	})
+	if _, err = s.ctl.Connect(ctx); err != nil {
+		return fail(fmt.Errorf("convgpu: %w: %v", ErrDaemonUnavailable, err))
+	}
+	s.plugin = plugin.New(s.ctl)
+	s.nv = nvdocker.New(s.engine, s.ctl, s.plugin)
+	s.started = true
+	return nil
+}
+
+// stopLocked tears down whatever Start brought up. Caller holds s.mu.
+func (s *Stack) stopLocked() {
+	if s.ctl != nil {
+		s.ctl.Close()
+		s.ctl = nil
+	}
+	if s.daemon != nil {
+		s.daemon.Close()
+		s.daemon = nil
+	}
+	if s.tempdir != "" {
+		os.RemoveAll(s.tempdir)
+		s.tempdir = ""
+	}
+	s.started = false
+}
+
+// Close shuts the stack down: control channel, daemon, sockets, and the
+// temporary base directory if the stack created one. Idempotent.
+func (s *Stack) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	s.stopLocked()
+	return nil
+}
+
+// runtime returns the started nvidia-docker wiring, or ErrNotStarted.
+func (s *Stack) runtime() (*nvdocker.NVDocker, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.started {
+		return nil, ErrNotStarted
+	}
+	return s.nv, nil
+}
+
+// Run launches a container through the customized nvidia-docker: the
+// full paper flow (limit resolution, registration, wrapper injection,
+// exit detection). The context bounds the scheduler registration.
+func (s *Stack) Run(ctx context.Context, opts RunOptions) (*Container, error) {
+	nv, err := s.runtime()
+	if err != nil {
+		return nil, err
+	}
+	return nv.Run(ctx, opts)
+}
+
+// Create is Run without starting the container.
+func (s *Stack) Create(ctx context.Context, opts RunOptions) (*Container, error) {
+	nv, err := s.runtime()
+	if err != nil {
+		return nil, err
+	}
+	return nv.Create(ctx, opts)
+}
+
+// Snapshot reports the scheduler's per-container state.
+func (s *Stack) Snapshot() []SchedulerInfo { return s.state.Snapshot() }
+
+// Events returns the scheduler's retained event log (registrations,
+// accepts, suspensions, grants, closes, ...), oldest first.
+func (s *Stack) Events() []SchedulerEvent { return s.state.Events() }
+
+// PoolFree reports unassigned GPU memory.
+func (s *Stack) PoolFree() Size { return s.state.PoolFree() }
+
+// Algorithm returns the redistribution algorithm's name.
+func (s *Stack) Algorithm() string { return s.state.AlgorithmName() }
+
+// Device exposes the simulated GPU (e.g. for device-view assertions).
+func (s *Stack) Device() *gpu.Device { return s.device }
+
+// Observability exposes the stack's telemetry bundle: counters,
+// histograms, gauges and the event trace.
+func (s *Stack) Observability() *Observability { return s.obs }
+
+// MetricsHandler returns an HTTP handler serving /metrics (Prometheus
+// text), /stats, /trace, /debug/vars and /debug/pprof for this stack.
+func (s *Stack) MetricsHandler() http.Handler { return s.obs.Handler() }
+
+// ControlSocket returns the scheduler daemon's control socket path, or
+// "" before Start.
+func (s *Stack) ControlSocket() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.started {
+		return ""
+	}
+	return s.daemon.ControlSocket()
+}
+
+// introspect performs one stats/trace/dump round trip on the control
+// socket and returns the response's JSON payload.
+func (s *Stack) introspect(ctx context.Context, typ protocol.Type, containerID string) ([]byte, error) {
+	s.mu.Lock()
+	ctl := s.ctl
+	started := s.started
+	s.mu.Unlock()
+	if !started {
+		return nil, ErrNotStarted
+	}
+	resp, err := ctl.Call(ctx, &protocol.Message{Type: typ, Container: containerID})
+	if err != nil {
+		return nil, fmt.Errorf("convgpu: %s: %w: %v", typ, ErrDaemonUnavailable, err)
+	}
+	if !resp.OK {
+		e := fmt.Errorf("convgpu: %s: %s", typ, resp.Error)
+		protocol.ReleaseMessage(resp)
+		return nil, e
+	}
+	data := []byte(resp.Data)
+	protocol.ReleaseMessage(resp)
+	return data, nil
+}
+
+// Stats asks the live daemon for its metric snapshot over the control
+// socket and returns the JSON document (obs.StatsPayload).
+func (s *Stack) Stats(ctx context.Context) ([]byte, error) {
+	return s.introspect(ctx, protocol.TypeStats, "")
+}
+
+// Trace asks the live daemon for its retained event trace over the
+// control socket (obs.TraceDump). An empty containerID returns every
+// container's events.
+func (s *Stack) Trace(ctx context.Context, containerID string) ([]byte, error) {
+	return s.introspect(ctx, protocol.TypeTrace, containerID)
+}
+
+// Dump asks the live daemon for a full state dump over the control
+// socket: snapshot, metrics and trace in one JSON document.
+func (s *Stack) Dump(ctx context.Context) ([]byte, error) {
+	return s.introspect(ctx, protocol.TypeDump, "")
+}

@@ -1,0 +1,310 @@
+package convgpu_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"convgpu"
+)
+
+func newStack(t *testing.T, opts ...convgpu.Option) *convgpu.Stack {
+	t.Helper()
+	opts = append([]convgpu.Option{convgpu.WithBaseDir(t.TempDir())}, opts...)
+	st, err := convgpu.New(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return st
+}
+
+// runOne runs one small allocate/free container to completion.
+func runOne(t *testing.T, run func(context.Context, convgpu.RunOptions) (*convgpu.Container, error), name string) {
+	t.Helper()
+	c, err := run(context.Background(), convgpu.RunOptions{
+		Name:         name,
+		Image:        convgpu.CUDAImage("app", ""),
+		NvidiaMemory: 512 * convgpu.MiB,
+		Program: func(p *convgpu.Proc) error {
+			ptr, err := p.CUDA.Malloc(64 * convgpu.MiB)
+			if err != nil {
+				return err
+			}
+			return p.CUDA.Free(ptr)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// eventKey reduces an event to the fields a behaviour comparison cares
+// about (sequence numbers and timestamps legitimately differ).
+type eventKey struct {
+	Kind      string
+	Container string
+	Amount    convgpu.Size
+}
+
+// waitEvents polls until the scheduler's event log contains n events
+// (the close signal arrives asynchronously after container exit).
+func waitEvents(t *testing.T, events func() []convgpu.SchedulerEvent, n int) []eventKey {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		evs := events()
+		if len(evs) >= n || time.Now().After(deadline) {
+			out := make([]eventKey, len(evs))
+			for i, e := range evs {
+				out[i] = eventKey{Kind: e.Kind.String(), Container: string(e.Container), Amount: e.Amount}
+			}
+			return out
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestStackLifecycleAndIntrospection(t *testing.T) {
+	st := newStack(t, convgpu.WithAlgorithm(convgpu.BestFit), convgpu.WithCapacity(2*convgpu.GiB))
+	if st.Algorithm() != convgpu.BestFit {
+		t.Fatalf("algorithm = %q", st.Algorithm())
+	}
+	runOne(t, st.Run, "c1")
+
+	// Stats over the live control socket.
+	data, err := st.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Algorithm string `json:"algorithm"`
+		Metrics   []struct {
+			Name   string            `json:"name"`
+			Labels map[string]string `json:"labels"`
+			Value  int64             `json:"value"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal(data, &stats); err != nil {
+		t.Fatalf("stats not JSON: %v\n%s", err, data)
+	}
+	if stats.Algorithm != convgpu.BestFit {
+		t.Fatalf("stats algorithm = %q", stats.Algorithm)
+	}
+	accepts := int64(-1)
+	for _, m := range stats.Metrics {
+		if m.Name == "convgpu_scheduler_events_total" && m.Labels["kind"] == "accept" {
+			accepts = m.Value
+		}
+	}
+	if accepts < 1 {
+		t.Fatalf("accept counter = %d, want >= 1", accepts)
+	}
+
+	// Trace over the live control socket, filtered to the container.
+	data, err = st.Trace(context.Background(), "c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		Events []struct {
+			Kind string `json:"kind"`
+			CSeq uint64 `json:"cseq"`
+		} `json:"events"`
+	}
+	if err := json.Unmarshal(data, &trace); err != nil {
+		t.Fatal(err)
+	}
+	if len(trace.Events) == 0 || trace.Events[0].Kind != "register" || trace.Events[0].CSeq != 1 {
+		t.Fatalf("trace = %+v", trace.Events)
+	}
+
+	// Dump includes pool identity.
+	data, err = st.Dump(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dump struct {
+		Capacity int64 `json:"capacity"`
+	}
+	if err := json.Unmarshal(data, &dump); err != nil {
+		t.Fatal(err)
+	}
+	if dump.Capacity != int64(2*convgpu.GiB) {
+		t.Fatalf("dump capacity = %d", dump.Capacity)
+	}
+
+	// The HTTP surface serves the same registry.
+	srv := httptest.NewServer(st.MetricsHandler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), `convgpu_scheduler_events_total{algorithm="bestfit",kind="accept"}`) {
+		t.Fatalf("/metrics missing accept counter:\n%.2000s", body)
+	}
+	if !strings.Contains(string(body), "convgpu_ipc_rtt_seconds_count") {
+		t.Fatalf("/metrics missing RTT histogram:\n%.2000s", body)
+	}
+}
+
+func TestStackNotStarted(t *testing.T) {
+	st, err := convgpu.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if _, err := st.Run(context.Background(), convgpu.RunOptions{}); !errors.Is(err, convgpu.ErrNotStarted) {
+		t.Fatalf("Run before Start: %v", err)
+	}
+	if _, err := st.Stats(context.Background()); !errors.Is(err, convgpu.ErrNotStarted) {
+		t.Fatalf("Stats before Start: %v", err)
+	}
+	if st.ControlSocket() != "" {
+		t.Fatal("ControlSocket non-empty before Start")
+	}
+}
+
+func TestStackCloseIdempotentAndRestartRefused(t *testing.T) {
+	st := newStack(t)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Start(context.Background()); err == nil {
+		t.Fatal("Start after Close succeeded")
+	}
+}
+
+func TestOptionValidation(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opt  convgpu.Option
+	}{
+		{"empty basedir", convgpu.WithBaseDir("")},
+		{"zero capacity", convgpu.WithCapacity(0)},
+		{"empty algorithm", convgpu.WithAlgorithm("")},
+		{"negative lease", convgpu.WithLease(-time.Second)},
+		{"negative timeout", convgpu.WithCallTimeout(-1)},
+		{"nil obs", convgpu.WithObservability(nil)},
+	} {
+		if _, err := convgpu.New(tc.opt); err == nil {
+			t.Errorf("%s: New succeeded", tc.name)
+		}
+	}
+	if _, err := convgpu.New(convgpu.WithAlgorithm("nope")); err == nil {
+		t.Error("unknown algorithm: New succeeded")
+	}
+}
+
+// TestDeprecatedShimEquivalence runs the same workload through the old
+// NewSystem/Run surface and the new New/Start/Run surface and asserts
+// the scheduler behaved identically: same event sequence, same final
+// pool state.
+func TestDeprecatedShimEquivalence(t *testing.T) {
+	workload := func(run func(context.Context, convgpu.RunOptions) (*convgpu.Container, error)) {
+		runOne(t, run, "w1")
+		runOne(t, run, "w2")
+	}
+
+	sys, err := convgpu.NewSystem(convgpu.Config{
+		BaseDir:   t.TempDir(),
+		Capacity:  1 * convgpu.GiB,
+		Algorithm: convgpu.BestFit,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	workload(func(ctx context.Context, o convgpu.RunOptions) (*convgpu.Container, error) {
+		return sys.Run(o) // deprecated no-context entry point
+	})
+
+	st := newStack(t, convgpu.WithCapacity(1*convgpu.GiB), convgpu.WithAlgorithm(convgpu.BestFit))
+	workload(st.Run)
+
+	// Both stacks must have produced the same causal event sequence.
+	want := waitEvents(t, sys.Events, 12)
+	got := waitEvents(t, st.Events, len(want))
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("event sequences diverge:\nold: %v\nnew: %v", want, got)
+	}
+	if sys.PoolFree() != st.PoolFree() {
+		t.Fatalf("pool free: old %v, new %v", sys.PoolFree(), st.PoolFree())
+	}
+}
+
+func TestSimulateContextMatchesSimulate(t *testing.T) {
+	trace := convgpu.GenerateTrace(8, 5*time.Second, 42)
+	a, err := convgpu.Simulate(trace, convgpu.SimConfig{Algorithm: convgpu.BestFit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := convgpu.SimulateContext(context.Background(), trace, convgpu.SimConfig{Algorithm: convgpu.BestFit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("SimulateContext diverged from Simulate on the same trace")
+	}
+
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := convgpu.SimulateContext(cancelled, trace, convgpu.SimConfig{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled simulate: %v", err)
+	}
+}
+
+func TestSentinelErrors(t *testing.T) {
+	st := newStack(t, convgpu.WithCapacity(1*convgpu.GiB))
+
+	// Registration beyond capacity surfaces ErrOverCapacity across the
+	// daemon socket via the response's machine-readable code.
+	_, err := st.Run(context.Background(), convgpu.RunOptions{
+		Image:        convgpu.CUDAImage("big", ""),
+		NvidiaMemory: 8 * convgpu.GiB,
+		Program:      func(p *convgpu.Proc) error { return nil },
+	})
+	if !errors.Is(err, convgpu.ErrOverCapacity) {
+		t.Fatalf("over-capacity run: %v", err)
+	}
+
+	// An in-container allocation beyond the limit is rejected; the
+	// wrapper surfaces ErrRejected.
+	var mallocErr error
+	c, err := st.Run(context.Background(), convgpu.RunOptions{
+		Name:         "rej",
+		Image:        convgpu.CUDAImage("app", ""),
+		NvidiaMemory: 256 * convgpu.MiB,
+		Program: func(p *convgpu.Proc) error {
+			_, mallocErr = p.CUDA.Malloc(512 * convgpu.MiB)
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(mallocErr, convgpu.ErrRejected) {
+		t.Fatalf("over-limit malloc: %v", mallocErr)
+	}
+}

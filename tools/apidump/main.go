@@ -1,0 +1,163 @@
+// Command apidump prints the exported API of the root convgpu package
+// in a normalized, sorted, one-declaration-per-line form. `make
+// apicheck` diffs its output against the committed golden file
+// (api/convgpu.txt), so an accidental change to the public surface —
+// a removed method, a changed signature, a renamed option — fails the
+// build until the golden file is regenerated deliberately (`make
+// apigen`), making API breaks a reviewed decision instead of a
+// side effect.
+//
+// Only the standard library's go/parser and go/printer are used: no
+// module downloads, no type checking, just syntax.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+)
+
+func main() {
+	dir := "."
+	if len(os.Args) > 1 {
+		dir = os.Args[1]
+	}
+	lines, err := dump(dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "apidump: %v\n", err)
+		os.Exit(1)
+	}
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+}
+
+// dump parses every non-test .go file of the package in dir and returns
+// one sorted line per exported declaration.
+func dump(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		return nil, err
+	}
+	var lines []string
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				lines = append(lines, declLines(fset, decl)...)
+			}
+		}
+	}
+	sort.Strings(lines)
+	return lines, nil
+}
+
+// declLines renders one top-level declaration's exported parts.
+func declLines(fset *token.FileSet, decl ast.Decl) []string {
+	var out []string
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() {
+			return nil
+		}
+		recv := ""
+		if d.Recv != nil && len(d.Recv.List) > 0 {
+			t := exprString(fset, d.Recv.List[0].Type)
+			// Methods on unexported receivers are not reachable API.
+			if !ast.IsExported(strings.TrimPrefix(t, "*")) {
+				return nil
+			}
+			recv = "(" + t + ") "
+		}
+		out = append(out, fmt.Sprintf("func %s%s%s", recv, d.Name.Name, signatureString(fset, d.Type)))
+	case *ast.GenDecl:
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.ValueSpec:
+				kw := "var"
+				if d.Tok == token.CONST {
+					kw = "const"
+				}
+				for _, name := range s.Names {
+					if name.IsExported() {
+						out = append(out, fmt.Sprintf("%s %s", kw, name.Name))
+					}
+				}
+			case *ast.TypeSpec:
+				if !s.Name.IsExported() {
+					continue
+				}
+				out = append(out, typeLines(fset, s)...)
+			}
+		}
+	}
+	return out
+}
+
+// typeLines renders an exported type: its kind line plus one line per
+// exported struct field or interface method.
+func typeLines(fset *token.FileSet, s *ast.TypeSpec) []string {
+	assign := ""
+	if s.Assign != token.NoPos {
+		assign = " = " + exprString(fset, s.Type) // alias keeps its target
+	}
+	var out []string
+	switch t := s.Type.(type) {
+	case *ast.StructType:
+		out = append(out, fmt.Sprintf("type %s struct", s.Name.Name))
+		for _, f := range t.Fields.List {
+			typ := exprString(fset, f.Type)
+			if len(f.Names) == 0 { // embedded
+				if ast.IsExported(strings.TrimPrefix(typ, "*")) {
+					out = append(out, fmt.Sprintf("type %s struct, embeds %s", s.Name.Name, typ))
+				}
+				continue
+			}
+			for _, n := range f.Names {
+				if n.IsExported() {
+					out = append(out, fmt.Sprintf("type %s struct, field %s %s", s.Name.Name, n.Name, typ))
+				}
+			}
+		}
+	case *ast.InterfaceType:
+		out = append(out, fmt.Sprintf("type %s interface", s.Name.Name))
+		for _, m := range t.Methods.List {
+			for _, n := range m.Names {
+				if n.IsExported() {
+					if ft, ok := m.Type.(*ast.FuncType); ok {
+						out = append(out, fmt.Sprintf("type %s interface, method %s%s", s.Name.Name, n.Name, signatureString(fset, ft)))
+					}
+				}
+			}
+		}
+	default:
+		if assign != "" {
+			out = append(out, fmt.Sprintf("type %s%s", s.Name.Name, assign))
+		} else {
+			out = append(out, fmt.Sprintf("type %s %s", s.Name.Name, exprString(fset, s.Type)))
+		}
+	}
+	return out
+}
+
+// signatureString renders a FuncType as "(args) (results)".
+func signatureString(fset *token.FileSet, ft *ast.FuncType) string {
+	// Print the whole func type, then strip the leading "func".
+	full := exprString(fset, ft)
+	return strings.TrimPrefix(full, "func")
+}
+
+// exprString prints one AST node compactly on one line.
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	var b bytes.Buffer
+	printer.Fprint(&b, fset, e)
+	return strings.Join(strings.Fields(b.String()), " ")
+}
