@@ -38,14 +38,17 @@ race:
 	$(MAKE) chaos
 
 # chaos replays the full sweep of seeded fault schedules against the
-# daemon↔wrapper stack under the race detector: every connection drops,
+# daemon↔wrapper stack under the race detector — both the single-device
+# suite (TestChaos) and the 2-device suite (TestChaosMultiDevice, four
+# containers round-robin across two overcommitted pools with per-device
+# invariants): every connection drops,
 # delays, corrupts, truncates, and hard-closes frames on a deterministic
 # schedule while the scheduler's invariants are checked after every op.
 # A failing seed N replays with:
 #   go test -race -run 'TestChaos/seed=N$' ./internal/fault -chaos.seeds=120
 CHAOS_SEEDS ?= 120
 chaos:
-	$(GO) test -race -run TestChaos -count=1 -timeout 15m ./internal/fault -chaos.seeds=$(CHAOS_SEEDS)
+	$(GO) test -race -run TestChaos -count=1 -timeout 25m ./internal/fault -chaos.seeds=$(CHAOS_SEEDS)
 
 # bench runs the hot-path benchmark suite with allocation tracking and
 # saves the results. BENCH_hotpath.json holds the go-test JSON stream

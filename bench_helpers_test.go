@@ -40,7 +40,7 @@ func runMultiGPU(trace []workload.TraceEntry, n int) (sim.Result, error) {
 	if err != nil {
 		return sim.Result{}, err
 	}
-	return sim.RunWith(trace, multigpu.SimBackend{Scheduler: sched}, clk, sim.Config{})
+	return sim.RunWith(trace, sched, clk, sim.Config{})
 }
 
 // runCluster replays a trace over an n-node (1 GPU each) cluster with

@@ -7,6 +7,9 @@
 //	                              alloc/response message shapes
 //	BenchmarkHotPathCore*         scheduler admit/confirm/free with no
 //	                              transport (fast-path admit territory)
+//	BenchmarkHotPathRouted*       the same cycle through the multi-device
+//	                              routing plane (placement lookup + member
+//	                              forward) — must stay 0 allocs/op
 //	BenchmarkHotPathRoundTrip*    end-to-end over the daemon's real UNIX
 //	                              socket, zero device latency
 //
@@ -20,6 +23,7 @@ import (
 
 	"convgpu/internal/bytesize"
 	"convgpu/internal/core"
+	"convgpu/internal/multigpu"
 	"convgpu/internal/obs"
 	"convgpu/internal/protocol"
 )
@@ -157,6 +161,64 @@ func BenchmarkHotPathCoreAcceptParallel(b *testing.B) {
 		}
 	})
 }
+
+// --- device routing ---
+
+// newRoutedState builds a multi-device scheduler with one registered
+// container, observability bound as in the real daemon.
+func newRoutedState(b *testing.B, devices int) *multigpu.State {
+	b.Helper()
+	pol, err := multigpu.NewPolicy(multigpu.PolicyRoundRobin)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st, err := multigpu.New(multigpu.Config{
+		Devices:           devices,
+		CapacityPerDevice: 1 << 40,
+		Policy:            pol,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	obs.New(obs.Config{Algorithm: "fifo"}).BindCore(st)
+	if _, err := st.Register("c", 1<<39); err != nil {
+		b.Fatal(err)
+	}
+	return st
+}
+
+// benchRoutedAccept runs the steady-state accept cycle through the
+// routing plane: every operation resolves the container's placement and
+// forwards to the owning device's core.
+func benchRoutedAccept(b *testing.B, devices int) {
+	st := newRoutedState(b, devices)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := st.RequestAlloc("c", 1, 4096)
+		if err != nil || res.Decision != core.Accept {
+			b.Fatalf("%v %v", res, err)
+		}
+		addr := uint64(i + 1)
+		if err := st.ConfirmAlloc("c", 1, addr, 4096); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := st.Free("c", 1, addr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHotPathRoutedAccept1Device is the single-device fast path
+// served through the routing plane: the delta against
+// BenchmarkHotPathCoreAccept is the pure cost of device routing, and
+// the 0 allocs/op budget must hold unchanged.
+func BenchmarkHotPathRoutedAccept1Device(b *testing.B) { benchRoutedAccept(b, 1) }
+
+// BenchmarkHotPathRoutedAccept2Devices is the same cycle against a
+// 2-device scheduler — placement lookup across a populated map, still
+// 0 allocs/op.
+func BenchmarkHotPathRoutedAccept2Devices(b *testing.B) { benchRoutedAccept(b, 2) }
 
 // --- end to end ---
 

@@ -8,6 +8,10 @@
 //
 //	convgpu-scheduler -basedir /var/run/convgpu -capacity 5GiB -algorithm bestfit
 //
+// With -devices N (N > 1) the daemon serves N GPUs from one control
+// socket: -capacity is read per device and -placement picks the device
+// placement policy for new containers (least-loaded by default).
+//
 // The daemon prints the control socket path on startup and, with
 // -status, a periodic snapshot of per-container grants and usage. With
 // -http it also serves the observability endpoints: /metrics
@@ -30,6 +34,7 @@ import (
 	"convgpu/internal/bytesize"
 	"convgpu/internal/core"
 	"convgpu/internal/daemon"
+	"convgpu/internal/multigpu"
 	"convgpu/internal/obs"
 )
 
@@ -38,6 +43,8 @@ func main() {
 		baseDir   = flag.String("basedir", "", "directory for the control socket and per-container directories (required)")
 		capacity  = flag.String("capacity", "5GiB", "schedulable GPU memory")
 		algorithm = flag.String("algorithm", core.AlgFIFO, "redistribution algorithm: fifo|bestfit|recentuse|random")
+		devices   = flag.Int("devices", 1, "number of GPUs to serve; -capacity is per device when > 1")
+		placement = flag.String("placement", multigpu.PolicyLeastLoaded, "device placement policy: roundrobin|leastloaded|firstfit|bestfit (multi-device only)")
 		seed      = flag.Int64("seed", 1, "seed for the random algorithm")
 		status    = flag.Duration("status", 0, "print a scheduler snapshot at this interval (0 = off)")
 		rescue    = flag.Bool("fault-tolerant", false, "enable the rescue pass of the authors' prior fault-tolerance study")
@@ -55,22 +62,48 @@ func main() {
 	if err != nil {
 		log.Fatalf("convgpu-scheduler: -capacity: %v", err)
 	}
-	alg, err := core.NewAlgorithm(*algorithm, *seed)
-	if err != nil {
-		log.Fatalf("convgpu-scheduler: %v", err)
+	var st core.Scheduler
+	var algName string
+	if *devices > 1 {
+		pol, err := multigpu.NewPolicy(*placement)
+		if err != nil {
+			log.Fatalf("convgpu-scheduler: -placement: %v", err)
+		}
+		mg, err := multigpu.New(multigpu.Config{
+			Devices:           *devices,
+			CapacityPerDevice: cap,
+			Algorithm:         *algorithm,
+			AlgSeed:           *seed,
+			Policy:            pol,
+		})
+		if err != nil {
+			log.Fatalf("convgpu-scheduler: %v", err)
+		}
+		st, algName = mg, mg.AlgorithmName()
+	} else {
+		alg, err := core.NewAlgorithm(*algorithm, *seed)
+		if err != nil {
+			log.Fatalf("convgpu-scheduler: %v", err)
+		}
+		single, err := core.New(core.Config{Capacity: cap, Algorithm: alg, FaultTolerant: *rescue})
+		if err != nil {
+			log.Fatalf("convgpu-scheduler: %v", err)
+		}
+		st, algName = single, alg.Name()
 	}
-	st, err := core.New(core.Config{Capacity: cap, Algorithm: alg, FaultTolerant: *rescue})
-	if err != nil {
-		log.Fatalf("convgpu-scheduler: %v", err)
-	}
-	bundle := obs.New(obs.Config{Algorithm: alg.Name(), TraceCapacity: *traceCap})
+	bundle := obs.New(obs.Config{Algorithm: algName, TraceCapacity: *traceCap})
 	d, err := daemon.Start(daemon.Config{BaseDir: *baseDir, Core: st, Lease: *lease, Obs: bundle})
 	if err != nil {
 		log.Fatalf("convgpu-scheduler: %v", err)
 	}
 	defer d.Close()
-	log.Printf("GPU memory scheduler up: capacity=%v algorithm=%s control=%s",
-		cap, alg.Name(), d.ControlSocket())
+	if *devices > 1 {
+		log.Printf("GPU memory scheduler up: devices=%d capacity=%v/device algorithm=%s placement=%s control=%s",
+			*devices, cap, algName, *placement, d.ControlSocket())
+	} else {
+		log.Printf("GPU memory scheduler up: capacity=%v algorithm=%s control=%s",
+			cap, algName, d.ControlSocket())
+	}
 
 	if *httpAddr != "" {
 		ln, err := net.Listen("tcp", *httpAddr)
@@ -105,17 +138,34 @@ func main() {
 		case <-tick:
 			snap := st.Snapshot()
 			log.Printf("pool free: %v, containers: %d", st.PoolFree(), len(snap))
+			if *devices > 1 {
+				for _, dev := range st.Devices() {
+					log.Printf("  device %d: capacity=%v free=%v containers=%d",
+						dev.Index, dev.Capacity, dev.PoolFree, dev.Containers)
+				}
+			}
 			for _, c := range snap {
 				state := "running"
 				if c.Suspended {
 					state = fmt.Sprintf("suspended (%d pending)", c.Pending)
 				}
-				log.Printf("  %-20s limit=%-8v grant=%-8v used=%-8v %s",
-					c.ID, c.Limit, c.Grant, c.Used, state)
+				dev := ""
+				if *devices > 1 {
+					if idx, err := st.Placement(c.ID); err == nil {
+						dev = fmt.Sprintf(" device=%d", idx)
+					}
+				}
+				log.Printf("  %-20s limit=%-8v grant=%-8v used=%-8v %s%s",
+					c.ID, c.Limit, c.Grant, c.Used, state, dev)
 			}
-			for _, e := range st.EventsSince(lastEvent) {
-				log.Printf("  event %s", e)
-				lastEvent = e.Seq
+			// The event tail is only wired for the single-device core —
+			// EventsSince is a concrete *core.State affordance; a multi
+			// device backend reports the per-device summary above instead.
+			if single, ok := st.(*core.State); ok {
+				for _, e := range single.EventsSince(lastEvent) {
+					log.Printf("  event %s", e)
+					lastEvent = e.Seq
+				}
 			}
 		}
 	}

@@ -8,6 +8,11 @@
 //	convgpu-stats -socket /var/run/convgpu/convgpu.sock stats
 //	convgpu-stats -socket /var/run/convgpu/convgpu.sock trace [container]
 //	convgpu-stats -socket /var/run/convgpu/convgpu.sock dump
+//	convgpu-stats -socket /var/run/convgpu/convgpu.sock devices
+//
+// The devices query renders the dump's per-device breakdown as a table
+// (one row per GPU plus each container's device assignment) instead of
+// raw JSON.
 package main
 
 import (
@@ -18,6 +23,7 @@ import (
 	"os"
 	"time"
 
+	"convgpu/internal/bytesize"
 	"convgpu/internal/ipc"
 	"convgpu/internal/protocol"
 )
@@ -30,7 +36,7 @@ func main() {
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: convgpu-stats -socket PATH {stats | trace [container] | dump}\n")
+			"usage: convgpu-stats -socket PATH {stats | trace [container] | dump | devices}\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -41,6 +47,7 @@ func main() {
 
 	var typ protocol.Type
 	var container string
+	var renderDevices bool
 	switch flag.Arg(0) {
 	case "stats":
 		typ = protocol.TypeStats
@@ -49,6 +56,9 @@ func main() {
 		container = flag.Arg(1)
 	case "dump":
 		typ = protocol.TypeDump
+	case "devices":
+		typ = protocol.TypeDump
+		renderDevices = true
 	default:
 		fmt.Fprintf(os.Stderr, "convgpu-stats: unknown query %q\n", flag.Arg(0))
 		flag.Usage()
@@ -77,6 +87,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "convgpu-stats: %s: %s\n", typ, resp.Error)
 		os.Exit(1)
 	}
+	if renderDevices {
+		if err := printDevices([]byte(resp.Data)); err != nil {
+			fmt.Fprintf(os.Stderr, "convgpu-stats: devices: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	var pretty json.RawMessage = []byte(resp.Data)
 	out, err := json.MarshalIndent(pretty, "", "  ")
 	if err != nil {
@@ -85,4 +102,52 @@ func main() {
 		return
 	}
 	os.Stdout.Write(append(out, '\n'))
+}
+
+// devicesDump mirrors the daemon's dump payload fields the devices
+// table needs; unknown fields are ignored.
+type devicesDump struct {
+	Algorithm string `json:"algorithm"`
+	Devices   []struct {
+		Index      int   `json:"index"`
+		Capacity   int64 `json:"capacity"`
+		PoolFree   int64 `json:"pool_free"`
+		Containers int   `json:"containers"`
+	} `json:"devices"`
+	Containers []struct {
+		ID        string `json:"id"`
+		Device    int    `json:"device"`
+		Limit     int64  `json:"limit"`
+		Grant     int64  `json:"grant"`
+		Used      int64  `json:"used"`
+		Suspended bool   `json:"suspended"`
+	} `json:"containers"`
+}
+
+// printDevices renders the dump's per-device breakdown as a table.
+func printDevices(data []byte) error {
+	var d devicesDump
+	if err := json.Unmarshal(data, &d); err != nil {
+		return err
+	}
+	fmt.Printf("algorithm: %s, devices: %d\n", d.Algorithm, len(d.Devices))
+	fmt.Printf("%-8s %-12s %-12s %s\n", "DEVICE", "CAPACITY", "FREE", "CONTAINERS")
+	for _, dev := range d.Devices {
+		fmt.Printf("%-8d %-12v %-12v %d\n",
+			dev.Index, bytesize.Size(dev.Capacity), bytesize.Size(dev.PoolFree), dev.Containers)
+	}
+	if len(d.Containers) == 0 {
+		return nil
+	}
+	fmt.Printf("\n%-20s %-8s %-10s %-10s %-10s %s\n",
+		"CONTAINER", "DEVICE", "LIMIT", "GRANT", "USED", "STATE")
+	for _, c := range d.Containers {
+		state := "running"
+		if c.Suspended {
+			state = "suspended"
+		}
+		fmt.Printf("%-20s %-8d %-10v %-10v %-10v %s\n",
+			c.ID, c.Device, bytesize.Size(c.Limit), bytesize.Size(c.Grant), bytesize.Size(c.Used), state)
+	}
+	return nil
 }

@@ -271,6 +271,10 @@ type SchedulerInfo = core.ContainerInfo
 // SchedulerEvent is one entry of the scheduler's event log.
 type SchedulerEvent = core.EventRecord
 
+// DeviceInfo summarizes one device a scheduler serves: index, capacity,
+// free pool and placed-container count (Stack.Devices).
+type DeviceInfo = core.DeviceInfo
+
 // --- Discrete-event experiment surface (Figures 7/8, Tables IV/V) ---
 
 // SimConfig configures a simulated scheduling run.
@@ -339,7 +343,7 @@ func SimulateMultiGPU(trace []TraceEntry, devices int, policy, algorithm string)
 	if err != nil {
 		return SimResult{}, err
 	}
-	return sim.RunWith(trace, multigpu.SimBackend{Scheduler: sched}, clk, sim.Config{})
+	return sim.RunWith(trace, sched, clk, sim.Config{})
 }
 
 // MultiGPUPolicies lists the placement policies of the multi-GPU

@@ -18,7 +18,6 @@
 package cluster
 
 import (
-	"errors"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -30,8 +29,9 @@ import (
 	"convgpu/internal/multigpu"
 )
 
-// ErrUnknownContainer mirrors core.ErrUnknownContainer at cluster scope.
-var ErrUnknownContainer = errors.New("cluster: unknown container")
+// ErrUnknownContainer is core.ErrUnknownContainer: an operation for a
+// container no node serves.
+var ErrUnknownContainer = core.ErrUnknownContainer
 
 // NodeInfo summarizes one node for strategy decisions.
 type NodeInfo struct {
@@ -184,15 +184,22 @@ type Config struct {
 	ContextOverhead bytesize.Size
 }
 
-// Cluster routes containers to per-node ConVGPU schedulers.
+// Cluster routes containers to per-node ConVGPU schedulers. All
+// per-container forwarding and whole-cluster aggregation comes from the
+// shared core.Router (the same plane multigpu.State routes devices
+// with); the cluster layer itself only decides node placement. Cluster
+// implements core.Scheduler — Placement reports the GPU within the
+// owning node; NodePlacement adds which node that is.
 type Cluster struct {
-	nodes    []*multigpu.Scheduler
+	*core.Router
 	names    []string
 	strategy Strategy
 
-	mu        sync.Mutex
-	placement map[core.ContainerID]int
+	// regMu serializes placement decisions (see multigpu.State.Register).
+	regMu sync.Mutex
 }
+
+var _ core.Scheduler = (*Cluster)(nil)
 
 // New builds a cluster of identical nodes.
 func New(cfg Config) (*Cluster, error) {
@@ -209,7 +216,8 @@ func New(cfg Config) (*Cluster, error) {
 	if devPolicyName == "" {
 		devPolicyName = multigpu.PolicyLeastLoaded
 	}
-	c := &Cluster{strategy: cfg.Strategy, placement: make(map[core.ContainerID]int)}
+	members := make([]core.Scheduler, 0, cfg.Nodes)
+	names := make([]string, 0, cfg.Nodes)
 	for i := 0; i < cfg.Nodes; i++ {
 		pol, err := multigpu.NewPolicy(devPolicyName)
 		if err != nil {
@@ -227,24 +235,23 @@ func New(cfg Config) (*Cluster, error) {
 		if err != nil {
 			return nil, err
 		}
-		c.nodes = append(c.nodes, sched)
-		c.names = append(c.names, fmt.Sprintf("node-%d", i))
+		members = append(members, sched)
+		names = append(names, fmt.Sprintf("node-%d", i))
 	}
-	return c, nil
+	return &Cluster{
+		Router:   core.NewRouter(members, "node"),
+		names:    names,
+		strategy: cfg.Strategy,
+	}, nil
 }
 
 // Nodes reports per-node summaries.
 func (c *Cluster) Nodes() []NodeInfo {
-	c.mu.Lock()
-	perNode := make([]int, len(c.nodes))
-	for _, n := range c.placement {
-		perNode[n]++
-	}
-	c.mu.Unlock()
-	out := make([]NodeInfo, len(c.nodes))
-	for i, n := range c.nodes {
-		info := NodeInfo{Index: i, Name: c.names[i], Containers: perNode[i]}
-		for _, d := range n.Devices() {
+	out := make([]NodeInfo, c.NumMembers())
+	for i := range out {
+		info := NodeInfo{Index: i, Name: c.names[i]}
+		for _, d := range c.Member(i).Devices() {
+			info.Containers += d.Containers
 			info.TotalFree += d.PoolFree
 			if d.Capacity > info.MaxDeviceCapacity {
 				info.MaxDeviceCapacity = d.Capacity
@@ -264,124 +271,38 @@ func (c *Cluster) StrategyName() string { return c.strategy.Name() }
 // Register places the container on a node (strategy) and GPU (node
 // policy) and registers it with that GPU's scheduler.
 func (c *Cluster) Register(id core.ContainerID, limit bytesize.Size) (bytesize.Size, error) {
-	node := c.strategy.Place(limit, c.Nodes())
-	if node < 0 || node >= len(c.nodes) {
-		return 0, fmt.Errorf("cluster: no node can hold a %v container", limit)
+	c.regMu.Lock()
+	defer c.regMu.Unlock()
+	if n, err := c.PlacementIndex(id); err == nil {
+		return c.Member(n).Register(id, limit)
 	}
-	_, granted, err := c.nodes[node].Register(id, limit)
+	node := c.strategy.Place(limit, c.Nodes())
+	if node < 0 || node >= c.NumMembers() {
+		return 0, fmt.Errorf("%w: no node can hold a %v container", core.ErrLimitExceedsCapacity, limit)
+	}
+	granted, err := c.Member(node).Register(id, limit)
 	if err != nil {
 		return 0, err
 	}
-	c.mu.Lock()
-	c.placement[id] = node
-	c.mu.Unlock()
+	c.SetPlacement(id, node)
 	return granted, nil
 }
 
-// Placement reports the node and GPU a container lives on.
-func (c *Cluster) Placement(id core.ContainerID) (node, device int, err error) {
-	sched, node, err := c.nodeOf(id)
+// EnsureRegistered routes to the recorded node when the container is
+// known and places it afresh otherwise.
+func (c *Cluster) EnsureRegistered(id core.ContainerID, limit bytesize.Size) (bytesize.Size, error) {
+	if n, err := c.PlacementIndex(id); err == nil {
+		return c.Member(n).EnsureRegistered(id, limit)
+	}
+	return c.Register(id, limit)
+}
+
+// NodePlacement reports the node and GPU a container lives on.
+func (c *Cluster) NodePlacement(id core.ContainerID) (node, device int, err error) {
+	node, err = c.PlacementIndex(id)
 	if err != nil {
 		return -1, -1, err
 	}
-	device, err = sched.Placement(id)
+	device, err = c.Member(node).Placement(id)
 	return node, device, err
-}
-
-func (c *Cluster) nodeOf(id core.ContainerID) (*multigpu.Scheduler, int, error) {
-	c.mu.Lock()
-	n, ok := c.placement[id]
-	c.mu.Unlock()
-	if !ok {
-		return nil, -1, fmt.Errorf("%w: %s", ErrUnknownContainer, id)
-	}
-	return c.nodes[n], n, nil
-}
-
-// RequestAlloc forwards to the container's node.
-func (c *Cluster) RequestAlloc(id core.ContainerID, pid int, size bytesize.Size) (core.AllocResult, error) {
-	sched, _, err := c.nodeOf(id)
-	if err != nil {
-		return core.AllocResult{}, err
-	}
-	return sched.RequestAlloc(id, pid, size)
-}
-
-// ConfirmAlloc forwards to the container's node.
-func (c *Cluster) ConfirmAlloc(id core.ContainerID, pid int, addr uint64, size bytesize.Size) error {
-	sched, _, err := c.nodeOf(id)
-	if err != nil {
-		return err
-	}
-	return sched.ConfirmAlloc(id, pid, addr, size)
-}
-
-// Free forwards to the container's node.
-func (c *Cluster) Free(id core.ContainerID, pid int, addr uint64) (bytesize.Size, core.Update, error) {
-	sched, _, err := c.nodeOf(id)
-	if err != nil {
-		return 0, core.Update{}, err
-	}
-	return sched.Free(id, pid, addr)
-}
-
-// ProcessExit forwards to the container's node.
-func (c *Cluster) ProcessExit(id core.ContainerID, pid int) (bytesize.Size, core.Update, error) {
-	sched, _, err := c.nodeOf(id)
-	if err != nil {
-		return 0, core.Update{}, err
-	}
-	return sched.ProcessExit(id, pid)
-}
-
-// Close forwards the close signal and forgets the placement.
-func (c *Cluster) Close(id core.ContainerID) (bytesize.Size, core.Update, error) {
-	sched, _, err := c.nodeOf(id)
-	if err != nil {
-		return 0, core.Update{}, err
-	}
-	released, u, err := sched.Close(id)
-	if err == nil {
-		c.mu.Lock()
-		delete(c.placement, id)
-		c.mu.Unlock()
-	}
-	return released, u, err
-}
-
-// MemInfo forwards to the container's node.
-func (c *Cluster) MemInfo(id core.ContainerID) (free, total bytesize.Size, err error) {
-	sched, _, err := c.nodeOf(id)
-	if err != nil {
-		return 0, 0, err
-	}
-	return sched.MemInfo(id)
-}
-
-// Info returns the scheduler snapshot row for a container.
-func (c *Cluster) Info(id core.ContainerID) (core.ContainerInfo, error) {
-	sched, _, err := c.nodeOf(id)
-	if err != nil {
-		return core.ContainerInfo{}, err
-	}
-	return sched.Info(id)
-}
-
-// TotalUsed sums usage across every node.
-func (c *Cluster) TotalUsed() bytesize.Size {
-	var total bytesize.Size
-	for _, n := range c.nodes {
-		total += n.TotalUsed()
-	}
-	return total
-}
-
-// CheckInvariants validates every node.
-func (c *Cluster) CheckInvariants() error {
-	for i, n := range c.nodes {
-		if err := n.CheckInvariants(); err != nil {
-			return fmt.Errorf("node %d: %w", i, err)
-		}
-	}
-	return nil
 }

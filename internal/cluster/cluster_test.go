@@ -140,7 +140,7 @@ func TestClusterRegisterSpreads(t *testing.T) {
 			t.Fatalf("node %d has %d containers, want 1 each: %+v", n.Index, n.Containers, c.Nodes())
 		}
 	}
-	node, dev, err := c.Placement("a")
+	node, dev, err := c.NodePlacement("a")
 	if err != nil || node < 0 || dev != 0 {
 		t.Fatalf("placement = (%d,%d,%v)", node, dev, err)
 	}
@@ -173,7 +173,7 @@ func TestClusterForwarding(t *testing.T) {
 	if _, _, err := c.Close("a"); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := c.Placement("a"); err == nil {
+	if _, _, err := c.NodePlacement("a"); err == nil {
 		t.Fatal("placement survives close")
 	}
 	if _, err := c.RequestAlloc("ghost", 1, 1); err == nil {

@@ -131,6 +131,11 @@ type Update struct {
 type Config struct {
 	// Capacity is the schedulable GPU memory.
 	Capacity bytesize.Size
+	// DeviceIndex identifies the device this state schedules, stamped
+	// into every event record and reported by Devices/Placement. A
+	// multi-device scheduler builds one State per device with ascending
+	// indices; standalone states leave it 0.
+	DeviceIndex int
 	// ContextOverhead is charged for the first allocation of each process
 	// (default DefaultContextOverhead). It counts against the container's
 	// limit, so limits must include per-process headroom.

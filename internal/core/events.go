@@ -79,6 +79,9 @@ type EventRecord struct {
 	PID int
 	// Amount is the memory quantity the event moved (see EventKind).
 	Amount bytesize.Size
+	// Device is the device the emitting state schedules
+	// (Config.DeviceIndex; 0 for a standalone single-device state).
+	Device int
 }
 
 // String renders the record for logs.
@@ -159,6 +162,7 @@ func (s *State) logEvent(kind EventKind, id ContainerID, pid int, amount bytesiz
 		Container: id,
 		PID:       pid,
 		Amount:    amount,
+		Device:    s.cfg.DeviceIndex,
 	})
 }
 

@@ -1,0 +1,316 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"convgpu/internal/bytesize"
+)
+
+// Router fans a Scheduler's per-container operations out to the member
+// scheduler that owns each container's placement, and aggregates the
+// whole-scheduler views (snapshots, events, pools, invariants) across
+// all members. multigpu.State embeds it with per-device *State members;
+// cluster.Cluster embeds it with per-node multigpu.State members — the
+// placement decision itself (Register) stays with the embedding type,
+// which records the outcome with SetPlacement.
+//
+// Router does not implement Register or EnsureRegistered: admitting a
+// container is a placement decision, so the embedding type supplies
+// both (EnsureRegistered typically routes when the placement is known
+// and falls back to Register when it is not).
+type Router struct {
+	members []Scheduler
+	// memberNoun names a member in aggregated errors: "device" for the
+	// multi-GPU scheduler, "node" for the cluster.
+	memberNoun string
+
+	mu        sync.RWMutex
+	placement map[ContainerID]int
+}
+
+// NewRouter builds a router over members. memberNoun names a member in
+// invariant-violation messages ("device", "node").
+func NewRouter(members []Scheduler, memberNoun string) *Router {
+	return &Router{
+		members:    members,
+		memberNoun: memberNoun,
+		placement:  make(map[ContainerID]int),
+	}
+}
+
+// NumMembers returns how many member schedulers the router fans out to.
+func (r *Router) NumMembers() int { return len(r.members) }
+
+// Member returns the i-th member scheduler.
+func (r *Router) Member(i int) Scheduler { return r.members[i] }
+
+// SetPlacement records that id's operations route to member m — called
+// by the embedding type after a successful Register on that member.
+func (r *Router) SetPlacement(id ContainerID, m int) {
+	r.mu.Lock()
+	r.placement[id] = m
+	r.mu.Unlock()
+}
+
+// PlacementIndex reports which member owns id.
+func (r *Router) PlacementIndex(id ContainerID) (int, error) {
+	r.mu.RLock()
+	m, ok := r.placement[id]
+	r.mu.RUnlock()
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrUnknownContainer, id)
+	}
+	return m, nil
+}
+
+// memberFor resolves id to its owning member.
+func (r *Router) memberFor(id ContainerID) (Scheduler, error) {
+	m, err := r.PlacementIndex(id)
+	if err != nil {
+		return nil, err
+	}
+	return r.members[m], nil
+}
+
+// --- routed per-container operations ---
+
+// RequestAlloc routes to the container's member.
+func (r *Router) RequestAlloc(id ContainerID, pid int, size bytesize.Size) (AllocResult, error) {
+	m, err := r.memberFor(id)
+	if err != nil {
+		return AllocResult{}, err
+	}
+	return m.RequestAlloc(id, pid, size)
+}
+
+// ConfirmAlloc routes to the container's member.
+func (r *Router) ConfirmAlloc(id ContainerID, pid int, addr uint64, size bytesize.Size) error {
+	m, err := r.memberFor(id)
+	if err != nil {
+		return err
+	}
+	return m.ConfirmAlloc(id, pid, addr, size)
+}
+
+// AbortAlloc routes to the container's member.
+func (r *Router) AbortAlloc(id ContainerID, pid int, size bytesize.Size) (Update, error) {
+	m, err := r.memberFor(id)
+	if err != nil {
+		return Update{}, err
+	}
+	return m.AbortAlloc(id, pid, size)
+}
+
+// Free routes to the container's member.
+func (r *Router) Free(id ContainerID, pid int, addr uint64) (bytesize.Size, Update, error) {
+	m, err := r.memberFor(id)
+	if err != nil {
+		return 0, Update{}, err
+	}
+	return m.Free(id, pid, addr)
+}
+
+// ProcessExit routes to the container's member.
+func (r *Router) ProcessExit(id ContainerID, pid int) (bytesize.Size, Update, error) {
+	m, err := r.memberFor(id)
+	if err != nil {
+		return 0, Update{}, err
+	}
+	return m.ProcessExit(id, pid)
+}
+
+// Close routes to the container's member and forgets the placement, so
+// a re-registered ID is placed afresh.
+func (r *Router) Close(id ContainerID) (bytesize.Size, Update, error) {
+	m, err := r.memberFor(id)
+	if err != nil {
+		return 0, Update{}, err
+	}
+	returned, u, err := m.Close(id)
+	if err == nil {
+		r.mu.Lock()
+		delete(r.placement, id)
+		r.mu.Unlock()
+	}
+	return returned, u, err
+}
+
+// MemInfo routes to the container's member: free/total describe the
+// container's own device, which is what the wrapper's cudaMemGetInfo
+// must report.
+func (r *Router) MemInfo(id ContainerID) (free, total bytesize.Size, err error) {
+	m, err := r.memberFor(id)
+	if err != nil {
+		return 0, 0, err
+	}
+	return m.MemInfo(id)
+}
+
+// Restore routes a recovery replay to the container's member.
+func (r *Router) Restore(id ContainerID, pid int, addr uint64, size bytesize.Size) error {
+	m, err := r.memberFor(id)
+	if err != nil {
+		return err
+	}
+	return m.Restore(id, pid, addr, size)
+}
+
+// DropPending routes parked-ticket cleanup to the container's member.
+func (r *Router) DropPending(id ContainerID, tickets []Ticket) (Update, error) {
+	m, err := r.memberFor(id)
+	if err != nil {
+		return Update{}, err
+	}
+	return m.DropPending(id, tickets)
+}
+
+// Info routes to the container's member.
+func (r *Router) Info(id ContainerID) (ContainerInfo, error) {
+	m, err := r.memberFor(id)
+	if err != nil {
+		return ContainerInfo{}, err
+	}
+	return m.Info(id)
+}
+
+// --- aggregated whole-scheduler views ---
+
+// Snapshot merges every member's snapshot, ordered by creation time
+// (ties broken by ID) so the combined view is deterministic.
+func (r *Router) Snapshot() []ContainerInfo {
+	var out []ContainerInfo
+	for _, m := range r.members {
+		out = append(out, m.Snapshot()...)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if !out[i].CreatedAt.Equal(out[j].CreatedAt) {
+			return out[i].CreatedAt.Before(out[j].CreatedAt)
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Events merges every member's retained events, ordered by timestamp
+// (ties broken by per-member Seq). Seq values are per member and may
+// repeat across devices; EventRecord.Device disambiguates.
+func (r *Router) Events() []EventRecord {
+	var out []EventRecord
+	for _, m := range r.members {
+		out = append(out, m.Events()...)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if !out[i].At.Equal(out[j].At) {
+			return out[i].At.Before(out[j].At)
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out
+}
+
+// SetObserver installs fn on every member; records from different
+// members interleave in timestamp order only as precisely as the
+// members' own locks allow.
+func (r *Router) SetObserver(fn func(EventRecord)) {
+	for _, m := range r.members {
+		m.SetObserver(fn)
+	}
+}
+
+// PausedContainers sums the members' suspended-container counts.
+func (r *Router) PausedContainers() int {
+	var n int
+	for _, m := range r.members {
+		n += m.PausedContainers()
+	}
+	return n
+}
+
+// AlgorithmName returns the members' (shared) redistribution algorithm.
+func (r *Router) AlgorithmName() string {
+	if len(r.members) == 0 {
+		return ""
+	}
+	return r.members[0].AlgorithmName()
+}
+
+// Capacity sums the members' capacities.
+func (r *Router) Capacity() bytesize.Size {
+	var total bytesize.Size
+	for _, m := range r.members {
+		total += m.Capacity()
+	}
+	return total
+}
+
+// PoolFree sums the members' unallocated pools.
+func (r *Router) PoolFree() bytesize.Size {
+	var total bytesize.Size
+	for _, m := range r.members {
+		total += m.PoolFree()
+	}
+	return total
+}
+
+// TotalUsed sums the members' tracked usage.
+func (r *Router) TotalUsed() bytesize.Size {
+	var total bytesize.Size
+	for _, m := range r.members {
+		total += m.TotalUsed()
+	}
+	return total
+}
+
+// CheckInvariants checks every member, attributing a violation to the
+// member that broke it.
+func (r *Router) CheckInvariants() error {
+	for i, m := range r.members {
+		if err := m.CheckInvariants(); err != nil {
+			return fmt.Errorf("%s %d: %w", r.memberNoun, i, err)
+		}
+	}
+	return nil
+}
+
+// Devices concatenates the members' device views. For the multi-GPU
+// scheduler the indices are globally unique (member i serves device i);
+// a cluster repeats indices across nodes and disambiguates with
+// NodePlacement.
+func (r *Router) Devices() []DeviceInfo {
+	out := make([]DeviceInfo, 0, len(r.members))
+	for _, m := range r.members {
+		out = append(out, m.Devices()...)
+	}
+	return out
+}
+
+// Placement reports the device serving id, per the owning member.
+func (r *Router) Placement(id ContainerID) (int, error) {
+	m, err := r.memberFor(id)
+	if err != nil {
+		return 0, err
+	}
+	return m.Placement(id)
+}
+
+// RestorePlacement pins a recovering container onto the member that
+// serves the recorded device, before EnsureRegistered re-admits it. A
+// container with a live placement is re-pinned on its current member
+// (which validates the device); otherwise the first member that accepts
+// the device claims the container.
+func (r *Router) RestorePlacement(id ContainerID, device int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.placement[id]; ok {
+		return r.members[m].RestorePlacement(id, device)
+	}
+	for i, m := range r.members {
+		if err := m.RestorePlacement(id, device); err == nil {
+			r.placement[id] = i
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: %d (%d %ss served)", ErrUnknownDevice, device, len(r.members), r.memberNoun)
+}

@@ -48,8 +48,10 @@ type Config struct {
 	// BaseDir is where the control socket and per-container directories
 	// are created.
 	BaseDir string
-	// Core is the scheduler state. Required.
-	Core *core.State
+	// Core is the scheduling backend. Required. A single *core.State
+	// serves one device; a multigpu.State serves several behind the same
+	// interface — the daemon routes per-container traffic identically.
+	Core core.Scheduler
 	// Lease is how long a container's session may stay silent before the
 	// daemon reaps it as dead — a container that was SIGKILLed never
 	// sends a close signal, and without a lease its grant would be
@@ -84,20 +86,32 @@ type Daemon struct {
 	reapDone chan struct{}
 
 	mu      sync.Mutex
-	parked  map[core.Ticket]parkedResponder
+	parked  map[parkedKey]parkedResponder
 	servers map[core.ContainerID]*ipc.Server
 	dirs    map[core.ContainerID]string
 	closed  bool
 }
 
+// parkedKey identifies a parked response. Tickets are only unique per
+// core.State — a multi-device backend runs one state per device, so two
+// containers on different devices can hold the same ticket number — and
+// the container ID disambiguates.
+type parkedKey struct {
+	id core.ContainerID
+	t  core.Ticket
+}
+
 // parkedResponder is a withheld response plus the connection it will
 // leave on, kept so dispatch can batch the responses of one update into
 // a single socket write per connection. The park time feeds the
-// suspend-wait histogram when the response is finally released.
+// suspend-wait histogram when the response is finally released; the
+// device (resolved once at park time, while the container is certainly
+// still placed) labels its per-device series.
 type parkedResponder struct {
 	respond func(*protocol.Message)
 	conn    *ipc.ServerConn
 	at      time.Time
+	device  int
 }
 
 // Start creates the base directory, launches the control socket and
@@ -131,7 +145,7 @@ func Start(cfg Config) (*Daemon, error) {
 		cfg:      cfg,
 		clk:      cfg.Clock,
 		obs:      cfg.Obs,
-		parked:   make(map[core.Ticket]parkedResponder),
+		parked:   make(map[parkedKey]parkedResponder),
 		servers:  make(map[core.ContainerID]*ipc.Server),
 		dirs:     make(map[core.ContainerID]string),
 		reapStop: make(chan struct{}),
@@ -162,8 +176,8 @@ func Start(cfg Config) (*Daemon, error) {
 // the plugin connect to.
 func (d *Daemon) ControlSocket() string { return d.control.Addr() }
 
-// Core exposes the scheduler state (read-mostly: snapshots, metrics).
-func (d *Daemon) Core() *core.State { return d.cfg.Core }
+// Core exposes the scheduling backend (read-mostly: snapshots, metrics).
+func (d *Daemon) Core() core.Scheduler { return d.cfg.Core }
 
 // Obs exposes the daemon's observability bundle (always non-nil).
 func (d *Daemon) Obs() *obs.Observability { return d.obs }
@@ -182,7 +196,7 @@ func (d *Daemon) Close() error {
 		servers = append(servers, s)
 	}
 	parked := d.parked
-	d.parked = make(map[core.Ticket]parkedResponder)
+	d.parked = make(map[parkedKey]parkedResponder)
 	d.mu.Unlock()
 
 	if d.cfg.Lease > 0 {
@@ -192,7 +206,7 @@ func (d *Daemon) Close() error {
 
 	now := d.clk.Now()
 	for _, p := range parked {
-		d.obs.SuspendWait.Observe(now.Sub(p.at))
+		d.obs.ObserveSuspendWait(p.device, now.Sub(p.at))
 		p.respond(&protocol.Message{OK: false, Error: "scheduler shutting down", Code: protocol.CodeUnavailable})
 	}
 	err := d.control.Close()
@@ -224,6 +238,11 @@ func (d *Daemon) register(id core.ContainerID, limit int64) (*protocol.Message, 
 	if err != nil {
 		return nil, err
 	}
+	device, err := d.cfg.Core.Placement(id)
+	if err != nil {
+		d.cfg.Core.Close(id)
+		return nil, err
+	}
 	dir := d.containerDir(id)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		d.cfg.Core.Close(id)
@@ -237,7 +256,7 @@ func (d *Daemon) register(id core.ContainerID, limit int64) (*protocol.Message, 
 		d.cfg.Core.Close(id)
 		return nil, fmt.Errorf("daemon: write wrapper module: %w", err)
 	}
-	if err := writeSessionFile(dir, id, bytesize.Size(limit)); err != nil {
+	if err := writeSessionFile(dir, id, bytesize.Size(limit), device); err != nil {
 		d.cfg.Core.Close(id)
 		return nil, err
 	}
@@ -258,7 +277,7 @@ func (d *Daemon) register(id core.ContainerID, limit int64) (*protocol.Message, 
 	d.mu.Unlock()
 	d.touch(id)
 
-	resp := &protocol.Message{OK: true, Granted: int64(granted), SocketDir: dir}
+	resp := &protocol.Message{OK: true, Granted: int64(granted), SocketDir: dir, Device: device}
 	return resp, nil
 }
 
@@ -288,15 +307,16 @@ func (d *Daemon) closeContainer(id core.ContainerID) (*protocol.Message, error) 
 	return &protocol.Message{OK: true, Free: int64(released)}, nil
 }
 
-// park stores a suspended request's responder under its ticket.
-func (d *Daemon) park(t core.Ticket, conn *ipc.ServerConn, respond func(*protocol.Message)) {
+// park stores a suspended request's responder under its container+ticket.
+func (d *Daemon) park(k parkedKey, conn *ipc.ServerConn, respond func(*protocol.Message)) {
 	d.mu.Lock()
 	if d.closed {
 		d.mu.Unlock()
 		respond(&protocol.Message{OK: false, Error: "scheduler shutting down"})
 		return
 	}
-	d.parked[t] = parkedResponder{respond: respond, conn: conn, at: d.clk.Now()}
+	device, _ := d.cfg.Core.Placement(k.id)
+	d.parked[k] = parkedResponder{respond: respond, conn: conn, at: d.clk.Now(), device: device}
 	d.mu.Unlock()
 }
 
@@ -317,9 +337,10 @@ func (d *Daemon) dispatch(u core.Update) {
 	}
 	byConn := make(map[*ipc.ServerConn][]rel)
 	for _, a := range u.Admitted {
-		if p, ok := d.parked[a.Ticket]; ok {
-			delete(d.parked, a.Ticket)
-			d.obs.SuspendWait.Observe(now.Sub(p.at))
+		k := parkedKey{a.Container, a.Ticket}
+		if p, ok := d.parked[k]; ok {
+			delete(d.parked, k)
+			d.obs.ObserveSuspendWait(p.device, now.Sub(p.at))
 			m := protocol.AcquireMessage()
 			m.OK = true
 			m.Decision = protocol.DecisionAccept
@@ -327,9 +348,10 @@ func (d *Daemon) dispatch(u core.Update) {
 		}
 	}
 	for _, c := range u.Cancelled {
-		if p, ok := d.parked[c.Ticket]; ok {
-			delete(d.parked, c.Ticket)
-			d.obs.SuspendWait.Observe(now.Sub(p.at))
+		k := parkedKey{c.Container, c.Ticket}
+		if p, ok := d.parked[k]; ok {
+			delete(d.parked, k)
+			d.obs.ObserveSuspendWait(p.device, now.Sub(p.at))
 			m := protocol.AcquireMessage()
 			m.OK = false
 			m.Error = "container closed"
@@ -452,7 +474,7 @@ func (h containerHandler) handle(conn *ipc.ServerConn, msg *protocol.Message, re
 			respond(m)
 		case core.Suspend:
 			// The paper's pause: withhold the response until granted.
-			h.d.park(res.Ticket, conn, respond)
+			h.d.park(parkedKey{h.id, res.Ticket}, conn, respond)
 		}
 	case protocol.TypeConfirm:
 		if err := c.ConfirmAlloc(h.id, msg.PID, msg.Addr, msg.SizeBytes()); err != nil {
@@ -508,7 +530,11 @@ func (h containerHandler) handle(conn *ipc.ServerConn, msg *protocol.Message, re
 			respond(codedError(msg, err))
 			return
 		}
-		respond(ok())
+		m := ok()
+		if device, err := c.Placement(h.id); err == nil {
+			m.Device = device
+		}
+		respond(m)
 	case protocol.TypeRestore:
 		if err := c.Restore(h.id, msg.PID, msg.Addr, msg.SizeBytes()); err != nil {
 			respond(codedError(msg, err))
@@ -541,11 +567,11 @@ func (d *Daemon) releaseConn(id core.ContainerID, conn *ipc.ServerConn) {
 	d.mu.Lock()
 	var tickets []core.Ticket
 	var responders []func(*protocol.Message)
-	for t, p := range d.parked {
-		if p.conn == conn {
-			delete(d.parked, t)
-			d.obs.SuspendWait.Observe(now.Sub(p.at))
-			tickets = append(tickets, t)
+	for k, p := range d.parked {
+		if k.id == id && p.conn == conn {
+			delete(d.parked, k)
+			d.obs.ObserveSuspendWait(p.device, now.Sub(p.at))
+			tickets = append(tickets, k.t)
 			responders = append(responders, p.respond)
 		}
 	}

@@ -55,14 +55,25 @@ type dumpPayload struct {
 	Algorithm  string            `json:"algorithm"`
 	Capacity   int64             `json:"capacity"`
 	PoolFree   int64             `json:"pool_free"`
+	Devices    []deviceDump      `json:"devices"`
 	Containers []containerDump   `json:"containers"`
 	Metrics    []obs.MetricPoint `json:"metrics"`
 	Trace      json.RawMessage   `json:"trace"`
 }
 
+// deviceDump is one device's pool in a dump. A single-device daemon
+// reports exactly one entry with index 0.
+type deviceDump struct {
+	Index      int   `json:"index"`
+	Capacity   int64 `json:"capacity"`
+	PoolFree   int64 `json:"pool_free"`
+	Containers int   `json:"containers"`
+}
+
 // containerDump is one container's state in a dump.
 type containerDump struct {
 	ID             string `json:"id"`
+	Device         int    `json:"device"`
 	Limit          int64  `json:"limit"`
 	Grant          int64  `json:"grant"`
 	Used           int64  `json:"used"`
@@ -84,9 +95,19 @@ func (d *Daemon) dumpJSON(traceLimit int) ([]byte, error) {
 		Metrics:   d.obs.Registry().Snapshot(),
 		Trace:     trace,
 	}
+	for _, dev := range st.Devices() {
+		p.Devices = append(p.Devices, deviceDump{
+			Index:      dev.Index,
+			Capacity:   int64(dev.Capacity),
+			PoolFree:   int64(dev.PoolFree),
+			Containers: dev.Containers,
+		})
+	}
 	for _, info := range st.Snapshot() {
+		device, _ := st.Placement(info.ID)
 		p.Containers = append(p.Containers, containerDump{
 			ID:             string(info.ID),
+			Device:         device,
 			Limit:          int64(info.Limit),
 			Grant:          int64(info.Grant),
 			Used:           int64(info.Used),

@@ -25,15 +25,20 @@ import (
 const sessionFileName = "session.json"
 
 // sessionRecord is what survives a daemon restart — exactly the inputs
-// the control-socket registration took. Everything else (grants, usage)
-// is rebuilt by the core (EnsureRegistered) and the wrappers' replay.
+// the control-socket registration took, plus the device the container
+// was placed on. Everything else (grants, usage) is rebuilt by the core
+// (EnsureRegistered) and the wrappers' replay; the device must be
+// persisted because a fresh placement policy would otherwise be free to
+// move the container, while its CUDA context is pinned to the original
+// device.
 type sessionRecord struct {
 	Container string `json:"container"`
 	Limit     int64  `json:"limit"`
+	Device    int    `json:"device,omitempty"`
 }
 
-func writeSessionFile(dir string, id core.ContainerID, limit bytesize.Size) error {
-	data, err := json.Marshal(sessionRecord{Container: string(id), Limit: int64(limit)})
+func writeSessionFile(dir string, id core.ContainerID, limit bytesize.Size, device int) error {
+	data, err := json.Marshal(sessionRecord{Container: string(id), Limit: int64(limit), Device: device})
 	if err != nil {
 		return fmt.Errorf("daemon: encode session record: %w", err)
 	}
@@ -94,6 +99,14 @@ func (d *Daemon) recoverSessions() error {
 			continue
 		}
 		id := core.ContainerID(rec.Container)
+		// Pin the recorded device before re-registering: the container's
+		// CUDA context lives on that device, so a multi-device backend
+		// must not place it afresh. A device the backend no longer serves
+		// (restarted with fewer GPUs) invalidates the session.
+		if err := d.cfg.Core.RestorePlacement(id, rec.Device); err != nil {
+			os.Remove(filepath.Join(dir, sessionFileName))
+			continue
+		}
 		if _, err := d.cfg.Core.EnsureRegistered(id, bytesize.Size(rec.Limit)); err != nil {
 			os.Remove(filepath.Join(dir, sessionFileName))
 			continue

@@ -59,7 +59,7 @@ func MultiGPU(opt Options) (*Report, error) {
 				if err != nil {
 					return nil, err
 				}
-				res, err := sim.RunWith(trace, multigpu.SimBackend{Scheduler: sched}, clk, sim.Config{})
+				res, err := sim.RunWith(trace, sched, clk, sim.Config{})
 				if err != nil {
 					return nil, err
 				}

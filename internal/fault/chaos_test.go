@@ -211,7 +211,7 @@ func chaosModule(ctx context.Context, plan *fault.Plan, sock string, dev *gpu.De
 // frees of live pointers, and meminfo queries. Transport-induced call
 // failures are tolerated (the wrapper fails closed); what must never
 // happen is a core invariant breaking, checked after every op.
-func chaosOpsLoop(ctx context.Context, st *core.State, mod *wrapper.Module, opSeed int64) error {
+func chaosOpsLoop(ctx context.Context, st core.Scheduler, mod *wrapper.Module, opSeed int64) error {
 	rng := rand.New(rand.NewSource(opSeed))
 	var ptrs []cuda.DevPtr
 	for i := 0; i < chaosOps && ctx.Err() == nil; i++ {

@@ -19,7 +19,6 @@
 package multigpu
 
 import (
-	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -29,20 +28,12 @@ import (
 	"convgpu/internal/core"
 )
 
-// ErrUnknownContainer mirrors core.ErrUnknownContainer at cluster scope.
-var ErrUnknownContainer = errors.New("multigpu: unknown container")
+// ErrUnknownContainer is core.ErrUnknownContainer: an operation for a
+// container no device serves.
+var ErrUnknownContainer = core.ErrUnknownContainer
 
 // DeviceInfo summarizes one device for placement decisions.
-type DeviceInfo struct {
-	// Index is the device ordinal.
-	Index int
-	// Capacity is the device's schedulable memory.
-	Capacity bytesize.Size
-	// PoolFree is the memory not assigned to any container.
-	PoolFree bytesize.Size
-	// Containers is the number of containers placed on the device.
-	Containers int
-}
+type DeviceInfo = core.DeviceInfo
 
 // Policy selects a device for a new container. Place returns a device
 // index, or -1 to refuse (no device can ever hold the limit).
@@ -187,17 +178,25 @@ type Config struct {
 	PersistentGrants bool
 }
 
-// Scheduler manages one core.State per GPU plus the placement map.
-type Scheduler struct {
-	states []*core.State
+// State is the multi-GPU scheduler: one core.State per device (state i
+// is built with DeviceIndex i) behind the shared routing plane, plus
+// the placement policy consulted at registration time. It implements
+// core.Scheduler, so a daemon serves it exactly like a single device.
+type State struct {
+	*core.Router
 	policy Policy
 
-	mu        sync.Mutex
-	placement map[core.ContainerID]int
+	// regMu serializes placement decisions: Devices() must be observed
+	// and the chosen device registered atomically with respect to other
+	// registrations, or two containers could race past a policy that
+	// meant to separate them.
+	regMu sync.Mutex
 }
 
+var _ core.Scheduler = (*State)(nil)
+
 // New builds the multi-GPU scheduler.
-func New(cfg Config) (*Scheduler, error) {
+func New(cfg Config) (*State, error) {
 	if cfg.Devices < 1 {
 		return nil, fmt.Errorf("multigpu: need at least one device, got %d", cfg.Devices)
 	}
@@ -207,14 +206,15 @@ func New(cfg Config) (*Scheduler, error) {
 	if cfg.Algorithm == "" {
 		cfg.Algorithm = core.AlgFIFO
 	}
-	states := make([]*core.State, cfg.Devices)
-	for i := range states {
+	members := make([]core.Scheduler, cfg.Devices)
+	for i := range members {
 		alg, err := core.NewAlgorithm(cfg.Algorithm, cfg.AlgSeed+int64(i))
 		if err != nil {
 			return nil, err
 		}
 		st, err := core.New(core.Config{
 			Capacity:         cfg.CapacityPerDevice,
+			DeviceIndex:      i,
 			Algorithm:        alg,
 			Clock:            cfg.Clock,
 			ContextOverhead:  cfg.ContextOverhead,
@@ -223,168 +223,46 @@ func New(cfg Config) (*Scheduler, error) {
 		if err != nil {
 			return nil, err
 		}
-		states[i] = st
+		members[i] = st
 	}
-	return &Scheduler{
-		states:    states,
-		policy:    cfg.Policy,
-		placement: make(map[core.ContainerID]int),
+	return &State{
+		Router: core.NewRouter(members, "device"),
+		policy: cfg.Policy,
 	}, nil
 }
 
-// Devices reports per-device summaries.
-func (s *Scheduler) Devices() []DeviceInfo {
-	s.mu.Lock()
-	perDev := make([]int, len(s.states))
-	for _, d := range s.placement {
-		perDev[d]++
-	}
-	s.mu.Unlock()
-	out := make([]DeviceInfo, len(s.states))
-	for i, st := range s.states {
-		out[i] = DeviceInfo{
-			Index:      i,
-			Capacity:   st.Capacity(),
-			PoolFree:   st.PoolFree(),
-			Containers: perDev[i],
-		}
-	}
-	return out
-}
-
 // PolicyName returns the active placement policy's name.
-func (s *Scheduler) PolicyName() string { return s.policy.Name() }
+func (s *State) PolicyName() string { return s.policy.Name() }
 
-// Register places the container on a device and registers it there.
-// It returns the chosen device and the initial grant.
-func (s *Scheduler) Register(id core.ContainerID, limit bytesize.Size) (device int, granted bytesize.Size, err error) {
-	devs := s.Devices()
-	device = s.policy.Place(limit, devs)
-	if device < 0 || device >= len(s.states) {
-		return -1, 0, fmt.Errorf("multigpu: no device can hold a %v container", limit)
+// Register places the container on a device per the policy and
+// registers it there; Placement reports the chosen device afterwards.
+func (s *State) Register(id core.ContainerID, limit bytesize.Size) (bytesize.Size, error) {
+	s.regMu.Lock()
+	defer s.regMu.Unlock()
+	if d, err := s.PlacementIndex(id); err == nil {
+		// Already placed: let the owning device report the duplicate.
+		return s.Member(d).Register(id, limit)
 	}
-	granted, err = s.states[device].Register(id, limit)
+	device := s.policy.Place(limit, s.Devices())
+	if device < 0 || device >= s.NumMembers() {
+		return 0, fmt.Errorf("%w: no device can hold a %v container", core.ErrLimitExceedsCapacity, limit)
+	}
+	granted, err := s.Member(device).Register(id, limit)
 	if err != nil {
-		return -1, 0, err
+		return 0, err
 	}
-	s.mu.Lock()
-	s.placement[id] = device
-	s.mu.Unlock()
-	return device, granted, nil
+	s.SetPlacement(id, device)
+	return granted, nil
 }
 
-// stateOf resolves the device scheduler owning a container.
-func (s *Scheduler) stateOf(id core.ContainerID) (*core.State, int, error) {
-	s.mu.Lock()
-	d, ok := s.placement[id]
-	s.mu.Unlock()
-	if !ok {
-		return nil, -1, fmt.Errorf("%w: %s", ErrUnknownContainer, id)
+// EnsureRegistered routes to the recorded device when the container is
+// known (including a placement pinned by RestorePlacement during
+// session recovery), and otherwise places it afresh — the idempotent
+// re-registration the daemon's recovery path needs on a multi-device
+// scheduler.
+func (s *State) EnsureRegistered(id core.ContainerID, limit bytesize.Size) (bytesize.Size, error) {
+	if d, err := s.PlacementIndex(id); err == nil {
+		return s.Member(d).EnsureRegistered(id, limit)
 	}
-	return s.states[d], d, nil
-}
-
-// Placement reports which device a container lives on.
-func (s *Scheduler) Placement(id core.ContainerID) (int, error) {
-	_, d, err := s.stateOf(id)
-	return d, err
-}
-
-// RequestAlloc forwards to the container's device scheduler.
-func (s *Scheduler) RequestAlloc(id core.ContainerID, pid int, size bytesize.Size) (core.AllocResult, error) {
-	st, _, err := s.stateOf(id)
-	if err != nil {
-		return core.AllocResult{}, err
-	}
-	return st.RequestAlloc(id, pid, size)
-}
-
-// ConfirmAlloc forwards to the container's device scheduler.
-func (s *Scheduler) ConfirmAlloc(id core.ContainerID, pid int, addr uint64, size bytesize.Size) error {
-	st, _, err := s.stateOf(id)
-	if err != nil {
-		return err
-	}
-	return st.ConfirmAlloc(id, pid, addr, size)
-}
-
-// Free forwards to the container's device scheduler.
-func (s *Scheduler) Free(id core.ContainerID, pid int, addr uint64) (bytesize.Size, core.Update, error) {
-	st, _, err := s.stateOf(id)
-	if err != nil {
-		return 0, core.Update{}, err
-	}
-	return st.Free(id, pid, addr)
-}
-
-// ProcessExit forwards to the container's device scheduler.
-func (s *Scheduler) ProcessExit(id core.ContainerID, pid int) (bytesize.Size, core.Update, error) {
-	st, _, err := s.stateOf(id)
-	if err != nil {
-		return 0, core.Update{}, err
-	}
-	return st.ProcessExit(id, pid)
-}
-
-// Close forwards the close signal and forgets the placement.
-func (s *Scheduler) Close(id core.ContainerID) (bytesize.Size, core.Update, error) {
-	st, _, err := s.stateOf(id)
-	if err != nil {
-		return 0, core.Update{}, err
-	}
-	released, u, err := st.Close(id)
-	if err == nil {
-		s.mu.Lock()
-		delete(s.placement, id)
-		s.mu.Unlock()
-	}
-	return released, u, err
-}
-
-// MemInfo forwards to the container's device scheduler.
-func (s *Scheduler) MemInfo(id core.ContainerID) (free, total bytesize.Size, err error) {
-	st, _, err := s.stateOf(id)
-	if err != nil {
-		return 0, 0, err
-	}
-	return st.MemInfo(id)
-}
-
-// Info returns the scheduler snapshot row for a container.
-func (s *Scheduler) Info(id core.ContainerID) (core.ContainerInfo, error) {
-	st, _, err := s.stateOf(id)
-	if err != nil {
-		return core.ContainerInfo{}, err
-	}
-	return st.Info(id)
-}
-
-// TotalUsed sums usage across every device.
-func (s *Scheduler) TotalUsed() bytesize.Size {
-	var total bytesize.Size
-	for _, st := range s.states {
-		total += st.TotalUsed()
-	}
-	return total
-}
-
-// SimBackend adapts the scheduler to the simulator's Backend interface
-// (whose Register does not report the placement).
-type SimBackend struct{ *Scheduler }
-
-// Register implements the simulator backend by dropping the device
-// index from the placement result.
-func (b SimBackend) Register(id core.ContainerID, limit bytesize.Size) (bytesize.Size, error) {
-	_, granted, err := b.Scheduler.Register(id, limit)
-	return granted, err
-}
-
-// CheckInvariants validates every per-device scheduler.
-func (s *Scheduler) CheckInvariants() error {
-	for i, st := range s.states {
-		if err := st.CheckInvariants(); err != nil {
-			return fmt.Errorf("device %d: %w", i, err)
-		}
-	}
-	return nil
+	return s.Register(id, limit)
 }

@@ -90,7 +90,7 @@ func TestBestFitDevice(t *testing.T) {
 	}
 }
 
-func newSched(t *testing.T, n int, pol Policy) *Scheduler {
+func newSched(t *testing.T, n int, pol Policy) *State {
 	t.Helper()
 	s, err := New(Config{
 		Devices:           n,
@@ -125,20 +125,28 @@ func TestNewValidation(t *testing.T) {
 
 func TestRegisterPlacesAndIsolates(t *testing.T) {
 	s := newSched(t, 2, LeastLoaded{})
-	d1, g1, err := s.Register("a", mib(800))
+	g1, err := s.Register("a", mib(800))
 	if err != nil || g1 != mib(800) {
-		t.Fatalf("register a: dev=%d granted=%v err=%v", d1, g1, err)
+		t.Fatalf("register a: granted=%v err=%v", g1, err)
 	}
 	// Least-loaded sends the second big container to the other device.
-	d2, g2, err := s.Register("b", mib(800))
+	g2, err := s.Register("b", mib(800))
 	if err != nil || g2 != mib(800) {
-		t.Fatalf("register b: dev=%d granted=%v err=%v", d2, g2, err)
+		t.Fatalf("register b: granted=%v err=%v", g2, err)
+	}
+	d1, err := s.Placement("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := s.Placement("b")
+	if err != nil {
+		t.Fatal(err)
 	}
 	if d1 == d2 {
 		t.Fatalf("both containers on device %d", d1)
 	}
 	// Two 800s fit across two devices; a third must squeeze.
-	_, g3, err := s.Register("c", mib(800))
+	g3, err := s.Register("c", mib(800))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +160,7 @@ func TestRegisterPlacesAndIsolates(t *testing.T) {
 
 func TestForwardingPaths(t *testing.T) {
 	s := newSched(t, 2, &RoundRobin{})
-	if _, _, err := s.Register("a", mib(500)); err != nil {
+	if _, err := s.Register("a", mib(500)); err != nil {
 		t.Fatal(err)
 	}
 	res, err := s.RequestAlloc("a", 1, mib(100))
@@ -226,7 +234,7 @@ func TestSimOverMultiGPU(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := sim.RunWith(trace, SimBackend{s}, clk, sim.Config{})
+		res, err := sim.RunWith(trace, s, clk, sim.Config{})
 		if err != nil {
 			t.Fatal(err)
 		}

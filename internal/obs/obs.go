@@ -2,6 +2,8 @@ package obs
 
 import (
 	"encoding/json"
+	"strconv"
+	"sync"
 	"time"
 
 	"convgpu/internal/core"
@@ -11,8 +13,10 @@ import (
 // documents the full schema; these constants keep daemon, facade and
 // tests referring to one spelling.
 const (
-	MetricEvents         = "convgpu_scheduler_events_total"
-	MetricPoolFree       = "convgpu_pool_free_bytes"
+	MetricEvents           = "convgpu_scheduler_events_total"
+	MetricPoolFree         = "convgpu_pool_free_bytes"
+	MetricDevicePoolFree   = "convgpu_device_pool_free_bytes"
+	MetricDeviceContainers = "convgpu_device_containers"
 	MetricContainers     = "convgpu_containers"
 	MetricSuspended      = "convgpu_containers_suspended"
 	MetricPending        = "convgpu_pending_requests"
@@ -61,6 +65,11 @@ type Observability struct {
 	// sessions reaped by the daemon's lease loop.
 	Reconnects    *Counter
 	LeaseExpiries *Counter
+
+	// devMu guards suspendByDev, the per-device suspend-wait series
+	// BindCore registers for each device the bound backend serves.
+	devMu        sync.RWMutex
+	suspendByDev map[int]*Histogram
 }
 
 // New builds an Observability bundle with every series registered.
@@ -114,7 +123,7 @@ func (o *Observability) observeEvent(e core.EventRecord) {
 	if k >= 0 && k < len(o.byKind) {
 		o.byKind[k].Inc()
 	}
-	o.tracer.Record(e.At, e.Kind.String(), string(e.Container), e.PID, int64(e.Amount))
+	o.tracer.Record(e.At, e.Kind.String(), string(e.Container), e.PID, int64(e.Amount), e.Device)
 	if e.Kind == core.EvClose {
 		o.tracer.EndContainer(string(e.Container))
 	}
@@ -125,15 +134,16 @@ func (o *Observability) CoreObserver() func(core.EventRecord) {
 	return o.observeEvent
 }
 
-// BindCore wires a scheduler into the bundle: installs the event
-// observer and (re-)registers the scrape-time gauges over the live
-// state. Rebinding after a daemon restart replaces the gauges, so a
-// long-lived bundle follows the current core.
-func (o *Observability) BindCore(st *core.State) {
+// BindCore wires a scheduling backend into the bundle: installs the
+// event observer and (re-)registers the scrape-time gauges over the
+// live state, including one pool/container gauge pair per device the
+// backend serves. Rebinding after a daemon restart replaces the gauges,
+// so a long-lived bundle follows the current core.
+func (o *Observability) BindCore(st core.Scheduler) {
 	st.SetObserver(o.observeEvent)
 	al := Labels{"algorithm": o.algo}
 	o.reg.GaugeFunc(MetricPoolFree,
-		"Schedulable GPU memory not granted to any container.", al,
+		"Schedulable GPU memory not granted to any container (all devices).", al,
 		func() int64 { return int64(st.PoolFree()) })
 	o.reg.GaugeFunc(MetricContainers,
 		"Registered containers.", al,
@@ -150,6 +160,49 @@ func (o *Observability) BindCore(st *core.State) {
 			}
 			return n
 		})
+	o.devMu.Lock()
+	if o.suspendByDev == nil {
+		o.suspendByDev = make(map[int]*Histogram)
+	}
+	for _, d := range st.Devices() {
+		index := d.Index
+		dl := Labels{"algorithm": o.algo, "device": strconv.Itoa(index)}
+		o.reg.GaugeFunc(MetricDevicePoolFree,
+			"Schedulable memory not granted to any container on one device.", dl,
+			func() int64 { return int64(deviceAt(st, index).PoolFree) })
+		o.reg.GaugeFunc(MetricDeviceContainers,
+			"Containers placed on one device.", dl,
+			func() int64 { return int64(deviceAt(st, index).Containers) })
+		if _, ok := o.suspendByDev[index]; !ok {
+			o.suspendByDev[index] = o.reg.NewHistogram(MetricSuspendWait,
+				"Time allocations spend suspended before release, per device.", dl)
+		}
+	}
+	o.devMu.Unlock()
+}
+
+// ObserveSuspendWait records one suspension wait into the aggregate
+// histogram and — when BindCore registered the device — its per-device
+// series. Suspension release is off the zero-alloc fast path, so the
+// map lookup is affordable here.
+func (o *Observability) ObserveSuspendWait(device int, d time.Duration) {
+	o.SuspendWait.Observe(d)
+	o.devMu.RLock()
+	h := o.suspendByDev[device]
+	o.devMu.RUnlock()
+	if h != nil {
+		h.Observe(d)
+	}
+}
+
+// deviceAt re-reads one device's live summary at scrape time.
+func deviceAt(st core.Scheduler, index int) core.DeviceInfo {
+	for _, d := range st.Devices() {
+		if d.Index == index {
+			return d
+		}
+	}
+	return core.DeviceInfo{}
 }
 
 // EventCount returns the running total for one event kind.

@@ -23,6 +23,7 @@ type TraceEvent struct {
 	Container string `json:"container,omitempty"`
 	PID       int    `json:"pid,omitempty"`
 	Amount    int64  `json:"amount,omitempty"`
+	Device    int    `json:"device,omitempty"`
 }
 
 // Tracer is a fixed-capacity ring buffer of TraceEvents. Recording
@@ -54,7 +55,7 @@ func NewTracer(capacity int) *Tracer {
 
 // Record appends one event. Seq and CSeq are assigned here, under the
 // tracer's own ordering, from the fields the caller provides.
-func (t *Tracer) Record(at time.Time, kind, container string, pid int, amount int64) {
+func (t *Tracer) Record(at time.Time, kind, container string, pid int, amount int64, device int) {
 	t.mu.Lock()
 	t.seq++
 	e := TraceEvent{
@@ -64,6 +65,7 @@ func (t *Tracer) Record(at time.Time, kind, container string, pid int, amount in
 		Container: container,
 		PID:       pid,
 		Amount:    amount,
+		Device:    device,
 	}
 	if container != "" {
 		t.cseq[container]++

@@ -139,6 +139,10 @@ func AppendEncode(dst []byte, m *Message) []byte {
 		dst = append(dst, `,"socket_dir":`...)
 		dst = appendJSONString(dst, m.SocketDir)
 	}
+	if m.Device != 0 {
+		dst = append(dst, `,"device":`...)
+		dst = strconv.AppendInt(dst, int64(m.Device), 10)
+	}
 	if m.Free != 0 {
 		dst = append(dst, `,"free":`...)
 		dst = strconv.AppendInt(dst, m.Free, 10)
@@ -373,6 +377,13 @@ func scanField(m *Message, b []byte, i int, key []byte) (int, bool) {
 			return 0, false
 		}
 		m.SocketDir = string(s)
+		return next, true
+	case "device":
+		n, next, ok := scanInt(b, i)
+		if !ok {
+			return 0, false
+		}
+		m.Device = int(n)
 		return next, true
 	case "free":
 		n, next, ok := scanInt(b, i)

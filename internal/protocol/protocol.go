@@ -115,9 +115,10 @@ type Message struct {
 	Decision  Decision `json:"decision,omitempty"`
 	Granted   int64    `json:"granted,omitempty"` // bytes assigned at register
 	SocketDir string   `json:"socket_dir,omitempty"`
-	Free      int64    `json:"free,omitempty"`  // meminfo: free within limit
-	Total     int64    `json:"total,omitempty"` // meminfo: the limit
-	Data      string   `json:"data,omitempty"`  // introspection payload (JSON document)
+	Device    int      `json:"device,omitempty"` // assigned device (register/attach responses)
+	Free      int64    `json:"free,omitempty"`   // meminfo: free within limit
+	Total     int64    `json:"total,omitempty"`  // meminfo: the limit
+	Data      string   `json:"data,omitempty"`   // introspection payload (JSON document)
 }
 
 // Encode renders the message as a single JSON line (with trailing

@@ -31,6 +31,9 @@ func (m *Module) ReplayState(ctx context.Context, c Caller) error {
 		protocol.ReleaseMessage(resp)
 		return aerr
 	}
+	m.mu.Lock()
+	m.device = resp.Device
+	m.mu.Unlock()
 	protocol.ReleaseMessage(resp)
 
 	m.mu.Lock()
@@ -86,4 +89,13 @@ func (m *Module) StartHeartbeats(interval time.Duration) (stop func()) {
 		cancel()
 		<-done
 	}
+}
+
+// Device reports the GPU index the scheduler assigned this container,
+// as announced in the last attach response. Zero until the first
+// ReplayState completes — which is also the single-device answer.
+func (m *Module) Device() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.device
 }

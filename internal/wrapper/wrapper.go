@@ -79,6 +79,12 @@ type Module struct {
 	propsOnce bool
 	props     gpu.Properties
 	exited    bool
+	// device is the GPU index the scheduler assigned this container,
+	// captured from the attach response (ReplayState). Allocation and
+	// meminfo traffic is already device-bound server-side; the wrapper
+	// records it so the process can pin its CUDA context to the right
+	// device before the first real allocation.
+	device int
 	// allocs tracks the process's live device allocations (address →
 	// adjusted size) so the module can replay them to a restarted
 	// scheduler (ReplayState) instead of silently holding unaccounted

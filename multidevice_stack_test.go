@@ -1,0 +1,93 @@
+package convgpu_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"convgpu"
+)
+
+// TestStackMultiDevice: a WithDevices stack serves containers across
+// per-device scheduler cores through the same facade — placements
+// rotate, per-device summaries account capacity separately, and the
+// dump document carries the device table.
+func TestStackMultiDevice(t *testing.T) {
+	st := newStack(t,
+		convgpu.WithDevices(2),
+		convgpu.WithCapacity(convgpu.GiB),
+		convgpu.WithPlacementPolicy("roundrobin"),
+	)
+	devs := st.Devices()
+	if len(devs) != 2 {
+		t.Fatalf("Devices() = %d entries, want 2", len(devs))
+	}
+	for i, d := range devs {
+		if d.Index != i || d.Capacity != convgpu.GiB {
+			t.Fatalf("device %d = %+v, want index %d capacity 1GiB", i, d, i)
+		}
+	}
+	// Create (not Run): registration happens at create time, and the
+	// placement must still be queryable while the container is live.
+	for _, name := range []string{"job-0", "job-1"} {
+		if _, err := st.Create(context.Background(), convgpu.RunOptions{
+			Name:         name,
+			Image:        convgpu.CUDAImage("app", ""),
+			NvidiaMemory: 512 * convgpu.MiB,
+			Program:      func(p *convgpu.Proc) error { return nil },
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d0, err := st.Placement("job-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, err := st.Placement("job-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d0 != 0 || d1 != 1 {
+		t.Fatalf("placements = %d, %d; want round-robin 0, 1", d0, d1)
+	}
+	if _, err := st.Placement("ghost"); err == nil {
+		t.Fatal("placement of unknown container succeeded")
+	}
+
+	dump, err := st.Dump(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Devices []struct {
+			Index    int   `json:"index"`
+			Capacity int64 `json:"capacity"`
+		} `json:"devices"`
+	}
+	if err := json.Unmarshal(dump, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Devices) != 2 {
+		t.Fatalf("dump devices = %d entries, want 2", len(doc.Devices))
+	}
+}
+
+// TestStackMultiDeviceOverCapacity: a limit no single device can hold
+// is refused with the same sentinel as the single-device stack — the
+// pool is per device, not the sum.
+func TestStackMultiDeviceOverCapacity(t *testing.T) {
+	st := newStack(t,
+		convgpu.WithDevices(2),
+		convgpu.WithCapacity(convgpu.GiB),
+	)
+	_, err := st.Run(context.Background(), convgpu.RunOptions{
+		Name:         "big",
+		Image:        convgpu.CUDAImage("app", ""),
+		NvidiaMemory: 3 * convgpu.GiB / 2, // > 1 device, < the 2-device sum
+		Program:      func(p *convgpu.Proc) error { return nil },
+	})
+	if !errors.Is(err, convgpu.ErrOverCapacity) {
+		t.Fatalf("err = %v, want ErrOverCapacity", err)
+	}
+}

@@ -18,6 +18,8 @@ type Option func(*stackConfig) error
 type stackConfig struct {
 	baseDir       string
 	capacity      Size
+	devices       int
+	placement     string
 	algorithm     string
 	algorithmSeed int64
 	gpuProps      *gpu.Properties
@@ -60,6 +62,34 @@ func WithCapacity(size Size) Option {
 			return fmt.Errorf("convgpu: WithCapacity: non-positive size %v", size)
 		}
 		c.capacity = size
+		return nil
+	}
+}
+
+// WithDevices serves n GPUs from one stack: the scheduler becomes a
+// multi-device backend (one core per device behind the same interface),
+// a placement policy assigns each registering container a device, and
+// WithCapacity is read per device. The default (n <= 1) keeps the
+// paper's single-GPU stack, byte-identical on the wire.
+func WithDevices(n int) Option {
+	return func(c *stackConfig) error {
+		if n < 1 {
+			return fmt.Errorf("convgpu: WithDevices: need at least one device, got %d", n)
+		}
+		c.devices = n
+		return nil
+	}
+}
+
+// WithPlacementPolicy selects the device placement policy for a
+// multi-device stack (round-robin, least-loaded, first-fit, best-fit;
+// default least-loaded). Ignored without WithDevices.
+func WithPlacementPolicy(name string) Option {
+	return func(c *stackConfig) error {
+		if name == "" {
+			return fmt.Errorf("convgpu: WithPlacementPolicy: empty name")
+		}
+		c.placement = name
 		return nil
 	}
 }

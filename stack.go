@@ -12,6 +12,7 @@ import (
 	"convgpu/internal/daemon"
 	"convgpu/internal/gpu"
 	"convgpu/internal/ipc"
+	"convgpu/internal/multigpu"
 	"convgpu/internal/nvdocker"
 	"convgpu/internal/obs"
 	"convgpu/internal/plugin"
@@ -35,7 +36,7 @@ type Observability = obs.Observability
 type Stack struct {
 	cfg    stackConfig
 	device *gpu.Device
-	state  *core.State
+	state  core.Scheduler
 	obs    *obs.Observability
 
 	mu      sync.Mutex
@@ -72,19 +73,44 @@ func New(options ...Option) (*Stack, error) {
 		gpuOpts = append(gpuOpts, gpu.WithLatency(gpu.PaperLatency(), nil))
 	}
 
-	alg, err := core.NewAlgorithm(cfg.algorithm, cfg.algorithmSeed)
-	if err != nil {
-		return nil, err
-	}
-	state, err := core.New(core.Config{
-		Capacity:         cfg.capacity,
-		Algorithm:        alg,
-		FaultTolerant:    cfg.faultTolerant,
-		PersistentGrants: cfg.persistentGrants,
-		EventLogSize:     cfg.eventLogSize,
-	})
-	if err != nil {
-		return nil, err
+	var state core.Scheduler
+	if cfg.devices > 1 {
+		// Multi-device stack: one core per device behind a placement
+		// policy, served through the same Scheduler interface.
+		policyName := cfg.placement
+		if policyName == "" {
+			policyName = multigpu.PolicyLeastLoaded
+		}
+		pol, err := multigpu.NewPolicy(policyName)
+		if err != nil {
+			return nil, err
+		}
+		state, err = multigpu.New(multigpu.Config{
+			Devices:           cfg.devices,
+			CapacityPerDevice: cfg.capacity,
+			Algorithm:         cfg.algorithm,
+			AlgSeed:           cfg.algorithmSeed,
+			Policy:            pol,
+			PersistentGrants:  cfg.persistentGrants,
+		})
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		alg, err := core.NewAlgorithm(cfg.algorithm, cfg.algorithmSeed)
+		if err != nil {
+			return nil, err
+		}
+		state, err = core.New(core.Config{
+			Capacity:         cfg.capacity,
+			Algorithm:        alg,
+			FaultTolerant:    cfg.faultTolerant,
+			PersistentGrants: cfg.persistentGrants,
+			EventLogSize:     cfg.eventLogSize,
+		})
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	o := cfg.obs
@@ -234,6 +260,15 @@ func (s *Stack) PoolFree() Size { return s.state.PoolFree() }
 
 // Algorithm returns the redistribution algorithm's name.
 func (s *Stack) Algorithm() string { return s.state.AlgorithmName() }
+
+// Devices reports a live summary of every device the stack serves: one
+// entry for a default stack, one per device under WithDevices.
+func (s *Stack) Devices() []DeviceInfo { return s.state.Devices() }
+
+// Placement reports the device a registered container was assigned.
+func (s *Stack) Placement(containerID string) (int, error) {
+	return s.state.Placement(core.ContainerID(containerID))
+}
 
 // Device exposes the simulated GPU (e.g. for device-view assertions).
 func (s *Stack) Device() *gpu.Device { return s.device }
