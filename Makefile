@@ -3,7 +3,8 @@
 
 GO ?= go
 
-.PHONY: all build test vet check apicheck apigen race chaos bench clean
+.PHONY: all build test vet check apicheck apigen race chaos bench clean \
+	model model-long fuzz-smoke cover
 
 all: build test
 
@@ -16,7 +17,7 @@ test:
 vet:
 	$(GO) vet ./...
 
-check: vet apicheck test
+check: vet apicheck test fuzz-smoke cover
 
 # apicheck guards the public facade: the exported API of package
 # convgpu is dumped in normalized form (tools/apidump) and diffed
@@ -49,6 +50,47 @@ race:
 CHAOS_SEEDS ?= 120
 chaos:
 	$(GO) test -race -run TestChaos -count=1 -timeout 25m ./internal/fault -chaos.seeds=$(CHAOS_SEEDS)
+
+# model runs the model-based conformance suite under the race detector:
+# seeded op streams drive every algorithm on every topology (core,
+# multigpu, cluster, and the full daemon+ipc wire path) in lockstep with
+# the sequential reference model in internal/model, cross-checking full
+# state after every op. A reported failure prints a shrunk minimal
+# reproducer and the exact replay command (-model.seed pins one seed).
+# CI runs this short sweep; model-long is the overnight setting.
+MODEL_SEEDS ?= 8
+MODEL_OPS ?= 500
+model:
+	$(GO) test -race -count=1 -timeout 15m ./internal/model -model.seeds=$(MODEL_SEEDS) -model.ops=$(MODEL_OPS)
+
+model-long:
+	$(MAKE) model MODEL_SEEDS=64 MODEL_OPS=2000
+
+# fuzz-smoke gives each protocol fuzz target a short native-fuzzing
+# budget on top of the committed seeds (which plain `go test` always
+# replays). Long fuzzing sessions: raise FUZZTIME.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test ./internal/protocol -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/protocol -run '^$$' -fuzz '^FuzzEncodeDecodeRoundTrip$$' -fuzztime $(FUZZTIME)
+
+# cover enforces per-package statement-coverage floors on the packages
+# that carry the correctness burden. The floors are recorded a couple of
+# points below the measured value at the time they were set — they exist
+# to catch tests being deleted or gutted, not to force coverage upward.
+cover:
+	@set -e; \
+	fail=0; \
+	for spec in core:74 protocol:74 daemon:82; do \
+		pkg=$${spec%%:*}; floor=$${spec##*:}; \
+		pct=$$($(GO) test -cover ./internal/$$pkg | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p'); \
+		if [ -z "$$pct" ]; then echo "cover: internal/$$pkg: no coverage reported (test failure?)"; fail=1; continue; fi; \
+		echo "internal/$$pkg: $$pct% (floor $$floor%)"; \
+		if ! awk -v p="$$pct" -v f="$$floor" 'BEGIN { exit !(p+0 >= f+0) }'; then \
+			echo "cover: internal/$$pkg coverage $$pct% fell below the $$floor% floor"; fail=1; \
+		fi; \
+	done; \
+	exit $$fail
 
 # bench runs the hot-path benchmark suite with allocation tracking and
 # saves the results. BENCH_hotpath.json holds the go-test JSON stream

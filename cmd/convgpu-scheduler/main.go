@@ -92,7 +92,7 @@ func main() {
 		st, algName = single, alg.Name()
 	}
 	bundle := obs.New(obs.Config{Algorithm: algName, TraceCapacity: *traceCap})
-	d, err := daemon.Start(daemon.Config{BaseDir: *baseDir, Core: st, Lease: *lease, Obs: bundle})
+	d, err := daemon.Start(daemon.Config{BaseDir: *baseDir, Core: st, Lease: *lease, Obs: bundle, Logf: log.Printf})
 	if err != nil {
 		log.Fatalf("convgpu-scheduler: %v", err)
 	}

@@ -412,7 +412,7 @@ func (s *State) RequestAlloc(id ContainerID, pid int, size bytesize.Size) (Alloc
 		c.everSuspended = true
 		s.pausedCount.Add(1)
 	}
-	s.logEvent(EvSuspend, id, pid, size)
+	s.logEventT(EvSuspend, id, pid, size, t)
 	return AllocResult{Decision: Suspend, Ticket: t}, nil
 }
 
@@ -579,20 +579,22 @@ func (s *State) DropPending(id ContainerID, tickets []Ticket) (Update, error) {
 		drop[t] = true
 	}
 	kept := c.pending[:0]
-	removed := 0
+	var removed []pendingReq
 	for _, r := range c.pending {
 		if drop[r.ticket] {
-			removed++
+			removed = append(removed, r)
 			continue
 		}
 		kept = append(kept, r)
 	}
-	if removed == 0 {
+	if len(removed) == 0 {
 		return Update{}, nil
 	}
 	c.pending = kept
 	s.noteSuspensionEnd(c)
-	s.logEvent(EvDrop, id, 0, 0)
+	for _, r := range removed {
+		s.logEventT(EvDrop, id, r.pid, 0, r.ticket)
+	}
 	return s.afterRelease(), nil
 }
 
@@ -864,7 +866,7 @@ func (s *State) admitFittingLocked(c *containerState) []Admitted {
 			break
 		}
 		s.admit(c, req.pid, req.size)
-		s.logEvent(EvResume, c.id, req.pid, charge)
+		s.logEventT(EvResume, c.id, req.pid, charge, req.ticket)
 		admitted = append(admitted, Admitted{Container: c.id, Ticket: req.ticket})
 		c.pending = c.pending[1:]
 	}

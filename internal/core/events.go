@@ -82,6 +82,9 @@ type EventRecord struct {
 	// Device is the device the emitting state schedules
 	// (Config.DeviceIndex; 0 for a standalone single-device state).
 	Device int
+	// Ticket identifies the parked request a suspend/resume/drop event
+	// concerns (0 for every other kind). Tickets are per-device.
+	Ticket Ticket
 }
 
 // String renders the record for logs.
@@ -156,6 +159,12 @@ func (l *eventLog) snapshot() []EventRecord {
 // logEvent appends to the state's event log. Callers hold the state
 // lock in either mode; the log's own mutex orders the entries.
 func (s *State) logEvent(kind EventKind, id ContainerID, pid int, amount bytesize.Size) {
+	s.logEventT(kind, id, pid, amount, 0)
+}
+
+// logEventT is logEvent carrying the ticket of the parked request the
+// event concerns (suspend, resume, drop).
+func (s *State) logEventT(kind EventKind, id ContainerID, pid int, amount bytesize.Size, ticket Ticket) {
 	s.events.append(EventRecord{
 		At:        s.cfg.Clock.Now(),
 		Kind:      kind,
@@ -163,6 +172,7 @@ func (s *State) logEvent(kind EventKind, id ContainerID, pid int, amount bytesiz
 		PID:       pid,
 		Amount:    amount,
 		Device:    s.cfg.DeviceIndex,
+		Ticket:    ticket,
 	})
 }
 

@@ -67,6 +67,11 @@ type Config struct {
 	// observability is always on; its record paths are atomic-only, so
 	// the hot path stays allocation-free either way.
 	Obs *obs.Observability
+	// Logf receives the daemon's operational log lines — today that is
+	// the restart-recovery path explaining every session it discards,
+	// which would otherwise vanish silently. Nil discards them. Not
+	// called on the request hot path.
+	Logf func(format string, args ...any)
 }
 
 // Daemon is a running scheduler service.
@@ -141,6 +146,9 @@ func Start(cfg Config) (*Daemon, error) {
 		cfg.Obs = obs.New(obs.Config{Algorithm: cfg.Core.AlgorithmName()})
 	}
 	cfg.Obs.BindCore(cfg.Core)
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
 	d := &Daemon{
 		cfg:      cfg,
 		clk:      cfg.Clock,

@@ -11,6 +11,7 @@ import (
 	"convgpu/internal/bytesize"
 	"convgpu/internal/core"
 	"convgpu/internal/ipc"
+	"convgpu/internal/leak"
 	"convgpu/internal/protocol"
 )
 
@@ -18,6 +19,9 @@ func mib(n int) bytesize.Size { return bytesize.Size(n) * bytesize.MiB }
 
 func startDaemon(t *testing.T, capacity bytesize.Size) *Daemon {
 	t.Helper()
+	// Registered first, checked last: the daemon closed by the cleanup
+	// below must leave no goroutine behind.
+	leak.Check(t)
 	st := core.MustNew(core.Config{Capacity: capacity, ContextOverhead: 1})
 	d, err := Start(Config{BaseDir: filepath.Join(t.TempDir(), "cv"), Core: st})
 	if err != nil {

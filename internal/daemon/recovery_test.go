@@ -1,0 +1,150 @@
+package daemon
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"convgpu/internal/core"
+	"convgpu/internal/obs"
+)
+
+// logCapture collects Config.Logf output for assertions.
+type logCapture struct {
+	mu    sync.Mutex
+	lines []string
+}
+
+func (l *logCapture) logf(format string, args ...any) {
+	l.mu.Lock()
+	l.lines = append(l.lines, fmt.Sprintf(format, args...))
+	l.mu.Unlock()
+}
+
+func (l *logCapture) joined() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return strings.Join(l.lines, "\n")
+}
+
+// TestRecoverySurvivesCorruptSessionFiles restarts a daemon over a base
+// directory holding session records damaged every way a crash can
+// damage them — a partial write, outright garbage, an empty record and
+// a device the backend does not serve — next to one healthy session.
+// The daemon must come up cleanly, recover only the healthy session,
+// log why each of the others was discarded and count the discards.
+func TestRecoverySurvivesCorruptSessionFiles(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "cv")
+
+	// First daemon registers the healthy container, so its directory,
+	// session record and socket layout are exactly what production writes.
+	d1, err := Start(Config{BaseDir: base, Core: core.MustNew(core.Config{Capacity: mib(1000), ContextOverhead: 1})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl := dialControl(t, d1)
+	register(t, ctl, "healthy", mib(300))
+	ctl.Close()
+	d1.Close()
+
+	// Plant the damaged sessions by hand: each one is a container dir
+	// with a session.json a crashed daemon could plausibly have left.
+	plant := func(name, content string) {
+		t.Helper()
+		dir := filepath.Join(base, "containers", name)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, sessionFileName), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	plant("truncated", `{"container":"truncated","limit":3145`) // write cut mid-number
+	plant("garbage", "\x00\xff not json at all")
+	plant("anonymous", `{"limit":1048576}`) // decodes, but names no container
+	plant("wrong-device", `{"container":"wrong-device","limit":1048576,"device":7}`)
+
+	logs := &logCapture{}
+	o := obs.New(obs.Config{Algorithm: core.AlgFIFO})
+	d2, err := Start(Config{
+		BaseDir: base,
+		Core:    core.MustNew(core.Config{Capacity: mib(1000), ContextOverhead: 1}),
+		Obs:     o, Logf: logs.logf,
+	})
+	if err != nil {
+		t.Fatalf("daemon failed to start over damaged sessions: %v", err)
+	}
+	defer d2.Close()
+
+	if _, err := d2.Core().Info("healthy"); err != nil {
+		t.Errorf("healthy session not recovered: %v", err)
+	}
+	for _, id := range []core.ContainerID{"truncated", "garbage", "anonymous", "wrong-device"} {
+		if _, err := d2.Core().Info(id); err == nil {
+			t.Errorf("damaged session %q was recovered", id)
+		}
+		if _, err := os.Stat(filepath.Join(base, "containers", string(id), sessionFileName)); !os.IsNotExist(err) {
+			t.Errorf("damaged session file %q not removed (err=%v)", id, err)
+		}
+	}
+	if got := o.SessionsDiscarded.Value(); got != 4 {
+		t.Errorf("SessionsDiscarded = %d, want 4", got)
+	}
+	out := logs.joined()
+	for _, want := range []string{
+		`discarded session "truncated": unreadable record`,
+		`discarded session "garbage": unreadable record`,
+		`discarded session "anonymous": record has no container id`,
+		`discarded session "wrong-device": device 7 not restorable`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("logs missing %q; got:\n%s", want, out)
+		}
+	}
+	// The healthy session's recovery must not have logged a discard.
+	if strings.Contains(out, "healthy") {
+		t.Errorf("healthy session appears in discard logs:\n%s", out)
+	}
+}
+
+// TestRecoveryDiscardsRefusedRegistration covers the fourth discard
+// reason: a record whose registration the core rejects (the limit
+// exceeds a shrunken capacity). The daemon logs it and starts anyway.
+func TestRecoveryDiscardsRefusedRegistration(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "cv")
+	d1, err := Start(Config{BaseDir: base, Core: core.MustNew(core.Config{Capacity: mib(1000), ContextOverhead: 1})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl := dialControl(t, d1)
+	register(t, ctl, "big", mib(800))
+	ctl.Close()
+	d1.Close()
+
+	logs := &logCapture{}
+	o := obs.New(obs.Config{Algorithm: core.AlgFIFO})
+	// The replacement daemon serves a smaller GPU: big's 800MiB limit no
+	// longer fits and its session must be discarded, not trusted.
+	d2, err := Start(Config{
+		BaseDir: base,
+		Core:    core.MustNew(core.Config{Capacity: mib(500), ContextOverhead: 1}),
+		Obs:     o, Logf: logs.logf,
+	})
+	if err != nil {
+		t.Fatalf("daemon failed to start: %v", err)
+	}
+	defer d2.Close()
+
+	if _, err := d2.Core().Info("big"); err == nil {
+		t.Error("over-limit session was recovered")
+	}
+	if got := o.SessionsDiscarded.Value(); got != 1 {
+		t.Errorf("SessionsDiscarded = %d, want 1", got)
+	}
+	if out := logs.joined(); !strings.Contains(out, `discarded session "big": registration refused`) {
+		t.Errorf("missing discard log; got:\n%s", out)
+	}
+}

@@ -94,8 +94,12 @@ func (d *Daemon) recoverSessions() error {
 			continue // never registered, or cleanly closed
 		}
 		var rec sessionRecord
-		if err := json.Unmarshal(data, &rec); err != nil || rec.Container == "" {
-			os.Remove(filepath.Join(dir, sessionFileName))
+		if err := json.Unmarshal(data, &rec); err != nil {
+			d.discardSession(dir, e.Name(), fmt.Errorf("unreadable record: %w", err))
+			continue
+		}
+		if rec.Container == "" {
+			d.discardSession(dir, e.Name(), fmt.Errorf("record has no container id"))
 			continue
 		}
 		id := core.ContainerID(rec.Container)
@@ -104,11 +108,11 @@ func (d *Daemon) recoverSessions() error {
 		// must not place it afresh. A device the backend no longer serves
 		// (restarted with fewer GPUs) invalidates the session.
 		if err := d.cfg.Core.RestorePlacement(id, rec.Device); err != nil {
-			os.Remove(filepath.Join(dir, sessionFileName))
+			d.discardSession(dir, e.Name(), fmt.Errorf("device %d not restorable: %w", rec.Device, err))
 			continue
 		}
 		if _, err := d.cfg.Core.EnsureRegistered(id, bytesize.Size(rec.Limit)); err != nil {
-			os.Remove(filepath.Join(dir, sessionFileName))
+			d.discardSession(dir, e.Name(), fmt.Errorf("registration refused: %w", err))
 			continue
 		}
 		sockPath := filepath.Join(dir, ContainerSocketName)
@@ -123,6 +127,17 @@ func (d *Daemon) recoverSessions() error {
 		d.touch(id)
 	}
 	return nil
+}
+
+// discardSession drops one unrecoverable session record: the file is
+// removed so the next restart does not trip over it again, the discard
+// is logged with its reason (a wrapper is about to find its session
+// gone — the operator should be able to see why), and the
+// sessions-discarded counter ticks so fleets alert on recovery loss.
+func (d *Daemon) discardSession(dir, name string, reason error) {
+	os.Remove(filepath.Join(dir, sessionFileName))
+	d.obs.SessionsDiscarded.Inc()
+	d.cfg.Logf("daemon: recovery discarded session %q: %v", name, reason)
 }
 
 // closeRecovered unwinds recoverSessions when startup fails later on.

@@ -9,11 +9,14 @@ import (
 	"testing"
 	"time"
 
+	"convgpu/internal/bytesize"
 	"convgpu/internal/core"
 	"convgpu/internal/daemon"
 	"convgpu/internal/fault"
 	"convgpu/internal/gpu"
 	"convgpu/internal/ipc"
+	"convgpu/internal/leak"
+	"convgpu/internal/model"
 	"convgpu/internal/multigpu"
 	"convgpu/internal/protocol"
 	"convgpu/internal/wrapper"
@@ -29,7 +32,7 @@ import (
 // routing must not let a fault leak a grant across pools. Shares
 // -chaos.seeds with TestChaos, so `make chaos` sweeps both.
 func TestChaosMultiDevice(t *testing.T) {
-	baseline := runtime.NumGoroutine()
+	leak.Check(t) // the whole sweep must wind its goroutines down
 	for seed := int64(1); seed <= int64(*chaosSeeds); seed++ {
 		seed := seed
 		ok := t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
@@ -39,16 +42,6 @@ func TestChaosMultiDevice(t *testing.T) {
 			t.Fatalf("seed %d violated an invariant; replay with -run 'TestChaosMultiDevice/seed=%d$' -chaos.seeds=%d", seed, seed, *chaosSeeds)
 		}
 	}
-	deadline := time.Now().Add(5 * time.Second)
-	for time.Now().Before(deadline) {
-		if runtime.NumGoroutine() <= baseline {
-			return
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
-	buf := make([]byte, 1<<20)
-	t.Fatalf("goroutines leaked across multi-device chaos sweep: %d > baseline %d\n%s",
-		runtime.NumGoroutine(), baseline, buf[:runtime.Stack(buf, true)])
 }
 
 func runChaosMultiDeviceSchedule(t *testing.T, seed int64) {
@@ -70,6 +63,10 @@ func runChaosMultiDeviceSchedule(t *testing.T, seed int64) {
 		t.Fatal(err)
 	}
 	defer d.Close()
+	// Structural history checking over both devices' interleaved event
+	// streams (replaces the daemon's telemetry observer).
+	hist := &model.History{}
+	st.SetObserver(hist.Observer())
 
 	ctl, err := ipc.Dial(d.ControlSocket())
 	if err != nil {
@@ -168,5 +165,8 @@ func runChaosMultiDeviceSchedule(t *testing.T, seed int64) {
 	}
 	if err := st.CheckInvariants(); err != nil {
 		t.Fatalf("invariant violated after teardown: %v", err)
+	}
+	if err := hist.CheckDrained(func(int) bytesize.Size { return cmib(chaosCapacity) }); err != nil {
+		t.Fatalf("event history violates structural invariants: %v", err)
 	}
 }

@@ -19,6 +19,8 @@ import (
 	"convgpu/internal/fault"
 	"convgpu/internal/gpu"
 	"convgpu/internal/ipc"
+	"convgpu/internal/leak"
+	"convgpu/internal/model"
 	"convgpu/internal/protocol"
 	"convgpu/internal/wrapper"
 )
@@ -47,7 +49,10 @@ func cmib(n int) bytesize.Size { return bytesize.Size(n) * bytesize.MiB }
 // pool must hold the full capacity again — no grant may leak or be
 // double-counted no matter where a fault landed.
 func TestChaos(t *testing.T) {
-	baseline := runtime.NumGoroutine()
+	// Goroutine hygiene over the whole sweep: every daemon, server conn,
+	// reconnector, and wrapper report goroutine must have wound down by
+	// the end of the test.
+	leak.Check(t)
 	for seed := int64(1); seed <= int64(*chaosSeeds); seed++ {
 		seed := seed
 		ok := t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
@@ -57,18 +62,6 @@ func TestChaos(t *testing.T) {
 			t.Fatalf("seed %d violated an invariant; replay with -run 'TestChaos/seed=%d$' -chaos.seeds=%d", seed, seed, *chaosSeeds)
 		}
 	}
-	// Goroutine hygiene over the whole sweep: every daemon, server conn,
-	// reconnector, and wrapper report goroutine must have wound down.
-	deadline := time.Now().Add(5 * time.Second)
-	for time.Now().Before(deadline) {
-		if runtime.NumGoroutine() <= baseline {
-			return
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
-	buf := make([]byte, 1<<20)
-	t.Fatalf("goroutines leaked across chaos sweep: %d > baseline %d\n%s",
-		runtime.NumGoroutine(), baseline, buf[:runtime.Stack(buf, true)])
 }
 
 func runChaosSchedule(t *testing.T, seed int64) {
@@ -78,6 +71,13 @@ func runChaosSchedule(t *testing.T, seed int64) {
 		t.Fatal(err)
 	}
 	defer d.Close()
+	// Structural history checking rides along: whatever interleaving the
+	// faults produce, the event stream itself must stay safe
+	// (conservation, ticket discipline, per-container FIFO). Replaces the
+	// daemon's telemetry observer — this suite asserts behavior, not
+	// metrics.
+	hist := &model.History{}
+	st.SetObserver(hist.Observer())
 
 	ctl, err := ipc.Dial(d.ControlSocket())
 	if err != nil {
@@ -166,6 +166,12 @@ func runChaosSchedule(t *testing.T, seed int64) {
 	}
 	if err := st.CheckInvariants(); err != nil {
 		t.Fatalf("invariant violated after teardown: %v", err)
+	}
+	// Both sessions closed over a healed transport: the capture must be
+	// structurally safe AND fully drained — a ticket still parked here is
+	// a request the chaos lost without cancelling.
+	if err := hist.CheckDrained(func(int) bytesize.Size { return cmib(chaosCapacity) }); err != nil {
+		t.Fatalf("event history violates structural invariants: %v", err)
 	}
 }
 

@@ -4,31 +4,14 @@ import (
 	"context"
 	"errors"
 	"net"
-	"runtime"
 	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"convgpu/internal/leak"
 	"convgpu/internal/protocol"
 )
-
-// checkGoroutines fails the test if the goroutine count has not come
-// back down to the baseline — a leaked read loop or parked responder.
-func checkGoroutines(t *testing.T, baseline int) {
-	t.Helper()
-	deadline := time.Now().Add(3 * time.Second)
-	for time.Now().Before(deadline) {
-		if runtime.NumGoroutine() <= baseline {
-			return
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
-	buf := make([]byte, 1<<20)
-	n := runtime.Stack(buf, true)
-	t.Fatalf("goroutine leak: %d running, baseline %d\n%s",
-		runtime.NumGoroutine(), baseline, buf[:n])
-}
 
 func waitClosed(t *testing.T, h *echoHandler) {
 	t.Helper()
@@ -46,7 +29,7 @@ func waitClosed(t *testing.T, h *echoHandler) {
 // connection cleanly — Closed fires, the socket actually closes (the
 // peer sees EOF instead of hanging), and no goroutine is left behind.
 func TestOversizedFrameKillsServerConn(t *testing.T) {
-	baseline := runtime.NumGoroutine()
+	leak.Check(t)
 	h := &echoHandler{}
 	srv, err := Listen(sockPath(t), h)
 	if err != nil {
@@ -74,13 +57,12 @@ func TestOversizedFrameKillsServerConn(t *testing.T) {
 	}
 	conn.Close()
 	srv.Close()
-	checkGoroutines(t, baseline)
 }
 
 // TestTruncatedFrameServer: a connection dying mid-line must not wedge
 // the server — Closed fires and nothing leaks.
 func TestTruncatedFrameServer(t *testing.T) {
-	baseline := runtime.NumGoroutine()
+	leak.Check(t)
 	h := &echoHandler{}
 	srv, err := Listen(sockPath(t), h)
 	if err != nil {
@@ -98,13 +80,12 @@ func TestTruncatedFrameServer(t *testing.T) {
 	conn.Close()
 	waitClosed(t, h)
 	srv.Close()
-	checkGoroutines(t, baseline)
 }
 
 // TestOversizedFrameKillsClient: the client read loop hitting an
 // oversized frame must fail in-flight Calls and release the socket.
 func TestOversizedFrameKillsClient(t *testing.T) {
-	baseline := runtime.NumGoroutine()
+	leak.Check(t)
 	ln, err := net.Listen("unix", sockPath(t))
 	if err != nil {
 		t.Fatal(err)
@@ -147,7 +128,6 @@ func TestOversizedFrameKillsClient(t *testing.T) {
 	srvConn.Close()
 	cli.Close()
 	ln.Close()
-	checkGoroutines(t, baseline)
 }
 
 func isConnDead(err error) bool {
@@ -157,7 +137,7 @@ func isConnDead(err error) bool {
 // TestTruncatedFrameClient: the server dying mid-response line must
 // fail the in-flight Call with a connection error, not a hang.
 func TestTruncatedFrameClient(t *testing.T) {
-	baseline := runtime.NumGoroutine()
+	leak.Check(t)
 	ln, err := net.Listen("unix", sockPath(t))
 	if err != nil {
 		t.Fatal(err)
@@ -183,7 +163,6 @@ func TestTruncatedFrameClient(t *testing.T) {
 	}
 	cli.Close()
 	ln.Close()
-	checkGoroutines(t, baseline)
 }
 
 // panicHandler panics on abort requests and serves everything else.

@@ -1,0 +1,141 @@
+// Package leak provides a snapshot-and-diff goroutine leak check for
+// tests. The pattern appears all over the suite — a daemon, an ipc
+// server, a reconnector, or a wrapper report loop each own background
+// goroutines, and a test that forgets to wind one down passes today and
+// poisons every later test's baseline. Call Check(t) at the top of a
+// test; when the test (including its subtests) finishes, every
+// goroutine that was not already running at the call must be gone.
+//
+// The diff is by goroutine ID, not by count: a concurrent test
+// elsewhere finishing early cannot mask a leak here, and the failure
+// message shows only the stacks of the goroutines this test actually
+// leaked, not the whole world.
+package leak
+
+import (
+	"fmt"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// maxWait bounds the wind-down grace period. Goroutine teardown is
+// asynchronous almost everywhere (a Close returns before the read loop
+// observes it), so the check polls instead of demanding instant quiet.
+// A variable only so the package's own failure-path test does not stall
+// for the full grace period.
+var maxWait = 5 * time.Second
+
+// ignoredStacks marks goroutines the runtime or the testing framework
+// own; they come and go on their own schedule and are never a leak the
+// test under check can fix.
+var ignoredStacks = []string{
+	"testing.(*T).Run",            // a sibling test's goroutine
+	"testing.(*F).Fuzz",           // fuzz worker plumbing
+	"testing.runFuzzing",          //
+	"runtime.goexit",              // header-only remnants
+	"runtime/pprof.profileWriter", //
+	"os/signal.signal_recv",       //
+	"os/signal.loop",              //
+}
+
+// Check snapshots the running goroutines and registers a cleanup that
+// fails t if, once the test is over, goroutines born after the snapshot
+// are still running. Call it before starting the code under test.
+func Check(t testing.TB) {
+	t.Helper()
+	base := ids(stacks())
+	t.Cleanup(func() {
+		deadline := time.Now().Add(maxWait)
+		var leaked []goroutineStack
+		for {
+			leaked = leakedSince(base)
+			if len(leaked) == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "%d goroutine(s) leaked by this test:\n", len(leaked))
+		for _, g := range leaked {
+			b.WriteString("\n")
+			b.WriteString(g.text)
+		}
+		t.Error(b.String())
+	})
+}
+
+// goroutineStack is one parsed block of runtime.Stack output.
+type goroutineStack struct {
+	id   int64
+	text string
+}
+
+// stacks parses an all-goroutine dump into per-goroutine blocks.
+func stacks() []goroutineStack {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	var out []goroutineStack
+	for _, block := range strings.Split(string(buf), "\n\n") {
+		if block == "" {
+			continue
+		}
+		// Header: "goroutine 123 [state]:"
+		rest, ok := strings.CutPrefix(block, "goroutine ")
+		if !ok {
+			continue
+		}
+		numEnd := strings.IndexByte(rest, ' ')
+		if numEnd < 0 {
+			continue
+		}
+		id, err := strconv.ParseInt(rest[:numEnd], 10, 64)
+		if err != nil {
+			continue
+		}
+		out = append(out, goroutineStack{id: id, text: block})
+	}
+	return out
+}
+
+func ids(gs []goroutineStack) map[int64]bool {
+	m := make(map[int64]bool, len(gs))
+	for _, g := range gs {
+		m[g.id] = true
+	}
+	return m
+}
+
+// leakedSince returns the goroutines running now that are neither in
+// the baseline nor owned by the runtime/test framework.
+func leakedSince(base map[int64]bool) []goroutineStack {
+	var out []goroutineStack
+	for _, g := range stacks() {
+		if base[g.id] || ignored(g.text) {
+			continue
+		}
+		out = append(out, g)
+	}
+	return out
+}
+
+func ignored(stack string) bool {
+	for _, s := range ignoredStacks {
+		if strings.Contains(stack, s) {
+			return true
+		}
+	}
+	return false
+}

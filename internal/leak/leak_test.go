@@ -1,0 +1,68 @@
+package leak
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeT records failures instead of failing the real test, and runs its
+// cleanups on demand like the end of a test would.
+type fakeT struct {
+	testing.TB // panics on anything not overridden
+	cleanups   []func()
+	failed     bool
+	msg        string
+}
+
+func (f *fakeT) Helper()           {}
+func (f *fakeT) Cleanup(fn func()) { f.cleanups = append(f.cleanups, fn) }
+func (f *fakeT) Error(args ...any) { f.failed = true; f.msg, _ = args[0].(string) }
+func (f *fakeT) finish() {
+	for i := len(f.cleanups) - 1; i >= 0; i-- {
+		f.cleanups[i]()
+	}
+}
+
+func TestCheckPassesWhenGoroutinesWindDown(t *testing.T) {
+	ft := &fakeT{}
+	Check(ft)
+	done := make(chan struct{})
+	stop := make(chan struct{})
+	go func() { <-stop; close(done) }()
+	close(stop)
+	<-done
+	ft.finish()
+	if ft.failed {
+		t.Fatalf("Check failed on a wound-down goroutine:\n%s", ft.msg)
+	}
+}
+
+func TestCheckCatchesLeak(t *testing.T) {
+	defer func(w time.Duration) { maxWait = w }(maxWait)
+	maxWait = 50 * time.Millisecond
+	ft := &fakeT{}
+	Check(ft)
+	stop := make(chan struct{})
+	go func() { <-stop }() // leaks until we close stop below
+	ft.finish()
+	close(stop)
+	if !ft.failed {
+		t.Fatal("Check missed a leaked goroutine")
+	}
+}
+
+func TestCheckIgnoresBaselineGoroutines(t *testing.T) {
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() { <-stop; close(done) }() // alive before the snapshot
+	ft := &fakeT{}
+	Check(ft)
+	ft.finish()
+	close(stop)
+	<-done
+	if ft.failed {
+		t.Fatalf("Check blamed a baseline goroutine:\n%s", ft.msg)
+	}
+	// Give unrelated tests a clean world again.
+	time.Sleep(time.Millisecond)
+}

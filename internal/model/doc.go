@@ -1,0 +1,46 @@
+// Package model is the conformance oracle for the ConVGPU scheduler: a
+// small, obviously-correct sequential reference model of the paper's
+// admission/suspend/redistribute semantics, a deterministic harness that
+// drives the real stack (core.State, multigpu.State, cluster.Cluster —
+// and, in the tests, the full daemon+ipc loop) through seeded op
+// streams while comparing every observable result against the model,
+// a ddmin shrinker that reduces a failing stream to a minimal
+// reproducer, and a history checker that validates structural safety
+// invariants over the scheduler's event log.
+//
+// The model deliberately trades everything the real scheduler has for
+// performance — fast paths, RWMutex/leaf-lock splitting, pooled
+// buffers, routing planes — for a single flat state machine: plain
+// maps, one method per scheduler operation, straight-line loops that
+// mirror the paper's redistribution description. Each of the four
+// redistribution algorithms (FIFO, Best-Fit, Recent-Use, Random) is
+// reimplemented here independently from internal/core, so a bug in
+// either implementation shows up as a divergence.
+//
+// Division of labor between the two checkers:
+//
+//   - Exact conformance (Backend + RunOps): the harness executes each
+//     op against both the real scheduler and the model and demands
+//     identical results — decision, ticket number, granted bytes,
+//     admitted/cancelled sequences, error class — plus an identical
+//     full state snapshot (per-container limit/grant/used/pending and
+//     per-device pool) after every op. This is the strong oracle: it
+//     covers cross-container properties like "no grant while an
+//     earlier FIFO candidate is parked" that cannot be recovered from
+//     the event log alone (grant reclamation during redistribution
+//     emits no per-container usage event, and FIFO picks by container
+//     creation order, not ticket order). It requires sequential
+//     driving.
+//
+//   - History checking (CheckHistory): structural invariants over the
+//     event stream — per-device capacity conservation, non-negative
+//     usage, strictly increasing suspend tickets, per-container FIFO
+//     resume order, no resume of an unparked ticket — that remain
+//     sound under concurrency and injected faults, where exact
+//     prediction is impossible. The chaos suite feeds it the event
+//     stream of a full-stack run over a hostile transport.
+//
+// Replaying a failure: every conformance test prints the generator
+// seed and, after shrinking, the minimal op stream. See TESTING.md for
+// the replay workflow.
+package model

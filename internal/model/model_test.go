@@ -1,0 +1,200 @@
+package model_test
+
+import (
+	"flag"
+	"fmt"
+	"testing"
+
+	"convgpu/internal/bytesize"
+	"convgpu/internal/cluster"
+	"convgpu/internal/core"
+	"convgpu/internal/model"
+	"convgpu/internal/multigpu"
+)
+
+// The short run (defaults) keeps `go test ./...` fast; `make model`
+// raises both, and `make model-long` goes further still. To replay a
+// reported failure: -model.seed pins the generator to exactly one seed.
+var (
+	seedCount = flag.Int("model.seeds", 4, "seeds per algorithm/backend combination")
+	opCount   = flag.Int("model.ops", 300, "ops per generated stream")
+	onlySeed  = flag.Int64("model.seed", -1, "replay a single generator seed (overrides -model.seeds)")
+)
+
+const (
+	capacity = bytesize.GiB
+	overhead = core.DefaultContextOverhead
+)
+
+// backends returns the three topologies the oracle checks, each built
+// around the given algorithm and seed: a single core.State, a 2-device
+// multigpu.State, and a 2x2 cluster.Cluster. Restarts are exercised on
+// the first two; cluster recovery migrates claims across nodes (every
+// un-pinned claim lands on the first accepting node), which is a
+// placement-policy question the sequential model does not answer, so
+// restart ops are disabled there.
+func backends(alg string, seed int64) []model.Backend {
+	single := func() (core.Scheduler, error) {
+		a, err := core.NewAlgorithm(alg, seed)
+		if err != nil {
+			return nil, err
+		}
+		return core.New(core.Config{Capacity: capacity, ContextOverhead: overhead, Algorithm: a})
+	}
+	multi := func() (core.Scheduler, error) {
+		return multigpu.New(multigpu.Config{
+			Devices: 2, CapacityPerDevice: capacity,
+			Algorithm: alg, AlgSeed: seed, ContextOverhead: overhead,
+		})
+	}
+	clus := func() (core.Scheduler, error) {
+		return cluster.New(cluster.Config{
+			Nodes: 2, GPUsPerNode: 2, CapacityPerGPU: capacity,
+			Algorithm: alg, AlgSeed: seed, ContextOverhead: overhead,
+		})
+	}
+	return []model.Backend{
+		{
+			Name: "core", New: single, Restart: single,
+			Model: func() *model.Model {
+				return model.New(model.Config{
+					Devices: 1, Capacity: capacity, Overhead: overhead,
+					Algorithm: alg, AlgSeeds: []int64{seed},
+				})
+			},
+		},
+		{
+			Name: "multigpu-2", New: multi, Restart: multi,
+			Model: func() *model.Model {
+				return model.New(model.Config{
+					Devices: 2, Capacity: capacity, Overhead: overhead,
+					Algorithm: alg, AlgSeeds: []int64{seed, seed + 1}, Routed: true,
+				})
+			},
+		},
+		{
+			Name: "cluster-2x2", New: clus,
+			Model: func() *model.Model {
+				return model.New(model.Config{
+					Devices: 4, Capacity: capacity, Overhead: overhead,
+					Algorithm: alg,
+					AlgSeeds:  []int64{seed, seed + 1, seed + 100, seed + 101},
+					Routed:    true,
+				})
+			},
+			DeviceOf: func(s core.Scheduler, id core.ContainerID) (int, error) {
+				node, dev, err := s.(*cluster.Cluster).NodePlacement(id)
+				if err != nil {
+					return -1, err
+				}
+				return node*2 + dev, nil
+			},
+		},
+	}
+}
+
+// reportDivergence shrinks the failing stream to a minimal reproducer
+// and fails the test with a replayable trace.
+func reportDivergence(t *testing.T, b model.Backend, alg string, seed int64, ops []model.Op, div *model.Divergence) {
+	t.Helper()
+	min := model.Shrink(ops, func(sub []model.Op) bool { return model.Fails(b, sub) })
+	d, err := model.RunOps(b, min)
+	if err != nil || d == nil {
+		// Shrinking should preserve the failure; fall back to the
+		// original stream if it somehow did not.
+		min, d = ops, div
+	}
+	t.Fatalf("%s/%s diverges from the reference model (seed=%d, %d ops)\nfirst divergence: %v\nminimal reproducer (%d ops):\n%s"+
+		"replay: go test ./internal/model -run 'TestConformance' -model.seed=%d -model.ops=%d",
+		b.Name, alg, seed, len(ops), d, len(min), model.FormatOps(min), seed, len(ops))
+}
+
+func seedsToRun() []int64 {
+	if *onlySeed >= 0 {
+		return []int64{*onlySeed}
+	}
+	out := make([]int64, *seedCount)
+	for i := range out {
+		out[i] = int64(i + 1)
+	}
+	return out
+}
+
+// TestConformance drives every algorithm on every topology through
+// seeded op streams, comparing each step and each post-step snapshot
+// against the sequential reference model.
+func TestConformance(t *testing.T) {
+	for _, alg := range core.AlgorithmNames() {
+		for _, seed := range seedsToRun() {
+			for _, b := range backends(alg, seed) {
+				b, alg, seed := b, alg, seed
+				t.Run(fmt.Sprintf("%s/%s/seed%d", alg, b.Name, seed), func(t *testing.T) {
+					t.Parallel()
+					g := model.DefaultGenConfig()
+					g.Restarts = b.Restart != nil
+					ops := model.Generate(seed, *opCount, g)
+					div, err := model.RunOps(b, ops)
+					if err != nil {
+						t.Fatalf("harness error: %v", err)
+					}
+					if div != nil {
+						reportDivergence(t, b, alg, seed, ops, div)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestConformanceRestartHeavy skews the stream toward restarts so the
+// recovery replay path (RestorePlacement → EnsureRegistered → Restore)
+// is hit many times per run, checking restart idempotence: recovering
+// the same live set must reproduce the same grants and pools.
+func TestConformanceRestartHeavy(t *testing.T) {
+	for _, alg := range []string{core.AlgFIFO, core.AlgBestFit} {
+		for _, seed := range seedsToRun() {
+			for _, b := range backends(alg, seed)[:2] { // core + multigpu support restart
+				b, alg, seed := b, alg, seed
+				t.Run(fmt.Sprintf("%s/%s/seed%d", alg, b.Name, seed), func(t *testing.T) {
+					t.Parallel()
+					g := model.DefaultGenConfig()
+					g.Restarts = true
+					ops := model.Generate(seed+7000, *opCount, g)
+					// Densify restarts: every 25th op becomes one.
+					for i := 12; i < len(ops); i += 25 {
+						ops[i] = model.Op{Kind: model.OpRestart}
+					}
+					div, err := model.RunOps(b, ops)
+					if err != nil {
+						t.Fatalf("harness error: %v", err)
+					}
+					if div != nil {
+						reportDivergence(t, b, alg, seed, ops, div)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestShrinkSubsequencesExecutable pins the property ddmin relies on:
+// any subsequence of a generated stream runs without harness errors.
+func TestShrinkSubsequencesExecutable(t *testing.T) {
+	b := backends(core.AlgFIFO, 1)[0]
+	g := model.DefaultGenConfig()
+	ops := model.Generate(42, 120, g)
+	// Drop every third op: the result must still execute cleanly.
+	var sub []model.Op
+	for i, o := range ops {
+		if i%3 != 0 {
+			sub = append(sub, o)
+		}
+	}
+	div, err := model.RunOps(b, sub)
+	if err != nil {
+		t.Fatalf("subsequence not executable: %v", err)
+	}
+	if div != nil {
+		t.Fatalf("subsequence diverged: %v", div)
+	}
+}

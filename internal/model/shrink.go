@@ -1,0 +1,59 @@
+package model
+
+// Shrink reduces a failing op stream to a minimal reproducer using
+// ddmin-style chunk removal followed by a single-op elimination sweep.
+// fails must report whether a candidate stream still reproduces the
+// failure on a fresh backend; it is assumed deterministic (the harness
+// and generator are). The input is never mutated.
+//
+// Because ops address containers by slot and allocations/tickets by
+// pick index — both resolved at execution time — every subsequence of a
+// valid stream is itself executable, so removal never produces an
+// un-runnable candidate, only one that may or may not still fail.
+func Shrink(ops []Op, fails func([]Op) bool) []Op {
+	cur := append([]Op(nil), ops...)
+
+	// ddmin: try removing ever-finer chunks until granularity exceeds
+	// the stream length.
+	for chunk := len(cur) / 2; chunk >= 1; {
+		removed := false
+		for start := 0; start < len(cur); {
+			end := start + chunk
+			if end > len(cur) {
+				end = len(cur)
+			}
+			cand := make([]Op, 0, len(cur)-(end-start))
+			cand = append(cand, cur[:start]...)
+			cand = append(cand, cur[end:]...)
+			if len(cand) < len(cur) && fails(cand) {
+				cur = cand
+				removed = true
+				// retry the same offset: the next chunk slid into place
+			} else {
+				start = end
+			}
+		}
+		if !removed {
+			chunk /= 2
+		}
+	}
+
+	// Final pass: drop single ops until a fixpoint. ddmin with chunk=1
+	// already does one sweep, but removals can enable earlier removals.
+	for {
+		removed := false
+		for i := 0; i < len(cur); i++ {
+			cand := make([]Op, 0, len(cur)-1)
+			cand = append(cand, cur[:i]...)
+			cand = append(cand, cur[i+1:]...)
+			if fails(cand) {
+				cur = cand
+				removed = true
+				i--
+			}
+		}
+		if !removed {
+			return cur
+		}
+	}
+}

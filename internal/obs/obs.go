@@ -13,18 +13,19 @@ import (
 // documents the full schema; these constants keep daemon, facade and
 // tests referring to one spelling.
 const (
-	MetricEvents           = "convgpu_scheduler_events_total"
-	MetricPoolFree         = "convgpu_pool_free_bytes"
-	MetricDevicePoolFree   = "convgpu_device_pool_free_bytes"
-	MetricDeviceContainers = "convgpu_device_containers"
-	MetricContainers     = "convgpu_containers"
-	MetricSuspended      = "convgpu_containers_suspended"
-	MetricPending        = "convgpu_pending_requests"
-	MetricHandlerLatency = "convgpu_ipc_handler_seconds"
-	MetricSuspendWait    = "convgpu_suspend_wait_seconds"
-	MetricRTT            = "convgpu_ipc_rtt_seconds"
-	MetricReconnects     = "convgpu_ipc_reconnects_total"
-	MetricLeaseExpiries  = "convgpu_lease_expiries_total"
+	MetricEvents            = "convgpu_scheduler_events_total"
+	MetricPoolFree          = "convgpu_pool_free_bytes"
+	MetricDevicePoolFree    = "convgpu_device_pool_free_bytes"
+	MetricDeviceContainers  = "convgpu_device_containers"
+	MetricContainers        = "convgpu_containers"
+	MetricSuspended         = "convgpu_containers_suspended"
+	MetricPending           = "convgpu_pending_requests"
+	MetricHandlerLatency    = "convgpu_ipc_handler_seconds"
+	MetricSuspendWait       = "convgpu_suspend_wait_seconds"
+	MetricRTT               = "convgpu_ipc_rtt_seconds"
+	MetricReconnects        = "convgpu_ipc_reconnects_total"
+	MetricLeaseExpiries     = "convgpu_lease_expiries_total"
+	MetricSessionsDiscarded = "convgpu_sessions_discarded_total"
 )
 
 // Config parameterizes an Observability bundle.
@@ -65,6 +66,9 @@ type Observability struct {
 	// sessions reaped by the daemon's lease loop.
 	Reconnects    *Counter
 	LeaseExpiries *Counter
+	// SessionsDiscarded counts persisted sessions the daemon threw away
+	// during restart recovery (corrupt JSON, unservable device, ...).
+	SessionsDiscarded *Counter
 
 	// devMu guards suspendByDev, the per-device suspend-wait series
 	// BindCore registers for each device the bound backend serves.
@@ -103,6 +107,8 @@ func New(cfg Config) *Observability {
 		"Control-channel reconnect attempts that produced a fresh connection.", nil)
 	o.LeaseExpiries = reg.NewCounter(MetricLeaseExpiries,
 		"Container sessions reaped after their lease expired.", nil)
+	o.SessionsDiscarded = reg.NewCounter(MetricSessionsDiscarded,
+		"Persisted sessions discarded during daemon restart recovery.", nil)
 	return o
 }
 
@@ -123,7 +129,7 @@ func (o *Observability) observeEvent(e core.EventRecord) {
 	if k >= 0 && k < len(o.byKind) {
 		o.byKind[k].Inc()
 	}
-	o.tracer.Record(e.At, e.Kind.String(), string(e.Container), e.PID, int64(e.Amount), e.Device)
+	o.tracer.Record(e.At, e.Kind.String(), string(e.Container), e.PID, int64(e.Amount), e.Device, uint64(e.Ticket))
 	if e.Kind == core.EvClose {
 		o.tracer.EndContainer(string(e.Container))
 	}

@@ -131,12 +131,12 @@ func TestWritePrometheus(t *testing.T) {
 func TestTracerCausalOrder(t *testing.T) {
 	tr := NewTracer(16)
 	at := time.Unix(0, 1000)
-	tr.Record(at, "register", "a", 0, 0, 0)
-	tr.Record(at, "register", "b", 0, 0, 0)
-	tr.Record(at, "accept", "a", 1, 100, 0)
-	tr.Record(at, "close", "a", 0, 0, 0)
+	tr.Record(at, "register", "a", 0, 0, 0, 0)
+	tr.Record(at, "register", "b", 0, 0, 0, 0)
+	tr.Record(at, "accept", "a", 1, 100, 0, 0)
+	tr.Record(at, "close", "a", 0, 0, 0, 0)
 	tr.EndContainer("a")
-	tr.Record(at, "register", "a", 0, 0, 0) // re-registered ID restarts
+	tr.Record(at, "register", "a", 0, 0, 0, 0) // re-registered ID restarts
 
 	evs := tr.Events("a")
 	if len(evs) != 4 {
@@ -161,7 +161,7 @@ func TestTracerWrapAndLimit(t *testing.T) {
 	tr := NewTracer(4)
 	at := time.Unix(0, 0)
 	for i := 0; i < 10; i++ {
-		tr.Record(at, "accept", "c", 1, int64(i), 0)
+		tr.Record(at, "accept", "c", 1, int64(i), 0, 0)
 	}
 	if tr.Len() != 4 {
 		t.Fatalf("Len = %d, want 4", tr.Len())
@@ -182,7 +182,7 @@ func TestTracerWrapAndLimit(t *testing.T) {
 	}
 	// Disabled retention still assigns sequence numbers.
 	off := NewTracer(-1)
-	off.Record(at, "accept", "c", 1, 0, 0)
+	off.Record(at, "accept", "c", 1, 0, 0, 0)
 	if off.Len() != 0 {
 		t.Fatal("disabled tracer retained events")
 	}

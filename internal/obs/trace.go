@@ -24,6 +24,7 @@ type TraceEvent struct {
 	PID       int    `json:"pid,omitempty"`
 	Amount    int64  `json:"amount,omitempty"`
 	Device    int    `json:"device,omitempty"`
+	Ticket    uint64 `json:"ticket,omitempty"`
 }
 
 // Tracer is a fixed-capacity ring buffer of TraceEvents. Recording
@@ -54,8 +55,9 @@ func NewTracer(capacity int) *Tracer {
 }
 
 // Record appends one event. Seq and CSeq are assigned here, under the
-// tracer's own ordering, from the fields the caller provides.
-func (t *Tracer) Record(at time.Time, kind, container string, pid int, amount int64, device int) {
+// tracer's own ordering, from the fields the caller provides. ticket is
+// the parked-request ticket for suspend/resume/drop kinds (0 otherwise).
+func (t *Tracer) Record(at time.Time, kind, container string, pid int, amount int64, device int, ticket uint64) {
 	t.mu.Lock()
 	t.seq++
 	e := TraceEvent{
@@ -66,6 +68,7 @@ func (t *Tracer) Record(at time.Time, kind, container string, pid int, amount in
 		PID:       pid,
 		Amount:    amount,
 		Device:    device,
+		Ticket:    ticket,
 	}
 	if container != "" {
 		t.cseq[container]++

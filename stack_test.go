@@ -12,10 +12,14 @@ import (
 	"time"
 
 	"convgpu"
+	"convgpu/internal/leak"
 )
 
 func newStack(t *testing.T, opts ...convgpu.Option) *convgpu.Stack {
 	t.Helper()
+	// Registered before the Close cleanup below, so it runs after it:
+	// a closed stack must have wound down every goroutine it started.
+	leak.Check(t)
 	opts = append([]convgpu.Option{convgpu.WithBaseDir(t.TempDir())}, opts...)
 	st, err := convgpu.New(opts...)
 	if err != nil {
