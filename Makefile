@@ -3,8 +3,8 @@
 
 GO ?= go
 
-.PHONY: all build test vet check apicheck apigen race chaos bench clean \
-	model model-long fuzz-smoke cover
+.PHONY: all build test vet check apicheck apigen race chaos bench \
+	bench-all benchdiff clean model model-long fuzz-smoke cover
 
 all: build test
 
@@ -73,6 +73,8 @@ FUZZTIME ?= 10s
 fuzz-smoke:
 	$(GO) test ./internal/protocol -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/protocol -run '^$$' -fuzz '^FuzzEncodeDecodeRoundTrip$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/protocol -run '^$$' -fuzz '^FuzzBinaryDecode$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/protocol -run '^$$' -fuzz '^FuzzBinaryJSONParity$$' -fuzztime $(FUZZTIME)
 
 # cover enforces per-package statement-coverage floors on the packages
 # that carry the correctness burden. The floors are recorded a couple of
@@ -98,6 +100,26 @@ cover:
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkHotPath' -benchmem -count=1 . | tee BENCH_hotpath.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkHotPath' -benchmem -count=1 -json . > BENCH_hotpath.json
+
+# bench-all regenerates docs_bench_all.txt, the captured full benchmark
+# run EXPERIMENTS.md quotes — every family at -benchtime=1x except the
+# hot-path suite, which gets real sampling via `make bench` above. Run
+# it whenever a benchmark is added or renamed so the capture cannot
+# drift from the suite.
+bench-all:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime=1x -count=1 . | tee docs_bench_all.txt
+
+# benchdiff compares the current hot-path numbers against the committed
+# BENCH_hotpath.txt baseline with the home-grown comparer (benchstat
+# itself is an external module this repo does not vendor). Informational
+# by default; pass BENCHDIFF_FAIL_OVER=25 to fail on a >25% ns/op
+# regression (CI does, with generous slack for shared runners).
+BENCHDIFF_FAIL_OVER ?= 0
+benchdiff:
+	@tmp=$$(mktemp); \
+	$(GO) test -run '^$$' -bench 'BenchmarkHotPath' -benchmem -count=1 . > $$tmp || { cat $$tmp; rm -f $$tmp; exit 1; }; \
+	$(GO) run ./tools/benchdiff -fail-over $(BENCHDIFF_FAIL_OVER) BENCH_hotpath.txt $$tmp; \
+	status=$$?; rm -f $$tmp; exit $$status
 
 clean:
 	rm -f BENCH_hotpath.json BENCH_hotpath.txt

@@ -3,8 +3,10 @@
 // path the paper's Fig. 4 overhead numbers hinge on, measured at three
 // altitudes so a regression is attributable to one layer:
 //
-//	BenchmarkHotPathCodec*        protocol encode/decode of the fixed
+//	BenchmarkHotPathCodec*        JSON encode/decode of the fixed
 //	                              alloc/response message shapes
+//	BenchmarkHotPathBinary*       the same shapes through the negotiated
+//	                              binary fast-path codec (0 allocs/op)
 //	BenchmarkHotPathCore*         scheduler admit/confirm/free with no
 //	                              transport (fast-path admit territory)
 //	BenchmarkHotPathRouted*       the same cycle through the multi-device
@@ -18,11 +20,14 @@ package convgpu_test
 
 import (
 	"context"
+	"fmt"
+	"sync"
 	"sync/atomic"
 	"testing"
 
 	"convgpu/internal/bytesize"
 	"convgpu/internal/core"
+	"convgpu/internal/ipc"
 	"convgpu/internal/multigpu"
 	"convgpu/internal/obs"
 	"convgpu/internal/protocol"
@@ -68,9 +73,11 @@ func BenchmarkHotPathCodecDecode(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := protocol.Decode(line); err != nil {
+		m, err := protocol.Decode(line)
+		if err != nil {
 			b.Fatal(err)
 		}
+		protocol.ReleaseMessage(m)
 	}
 }
 
@@ -83,9 +90,70 @@ func BenchmarkHotPathCodecRoundTrip(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := protocol.Decode(line); err != nil {
+		d, err := protocol.Decode(line)
+		if err != nil {
 			b.Fatal(err)
 		}
+		protocol.ReleaseMessage(d)
+	}
+}
+
+// --- binary fast-path codec ---
+
+func BenchmarkHotPathBinaryEncode(b *testing.B) {
+	m := hotPathAllocMsg()
+	buf := make([]byte, 0, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, ok := protocol.AppendEncodeBinary(buf[:0], m)
+		if !ok {
+			b.Fatal("alloc message not binary-representable")
+		}
+		buf = out[:0]
+	}
+}
+
+func BenchmarkHotPathBinaryDecode(b *testing.B) {
+	frame, ok := protocol.AppendEncodeBinary(nil, hotPathRespMsg())
+	if !ok {
+		b.Fatal("response message not binary-representable")
+	}
+	var m protocol.Message
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op, n, seq, err := protocol.ParseBinaryHeader(frame[:protocol.BinaryHeaderSize])
+		if err != nil {
+			b.Fatal(err)
+		}
+		m.Reset()
+		if err := protocol.DecodeBinaryInto(&m, op, seq, frame[protocol.BinaryHeaderSize:protocol.BinaryHeaderSize+n]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHotPathBinaryRoundTrip(b *testing.B) {
+	req := hotPathAllocMsg()
+	buf := make([]byte, 0, 256)
+	var m protocol.Message
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		frame, ok := protocol.AppendEncodeBinary(buf[:0], req)
+		if !ok {
+			b.Fatal("not binary-representable")
+		}
+		op, n, seq, err := protocol.ParseBinaryHeader(frame[:protocol.BinaryHeaderSize])
+		if err != nil {
+			b.Fatal(err)
+		}
+		m.Reset()
+		if err := protocol.DecodeBinaryInto(&m, op, seq, frame[protocol.BinaryHeaderSize:protocol.BinaryHeaderSize+n]); err != nil {
+			b.Fatal(err)
+		}
+		buf = frame[:0]
 	}
 }
 
@@ -220,6 +288,12 @@ func BenchmarkHotPathRoutedAccept1Device(b *testing.B) { benchRoutedAccept(b, 1)
 // 0 allocs/op.
 func BenchmarkHotPathRoutedAccept2Devices(b *testing.B) { benchRoutedAccept(b, 2) }
 
+// BenchmarkHotPathRoutedAccept64Devices scales the routing plane to 64
+// member cores: with the admission core sharded, per-op cost must stay
+// within 15% of the 1-device row — the backend count must not leak into
+// the per-operation path.
+func BenchmarkHotPathRoutedAccept64Devices(b *testing.B) { benchRoutedAccept(b, 64) }
+
 // --- end to end ---
 
 // hotPathRig is newBenchRig without device latency: what remains is pure
@@ -228,10 +302,85 @@ func newHotPathRig(b *testing.B) *benchRig {
 	return newBenchRig(b, false)
 }
 
+// negotiateBinary flips the rig's wrapper connection to the binary
+// fast-path codec, failing the benchmark if the daemon does not speak
+// it.
+func negotiateBinary(b *testing.B, cli *ipc.Client) {
+	b.Helper()
+	ok, err := cli.NegotiateBinary(context.Background())
+	if err != nil || !ok {
+		b.Fatalf("binary negotiation failed: ok=%v err=%v", ok, err)
+	}
+}
+
+// benchRoundTrip1RTT measures a single request/response round trip over
+// the daemon's real UNIX socket — one meminfo query per iteration, the
+// purest transport + dispatch cost. The binary variant is the
+// sub-5µs/≤4-allocs budget row; the JSON variant is the fallback path's
+// price for comparison.
+func benchRoundTrip1RTT(b *testing.B, binary bool) {
+	r := newHotPathRig(b)
+	if binary {
+		negotiateBinary(b, r.wrapCli)
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := r.wrapCli.Call(ctx, &protocol.Message{Type: protocol.TypeMemInfo, PID: 2})
+		if err != nil || !resp.OK {
+			b.Fatalf("meminfo: %+v %v", resp, err)
+		}
+		protocol.ReleaseMessage(resp)
+	}
+}
+
+func BenchmarkHotPathRoundTrip1RTTBinary(b *testing.B) { benchRoundTrip1RTT(b, true) }
+func BenchmarkHotPathRoundTrip1RTTJSON(b *testing.B)   { benchRoundTrip1RTT(b, false) }
+
+// BenchmarkHotPathRoundTripPipelined keeps 8 calls in flight on one
+// binary connection — the shape the per-connection seq ring exists for.
+// A sequential RTT pays four syscalls and two scheduler wakeups per
+// call; with the pipeline full, the write coalescer batches frames and
+// each wakeup drains several responses, so amortized per-call cost
+// drops well under one synchronous RTT.
+func BenchmarkHotPathRoundTripPipelined(b *testing.B) {
+	const depth = 8
+	r := newHotPathRig(b)
+	negotiateBinary(b, r.wrapCli)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	errc := make(chan error, depth)
+	for g := 0; g < depth; g++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				resp, err := r.wrapCli.Call(ctx, &protocol.Message{Type: protocol.TypeMemInfo, PID: 2})
+				if err != nil || !resp.OK {
+					errc <- fmt.Errorf("meminfo: %+v %v", resp, err)
+					return
+				}
+				protocol.ReleaseMessage(resp)
+			}
+		}(b.N / depth)
+	}
+	wg.Wait()
+	b.StopTimer()
+	close(errc)
+	for err := range errc {
+		b.Fatal(err)
+	}
+}
+
 // BenchmarkHotPathRoundTrip measures one accepted allocation round trip
-// over the daemon's real UNIX socket: alloc (accept), confirm, free.
+// over the daemon's real UNIX socket: alloc (accept), confirm, free —
+// three RTTs per iteration, on the negotiated binary codec.
 func BenchmarkHotPathRoundTrip(b *testing.B) {
 	r := newHotPathRig(b)
+	negotiateBinary(b, r.wrapCli)
 	ctx := context.Background()
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -260,9 +409,10 @@ func BenchmarkHotPathRoundTrip(b *testing.B) {
 
 // BenchmarkHotPathRoundTripParallel multiplexes concurrent allocation
 // cycles over one connection — the several-blocked-processes shape the
-// protocol's sequence numbers exist for.
+// pipelined sequence numbers exist for, on the binary codec.
 func BenchmarkHotPathRoundTripParallel(b *testing.B) {
 	r := newHotPathRig(b)
+	negotiateBinary(b, r.wrapCli)
 	ctx := context.Background()
 	var next int64
 	b.ReportAllocs()
@@ -302,6 +452,7 @@ func BenchmarkHotPathRoundTripParallel(b *testing.B) {
 // paper's intercepted cudaMalloc cost with hardware time subtracted.
 func BenchmarkHotPathWrappedMallocFree(b *testing.B) {
 	r := newHotPathRig(b)
+	negotiateBinary(b, r.wrapCli)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -27,15 +27,19 @@
 // the discrete-event simulator (package sim) maps them to blocked virtual
 // processes. All methods are safe for concurrent use.
 //
-// Locking: the scheduler has a global RWMutex and a per-container mutex.
-// Operations that can move memory between containers (suspension,
-// redistribution, register, close) hold the write lock, which excludes
-// everything else. The common case — an allocation that fits the
-// container's existing grant, a free while nothing is paused, a confirm,
-// a meminfo — touches only one container's state and runs on a fast
-// path under the read lock plus that container's mutex, so independent
-// containers proceed in parallel (see DESIGN.md "Hot path";
-// Config.DisableFastPath forces every operation through the write lock).
+// Locking: the container table is split into numShards shards, each
+// with its own RWMutex, plus a per-container mutex. Operations that can
+// move memory between containers (suspension, redistribution, register,
+// close) take every shard's write lock in index order — lockAll — which
+// excludes everything else exactly as a single global write lock would.
+// The common case — an allocation that fits the container's existing
+// grant, a free while nothing is paused, a confirm, a meminfo — touches
+// only one container's state and runs on a fast path under that
+// container's shard read lock plus its mutex, so independent containers
+// proceed in parallel without even sharing a reader-count cache line
+// unless they hash to the same shard (see DESIGN.md "Hot path";
+// Config.DisableFastPath forces every operation through lockAll). The
+// event log is sharded the same way (see events.go).
 package core
 
 import (
@@ -211,23 +215,83 @@ type containerState struct {
 	everSuspended  bool
 }
 
+// numShards is the number of container-table (and event-log) shards.
+// A power of two so ContainerID hashes index by mask. Eight shards keep
+// the lockAll slow path cheap while spreading unrelated containers'
+// fast paths across distinct locks and cache lines.
+const numShards = 8
+
+// shard is one slice of the container table with its own lock and
+// event-log ring. Fast paths hold mu.RLock plus the container's mutex;
+// slow paths hold every shard's write lock (State.lockAll).
+type shard struct {
+	mu         sync.RWMutex
+	containers map[ContainerID]*containerState
+	events     *eventLog
+
+	// Pad shards apart so two cores hammering adjacent shards' reader
+	// counts do not false-share a cache line.
+	_ [32]byte
+}
+
 // State is the scheduler. Create it with New.
 type State struct {
-	mu         sync.RWMutex
-	cfg        Config
+	cfg    Config
+	shards [numShards]shard
+
+	// The fields below are global scheduler state touched only by slow
+	// paths, which hold every shard's write lock — lockAll is their
+	// mutual exclusion, so they need no lock of their own.
 	pool       bytesize.Size // capacity not granted to any container
-	containers map[ContainerID]*containerState
 	nextSeq    uint64
 	nextTicket Ticket
 	closedIDs  map[ContainerID]bool
-	events     *eventLog
+
+	// eventSeq numbers events across all shard logs (see events.go).
+	eventSeq atomic.Uint64
 
 	// pausedCount counts containers with at least one pending request.
-	// It changes only under the write lock (suspension and the three
-	// pending-draining paths all hold it), so a fast path holding the
-	// read lock observes a stable value: zero means no free can admit
-	// anything, making the fast Free's empty Update exact.
+	// It changes only under lockAll (suspension and the three
+	// pending-draining paths all hold it), so a fast path holding any
+	// shard's read lock observes a stable value: zero means no free can
+	// admit anything, making the fast Free's empty Update exact.
 	pausedCount atomic.Int64
+}
+
+// shardIndex hashes id onto a shard (FNV-1a, masked).
+func shardIndex(id ContainerID) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(id); i++ {
+		h = (h ^ uint32(id[i])) * 16777619
+	}
+	return int(h & (numShards - 1))
+}
+
+// shardFor returns the shard owning id.
+func (s *State) shardFor(id ContainerID) *shard { return &s.shards[shardIndex(id)] }
+
+// lockAll takes every shard's write lock in index order — the slow
+// paths' global exclusion. Acquiring in a fixed order cannot deadlock
+// against other lockAll callers, and holding all write locks excludes
+// every fast path exactly as the old single write lock did.
+func (s *State) lockAll() {
+	for i := range s.shards {
+		s.shards[i].mu.Lock()
+	}
+}
+
+// unlockAll releases what lockAll took.
+func (s *State) unlockAll() {
+	for i := numShards - 1; i >= 0; i-- {
+		s.shards[i].mu.Unlock()
+	}
+}
+
+// lookupLocked finds id's container. Callers hold id's shard lock in
+// either mode (lockAll included).
+func (s *State) lookupLocked(id ContainerID) (*containerState, bool) {
+	c, ok := s.shardFor(id).containers[id]
+	return c, ok
 }
 
 // New creates a scheduler. Capacity must be positive.
@@ -251,13 +315,16 @@ func New(cfg Config) (*State, error) {
 	if logSize == 0 {
 		logSize = DefaultEventLogSize
 	}
-	return &State{
-		cfg:        cfg,
-		pool:       cfg.Capacity,
-		containers: make(map[ContainerID]*containerState),
-		closedIDs:  make(map[ContainerID]bool),
-		events:     newEventLog(logSize),
-	}, nil
+	s := &State{
+		cfg:       cfg,
+		pool:      cfg.Capacity,
+		closedIDs: make(map[ContainerID]bool),
+	}
+	for i := range s.shards {
+		s.shards[i].containers = make(map[ContainerID]*containerState)
+		s.shards[i].events = newEventLog(logSize, &s.eventSeq)
+	}
+	return s, nil
 }
 
 // MustNew is New for known-good configurations (tests, examples).
@@ -280,9 +347,9 @@ func (s *State) AlgorithmName() string { return s.cfg.Algorithm.Name() }
 // created). It returns the memory granted immediately, which may be
 // partial (Fig. 3b) or zero.
 func (s *State) Register(id ContainerID, limit bytesize.Size) (granted bytesize.Size, err error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.containers[id]; ok {
+	s.lockAll()
+	defer s.unlockAll()
+	if _, ok := s.lookupLocked(id); ok {
 		return 0, fmt.Errorf("%w: %s", ErrDuplicateContainer, id)
 	}
 	return s.registerLocked(id, limit)
@@ -294,9 +361,9 @@ func (s *State) Register(id ContainerID, limit bytesize.Size) (granted bytesize.
 // The daemon uses it to re-adopt persisted sessions after a restart —
 // whether the scheduler state survived (same core) or is being rebuilt.
 func (s *State) EnsureRegistered(id ContainerID, limit bytesize.Size) (granted bytesize.Size, err error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if c, ok := s.containers[id]; ok {
+	s.lockAll()
+	defer s.unlockAll()
+	if c, ok := s.lookupLocked(id); ok {
 		if c.limit != limit {
 			return 0, fmt.Errorf("%w: %s has %v, got %v", ErrLimitMismatch, id, c.limit, limit)
 		}
@@ -306,7 +373,7 @@ func (s *State) EnsureRegistered(id ContainerID, limit bytesize.Size) (granted b
 }
 
 // registerLocked is the shared body of Register and EnsureRegistered.
-// The caller holds the write lock and has established that id is free.
+// The caller holds lockAll and has established that id is free.
 func (s *State) registerLocked(id ContainerID, limit bytesize.Size) (bytesize.Size, error) {
 	if limit <= 0 {
 		return 0, ErrInvalidLimit
@@ -327,7 +394,7 @@ func (s *State) registerLocked(id ContainerID, limit bytesize.Size) (bytesize.Si
 		c.grant = s.pool
 	}
 	s.pool -= c.grant
-	s.containers[id] = c
+	s.shardFor(id).containers[id] = c
 	delete(s.closedIDs, id)
 	s.logEvent(EvRegister, id, 0, c.grant)
 	return c.grant, nil
@@ -369,9 +436,9 @@ func (s *State) RequestAlloc(id ContainerID, pid int, size bytesize.Size) (Alloc
 			return res, err
 		}
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	c, ok := s.containers[id]
+	s.lockAll()
+	defer s.unlockAll()
+	c, ok := s.lookupLocked(id)
 	if !ok {
 		return AllocResult{}, fmt.Errorf("%w: %s", ErrUnknownContainer, id)
 	}
@@ -417,17 +484,19 @@ func (s *State) RequestAlloc(id ContainerID, pid int, size bytesize.Size) (Alloc
 }
 
 // fastRequestAlloc decides the common case — the request fits (or can
-// never fit) the container's existing grant — under the read lock and
-// the container's own mutex, without excluding other containers. It
+// never fit) the container's existing grant — under the container's
+// shard read lock and its own mutex, without excluding containers on
+// other shards (or even read-locked neighbors on the same one). It
 // reports done=false when the decision needs global state: a pool
 // top-up or a suspension, both of which move memory between containers.
 // The pending-queue-empty guard preserves ticket FIFO order: while
 // requests are queued, new ones must go behind them through the slow
 // path.
 func (s *State) fastRequestAlloc(id ContainerID, pid int, size bytesize.Size) (res AllocResult, done bool, err error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	c, ok := s.containers[id]
+	sh := s.shardFor(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	c, ok := sh.containers[id]
 	if !ok {
 		return AllocResult{}, true, fmt.Errorf("%w: %s", ErrUnknownContainer, id)
 	}
@@ -456,12 +525,13 @@ func (s *State) fastRequestAlloc(id ContainerID, pid int, size bytesize.Size) (r
 // so the scheduler can track it (paper: "Scheduler tracks this
 // information using hash structure and calculates total memory usage").
 // It touches only one container's state, so it runs entirely on the
-// fast path: read lock plus the container's mutex.
+// fast path: its shard's read lock plus the container's mutex.
 func (s *State) ConfirmAlloc(id ContainerID, pid int, addr uint64, size bytesize.Size) error {
 	if !s.cfg.DisableFastPath {
-		s.mu.RLock()
-		defer s.mu.RUnlock()
-		c, ok := s.containers[id]
+		sh := s.shardFor(id)
+		sh.mu.RLock()
+		defer sh.mu.RUnlock()
+		c, ok := sh.containers[id]
 		if !ok {
 			return fmt.Errorf("%w: %s", ErrUnknownContainer, id)
 		}
@@ -469,17 +539,17 @@ func (s *State) ConfirmAlloc(id ContainerID, pid int, addr uint64, size bytesize
 		defer c.mu.Unlock()
 		return s.confirmLocked(c, pid, addr, size)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	c, ok := s.containers[id]
+	s.lockAll()
+	defer s.unlockAll()
+	c, ok := s.lookupLocked(id)
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownContainer, id)
 	}
 	return s.confirmLocked(c, pid, addr, size)
 }
 
-// confirmLocked is ConfirmAlloc's body; the caller holds either the
-// write lock or the read lock plus c.mu.
+// confirmLocked is ConfirmAlloc's body; the caller holds either lockAll
+// or the container's shard read lock plus c.mu.
 func (s *State) confirmLocked(c *containerState, pid int, addr uint64, size bytesize.Size) error {
 	id := c.id
 	p, ok := c.procs[pid]
@@ -522,9 +592,9 @@ func (s *State) confirmLocked(c *containerState, pid int, addr uint64, size byte
 //     dropped): the address is already tracked with the same size and
 //     the restore is an idempotent no-op — nothing is double-counted.
 func (s *State) Restore(id ContainerID, pid int, addr uint64, size bytesize.Size) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	c, ok := s.containers[id]
+	s.lockAll()
+	defer s.unlockAll()
+	c, ok := s.lookupLocked(id)
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownContainer, id)
 	}
@@ -568,9 +638,9 @@ func (s *State) Restore(id ContainerID, pid int, addr uint64, size bytesize.Size
 // queue head can let the next request fit the existing grant, so the
 // returned Update must be dispatched like any other.
 func (s *State) DropPending(id ContainerID, tickets []Ticket) (Update, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	c, ok := s.containers[id]
+	s.lockAll()
+	defer s.unlockAll()
+	c, ok := s.lookupLocked(id)
 	if !ok {
 		return Update{}, nil
 	}
@@ -602,9 +672,9 @@ func (s *State) DropPending(id ContainerID, tickets []Ticket) (Update, error) {
 // allocation failed (e.g. device fragmentation). The freed charge may
 // admit suspended requests.
 func (s *State) AbortAlloc(id ContainerID, pid int, size bytesize.Size) (Update, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	c, ok := s.containers[id]
+	s.lockAll()
+	defer s.unlockAll()
+	c, ok := s.lookupLocked(id)
 	if !ok {
 		return Update{}, fmt.Errorf("%w: %s", ErrUnknownContainer, id)
 	}
@@ -630,9 +700,9 @@ func (s *State) Free(id ContainerID, pid int, addr uint64) (bytesize.Size, Updat
 			return size, u, err
 		}
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	c, ok := s.containers[id]
+	s.lockAll()
+	defer s.unlockAll()
+	c, ok := s.lookupLocked(id)
 	if !ok {
 		return 0, Update{}, fmt.Errorf("%w: %s", ErrUnknownContainer, id)
 	}
@@ -650,21 +720,23 @@ func (s *State) Free(id ContainerID, pid int, addr uint64) (bytesize.Size, Updat
 	return size, s.afterRelease(), nil
 }
 
-// fastFree releases an allocation under the read lock when no container
-// anywhere is paused. In that state afterRelease is provably a no-op —
-// there is nothing to admit, reclaim or rescue — so returning an empty
-// Update is exact, and the free touches only this container's state.
-// pausedCount only changes under the write lock, so the zero read here
-// stays true for the duration of the read lock. With paused containers
-// the free falls through to the slow path, whose redistribution may
-// admit them.
+// fastFree releases an allocation under the shard read lock when no
+// container anywhere is paused. In that state afterRelease is provably
+// a no-op — there is nothing to admit, reclaim or rescue — so returning
+// an empty Update is exact, and the free touches only this container's
+// state. pausedCount only changes under lockAll, which cannot complete
+// while this shard's read lock is held, so the zero read here stays
+// true for the duration of the read lock. With paused containers the
+// free falls through to the slow path, whose redistribution may admit
+// them.
 func (s *State) fastFree(id ContainerID, pid int, addr uint64) (sz bytesize.Size, u Update, done bool, err error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	sh := s.shardFor(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
 	if s.pausedCount.Load() != 0 {
 		return 0, Update{}, false, nil
 	}
-	c, ok := s.containers[id]
+	c, ok := sh.containers[id]
 	if !ok {
 		return 0, Update{}, true, fmt.Errorf("%w: %s", ErrUnknownContainer, id)
 	}
@@ -689,9 +761,9 @@ func (s *State) fastFree(id ContainerID, pid int, addr uint64) (sz bytesize.Size
 // __cudaUnregisterFatBinary; "some program may not free its allocated
 // GPU memory"). It returns the total released.
 func (s *State) ProcessExit(id ContainerID, pid int) (bytesize.Size, Update, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	c, ok := s.containers[id]
+	s.lockAll()
+	defer s.unlockAll()
+	c, ok := s.lookupLocked(id)
 	if !ok {
 		return 0, Update{}, fmt.Errorf("%w: %s", ErrUnknownContainer, id)
 	}
@@ -731,9 +803,9 @@ func (s *State) ProcessExit(id ContainerID, pid int) (bytesize.Size, Update, err
 // scheduler redistributes it among paused containers with the configured
 // algorithm. Pending requests of the closed container are cancelled.
 func (s *State) Close(id ContainerID) (bytesize.Size, Update, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	c, ok := s.containers[id]
+	s.lockAll()
+	defer s.unlockAll()
+	c, ok := s.lookupLocked(id)
 	if !ok {
 		if s.closedIDs[id] {
 			// Idempotent: the plugin may deliver close more than once.
@@ -749,7 +821,7 @@ func (s *State) Close(id ContainerID) (bytesize.Size, Update, error) {
 	s.noteSuspensionEnd(c)
 	released := c.grant
 	s.pool += c.grant
-	delete(s.containers, id)
+	delete(s.shardFor(id).containers, id)
 	s.closedIDs[id] = true
 	s.logEvent(EvClose, id, 0, released)
 	more := s.afterRelease()
@@ -764,9 +836,10 @@ func (s *State) Close(id ContainerID) (bytesize.Size, Update, error) {
 // slice of the GPU.
 func (s *State) MemInfo(id ContainerID) (free, total bytesize.Size, err error) {
 	if !s.cfg.DisableFastPath {
-		s.mu.RLock()
-		defer s.mu.RUnlock()
-		c, ok := s.containers[id]
+		sh := s.shardFor(id)
+		sh.mu.RLock()
+		defer sh.mu.RUnlock()
+		c, ok := sh.containers[id]
 		if !ok {
 			return 0, 0, fmt.Errorf("%w: %s", ErrUnknownContainer, id)
 		}
@@ -775,9 +848,9 @@ func (s *State) MemInfo(id ContainerID) (free, total bytesize.Size, err error) {
 		c.mu.Unlock()
 		return free, total, nil
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	c, ok := s.containers[id]
+	s.lockAll()
+	defer s.unlockAll()
+	c, ok := s.lookupLocked(id)
 	if !ok {
 		return 0, 0, fmt.Errorf("%w: %s", ErrUnknownContainer, id)
 	}
@@ -785,7 +858,7 @@ func (s *State) MemInfo(id ContainerID) (free, total bytesize.Size, err error) {
 }
 
 // afterRelease runs redistribution and per-container admission after any
-// memory release. Callers hold s.mu.
+// memory release. Callers hold lockAll.
 func (s *State) afterRelease() Update {
 	var u Update
 	// First, requests that now fit within their container's own grant
@@ -810,7 +883,7 @@ func (s *State) afterRelease() Update {
 // has wedged.
 func (s *State) rescueLocked() []Admitted {
 	anyPaused := false
-	for _, c := range s.containers {
+	for _, c := range s.allContainersLocked() {
 		if len(c.pending) > 0 {
 			anyPaused = true
 			if c.grant > c.used {
@@ -890,7 +963,7 @@ func (s *State) admitFittingLocked(c *containerState) []Admitted {
 // untouched.
 func (s *State) redistributeLocked() []Admitted {
 	if !s.cfg.PersistentGrants {
-		for _, c := range s.containers {
+		for _, c := range s.allContainersLocked() {
 			if len(c.pending) > 0 && c.grant > c.used {
 				s.pool += c.grant - c.used
 				c.grant = c.used
@@ -948,17 +1021,26 @@ func (s *State) candidatesLocked() ([]Candidate, []*containerState) {
 	return cands, byIdx
 }
 
-func (s *State) sortedContainersLocked() []*containerState {
-	out := make([]*containerState, 0, len(s.containers))
-	for _, c := range s.containers {
-		out = append(out, c)
+// allContainersLocked collects every container across the shards, in no
+// particular order. Callers hold lockAll.
+func (s *State) allContainersLocked() []*containerState {
+	var out []*containerState
+	for i := range s.shards {
+		for _, c := range s.shards[i].containers {
+			out = append(out, c)
+		}
 	}
+	return out
+}
+
+func (s *State) sortedContainersLocked() []*containerState {
+	out := s.allContainersLocked()
 	sort.Slice(out, func(i, j int) bool { return out[i].createdSeq < out[j].createdSeq })
 	return out
 }
 
 // noteSuspensionEnd closes the current suspension interval if the
-// container has no pending requests left. Callers hold the write lock.
+// container has no pending requests left. Callers hold lockAll.
 // A non-zero suspendedSince marks exactly the containers pausedCount
 // has counted — it is set when pending goes non-empty and cleared only
 // here — so the counter comes back down exactly once per pause.
@@ -988,8 +1070,8 @@ type ContainerInfo struct {
 // Snapshot returns the state of all registered containers, ordered by
 // creation.
 func (s *State) Snapshot() []ContainerInfo {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.lockAll()
+	defer s.unlockAll()
 	now := s.cfg.Clock.Now()
 	var out []ContainerInfo
 	for _, c := range s.sortedContainersLocked() {
@@ -1024,8 +1106,8 @@ func (s *State) Info(id ContainerID) (ContainerInfo, error) {
 
 // PoolFree returns the memory not granted to any container.
 func (s *State) PoolFree() bytesize.Size {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.lockAll()
+	defer s.unlockAll()
 	return s.pool
 }
 
@@ -1033,10 +1115,10 @@ func (s *State) PoolFree() bytesize.Size {
 // scheduler's view of occupied GPU memory (the simulator integrates it
 // into a utilization figure).
 func (s *State) TotalUsed() bytesize.Size {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.lockAll()
+	defer s.unlockAll()
 	var total bytesize.Size
-	for _, c := range s.containers {
+	for _, c := range s.allContainersLocked() {
 		total += c.used
 	}
 	return total
@@ -1057,10 +1139,10 @@ func (s *State) TotalUsed() bytesize.Size {
 // the residual risk the authors' prior fault-tolerance study [10]
 // addresses.
 func (s *State) Stalled() bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.lockAll()
+	defer s.unlockAll()
 	anyPaused := false
-	for _, c := range s.containers {
+	for _, c := range s.allContainersLocked() {
 		if len(c.pending) > 0 {
 			anyPaused = true
 		} else {
@@ -1093,10 +1175,11 @@ func filterPending(reqs []pendingReq, pid int) []pendingReq {
 // descriptive error if any is violated. Tests and the simulator call it
 // after every step.
 func (s *State) CheckInvariants() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.lockAll()
+	defer s.unlockAll()
 	var grantSum bytesize.Size
-	for id, c := range s.containers {
+	for _, c := range s.allContainersLocked() {
+		id := c.id
 		if c.used < 0 {
 			return fmt.Errorf("core: container %s used %v < 0", id, c.used)
 		}

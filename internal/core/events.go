@@ -2,7 +2,9 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"convgpu/internal/bytesize"
@@ -95,40 +97,42 @@ func (e EventRecord) String() string {
 	return fmt.Sprintf("#%d %s %s %v", e.Seq, e.Kind, e.Container, e.Amount)
 }
 
-// DefaultEventLogSize is the ring buffer capacity when Config leaves
-// EventLogSize zero.
+// DefaultEventLogSize is the per-shard ring buffer capacity when Config
+// leaves EventLogSize zero.
 const DefaultEventLogSize = 512
 
-// eventLog is a fixed-capacity ring buffer with its own mutex: fast
-// paths append while holding only the state's read lock, so the log
-// cannot rely on the state mutex for ordering. Sequence numbers are
-// assigned under l.mu, keeping the log totally ordered regardless of
-// which path logged.
+// eventLog is one shard's fixed-capacity ring buffer with its own
+// mutex: fast paths on different shards append concurrently, each
+// holding only its shard's read lock, so no single log mutex serializes
+// independent containers. Sequence numbers come from a counter shared
+// by all of a State's shard logs (an atomic incremented under l.mu),
+// keeping Seq values unique and monotone across the whole State even
+// though the entries live in per-shard rings.
 type eventLog struct {
 	mu       sync.Mutex
 	buf      []EventRecord
-	next     int // write position
-	count    int // filled entries
-	seq      uint64
+	next     int            // write position
+	count    int            // filled entries
+	seq      *atomic.Uint64 // shared across the State's shards
 	observer func(EventRecord)
 }
 
-func newEventLog(capacity int) *eventLog {
+func newEventLog(capacity int, seq *atomic.Uint64) *eventLog {
 	if capacity <= 0 {
-		return &eventLog{}
+		return &eventLog{seq: seq}
 	}
-	return &eventLog{buf: make([]EventRecord, capacity)}
+	return &eventLog{buf: make([]EventRecord, capacity), seq: seq}
 }
 
 func (l *eventLog) append(e EventRecord) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	l.seq++
-	e.Seq = l.seq
+	e.Seq = l.seq.Add(1)
 	if l.observer != nil {
-		// Fired under l.mu so the observer sees records in Seq order.
-		// Observers must be fast, lock-free-or-leaf, and must not call
-		// back into the State.
+		// Fired under l.mu so one shard's records arrive in Seq order;
+		// see SetObserver for the cross-shard ordering contract.
+		// Observers must be fast, lock-free-or-leaf, safe for concurrent
+		// invocation, and must not call back into the State.
 		l.observer(e)
 	}
 	if len(l.buf) == 0 {
@@ -141,7 +145,7 @@ func (l *eventLog) append(e EventRecord) {
 	}
 }
 
-// snapshot returns the retained events, oldest first.
+// snapshot returns the shard's retained events, oldest first.
 func (l *eventLog) snapshot() []EventRecord {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -156,8 +160,10 @@ func (l *eventLog) snapshot() []EventRecord {
 	return out
 }
 
-// logEvent appends to the state's event log. Callers hold the state
-// lock in either mode; the log's own mutex orders the entries.
+// logEvent appends to the event-log shard of the container the event
+// concerns. Callers hold that container's shard lock in either mode
+// (or every shard lock, on slow paths); the log's own mutex orders the
+// entries within the shard.
 func (s *State) logEvent(kind EventKind, id ContainerID, pid int, amount bytesize.Size) {
 	s.logEventT(kind, id, pid, amount, 0)
 }
@@ -165,7 +171,7 @@ func (s *State) logEvent(kind EventKind, id ContainerID, pid int, amount bytesiz
 // logEventT is logEvent carrying the ticket of the parked request the
 // event concerns (suspend, resume, drop).
 func (s *State) logEventT(kind EventKind, id ContainerID, pid int, amount bytesize.Size, ticket Ticket) {
-	s.events.append(EventRecord{
+	s.shardFor(id).events.append(EventRecord{
 		At:        s.cfg.Clock.Now(),
 		Kind:      kind,
 		Container: id,
@@ -176,22 +182,37 @@ func (s *State) logEventT(kind EventKind, id ContainerID, pid int, amount bytesi
 	})
 }
 
-// Events returns the retained event log, oldest first. The log is a
-// ring of Config.EventLogSize entries (DefaultEventLogSize when unset;
-// negative disables retention).
+// Events returns the retained event log, oldest first — the sequenced
+// merge of every shard's ring, ordered by Seq. Each shard retains up to
+// Config.EventLogSize entries (DefaultEventLogSize when unset; negative
+// disables retention), so a busy shard wrapping its ring never evicts
+// another container's history.
 func (s *State) Events() []EventRecord {
-	return s.events.snapshot()
+	var out []EventRecord
+	for i := range s.shards {
+		out = append(out, s.shards[i].events.snapshot()...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
 }
 
 // SetObserver installs fn to receive every event record as it is
-// logged, in total Seq order, with Seq already assigned. fn runs with
-// the event log's mutex held on the scheduler's request paths, so it
-// must be cheap (atomic counter bumps, ring appends) and must never
-// call back into the State. A nil fn removes the observer.
+// logged, with Seq already assigned. Ordering contract: records of one
+// container arrive in Seq order, and any two events separated by a
+// memory-moving (write-locked) operation arrive in Seq order; only
+// fast-path records of containers on different shards may reach fn
+// concurrently and slightly out of global Seq order. fn therefore must
+// be safe for concurrent invocation. It runs with a shard log's mutex
+// held on the scheduler's request paths, so it must be cheap (atomic
+// counter bumps, ring appends) and must never call back into the State.
+// A nil fn removes the observer.
 func (s *State) SetObserver(fn func(EventRecord)) {
-	s.events.mu.Lock()
-	s.events.observer = fn
-	s.events.mu.Unlock()
+	for i := range s.shards {
+		l := s.shards[i].events
+		l.mu.Lock()
+		l.observer = fn
+		l.mu.Unlock()
+	}
 }
 
 // PausedContainers returns the number of containers with at least one
@@ -204,7 +225,7 @@ func (s *State) PausedContainers() int {
 // EventsSince returns retained events with Seq > after, oldest first —
 // the daemon's status loop tails the log with this.
 func (s *State) EventsSince(after uint64) []EventRecord {
-	all := s.events.snapshot()
+	all := s.Events()
 	for i, e := range all {
 		if e.Seq > after {
 			return all[i:]

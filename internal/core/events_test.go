@@ -95,22 +95,30 @@ func TestEventsSince(t *testing.T) {
 }
 
 func TestEventLogRingWraps(t *testing.T) {
+	// Retention is per shard, so one container's events — all on one
+	// shard — exercise the wrap deterministically: register + 10
+	// accepts is 11 events through a ring of 4.
 	s, err := New(Config{Capacity: mib(10000), ContextOverhead: 1, EventLogSize: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
+	mustRegister(t, s, "c", mib(1000))
 	for i := 0; i < 10; i++ {
-		mustRegister(t, s, ContainerID("c"+itoa(i)), mib(10))
+		if _, err := s.RequestAlloc("c", 1, mib(1)); err != nil {
+			t.Fatal(err)
+		}
 	}
 	events := s.Events()
 	if len(events) != 4 {
 		t.Fatalf("retained %d events, want ring capacity 4", len(events))
 	}
-	// The newest four registrations survive, in order.
+	// The newest four accepts survive, in Seq order.
 	for i, e := range events {
-		want := ContainerID("c" + itoa(6+i))
-		if e.Container != want {
-			t.Fatalf("ring[%d] = %v, want container %s", i, e, want)
+		if e.Kind != EvAccept {
+			t.Fatalf("ring[%d] = %v, want an accept", i, e)
+		}
+		if want := uint64(8 + i); e.Seq != want {
+			t.Fatalf("ring[%d].Seq = %d, want %d", i, e.Seq, want)
 		}
 	}
 }

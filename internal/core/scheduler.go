@@ -75,23 +75,28 @@ var _ Scheduler = (*State)(nil)
 // (0 unless a multi-device scheduler set it), the full configured
 // capacity, and every registered container.
 func (s *State) Devices() []DeviceInfo {
-	s.mu.RLock()
+	s.lockAll()
+	n := 0
+	for i := range s.shards {
+		n += len(s.shards[i].containers)
+	}
 	d := DeviceInfo{
 		Index:      s.cfg.DeviceIndex,
 		Capacity:   s.cfg.Capacity,
 		PoolFree:   s.pool,
-		Containers: len(s.containers),
+		Containers: n,
 	}
-	s.mu.RUnlock()
+	s.unlockAll()
 	return []DeviceInfo{d}
 }
 
 // Placement reports the device a registered container is served by —
 // always Config.DeviceIndex for a single-device state.
 func (s *State) Placement(id ContainerID) (int, error) {
-	s.mu.RLock()
-	_, ok := s.containers[id]
-	s.mu.RUnlock()
+	sh := s.shardFor(id)
+	sh.mu.RLock()
+	_, ok := sh.containers[id]
+	sh.mu.RUnlock()
 	if !ok {
 		return 0, fmt.Errorf("%w: %s", ErrUnknownContainer, id)
 	}

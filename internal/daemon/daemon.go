@@ -80,6 +80,9 @@ type Daemon struct {
 	clk     clock.Clock
 	obs     *obs.Observability
 	control *ipc.Server
+	// wire counts transport frames by codec across the control socket
+	// and every container socket; obs renders it at scrape time.
+	wire *ipc.WireStats
 
 	// lastSeen tracks per-container lease renewal times
 	// (core.ContainerID → *leaseEntry). A sync.Map keeps the hot-path
@@ -153,6 +156,7 @@ func Start(cfg Config) (*Daemon, error) {
 		cfg:      cfg,
 		clk:      cfg.Clock,
 		obs:      cfg.Obs,
+		wire:     &ipc.WireStats{},
 		parked:   make(map[parkedKey]parkedResponder),
 		servers:  make(map[core.ContainerID]*ipc.Server),
 		dirs:     make(map[core.ContainerID]string),
@@ -171,6 +175,8 @@ func Start(cfg Config) (*Daemon, error) {
 		d.closeRecovered()
 		return nil, err
 	}
+	ctl.SetWireStats(d.wire)
+	cfg.Obs.BindWire("daemon", d.wire, nil)
 	d.control = ctl
 	if cfg.Lease > 0 {
 		go d.reapLoop()
@@ -189,6 +195,10 @@ func (d *Daemon) Core() core.Scheduler { return d.cfg.Core }
 
 // Obs exposes the daemon's observability bundle (always non-nil).
 func (d *Daemon) Obs() *obs.Observability { return d.obs }
+
+// WireStats exposes the daemon-side transport frame counters, summed
+// across the control socket and every container socket.
+func (d *Daemon) WireStats() *ipc.WireStats { return d.wire }
 
 // Close shuts down the control socket and every container socket.
 // Parked requests are released with an error.
@@ -274,6 +284,7 @@ func (d *Daemon) register(id core.ContainerID, limit int64) (*protocol.Message, 
 		d.cfg.Core.Close(id)
 		return nil, err
 	}
+	srv.SetWireStats(d.wire)
 	d.mu.Lock()
 	if d.closed {
 		d.mu.Unlock()

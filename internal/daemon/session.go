@@ -122,6 +122,7 @@ func (d *Daemon) recoverSessions() error {
 			d.closeRecovered()
 			return fmt.Errorf("daemon: recover %s: %w", id, err)
 		}
+		srv.SetWireStats(d.wire)
 		d.servers[id] = srv
 		d.dirs[id] = dir
 		d.touch(id)

@@ -4,11 +4,27 @@
 // host<->container IPC and TCP costs more; the scheduler creates one
 // socket per container inside a shared volume directory.
 //
-// Framing is newline-delimited JSON (package protocol). A connection
-// multiplexes concurrent requests: responses are matched to requests by
-// sequence number, so the scheduler can withhold the response to a
-// suspended allocation while continuing to serve the container's other
-// processes.
+// Framing is newline-delimited JSON (package protocol) with an
+// optional binary fast path: a client that negotiates the binary codec
+// (Client.NegotiateBinary, a TypeCodec probe answered at this layer)
+// may send any message as a length-prefixed binary frame instead, and
+// the server answers each request in the codec it arrived in. The two
+// framings are distinguished per message by the first byte — a binary
+// frame starts with 0xBF (any byte >= 0x80 is treated as an attempted
+// binary frame and validated by the header checksum), a JSON line with
+// '{' — so the connection never holds codec state that could desync:
+// negotiation can only enable the client to send binary, never change
+// how either side reads. Responses too large for a binary frame fall
+// back to a JSON line per message.
+//
+// A connection multiplexes concurrent requests: responses are matched
+// to requests by sequence number, so the scheduler can withhold the
+// response to a suspended allocation while continuing to serve the
+// container's other processes. The client side keeps its in-flight
+// sequence numbers in a fixed ring (spilling to a map only while more
+// than callRingSize calls are parked), so concurrent wrapper threads
+// pipeline requests without serializing on one round trip or paying a
+// channel allocation per call.
 //
 // # Hot-path memory discipline
 //
@@ -39,6 +55,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"convgpu/internal/protocol"
 )
@@ -80,10 +97,20 @@ type Server struct {
 	ln      net.Listener
 	handler Handler
 	wg      sync.WaitGroup
+	stats   atomic.Pointer[WireStats]
 
 	mu     sync.Mutex
 	conns  map[*ServerConn]struct{}
 	closed bool
+}
+
+// SetWireStats installs a per-frame counter sink (shared across the
+// server's connections; safe to install after Listen). A nil receiver
+// or nil stats disables counting.
+func (s *Server) SetWireStats(w *WireStats) {
+	if s != nil {
+		s.stats.Store(w)
+	}
 }
 
 // Listen creates a UNIX socket at path and starts accepting connections.
@@ -196,15 +223,34 @@ func (c *ServerConn) Tag() string {
 	return c.tag
 }
 
-// Send writes a message on the connection. Sends are serialized by the
-// coalescing writer, so delayed responses from parked allocation
-// requests never interleave bytes with concurrent replies. The message
-// is only read, never retained.
+// Send writes a message on the connection as a JSON line. Sends are
+// serialized by the coalescing writer, so delayed responses from parked
+// allocation requests never interleave bytes with concurrent replies.
+// The message is only read, never retained. (Responses to requests flow
+// through respondOnce instead, which answers in the request's codec.)
 func (c *ServerConn) Send(m *protocol.Message) error {
+	return c.send(m, false)
+}
+
+// send writes m in the requested codec, falling back to a JSON line
+// when the message has no binary form (or is too large for one) — the
+// peer dispatches per frame, so mixing framings on one connection is
+// always safe.
+func (c *ServerConn) send(m *protocol.Message, binary bool) error {
 	buf := protocol.AcquireBuffer()
-	*buf = protocol.AppendEncode((*buf)[:0], m)
+	wroteBinary := false
+	if binary {
+		if out, ok := protocol.AppendEncodeBinary((*buf)[:0], m); ok {
+			*buf = out
+			wroteBinary = true
+		}
+	}
+	if !wroteBinary {
+		*buf = protocol.AppendEncode((*buf)[:0], m)
+	}
 	err := c.w.write(*buf)
 	protocol.ReleaseBuffer(buf)
+	c.server.stats.Load().countFrame(wroteBinary, true)
 	return err
 }
 
@@ -222,27 +268,125 @@ func (c *ServerConn) readLoop(h Handler) {
 	msg := protocol.AcquireMessage()
 	defer protocol.ReleaseMessage(msg)
 	for {
-		line, err := readLine(r, &scratch)
+		f, err := readFrame(r, &scratch)
 		if err != nil {
+			// Includes a binary header that failed its checksum: the
+			// length cannot be trusted, so the connection is condemned
+			// rather than resynchronized (the caller closes the socket
+			// and the peer's reconnect path takes over).
 			return
 		}
-		if err := protocol.DecodeInto(msg, line); err != nil {
+		stats := c.server.stats.Load()
+		stats.countFrame(f.binary, false)
+		if err := f.decodeInto(msg); err != nil {
 			// A malformed message gets an error response echoing the
-			// request's sequence number when we can still extract it from
-			// the bad line, so the caller can correlate the failure
+			// request's sequence number when we can still extract it —
+			// from the validated binary header, or scanned out of the
+			// bad JSON line — so the caller can correlate the failure
 			// instead of timing out.
+			stats.countFrameError()
 			resp := protocol.AcquireMessage()
 			resp.Type = protocol.TypeResponse
-			resp.Seq = protocol.ScanSeq(line)
+			resp.Seq = f.errorSeq()
 			resp.Error = err.Error()
-			c.Send(resp)
+			c.send(resp, f.binary)
 			protocol.ReleaseMessage(resp)
 			continue
 		}
-		respond := respondOnce(c, msg.Seq)
+		if msg.Type == protocol.TypeCodec {
+			// Codec negotiation is transport business: answer here so
+			// every server (control and per-container) supports it with
+			// no handler involvement, echoing the token a client must
+			// see before it starts sending binary frames.
+			resp := protocol.AcquireMessage()
+			resp.Type = protocol.TypeResponse
+			resp.Seq = msg.Seq
+			if msg.Data == protocol.BinaryCodecToken {
+				resp.OK = true
+				resp.Data = protocol.BinaryCodecToken
+				stats.countNegotiation()
+			} else {
+				resp.Error = fmt.Sprintf("ipc: unknown codec %q", msg.Data)
+			}
+			c.send(resp, f.binary)
+			protocol.ReleaseMessage(resp)
+			msg.Reset()
+			continue
+		}
+		respond := respondOnce(c, msg.Seq, f.binary)
 		safeHandle(h, c, msg, respond)
 		msg.Reset()
 	}
+}
+
+// frame is one received message in either framing, pre-parsed just far
+// enough to decode it and to echo its seq on failure.
+type frame struct {
+	binary  bool
+	line    []byte // JSON line when !binary
+	op      byte   // binary header fields when binary
+	seq     uint64
+	payload []byte
+}
+
+func (f *frame) decodeInto(m *protocol.Message) error {
+	if f.binary {
+		return protocol.DecodeBinaryInto(m, f.op, f.seq, f.payload)
+	}
+	return protocol.DecodeInto(m, f.line)
+}
+
+// errorSeq is the seq to echo on a response to an undecodable frame: a
+// binary frame's header already survived its checksum, a JSON line gets
+// the best-effort scan.
+func (f *frame) errorSeq() uint64 {
+	if f.binary {
+		return f.seq
+	}
+	return protocol.ScanSeq(f.line)
+}
+
+// readFrame returns the next message in either framing. Dispatch is on
+// the first byte: >= 0x80 is an (attempted) binary frame — real JSON
+// output always starts with '{', and validating the full header by
+// checksum means even a corrupted leading byte can never cause a
+// misframed read — anything else is a JSON line. Returned slices alias
+// the bufio buffer or *scratch and are valid only until the next call.
+func readFrame(r *bufio.Reader, scratch *[]byte) (frame, error) {
+	first, err := r.Peek(1)
+	if err != nil {
+		return frame{}, err
+	}
+	if first[0] < 0x80 {
+		line, err := readLine(r, scratch)
+		if err != nil {
+			return frame{}, err
+		}
+		return frame{line: line}, nil
+	}
+	hdr, err := r.Peek(protocol.BinaryHeaderSize)
+	if err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return frame{}, err
+	}
+	op, n, seq, err := protocol.ParseBinaryHeader(hdr)
+	if err != nil {
+		return frame{}, err
+	}
+	if _, err := r.Discard(protocol.BinaryHeaderSize); err != nil {
+		return frame{}, err
+	}
+	if cap(*scratch) < n {
+		*scratch = make([]byte, n)
+	}
+	buf := (*scratch)[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return frame{}, err
+	}
+	*scratch = buf
+	return frame{binary: true, op: op, seq: seq, payload: buf}, nil
 }
 
 // safeHandle runs Handle with panic recovery: one request tripping a bug
@@ -261,17 +405,19 @@ func safeHandle(h Handler, c *ServerConn, msg *protocol.Message, respond func(*p
 	h.Handle(c, msg, respond)
 }
 
-// respondOnce wraps ServerConn.Send so a handler calling respond more
-// than once (a bug) cannot emit duplicate responses on the wire. It
-// captures the sequence number by value: the request message itself is
-// pooled and must not outlive Handle.
-func respondOnce(c *ServerConn, seq uint64) func(*protocol.Message) {
+// respondOnce wraps the connection's send so a handler calling respond
+// more than once (a bug) cannot emit duplicate responses on the wire.
+// It captures the sequence number and the request's codec by value: the
+// request message itself is pooled and must not outlive Handle, and a
+// response — even one released hours later by a redistribution — goes
+// back in the codec its request arrived in.
+func respondOnce(c *ServerConn, seq uint64, binary bool) func(*protocol.Message) {
 	var once sync.Once
 	return func(resp *protocol.Message) {
 		once.Do(func() {
 			resp.Seq = seq
 			resp.Type = protocol.TypeResponse
-			c.Send(resp)
+			c.send(resp, binary)
 		})
 		// The transport consumes the response whether or not it was the
 		// winning call; see Handler's ownership contract.
@@ -306,17 +452,76 @@ func readLine(r *bufio.Reader, scratch *[]byte) ([]byte, error) {
 	return buf, nil
 }
 
+// callRingSize is the number of in-flight calls the client tracks in
+// its fixed ring (a power of two; sequence numbers index it by mask).
+// The ring's channels are allocated once and reused, so a steady-state
+// Call costs no channel allocation; calls beyond callRingSize in
+// flight at once — e.g. a 65th suspended allocation parked on one
+// connection — spill to a map and merely pay the old per-call cost.
+const callRingSize = 64
+
+// callSlot is one ring entry: the seq currently owning the slot (0 =
+// free) and its reusable buffered response channel.
+type callSlot struct {
+	seq uint64
+	ch  chan *protocol.Message
+}
+
 // Client is the wrapper-module side of a connection.
 type Client struct {
-	conn net.Conn
-	w    *coalescer
+	conn  net.Conn
+	w     *coalescer
+	stats atomic.Pointer[WireStats]
 
-	mu      sync.Mutex
-	pending map[uint64]chan *protocol.Message
-	seq     uint64
-	closed  bool
-	readErr error
-	done    chan struct{}
+	// useBinary flips to true after a successful NegotiateBinary; it
+	// only ever gates what this side sends — reads always dispatch per
+	// frame — so there is no state to desync.
+	useBinary atomic.Bool
+	inFlight  atomic.Int64
+
+	mu       sync.Mutex
+	ring     [callRingSize]callSlot
+	overflow map[uint64]chan *protocol.Message
+	seq      uint64
+	closed   bool
+	readErr  error
+	done     chan struct{}
+}
+
+// SetWireStats installs a per-frame counter sink. Nil disables.
+func (c *Client) SetWireStats(w *WireStats) { c.stats.Store(w) }
+
+// InFlight reports the number of Calls currently outstanding — the
+// pipeline depth on this connection.
+func (c *Client) InFlight() int64 { return c.inFlight.Load() }
+
+// BinaryNegotiated reports whether this connection sends binary frames.
+func (c *Client) BinaryNegotiated() bool { return c.useBinary.Load() }
+
+// NegotiateBinary offers the binary fast-path codec to the server with
+// a JSON-encoded TypeCodec probe. Only an affirmative echo of the token
+// switches this client's sends to binary frames; any other outcome — an
+// error response from an older server, a transport failure, a timeout
+// from the caller's ctx — leaves the connection on JSON, so the
+// handshake can only ever downgrade to the codec both sides speak.
+// (Even a probe response lost in flight is safe: the server holds no
+// per-connection codec state to get out of step with.)
+func (c *Client) NegotiateBinary(ctx context.Context) (bool, error) {
+	m := protocol.AcquireMessage()
+	defer protocol.ReleaseMessage(m)
+	m.Type = protocol.TypeCodec
+	m.Data = protocol.BinaryCodecToken
+	resp, err := c.Call(ctx, m)
+	if err != nil {
+		return false, err
+	}
+	ok := resp.OK && resp.Data == protocol.BinaryCodecToken
+	protocol.ReleaseMessage(resp)
+	if ok {
+		c.useBinary.Store(true)
+		c.stats.Load().countNegotiation()
+	}
+	return ok, nil
 }
 
 // Dial connects to the scheduler's UNIX socket at path.
@@ -338,10 +543,9 @@ func DialNet(network, addr string) (*Client, error) {
 // dial through.
 func NewClient(conn net.Conn) *Client {
 	c := &Client{
-		conn:    conn,
-		w:       newCoalescer(conn),
-		pending: make(map[uint64]chan *protocol.Message),
-		done:    make(chan struct{}),
+		conn: conn,
+		w:    newCoalescer(conn),
+		done: make(chan struct{}),
 	}
 	go c.readLoop()
 	return c
@@ -352,35 +556,20 @@ func (c *Client) readLoop() {
 	var scratch []byte
 	var err error
 	for {
-		var line []byte
-		line, err = readLine(r, &scratch)
+		var f frame
+		f, err = readFrame(r, &scratch)
 		if err != nil {
-			break
+			break // includes a condemned binary header (checksum)
 		}
+		stats := c.stats.Load()
+		stats.countFrame(f.binary, false)
 		msg := protocol.AcquireMessage()
-		if derr := protocol.DecodeInto(msg, line); derr != nil {
+		if derr := f.decodeInto(msg); derr != nil {
 			protocol.ReleaseMessage(msg)
+			stats.countFrameError()
 			continue // skip unparseable frames; Call timeouts surface it
 		}
-		// Deliver while holding mu: the map removal and the channel send
-		// are atomic with respect to forget, so a response racing a
-		// Call's context cancellation is either handed to the (buffered)
-		// channel — where the cancelled Call drains it — or dropped here.
-		// Either way this loop never blocks on a forgotten sequence.
-		c.mu.Lock()
-		ch, ok := c.pending[msg.Seq]
-		if ok {
-			delete(c.pending, msg.Seq)
-			select {
-			case ch <- msg:
-			default: // impossible: each seq gets one buffered slot
-				protocol.ReleaseMessage(msg)
-			}
-		}
-		c.mu.Unlock()
-		if !ok {
-			protocol.ReleaseMessage(msg) // forgotten seq: drop, don't block
-		}
+		c.deliver(msg)
 	}
 	if err == io.EOF {
 		err = ErrClosed
@@ -393,24 +582,64 @@ func (c *Client) readLoop() {
 	c.mu.Lock()
 	c.closed = true
 	c.readErr = err
-	for seq, ch := range c.pending {
+	for i := range c.ring {
+		if c.ring[i].seq != 0 {
+			close(c.ring[i].ch)
+			c.ring[i].ch = nil // a closed channel must never be reused
+			c.ring[i].seq = 0
+		}
+	}
+	for seq, ch := range c.overflow {
 		close(ch)
-		delete(c.pending, seq)
+		delete(c.overflow, seq)
 	}
 	c.mu.Unlock()
 	close(c.done)
+}
+
+// deliver hands a decoded response to the Call waiting on its seq.
+// Delivery happens while holding mu: the slot lookup and the channel
+// send are atomic with respect to forget, so a response racing a Call's
+// context cancellation is either handed to the (buffered) channel —
+// where the cancelled Call drains it — or dropped here. Either way this
+// loop never blocks on a forgotten sequence. The ring slot stays owned
+// (seq set) until the receiving Call clears it, so no new claimant can
+// touch the channel while a response is in transit through it.
+func (c *Client) deliver(msg *protocol.Message) {
+	c.mu.Lock()
+	var ch chan *protocol.Message
+	if slot := &c.ring[msg.Seq&(callRingSize-1)]; slot.seq == msg.Seq {
+		ch = slot.ch
+	} else if och, ok := c.overflow[msg.Seq]; ok {
+		ch = och
+		delete(c.overflow, msg.Seq)
+	}
+	delivered := false
+	if ch != nil {
+		select {
+		case ch <- msg:
+			delivered = true
+		default: // duplicate response for a seq: drop it
+		}
+	}
+	c.mu.Unlock()
+	if !delivered {
+		protocol.ReleaseMessage(msg) // unknown/forgotten seq: drop, don't block
+	}
 }
 
 // Call sends m (assigning a fresh sequence number) and blocks until the
 // matching response arrives, the context is done, or the connection
 // fails. A suspended allocation simply blocks here — that is the
 // mechanism by which ConVGPU pauses a container's allocation call.
+// Concurrent Calls pipeline: each claims its own ring slot (or spills
+// to the overflow map), so issuing a request never waits on another
+// call's round trip.
 //
 // The returned response is owned by the caller; callers on an
 // allocation hot path may hand it back via protocol.ReleaseMessage once
 // they are done reading it.
 func (c *Client) Call(ctx context.Context, m *protocol.Message) (*protocol.Message, error) {
-	ch := make(chan *protocol.Message, 1)
 	c.mu.Lock()
 	if c.closed {
 		err := c.readErr
@@ -421,16 +650,55 @@ func (c *Client) Call(ctx context.Context, m *protocol.Message) (*protocol.Messa
 		return nil, err
 	}
 	c.seq++
-	m.Seq = c.seq
-	c.pending[m.Seq] = ch
+	seq := c.seq
+	m.Seq = seq
+	var ch chan *protocol.Message
+	ringSlot := false
+	if slot := &c.ring[seq&(callRingSize-1)]; slot.seq == 0 {
+		if slot.ch == nil {
+			slot.ch = make(chan *protocol.Message, 1)
+		} else {
+			// A duplicate response delivered between a previous owner's
+			// receive and its slot release can leave a stale message in
+			// the reused channel; drain it so this call cannot read it.
+			select {
+			case stale := <-slot.ch:
+				protocol.ReleaseMessage(stale)
+			default:
+			}
+		}
+		slot.seq = seq
+		ch = slot.ch
+		ringSlot = true
+	} else {
+		// The slot is held by an older in-flight call (a suspended
+		// allocation can park a seq indefinitely): spill to the map.
+		ch = make(chan *protocol.Message, 1)
+		if c.overflow == nil {
+			c.overflow = make(map[uint64]chan *protocol.Message)
+		}
+		c.overflow[seq] = ch
+	}
 	c.mu.Unlock()
+	c.inFlight.Add(1)
+	defer c.inFlight.Add(-1)
 
 	buf := protocol.AcquireBuffer()
-	*buf = protocol.AppendEncode((*buf)[:0], m)
+	wroteBinary := false
+	if c.useBinary.Load() {
+		if out, ok := protocol.AppendEncodeBinary((*buf)[:0], m); ok {
+			*buf = out
+			wroteBinary = true
+		}
+	}
+	if !wroteBinary {
+		*buf = protocol.AppendEncode((*buf)[:0], m)
+	}
 	err := c.w.write(*buf)
 	protocol.ReleaseBuffer(buf)
+	c.stats.Load().countFrame(wroteBinary, true)
 	if err != nil {
-		c.forget(m.Seq, ch)
+		c.forget(seq, ch, ringSlot)
 		return nil, fmt.Errorf("ipc: write: %w", err)
 	}
 
@@ -439,21 +707,41 @@ func (c *Client) Call(ctx context.Context, m *protocol.Message) (*protocol.Messa
 		if !ok {
 			return nil, ErrClosed
 		}
+		if ringSlot {
+			c.releaseSlot(seq)
+		}
 		return resp, nil
 	case <-ctx.Done():
-		c.forget(m.Seq, ch)
+		c.forget(seq, ch, ringSlot)
 		return nil, ctx.Err()
 	}
 }
 
+// releaseSlot frees a ring slot after its response was received. The
+// slot stays owned from claim to here, so the in-transit response can
+// never be raced by a new claimant of the same slot.
+func (c *Client) releaseSlot(seq uint64) {
+	c.mu.Lock()
+	if slot := &c.ring[seq&(callRingSize-1)]; slot.seq == seq {
+		slot.seq = 0
+	}
+	c.mu.Unlock()
+}
+
 // forget abandons a sequence number after a failed or cancelled Call.
 // If the response already won the race into the channel, it is drained
-// and returned to the pool so a late response never strands a pooled
-// message (or, worse, a future recipient of its memory).
-func (c *Client) forget(seq uint64, ch chan *protocol.Message) {
+// and returned to the pool — under mu, in the same critical section
+// that frees the ring slot — so a late response never strands a pooled
+// message or reaches the slot's next occupant.
+func (c *Client) forget(seq uint64, ch chan *protocol.Message, ringSlot bool) {
 	c.mu.Lock()
-	delete(c.pending, seq)
-	c.mu.Unlock()
+	if ringSlot {
+		if slot := &c.ring[seq&(callRingSize-1)]; slot.seq == seq {
+			slot.seq = 0
+		}
+	} else {
+		delete(c.overflow, seq)
+	}
 	select {
 	case resp, ok := <-ch:
 		if ok && resp != nil {
@@ -461,6 +749,7 @@ func (c *Client) forget(seq uint64, ch chan *protocol.Message) {
 		}
 	default:
 	}
+	c.mu.Unlock()
 }
 
 // Close tears the connection down; in-flight Calls fail with ErrClosed.

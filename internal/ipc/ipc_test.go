@@ -411,7 +411,10 @@ func TestMalformedFrameEchoesSeq(t *testing.T) {
 	// Register interest in badSeq as a pending call would.
 	ch := make(chan *protocol.Message, 1)
 	cli.mu.Lock()
-	cli.pending[badSeq] = ch
+	if cli.overflow == nil {
+		cli.overflow = make(map[uint64]chan *protocol.Message)
+	}
+	cli.overflow[badSeq] = ch
 	cli.seq = badSeq
 	cli.mu.Unlock()
 	// An alloc with a negative size decodes structurally but fails
@@ -575,9 +578,12 @@ func TestBatchedSendsCoalesce(t *testing.T) {
 	const n = 100
 	chans := make(map[uint64]chan *protocol.Message, n)
 	cli.mu.Lock()
+	if cli.overflow == nil {
+		cli.overflow = make(map[uint64]chan *protocol.Message)
+	}
 	for i := uint64(1000); i < 1000+n; i++ {
 		ch := make(chan *protocol.Message, 1)
-		cli.pending[i] = ch
+		cli.overflow[i] = ch
 		chans[i] = ch
 	}
 	cli.mu.Unlock()

@@ -26,6 +26,10 @@ const (
 	MetricReconnects        = "convgpu_ipc_reconnects_total"
 	MetricLeaseExpiries     = "convgpu_lease_expiries_total"
 	MetricSessionsDiscarded = "convgpu_sessions_discarded_total"
+	MetricWireFrames        = "convgpu_wire_frames_total"
+	MetricWireNegotiations  = "convgpu_wire_negotiations_total"
+	MetricWireFrameErrors   = "convgpu_wire_frame_errors_total"
+	MetricPipelineDepth     = "convgpu_ipc_pipeline_depth"
 )
 
 // Config parameterizes an Observability bundle.
@@ -185,6 +189,57 @@ func (o *Observability) BindCore(st core.Scheduler) {
 		}
 	}
 	o.devMu.Unlock()
+}
+
+// WireCounters is the transport's frame-counter bundle (ipc.WireStats)
+// as obs consumes it — an interface so the transport package never
+// imports the observability layer, mirroring ipc.LatencyObserver in the
+// other direction.
+type WireCounters interface {
+	// Frames reports frames seen for one codec (binary or JSON
+	// fallback) and direction.
+	Frames(binary, out bool) uint64
+	// Negotiations reports completed binary-codec handshakes.
+	Negotiations() uint64
+	// FrameErrors reports frames that arrived but failed to decode.
+	FrameErrors() uint64
+}
+
+// BindWire registers scrape-time gauges over one transport endpoint's
+// wire counters: frames by codec and direction, codec negotiations, and
+// decode failures, all labelled by side (the daemon binds its server
+// stats as "daemon", the facade its control client as "client") so both
+// ends of the wire can share one registry. pipelineDepth, when non-nil,
+// is additionally exposed as the in-flight call depth gauge (the facade
+// passes its control channel's InFlight). Totals are rendered at scrape
+// time, so the hot path pays only the WireStats atomics.
+func (o *Observability) BindWire(side string, w WireCounters, pipelineDepth func() int64) {
+	for _, c := range []struct {
+		codec  string
+		binary bool
+	}{{"binary", true}, {"json", false}} {
+		for _, d := range []struct {
+			dir string
+			out bool
+		}{{"in", false}, {"out", true}} {
+			binary, out := c.binary, d.out
+			o.reg.GaugeFunc(MetricWireFrames,
+				"Transport frames by codec and direction.",
+				Labels{"side": side, "codec": c.codec, "direction": d.dir},
+				func() int64 { return int64(w.Frames(binary, out)) })
+		}
+	}
+	o.reg.GaugeFunc(MetricWireNegotiations,
+		"Completed binary-codec handshakes.", Labels{"side": side},
+		func() int64 { return int64(w.Negotiations()) })
+	o.reg.GaugeFunc(MetricWireFrameErrors,
+		"Frames that arrived but failed to decode.", Labels{"side": side},
+		func() int64 { return int64(w.FrameErrors()) })
+	if pipelineDepth != nil {
+		o.reg.GaugeFunc(MetricPipelineDepth,
+			"Calls currently in flight on the control channel.", Labels{"side": side},
+			pipelineDepth)
+	}
 }
 
 // ObserveSuspendWait records one suspension wait into the aggregate

@@ -327,7 +327,7 @@ func scanField(m *Message, b []byte, i int, key []byte) (int, bool) {
 		if !ok {
 			return 0, false
 		}
-		m.API = string(s)
+		m.API = apiToken(s)
 		return next, true
 	case "ok":
 		v, next, ok := scanBool(b, i)
@@ -441,6 +441,33 @@ func typeToken(s []byte) Type {
 		return TypeResponse
 	default:
 		return Type(s) // unknown: allocates, Validate rejects it anyway
+	}
+}
+
+// apiToken is typeToken for the API field: the wrapper only ever sends
+// the intercepted CUDA API names, so matching the wire bytes onto these
+// canonical strings makes decoding any real request allocation-free. A
+// test cross-checks the set against wrapper.InterceptedAPIs.
+func apiToken(s []byte) string {
+	switch string(s) {
+	case "cudaMalloc":
+		return "cudaMalloc"
+	case "cudaMallocManaged":
+		return "cudaMallocManaged"
+	case "cudaMallocPitch":
+		return "cudaMallocPitch"
+	case "cudaMalloc3D":
+		return "cudaMalloc3D"
+	case "cudaFree":
+		return "cudaFree"
+	case "cudaMemGetInfo":
+		return "cudaMemGetInfo"
+	case "cudaGetDeviceProperties":
+		return "cudaGetDeviceProperties"
+	case "__cudaUnregisterFatBinary":
+		return "__cudaUnregisterFatBinary"
+	default:
+		return string(s) // unknown API: allocates, off every hot path
 	}
 }
 

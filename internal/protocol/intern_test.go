@@ -1,0 +1,71 @@
+package protocol_test
+
+import (
+	"bytes"
+	"testing"
+
+	"convgpu/internal/protocol"
+	"convgpu/internal/wrapper"
+)
+
+// TestAPIInterningCoversInterceptedAPIs proves the codec's API-name
+// interning spans exactly the set the wrapper can send: decoding a
+// request carrying any intercepted API name must allocate nothing, in
+// both codecs. A name added to the wrapper without a matching intern
+// case fails here instead of silently costing an allocation per call.
+func TestAPIInterningCoversInterceptedAPIs(t *testing.T) {
+	for _, api := range wrapper.InterceptedAPIs() {
+		m := &protocol.Message{Type: protocol.TypeFree, Seq: 9, PID: 41, Addr: 160, API: api}
+		line := bytes.TrimSuffix(protocol.AppendEncode(nil, m), []byte("\n"))
+		frame, ok := protocol.AppendEncodeBinary(nil, m)
+		if !ok {
+			t.Fatalf("%s: no binary form", api)
+		}
+		op, _, seq, err := protocol.ParseBinaryHeader(frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := protocol.AcquireMessage()
+		defer protocol.ReleaseMessage(out)
+		if n := testing.AllocsPerRun(100, func() {
+			if err := protocol.DecodeInto(out, line); err != nil {
+				t.Fatal(err)
+			}
+		}); n != 0 {
+			t.Errorf("JSON decode of api %q allocates %.1f/op (missing intern case?)", api, n)
+		}
+		if n := testing.AllocsPerRun(100, func() {
+			if err := protocol.DecodeBinaryInto(out, op, seq, frame[protocol.BinaryHeaderSize:]); err != nil {
+				t.Fatal(err)
+			}
+		}); n != 0 {
+			t.Errorf("binary decode of api %q allocates %.1f/op (missing intern case?)", api, n)
+		}
+		if out.API != api {
+			t.Errorf("api %q decoded as %q", api, out.API)
+		}
+	}
+}
+
+// TestPooledDecodeZeroAlloc is the satellite target in miniature: the
+// allocating-convenience Decode, paired with ReleaseMessage, runs the
+// steady state allocation-free on the JSON fallback path.
+func TestPooledDecodeZeroAlloc(t *testing.T) {
+	resp := &protocol.Message{Type: protocol.TypeResponse, Seq: 123456, OK: true, Decision: protocol.DecisionAccept}
+	line := bytes.TrimSuffix(protocol.AppendEncode(nil, resp), []byte("\n"))
+	// Warm the pool so the first Get doesn't count.
+	if m, err := protocol.Decode(line); err != nil {
+		t.Fatal(err)
+	} else {
+		protocol.ReleaseMessage(m)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		m, err := protocol.Decode(line)
+		if err != nil {
+			t.Fatal(err)
+		}
+		protocol.ReleaseMessage(m)
+	}); n != 0 {
+		t.Errorf("pooled Decode allocates %.1f/op, want 0", n)
+	}
+}

@@ -76,6 +76,15 @@ const (
 	// TypeDump asks the daemon for a full state dump: scheduler
 	// snapshot, metrics and trace in one JSON document (Data field).
 	TypeDump Type = "dump"
+	// TypeCodec negotiates the wire codec for the rest of the
+	// connection. The probe is always sent JSON-encoded with the offered
+	// codec token in Data; a server that supports it echoes the token
+	// back (OK + Data), after which the client may switch to binary
+	// frames. Servers answer it at the transport layer — handlers never
+	// see it — and any other reply (error, old server, lost response)
+	// leaves the connection on JSON, so the handshake can only ever
+	// downgrade to the universally understood codec.
+	TypeCodec Type = "codec"
 	// TypeResponse is the reply to any request.
 	TypeResponse Type = "response"
 )
@@ -128,12 +137,15 @@ func Encode(m *Message) ([]byte, error) {
 	return AppendEncode(make([]byte, 0, 96), m), nil
 }
 
-// Decode parses one JSON line into a message and validates it. It is
-// the allocating convenience form of DecodeInto; hot paths decode into
-// a pooled Message instead (package ipc does).
+// Decode parses one JSON line into a pooled message and validates it.
+// The returned message comes from the package's pool, so a caller that
+// pairs it with ReleaseMessage decodes allocation-free in the steady
+// state; a caller that never releases merely leaves the message to the
+// garbage collector, exactly as before.
 func Decode(line []byte) (*Message, error) {
-	m := new(Message)
+	m := AcquireMessage()
 	if err := DecodeInto(m, line); err != nil {
+		ReleaseMessage(m)
 		return nil, err
 	}
 	return m, nil
@@ -187,9 +199,10 @@ func (m *Message) Validate() error {
 		if m.Size <= 0 {
 			return fmt.Errorf("protocol: restore with non-positive size %d", m.Size)
 		}
-	case TypeMemInfo, TypeResponse, TypeHeartbeat, TypeStats, TypeTrace, TypeDump:
+	case TypeMemInfo, TypeResponse, TypeHeartbeat, TypeStats, TypeTrace, TypeDump, TypeCodec:
 		// No required request fields beyond the type itself (trace may
-		// carry an optional Container filter).
+		// carry an optional Container filter; codec carries the offered
+		// token in Data).
 	case "":
 		return fmt.Errorf("protocol: message without type")
 	default:

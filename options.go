@@ -35,6 +35,7 @@ type stackConfig struct {
 	faultTolerant    bool
 	persistentGrants bool
 	eventLogSize     int
+	jsonWire         bool
 }
 
 // defaultStackConfig returns the paper's defaults.
@@ -221,6 +222,18 @@ func WithPersistentGrants() Option {
 func WithEventLogSize(n int) Option {
 	return func(c *stackConfig) error {
 		c.eventLogSize = n
+		return nil
+	}
+}
+
+// WithJSONWire pins the stack's control channel to the newline-JSON
+// wire codec instead of negotiating the binary fast path — a debugging
+// aid that makes every frame readable with socat/strace at the cost of
+// the binary codec's latency win. The CONVGPU_WIRE_JSON environment
+// variable forces the same process-wide without a code change.
+func WithJSONWire() Option {
+	return func(c *stackConfig) error {
+		c.jsonWire = true
 		return nil
 	}
 }

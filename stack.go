@@ -175,13 +175,20 @@ func (s *Stack) Start(ctx context.Context) error {
 	// The control channel is a Reconnector: callers' contexts propagate
 	// into its dial/backoff, WithCallTimeout bounds the non-blocking
 	// message types, and its round trips/redials feed the telemetry.
-	s.ctl = ipc.NewReconnector(ipc.ReconnectConfig{
-		Network:     "unix",
-		Addr:        s.daemon.ControlSocket(),
-		CallTimeout: s.cfg.callTimeout,
-		RTT:         s.obs.ControlRTT,
-		Reconnects:  s.obs.Reconnects,
+	// Each published connection negotiates the binary fast-path codec
+	// unless WithJSONWire (or CONVGPU_WIRE_JSON) pins it to JSON.
+	wire := &ipc.WireStats{}
+	ctl := ipc.NewReconnector(ipc.ReconnectConfig{
+		Network:       "unix",
+		Addr:          s.daemon.ControlSocket(),
+		CallTimeout:   s.cfg.callTimeout,
+		RTT:           s.obs.ControlRTT,
+		Reconnects:    s.obs.Reconnects,
+		Wire:          wire,
+		DisableBinary: s.cfg.jsonWire,
 	})
+	s.ctl = ctl
+	s.obs.BindWire("client", wire, func() int64 { return ctl.InFlight() })
 	if _, err = s.ctl.Connect(ctx); err != nil {
 		return fail(fmt.Errorf("convgpu: %w: %v", ErrDaemonUnavailable, err))
 	}

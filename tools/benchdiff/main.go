@@ -1,0 +1,200 @@
+// Command benchdiff compares two `go test -bench` outputs the way
+// benchstat does, without the external dependency: it pairs benchmarks
+// by name, prints old/new time and allocation columns with percentage
+// deltas, and (with -fail-over) exits nonzero when any paired
+// benchmark's ns/op regressed past a threshold — the hook `make
+// benchdiff` uses to gate hot-path changes against the committed
+// baseline.
+//
+// Usage:
+//
+//	go run ./tools/benchdiff [-fail-over pct] old.txt new.txt
+//
+// Single-run caveat: unlike benchstat this tool sees one sample per
+// side, so it reports deltas without significance testing. Treat small
+// movements as noise and rerun; the -fail-over default (0 = never
+// fail) exists because a gate needs slack on shared CI hardware.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+type result struct {
+	name   string
+	nsOp   float64
+	bOp    int64
+	allocs int64
+	hasMem bool
+}
+
+func main() {
+	failOver := flag.Float64("fail-over", 0, "exit 1 when ns/op regresses more than this percent (0 disables)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-fail-over pct] old.txt new.txt")
+		os.Exit(2)
+	}
+	old, err := parseFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	cur, err := parseFile(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(old)+len(cur))
+	for name := range old {
+		names = append(names, name)
+	}
+	for name := range cur {
+		if _, ok := old[name]; !ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+
+	var rows [][]string
+	rows = append(rows, []string{"benchmark", "old ns/op", "new ns/op", "delta", "old allocs", "new allocs"})
+	worst := 0.0
+	var worstName string
+	for _, name := range names {
+		o, inOld := old[name]
+		n, inCur := cur[name]
+		switch {
+		case !inCur:
+			rows = append(rows, []string{name, formatNs(o.nsOp), "gone", "", formatAllocs(o), ""})
+		case !inOld:
+			rows = append(rows, []string{name, "new", formatNs(n.nsOp), "", "", formatAllocs(n)})
+		default:
+			delta := ""
+			if o.nsOp > 0 {
+				pct := (n.nsOp - o.nsOp) / o.nsOp * 100
+				delta = fmt.Sprintf("%+.1f%%", pct)
+				if pct > worst {
+					worst, worstName = pct, name
+				}
+			}
+			rows = append(rows, []string{name, formatNs(o.nsOp), formatNs(n.nsOp), delta, formatAllocs(o), formatAllocs(n)})
+		}
+	}
+	printTable(rows)
+
+	if *failOver > 0 && worst > *failOver {
+		fmt.Fprintf(os.Stderr, "benchdiff: %s regressed %.1f%% (limit %.1f%%)\n", worstName, worst, *failOver)
+		os.Exit(1)
+	}
+}
+
+// parseFile reads one benchmark output file into results keyed by name,
+// with the -N GOMAXPROCS suffix stripped so runs from differently sized
+// machines pair up. A name appearing multiple times (-count>1) keeps
+// its best (minimum) ns/op — the least-noise sample.
+func parseFile(path string) (map[string]result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string]result)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		r, ok := parseLine(sc.Text())
+		if !ok {
+			continue
+		}
+		if prev, seen := out[r.name]; seen && prev.nsOp <= r.nsOp {
+			continue
+		}
+		out[r.name] = r
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark lines", path)
+	}
+	return out, nil
+}
+
+// parseLine extracts one `BenchmarkX  N  ns/op [B/op allocs/op]` row.
+func parseLine(line string) (result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return result{}, false
+	}
+	r := result{name: fields[0]}
+	if i := strings.LastIndex(r.name, "-"); i > 0 {
+		if _, err := strconv.Atoi(r.name[i+1:]); err == nil {
+			r.name = r.name[:i]
+		}
+	}
+	found := false
+	for i := 2; i+1 < len(fields); i++ {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			r.nsOp, found = v, true
+		case "B/op":
+			r.bOp, r.hasMem = int64(v), true
+		case "allocs/op":
+			r.allocs, r.hasMem = int64(v), true
+		}
+	}
+	return r, found
+}
+
+func formatNs(ns float64) string {
+	switch {
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.2fµs", ns/1e3)
+	default:
+		return fmt.Sprintf("%.1fns", ns)
+	}
+}
+
+func formatAllocs(r result) string {
+	if !r.hasMem {
+		return ""
+	}
+	return fmt.Sprintf("%d (%dB)", r.allocs, r.bOp)
+}
+
+func printTable(rows [][]string) {
+	widths := make([]int, len(rows[0]))
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for _, row := range rows {
+		var b strings.Builder
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			if i == 0 {
+				b.WriteString(cell + strings.Repeat(" ", widths[i]-len(cell)))
+			} else {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(cell)) + cell)
+			}
+		}
+		fmt.Println(strings.TrimRight(b.String(), " "))
+	}
+}
