@@ -3,8 +3,8 @@
 
 GO ?= go
 
-.PHONY: all build test vet check apicheck apigen race chaos bench \
-	bench-all benchdiff clean model model-long fuzz-smoke cover
+.PHONY: all build test vet check apicheck apigen race chaos chaos-nodes \
+	bench bench-all benchdiff clean model model-long fuzz-smoke cover
 
 all: build test
 
@@ -50,6 +50,17 @@ race:
 CHAOS_SEEDS ?= 120
 chaos:
 	$(GO) test -race -run TestChaos -count=1 -timeout 25m ./internal/fault -chaos.seeds=$(CHAOS_SEEDS)
+
+# chaos-nodes is the node-scope sweep on its own: seeded schedules of
+# node kills, stalls, partitions, flapping restarts, and drains against
+# a live 2x2 cluster daemon under -race, with the suite-level goroutine
+# leak check covering the health-probe loop. The plain `make chaos`
+# regex already includes TestChaosNodeKill at its default seed count;
+# this target runs more seeds. A failing seed N replays with:
+#   go test -race -run 'TestChaosNodeKill/seed=N$' ./internal/fault -chaos.nodeseeds=$(CHAOS_NODE_SEEDS)
+CHAOS_NODE_SEEDS ?= 24
+chaos-nodes:
+	$(GO) test -race -run TestChaosNodeKill -count=1 -timeout 25m ./internal/fault -chaos.nodeseeds=$(CHAOS_NODE_SEEDS)
 
 # model runs the model-based conformance suite under the race detector:
 # seeded op streams drive every algorithm on every topology (core,
@@ -113,12 +124,16 @@ bench-all:
 # BENCH_hotpath.txt baseline with the home-grown comparer (benchstat
 # itself is an external module this repo does not vendor). Informational
 # by default; pass BENCHDIFF_FAIL_OVER=25 to fail on a >25% ns/op
-# regression (CI does, with generous slack for shared runners).
+# regression (generous slack for shared runners), or
+# BENCHDIFF_THRESHOLD=pct for the strict gate CI uses: ns/op past pct
+# AND any allocs/op increase at all fail the run — allocation counts
+# are deterministic, so the 0-alloc budgets get no slack.
 BENCHDIFF_FAIL_OVER ?= 0
+BENCHDIFF_THRESHOLD ?= 0
 benchdiff:
 	@tmp=$$(mktemp); \
 	$(GO) test -run '^$$' -bench 'BenchmarkHotPath' -benchmem -count=1 . > $$tmp || { cat $$tmp; rm -f $$tmp; exit 1; }; \
-	$(GO) run ./tools/benchdiff -fail-over $(BENCHDIFF_FAIL_OVER) BENCH_hotpath.txt $$tmp; \
+	$(GO) run ./tools/benchdiff -fail-over $(BENCHDIFF_FAIL_OVER) -threshold $(BENCHDIFF_THRESHOLD) BENCH_hotpath.txt $$tmp; \
 	status=$$?; rm -f $$tmp; exit $$status
 
 clean:

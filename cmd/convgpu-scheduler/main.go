@@ -12,6 +12,13 @@
 // socket: -capacity is read per device and -placement picks the device
 // placement policy for new containers (least-loaded by default).
 //
+// With -nodes M (M > 1) the daemon fronts an M-node cluster of -devices
+// GPUs each: -strategy picks the node placement strategy and
+// -node-health (a probe interval) starts the membership health loop,
+// which declares unresponsive nodes down and fails their containers
+// over to survivors. Nodes are inspected and drained / revived at
+// runtime with cmd/convgpu-stats (nodes | drain | revive).
+//
 // The daemon prints the control socket path on startup and, with
 // -status, a periodic snapshot of per-container grants and usage. With
 // -http it also serves the observability endpoints: /metrics
@@ -32,6 +39,7 @@ import (
 	"time"
 
 	"convgpu/internal/bytesize"
+	"convgpu/internal/cluster"
 	"convgpu/internal/core"
 	"convgpu/internal/daemon"
 	"convgpu/internal/multigpu"
@@ -45,6 +53,9 @@ func main() {
 		algorithm = flag.String("algorithm", core.AlgFIFO, "redistribution algorithm: fifo|bestfit|recentuse|random")
 		devices   = flag.Int("devices", 1, "number of GPUs to serve; -capacity is per device when > 1")
 		placement = flag.String("placement", multigpu.PolicyLeastLoaded, "device placement policy: roundrobin|leastloaded|firstfit|bestfit (multi-device only)")
+		nodes     = flag.Int("nodes", 1, "number of cluster nodes, each with -devices GPUs; > 1 enables the cluster tier")
+		strategy  = flag.String("strategy", cluster.StrategySpread, "node placement strategy: spread|binpack|random (cluster only)")
+		health    = flag.Duration("node-health", 0, "probe nodes at this interval, failing over unresponsive ones (0 = off; cluster only)")
 		seed      = flag.Int64("seed", 1, "seed for the random algorithm")
 		status    = flag.Duration("status", 0, "print a scheduler snapshot at this interval (0 = off)")
 		rescue    = flag.Bool("fault-tolerant", false, "enable the rescue pass of the authors' prior fault-tolerance study")
@@ -64,7 +75,26 @@ func main() {
 	}
 	var st core.Scheduler
 	var algName string
-	if *devices > 1 {
+	var clus *cluster.Cluster
+	if *nodes > 1 {
+		strat, err := cluster.NewStrategy(*strategy, *seed)
+		if err != nil {
+			log.Fatalf("convgpu-scheduler: -strategy: %v", err)
+		}
+		clus, err = cluster.New(cluster.Config{
+			Nodes:          *nodes,
+			GPUsPerNode:    *devices,
+			CapacityPerGPU: cap,
+			Algorithm:      *algorithm,
+			AlgSeed:        *seed,
+			DevicePolicy:   *placement,
+			Strategy:       strat,
+		})
+		if err != nil {
+			log.Fatalf("convgpu-scheduler: %v", err)
+		}
+		st, algName = clus, *algorithm
+	} else if *devices > 1 {
 		pol, err := multigpu.NewPolicy(*placement)
 		if err != nil {
 			log.Fatalf("convgpu-scheduler: -placement: %v", err)
@@ -97,7 +127,19 @@ func main() {
 		log.Fatalf("convgpu-scheduler: %v", err)
 	}
 	defer d.Close()
-	if *devices > 1 {
+	if clus != nil && *health > 0 {
+		// A nil probe treats every node as healthy; real deployments hook
+		// a liveness RPC here. The loop still auto-revives down nodes and
+		// drives the obs gauges, and drain/revive stay manual verbs.
+		if err := clus.StartHealth(cluster.HealthConfig{Interval: *health}); err != nil {
+			log.Fatalf("convgpu-scheduler: -node-health: %v", err)
+		}
+		defer clus.StopHealth()
+	}
+	if clus != nil {
+		log.Printf("GPU memory scheduler up: nodes=%d gpus/node=%d capacity=%v/GPU algorithm=%s strategy=%s control=%s",
+			*nodes, *devices, cap, algName, clus.StrategyName(), d.ControlSocket())
+	} else if *devices > 1 {
 		log.Printf("GPU memory scheduler up: devices=%d capacity=%v/device algorithm=%s placement=%s control=%s",
 			*devices, cap, algName, *placement, d.ControlSocket())
 	} else {
@@ -138,6 +180,12 @@ func main() {
 		case <-tick:
 			snap := st.Snapshot()
 			log.Printf("pool free: %v, containers: %d", st.PoolFree(), len(snap))
+			if clus != nil {
+				for _, n := range clus.NodeStatuses() {
+					log.Printf("  node %d (%s): state=%s free=%v containers=%d failovers=%d",
+						n.Index, n.Name, n.State, n.Free, n.Containers, n.Failovers)
+				}
+			}
 			if *devices > 1 {
 				for _, dev := range st.Devices() {
 					log.Printf("  device %d: capacity=%v free=%v containers=%d",

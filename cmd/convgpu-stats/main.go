@@ -9,10 +9,18 @@
 //	convgpu-stats -socket /var/run/convgpu/convgpu.sock trace [container]
 //	convgpu-stats -socket /var/run/convgpu/convgpu.sock dump
 //	convgpu-stats -socket /var/run/convgpu/convgpu.sock devices
+//	convgpu-stats -socket /var/run/convgpu/convgpu.sock nodes
+//	convgpu-stats -socket /var/run/convgpu/convgpu.sock drain 0
+//	convgpu-stats -socket /var/run/convgpu/convgpu.sock revive 0
 //
 // The devices query renders the dump's per-device breakdown as a table
 // (one row per GPU plus each container's device assignment) instead of
-// raw JSON.
+// raw JSON. The nodes query renders the cluster membership view — one
+// row per node with its state, free memory and failover count — and
+// drain / revive are the admin verbs of that view: drain makes a node
+// refuse new containers while existing ones complete, revive returns a
+// drained or down node to service. All three require the daemon to run
+// the cluster tier (convgpu-scheduler -nodes).
 package main
 
 import (
@@ -21,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"time"
 
 	"convgpu/internal/bytesize"
@@ -36,7 +45,7 @@ func main() {
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: convgpu-stats -socket PATH {stats | trace [container] | dump | devices}\n")
+			"usage: convgpu-stats -socket PATH {stats | trace [container] | dump | devices | nodes | drain NODE | revive NODE}\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -47,7 +56,8 @@ func main() {
 
 	var typ protocol.Type
 	var container string
-	var renderDevices bool
+	var node int
+	var renderDevices, renderNodes bool
 	switch flag.Arg(0) {
 	case "stats":
 		typ = protocol.TypeStats
@@ -59,6 +69,20 @@ func main() {
 	case "devices":
 		typ = protocol.TypeDump
 		renderDevices = true
+	case "nodes":
+		typ = protocol.TypeNodes
+		renderNodes = true
+	case "drain", "revive":
+		typ = protocol.TypeDrain
+		if flag.Arg(0) == "revive" {
+			typ = protocol.TypeRevive
+		}
+		n, err := strconv.Atoi(flag.Arg(1))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "convgpu-stats: %s needs a node index, got %q\n", flag.Arg(0), flag.Arg(1))
+			os.Exit(2)
+		}
+		node = n
 	default:
 		fmt.Fprintf(os.Stderr, "convgpu-stats: unknown query %q\n", flag.Arg(0))
 		flag.Usage()
@@ -77,6 +101,7 @@ func main() {
 	resp, err := cli.Call(ctx, &protocol.Message{
 		Type:      typ,
 		Container: container,
+		Device:    node,
 		Size:      int64(*limit),
 	})
 	if err != nil {
@@ -87,9 +112,21 @@ func main() {
 		fmt.Fprintf(os.Stderr, "convgpu-stats: %s: %s\n", typ, resp.Error)
 		os.Exit(1)
 	}
+	switch typ {
+	case protocol.TypeDrain, protocol.TypeRevive:
+		fmt.Printf("node %d: %s acknowledged\n", node, flag.Arg(0))
+		return
+	}
 	if renderDevices {
 		if err := printDevices([]byte(resp.Data)); err != nil {
 			fmt.Fprintf(os.Stderr, "convgpu-stats: devices: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if renderNodes {
+		if err := printNodes([]byte(resp.Data)); err != nil {
+			fmt.Fprintf(os.Stderr, "convgpu-stats: nodes: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -122,6 +159,32 @@ type devicesDump struct {
 		Used      int64  `json:"used"`
 		Suspended bool   `json:"suspended"`
 	} `json:"containers"`
+}
+
+// nodeStatus mirrors the daemon's nodes payload (core.NodeStatus).
+type nodeStatus struct {
+	Index      int    `json:"index"`
+	Name       string `json:"name"`
+	State      string `json:"state"`
+	Containers int    `json:"containers"`
+	Capacity   int64  `json:"capacity"`
+	Free       int64  `json:"free"`
+	Failovers  uint64 `json:"failovers"`
+}
+
+// printNodes renders the cluster membership view as a table.
+func printNodes(data []byte) error {
+	var nodes []nodeStatus
+	if err := json.Unmarshal(data, &nodes); err != nil {
+		return err
+	}
+	fmt.Printf("%-6s %-12s %-10s %-12s %-12s %-12s %s\n",
+		"NODE", "NAME", "STATE", "CAPACITY", "FREE", "CONTAINERS", "FAILOVERS")
+	for _, n := range nodes {
+		fmt.Printf("%-6d %-12s %-10s %-12v %-12v %-12d %d\n",
+			n.Index, n.Name, n.State, bytesize.Size(n.Capacity), bytesize.Size(n.Free), n.Containers, n.Failovers)
+	}
+	return nil
 }
 
 // printDevices renders the dump's per-device breakdown as a table.

@@ -275,6 +275,11 @@ type SchedulerEvent = core.EventRecord
 // free pool and placed-container count (Stack.Devices).
 type DeviceInfo = core.DeviceInfo
 
+// NodeStatus is one node's row of the cluster membership view
+// (Stack.Nodes): its state (up, suspect, down, draining), capacity,
+// free memory, container count and how many times it has failed over.
+type NodeStatus = core.NodeStatus
+
 // --- Discrete-event experiment surface (Figures 7/8, Tables IV/V) ---
 
 // SimConfig configures a simulated scheduling run.

@@ -23,6 +23,10 @@ var (
 	// ErrOverCapacity: a container's memory limit exceeds the GPU's
 	// schedulable capacity.
 	ErrOverCapacity = errs.ErrOverCapacity
+	// ErrNodeDown: the cluster node involved is down — an admin verb hit
+	// a failed node, or a container's work was evicted because no
+	// surviving node could hold it after a failover.
+	ErrNodeDown = errs.ErrNodeDown
 	// ErrNotStarted: a Stack method that needs the running daemon was
 	// called before Start.
 	ErrNotStarted = errors.New("convgpu: stack not started (call Start first)")

@@ -26,6 +26,7 @@ import (
 	"convgpu/internal/bytesize"
 	"convgpu/internal/clock"
 	"convgpu/internal/core"
+	"convgpu/internal/errs"
 	"convgpu/internal/multigpu"
 )
 
@@ -194,9 +195,25 @@ type Cluster struct {
 	*core.Router
 	names    []string
 	strategy Strategy
+	cfg      Config // retained to build replacement members at failover
+	clk      clock.Clock
 
-	// regMu serializes placement decisions (see multigpu.State.Register).
+	// regMu serializes placement decisions (see multigpu.State.Register)
+	// and failovers: FailNode migrates containers under it, so a report
+	// is atomic with respect to new registrations.
 	regMu sync.Mutex
+
+	// nodeMu guards the membership view (leaf lock: never held while
+	// calling into members or the router).
+	nodeMu     sync.Mutex
+	states     []core.NodeState
+	failovers  []uint64
+	onFailover func(core.FailoverReport)
+
+	// health is the probe loop's lifecycle (see StartHealth).
+	healthMu   sync.Mutex
+	healthStop chan struct{}
+	healthDone chan struct{}
 }
 
 var _ core.Scheduler = (*Cluster)(nil)
@@ -216,33 +233,50 @@ func New(cfg Config) (*Cluster, error) {
 	if devPolicyName == "" {
 		devPolicyName = multigpu.PolicyLeastLoaded
 	}
+	cfg.DevicePolicy = devPolicyName
+	clk := cfg.Clock
+	if clk == nil {
+		clk = clock.Real{}
+	}
+	c := &Cluster{
+		names:     make([]string, 0, cfg.Nodes),
+		strategy:  cfg.Strategy,
+		cfg:       cfg,
+		clk:       clk,
+		states:    make([]core.NodeState, cfg.Nodes),
+		failovers: make([]uint64, cfg.Nodes),
+	}
 	members := make([]core.Scheduler, 0, cfg.Nodes)
-	names := make([]string, 0, cfg.Nodes)
 	for i := 0; i < cfg.Nodes; i++ {
-		pol, err := multigpu.NewPolicy(devPolicyName)
-		if err != nil {
-			return nil, err
-		}
-		sched, err := multigpu.New(multigpu.Config{
-			Devices:           cfg.GPUsPerNode,
-			CapacityPerDevice: cfg.CapacityPerGPU,
-			Algorithm:         cfg.Algorithm,
-			AlgSeed:           cfg.AlgSeed + int64(i)*100,
-			Policy:            pol,
-			Clock:             cfg.Clock,
-			ContextOverhead:   cfg.ContextOverhead,
-		})
+		sched, err := c.newMember(i)
 		if err != nil {
 			return nil, err
 		}
 		members = append(members, sched)
-		names = append(names, fmt.Sprintf("node-%d", i))
+		c.names = append(c.names, fmt.Sprintf("node-%d", i))
 	}
-	return &Cluster{
-		Router:   core.NewRouter(members, "node"),
-		names:    names,
-		strategy: cfg.Strategy,
-	}, nil
+	c.Router = core.NewRouter(members, "node")
+	return c, nil
+}
+
+// newMember builds node i's scheduler. The failover path calls it again
+// to fill a dead node's slot: the same seed offset rebuilds the node
+// exactly as it started, so a revived node is indistinguishable from a
+// freshly booted one (and the model oracle can mirror the reset).
+func (c *Cluster) newMember(i int) (core.Scheduler, error) {
+	pol, err := multigpu.NewPolicy(c.cfg.DevicePolicy)
+	if err != nil {
+		return nil, err
+	}
+	return multigpu.New(multigpu.Config{
+		Devices:           c.cfg.GPUsPerNode,
+		CapacityPerDevice: c.cfg.CapacityPerGPU,
+		Algorithm:         c.cfg.Algorithm,
+		AlgSeed:           c.cfg.AlgSeed + int64(i)*100,
+		Policy:            pol,
+		Clock:             c.cfg.Clock,
+		ContextOverhead:   c.cfg.ContextOverhead,
+	})
 }
 
 // Nodes reports per-node summaries.
@@ -269,15 +303,23 @@ func (c *Cluster) Nodes() []NodeInfo {
 func (c *Cluster) StrategyName() string { return c.strategy.Name() }
 
 // Register places the container on a node (strategy) and GPU (node
-// policy) and registers it with that GPU's scheduler.
+// policy) and registers it with that GPU's scheduler. Only nodes the
+// membership view considers eligible (up or suspect) are offered to the
+// strategy: draining nodes refuse new registrations, and down nodes
+// hold no capacity. With no eligible node at all, admission fails
+// closed with ErrDaemonUnavailable.
 func (c *Cluster) Register(id core.ContainerID, limit bytesize.Size) (bytesize.Size, error) {
 	c.regMu.Lock()
 	defer c.regMu.Unlock()
 	if n, err := c.PlacementIndex(id); err == nil {
 		return c.Member(n).Register(id, limit)
 	}
-	node := c.strategy.Place(limit, c.Nodes())
-	if node < 0 || node >= c.NumMembers() {
+	nodes, anyEligible := c.eligibleNodes()
+	if !anyEligible {
+		return 0, fmt.Errorf("%w: no node accepting registrations", errs.ErrDaemonUnavailable)
+	}
+	node := c.strategy.Place(limit, nodes)
+	if node < 0 || node >= c.NumMembers() || !c.eligible(node) {
 		return 0, fmt.Errorf("%w: no node can hold a %v container", core.ErrLimitExceedsCapacity, limit)
 	}
 	granted, err := c.Member(node).Register(id, limit)
@@ -295,6 +337,26 @@ func (c *Cluster) EnsureRegistered(id core.ContainerID, limit bytesize.Size) (by
 		return c.Member(n).EnsureRegistered(id, limit)
 	}
 	return c.Register(id, limit)
+}
+
+// RestorePlacement pins a recovering container onto a node that serves
+// the recorded device, like the router's version but skipping nodes
+// that are down or draining — session recovery must not re-admit
+// containers onto a node that refuses new work.
+func (c *Cluster) RestorePlacement(id core.ContainerID, device int) error {
+	if n, err := c.PlacementIndex(id); err == nil {
+		return c.Member(n).RestorePlacement(id, device)
+	}
+	for i := 0; i < c.NumMembers(); i++ {
+		if !c.eligible(i) {
+			continue
+		}
+		if err := c.Member(i).RestorePlacement(id, device); err == nil {
+			c.SetPlacement(id, i)
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: %d (no eligible node serves it)", core.ErrUnknownDevice, device)
 }
 
 // NodePlacement reports the node and GPU a container lives on.

@@ -1,0 +1,362 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"convgpu/internal/bytesize"
+	"convgpu/internal/core"
+	"convgpu/internal/errs"
+)
+
+// This file is the cluster's node failure domain layer: a membership
+// view (up / suspect / down / draining) driven by health probes on the
+// injected clock, manual drain/revive admin verbs, and the failover
+// path that migrates a dead node's containers — and every one of their
+// parked tickets — onto surviving nodes.
+
+var (
+	_ core.Membership     = (*Cluster)(nil)
+	_ core.FailoverSource = (*Cluster)(nil)
+)
+
+// State reports one node's membership state.
+func (c *Cluster) State(node int) (core.NodeState, error) {
+	if err := c.checkNode(node); err != nil {
+		return 0, err
+	}
+	c.nodeMu.Lock()
+	defer c.nodeMu.Unlock()
+	return c.states[node], nil
+}
+
+// NodeStatuses implements core.Membership.
+func (c *Cluster) NodeStatuses() []core.NodeStatus {
+	infos := c.Nodes()
+	c.nodeMu.Lock()
+	defer c.nodeMu.Unlock()
+	out := make([]core.NodeStatus, len(infos))
+	for i, n := range infos {
+		out[i] = core.NodeStatus{
+			Index:      n.Index,
+			Name:       n.Name,
+			State:      c.states[i].String(),
+			Containers: n.Containers,
+			Capacity:   c.cfg.CapacityPerGPU * bytesize.Size(c.cfg.GPUsPerNode),
+			Free:       n.TotalFree,
+			Failovers:  c.failovers[i],
+		}
+	}
+	return out
+}
+
+// Drain implements core.Membership: the node refuses new registrations
+// while existing grants complete. Draining a down node is an error —
+// there is nothing left to drain.
+func (c *Cluster) Drain(node int) error {
+	if err := c.checkNode(node); err != nil {
+		return err
+	}
+	c.nodeMu.Lock()
+	defer c.nodeMu.Unlock()
+	if c.states[node] == core.NodeDown {
+		return fmt.Errorf("cluster: cannot drain node %d: %w", node, errs.ErrNodeDown)
+	}
+	c.states[node] = core.NodeDraining
+	return nil
+}
+
+// Revive implements core.Membership: returns a drained or down node to
+// service. A down node's slot already holds a fresh, empty scheduler
+// (installed at failover), so revival simply re-opens it for placement.
+func (c *Cluster) Revive(node int) error {
+	if err := c.checkNode(node); err != nil {
+		return err
+	}
+	c.nodeMu.Lock()
+	defer c.nodeMu.Unlock()
+	c.states[node] = core.NodeUp
+	return nil
+}
+
+// OnFailover implements core.FailoverSource. fn is called synchronously
+// under the registration lock with each failover's report.
+func (c *Cluster) OnFailover(fn func(core.FailoverReport)) {
+	c.nodeMu.Lock()
+	c.onFailover = fn
+	c.nodeMu.Unlock()
+}
+
+// checkNode validates a node index.
+func (c *Cluster) checkNode(node int) error {
+	if node < 0 || node >= c.NumMembers() {
+		return fmt.Errorf("cluster: unknown node %d (%d nodes)", node, c.NumMembers())
+	}
+	return nil
+}
+
+// eligible reports whether node accepts new registrations (up or
+// suspect — a suspect node still serves until the down threshold).
+func (c *Cluster) eligible(node int) bool {
+	c.nodeMu.Lock()
+	defer c.nodeMu.Unlock()
+	return c.states[node] == core.NodeUp || c.states[node] == core.NodeSuspect
+}
+
+// eligibleNodes returns the strategy's node view with ineligible nodes'
+// capacities zeroed out. The slice keeps its full length and original
+// Index fields — the strategies index into it by NodeInfo.Index, so it
+// must never be filtered, only neutralized.
+func (c *Cluster) eligibleNodes() ([]NodeInfo, bool) {
+	nodes := c.Nodes()
+	any := false
+	c.nodeMu.Lock()
+	for i := range nodes {
+		switch c.states[i] {
+		case core.NodeUp, core.NodeSuspect:
+			any = true
+		default:
+			nodes[i].MaxDeviceCapacity = 0
+			nodes[i].MaxDevicePool = 0
+			nodes[i].TotalFree = 0
+		}
+	}
+	c.nodeMu.Unlock()
+	return nodes, any
+}
+
+// FailNode declares node dead and fails it over: every container placed
+// there is re-registered (in container-ID order) on a strategy-chosen
+// surviving node with a clean seat — its device allocations died with
+// the node — and each of its parked tickets is re-queued (in park
+// order) through the ordinary suspend machinery, admitted immediately
+// if the survivor has room, or evicted when no surviving node can hold
+// the container's limit. The dead slot is refilled with a fresh, empty
+// scheduler built from the same seed, so a later revival starts the
+// node exactly as it first booted.
+//
+// The returned report accounts for every pre-kill parked ticket exactly
+// once (migrated, admitted, or evicted) — the no-ticket-lost invariant
+// the model harness asserts mechanically.
+func (c *Cluster) FailNode(node int) (core.FailoverReport, error) {
+	if err := c.checkNode(node); err != nil {
+		return core.FailoverReport{}, err
+	}
+	c.regMu.Lock()
+	defer c.regMu.Unlock()
+	start := c.clk.Now()
+
+	c.nodeMu.Lock()
+	if c.states[node] == core.NodeDown {
+		c.nodeMu.Unlock()
+		return core.FailoverReport{}, fmt.Errorf("cluster: node %d already down: %w", node, errs.ErrNodeDown)
+	}
+	c.states[node] = core.NodeDown
+	c.failovers[node]++
+	fn := c.onFailover
+	c.nodeMu.Unlock()
+
+	// Capture the dying containers' registrations and parked requests
+	// before the member is replaced. PlacementsOn sorts by ID, which is
+	// the deterministic order the model oracle mirrors.
+	type dying struct {
+		id      core.ContainerID
+		limit   bytesize.Size
+		pending []core.PendingRequest
+	}
+	old := c.Member(node)
+	ids := c.PlacementsOn(node)
+	doomed := make([]dying, 0, len(ids))
+	for _, id := range ids {
+		info, err := old.Info(id)
+		if err != nil {
+			continue
+		}
+		pend, _ := old.PendingRequests(id)
+		doomed = append(doomed, dying{id: id, limit: info.Limit, pending: pend})
+	}
+
+	// Install the replacement before re-placing anything, so migration
+	// targets never include the dead member's capacity.
+	fresh, err := c.newMember(node)
+	if err != nil {
+		return core.FailoverReport{}, fmt.Errorf("cluster: rebuilding node %d: %w", node, err)
+	}
+	c.ReplaceMember(node, fresh, ids)
+
+	report := core.FailoverReport{Node: node}
+	for _, d := range doomed {
+		move := core.ContainerMove{ID: d.id, Limit: d.limit, From: node, To: -1}
+		target := -1
+		if nodes, any := c.eligibleNodes(); any {
+			if n := c.strategy.Place(d.limit, nodes); n >= 0 && n < c.NumMembers() && c.eligible(n) {
+				target = n
+			}
+		}
+		if target >= 0 {
+			granted, err := c.Member(target).Register(d.id, d.limit)
+			if err != nil {
+				target = -1
+			} else {
+				c.SetPlacement(d.id, target)
+				move.To, move.Granted = target, granted
+			}
+		}
+		if target < 0 {
+			move.Evicted = true
+			for _, p := range d.pending {
+				move.Tickets = append(move.Tickets, core.TicketMove{
+					OldTicket: p.Ticket, PID: p.PID, Size: p.Size, Outcome: core.TicketEvicted,
+				})
+			}
+			report.Moves = append(report.Moves, move)
+			continue
+		}
+		for _, p := range d.pending {
+			tm := core.TicketMove{OldTicket: p.Ticket, PID: p.PID, Size: p.Size}
+			res, err := c.Member(target).RequestAlloc(d.id, p.PID, p.Size)
+			switch {
+			case err != nil || res.Decision == core.Reject:
+				// Cannot happen for a request that was parked under the
+				// same limit, but account for it observably regardless.
+				tm.Outcome = core.TicketEvicted
+			case res.Decision == core.Accept:
+				tm.Outcome = core.TicketAdmitted
+			default:
+				tm.Outcome = core.TicketMigrated
+				tm.NewTicket = res.Ticket
+			}
+			move.Tickets = append(move.Tickets, tm)
+		}
+		report.Moves = append(report.Moves, move)
+	}
+	report.Elapsed = c.clk.Since(start)
+	if fn != nil {
+		fn(report)
+	}
+	return report, nil
+}
+
+// HealthConfig parameterizes the probe loop.
+type HealthConfig struct {
+	// Interval is the probe period (required, > 0).
+	Interval time.Duration
+	// SuspectAfter is how many consecutive probe failures mark a node
+	// suspect (default 1).
+	SuspectAfter int
+	// DownAfter is how many consecutive probe failures declare a node
+	// down and trigger failover (default 3).
+	DownAfter int
+	// Probe checks one node's health; nil treats every node as healthy
+	// (the loop then only auto-revives nodes whose probes recover).
+	Probe func(node int) error
+	// OnTransition, when set, observes every state change the loop
+	// makes (obs wiring, logs).
+	OnTransition func(node int, from, to core.NodeState)
+}
+
+// StartHealth launches the health-probe loop on the cluster's clock.
+// On DownAfter consecutive probe failures the node is failed over; a
+// probe succeeding against a down node revives it (flapping restart:
+// the node came back empty, which is exactly what its fresh slot
+// holds). Draining nodes are left alone — drain is a manual verb and
+// only Revive clears it. Returns an error if a loop is already running.
+func (c *Cluster) StartHealth(hc HealthConfig) error {
+	if hc.Interval <= 0 {
+		return fmt.Errorf("cluster: health interval must be positive, got %v", hc.Interval)
+	}
+	if hc.SuspectAfter <= 0 {
+		hc.SuspectAfter = 1
+	}
+	if hc.DownAfter <= 0 {
+		hc.DownAfter = 3
+	}
+	c.healthMu.Lock()
+	defer c.healthMu.Unlock()
+	if c.healthStop != nil {
+		return fmt.Errorf("cluster: health loop already running")
+	}
+	c.healthStop = make(chan struct{})
+	c.healthDone = make(chan struct{})
+	go c.healthLoop(hc, c.healthStop, c.healthDone)
+	return nil
+}
+
+// StopHealth stops the probe loop and waits for it to wind down (the
+// goroutine-leak checks in the chaos suite rely on this being
+// synchronous). Safe to call when no loop is running.
+func (c *Cluster) StopHealth() {
+	c.healthMu.Lock()
+	stop, done := c.healthStop, c.healthDone
+	c.healthStop, c.healthDone = nil, nil
+	c.healthMu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}
+
+func (c *Cluster) healthLoop(hc HealthConfig, stop, done chan struct{}) {
+	defer close(done)
+	fails := make([]int, c.NumMembers())
+	for {
+		select {
+		case <-stop:
+			return
+		case <-c.clk.After(hc.Interval):
+		}
+		for i := 0; i < c.NumMembers(); i++ {
+			c.nodeMu.Lock()
+			state := c.states[i]
+			c.nodeMu.Unlock()
+			if state == core.NodeDraining {
+				continue
+			}
+			var err error
+			if hc.Probe != nil {
+				err = hc.Probe(i)
+			}
+			if err == nil {
+				fails[i] = 0
+				switch state {
+				case core.NodeSuspect:
+					c.transition(i, state, core.NodeUp, hc.OnTransition)
+				case core.NodeDown:
+					// Flapping restart: the node answers probes again.
+					// Its slot holds a fresh scheduler, so revival is
+					// exactly a clean boot.
+					c.transition(i, state, core.NodeUp, hc.OnTransition)
+				}
+				continue
+			}
+			if state == core.NodeDown {
+				continue
+			}
+			fails[i]++
+			switch {
+			case fails[i] >= hc.DownAfter:
+				if _, err := c.FailNode(i); err == nil && hc.OnTransition != nil {
+					hc.OnTransition(i, state, core.NodeDown)
+				}
+			case fails[i] >= hc.SuspectAfter && state == core.NodeUp:
+				c.transition(i, state, core.NodeSuspect, hc.OnTransition)
+			}
+		}
+	}
+}
+
+// transition flips one node's state and notifies the observer.
+func (c *Cluster) transition(node int, from, to core.NodeState, notify func(int, core.NodeState, core.NodeState)) {
+	c.nodeMu.Lock()
+	// Re-check under the lock: a concurrent admin verb wins.
+	if c.states[node] != from {
+		c.nodeMu.Unlock()
+		return
+	}
+	c.states[node] = to
+	c.nodeMu.Unlock()
+	if notify != nil {
+		notify(node, from, to)
+	}
+}

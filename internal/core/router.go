@@ -21,13 +21,17 @@ import (
 // both (EnsureRegistered typically routes when the placement is known
 // and falls back to Register when it is not).
 type Router struct {
-	members []Scheduler
 	// memberNoun names a member in aggregated errors: "device" for the
 	// multi-GPU scheduler, "node" for the cluster.
 	memberNoun string
 
+	// mu guards placement, members and observer. members is replaced
+	// wholesale (copy-on-write) by ReplaceMember, so a slice header read
+	// under the lock stays valid to iterate after release.
 	mu        sync.RWMutex
+	members   []Scheduler
 	placement map[ContainerID]int
+	observer  func(EventRecord)
 }
 
 // NewRouter builds a router over members. memberNoun names a member in
@@ -40,11 +44,57 @@ func NewRouter(members []Scheduler, memberNoun string) *Router {
 	}
 }
 
+// membersView snapshots the member slice. ReplaceMember swaps the slice
+// rather than mutating it in place, so iterating the snapshot without
+// the lock is safe.
+func (r *Router) membersView() []Scheduler {
+	r.mu.RLock()
+	ms := r.members
+	r.mu.RUnlock()
+	return ms
+}
+
 // NumMembers returns how many member schedulers the router fans out to.
-func (r *Router) NumMembers() int { return len(r.members) }
+func (r *Router) NumMembers() int { return len(r.membersView()) }
 
 // Member returns the i-th member scheduler.
-func (r *Router) Member(i int) Scheduler { return r.members[i] }
+func (r *Router) Member(i int) Scheduler { return r.membersView()[i] }
+
+// ReplaceMember swaps member i for fresh — the failover path installs
+// an empty scheduler in a dead node's slot — and forgets the placements
+// in drop (the dead member's containers, which the caller re-places or
+// evicts). The router's remembered observer is installed on the fresh
+// member so its events keep flowing to the same sink.
+func (r *Router) ReplaceMember(i int, fresh Scheduler, drop []ContainerID) {
+	r.mu.Lock()
+	ms := make([]Scheduler, len(r.members))
+	copy(ms, r.members)
+	ms[i] = fresh
+	r.members = ms
+	for _, id := range drop {
+		delete(r.placement, id)
+	}
+	fn := r.observer
+	r.mu.Unlock()
+	if fn != nil {
+		fresh.SetObserver(fn)
+	}
+}
+
+// PlacementsOn lists the containers placed on member i, sorted by ID so
+// callers iterate them deterministically.
+func (r *Router) PlacementsOn(i int) []ContainerID {
+	r.mu.RLock()
+	var out []ContainerID
+	for id, m := range r.placement {
+		if m == i {
+			out = append(out, id)
+		}
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
 
 // SetPlacement records that id's operations route to member m — called
 // by the embedding type after a successful Register on that member.
@@ -65,13 +115,21 @@ func (r *Router) PlacementIndex(id ContainerID) (int, error) {
 	return m, nil
 }
 
-// memberFor resolves id to its owning member.
+// memberFor resolves id to its owning member. One RLock covers both the
+// placement lookup and the member read, so a concurrent ReplaceMember
+// cannot hand back the dead member for a re-placed container.
 func (r *Router) memberFor(id ContainerID) (Scheduler, error) {
-	m, err := r.PlacementIndex(id)
-	if err != nil {
-		return nil, err
+	r.mu.RLock()
+	m, ok := r.placement[id]
+	var sched Scheduler
+	if ok {
+		sched = r.members[m]
 	}
-	return r.members[m], nil
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownContainer, id)
+	}
+	return sched, nil
 }
 
 // --- routed per-container operations ---
@@ -175,13 +233,23 @@ func (r *Router) Info(id ContainerID) (ContainerInfo, error) {
 	return m.Info(id)
 }
 
+// PendingRequests routes pending-ticket introspection to the
+// container's member.
+func (r *Router) PendingRequests(id ContainerID) ([]PendingRequest, error) {
+	m, err := r.memberFor(id)
+	if err != nil {
+		return nil, err
+	}
+	return m.PendingRequests(id)
+}
+
 // --- aggregated whole-scheduler views ---
 
 // Snapshot merges every member's snapshot, ordered by creation time
 // (ties broken by ID) so the combined view is deterministic.
 func (r *Router) Snapshot() []ContainerInfo {
 	var out []ContainerInfo
-	for _, m := range r.members {
+	for _, m := range r.membersView() {
 		out = append(out, m.Snapshot()...)
 	}
 	sort.SliceStable(out, func(i, j int) bool {
@@ -198,7 +266,7 @@ func (r *Router) Snapshot() []ContainerInfo {
 // repeat across devices; EventRecord.Device disambiguates.
 func (r *Router) Events() []EventRecord {
 	var out []EventRecord
-	for _, m := range r.members {
+	for _, m := range r.membersView() {
 		out = append(out, m.Events()...)
 	}
 	sort.SliceStable(out, func(i, j int) bool {
@@ -214,7 +282,11 @@ func (r *Router) Events() []EventRecord {
 // members interleave in timestamp order only as precisely as the
 // members' own locks allow.
 func (r *Router) SetObserver(fn func(EventRecord)) {
-	for _, m := range r.members {
+	r.mu.Lock()
+	r.observer = fn
+	ms := r.members
+	r.mu.Unlock()
+	for _, m := range ms {
 		m.SetObserver(fn)
 	}
 }
@@ -222,7 +294,7 @@ func (r *Router) SetObserver(fn func(EventRecord)) {
 // PausedContainers sums the members' suspended-container counts.
 func (r *Router) PausedContainers() int {
 	var n int
-	for _, m := range r.members {
+	for _, m := range r.membersView() {
 		n += m.PausedContainers()
 	}
 	return n
@@ -230,16 +302,17 @@ func (r *Router) PausedContainers() int {
 
 // AlgorithmName returns the members' (shared) redistribution algorithm.
 func (r *Router) AlgorithmName() string {
-	if len(r.members) == 0 {
+	ms := r.membersView()
+	if len(ms) == 0 {
 		return ""
 	}
-	return r.members[0].AlgorithmName()
+	return ms[0].AlgorithmName()
 }
 
 // Capacity sums the members' capacities.
 func (r *Router) Capacity() bytesize.Size {
 	var total bytesize.Size
-	for _, m := range r.members {
+	for _, m := range r.membersView() {
 		total += m.Capacity()
 	}
 	return total
@@ -248,7 +321,7 @@ func (r *Router) Capacity() bytesize.Size {
 // PoolFree sums the members' unallocated pools.
 func (r *Router) PoolFree() bytesize.Size {
 	var total bytesize.Size
-	for _, m := range r.members {
+	for _, m := range r.membersView() {
 		total += m.PoolFree()
 	}
 	return total
@@ -257,7 +330,7 @@ func (r *Router) PoolFree() bytesize.Size {
 // TotalUsed sums the members' tracked usage.
 func (r *Router) TotalUsed() bytesize.Size {
 	var total bytesize.Size
-	for _, m := range r.members {
+	for _, m := range r.membersView() {
 		total += m.TotalUsed()
 	}
 	return total
@@ -266,7 +339,7 @@ func (r *Router) TotalUsed() bytesize.Size {
 // CheckInvariants checks every member, attributing a violation to the
 // member that broke it.
 func (r *Router) CheckInvariants() error {
-	for i, m := range r.members {
+	for i, m := range r.membersView() {
 		if err := m.CheckInvariants(); err != nil {
 			return fmt.Errorf("%s %d: %w", r.memberNoun, i, err)
 		}
@@ -279,8 +352,9 @@ func (r *Router) CheckInvariants() error {
 // a cluster repeats indices across nodes and disambiguates with
 // NodePlacement.
 func (r *Router) Devices() []DeviceInfo {
-	out := make([]DeviceInfo, 0, len(r.members))
-	for _, m := range r.members {
+	ms := r.membersView()
+	out := make([]DeviceInfo, 0, len(ms))
+	for _, m := range ms {
 		out = append(out, m.Devices()...)
 	}
 	return out

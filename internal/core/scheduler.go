@@ -37,6 +37,10 @@ type Scheduler interface {
 	EnsureRegistered(id ContainerID, limit bytesize.Size) (bytesize.Size, error)
 	Restore(id ContainerID, pid int, addr uint64, size bytesize.Size) error
 	DropPending(id ContainerID, tickets []Ticket) (Update, error)
+	// PendingRequests lists a container's suspended requests in park
+	// order — the failover path reads them off a dying node to re-queue
+	// them, ticket by ticket, on a surviving one.
+	PendingRequests(id ContainerID) ([]PendingRequest, error)
 
 	// Introspection and observability (PR 3).
 	Info(id ContainerID) (ContainerInfo, error)
@@ -54,6 +58,14 @@ type Scheduler interface {
 	Devices() []DeviceInfo
 	Placement(id ContainerID) (int, error)
 	RestorePlacement(id ContainerID, device int) error
+}
+
+// PendingRequest is one suspended allocation as PendingRequests reports
+// it: the parked ticket plus the request it stands for.
+type PendingRequest struct {
+	Ticket Ticket
+	PID    int
+	Size   bytesize.Size
 }
 
 // DeviceInfo summarizes one device's pool for placement policies,
@@ -101,6 +113,24 @@ func (s *State) Placement(id ContainerID) (int, error) {
 		return 0, fmt.Errorf("%w: %s", ErrUnknownContainer, id)
 	}
 	return s.cfg.DeviceIndex, nil
+}
+
+// PendingRequests lists id's suspended requests in park order. The
+// pending slice is only mutated under the global write lock, so the
+// shard read lock is enough to copy it consistently.
+func (s *State) PendingRequests(id ContainerID) ([]PendingRequest, error) {
+	sh := s.shardFor(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	c, ok := sh.containers[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownContainer, id)
+	}
+	out := make([]PendingRequest, len(c.pending))
+	for i, p := range c.pending {
+		out[i] = PendingRequest{Ticket: p.ticket, PID: p.pid, Size: p.size}
+	}
+	return out, nil
 }
 
 // RestorePlacement pins a recovering container to the device recorded in

@@ -25,6 +25,7 @@ import (
 	"convgpu/internal/bytesize"
 	"convgpu/internal/clock"
 	"convgpu/internal/core"
+	"convgpu/internal/errs"
 	"convgpu/internal/ipc"
 	"convgpu/internal/obs"
 	"convgpu/internal/protocol"
@@ -162,6 +163,15 @@ func Start(cfg Config) (*Daemon, error) {
 		dirs:     make(map[core.ContainerID]string),
 		reapStop: make(chan struct{}),
 		reapDone: make(chan struct{}),
+	}
+	if fs, ok := cfg.Core.(core.FailoverSource); ok {
+		// A cluster backend reports node failovers synchronously; the
+		// daemon re-keys parked responders and rewrites session files in
+		// step with the migration.
+		fs.OnFailover(d.handleFailover)
+	}
+	if m, ok := cfg.Core.(core.Membership); ok {
+		cfg.Obs.BindMembership(m)
 	}
 	ctlPath := filepath.Join(cfg.BaseDir, ControlSocketName)
 	if err := takeoverSocket(ctlPath); err != nil {
@@ -400,6 +410,10 @@ func codeFor(err error) string {
 		return protocol.CodeOverCapacity
 	case errors.Is(err, core.ErrUnknownContainer):
 		return protocol.CodeUnknownContainer
+	case errors.Is(err, errs.ErrNodeDown):
+		return protocol.CodeNodeDown
+	case errors.Is(err, errs.ErrDaemonUnavailable):
+		return protocol.CodeUnavailable
 	default:
 		return ""
 	}
@@ -439,6 +453,8 @@ func (h controlHandler) handle(conn *ipc.ServerConn, msg *protocol.Message, resp
 		respond(resp)
 	case protocol.TypeStats, protocol.TypeTrace, protocol.TypeDump:
 		h.d.introspect(msg, respond)
+	case protocol.TypeNodes, protocol.TypeDrain, protocol.TypeRevive:
+		h.d.handleMembership(msg, respond)
 	default:
 		respond(protocol.ErrorResponse(msg, "daemon: unexpected %s on control socket", msg.Type))
 	}

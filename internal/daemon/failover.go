@@ -1,0 +1,219 @@
+// Node failure domains, daemon side: when the backend fails a node
+// over, the daemon must keep its parked responders and persisted
+// sessions in step with the migration — re-key tickets that moved,
+// answer tickets that were admitted or evicted, rewrite migrated
+// containers' session files, and invalidate evicted containers'
+// sessions through the same path restart recovery uses. It also
+// surfaces the membership admin verbs (nodes / drain / revive) on the
+// control socket.
+
+package daemon
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"convgpu/internal/core"
+	"convgpu/internal/errs"
+	"convgpu/internal/protocol"
+)
+
+// membership reports the backend's membership surface, when it has one.
+func (d *Daemon) membership() (core.Membership, bool) {
+	m, ok := d.cfg.Core.(core.Membership)
+	return m, ok
+}
+
+// handleFailover is the core.FailoverSource hook: called synchronously
+// with each failover's report, while the backend's registration lock is
+// held, so parked-responder bookkeeping is atomic with respect to new
+// placements.
+func (d *Daemon) handleFailover(rep core.FailoverReport) {
+	d.obs.Failovers.Inc()
+	d.obs.MigrationLatency.Observe(rep.Elapsed)
+	now := d.clk.Now()
+
+	type rel struct {
+		respond func(*protocol.Message)
+		msg     *protocol.Message
+	}
+	var rels []rel
+	moved := make(map[core.ContainerID]bool, len(rep.Moves))
+	for _, mv := range rep.Moves {
+		moved[mv.ID] = true
+	}
+
+	rekeyed := make(map[parkedKey]bool)
+	d.mu.Lock()
+	for _, mv := range rep.Moves {
+		// The device label for re-parked tickets: the GPU within the
+		// surviving node the container re-registered on.
+		device := 0
+		if !mv.Evicted {
+			device, _ = d.cfg.Core.Placement(mv.ID)
+		}
+		for _, tm := range mv.Tickets {
+			k := parkedKey{mv.ID, tm.OldTicket}
+			p, ok := d.parked[k]
+			if !ok {
+				continue // responder already released (connection died)
+			}
+			delete(d.parked, k)
+			switch tm.Outcome {
+			case core.TicketMigrated:
+				// Still suspended, now on the surviving node: keep the
+				// responder parked under its new ticket. The original
+				// park time is kept — the caller has been waiting since
+				// then, whichever node it was waiting on.
+				d.obs.TicketsMigrated.Inc()
+				nk := parkedKey{mv.ID, tm.NewTicket}
+				d.parked[nk] = parkedResponder{
+					respond: p.respond, conn: p.conn, at: p.at, device: device,
+				}
+				rekeyed[nk] = true
+			case core.TicketAdmitted:
+				d.obs.TicketsMigrated.Inc()
+				d.obs.ObserveSuspendWait(p.device, now.Sub(p.at))
+				m := protocol.AcquireMessage()
+				m.OK = true
+				m.Decision = protocol.DecisionAccept
+				rels = append(rels, rel{p.respond, m})
+			case core.TicketEvicted:
+				d.obs.TicketsEvicted.Inc()
+				d.obs.ObserveSuspendWait(p.device, now.Sub(p.at))
+				m := protocol.AcquireMessage()
+				m.Error = fmt.Sprintf("node %d down and no surviving capacity", rep.Node)
+				m.Code = protocol.CodeNodeDown
+				rels = append(rels, rel{p.respond, m})
+			}
+		}
+	}
+	// Sweep: a responder parked after the failover captured the dying
+	// node's pending set references a ticket that no longer exists on
+	// any member — it would otherwise wait forever. Answer it closed.
+	// Entries just re-parked under their migrated ticket are NOT stale,
+	// even though their container is in the moved set (and the fresh
+	// node's ticket numbers routinely collide with the dead node's).
+	for k, p := range d.parked {
+		if !moved[k.id] || rekeyed[k] {
+			continue
+		}
+		delete(d.parked, k)
+		d.obs.TicketsEvicted.Inc()
+		d.obs.ObserveSuspendWait(p.device, now.Sub(p.at))
+		m := protocol.AcquireMessage()
+		m.Error = fmt.Sprintf("node %d down; request lost in failover", rep.Node)
+		m.Code = protocol.CodeNodeDown
+		rels = append(rels, rel{p.respond, m})
+	}
+	d.mu.Unlock()
+
+	for _, r := range rels {
+		r.respond(r.msg)
+	}
+
+	// Session bookkeeping outside the parked lock: migrated containers'
+	// session files follow them to the new node; evicted containers'
+	// sessions are invalidated exactly like an unrecoverable record at
+	// restart.
+	for _, mv := range rep.Moves {
+		if mv.Evicted {
+			d.evictContainer(mv.ID, rep.Node)
+			continue
+		}
+		device, err := d.cfg.Core.Placement(mv.ID)
+		if err != nil {
+			continue
+		}
+		d.mu.Lock()
+		dir := d.dirs[mv.ID]
+		d.mu.Unlock()
+		if dir != "" {
+			if err := writeSessionFile(dir, mv.ID, mv.Limit, device); err != nil {
+				d.cfg.Logf("daemon: failover: rewrite session %s: %v", mv.ID, err)
+			}
+		}
+		d.cfg.Logf("daemon: failover: migrated %s node %d -> %d (%d tickets)", mv.ID, mv.From, mv.To, len(mv.Tickets))
+	}
+}
+
+// evictContainer tears one evicted container's serving state down: its
+// socket stops listening and its session record is discarded through
+// the same path restart recovery uses for unservable sessions.
+func (d *Daemon) evictContainer(id core.ContainerID, node int) {
+	d.mu.Lock()
+	srv := d.servers[id]
+	dir := d.dirs[id]
+	delete(d.servers, id)
+	delete(d.dirs, id)
+	d.mu.Unlock()
+	d.lastSeen.Delete(id)
+	if dir != "" {
+		d.discardSession(dir, string(id), fmt.Errorf("node %d down, no surviving capacity: %w", node, errs.ErrNodeDown))
+	}
+	if srv != nil {
+		go srv.Close()
+	}
+}
+
+// handleMembership answers the nodes / drain / revive control verbs.
+// The node index for drain/revive travels in the request's Device
+// field.
+func (d *Daemon) handleMembership(msg *protocol.Message, respond func(*protocol.Message)) {
+	m, ok := d.membership()
+	if !ok {
+		respond(protocol.ErrorResponse(msg, "daemon: backend has no node membership (single-node scheduler)"))
+		return
+	}
+	switch msg.Type {
+	case protocol.TypeNodes:
+		data, err := json.Marshal(m.NodeStatuses())
+		if err != nil {
+			respond(protocol.ErrorResponse(msg, "daemon: encode nodes: %v", err))
+			return
+		}
+		r := protocol.Response(msg)
+		r.Data = string(data)
+		respond(r)
+	case protocol.TypeDrain:
+		if err := m.Drain(msg.Device); err != nil {
+			respond(codedError(msg, err))
+			return
+		}
+		respond(protocol.Response(msg))
+	case protocol.TypeRevive:
+		if err := m.Revive(msg.Device); err != nil {
+			respond(codedError(msg, err))
+			return
+		}
+		respond(protocol.Response(msg))
+	}
+}
+
+// sessionDirFor reports the session directory currently tracked for id
+// (tests use it to assert failover session rewrites).
+func (d *Daemon) sessionDirFor(id core.ContainerID) (string, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	dir, ok := d.dirs[id]
+	return dir, ok
+}
+
+// sessionRecordFor reads id's persisted session record back.
+func (d *Daemon) sessionRecordFor(id core.ContainerID) (sessionRecord, error) {
+	dir, ok := d.sessionDirFor(id)
+	if !ok {
+		return sessionRecord{}, fmt.Errorf("daemon: no session dir for %s", id)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, sessionFileName))
+	if err != nil {
+		return sessionRecord{}, err
+	}
+	var rec sessionRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return sessionRecord{}, err
+	}
+	return rec, nil
+}

@@ -1,0 +1,280 @@
+package daemon
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"convgpu/internal/cluster"
+	"convgpu/internal/core"
+	"convgpu/internal/errs"
+	"convgpu/internal/ipc"
+	"convgpu/internal/protocol"
+)
+
+func startClusterDaemon(t *testing.T) (*Daemon, *cluster.Cluster) {
+	t.Helper()
+	clus, err := cluster.New(cluster.Config{
+		Nodes: 2, GPUsPerNode: 1, CapacityPerGPU: mib(500), ContextOverhead: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Start(Config{BaseDir: filepath.Join(t.TempDir(), "cv"), Core: clus})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	return d, clus
+}
+
+func callControl(t *testing.T, ctl *ipc.Client, msg *protocol.Message) *protocol.Message {
+	t.Helper()
+	resp, err := ctl.Call(context.Background(), msg)
+	if err != nil {
+		t.Fatalf("%s: %v", msg.Type, err)
+	}
+	return resp
+}
+
+func TestMembershipVerbsOverWire(t *testing.T) {
+	d, _ := startClusterDaemon(t)
+	ctl := dialControl(t, d)
+
+	nodesView := func() []core.NodeStatus {
+		t.Helper()
+		resp := callControl(t, ctl, &protocol.Message{Type: protocol.TypeNodes})
+		if !resp.OK {
+			t.Fatalf("nodes failed: %s", resp.Error)
+		}
+		var nodes []core.NodeStatus
+		if err := json.Unmarshal([]byte(resp.Data), &nodes); err != nil {
+			t.Fatalf("nodes payload: %v", err)
+		}
+		return nodes
+	}
+
+	nodes := nodesView()
+	if len(nodes) != 2 || nodes[0].State != "up" || nodes[1].State != "up" {
+		t.Fatalf("initial membership = %+v, want 2 up nodes", nodes)
+	}
+
+	if resp := callControl(t, ctl, &protocol.Message{Type: protocol.TypeDrain, Device: 0}); !resp.OK {
+		t.Fatalf("drain failed: %s", resp.Error)
+	}
+	if nodes := nodesView(); nodes[0].State != "draining" {
+		t.Fatalf("after drain: %+v", nodes[0])
+	}
+	if resp := callControl(t, ctl, &protocol.Message{Type: protocol.TypeRevive, Device: 0}); !resp.OK {
+		t.Fatalf("revive failed: %s", resp.Error)
+	}
+	if nodes := nodesView(); nodes[0].State != "up" {
+		t.Fatalf("after revive: %+v", nodes[0])
+	}
+
+	// Unknown node indexes are refused, not panicked on.
+	if resp := callControl(t, ctl, &protocol.Message{Type: protocol.TypeDrain, Device: 9}); resp.OK {
+		t.Fatal("drain of unknown node succeeded")
+	}
+}
+
+func TestMembershipVerbsNeedClusterBackend(t *testing.T) {
+	d := startDaemon(t, mib(1000)) // single core.State: no membership
+	ctl := dialControl(t, d)
+	for _, typ := range []protocol.Type{protocol.TypeNodes, protocol.TypeDrain, protocol.TypeRevive} {
+		resp := callControl(t, ctl, &protocol.Message{Type: typ})
+		if resp.OK {
+			t.Fatalf("%s succeeded on a single-node scheduler", typ)
+		}
+	}
+}
+
+// parkedCount reports how many responders the daemon holds parked.
+func parkedCount(d *Daemon) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.parked)
+}
+
+func waitParked(t *testing.T, d *Daemon, n int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for parkedCount(d) != n {
+		if time.Now().After(deadline) {
+			t.Fatalf("parked responders = %d, want %d", parkedCount(d), n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestFailoverMigratesParkedResponder drives the daemon's failover hook
+// through the wire: a container with a parked allocation loses its node,
+// the responder is re-keyed onto the survivor's fresh ticket, and when
+// capacity frees up there the original caller — still blocked in its
+// alloc round trip — receives an accept, never an error, a hang, or a
+// silent drop. The migrated container's session file follows it.
+func TestFailoverMigratesParkedResponder(t *testing.T) {
+	d, clus := startClusterDaemon(t)
+	ctl := dialControl(t, d)
+
+	// Spread places c0 → node 0, c1 → node 1, c2 → node 0 (50 MiB grant).
+	for _, id := range []string{"c0", "c1", "c2"} {
+		if resp := register(t, ctl, id, mib(450)); !resp.OK {
+			t.Fatalf("register %s: %s", id, resp.Error)
+		}
+	}
+	c2 := dialContainer(t, registerDirOf(t, d, "c2"))
+	type allocResult struct {
+		resp *protocol.Message
+		err  error
+	}
+	done := make(chan allocResult, 1)
+	go func() {
+		resp, err := c2.Call(context.Background(), &protocol.Message{
+			Type: protocol.TypeAlloc, Container: "c2", PID: 1, Size: int64(mib(200)),
+		})
+		done <- allocResult{resp, err}
+	}()
+	waitParked(t, d, 1)
+
+	if _, err := clus.FailNode(0); err != nil {
+		t.Fatal(err)
+	}
+	// Still parked (node 1 is full): re-keyed, not answered, not lost.
+	waitParked(t, d, 1)
+	select {
+	case r := <-done:
+		t.Fatalf("parked alloc answered prematurely: %+v %v", r.resp, r.err)
+	default:
+	}
+	if got := d.Obs().Failovers.Value(); got != 1 {
+		t.Fatalf("failovers counter = %d, want 1", got)
+	}
+	if got := d.Obs().TicketsMigrated.Value(); got != 1 {
+		t.Fatalf("migrated-tickets counter = %d, want 1", got)
+	}
+
+	// The migrated containers' sessions survived and still recover.
+	for _, id := range []core.ContainerID{"c0", "c2"} {
+		rec, err := d.sessionRecordFor(id)
+		if err != nil {
+			t.Fatalf("session record %s after migration: %v", id, err)
+		}
+		if rec.Limit != int64(mib(450)) {
+			t.Fatalf("session %s limit = %v, want 450 MiB", id, rec.Limit)
+		}
+	}
+
+	// Free the survivor's capacity: closing c1 lets redistribution admit
+	// the migrated ticket, answering the original caller.
+	if resp := callControl(t, ctl, &protocol.Message{Type: protocol.TypeClose, Container: "c1"}); !resp.OK {
+		t.Fatalf("close c1: %s", resp.Error)
+	}
+	select {
+	case r := <-done:
+		if r.err != nil {
+			t.Fatalf("migrated alloc failed: %v", r.err)
+		}
+		if !r.resp.OK || r.resp.Decision != protocol.DecisionAccept {
+			t.Fatalf("migrated alloc = %+v, want accept", r.resp)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("migrated alloc never answered after capacity freed")
+	}
+	if n := parkedCount(d); n != 0 {
+		t.Fatalf("parked responders after admit = %d, want 0", n)
+	}
+}
+
+// TestFailoverEvictsWithNodeDownCode pins the fail-closed half: with no
+// surviving capacity the parked caller gets an immediate, machine-
+// readable node_down error (errors.Is-able as ErrNodeDown across the
+// wire), the evicted sessions are discarded, and new registrations fail
+// closed with the unavailable code until a node is revived.
+func TestFailoverEvictsWithNodeDownCode(t *testing.T) {
+	d, clus := startClusterDaemon(t)
+	ctl := dialControl(t, d)
+
+	// Drain node 1 up front: everything lands on node 0 and the later
+	// failover has no migration target.
+	if resp := callControl(t, ctl, &protocol.Message{Type: protocol.TypeDrain, Device: 1}); !resp.OK {
+		t.Fatalf("drain: %s", resp.Error)
+	}
+	for _, id := range []string{"c0", "c2"} {
+		if resp := register(t, ctl, id, mib(450)); !resp.OK {
+			t.Fatalf("register %s: %s", id, resp.Error)
+		}
+	}
+	c2 := dialContainer(t, registerDirOf(t, d, "c2"))
+	done := make(chan *protocol.Message, 1)
+	go func() {
+		resp, err := c2.Call(context.Background(), &protocol.Message{
+			Type: protocol.TypeAlloc, Container: "c2", PID: 1, Size: int64(mib(200)),
+		})
+		if err != nil {
+			done <- nil
+			return
+		}
+		done <- resp
+	}()
+	waitParked(t, d, 1)
+
+	if _, err := clus.FailNode(0); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case resp := <-done:
+		if resp == nil {
+			t.Fatal("evicted alloc failed at transport level, want a coded response")
+		}
+		if resp.OK || resp.Code != protocol.CodeNodeDown {
+			t.Fatalf("evicted alloc = %+v, want node_down error", resp)
+		}
+		if !errors.Is(protocol.ErrFromCode(resp.Code), errs.ErrNodeDown) {
+			t.Fatalf("code %q does not map to ErrNodeDown", resp.Code)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("evicted alloc never answered")
+	}
+	if got := d.Obs().TicketsEvicted.Value(); got != 1 {
+		t.Fatalf("evicted-tickets counter = %d, want 1", got)
+	}
+	for _, id := range []core.ContainerID{"c0", "c2"} {
+		if dir, ok := d.sessionDirFor(id); ok {
+			t.Fatalf("evicted container %s still tracked at %s", id, dir)
+		}
+	}
+
+	// Node 0 down, node 1 draining: admission fails closed with the
+	// machine-readable unavailable code.
+	resp := register(t, ctl, "c9", mib(100))
+	if resp.OK {
+		t.Fatal("register with no eligible node succeeded")
+	}
+	if !errors.Is(protocol.ErrFromCode(resp.Code), errs.ErrDaemonUnavailable) {
+		t.Fatalf("fail-closed register code %q does not map to ErrDaemonUnavailable", resp.Code)
+	}
+
+	// Revive the drained node: service resumes.
+	if r := callControl(t, ctl, &protocol.Message{Type: protocol.TypeRevive, Device: 1}); !r.OK {
+		t.Fatalf("revive: %s", r.Error)
+	}
+	if r := register(t, ctl, "c9", mib(100)); !r.OK {
+		t.Fatalf("register after revive: %s", r.Error)
+	}
+}
+
+// registerDirOf rebuilds the response a dialContainer caller needs from
+// the daemon's tracked session dir (registration responses are pooled
+// and may have been released).
+func registerDirOf(t *testing.T, d *Daemon, id string) *protocol.Message {
+	t.Helper()
+	dir, ok := d.sessionDirFor(core.ContainerID(id))
+	if !ok {
+		t.Fatalf("no session dir for %s", id)
+	}
+	return &protocol.Message{SocketDir: dir}
+}

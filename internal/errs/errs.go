@@ -24,4 +24,10 @@ var (
 	// ErrOverCapacity: a container's memory limit exceeds the GPU's
 	// schedulable capacity, so registration can never succeed.
 	ErrOverCapacity = errors.New("convgpu: memory limit exceeds GPU capacity")
+
+	// ErrNodeDown: the node serving this container died and its state
+	// could not be migrated to a surviving node. Distinct from
+	// ErrDaemonUnavailable — the daemon itself is alive and a retry
+	// (fresh registration) may land on a healthy node.
+	ErrNodeDown = errors.New("convgpu: node down")
 )

@@ -1,0 +1,93 @@
+// Node-scope fault injection: where Plan mangles individual transport
+// frames, NodeFaults takes out whole nodes. It plugs into the cluster's
+// health loop as its Probe function — a faulted node fails its probes
+// (kill: until revived; stall/partition: for a bounded number of
+// probes) and the membership layer reacts exactly as it would to a real
+// dead machine: suspect, down, failover, and — when the probes recover
+// — the flapping-restart auto-revival.
+
+package fault
+
+import (
+	"fmt"
+	"sync"
+)
+
+// NodeFaults is a schedule of node-scope failures for a fixed set of
+// nodes. All methods are safe for concurrent use (the health loop
+// probes while the chaos driver injects).
+type NodeFaults struct {
+	mu sync.Mutex
+	// remaining[i]: 0 = healthy, -1 = failing until Revive (kill),
+	// n > 0 = failing for n more probes (stall/partition/flap).
+	remaining []int
+}
+
+// NewNodeFaults builds a fault board for nodes healthy nodes.
+func NewNodeFaults(nodes int) *NodeFaults {
+	return &NodeFaults{remaining: make([]int, nodes)}
+}
+
+// Probe implements the cluster health loop's probe: a healthy node
+// returns nil, a faulted one an ErrInjected-wrapped failure. Bounded
+// faults count down one probe per call, so a stalled node recovers
+// after its budget of failed probes.
+func (f *NodeFaults) Probe(node int) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if node < 0 || node >= len(f.remaining) || f.remaining[node] == 0 {
+		return nil
+	}
+	if f.remaining[node] > 0 {
+		f.remaining[node]--
+	}
+	return fmt.Errorf("%w: node %d not responding", ErrInjected, node)
+}
+
+// Kill takes a node out until Revive — the hard crash. The health loop
+// will declare it down after its failure threshold and fail it over.
+func (f *NodeFaults) Kill(node int) { f.set(node, -1) }
+
+// Stall makes a node fail its next probes probes, then answer again. A
+// stall shorter than the loop's down threshold only makes the node
+// suspect; a longer one is a flapping restart (declared down, failed
+// over, then auto-revived when the probes recover).
+func (f *NodeFaults) Stall(node, probes int) { f.set(node, probes) }
+
+// Flap is a stall sized to cross downAfter: the node is declared down
+// and failed over, then its probes recover and the health loop revives
+// the (fresh) slot — the flapping-restart scenario.
+func (f *NodeFaults) Flap(node, downAfter int) { f.set(node, downAfter+1) }
+
+// Partition takes a set of nodes out simultaneously for the next
+// probes probes each — a network partition isolating them together.
+func (f *NodeFaults) Partition(nodes []int, probes int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, n := range nodes {
+		if n >= 0 && n < len(f.remaining) {
+			f.remaining[n] = probes
+		}
+	}
+}
+
+// Revive clears a node's injected failure; its next probe succeeds.
+func (f *NodeFaults) Revive(node int) { f.set(node, 0) }
+
+// Heal clears every injected failure — the teardown path, like
+// Plan.Heal for frame faults.
+func (f *NodeFaults) Heal() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for i := range f.remaining {
+		f.remaining[i] = 0
+	}
+}
+
+func (f *NodeFaults) set(node, v int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if node >= 0 && node < len(f.remaining) {
+		f.remaining[node] = v
+	}
+}

@@ -869,3 +869,205 @@ func TestFullStackLeaseExpiryConformance(t *testing.T) {
 		t.Fatalf("pool after reap: real %v, model %v", got, want)
 	}
 }
+
+func mustOKRec(t *testing.T, r *ipc.Reconnector, msg *protocol.Message) *protocol.Message {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), wireCallTimeout)
+	defer cancel()
+	resp, err := r.Call(ctx, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.OK {
+		t.Fatalf("call failed: %s", resp.Error)
+	}
+	return resp
+}
+
+// TestFullStackBinaryRestartRecovery kills and restarts the daemon
+// mid-run under a Reconnector — the wrapper's production transport —
+// and asserts the reconnecting side re-negotiates the binary codec on
+// the fresh connection (or, with the debug knob set, cleanly stays on
+// JSON), replays its session through Attach+Restore, and lands in
+// exactly the state the reference model predicts for recovery. The
+// codec negotiation was previously only chaos-tested on connections
+// that stayed up; this pins the restart path.
+func TestFullStackBinaryRestartRecovery(t *testing.T) {
+	for _, tc := range []struct {
+		name       string
+		disable    bool
+		wantBinary bool
+	}{
+		{"binary-renegotiated", false, true},
+		{"json-fallback", true, false},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			base := filepath.Join(t.TempDir(), "cv")
+			mkCore := func() core.Scheduler {
+				a, err := core.NewAlgorithm(core.AlgBestFit, 1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				st, err := core.New(core.Config{Capacity: capacity, ContextOverhead: overhead, Algorithm: a})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return st
+			}
+			d1, err := daemon.Start(daemon.Config{BaseDir: base, Core: mkCore()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctl, err := ipc.Dial(d1.ControlSocket())
+			if err != nil {
+				t.Fatal(err)
+			}
+			const (
+				mib300 = 300 * bytesize.MiB
+				limC1  = 400 * bytesize.MiB
+				limC2  = 500 * bytesize.MiB
+			)
+			reg1 := mustOK(t, ctl, &protocol.Message{Type: protocol.TypeRegister, Container: "c1", Limit: int64(limC1)})
+			sock := filepath.Join(reg1.SocketDir, daemon.ContainerSocketName)
+			mustOK(t, ctl, &protocol.Message{Type: protocol.TypeRegister, Container: "c2", Limit: int64(limC2)})
+			ctl.Close()
+
+			// The replay hook is the wrapper's in miniature: re-attach the
+			// session on every fresh connection, then restore each live
+			// allocation.
+			ctx := context.Background()
+			type liveAlloc struct {
+				pid  int
+				addr uint64
+				size bytesize.Size
+			}
+			var (
+				liveMu sync.Mutex
+				live   []liveAlloc
+			)
+			rec := ipc.NewReconnector(ipc.ReconnectConfig{
+				Network: "unix", Addr: sock,
+				Backoff:       ipc.Backoff{Base: time.Millisecond, Max: 20 * time.Millisecond},
+				CallTimeout:   wireCallTimeout,
+				DisableBinary: tc.disable,
+				Seed:          1,
+				OnReconnect: func(c *ipc.Client) error {
+					resp, err := c.Call(ctx, &protocol.Message{Type: protocol.TypeAttach, PID: 1})
+					if err != nil {
+						return err
+					}
+					if !resp.OK {
+						return errors.New(resp.Error)
+					}
+					liveMu.Lock()
+					defer liveMu.Unlock()
+					for _, a := range live {
+						resp, err := c.Call(ctx, &protocol.Message{Type: protocol.TypeRestore, PID: a.pid, Addr: a.addr, Size: int64(a.size)})
+						if err != nil {
+							return err
+						}
+						if !resp.OK {
+							return errors.New(resp.Error)
+						}
+					}
+					return nil
+				},
+			})
+			defer rec.Close()
+
+			if resp := mustOKRec(t, rec, &protocol.Message{Type: protocol.TypeAlloc, PID: 1, Size: int64(mib300), API: "cudaMalloc"}); resp.Decision != protocol.DecisionAccept {
+				t.Fatalf("alloc decision %q, want accept", resp.Decision)
+			}
+			mustOKRec(t, rec, &protocol.Message{Type: protocol.TypeConfirm, PID: 1, Addr: 0x100, Size: int64(mib300)})
+			liveMu.Lock()
+			live = append(live, liveAlloc{1, 0x100, mib300})
+			liveMu.Unlock()
+
+			c, err := rec.Connect(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := c.BinaryNegotiated(); got != tc.wantBinary {
+				t.Fatalf("before restart: BinaryNegotiated = %v, want %v", got, tc.wantBinary)
+			}
+			if g := rec.Generation(); g != 1 {
+				t.Fatalf("generation before restart = %d, want 1", g)
+			}
+
+			// Crash and restart on the same base dir: session.json recovery
+			// re-registers the survivors, the reconnecting client replays.
+			d1.Close()
+			inner2 := mkCore()
+			d2, err := daemon.Start(daemon.Config{BaseDir: base, Core: inner2})
+			if err != nil {
+				t.Fatalf("restart: %v", err)
+			}
+			defer d2.Close()
+
+			// The first Call after the crash surfaces the dead connection
+			// (calls are never retried — allocation requests are not
+			// idempotent); the next one redials, re-negotiates the codec,
+			// and replays the session through the hook.
+			waitUntil(t, "reconnector to heal onto the new daemon", func() bool {
+				resp, err := rec.Call(ctx, &protocol.Message{Type: protocol.TypeMemInfo, PID: 1})
+				return err == nil && resp.OK
+			})
+			if g := rec.Generation(); g != 2 {
+				t.Fatalf("generation after restart = %d, want 2 (exactly one reconnect)", g)
+			}
+			healed, err := rec.Connect(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := healed.BinaryNegotiated(); got != tc.wantBinary {
+				t.Fatalf("after restart: BinaryNegotiated = %v, want %v", got, tc.wantBinary)
+			}
+
+			// The recovered daemon matches the model's replay of recovery:
+			// sorted session order, placement pinned first, idempotent
+			// registration, then the restore the hook replayed.
+			m := model.New(model.Config{Devices: 1, Capacity: capacity, Overhead: overhead, Algorithm: core.AlgBestFit, AlgSeeds: []int64{1}})
+			for _, reg := range []struct {
+				id    core.ContainerID
+				limit bytesize.Size
+			}{{"c1", limC1}, {"c2", limC2}} {
+				if err := m.RestorePlacement(reg.id, 0); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := m.EnsureRegistered(reg.id, reg.limit, 0); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := m.Restore("c1", 1, 0x100, mib300); err != nil {
+				t.Fatal(err)
+			}
+
+			if err := inner2.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+			views := m.Containers()
+			snap := inner2.Snapshot()
+			if len(snap) != len(views) {
+				t.Fatalf("recovered %d containers, model has %d", len(snap), len(views))
+			}
+			byID := make(map[core.ContainerID]core.ContainerInfo)
+			for _, info := range snap {
+				byID[info.ID] = info
+			}
+			for _, v := range views {
+				info, ok := byID[v.ID]
+				if !ok {
+					t.Fatalf("model container %s missing after recovery", v.ID)
+				}
+				if info.Limit != v.Limit || info.Grant != v.Grant || info.Used != v.Used || info.Pending != v.Pending {
+					t.Fatalf("%s after recovery: real limit=%v grant=%v used=%v pending=%d, model limit=%v grant=%v used=%v pending=%d",
+						v.ID, info.Limit, info.Grant, info.Used, info.Pending, v.Limit, v.Grant, v.Used, v.Pending)
+				}
+			}
+			if got, want := inner2.PoolFree(), m.Pools()[0]; got != want {
+				t.Fatalf("pool after recovery: real %v, model %v", got, want)
+			}
+		})
+	}
+}

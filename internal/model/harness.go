@@ -28,6 +28,18 @@ type Backend struct {
 	// is right for core.State and multigpu.State; a cluster needs
 	// node*GPUsPerNode+device from NodePlacement.
 	DeviceOf func(s core.Scheduler, id core.ContainerID) (int, error)
+	// Nodes and GPUsPerNode describe the cluster topology for OpNodeKill
+	// (node n owns model devices [n*GPUsPerNode, (n+1)*GPUsPerNode)).
+	Nodes       int
+	GPUsPerNode int
+	// FailNode declares a node dead on the real backend and returns the
+	// failover report. nil disables OpNodeKill (it becomes a no-op).
+	FailNode func(s core.Scheduler, node int) (core.FailoverReport, error)
+	// Revive re-opens a failed node for placement; the harness calls it
+	// right after each kill so the rest of the stream stays executable
+	// (the flapping-restart path: the slot already holds a fresh
+	// scheduler).
+	Revive func(s core.Scheduler, node int) error
 }
 
 // Divergence reports the first point where the real scheduler and the
@@ -292,8 +304,174 @@ func (r *runner) step(i int, op Op) *Divergence {
 			return nil
 		}
 		return r.restart(i, op)
+
+	case OpNodeKill:
+		if r.b.FailNode == nil || r.b.Nodes < 2 || r.b.GPUsPerNode < 1 {
+			return nil
+		}
+		return r.nodeKill(i, op)
 	}
 	return nil
+}
+
+// nodeKill drives the headline failure-domain invariant: kill one node,
+// fail it over, and mechanically account for every pre-kill parked
+// ticket of that node's containers — each must be migrated, admitted,
+// or observably evicted, never silently lost. The real backend makes
+// the placement decisions; the model replays them (register on the
+// reported target, re-queue each ticket) and must land in the same
+// state, which the post-op crossCheck verifies in full. Afterwards the
+// node is revived — its slot holds a fresh scheduler, mirrored by the
+// model's device reset — so the rest of the stream stays executable.
+func (r *runner) nodeKill(i int, op Op) *Divergence {
+	node := op.Pick % r.b.Nodes
+	gpus := r.b.GPUsPerNode
+
+	// Snapshot the dying node's pre-kill state: which slots live there,
+	// and their parked tickets in suspend order.
+	pre := make(map[int][]pendRec)
+	for slot := range r.lims {
+		id := r.id(slot)
+		dev, ok := r.model.Device(id)
+		if !ok {
+			continue
+		}
+		if _, registered := r.modelRegistered(id); !registered {
+			continue
+		}
+		if dev/gpus == node {
+			pre[slot] = append([]pendRec{}, r.pend[slot]...)
+		}
+	}
+
+	rep, err := r.b.FailNode(r.real, node)
+	if err != nil {
+		return r.fail(i, op, "failnode(%d): %v", node, err)
+	}
+
+	// The model's mirror of ReplaceMember: the node's devices reboot
+	// empty with their original seeds.
+	devs := make([]int, gpus)
+	for d := 0; d < gpus; d++ {
+		devs[d] = node*gpus + d
+	}
+	r.model.ResetDevices(devs)
+
+	accounted := make(map[int]bool, len(pre))
+	for _, mv := range rep.Moves {
+		slot := r.slotOf(mv.ID)
+		want, ok := pre[slot]
+		if !ok {
+			return r.fail(i, op, "failover moved %s, which was not on node %d", mv.ID, node)
+		}
+		if accounted[slot] {
+			return r.fail(i, op, "failover reported %s twice", mv.ID)
+		}
+		accounted[slot] = true
+
+		// Ticket accounting: the report must cover exactly the pre-kill
+		// parked tickets, in park order.
+		if len(mv.Tickets) != len(want) {
+			return r.fail(i, op, "%s: failover accounts %d tickets, %d were parked — tickets lost",
+				mv.ID, len(mv.Tickets), len(want))
+		}
+		for j, tm := range mv.Tickets {
+			if tm.OldTicket != want[j].ticket || tm.PID != want[j].pid || tm.Size != want[j].size {
+				return r.fail(i, op, "%s ticket %d: failover reports (t=%d pid=%d size=%v), parked was (t=%d pid=%d size=%v)",
+					mv.ID, j, tm.OldTicket, tm.PID, tm.Size, want[j].ticket, want[j].pid, want[j].size)
+			}
+		}
+
+		// Allocations died with the node on both sides.
+		r.live[slot] = nil
+		r.pend[slot] = nil
+
+		if mv.Evicted {
+			for _, tm := range mv.Tickets {
+				if tm.Outcome != core.TicketEvicted {
+					return r.fail(i, op, "%s evicted but ticket %d outcome is %v", mv.ID, tm.OldTicket, tm.Outcome)
+				}
+			}
+			r.regOrder = removeSlot(r.regOrder, slot)
+			continue
+		}
+
+		// Replay the migration into the model with the real backend's
+		// decisions: fresh registration on the reported target, then each
+		// ticket re-queued through ordinary admission.
+		flat, derr := r.deviceOf(mv.ID)
+		if derr != nil {
+			return r.fail(i, op, "migrated %s has no placement: %v", mv.ID, derr)
+		}
+		if flat/gpus != mv.To {
+			return r.fail(i, op, "%s reported on node %d but placed on device %d", mv.ID, mv.To, flat)
+		}
+		mg, merr := r.model.Register(mv.ID, mv.Limit, flat)
+		if merr != nil {
+			return r.fail(i, op, "model refuses migrated registration of %s: %v", mv.ID, merr)
+		}
+		if mg != mv.Granted {
+			return r.fail(i, op, "%s migrated with grant %v, model predicts %v", mv.ID, mv.Granted, mg)
+		}
+		for _, tm := range mv.Tickets {
+			res, merr := r.model.RequestAlloc(mv.ID, tm.PID, tm.Size)
+			if merr != nil {
+				return r.fail(i, op, "model refuses re-queued ticket %d of %s: %v", tm.OldTicket, mv.ID, merr)
+			}
+			switch tm.Outcome {
+			case core.TicketAdmitted:
+				if res.Decision != core.Accept {
+					return r.fail(i, op, "%s ticket %d admitted by failover, model decides %v", mv.ID, tm.OldTicket, res.Decision)
+				}
+				addr := r.nextAddr()
+				rerr := r.real.ConfirmAlloc(mv.ID, tm.PID, addr, tm.Size)
+				merr := r.model.ConfirmAlloc(mv.ID, tm.PID, addr, tm.Size)
+				if c := diffErr(rerr, merr); c != "" {
+					return r.fail(i, op, "confirm of failover-admitted ticket %d error mismatch: %s", tm.OldTicket, c)
+				}
+				if rerr != nil {
+					return r.fail(i, op, "confirm of failover-admitted ticket %d failed: %v", tm.OldTicket, rerr)
+				}
+				r.live[slot] = append(r.live[slot], allocRec{pid: tm.PID, addr: addr, size: tm.Size})
+			case core.TicketMigrated:
+				if res.Decision != core.Suspend {
+					return r.fail(i, op, "%s ticket %d migrated by failover, model decides %v", mv.ID, tm.OldTicket, res.Decision)
+				}
+				if res.Ticket != tm.NewTicket {
+					return r.fail(i, op, "%s ticket %d re-parked as %d, model assigns %d", mv.ID, tm.OldTicket, tm.NewTicket, res.Ticket)
+				}
+				r.pend[slot] = append(r.pend[slot], pendRec{ticket: tm.NewTicket, pid: tm.PID, size: tm.Size})
+			case core.TicketEvicted:
+				if res.Decision != core.Reject {
+					return r.fail(i, op, "%s ticket %d evicted by failover, model decides %v", mv.ID, tm.OldTicket, res.Decision)
+				}
+			}
+		}
+	}
+	// Every doomed slot must be accounted exactly once.
+	for slot := range pre {
+		if !accounted[slot] {
+			return r.fail(i, op, "container c%d was on node %d but the failover report omits it — state lost", slot, node)
+		}
+	}
+
+	if r.b.Revive != nil {
+		if err := r.b.Revive(r.real, node); err != nil {
+			return r.fail(i, op, "revive(%d): %v", node, err)
+		}
+	}
+	return nil
+}
+
+// modelRegistered reports whether id is registered (not merely pinned)
+// in the model.
+func (r *runner) modelRegistered(id core.ContainerID) (int, bool) {
+	for _, v := range r.model.Containers() {
+		if v.ID == id {
+			return v.Device, true
+		}
+	}
+	return 0, false
 }
 
 // restart simulates a scheduler crash: the backend is rebuilt empty and

@@ -211,6 +211,39 @@ func (m *Model) EnsureRegistered(id core.ContainerID, limit bytesize.Size, devic
 	return m.Register(id, limit, device)
 }
 
+// ResetDevices mirrors a node death: every listed device is rebuilt
+// fresh — full pool, no containers, sequence and ticket counters back to
+// zero, the Random rng reseeded from its original seed — exactly the
+// state of the empty replacement scheduler the cluster installs in a
+// dead node's slot. Containers placed on those devices are forgotten
+// (the harness replays the real backend's migration afterwards).
+// Returns the forgotten container IDs, sorted.
+func (m *Model) ResetDevices(devices []int) []core.ContainerID {
+	reset := make(map[int]bool, len(devices))
+	for _, di := range devices {
+		if di < 0 || di >= len(m.devs) {
+			panic(fmt.Sprintf("model: reset of unknown device %d", di))
+		}
+		reset[di] = true
+	}
+	var removed []core.ContainerID
+	for id, dev := range m.placement {
+		if reset[dev] {
+			removed = append(removed, id)
+			delete(m.placement, id)
+		}
+	}
+	for di := range reset {
+		d := &mdevice{index: di, pool: m.cfg.Capacity, containers: make(map[core.ContainerID]*mcontainer)}
+		if m.cfg.Algorithm == core.AlgRandom {
+			d.rng = rand.New(rand.NewSource(m.cfg.AlgSeeds[di]))
+		}
+		m.devs[di] = d
+	}
+	sort.Slice(removed, func(i, j int) bool { return removed[i] < removed[j] })
+	return removed
+}
+
 // RestorePlacement pins a recovering container's device before
 // EnsureRegistered re-admits it, like core.Scheduler's method.
 func (m *Model) RestorePlacement(id core.ContainerID, device int) error {

@@ -89,6 +89,13 @@ func backends(alg string, seed int64) []model.Backend {
 				}
 				return node*2 + dev, nil
 			},
+			Nodes: 2, GPUsPerNode: 2,
+			FailNode: func(s core.Scheduler, node int) (core.FailoverReport, error) {
+				return s.(*cluster.Cluster).FailNode(node)
+			},
+			Revive: func(s core.Scheduler, node int) error {
+				return s.(*cluster.Cluster).Revive(node)
+			},
 		},
 	}
 }
@@ -173,6 +180,48 @@ func TestConformanceRestartHeavy(t *testing.T) {
 					}
 				})
 			}
+		}
+	}
+}
+
+// TestConformanceNodeKill is the failure-domain headline: on the 2x2
+// cluster, streams densified with node kills must keep the real backend
+// and the model in lockstep through every failover — which mechanically
+// asserts that across any schedule of node kills, every parked ticket
+// is either served, migrated, or observably rejected, never silently
+// lost (the harness's nodeKill step accounts each one exactly once).
+// At least 15 seeds per algorithm run regardless of -model.seeds, so
+// the default sweep covers 60+ seeded kill schedules.
+func TestConformanceNodeKill(t *testing.T) {
+	seeds := seedsToRun()
+	if *onlySeed < 0 && len(seeds) < 15 {
+		seeds = make([]int64, 15)
+		for i := range seeds {
+			seeds[i] = int64(i + 1)
+		}
+	}
+	for _, alg := range core.AlgorithmNames() {
+		for _, seed := range seeds {
+			b := backends(alg, seed)[2] // cluster-2x2
+			b, alg, seed := b, alg, seed
+			t.Run(fmt.Sprintf("%s/%s/seed%d", alg, b.Name, seed), func(t *testing.T) {
+				t.Parallel()
+				g := model.DefaultGenConfig()
+				g.NodeKills = true
+				ops := model.Generate(seed+9000, *opCount, g)
+				// Densify kills: every 20th op becomes one, alternating the
+				// victim node via the generator-drawn pick.
+				for i := 15; i < len(ops); i += 20 {
+					ops[i] = model.Op{Kind: model.OpNodeKill, Pick: i / 20}
+				}
+				div, err := model.RunOps(b, ops)
+				if err != nil {
+					t.Fatalf("harness error: %v", err)
+				}
+				if div != nil {
+					reportDivergence(t, b, alg, seed, ops, div)
+				}
+			})
 		}
 	}
 }

@@ -22,6 +22,7 @@ const (
 	OpMemInfo                // meminfo C
 	OpDrop                   // drop the Pick-th parked ticket of C
 	OpRestart                // crash the backend and recover from persisted state
+	OpNodeKill               // kill node Pick%Nodes, fail it over, then revive it
 )
 
 func (k OpKind) String() string {
@@ -44,6 +45,8 @@ func (k OpKind) String() string {
 		return "drop"
 	case OpRestart:
 		return "restart"
+	case OpNodeKill:
+		return "nodekill"
 	default:
 		return fmt.Sprintf("OpKind(%d)", int(k))
 	}
@@ -80,6 +83,8 @@ func (o Op) String() string {
 		return fmt.Sprintf("drop c%d pick=%d", o.C, o.Pick)
 	case OpRestart:
 		return "restart"
+	case OpNodeKill:
+		return fmt.Sprintf("nodekill pick=%d", o.Pick)
 	default:
 		return o.Kind.String()
 	}
@@ -108,6 +113,8 @@ type GenConfig struct {
 	MaxSizeMiB int
 	// Restarts enables OpRestart (the backend must support it).
 	Restarts bool
+	// NodeKills enables OpNodeKill (the backend must support FailNode).
+	NodeKills bool
 }
 
 // DefaultGenConfig returns the profile the conformance tests use: six
@@ -157,9 +164,12 @@ func Generate(seed int64, n int, g GenConfig) []Op {
 		case w < 96:
 			op.Kind = OpDrop
 		default:
-			if g.Restarts {
+			switch {
+			case g.NodeKills:
+				op.Kind = OpNodeKill
+			case g.Restarts:
 				op.Kind = OpRestart
-			} else {
+			default:
 				op.Kind = OpAlloc
 				op.Size = allocSize(rng, g)
 			}

@@ -30,6 +30,14 @@ const (
 	MetricWireNegotiations  = "convgpu_wire_negotiations_total"
 	MetricWireFrameErrors   = "convgpu_wire_frame_errors_total"
 	MetricPipelineDepth     = "convgpu_ipc_pipeline_depth"
+	MetricNodeState         = "convgpu_node_state"
+	MetricNodeFree          = "convgpu_node_free_bytes"
+	MetricNodeContainers    = "convgpu_node_containers"
+	MetricNodeFailovers     = "convgpu_node_failovers_total"
+	MetricFailovers         = "convgpu_failovers_total"
+	MetricTicketsMigrated   = "convgpu_failover_tickets_migrated_total"
+	MetricTicketsEvicted    = "convgpu_failover_tickets_evicted_total"
+	MetricMigrationLatency  = "convgpu_failover_migration_seconds"
 )
 
 // Config parameterizes an Observability bundle.
@@ -73,6 +81,14 @@ type Observability struct {
 	// SessionsDiscarded counts persisted sessions the daemon threw away
 	// during restart recovery (corrupt JSON, unservable device, ...).
 	SessionsDiscarded *Counter
+	// Failovers counts node failovers the backend executed;
+	// TicketsMigrated / TicketsEvicted account for every parked ticket a
+	// failover touched (migrated-or-admitted vs observably rejected), and
+	// MigrationLatency times each failover end to end.
+	Failovers        *Counter
+	TicketsMigrated  *Counter
+	TicketsEvicted   *Counter
+	MigrationLatency *Histogram
 
 	// devMu guards suspendByDev, the per-device suspend-wait series
 	// BindCore registers for each device the bound backend serves.
@@ -113,6 +129,14 @@ func New(cfg Config) *Observability {
 		"Container sessions reaped after their lease expired.", nil)
 	o.SessionsDiscarded = reg.NewCounter(MetricSessionsDiscarded,
 		"Persisted sessions discarded during daemon restart recovery.", nil)
+	o.Failovers = reg.NewCounter(MetricFailovers,
+		"Node failovers executed (containers migrated off a dead node).", nil)
+	o.TicketsMigrated = reg.NewCounter(MetricTicketsMigrated,
+		"Parked tickets carried through a node failover (re-parked or admitted).", nil)
+	o.TicketsEvicted = reg.NewCounter(MetricTicketsEvicted,
+		"Parked tickets observably rejected because no surviving node had capacity.", nil)
+	o.MigrationLatency = reg.NewHistogram(MetricMigrationLatency,
+		"End-to-end latency of one node failover (capture to report).", nil)
 	return o
 }
 
@@ -189,6 +213,51 @@ func (o *Observability) BindCore(st core.Scheduler) {
 		}
 	}
 	o.devMu.Unlock()
+}
+
+// BindMembership registers scrape-time gauges over a cluster backend's
+// node membership view: one state gauge per node and state (1 when the
+// node is in that state), plus per-node free capacity, container count
+// and failover total. The node set is fixed at bind time (slots persist
+// across failovers — a dead node's slot holds its fresh replacement).
+func (o *Observability) BindMembership(m core.Membership) {
+	nodes := m.NodeStatuses()
+	states := []string{"up", "suspect", "down", "draining"}
+	for _, n := range nodes {
+		index := n.Index
+		nl := Labels{"node": strconv.Itoa(index), "name": n.Name}
+		for _, s := range states {
+			state := s
+			o.reg.GaugeFunc(MetricNodeState,
+				"1 when the node is in the labelled membership state.",
+				Labels{"node": strconv.Itoa(index), "name": n.Name, "state": state},
+				func() int64 {
+					if st := nodeAt(m, index); st.State == state {
+						return 1
+					}
+					return 0
+				})
+		}
+		o.reg.GaugeFunc(MetricNodeFree,
+			"Schedulable memory not granted to any container on one node.", nl,
+			func() int64 { return int64(nodeAt(m, index).Free) })
+		o.reg.GaugeFunc(MetricNodeContainers,
+			"Containers placed on one node.", nl,
+			func() int64 { return int64(nodeAt(m, index).Containers) })
+		o.reg.GaugeFunc(MetricNodeFailovers,
+			"Times this node slot was declared down and failed over.", nl,
+			func() int64 { return int64(nodeAt(m, index).Failovers) })
+	}
+}
+
+// nodeAt re-reads one node's live membership status at scrape time.
+func nodeAt(m core.Membership, index int) core.NodeStatus {
+	for _, n := range m.NodeStatuses() {
+		if n.Index == index {
+			return n
+		}
+	}
+	return core.NodeStatus{}
 }
 
 // WireCounters is the transport's frame-counter bundle (ipc.WireStats)

@@ -362,6 +362,8 @@ func codeToken(s []byte) string {
 		return CodeRejected
 	case CodeUnavailable:
 		return CodeUnavailable
+	case CodeNodeDown:
+		return CodeNodeDown
 	default:
 		return string(s)
 	}

@@ -85,6 +85,17 @@ const (
 	// leaves the connection on JSON, so the handshake can only ever
 	// downgrade to the universally understood codec.
 	TypeCodec Type = "codec"
+	// TypeNodes asks the daemon for its cluster membership view
+	// (control socket only; single-node daemons answer an error). The
+	// response's Data field carries the JSON payload (a list of node
+	// statuses).
+	TypeNodes Type = "nodes"
+	// TypeDrain marks one node (Device field) as draining: it refuses
+	// new registrations but lets existing grants complete.
+	TypeDrain Type = "drain"
+	// TypeRevive manually returns one node (Device field) to service,
+	// clearing a draining or down state.
+	TypeRevive Type = "revive"
 	// TypeResponse is the reply to any request.
 	TypeResponse Type = "response"
 )
@@ -199,10 +210,11 @@ func (m *Message) Validate() error {
 		if m.Size <= 0 {
 			return fmt.Errorf("protocol: restore with non-positive size %d", m.Size)
 		}
-	case TypeMemInfo, TypeResponse, TypeHeartbeat, TypeStats, TypeTrace, TypeDump, TypeCodec:
+	case TypeMemInfo, TypeResponse, TypeHeartbeat, TypeStats, TypeTrace, TypeDump, TypeCodec, TypeNodes, TypeDrain, TypeRevive:
 		// No required request fields beyond the type itself (trace may
 		// carry an optional Container filter; codec carries the offered
-		// token in Data).
+		// token in Data; drain/revive carry the node index in Device,
+		// where zero is a valid node).
 	case "":
 		return fmt.Errorf("protocol: message without type")
 	default:
@@ -226,6 +238,10 @@ const (
 	CodeRejected = "rejected"
 	// CodeUnavailable: the daemon is shutting down or cannot serve.
 	CodeUnavailable = "unavailable"
+	// CodeNodeDown: the node serving the container died and the request
+	// could not be migrated; the daemon is alive, so the caller may
+	// retry with a fresh registration (which can land elsewhere).
+	CodeNodeDown = "node_down"
 )
 
 // ErrFromCode maps a response's error code to the shared sentinel it
@@ -240,6 +256,8 @@ func ErrFromCode(code string) error {
 		return errs.ErrRejected
 	case CodeUnavailable:
 		return errs.ErrDaemonUnavailable
+	case CodeNodeDown:
+		return errs.ErrNodeDown
 	default:
 		return nil
 	}

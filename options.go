@@ -20,6 +20,9 @@ type stackConfig struct {
 	capacity      Size
 	devices       int
 	placement     string
+	nodes         int
+	nodeStrategy  string
+	nodeHealth    time.Duration
 	algorithm     string
 	algorithmSeed int64
 	gpuProps      *gpu.Properties
@@ -91,6 +94,52 @@ func WithPlacementPolicy(name string) Option {
 			return fmt.Errorf("convgpu: WithPlacementPolicy: empty name")
 		}
 		c.placement = name
+		return nil
+	}
+}
+
+// WithNodes serves an n-node cluster from one stack: each node carries
+// WithDevices GPUs (one by default) of WithCapacity each, a Swarm-style
+// strategy places each registering container on a node, and the
+// membership layer (node states, drain/revive, failover) arbitrates
+// which nodes accept work. The default (n <= 1) keeps the single-node
+// stack.
+func WithNodes(n int) Option {
+	return func(c *stackConfig) error {
+		if n < 1 {
+			return fmt.Errorf("convgpu: WithNodes: need at least one node, got %d", n)
+		}
+		c.nodes = n
+		return nil
+	}
+}
+
+// WithNodeStrategy selects the node placement strategy for a cluster
+// stack ("spread", "binpack", "random"; default spread). Ignored
+// without WithNodes.
+func WithNodeStrategy(name string) Option {
+	return func(c *stackConfig) error {
+		if name == "" {
+			return fmt.Errorf("convgpu: WithNodeStrategy: empty name")
+		}
+		c.nodeStrategy = name
+		return nil
+	}
+}
+
+// WithNodeHealth starts the cluster's health-probe loop at the given
+// interval when the stack starts: nodes that stop answering probes are
+// marked suspect, then down — at which point their containers and
+// parked allocation requests fail over to surviving nodes — and a down
+// node whose probes recover is revived automatically. Zero (the
+// default) leaves health management manual (DrainNode / ReviveNode).
+// Ignored without WithNodes.
+func WithNodeHealth(interval time.Duration) Option {
+	return func(c *stackConfig) error {
+		if interval < 0 {
+			return fmt.Errorf("convgpu: WithNodeHealth: negative interval %v", interval)
+		}
+		c.nodeHealth = interval
 		return nil
 	}
 }

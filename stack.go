@@ -2,11 +2,13 @@ package convgpu
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"os"
 	"sync"
 
+	"convgpu/internal/cluster"
 	"convgpu/internal/container"
 	"convgpu/internal/core"
 	"convgpu/internal/daemon"
@@ -37,6 +39,7 @@ type Stack struct {
 	cfg    stackConfig
 	device *gpu.Device
 	state  core.Scheduler
+	clus   *cluster.Cluster // non-nil under WithNodes
 	obs    *obs.Observability
 
 	mu      sync.Mutex
@@ -74,7 +77,36 @@ func New(options ...Option) (*Stack, error) {
 	}
 
 	var state core.Scheduler
-	if cfg.devices > 1 {
+	var clus *cluster.Cluster
+	if cfg.nodes > 1 {
+		// Cluster stack: WithDevices GPUs per node behind a node
+		// placement strategy and the membership/failover layer.
+		strategyName := cfg.nodeStrategy
+		if strategyName == "" {
+			strategyName = cluster.StrategySpread
+		}
+		strat, err := cluster.NewStrategy(strategyName, cfg.algorithmSeed)
+		if err != nil {
+			return nil, err
+		}
+		gpus := cfg.devices
+		if gpus < 1 {
+			gpus = 1
+		}
+		clus, err = cluster.New(cluster.Config{
+			Nodes:          cfg.nodes,
+			GPUsPerNode:    gpus,
+			CapacityPerGPU: cfg.capacity,
+			Algorithm:      cfg.algorithm,
+			AlgSeed:        cfg.algorithmSeed,
+			DevicePolicy:   cfg.placement,
+			Strategy:       strat,
+		})
+		if err != nil {
+			return nil, err
+		}
+		state = clus
+	} else if cfg.devices > 1 {
 		// Multi-device stack: one core per device behind a placement
 		// policy, served through the same Scheduler interface.
 		policyName := cfg.placement
@@ -122,6 +154,7 @@ func New(options ...Option) (*Stack, error) {
 		cfg:    cfg,
 		device: gpu.New(props, gpuOpts...),
 		state:  state,
+		clus:   clus,
 		obs:    o,
 	}, nil
 }
@@ -165,6 +198,14 @@ func (s *Stack) Start(ctx context.Context) error {
 	if err != nil {
 		return fail(err)
 	}
+	if s.clus != nil && s.cfg.nodeHealth > 0 {
+		// A nil probe treats every node as healthy: the loop auto-revives
+		// down nodes and keeps the obs gauges live, while drain/revive
+		// stay manual verbs. Real deployments hook a liveness RPC here.
+		if err := s.clus.StartHealth(cluster.HealthConfig{Interval: s.cfg.nodeHealth}); err != nil {
+			return fail(err)
+		}
+	}
 	s.engine, err = container.NewEngine(container.Config{
 		Device:        s.device,
 		CreateLatency: s.cfg.createLatency,
@@ -203,6 +244,9 @@ func (s *Stack) stopLocked() {
 	if s.ctl != nil {
 		s.ctl.Close()
 		s.ctl = nil
+	}
+	if s.clus != nil {
+		s.clus.StopHealth() // no-op when the loop never started
 	}
 	if s.daemon != nil {
 		s.daemon.Close()
@@ -321,6 +365,59 @@ func (s *Stack) introspect(ctx context.Context, typ protocol.Type, containerID s
 	data := []byte(resp.Data)
 	protocol.ReleaseMessage(resp)
 	return data, nil
+}
+
+// nodeVerb performs one drain/revive round trip on the control socket.
+func (s *Stack) nodeVerb(ctx context.Context, typ protocol.Type, node int) error {
+	s.mu.Lock()
+	ctl := s.ctl
+	started := s.started
+	s.mu.Unlock()
+	if !started {
+		return ErrNotStarted
+	}
+	resp, err := ctl.Call(ctx, &protocol.Message{Type: typ, Device: node})
+	if err != nil {
+		return fmt.Errorf("convgpu: %s: %w: %v", typ, ErrDaemonUnavailable, err)
+	}
+	defer protocol.ReleaseMessage(resp)
+	if !resp.OK {
+		if err := protocol.ErrFromCode(resp.Code); err != nil {
+			return fmt.Errorf("convgpu: %s node %d: %w", typ, node, err)
+		}
+		return fmt.Errorf("convgpu: %s node %d: %s", typ, node, resp.Error)
+	}
+	return nil
+}
+
+// Nodes asks the live daemon for the cluster membership view — one
+// NodeStatus per node with its state (up, suspect, down, draining),
+// capacity, free memory and failover count. It requires a cluster stack
+// (WithNodes); on a single-node stack the daemon answers with an error.
+func (s *Stack) Nodes(ctx context.Context) ([]NodeStatus, error) {
+	data, err := s.introspect(ctx, protocol.TypeNodes, "")
+	if err != nil {
+		return nil, err
+	}
+	var nodes []NodeStatus
+	if err := json.Unmarshal(data, &nodes); err != nil {
+		return nil, fmt.Errorf("convgpu: nodes: %w", err)
+	}
+	return nodes, nil
+}
+
+// DrainNode makes a cluster node refuse new containers while its
+// existing grants complete — the graceful half of the failure-domain
+// surface. Draining a node that is already down fails with ErrNodeDown.
+func (s *Stack) DrainNode(ctx context.Context, node int) error {
+	return s.nodeVerb(ctx, protocol.TypeDrain, node)
+}
+
+// ReviveNode returns a drained or down cluster node to service. A down
+// node's slot holds a fresh, empty scheduler (installed at failover),
+// so revival is indistinguishable from a clean boot.
+func (s *Stack) ReviveNode(ctx context.Context, node int) error {
+	return s.nodeVerb(ctx, protocol.TypeRevive, node)
 }
 
 // Stats asks the live daemon for its metric snapshot over the control

@@ -8,7 +8,15 @@
 //
 // Usage:
 //
-//	go run ./tools/benchdiff [-fail-over pct] old.txt new.txt
+//	go run ./tools/benchdiff [-fail-over pct] [-threshold pct] old.txt new.txt
+//
+// -threshold is the stricter gate: it fails on ns/op regressions past
+// the given percent AND on any allocs/op increase at all. Allocation
+// counts are deterministic — unlike wall time they need no slack — so
+// the alloc gate is exact, which is how CI holds the hot paths to
+// their 0-alloc budgets even on noisy shared runners (pair it with a
+// generous percentage when the timing side of the run is a single
+// iteration).
 //
 // Single-run caveat: unlike benchstat this tool sees one sample per
 // side, so it reports deltas without significance testing. Treat small
@@ -36,9 +44,10 @@ type result struct {
 
 func main() {
 	failOver := flag.Float64("fail-over", 0, "exit 1 when ns/op regresses more than this percent (0 disables)")
+	threshold := flag.Float64("threshold", 0, "exit 1 when ns/op regresses more than this percent OR any allocs/op increases (0 disables)")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-fail-over pct] old.txt new.txt")
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-fail-over pct] [-threshold pct] old.txt new.txt")
 		os.Exit(2)
 	}
 	old, err := parseFile(flag.Arg(0))
@@ -67,6 +76,11 @@ func main() {
 	rows = append(rows, []string{"benchmark", "old ns/op", "new ns/op", "delta", "old allocs", "new allocs"})
 	worst := 0.0
 	var worstName string
+	type allocRegression struct {
+		name     string
+		old, new int64
+	}
+	var allocRegs []allocRegression
 	for _, name := range names {
 		o, inOld := old[name]
 		n, inCur := cur[name]
@@ -84,6 +98,9 @@ func main() {
 					worst, worstName = pct, name
 				}
 			}
+			if o.hasMem && n.hasMem && n.allocs > o.allocs {
+				allocRegs = append(allocRegs, allocRegression{name, o.allocs, n.allocs})
+			}
 			rows = append(rows, []string{name, formatNs(o.nsOp), formatNs(n.nsOp), delta, formatAllocs(o), formatAllocs(n)})
 		}
 	}
@@ -92,6 +109,20 @@ func main() {
 	if *failOver > 0 && worst > *failOver {
 		fmt.Fprintf(os.Stderr, "benchdiff: %s regressed %.1f%% (limit %.1f%%)\n", worstName, worst, *failOver)
 		os.Exit(1)
+	}
+	if *threshold > 0 {
+		fail := false
+		if worst > *threshold {
+			fmt.Fprintf(os.Stderr, "benchdiff: %s regressed %.1f%% (limit %.1f%%)\n", worstName, worst, *threshold)
+			fail = true
+		}
+		for _, ar := range allocRegs {
+			fmt.Fprintf(os.Stderr, "benchdiff: %s allocs/op grew %d -> %d (alloc budgets admit no slack)\n", ar.name, ar.old, ar.new)
+			fail = true
+		}
+		if fail {
+			os.Exit(1)
+		}
 	}
 }
 
