@@ -4,7 +4,8 @@
 GO ?= go
 
 .PHONY: all build test vet check apicheck apigen race chaos chaos-nodes \
-	bench bench-all benchdiff clean model model-long fuzz-smoke cover
+	bench bench-all bench-recovery benchdiff clean model model-long \
+	fuzz-smoke cover recovery-smoke
 
 all: build test
 
@@ -17,7 +18,7 @@ test:
 vet:
 	$(GO) vet ./...
 
-check: vet apicheck test fuzz-smoke cover
+check: vet apicheck test fuzz-smoke cover recovery-smoke
 
 # apicheck guards the public facade: the exported API of package
 # convgpu is dumped in normalized form (tools/apidump) and diffed
@@ -86,6 +87,15 @@ fuzz-smoke:
 	$(GO) test ./internal/protocol -run '^$$' -fuzz '^FuzzEncodeDecodeRoundTrip$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/protocol -run '^$$' -fuzz '^FuzzBinaryDecode$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/protocol -run '^$$' -fuzz '^FuzzBinaryJSONParity$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/wal -run '^$$' -fuzz '^FuzzWALReplay$$' -fuzztime $(FUZZTIME)
+
+# recovery-smoke is the CI gate on restart recovery cost: replaying a
+# 50k-event log must finish inside CONVGPU_RECOVERY_SMOKE_MS
+# milliseconds (default 5000 — an order of magnitude of slack over the
+# measured time, so only a real regression trips it; widen the env knob
+# on slow runners).
+recovery-smoke:
+	$(GO) test -run '^TestRecoverySmoke$$' -count=1 -v ./internal/wal
 
 # cover enforces per-package statement-coverage floors on the packages
 # that carry the correctness burden. The floors are recorded a couple of
@@ -119,6 +129,15 @@ bench:
 # drift from the suite.
 bench-all:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime=1x -count=1 . | tee docs_bench_all.txt
+
+# bench-recovery captures the restart-recovery artifact quoted by
+# EXPERIMENTS.md: replay wall time and per-event cost as the WAL grows
+# from 10^3 to 10^6 sessions (the 10^6 case allocates a multi-hundred-MB
+# log; it is skipped under -short). BENCH_recovery.json holds the
+# go-test JSON stream, BENCH_recovery.txt the benchstat-compatible text.
+bench-recovery:
+	$(GO) test -run '^$$' -bench 'BenchmarkRecovery' -benchmem -count=1 -timeout 30m ./internal/wal | tee BENCH_recovery.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkRecovery' -benchmem -count=1 -timeout 30m -json ./internal/wal > BENCH_recovery.json
 
 # benchdiff compares the current hot-path numbers against the committed
 # BENCH_hotpath.txt baseline with the home-grown comparer (benchstat

@@ -19,11 +19,23 @@
 // over to survivors. Nodes are inspected and drained / revived at
 // runtime with cmd/convgpu-stats (nodes | drain | revive).
 //
+// With -wal-dir the daemon's admission state is durable: every
+// session-changing event is appended to a write-ahead log (fsynced per
+// -fsync) before it is acknowledged, and a restarted daemon recovers by
+// loading the newest snapshot and replaying the log tail. Legacy
+// session.json records found on the first WAL boot are imported
+// one-time.
+//
 // The daemon prints the control socket path on startup and, with
 // -status, a periodic snapshot of per-container grants and usage. With
-// -http it also serves the observability endpoints: /metrics
-// (Prometheus text), /stats and /trace (JSON), /debug/vars (expvar) and
-// /debug/pprof. The same stats/trace/dump documents are always
+// -http it serves the versioned admin API: GET /v1/metrics (Prometheus
+// text), /v1/stats, /v1/trace (cursor-paged JSON), /v1/dump,
+// /v1/sessions, /v1/nodes, /v1/wal and /v1/operations, plus the async
+// mutating verbs POST /v1/nodes/{n}/drain|revive|failover and POST
+// /v1/wal/compact|snapshot, which answer 202 with an operation to poll
+// at /v1/operations/{id}. Unversioned /metrics, /stats and /trace
+// redirect (301) to their /v1 homes; /debug/vars and /debug/pprof are
+// served in place. The same stats/trace/dump documents are always
 // available over the control socket itself (see cmd/convgpu-stats).
 package main
 
@@ -38,12 +50,14 @@ import (
 	"syscall"
 	"time"
 
+	"convgpu/internal/admin"
 	"convgpu/internal/bytesize"
 	"convgpu/internal/cluster"
 	"convgpu/internal/core"
 	"convgpu/internal/daemon"
 	"convgpu/internal/multigpu"
 	"convgpu/internal/obs"
+	"convgpu/internal/wal"
 )
 
 func main() {
@@ -60,8 +74,10 @@ func main() {
 		status    = flag.Duration("status", 0, "print a scheduler snapshot at this interval (0 = off)")
 		rescue    = flag.Bool("fault-tolerant", false, "enable the rescue pass of the authors' prior fault-tolerance study")
 		lease     = flag.Duration("lease", 0, "reap containers silent for this long (0 = no leasing)")
-		httpAddr  = flag.String("http", "", "serve /metrics, /stats, /trace, /debug/vars and /debug/pprof on this address (e.g. :9090; empty = off)")
+		httpAddr  = flag.String("http", "", "serve the versioned /v1 admin API (plus legacy /metrics, /stats, /trace redirects and /debug/*) on this address (e.g. :9090; empty = off)")
 		traceCap  = flag.Int("trace-capacity", 0, "event-trace ring capacity (0 = default, negative = disabled)")
+		walDir    = flag.String("wal-dir", "", "write-ahead log directory; when set, admissions are durable and restart recovery replays the log (empty = session.json files)")
+		fsync     = flag.String("fsync", "always", "WAL fsync policy: always | none | a duration like 50ms (group commit)")
 	)
 	flag.Parse()
 	if *baseDir == "" {
@@ -122,7 +138,19 @@ func main() {
 		st, algName = single, alg.Name()
 	}
 	bundle := obs.New(obs.Config{Algorithm: algName, TraceCapacity: *traceCap})
-	d, err := daemon.Start(daemon.Config{BaseDir: *baseDir, Core: st, Lease: *lease, Obs: bundle, Logf: log.Printf})
+	var walLog *wal.Log
+	if *walDir != "" {
+		mode, interval, err := wal.ParseSyncPolicy(*fsync)
+		if err != nil {
+			log.Fatalf("convgpu-scheduler: -fsync: %v", err)
+		}
+		walLog, err = wal.Open(wal.Options{Dir: *walDir, Sync: mode, SyncInterval: interval, Logf: log.Printf})
+		if err != nil {
+			log.Fatalf("convgpu-scheduler: -wal-dir: %v", err)
+		}
+		defer walLog.Close()
+	}
+	d, err := daemon.Start(daemon.Config{BaseDir: *baseDir, Core: st, Lease: *lease, Obs: bundle, Logf: log.Printf, WAL: walLog})
 	if err != nil {
 		log.Fatalf("convgpu-scheduler: %v", err)
 	}
@@ -148,18 +176,22 @@ func main() {
 	}
 
 	if *httpAddr != "" {
+		handler, err := admin.New(admin.Config{Daemon: d})
+		if err != nil {
+			log.Fatalf("convgpu-scheduler: -http: %v", err)
+		}
 		ln, err := net.Listen("tcp", *httpAddr)
 		if err != nil {
 			log.Fatalf("convgpu-scheduler: -http: %v", err)
 		}
-		srv := &http.Server{Handler: bundle.Handler()}
+		srv := &http.Server{Handler: handler}
 		go func() {
 			if err := srv.Serve(ln); err != http.ErrServerClosed {
 				log.Printf("convgpu-scheduler: http: %v", err)
 			}
 		}()
 		defer srv.Close()
-		log.Printf("observability endpoint up: http://%s/metrics", ln.Addr())
+		log.Printf("admin API up: http://%s/v1/metrics", ln.Addr())
 	}
 
 	stop := make(chan os.Signal, 1)

@@ -9,9 +9,17 @@
 //	convgpu-stats -socket /var/run/convgpu/convgpu.sock trace [container]
 //	convgpu-stats -socket /var/run/convgpu/convgpu.sock dump
 //	convgpu-stats -socket /var/run/convgpu/convgpu.sock devices
+//	convgpu-stats -socket /var/run/convgpu/convgpu.sock sessions [after]
+//	convgpu-stats -socket /var/run/convgpu/convgpu.sock ops [id]
 //	convgpu-stats -socket /var/run/convgpu/convgpu.sock nodes
 //	convgpu-stats -socket /var/run/convgpu/convgpu.sock drain 0
 //	convgpu-stats -socket /var/run/convgpu/convgpu.sock revive 0
+//
+// The trace query follows the daemon's page cursor until the ring is
+// exhausted, so a trace larger than one IPC frame is printed whole.
+// The sessions query pages the registered-session listing (pass the
+// last container ID printed to continue); ops lists the admin plane's
+// retained operations, or polls one by ID.
 //
 // The devices query renders the dump's per-device breakdown as a table
 // (one row per GPU plus each container's device assignment) instead of
@@ -45,7 +53,7 @@ func main() {
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: convgpu-stats -socket PATH {stats | trace [container] | dump | devices | nodes | drain NODE | revive NODE}\n")
+			"usage: convgpu-stats -socket PATH {stats | trace [container] | dump | devices | sessions [after] | ops [id] | nodes | drain NODE | revive NODE}\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -69,6 +77,12 @@ func main() {
 	case "devices":
 		typ = protocol.TypeDump
 		renderDevices = true
+	case "sessions":
+		typ = protocol.TypeSessions
+		container = flag.Arg(1) // page cursor: last container ID seen
+	case "ops":
+		typ = protocol.TypeOps
+		container = flag.Arg(1) // operation ID; empty lists all
 	case "nodes":
 		typ = protocol.TypeNodes
 		renderNodes = true
@@ -98,6 +112,13 @@ func main() {
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
+	if typ == protocol.TypeTrace {
+		if err := dumpTrace(ctx, cli, container, *limit); err != nil {
+			fmt.Fprintf(os.Stderr, "convgpu-stats: trace: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	resp, err := cli.Call(ctx, &protocol.Message{
 		Type:      typ,
 		Container: container,
@@ -212,5 +233,67 @@ func printDevices(data []byte) error {
 		fmt.Printf("%-20s %-8d %-10v %-10v %-10v %s\n",
 			c.ID, c.Device, bytesize.Size(c.Limit), bytesize.Size(c.Grant), bytesize.Size(c.Used), state)
 	}
+	return nil
+}
+
+// traceDump mirrors obs.TraceDump closely enough to follow the page
+// cursor; events stay raw so the printed JSON is the daemon's own.
+type traceDump struct {
+	Capacity  int               `json:"capacity"`
+	Total     uint64            `json:"total_events"`
+	Dropped   uint64            `json:"dropped_events"`
+	Events    []json.RawMessage `json:"events"`
+	NextAfter uint64            `json:"next_after"`
+	More      bool              `json:"more"`
+}
+
+// dumpTrace retrieves the whole retained trace by following the
+// daemon's page cursor — each response is bounded to one IPC frame, so
+// a long trace arrives across several round trips — and prints the
+// merged dump.
+func dumpTrace(ctx context.Context, cli *ipc.Client, container string, limit int) error {
+	var merged traceDump
+	first := true
+	after := uint64(0)
+	for {
+		resp, err := cli.Call(ctx, &protocol.Message{
+			Type:      protocol.TypeTrace,
+			Container: container,
+			After:     after,
+			Size:      int64(limit),
+		})
+		if err != nil {
+			return err
+		}
+		if !resp.OK {
+			return fmt.Errorf("%s", resp.Error)
+		}
+		var page traceDump
+		if err := json.Unmarshal([]byte(resp.Data), &page); err != nil {
+			return err
+		}
+		if first {
+			merged = page
+			first = false
+		} else {
+			merged.Capacity, merged.Total, merged.Dropped = page.Capacity, page.Total, page.Dropped
+			merged.Events = append(merged.Events, page.Events...)
+		}
+		if !page.More || page.NextAfter == 0 {
+			break
+		}
+		after = page.NextAfter
+	}
+	merged.NextAfter, merged.More = 0, false
+	out, err := json.MarshalIndent(struct {
+		Capacity int               `json:"capacity"`
+		Total    uint64            `json:"total_events"`
+		Dropped  uint64            `json:"dropped_events"`
+		Events   []json.RawMessage `json:"events"`
+	}{merged.Capacity, merged.Total, merged.Dropped, merged.Events}, "", "  ")
+	if err != nil {
+		return err
+	}
+	os.Stdout.Write(append(out, '\n'))
 	return nil
 }

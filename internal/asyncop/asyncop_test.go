@@ -1,0 +1,171 @@
+package asyncop
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"convgpu/internal/leak"
+)
+
+func waitDone(t *testing.T, m *Manager, id string) Operation {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		op, ok := m.Get(id)
+		if !ok {
+			t.Fatalf("operation %s vanished", id)
+		}
+		if op.Status == StatusCompleted || op.Status == StatusFailed {
+			return op
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("operation %s never finished", id)
+	return Operation{}
+}
+
+func TestSubmitCompleteAndFail(t *testing.T) {
+	leak.Check(t)
+	m := New(2, nil)
+	defer m.Close()
+
+	id, err := m.Submit("drain", "req-1", "node 3", func() (any, error) {
+		return map[string]int{"node": 3}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := waitDone(t, m, id)
+	if op.Status != StatusCompleted || op.Error != "" {
+		t.Fatalf("op = %+v, want completed", op)
+	}
+	if op.Kind != "drain" || op.RequestID != "req-1" || op.Detail != "node 3" {
+		t.Fatalf("op metadata %+v", op)
+	}
+	if op.DoneTime == 0 || op.SubmitTime == 0 {
+		t.Fatalf("timestamps not set: %+v", op)
+	}
+
+	fid, err := m.Submit("compact", "req-2", "", func() (any, error) {
+		return nil, errors.New("disk full")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fop := waitDone(t, m, fid)
+	if fop.Status != StatusFailed || fop.Error != "disk full" {
+		t.Fatalf("op = %+v, want failed disk full", fop)
+	}
+}
+
+func TestListNewestFirst(t *testing.T) {
+	leak.Check(t)
+	clock := time.Unix(0, 0)
+	m := New(1, func() time.Time { clock = clock.Add(time.Second); return clock })
+	defer m.Close()
+	var ids []string
+	for i := 0; i < 3; i++ {
+		id, err := m.Submit("snapshot", fmt.Sprintf("r%d", i), "", func() (any, error) { return nil, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	for _, id := range ids {
+		waitDone(t, m, id)
+	}
+	got := m.List()
+	if len(got) != 3 {
+		t.Fatalf("List returned %d ops, want 3", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1].SubmitTime < got[i].SubmitTime {
+			t.Fatalf("List not newest-first: %+v", got)
+		}
+	}
+}
+
+func TestRetentionEvictsOldestFinished(t *testing.T) {
+	leak.Check(t)
+	m := New(1, nil)
+	defer m.Close()
+	m.retain = 4
+	var ids []string
+	for i := 0; i < 10; i++ {
+		id, err := m.Submit("noop", "", "", func() (any, error) { return nil, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	waitDone(t, m, ids[len(ids)-1])
+	m.mu.Lock()
+	n := len(m.ops)
+	m.mu.Unlock()
+	if n != 4 {
+		t.Fatalf("retained %d ops, want 4", n)
+	}
+	if _, ok := m.Get(ids[0]); ok {
+		t.Fatal("oldest op survived retention")
+	}
+	if _, ok := m.Get(ids[len(ids)-1]); !ok {
+		t.Fatal("newest op evicted")
+	}
+}
+
+func TestCloseWaitsForInFlight(t *testing.T) {
+	leak.Check(t)
+	m := New(2, nil)
+	release := make(chan struct{})
+	id, err := m.Submit("slow", "", "", func() (any, error) {
+		<-release
+		return "done", nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		time.Sleep(10 * time.Millisecond)
+		close(release)
+	}()
+	m.Close()
+	wg.Wait()
+	op, ok := m.Get(id)
+	if !ok || op.Status != StatusCompleted {
+		t.Fatalf("in-flight op after Close: %+v (ok=%v), want completed", op, ok)
+	}
+	if _, err := m.Submit("late", "", "", func() (any, error) { return nil, nil }); err == nil {
+		t.Fatal("Submit after Close should fail")
+	}
+	m.Close() // idempotent
+}
+
+func TestConcurrentSubmitters(t *testing.T) {
+	leak.Check(t)
+	m := New(4, nil)
+	var wg sync.WaitGroup
+	const n = 200
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := m.Submit("burst", "", "", func() (any, error) { return nil, nil })
+			errs <- err
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.Close()
+}

@@ -22,6 +22,7 @@ import (
 	"sync"
 	"time"
 
+	"convgpu/internal/asyncop"
 	"convgpu/internal/bytesize"
 	"convgpu/internal/clock"
 	"convgpu/internal/core"
@@ -29,6 +30,7 @@ import (
 	"convgpu/internal/ipc"
 	"convgpu/internal/obs"
 	"convgpu/internal/protocol"
+	"convgpu/internal/wal"
 	"convgpu/internal/wrapper"
 )
 
@@ -73,6 +75,13 @@ type Config struct {
 	// which would otherwise vanish silently. Nil discards them. Not
 	// called on the request hot path.
 	Logf func(format string, args ...any)
+	// WAL, when set, is the daemon's durable admission log: every
+	// session-changing event is appended (and synced per the log's
+	// policy) before it is acknowledged, restart recovery replays the
+	// log instead of scanning per-container session.json files, and the
+	// obs bundle exports the log's counters. The caller owns the log's
+	// lifecycle — open it before Start, close it after Close.
+	WAL *wal.Log
 }
 
 // Daemon is a running scheduler service.
@@ -93,6 +102,10 @@ type Daemon struct {
 
 	reapStop chan struct{}
 	reapDone chan struct{}
+
+	// ops runs the admin plane's asynchronous verbs (drain, failover,
+	// compact, ...) and retains their outcomes for polling.
+	ops *asyncop.Manager
 
 	mu      sync.Mutex
 	parked  map[parkedKey]parkedResponder
@@ -150,6 +163,9 @@ func Start(cfg Config) (*Daemon, error) {
 		cfg.Obs = obs.New(obs.Config{Algorithm: cfg.Core.AlgorithmName()})
 	}
 	cfg.Obs.BindCore(cfg.Core)
+	if cfg.WAL != nil {
+		cfg.Obs.BindWAL(cfg.WAL)
+	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
@@ -177,12 +193,20 @@ func Start(cfg Config) (*Daemon, error) {
 	if err := takeoverSocket(ctlPath); err != nil {
 		return nil, err
 	}
-	if err := d.recoverSessions(); err != nil {
+	if cfg.WAL != nil {
+		if err := d.recoverFromWAL(); err != nil {
+			return nil, err
+		}
+	} else if err := d.recoverSessions(); err != nil {
 		return nil, err
 	}
+	// The operation manager must exist before the control socket
+	// listens: an ops request can arrive the instant Listen returns.
+	d.ops = asyncop.New(2, cfg.Clock.Now)
 	ctl, err := ipc.Listen(ctlPath, controlHandler{d})
 	if err != nil {
 		d.closeRecovered()
+		d.ops.Close()
 		return nil, err
 	}
 	ctl.SetWireStats(d.wire)
@@ -231,6 +255,7 @@ func (d *Daemon) Close() error {
 		close(d.reapStop)
 	}
 	<-d.reapDone
+	d.ops.Close()
 
 	now := d.clk.Now()
 	for _, p := range parked {
@@ -284,7 +309,16 @@ func (d *Daemon) register(id core.ContainerID, limit int64) (*protocol.Message, 
 		d.cfg.Core.Close(id)
 		return nil, fmt.Errorf("daemon: write wrapper module: %w", err)
 	}
-	if err := writeSessionFile(dir, id, bytesize.Size(limit), device); err != nil {
+	// Persist the admission before acknowledging it: a registration the
+	// daemon cannot make durable is unwound, not acked.
+	if d.cfg.WAL == nil {
+		if err := writeSessionFile(dir, id, bytesize.Size(limit), device); err != nil {
+			d.cfg.Core.Close(id)
+			return nil, err
+		}
+	} else if err := d.walAppend(wal.Record{
+		Kind: wal.KindRegister, Container: string(id), Amount: limit, Device: int32(device),
+	}); err != nil {
 		d.cfg.Core.Close(id)
 		return nil, err
 	}
@@ -312,9 +346,23 @@ func (d *Daemon) register(id core.ContainerID, limit int64) (*protocol.Message, 
 
 // closeContainer implements the plugin's close signal.
 func (d *Daemon) closeContainer(id core.ContainerID) (*protocol.Message, error) {
+	return d.closeContainerKind(id, wal.KindClose)
+}
+
+// closeContainerKind is closeContainer with the WAL record kind chosen
+// by the caller — the lease reaper records KindLeaseExpire so a
+// replayed log distinguishes operator closes from reaped sessions.
+func (d *Daemon) closeContainerKind(id core.ContainerID, kind wal.Kind) (*protocol.Message, error) {
 	released, update, err := d.cfg.Core.Close(id)
 	if err != nil {
 		return nil, err
+	}
+	if err := d.walAppend(wal.Record{Kind: kind, Container: string(id), Amount: int64(released)}); err != nil {
+		// The core already forgot the session, so refusing the ack would
+		// strand the caller retrying an unrepeatable close. Log loudly
+		// and proceed: recovery re-offers the session and the lease
+		// reaper (or the next close) reconciles it.
+		d.cfg.Logf("daemon: close %q not persisted: %v", id, err)
 	}
 	d.dispatch(update)
 	d.mu.Lock()
@@ -324,8 +372,9 @@ func (d *Daemon) closeContainer(id core.ContainerID) (*protocol.Message, error) 
 	delete(d.dirs, id)
 	d.mu.Unlock()
 	d.lastSeen.Delete(id)
-	if dir != "" {
+	if dir != "" && d.cfg.WAL == nil {
 		// A closed session must not be recovered by a future restart.
+		// With a WAL the close record above is the durable tombstone.
 		os.Remove(filepath.Join(dir, sessionFileName))
 	}
 	if srv != nil {
@@ -388,6 +437,11 @@ func (d *Daemon) dispatch(u core.Update) {
 		}
 	}
 	d.mu.Unlock()
+	// Audit resumes before the withheld responses leave: the log shows
+	// the admission ahead of the wrapper observing it.
+	for _, a := range u.Admitted {
+		d.walAudit(wal.KindResume, a.Container, 0, 0, 0)
+	}
 	for conn, rels := range byConn {
 		if conn != nil && len(rels) > 1 {
 			conn.BeginBatch()
@@ -455,6 +509,10 @@ func (h controlHandler) handle(conn *ipc.ServerConn, msg *protocol.Message, resp
 		h.d.introspect(msg, respond)
 	case protocol.TypeNodes, protocol.TypeDrain, protocol.TypeRevive:
 		h.d.handleMembership(msg, respond)
+	case protocol.TypeSessions:
+		h.d.handleSessions(msg, respond)
+	case protocol.TypeOps:
+		h.d.handleOps(msg, respond)
 	default:
 		respond(protocol.ErrorResponse(msg, "daemon: unexpected %s on control socket", msg.Type))
 	}
@@ -500,15 +558,18 @@ func (h containerHandler) handle(conn *ipc.ServerConn, msg *protocol.Message, re
 		}
 		switch res.Decision {
 		case core.Accept:
+			h.d.walAudit(wal.KindGrant, h.id, msg.Size, msg.PID, 0)
 			m := ok()
 			m.Decision = protocol.DecisionAccept
 			respond(m)
 		case core.Reject:
+			h.d.walAudit(wal.KindReject, h.id, msg.Size, msg.PID, 0)
 			m := ok()
 			m.Decision = protocol.DecisionReject
 			respond(m)
 		case core.Suspend:
 			// The paper's pause: withhold the response until granted.
+			h.d.walAudit(wal.KindSuspend, h.id, msg.Size, msg.PID, 0)
 			h.d.park(parkedKey{h.id, res.Ticket}, conn, respond)
 		}
 	case protocol.TypeConfirm:
@@ -523,6 +584,7 @@ func (h containerHandler) handle(conn *ipc.ServerConn, msg *protocol.Message, re
 			respond(codedError(msg, err))
 			return
 		}
+		h.d.walAudit(wal.KindRelease, h.id, msg.Size, msg.PID, 0)
 		respond(ok())
 		h.d.dispatch(u)
 	case protocol.TypeFree:
@@ -531,6 +593,7 @@ func (h containerHandler) handle(conn *ipc.ServerConn, msg *protocol.Message, re
 			respond(codedError(msg, err))
 			return
 		}
+		h.d.walAudit(wal.KindRelease, h.id, int64(size), msg.PID, 0)
 		m := ok()
 		m.Free = int64(size)
 		respond(m)
@@ -541,6 +604,7 @@ func (h containerHandler) handle(conn *ipc.ServerConn, msg *protocol.Message, re
 			respond(codedError(msg, err))
 			return
 		}
+		h.d.walAudit(wal.KindRelease, h.id, int64(size), msg.PID, 0)
 		m := ok()
 		m.Free = int64(size)
 		respond(m)
@@ -569,6 +633,7 @@ func (h containerHandler) handle(conn *ipc.ServerConn, msg *protocol.Message, re
 		if device, err := c.Placement(h.id); err == nil {
 			m.Device = device
 		}
+		h.d.walAudit(wal.KindAttach, h.id, 0, msg.PID, m.Device)
 		respond(m)
 	case protocol.TypeRestore:
 		if err := c.Restore(h.id, msg.PID, msg.Addr, msg.SizeBytes()); err != nil {

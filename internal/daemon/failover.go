@@ -18,12 +18,23 @@ import (
 	"convgpu/internal/core"
 	"convgpu/internal/errs"
 	"convgpu/internal/protocol"
+	"convgpu/internal/wal"
 )
 
 // membership reports the backend's membership surface, when it has one.
 func (d *Daemon) membership() (core.Membership, bool) {
 	m, ok := d.cfg.Core.(core.Membership)
 	return m, ok
+}
+
+// NodeStatuses reports every cluster node's membership state, or
+// errNoMembership on a single-node backend.
+func (d *Daemon) NodeStatuses() ([]core.NodeStatus, error) {
+	m, ok := d.membership()
+	if !ok {
+		return nil, errNoMembership
+	}
+	return m.NodeStatuses(), nil
 }
 
 // handleFailover is the core.FailoverSource hook: called synchronously
@@ -127,12 +138,24 @@ func (d *Daemon) handleFailover(rep core.FailoverReport) {
 		if err != nil {
 			continue
 		}
-		d.mu.Lock()
-		dir := d.dirs[mv.ID]
-		d.mu.Unlock()
-		if dir != "" {
-			if err := writeSessionFile(dir, mv.ID, mv.Limit, device); err != nil {
-				d.cfg.Logf("daemon: failover: rewrite session %s: %v", mv.ID, err)
+		if d.cfg.WAL != nil {
+			// The migrate record folds to the session's new placement on
+			// replay — the WAL-mode equivalent of the session-file rewrite.
+			if err := d.walAppend(wal.Record{
+				Kind: wal.KindMigrate, Container: string(mv.ID),
+				Amount: int64(mv.Limit), Device: int32(device),
+				Meta: fmt.Sprintf("node %d -> %d", mv.From, mv.To),
+			}); err != nil {
+				d.cfg.Logf("daemon: failover: persist migration %s: %v", mv.ID, err)
+			}
+		} else {
+			d.mu.Lock()
+			dir := d.dirs[mv.ID]
+			d.mu.Unlock()
+			if dir != "" {
+				if err := writeSessionFile(dir, mv.ID, mv.Limit, device); err != nil {
+					d.cfg.Logf("daemon: failover: rewrite session %s: %v", mv.ID, err)
+				}
 			}
 		}
 		d.cfg.Logf("daemon: failover: migrated %s node %d -> %d (%d tickets)", mv.ID, mv.From, mv.To, len(mv.Tickets))
@@ -150,8 +173,11 @@ func (d *Daemon) evictContainer(id core.ContainerID, node int) {
 	delete(d.dirs, id)
 	d.mu.Unlock()
 	d.lastSeen.Delete(id)
-	if dir != "" {
-		d.discardSession(dir, string(id), fmt.Errorf("node %d down, no surviving capacity: %w", node, errs.ErrNodeDown))
+	reason := fmt.Errorf("node %d down, no surviving capacity: %w", node, errs.ErrNodeDown)
+	if d.cfg.WAL != nil {
+		d.discardWALSession(id, reason)
+	} else if dir != "" {
+		d.discardSession(dir, string(id), reason)
 	}
 	if srv != nil {
 		go srv.Close()
@@ -178,13 +204,13 @@ func (d *Daemon) handleMembership(msg *protocol.Message, respond func(*protocol.
 		r.Data = string(data)
 		respond(r)
 	case protocol.TypeDrain:
-		if err := m.Drain(msg.Device); err != nil {
+		if err := d.DrainNode(msg.Device); err != nil {
 			respond(codedError(msg, err))
 			return
 		}
 		respond(protocol.Response(msg))
 	case protocol.TypeRevive:
-		if err := m.Revive(msg.Device); err != nil {
+		if err := d.ReviveNode(msg.Device); err != nil {
 			respond(codedError(msg, err))
 			return
 		}

@@ -35,7 +35,11 @@ func (d *Daemon) introspect(msg *protocol.Message, respond func(*protocol.Messag
 	case protocol.TypeStats:
 		data, err = d.obs.StatsJSON()
 	case protocol.TypeTrace:
-		data, err = d.obs.Tracer().DumpLimit(msg.Container, limit)
+		// Cursor-paged: the request's After field carries the last Seq
+		// the caller saw, so a trace longer than one IPC frame is
+		// retrieved whole across several requests instead of silently
+		// truncated to the newest window (the old DumpLimit behavior).
+		data, err = d.obs.Tracer().DumpPage(msg.Container, msg.After, limit)
 	case protocol.TypeDump:
 		data, err = d.dumpJSON(limit)
 	}
@@ -46,6 +50,16 @@ func (d *Daemon) introspect(msg *protocol.Message, respond func(*protocol.Messag
 	m := protocol.Response(msg)
 	m.Data = string(data)
 	respond(m)
+}
+
+// DumpJSON renders the full state dump (the dump control verb's
+// payload) with at most traceLimit trace events — the admin HTTP
+// plane serves it on /v1/dump.
+func (d *Daemon) DumpJSON(traceLimit int) ([]byte, error) {
+	if traceLimit <= 0 || traceLimit > maxTraceEvents {
+		traceLimit = maxTraceEvents
+	}
+	return d.dumpJSON(traceLimit)
 }
 
 // dumpPayload is the `dump` document: scheduler identity and pool

@@ -18,6 +18,7 @@ import (
 	"convgpu/internal/bytesize"
 	"convgpu/internal/core"
 	"convgpu/internal/ipc"
+	"convgpu/internal/wal"
 )
 
 // sessionFileName is the per-container session record inside the
@@ -194,7 +195,7 @@ func (d *Daemon) reapLoop() {
 		})
 		for _, id := range expired {
 			d.obs.LeaseExpiries.Inc()
-			d.closeContainer(id)
+			d.closeContainerKind(id, wal.KindLeaseExpire)
 		}
 	}
 }

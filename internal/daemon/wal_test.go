@@ -1,0 +1,461 @@
+package daemon
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"convgpu/internal/bytesize"
+	"convgpu/internal/core"
+	"convgpu/internal/leak"
+	"convgpu/internal/obs"
+	"convgpu/internal/protocol"
+	"convgpu/internal/wal"
+)
+
+// openTestWAL opens (or reopens) a log for daemon tests. SyncNone keeps
+// the suites fast; durability itself is covered by the wal package.
+func openTestWAL(t *testing.T, dir string) *wal.Log {
+	t.Helper()
+	l, err := wal.Open(wal.Options{Dir: dir, Sync: wal.SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// startWALDaemon starts a daemon over base with the given open log.
+func startWALDaemon(t *testing.T, base string, l *wal.Log, capacity bytesize.Size) *Daemon {
+	t.Helper()
+	st := core.MustNew(core.Config{Capacity: capacity, ContextOverhead: 1})
+	d, err := Start(Config{BaseDir: base, Core: st, WAL: l})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestWALRecoveryRoundTrip is the tentpole flow: register against a
+// WAL-backed daemon, restart it, and find exactly the open sessions
+// back — closed ones stay closed — without a single session.json on
+// disk.
+func TestWALRecoveryRoundTrip(t *testing.T) {
+	leak.Check(t)
+	base := filepath.Join(t.TempDir(), "cv")
+	walDir := filepath.Join(t.TempDir(), "wal")
+
+	l1 := openTestWAL(t, walDir)
+	d1 := startWALDaemon(t, base, l1, mib(1000))
+	ctl := dialControl(t, d1)
+	for _, id := range []string{"c1", "c2", "c3"} {
+		if resp := register(t, ctl, id, mib(200)); !resp.OK {
+			t.Fatalf("register %s: %s", id, resp.Error)
+		}
+	}
+	resp, err := ctl.Call(context.Background(), &protocol.Message{Type: protocol.TypeClose, Container: "c2"})
+	if err != nil || !resp.OK {
+		t.Fatalf("close c2: %v %+v", err, resp)
+	}
+	// WAL mode must not write session.json files.
+	for _, id := range []string{"c1", "c2", "c3"} {
+		if _, err := os.Stat(filepath.Join(base, "containers", id, sessionFileName)); !os.IsNotExist(err) {
+			t.Errorf("session.json written for %s in WAL mode (err=%v)", id, err)
+		}
+	}
+	d1.Close()
+	l1.Close()
+
+	l2 := openTestWAL(t, walDir)
+	defer l2.Close()
+	d2 := startWALDaemon(t, base, l2, mib(1000))
+	defer d2.Close()
+	for _, id := range []core.ContainerID{"c1", "c3"} {
+		if _, err := d2.Core().Info(id); err != nil {
+			t.Errorf("session %s not recovered: %v", id, err)
+		}
+	}
+	if _, err := d2.Core().Info("c2"); err == nil {
+		t.Error("closed session c2 was recovered")
+	}
+
+	// The recovered sockets serve: a wrapper can re-attach.
+	page := d2.Sessions("", 0)
+	if page.Total != 2 || len(page.Sessions) != 2 {
+		t.Fatalf("sessions page = %+v, want 2 entries", page)
+	}
+	if page.Sessions[0].Container != "c1" || page.Sessions[1].Container != "c3" {
+		t.Errorf("sessions page order = %+v", page.Sessions)
+	}
+}
+
+// TestWALLegacyImport boots a WAL daemon over a base directory a
+// pre-WAL daemon populated: the session.json records are imported into
+// the empty log (and left in place for rollback), and a second restart
+// recovers from the log alone.
+func TestWALLegacyImport(t *testing.T) {
+	leak.Check(t)
+	base := filepath.Join(t.TempDir(), "cv")
+	walDir := filepath.Join(t.TempDir(), "wal")
+
+	// Pre-WAL daemon writes the legacy records.
+	d0, err := Start(Config{BaseDir: base, Core: core.MustNew(core.Config{Capacity: mib(1000), ContextOverhead: 1})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl := dialControl(t, d0)
+	register(t, ctl, "old1", mib(300))
+	register(t, ctl, "old2", mib(200))
+	d0.Close()
+
+	l1 := openTestWAL(t, walDir)
+	d1 := startWALDaemon(t, base, l1, mib(1000))
+	for _, id := range []core.ContainerID{"old1", "old2"} {
+		if _, err := d1.Core().Info(id); err != nil {
+			t.Errorf("imported session %s missing: %v", id, err)
+		}
+		// Import leaves the legacy records readable for rollback.
+		if _, err := os.Stat(filepath.Join(base, "containers", string(id), sessionFileName)); err != nil {
+			t.Errorf("legacy record %s removed by import: %v", id, err)
+		}
+	}
+	if l1.LastSeq() == 0 {
+		t.Fatal("import appended nothing")
+	}
+	d1.Close()
+	l1.Close()
+
+	// Second WAL boot: delete the legacy files to prove recovery now
+	// reads the log, not session.json.
+	for _, id := range []string{"old1", "old2"} {
+		os.Remove(filepath.Join(base, "containers", id, sessionFileName))
+	}
+	l2 := openTestWAL(t, walDir)
+	defer l2.Close()
+	d2 := startWALDaemon(t, base, l2, mib(1000))
+	defer d2.Close()
+	for _, id := range []core.ContainerID{"old1", "old2"} {
+		if _, err := d2.Core().Info(id); err != nil {
+			t.Errorf("session %s lost after legacy files removed: %v", id, err)
+		}
+	}
+}
+
+// TestWALRecoveryDiscardDurable: a session the restarted core refuses
+// is evicted into the log, so an even later restart (with capacity
+// restored) does not resurrect it — the refusal itself is durable.
+func TestWALRecoveryDiscardDurable(t *testing.T) {
+	leak.Check(t)
+	base := filepath.Join(t.TempDir(), "cv")
+	walDir := filepath.Join(t.TempDir(), "wal")
+
+	l1 := openTestWAL(t, walDir)
+	d1 := startWALDaemon(t, base, l1, mib(1000))
+	ctl := dialControl(t, d1)
+	register(t, ctl, "big", mib(800))
+	d1.Close()
+	l1.Close()
+
+	// Restart on a shrunken GPU: big no longer fits.
+	logs := &logCapture{}
+	o := obs.New(obs.Config{Algorithm: core.AlgFIFO})
+	l2 := openTestWAL(t, walDir)
+	d2, err := Start(Config{
+		BaseDir: base,
+		Core:    core.MustNew(core.Config{Capacity: mib(500), ContextOverhead: 1}),
+		Obs:     o, Logf: logs.logf, WAL: l2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d2.Core().Info("big"); err == nil {
+		t.Error("over-limit session was recovered")
+	}
+	if got := o.SessionsDiscarded.Value(); got != 1 {
+		t.Errorf("SessionsDiscarded = %d, want 1", got)
+	}
+	if out := logs.joined(); !strings.Contains(out, `discarded session "big": registration refused`) {
+		t.Errorf("missing discard log; got:\n%s", out)
+	}
+	d2.Close()
+	l2.Close()
+
+	// Capacity restored: the evict record must keep big gone.
+	l3 := openTestWAL(t, walDir)
+	defer l3.Close()
+	d3 := startWALDaemon(t, base, l3, mib(1000))
+	defer d3.Close()
+	if _, err := d3.Core().Info("big"); err == nil {
+		t.Error("evicted session resurrected after capacity restored")
+	}
+}
+
+// TestWALLeaseExpireDurable: a lease-reaped session must not come back
+// on restart — the reaper's close is appended like any other.
+func TestWALLeaseExpireDurable(t *testing.T) {
+	leak.Check(t)
+	base := filepath.Join(t.TempDir(), "cv")
+	walDir := filepath.Join(t.TempDir(), "wal")
+
+	l1 := openTestWAL(t, walDir)
+	d1 := startWALDaemon(t, base, l1, mib(1000))
+	ctl := dialControl(t, d1)
+	register(t, ctl, "quiet", mib(200))
+	// Reap through the same path reapLoop takes.
+	if _, err := d1.closeContainerKind("quiet", wal.KindLeaseExpire); err != nil {
+		t.Fatal(err)
+	}
+	d1.Close()
+	l1.Close()
+
+	l2 := openTestWAL(t, walDir)
+	defer l2.Close()
+	d2 := startWALDaemon(t, base, l2, mib(1000))
+	defer d2.Close()
+	if _, err := d2.Core().Info("quiet"); err == nil {
+		t.Error("lease-expired session recovered")
+	}
+}
+
+// TestSessionsVerbPaging drives the sessions control verb through its
+// cursor: pages of 2 over 5 sessions, in order, no overlap.
+func TestSessionsVerbPaging(t *testing.T) {
+	d := startDaemon(t, mib(1000))
+	ctl := dialControl(t, d)
+	for _, id := range []string{"a1", "a2", "a3", "a4", "a5"} {
+		register(t, ctl, id, mib(100))
+	}
+	var got []string
+	after := ""
+	for {
+		resp, err := ctl.Call(context.Background(), &protocol.Message{
+			Type: protocol.TypeSessions, Container: after, Size: 2,
+		})
+		if err != nil || !resp.OK {
+			t.Fatalf("sessions: %v %+v", err, resp)
+		}
+		var page SessionPage
+		if err := json.Unmarshal([]byte(resp.Data), &page); err != nil {
+			t.Fatal(err)
+		}
+		if page.Total != 5 {
+			t.Fatalf("page total = %d, want 5", page.Total)
+		}
+		for _, s := range page.Sessions {
+			got = append(got, s.Container)
+			// Live-core pages carry usage detail.
+			if s.Limit != int64(mib(100)) {
+				t.Errorf("session %s limit = %d", s.Container, s.Limit)
+			}
+		}
+		if !page.More {
+			break
+		}
+		after = page.NextAfter
+	}
+	if want := []string{"a1", "a2", "a3", "a4", "a5"}; strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("paged sessions = %v, want %v", got, want)
+	}
+}
+
+// TestOpsVerb covers the ops control verb: empty list on a fresh
+// daemon, error for an unknown ID.
+func TestOpsVerb(t *testing.T) {
+	d := startDaemon(t, mib(100))
+	ctl := dialControl(t, d)
+	resp, err := ctl.Call(context.Background(), &protocol.Message{Type: protocol.TypeOps})
+	if err != nil || !resp.OK {
+		t.Fatalf("ops: %v %+v", err, resp)
+	}
+	var ops []json.RawMessage
+	if err := json.Unmarshal([]byte(resp.Data), &ops); err != nil {
+		t.Fatalf("ops payload %q: %v", resp.Data, err)
+	}
+	if len(ops) != 0 {
+		t.Errorf("fresh daemon lists %d operations", len(ops))
+	}
+	resp, err = ctl.Call(context.Background(), &protocol.Message{Type: protocol.TypeOps, Container: "op-404"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.OK {
+		t.Error("unknown operation id answered OK")
+	}
+}
+
+// TestTraceVerbPages proves the 64 KiB one-frame trace cap is gone:
+// with far more events than one frame's cap, paging with the After
+// cursor retrieves every retained event.
+func TestTraceVerbPages(t *testing.T) {
+	d := startDaemon(t, mib(4000))
+	ctl := dialControl(t, d)
+	register(t, ctl, "c1", mib(1))
+	// Stuff the ring well past the per-frame event cap without paying a
+	// socket per event.
+	tr := d.Obs().Tracer()
+	for i := 0; i < 600; i++ {
+		tr.RecordAdmin(time.Now(), "test_fill", fmt.Sprintf("req-%d", i), "filler")
+	}
+	total := tr.Len()
+	if total <= maxTraceEvents {
+		t.Fatalf("test setup: only %d events retained", total)
+	}
+	var events int
+	after := uint64(0)
+	pages := 0
+	for {
+		resp, err := ctl.Call(context.Background(), &protocol.Message{Type: protocol.TypeTrace, After: after})
+		if err != nil || !resp.OK {
+			t.Fatalf("trace: %v %+v", err, resp)
+		}
+		var dump obs.TraceDump
+		if err := json.Unmarshal([]byte(resp.Data), &dump); err != nil {
+			t.Fatal(err)
+		}
+		if len(dump.Events) > maxTraceEvents {
+			t.Fatalf("page holds %d events, over the frame cap %d", len(dump.Events), maxTraceEvents)
+		}
+		events += len(dump.Events)
+		pages++
+		if !dump.More {
+			break
+		}
+		after = dump.NextAfter
+	}
+	if events != total {
+		t.Errorf("paged %d events, ring holds %d", events, total)
+	}
+	if pages < 3 {
+		t.Errorf("expected several pages, got %d", pages)
+	}
+}
+
+// TestWALAdminAccessors drives the daemon methods the HTTP admin plane
+// fronts — WAL stats/snapshot/compact, the ops manager, node verbs on
+// a single-node backend, and the JSON dump — directly.
+func TestWALAdminAccessors(t *testing.T) {
+	leak.Check(t)
+	base := filepath.Join(t.TempDir(), "cv")
+	l := openTestWAL(t, filepath.Join(t.TempDir(), "wal"))
+	defer l.Close()
+	d := startWALDaemon(t, base, l, mib(1000))
+	defer d.Close()
+	ctl := dialControl(t, d)
+	register(t, ctl, "acc", mib(200))
+
+	if d.Ops() == nil {
+		t.Fatal("Ops() is nil on a started daemon")
+	}
+	stats, ok := d.WALStats()
+	if !ok || stats.LastSeq == 0 || stats.Sessions != 1 {
+		t.Fatalf("WALStats = %+v ok=%v", stats, ok)
+	}
+	seq, err := d.SnapshotWAL()
+	if err != nil || seq == 0 {
+		t.Fatalf("SnapshotWAL = %d, %v", seq, err)
+	}
+	after, err := d.CompactWAL()
+	if err != nil || after.Sessions != 1 {
+		t.Fatalf("CompactWAL = %+v, %v", after, err)
+	}
+	// Node verbs on a single-node scheduler refuse with the membership
+	// sentinel the admin plane maps to 404 / failed operations.
+	if _, err := d.NodeStatuses(); !errors.Is(err, errNoMembership) {
+		t.Errorf("NodeStatuses error = %v", err)
+	}
+	if err := d.DrainNode(0); !errors.Is(err, errNoMembership) {
+		t.Errorf("DrainNode error = %v", err)
+	}
+	if err := d.ReviveNode(0); !errors.Is(err, errNoMembership) {
+		t.Errorf("ReviveNode error = %v", err)
+	}
+	if _, err := d.FailNode(0); !errors.Is(err, errNoMembership) {
+		t.Errorf("FailNode error = %v", err)
+	}
+	data, err := d.DumpJSON(10)
+	if err != nil || !json.Valid(data) {
+		t.Fatalf("DumpJSON: %v (%.40s)", err, data)
+	}
+
+	// A WAL-less daemon reports no WAL and refuses the WAL verbs.
+	d2 := startDaemon(t, mib(100))
+	if _, ok := d2.WALStats(); ok {
+		t.Error("WALStats ok on a WAL-less daemon")
+	}
+	if _, err := d2.SnapshotWAL(); err == nil {
+		t.Error("SnapshotWAL succeeded without a WAL")
+	}
+	if _, err := d2.CompactWAL(); err == nil {
+		t.Error("CompactWAL succeeded without a WAL")
+	}
+}
+
+// TestWALAuditTrail drives allocation traffic against a WAL daemon and
+// checks the audit kinds land in the log without disturbing the fold.
+func TestWALAuditTrail(t *testing.T) {
+	leak.Check(t)
+	base := filepath.Join(t.TempDir(), "cv")
+	l := openTestWAL(t, filepath.Join(t.TempDir(), "wal"))
+	defer l.Close()
+	d := startWALDaemon(t, base, l, mib(1000))
+	defer d.Close()
+	ctl := dialControl(t, d)
+	cc := dialContainer(t, register(t, ctl, "aud", mib(400)))
+	ctx := context.Background()
+
+	resp, err := cc.Call(ctx, &protocol.Message{Type: protocol.TypeAlloc, PID: 1, Size: int64(mib(100)), API: "cudaMalloc"})
+	if err != nil || resp.Decision != protocol.DecisionAccept {
+		t.Fatalf("alloc: %v %+v", err, resp)
+	}
+	if _, err := cc.Call(ctx, &protocol.Message{Type: protocol.TypeConfirm, PID: 1, Size: int64(mib(100)), Addr: 0xA1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cc.Call(ctx, &protocol.Message{Type: protocol.TypeFree, PID: 1, Addr: 0xA1}); err != nil {
+		t.Fatal(err)
+	}
+	// Over-limit alloc: rejected, audited.
+	resp, err = cc.Call(ctx, &protocol.Message{Type: protocol.TypeAlloc, PID: 1, Size: int64(mib(900))})
+	if err != nil || resp.Decision != protocol.DecisionReject {
+		t.Fatalf("over-limit alloc: %v %+v", err, resp)
+	}
+
+	seqBefore := l.LastSeq()
+	if seqBefore < 4 {
+		t.Fatalf("expected audit records beyond the register, LastSeq = %d", seqBefore)
+	}
+	// Audit records never change the fold: still exactly one session.
+	sessions := l.Sessions()
+	if len(sessions) != 1 || sessions[0].Container != "aud" || sessions[0].Limit != int64(mib(400)) {
+		t.Fatalf("fold disturbed by audit traffic: %+v", sessions)
+	}
+}
+
+// TestWALAppendFailureRefusesRegister: when the log cannot take the
+// append, the registration must not be acknowledged and the core must
+// not keep the admission — append-before-ack, strictly.
+func TestWALAppendFailureRefusesRegister(t *testing.T) {
+	leak.Check(t)
+	base := filepath.Join(t.TempDir(), "cv")
+	l := openTestWAL(t, filepath.Join(t.TempDir(), "wal"))
+	d := startWALDaemon(t, base, l, mib(1000))
+	defer d.Close()
+	ctl := dialControl(t, d)
+
+	// Kill the log underneath the daemon: the next append fails.
+	l.Close()
+	resp := register(t, ctl, "lost", mib(100))
+	if resp.OK {
+		t.Fatal("register acknowledged with a dead WAL")
+	}
+	if resp.Code != protocol.CodeUnavailable {
+		t.Errorf("refusal code = %q, want %q", resp.Code, protocol.CodeUnavailable)
+	}
+	if _, err := d.Core().Info("lost"); err == nil {
+		t.Error("core kept the admission after the append failed")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"convgpu/internal/core"
+	"convgpu/internal/wal"
 )
 
 // Metric names exported by an Observability bundle. DESIGN.md §9
@@ -38,6 +39,13 @@ const (
 	MetricTicketsMigrated   = "convgpu_failover_tickets_migrated_total"
 	MetricTicketsEvicted    = "convgpu_failover_tickets_evicted_total"
 	MetricMigrationLatency  = "convgpu_failover_migration_seconds"
+	MetricWALSegments       = "convgpu_wal_segments"
+	MetricWALSizeBytes      = "convgpu_wal_size_bytes"
+	MetricWALLastSeq        = "convgpu_wal_last_seq"
+	MetricWALSessions       = "convgpu_wal_sessions"
+	MetricWALAppends        = "convgpu_wal_appends_total"
+	MetricWALSyncs          = "convgpu_wal_fsyncs_total"
+	MetricWALFsyncLatency   = "convgpu_wal_fsync_seconds"
 )
 
 // Config parameterizes an Observability bundle.
@@ -309,6 +317,35 @@ func (o *Observability) BindWire(side string, w WireCounters, pipelineDepth func
 			"Calls currently in flight on the control channel.", Labels{"side": side},
 			pipelineDepth)
 	}
+}
+
+// BindWAL registers scrape-time gauges over the daemon's write-ahead
+// log — segment count, on-disk bytes, last assigned sequence, live
+// sessions, append and fsync totals — and installs the fsync latency
+// observer feeding the convgpu_wal_fsync_seconds histogram. The log's
+// Stats call is a single mutex acquisition, paid only at scrape time.
+func (o *Observability) BindWAL(l *wal.Log) {
+	o.reg.GaugeFunc(MetricWALSegments,
+		"Write-ahead log segment files on disk (including the active one).", nil,
+		func() int64 { return int64(l.Stats().Segments) })
+	o.reg.GaugeFunc(MetricWALSizeBytes,
+		"Total bytes across write-ahead log segments.", nil,
+		func() int64 { return l.Stats().SizeBytes })
+	o.reg.GaugeFunc(MetricWALLastSeq,
+		"Highest sequence number the write-ahead log has assigned.", nil,
+		func() int64 { return int64(l.Stats().LastSeq) })
+	o.reg.GaugeFunc(MetricWALSessions,
+		"Live sessions in the write-ahead log's folded view.", nil,
+		func() int64 { return int64(l.Stats().Sessions) })
+	o.reg.GaugeFunc(MetricWALAppends,
+		"Records appended to the write-ahead log.", nil,
+		func() int64 { return int64(l.Stats().Appends) })
+	o.reg.GaugeFunc(MetricWALSyncs,
+		"fsync calls issued by the write-ahead log.", nil,
+		func() int64 { return int64(l.Stats().Syncs) })
+	h := o.reg.NewHistogram(MetricWALFsyncLatency,
+		"Latency of one write-ahead log fsync.", nil)
+	l.SetFsyncObserver(h.Observe)
 }
 
 // ObserveSuspendWait records one suspension wait into the aggregate

@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"convgpu/internal/wal"
+)
+
+func fillTrace(t *Tracer, n int) {
+	at := time.Unix(0, 0)
+	for i := 0; i < n; i++ {
+		t.Record(at.Add(time.Duration(i)), "accept", "c1", 1, int64(i), 0, 0)
+	}
+}
+
+func TestTracerPage(t *testing.T) {
+	tr := NewTracer(64)
+	fillTrace(tr, 10)
+
+	// Page through everything in chunks of 3.
+	var all []TraceEvent
+	after := uint64(0)
+	for {
+		events, more := tr.Page("", after, 3)
+		all = append(all, events...)
+		if !more {
+			break
+		}
+		after = events[len(events)-1].Seq
+	}
+	if len(all) != 10 {
+		t.Fatalf("paged %d events, want 10", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i].Seq <= all[i-1].Seq {
+			t.Fatalf("pages out of order at %d: %v", i, all)
+		}
+	}
+
+	// A cursor past the end returns nothing, no more.
+	events, more := tr.Page("", all[len(all)-1].Seq, 3)
+	if len(events) != 0 || more {
+		t.Fatalf("past-the-end page = %v more=%v", events, more)
+	}
+
+	// Container filter composes with the cursor.
+	tr.Record(time.Unix(1, 0), "accept", "c2", 2, 1, 0, 0)
+	events, _ = tr.Page("c2", 0, 0)
+	if len(events) != 1 || events[0].Container != "c2" {
+		t.Fatalf("filtered page = %v", events)
+	}
+}
+
+func TestTracerPageAfterWrap(t *testing.T) {
+	tr := NewTracer(8)
+	fillTrace(tr, 20) // ring holds seqs 13..20
+	events, more := tr.Page("", 0, 100)
+	if len(events) != 8 || more {
+		t.Fatalf("wrapped ring page: %d events more=%v", len(events), more)
+	}
+	if events[0].Seq != 13 || events[7].Seq != 20 {
+		t.Fatalf("wrapped ring page seqs %d..%d, want 13..20", events[0].Seq, events[7].Seq)
+	}
+	// A cursor pointing into the dropped region just returns the whole
+	// retained window.
+	events, _ = tr.Page("", 5, 100)
+	if len(events) != 8 {
+		t.Fatalf("dropped-region cursor returned %d events", len(events))
+	}
+}
+
+func TestDumpPageShape(t *testing.T) {
+	tr := NewTracer(64)
+	fillTrace(tr, 10)
+	raw, err := tr.DumpPage("", 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d TraceDump
+	if err := json.Unmarshal(raw, &d); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Events) != 4 || !d.More || d.NextAfter != d.Events[3].Seq {
+		t.Fatalf("first page = %+v", d)
+	}
+	raw, err = tr.DumpPage("", d.NextAfter, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d2 TraceDump
+	if err := json.Unmarshal(raw, &d2); err != nil {
+		t.Fatal(err)
+	}
+	if len(d2.Events) != 6 || d2.More || d2.NextAfter != 0 {
+		t.Fatalf("last page = %+v", d2)
+	}
+}
+
+func TestRecordAdmin(t *testing.T) {
+	tr := NewTracer(16)
+	tr.Record(time.Unix(0, 0), "accept", "c1", 1, 1, 0, 0)
+	tr.RecordAdmin(time.Unix(0, 1), "admin_drain", "req-abc", "node 2")
+	events := tr.Events("")
+	if len(events) != 2 {
+		t.Fatalf("%d events", len(events))
+	}
+	e := events[1]
+	if e.Kind != "admin_drain" || e.RequestID != "req-abc" || e.Detail != "node 2" {
+		t.Fatalf("admin event = %+v", e)
+	}
+	if e.Seq != 2 || e.CSeq != 0 {
+		t.Fatalf("admin event ordering = %+v", e)
+	}
+}
+
+func TestBindWAL(t *testing.T) {
+	l, err := wal.Open(wal.Options{Dir: t.TempDir(), Sync: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	o := New(Config{Algorithm: "fifo"})
+	o.BindWAL(l)
+	if _, err := l.Append(wal.Record{Kind: wal.KindRegister, Container: "c1", Amount: 10}); err != nil {
+		t.Fatal(err)
+	}
+
+	vals := map[string]int64{}
+	histCount := uint64(0)
+	for _, p := range o.Registry().Snapshot() {
+		switch p.Name {
+		case MetricWALSegments, MetricWALSessions, MetricWALAppends, MetricWALSyncs, MetricWALLastSeq, MetricWALSizeBytes:
+			vals[p.Name] = int64(p.Value)
+		case MetricWALFsyncLatency:
+			if p.Hist != nil {
+				histCount += p.Hist.Count
+			}
+		}
+	}
+	if vals[MetricWALSegments] != 1 || vals[MetricWALSessions] != 1 || vals[MetricWALAppends] != 1 || vals[MetricWALLastSeq] != 1 {
+		t.Fatalf("wal gauges = %v", vals)
+	}
+	if vals[MetricWALSyncs] < 1 || vals[MetricWALSizeBytes] <= 0 {
+		t.Fatalf("wal gauges = %v", vals)
+	}
+	if histCount < 1 {
+		t.Fatalf("fsync histogram count = %d, want >= 1", histCount)
+	}
+}

@@ -25,6 +25,11 @@ type TraceEvent struct {
 	Amount    int64  `json:"amount,omitempty"`
 	Device    int    `json:"device,omitempty"`
 	Ticket    uint64 `json:"ticket,omitempty"`
+	// RequestID ties admin-plane events to the HTTP request that caused
+	// them; Detail carries the verb's free-form context (a node number,
+	// an operation ID). Both empty for scheduler events.
+	RequestID string `json:"request_id,omitempty"`
+	Detail    string `json:"detail,omitempty"`
 }
 
 // Tracer is a fixed-capacity ring buffer of TraceEvents. Recording
@@ -84,6 +89,31 @@ func (t *Tracer) Record(at time.Time, kind, container string, pid int, amount in
 	t.mu.Unlock()
 }
 
+// RecordAdmin appends one admin-plane event: kind names the verb
+// ("admin_drain", "admin_compact"), requestID the X-Request-Id of the
+// HTTP call, detail the target. Admin events share the ring and the
+// total order with scheduler events, so an operator sees the drain
+// between the grants it interleaved with.
+func (t *Tracer) RecordAdmin(at time.Time, kind, requestID, detail string) {
+	t.mu.Lock()
+	t.seq++
+	e := TraceEvent{
+		Seq:       t.seq,
+		At:        at.UnixNano(),
+		Kind:      kind,
+		RequestID: requestID,
+		Detail:    detail,
+	}
+	if len(t.ring) > 0 {
+		t.ring[t.next] = e
+		t.next = (t.next + 1) % len(t.ring)
+		if t.n < len(t.ring) {
+			t.n++
+		}
+	}
+	t.mu.Unlock()
+}
+
 // EndContainer forgets a container's causal counter — called when its
 // lifetime ends (close), so the cseq map does not grow with container
 // churn and a re-registered ID restarts its causal order at 1.
@@ -119,12 +149,43 @@ func (t *Tracer) Events(container string) []TraceEvent {
 	return out
 }
 
-// TraceDump is the JSON shape of a trace request's payload.
+// Page returns up to limit retained events with Seq > after, oldest
+// first (limit <= 0 means no bound), plus whether more remain. This is
+// the cursor shape long trace retrieval pages over: a consumer replays
+// the whole ring in bounded frames by passing the last Seq it saw.
+func (t *Tracer) Page(container string, after uint64, limit int) (events []TraceEvent, more bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	start := t.next - t.n
+	if start < 0 {
+		start += len(t.ring)
+	}
+	for i := 0; i < t.n; i++ {
+		e := t.ring[(start+i)%len(t.ring)]
+		if e.Seq <= after {
+			continue
+		}
+		if container != "" && e.Container != container {
+			continue
+		}
+		if limit > 0 && len(events) == limit {
+			return events, true
+		}
+		events = append(events, e)
+	}
+	return events, false
+}
+
+// TraceDump is the JSON shape of a trace request's payload. NextAfter
+// and More describe the page cursor: when More is true the consumer
+// re-requests with after=NextAfter for the next page.
 type TraceDump struct {
-	Capacity int          `json:"capacity"`
-	Total    uint64       `json:"total_events"`
-	Dropped  uint64       `json:"dropped_events"`
-	Events   []TraceEvent `json:"events"`
+	Capacity  int          `json:"capacity"`
+	Total     uint64       `json:"total_events"`
+	Dropped   uint64       `json:"dropped_events"`
+	Events    []TraceEvent `json:"events"`
+	NextAfter uint64       `json:"next_after,omitempty"`
+	More      bool         `json:"more,omitempty"`
 }
 
 // Dump renders the retained trace (optionally filtered by container)
@@ -147,5 +208,23 @@ func (t *Tracer) DumpLimit(container string, limit int) ([]byte, error) {
 		d.Dropped = t.seq - uint64(t.n)
 	}
 	t.mu.Unlock()
+	return json.Marshal(d)
+}
+
+// DumpPage renders one page of the trace (events with Seq > after,
+// oldest first, at most limit of them) with the cursor fields set, so
+// a long trace is retrieved whole across several bounded frames
+// instead of silently truncated to the newest window.
+func (t *Tracer) DumpPage(container string, after uint64, limit int) ([]byte, error) {
+	events, more := t.Page(container, after, limit)
+	t.mu.Lock()
+	d := TraceDump{Capacity: len(t.ring), Total: t.seq, Events: events, More: more}
+	if t.seq > uint64(t.n) {
+		d.Dropped = t.seq - uint64(t.n)
+	}
+	t.mu.Unlock()
+	if more && len(events) > 0 {
+		d.NextAfter = events[len(events)-1].Seq
+	}
 	return json.Marshal(d)
 }

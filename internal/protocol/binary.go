@@ -71,6 +71,7 @@ const (
 	tagFree      = 14 // i64
 	tagTotal     = 15 // i64
 	tagData      = 16 // string
+	tagAfter     = 17 // u64 (trace page cursor)
 )
 
 // typeByOpcode maps opcode bytes back to message types. Opcode values
@@ -148,6 +149,7 @@ func AppendEncodeBinary(dst []byte, m *Message) (out []byte, ok bool) {
 	dst = appendBinaryInt(dst, tagSize, m.Size)
 	dst = appendBinaryInt(dst, tagLimit, m.Limit)
 	dst = appendBinaryInt(dst, tagAddr, int64(m.Addr))
+	dst = appendBinaryInt(dst, tagAfter, int64(m.After))
 	dst, ok = appendBinaryString(dst, tagAPI, m.API)
 	if !ok {
 		return dst[:base], false
@@ -290,7 +292,7 @@ func DecodeBinaryInto(m *Message, op byte, seq uint64, payload []byte) error {
 				return fmt.Errorf("protocol: unknown decision byte %d", payload[i])
 			}
 			i++
-		case tagPID, tagSize, tagLimit, tagAddr, tagGranted, tagDevice, tagFree, tagTotal:
+		case tagPID, tagSize, tagLimit, tagAddr, tagAfter, tagGranted, tagDevice, tagFree, tagTotal:
 			if i+8 > len(payload) {
 				return errTruncatedField(tag)
 			}
@@ -305,6 +307,8 @@ func DecodeBinaryInto(m *Message, op byte, seq uint64, payload []byte) error {
 				m.Limit = int64(v)
 			case tagAddr:
 				m.Addr = v
+			case tagAfter:
+				m.After = v
 			case tagGranted:
 				m.Granted = int64(v)
 			case tagDevice:

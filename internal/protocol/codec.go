@@ -116,6 +116,10 @@ func AppendEncode(dst []byte, m *Message) []byte {
 		dst = append(dst, `,"api":`...)
 		dst = appendJSONString(dst, m.API)
 	}
+	if m.After != 0 {
+		dst = append(dst, `,"after":`...)
+		dst = strconv.AppendUint(dst, m.After, 10)
+	}
 	if m.OK {
 		dst = append(dst, `,"ok":true`...)
 	}
@@ -322,6 +326,13 @@ func scanField(m *Message, b []byte, i int, key []byte) (int, bool) {
 		}
 		m.Addr = u
 		return next, true
+	case "after":
+		u, next, ok := scanUint(b, i)
+		if !ok {
+			return 0, false
+		}
+		m.After = u
+		return next, true
 	case "api":
 		s, next, ok := scanString(b, i)
 		if !ok {
@@ -437,6 +448,10 @@ func typeToken(s []byte) Type {
 		return TypeTrace
 	case string(TypeDump):
 		return TypeDump
+	case string(TypeSessions):
+		return TypeSessions
+	case string(TypeOps):
+		return TypeOps
 	case string(TypeResponse):
 		return TypeResponse
 	default:

@@ -12,6 +12,7 @@
 package protocol
 
 import (
+	"errors"
 	"fmt"
 
 	"convgpu/internal/bytesize"
@@ -96,6 +97,17 @@ const (
 	// TypeRevive manually returns one node (Device field) to service,
 	// clearing a draining or down state.
 	TypeRevive Type = "revive"
+	// TypeSessions asks the daemon for a page of its live sessions
+	// (control socket only). Container carries the page cursor (the last
+	// container ID of the previous page, empty for the first page) and
+	// Size the page limit. The response's Data field carries the JSON
+	// payload (a session page).
+	TypeSessions Type = "sessions"
+	// TypeOps asks the daemon for its async admin operations (control
+	// socket only): all retained operations, or one when Container
+	// carries an operation ID. The response's Data field carries the
+	// JSON payload.
+	TypeOps Type = "ops"
 	// TypeResponse is the reply to any request.
 	TypeResponse Type = "response"
 )
@@ -126,7 +138,8 @@ type Message struct {
 	Size      int64  `json:"size,omitempty"`  // bytes
 	Limit     int64  `json:"limit,omitempty"` // bytes, register only
 	Addr      uint64 `json:"addr,omitempty"`
-	API       string `json:"api,omitempty"` // originating CUDA API name
+	API       string `json:"api,omitempty"`   // originating CUDA API name
+	After     uint64 `json:"after,omitempty"` // trace page cursor: return events with Seq > After
 
 	// Response fields.
 	OK        bool     `json:"ok,omitempty"`
@@ -210,11 +223,13 @@ func (m *Message) Validate() error {
 		if m.Size <= 0 {
 			return fmt.Errorf("protocol: restore with non-positive size %d", m.Size)
 		}
-	case TypeMemInfo, TypeResponse, TypeHeartbeat, TypeStats, TypeTrace, TypeDump, TypeCodec, TypeNodes, TypeDrain, TypeRevive:
+	case TypeMemInfo, TypeResponse, TypeHeartbeat, TypeStats, TypeTrace, TypeDump, TypeCodec, TypeNodes, TypeDrain, TypeRevive, TypeSessions, TypeOps:
 		// No required request fields beyond the type itself (trace may
-		// carry an optional Container filter; codec carries the offered
-		// token in Data; drain/revive carry the node index in Device,
-		// where zero is a valid node).
+		// carry an optional Container filter and an After cursor; codec
+		// carries the offered token in Data; drain/revive carry the node
+		// index in Device, where zero is a valid node; sessions carries
+		// its cursor in Container and page limit in Size; ops carries an
+		// optional operation ID in Container).
 	case "":
 		return fmt.Errorf("protocol: message without type")
 	default:
@@ -243,6 +258,27 @@ const (
 	// retry with a fresh registration (which can land elsewhere).
 	CodeNodeDown = "node_down"
 )
+
+// CodeFor maps a shared sentinel to its wire code — the inverse of
+// ErrFromCode, used by the daemon and the HTTP admin plane to stamp
+// machine-readable codes onto failure envelopes. Unknown errors map to
+// the empty string (callers pick their own fallback).
+func CodeFor(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, errs.ErrOverCapacity):
+		return CodeOverCapacity
+	case errors.Is(err, errs.ErrRejected):
+		return CodeRejected
+	case errors.Is(err, errs.ErrDaemonUnavailable):
+		return CodeUnavailable
+	case errors.Is(err, errs.ErrNodeDown):
+		return CodeNodeDown
+	default:
+		return ""
+	}
+}
 
 // ErrFromCode maps a response's error code to the shared sentinel it
 // stands for, so client-side wrappers can offer errors.Is matching for

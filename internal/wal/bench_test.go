@@ -1,0 +1,93 @@
+package wal
+
+import (
+	"fmt"
+	"testing"
+)
+
+// populate writes n register events (with a sprinkling of closes and
+// audit records, as a real daemon would) and returns the live count.
+func populate(b testing.TB, l *Log, n int) int {
+	b.Helper()
+	live := 0
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("container-%08d", i)
+		if _, err := l.Append(Record{Kind: KindRegister, Container: id, Amount: int64(i%1024 + 1), Device: int32(i % 8)}); err != nil {
+			b.Fatal(err)
+		}
+		live++
+		if i%16 == 0 {
+			if _, err := l.Append(Record{Kind: KindGrant, Container: id, Amount: 64, PID: int32(i)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if i%10 == 9 {
+			if _, err := l.Append(Record{Kind: KindClose, Container: id}); err != nil {
+				b.Fatal(err)
+			}
+			live--
+		}
+	}
+	return live
+}
+
+// BenchmarkRecovery measures restart-recovery time (Open: load snapshot
+// + replay tail) versus session count. make bench-recovery turns the
+// output into BENCH_recovery.json.
+func BenchmarkRecovery(b *testing.B) {
+	for _, n := range []int{1_000, 10_000, 100_000, 1_000_000} {
+		for _, snap := range []bool{false, true} {
+			mode := "replay"
+			if snap {
+				mode = "snapshot"
+			}
+			b.Run(fmt.Sprintf("sessions=%d/%s", n, mode), func(b *testing.B) {
+				if n >= 1_000_000 && testing.Short() {
+					b.Skip("short mode")
+				}
+				dir := b.TempDir()
+				l, err := Open(Options{Dir: dir, Sync: SyncNone, SegmentBytes: 64 << 20})
+				if err != nil {
+					b.Fatal(err)
+				}
+				live := populate(b, l, n)
+				if snap {
+					if err := l.Compact(); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := l.Close(); err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					r, err := Open(Options{Dir: dir, Sync: SyncNone})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if got := r.Stats().Sessions; got != live {
+						b.Fatalf("recovered %d sessions, want %d", got, live)
+					}
+					r.Close()
+				}
+				b.ReportMetric(float64(live), "sessions")
+			})
+		}
+	}
+}
+
+func BenchmarkAppend(b *testing.B) {
+	l, err := Open(Options{Dir: b.TempDir(), Sync: SyncNone, SegmentBytes: 256 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	rec := Record{Kind: KindGrant, Container: "bench-container", Amount: 64, PID: 42}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Append(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+// Snapshots bound replay time: a snapshot file holds the folded session
+// set as of one log sequence number, so recovery loads the newest valid
+// snapshot and replays only the records after it. Compaction is
+// snapshot-then-truncate — write the snapshot, fsync it, then delete
+// the segments it covers.
+//
+// A snapshot file reuses the segment record framing: the first frame is
+// a header record (kindSnapshotHeader) carrying the covered sequence
+// number and the session count, followed by one KindRegister frame per
+// live session. Any framing or checksum failure, or a count mismatch,
+// invalidates the whole file and recovery falls back to the next-older
+// snapshot (ultimately to full replay from the oldest segment).
+
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// kindSnapshotHeader is the first frame of a snapshot file. Never
+// appears in segments.
+const kindSnapshotHeader Kind = 0xFE
+
+// Session is one live session in the recovered state: exactly what the
+// daemon needs to re-admit the container after a restart.
+type Session struct {
+	Container string `json:"container"`
+	Limit     int64  `json:"limit"`
+	Device    int    `json:"device"`
+}
+
+// snapshotName builds the file name for a snapshot covering seq.
+func snapshotName(seq uint64) string { return fmt.Sprintf("snap-%016x.snap", seq) }
+
+// writeSnapshot writes the session set as a snapshot covering seq,
+// fsyncs it, and returns its path. The write goes through a temp file +
+// rename so a crash mid-snapshot can never leave a half-written file
+// under a valid snapshot name.
+func writeSnapshot(dir string, seq uint64, sessions map[string]Session) (string, error) {
+	buf := make([]byte, 0, 64+len(sessions)*64)
+	hdr := Record{Seq: seq, Kind: kindSnapshotHeader, Amount: int64(len(sessions))}
+	buf, err := appendRecord(buf, &hdr)
+	if err != nil {
+		return "", err
+	}
+	// Deterministic order: stable files for identical states.
+	ids := make([]string, 0, len(sessions))
+	for id := range sessions {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		s := sessions[id]
+		rec := Record{Seq: seq, Kind: KindRegister, Container: s.Container, Amount: s.Limit, Device: int32(s.Device)}
+		if buf, err = appendRecord(buf, &rec); err != nil {
+			return "", err
+		}
+	}
+	path := filepath.Join(dir, snapshotName(seq))
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return "", fmt.Errorf("wal: create snapshot: %w", err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return "", fmt.Errorf("wal: write snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return "", fmt.Errorf("wal: sync snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return "", err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return "", fmt.Errorf("wal: publish snapshot: %w", err)
+	}
+	return path, nil
+}
+
+// loadSnapshot reads and validates one snapshot file, returning the
+// covered sequence number and the session set.
+func loadSnapshot(path string) (uint64, map[string]Session, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, nil, err
+	}
+	var hdr Record
+	n, err := decodeRecord(data, &hdr)
+	if err != nil {
+		return 0, nil, fmt.Errorf("wal: snapshot header: %w", err)
+	}
+	if hdr.Kind != kindSnapshotHeader {
+		return 0, nil, fmt.Errorf("wal: snapshot header kind %v", hdr.Kind)
+	}
+	data = data[n:]
+	want := int(hdr.Amount)
+	sessions := make(map[string]Session, want)
+	for len(data) > 0 {
+		var rec Record
+		n, err := decodeRecord(data, &rec)
+		if err != nil {
+			return 0, nil, fmt.Errorf("wal: snapshot entry: %w", err)
+		}
+		if rec.Kind != KindRegister || rec.Container == "" {
+			return 0, nil, fmt.Errorf("wal: snapshot entry kind %v", rec.Kind)
+		}
+		sessions[rec.Container] = Session{Container: rec.Container, Limit: rec.Amount, Device: int(rec.Device)}
+		data = data[n:]
+	}
+	if len(sessions) != want {
+		return 0, nil, fmt.Errorf("wal: snapshot has %d sessions, header says %d", len(sessions), want)
+	}
+	return hdr.Seq, sessions, nil
+}

@@ -39,6 +39,9 @@ type stackConfig struct {
 	persistentGrants bool
 	eventLogSize     int
 	jsonWire         bool
+
+	walDir  string
+	walSync string
 }
 
 // defaultStackConfig returns the paper's defaults.
@@ -271,6 +274,38 @@ func WithPersistentGrants() Option {
 func WithEventLogSize(n int) Option {
 	return func(c *stackConfig) error {
 		c.eventLogSize = n
+		return nil
+	}
+}
+
+// WithWAL makes the scheduler daemon's admission state durable in a
+// write-ahead log under dir: every session-changing event (register,
+// close, migrate, lease expiry, evict) is appended before it is
+// acknowledged, and a restarted stack recovers by loading the newest
+// snapshot and replaying the log tail instead of scanning per-container
+// session.json files. Pre-WAL session.json records found on the first
+// boot are imported one-time. The log syncs on every append unless
+// WithWALSync relaxes the policy.
+func WithWAL(dir string) Option {
+	return func(c *stackConfig) error {
+		if dir == "" {
+			return fmt.Errorf("convgpu: WithWAL: empty directory")
+		}
+		c.walDir = dir
+		return nil
+	}
+}
+
+// WithWALSync sets the WAL fsync policy: "always" (default — every
+// append durable before acknowledgement), "none" (leave syncing to the
+// OS), or a duration like "50ms" (group commits, bounding loss to one
+// window). Requires WithWAL.
+func WithWALSync(policy string) Option {
+	return func(c *stackConfig) error {
+		if policy == "" {
+			return fmt.Errorf("convgpu: WithWALSync: empty policy")
+		}
+		c.walSync = policy
 		return nil
 	}
 }

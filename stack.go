@@ -8,6 +8,8 @@ import (
 	"os"
 	"sync"
 
+	"convgpu/internal/admin"
+	"convgpu/internal/asyncop"
 	"convgpu/internal/cluster"
 	"convgpu/internal/container"
 	"convgpu/internal/core"
@@ -19,6 +21,7 @@ import (
 	"convgpu/internal/obs"
 	"convgpu/internal/plugin"
 	"convgpu/internal/protocol"
+	"convgpu/internal/wal"
 )
 
 // Observability is the stack's runtime telemetry bundle: per-algorithm
@@ -26,6 +29,22 @@ import (
 // trace ring. Reach it with Stack.Observability; serve it over HTTP
 // with its Handler method.
 type Observability = obs.Observability
+
+// Operation is one admin-plane operation: a mutating verb (drain,
+// revive, failover, compact, snapshot) submitted asynchronously and
+// polled by ID until its status reaches completed or failed.
+type Operation = asyncop.Operation
+
+// SessionPage is one page of the daemon's session listing, ordered by
+// container ID with a cursor for the next page.
+type SessionPage = daemon.SessionPage
+
+// SessionEntry is one registered session in a SessionPage.
+type SessionEntry = daemon.SessionEntry
+
+// WALStats reports the write-ahead log's counters (segments, sizes,
+// sequences, sync totals).
+type WALStats = wal.Stats
 
 // Stack is the assembled ConVGPU middleware: simulated GPU + CUDA
 // runtime, scheduler core, scheduler daemon over real UNIX sockets,
@@ -45,6 +64,7 @@ type Stack struct {
 	mu      sync.Mutex
 	started bool
 	closed  bool
+	wal     *wal.Log
 	daemon  *daemon.Daemon
 	engine  *container.Engine
 	plugin  *plugin.Plugin
@@ -62,6 +82,14 @@ func New(options ...Option) (*Stack, error) {
 	for _, o := range options {
 		if err := o(&cfg); err != nil {
 			return nil, err
+		}
+	}
+	if cfg.walSync != "" {
+		if cfg.walDir == "" {
+			return nil, fmt.Errorf("convgpu: WithWALSync requires WithWAL")
+		}
+		if _, _, err := wal.ParseSyncPolicy(cfg.walSync); err != nil {
+			return nil, fmt.Errorf("convgpu: WithWALSync: %w", err)
 		}
 	}
 
@@ -188,12 +216,24 @@ func (s *Stack) Start(ctx context.Context) error {
 		return err
 	}
 
+	if s.cfg.walDir != "" {
+		mode, interval, err := wal.ParseSyncPolicy(s.cfg.walSync)
+		if err != nil {
+			return fail(fmt.Errorf("convgpu: wal sync policy: %w", err))
+		}
+		s.wal, err = wal.Open(wal.Options{Dir: s.cfg.walDir, Sync: mode, SyncInterval: interval})
+		if err != nil {
+			return fail(fmt.Errorf("convgpu: open wal: %w", err))
+		}
+	}
+
 	var err error
 	s.daemon, err = daemon.Start(daemon.Config{
 		BaseDir: baseDir,
 		Core:    s.state,
 		Lease:   s.cfg.lease,
 		Obs:     s.obs,
+		WAL:     s.wal,
 	})
 	if err != nil {
 		return fail(err)
@@ -251,6 +291,11 @@ func (s *Stack) stopLocked() {
 	if s.daemon != nil {
 		s.daemon.Close()
 		s.daemon = nil
+	}
+	if s.wal != nil {
+		// After the daemon: its shutdown may still append records.
+		s.wal.Close()
+		s.wal = nil
 	}
 	if s.tempdir != "" {
 		os.RemoveAll(s.tempdir)
@@ -346,6 +391,12 @@ func (s *Stack) ControlSocket() string {
 // introspect performs one stats/trace/dump round trip on the control
 // socket and returns the response's JSON payload.
 func (s *Stack) introspect(ctx context.Context, typ protocol.Type, containerID string) ([]byte, error) {
+	return s.callData(ctx, &protocol.Message{Type: typ, Container: containerID})
+}
+
+// callData performs one control-socket round trip and returns the
+// response's JSON payload.
+func (s *Stack) callData(ctx context.Context, msg *protocol.Message) ([]byte, error) {
 	s.mu.Lock()
 	ctl := s.ctl
 	started := s.started
@@ -353,7 +404,8 @@ func (s *Stack) introspect(ctx context.Context, typ protocol.Type, containerID s
 	if !started {
 		return nil, ErrNotStarted
 	}
-	resp, err := ctl.Call(ctx, &protocol.Message{Type: typ, Container: containerID})
+	typ := msg.Type
+	resp, err := ctl.Call(ctx, msg)
 	if err != nil {
 		return nil, fmt.Errorf("convgpu: %s: %w: %v", typ, ErrDaemonUnavailable, err)
 	}
@@ -428,9 +480,115 @@ func (s *Stack) Stats(ctx context.Context) ([]byte, error) {
 
 // Trace asks the live daemon for its retained event trace over the
 // control socket (obs.TraceDump). An empty containerID returns every
-// container's events.
+// container's events. The daemon pages trace responses to fit the IPC
+// frame bound; Trace follows the cursor until the ring is exhausted
+// and returns the merged dump, so a trace longer than one frame is no
+// longer silently truncated.
 func (s *Stack) Trace(ctx context.Context, containerID string) ([]byte, error) {
-	return s.introspect(ctx, protocol.TypeTrace, containerID)
+	var merged obs.TraceDump
+	first := true
+	after := uint64(0)
+	for {
+		data, err := s.callData(ctx, &protocol.Message{Type: protocol.TypeTrace, Container: containerID, After: after})
+		if err != nil {
+			return nil, err
+		}
+		var page obs.TraceDump
+		if err := json.Unmarshal(data, &page); err != nil {
+			return nil, fmt.Errorf("convgpu: trace: %w", err)
+		}
+		if first {
+			merged = page
+			first = false
+		} else {
+			merged.Capacity, merged.Total, merged.Dropped = page.Capacity, page.Total, page.Dropped
+			merged.Events = append(merged.Events, page.Events...)
+		}
+		if !page.More || len(page.Events) == 0 {
+			break
+		}
+		after = page.Events[len(page.Events)-1].Seq
+	}
+	merged.NextAfter, merged.More = 0, false
+	return json.Marshal(&merged)
+}
+
+// TracePage retrieves one bounded page of the event trace: up to limit
+// events with Seq > after. The returned dump's next_after/more fields
+// drive the next call — the building block Trace loops over.
+func (s *Stack) TracePage(ctx context.Context, containerID string, after uint64, limit int) ([]byte, error) {
+	return s.callData(ctx, &protocol.Message{Type: protocol.TypeTrace, Container: containerID, After: after, Size: int64(limit)})
+}
+
+// Sessions asks the live daemon for one page of its registered session
+// listing, ordered by container ID: entries with ID > after, at most
+// limit of them (0 = the daemon's page cap). With WithWAL the listing
+// reads the durable folded state; otherwise the live core.
+func (s *Stack) Sessions(ctx context.Context, after string, limit int) (SessionPage, error) {
+	data, err := s.callData(ctx, &protocol.Message{Type: protocol.TypeSessions, Container: after, Size: int64(limit)})
+	if err != nil {
+		return SessionPage{}, err
+	}
+	var page SessionPage
+	if err := json.Unmarshal(data, &page); err != nil {
+		return SessionPage{}, fmt.Errorf("convgpu: sessions: %w", err)
+	}
+	return page, nil
+}
+
+// Operations asks the live daemon for its retained admin operations,
+// newest first.
+func (s *Stack) Operations(ctx context.Context) ([]Operation, error) {
+	data, err := s.callData(ctx, &protocol.Message{Type: protocol.TypeOps})
+	if err != nil {
+		return nil, err
+	}
+	var ops []Operation
+	if err := json.Unmarshal(data, &ops); err != nil {
+		return nil, fmt.Errorf("convgpu: ops: %w", err)
+	}
+	return ops, nil
+}
+
+// Operation polls one admin operation by ID.
+func (s *Stack) Operation(ctx context.Context, id string) (Operation, error) {
+	data, err := s.callData(ctx, &protocol.Message{Type: protocol.TypeOps, Container: id})
+	if err != nil {
+		return Operation{}, err
+	}
+	var op Operation
+	if err := json.Unmarshal(data, &op); err != nil {
+		return Operation{}, fmt.Errorf("convgpu: ops: %w", err)
+	}
+	return op, nil
+}
+
+// WALStats reports the write-ahead log's counters; ok is false without
+// WithWAL or before Start.
+func (s *Stack) WALStats() (WALStats, bool) {
+	s.mu.Lock()
+	d := s.daemon
+	s.mu.Unlock()
+	if d == nil {
+		return WALStats{}, false
+	}
+	return d.WALStats()
+}
+
+// AdminHandler returns the versioned HTTP admin plane for the running
+// stack: read endpoints and async mutating verbs under /v1 (see
+// internal/admin), with request-ID correlation and per-client
+// throttling. It fronts the same daemon the control socket serves.
+// Fails before Start.
+func (s *Stack) AdminHandler() (http.Handler, error) {
+	s.mu.Lock()
+	d := s.daemon
+	started := s.started
+	s.mu.Unlock()
+	if !started || d == nil {
+		return nil, ErrNotStarted
+	}
+	return admin.New(admin.Config{Daemon: d})
 }
 
 // Dump asks the live daemon for a full state dump over the control
