@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: all build test vet check apicheck apigen race chaos chaos-nodes \
-	bench bench-all bench-recovery benchdiff clean model model-long \
-	fuzz-smoke cover recovery-smoke
+.PHONY: all build test vet lint check apicheck apigen race chaos chaos-nodes \
+	bench bench-all bench-recovery bench-policy benchdiff benchdiff-policy \
+	clean model model-long policy fuzz-smoke cover recovery-smoke
 
 all: build test
 
@@ -18,7 +18,16 @@ test:
 vet:
 	$(GO) vet ./...
 
-check: vet apicheck test fuzz-smoke cover recovery-smoke
+# lint is the static gate: go vet plus a gofmt cleanliness check (the
+# repo is stdlib-only, so vet and gofmt are the whole toolchain — no
+# external linters to vendor).
+lint: vet
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "lint: files need gofmt:"; echo "$$out"; exit 1; \
+	fi
+
+check: lint apicheck test policy fuzz-smoke cover recovery-smoke
 
 # apicheck guards the public facade: the exported API of package
 # convgpu is dumped in normalized form (tools/apidump) and diffed
@@ -77,6 +86,16 @@ model:
 
 model-long:
 	$(MAKE) model MODEL_SEEDS=64 MODEL_OPS=2000
+
+# policy is the conformance gate on the wake/placement policy registry:
+# the registry's own unit tests (alias resolution, byte-identical legacy
+# construction, ordering semantics of the tenant-aware policies, the
+# preemption never-loses-a-ticket property), plus the tenant conformance
+# and mutation-sensitivity sweeps that check every registered policy
+# against the fairness/quota oracle in internal/model under -race.
+policy:
+	$(GO) test -race -count=1 ./internal/policy
+	$(GO) test -race -count=1 -timeout 15m ./internal/model -run 'TestTenant|TestMutation' -model.seeds=$(MODEL_SEEDS) -model.ops=$(MODEL_OPS)
 
 # fuzz-smoke gives each protocol fuzz target a short native-fuzzing
 # budget on top of the committed seeds (which plain `go test` always
@@ -139,6 +158,15 @@ bench-recovery:
 	$(GO) test -run '^$$' -bench 'BenchmarkRecovery' -benchmem -count=1 -timeout 30m ./internal/wal | tee BENCH_recovery.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkRecovery' -benchmem -count=1 -timeout 30m -json ./internal/wal > BENCH_recovery.json
 
+# bench-policy captures the policy-registry artifact: per-policy admit
+# cost (which must stay flat and allocation-free across every registered
+# wake policy), the bare Pick decision over a fixed candidate set, and
+# the end-to-end preempt-admit cycle latency. BENCH_policy.txt is the
+# committed baseline benchdiff-policy gates against.
+bench-policy:
+	$(GO) test -run '^$$' -bench 'BenchmarkPolicy' -benchmem -count=1 . | tee BENCH_policy.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkPolicy' -benchmem -count=1 -json . > BENCH_policy.json
+
 # benchdiff compares the current hot-path numbers against the committed
 # BENCH_hotpath.txt baseline with the home-grown comparer (benchstat
 # itself is an external module this repo does not vendor). Informational
@@ -153,6 +181,16 @@ benchdiff:
 	@tmp=$$(mktemp); \
 	$(GO) test -run '^$$' -bench 'BenchmarkHotPath' -benchmem -count=1 . > $$tmp || { cat $$tmp; rm -f $$tmp; exit 1; }; \
 	$(GO) run ./tools/benchdiff -fail-over $(BENCHDIFF_FAIL_OVER) -threshold $(BENCHDIFF_THRESHOLD) BENCH_hotpath.txt $$tmp; \
+	status=$$?; rm -f $$tmp; exit $$status
+
+# benchdiff-policy is the same strict comparison against the committed
+# BENCH_policy.txt baseline: the per-policy admit benchmarks are 0
+# allocs/op by construction, so any allocation leaking onto the tenant
+# admit path fails the gate regardless of the ns/op threshold.
+benchdiff-policy:
+	@tmp=$$(mktemp); \
+	$(GO) test -run '^$$' -bench 'BenchmarkPolicy' -benchmem -count=1 . > $$tmp || { cat $$tmp; rm -f $$tmp; exit 1; }; \
+	$(GO) run ./tools/benchdiff -fail-over $(BENCHDIFF_FAIL_OVER) -threshold $(BENCHDIFF_THRESHOLD) BENCH_policy.txt $$tmp; \
 	status=$$?; rm -f $$tmp; exit $$status
 
 clean:

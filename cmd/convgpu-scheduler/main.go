@@ -8,6 +8,19 @@
 //
 //	convgpu-scheduler -basedir /var/run/convgpu -capacity 5GiB -algorithm bestfit
 //
+// -algorithm and -placement resolve through the unified policy registry
+// (internal/policy): the paper's four redistribution algorithms keep
+// their historical names and short aliases, and the tenant-aware
+// policies (fairshare, quota, priority; placement fragaware) are
+// selected the same way. -alg is a deprecated alias for -algorithm.
+//
+// With -tenant NAME[:WEIGHT[:PRIORITY[:QUOTA[:GUARANTEE]]]] (repeatable)
+// the daemon provisions named tenants: registrations carrying the
+// tenant name on the wire bind to the configured attributes, which the
+// tenant-aware policies consume (weights for fairshare, priorities for
+// priority preemption, quota/guarantee for the quota policy and the
+// admission clamps).
+//
 // With -devices N (N > 1) the daemon serves N GPUs from one control
 // socket: -capacity is read per device and -placement picks the device
 // placement policy for new containers (least-loaded by default).
@@ -47,6 +60,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -57,16 +72,65 @@ import (
 	"convgpu/internal/daemon"
 	"convgpu/internal/multigpu"
 	"convgpu/internal/obs"
+	"convgpu/internal/policy"
 	"convgpu/internal/wal"
 )
 
+// tenantFlag collects repeatable -tenant definitions:
+// NAME[:WEIGHT[:PRIORITY[:QUOTA[:GUARANTEE]]]], trailing parts optional.
+type tenantFlag struct{ defs []core.Tenant }
+
+func (f *tenantFlag) String() string {
+	parts := make([]string, len(f.defs))
+	for i, t := range f.defs {
+		parts[i] = t.Name
+	}
+	return strings.Join(parts, ",")
+}
+
+func (f *tenantFlag) Set(s string) error {
+	parts := strings.Split(s, ":")
+	if parts[0] == "" {
+		return fmt.Errorf("tenant definition %q has no name", s)
+	}
+	if len(parts) > 5 {
+		return fmt.Errorf("tenant definition %q has %d fields, want at most name:weight:priority:quota:guarantee", s, len(parts))
+	}
+	t := core.Tenant{Name: parts[0]}
+	var err error
+	if len(parts) > 1 && parts[1] != "" {
+		if t.Weight, err = strconv.Atoi(parts[1]); err != nil {
+			return fmt.Errorf("tenant %s: weight %q: %v", t.Name, parts[1], err)
+		}
+	}
+	if len(parts) > 2 && parts[2] != "" {
+		if t.Priority, err = strconv.Atoi(parts[2]); err != nil {
+			return fmt.Errorf("tenant %s: priority %q: %v", t.Name, parts[2], err)
+		}
+	}
+	if len(parts) > 3 && parts[3] != "" {
+		if t.Quota, err = bytesize.Parse(parts[3]); err != nil {
+			return fmt.Errorf("tenant %s: quota %q: %v", t.Name, parts[3], err)
+		}
+	}
+	if len(parts) > 4 && parts[4] != "" {
+		if t.Guarantee, err = bytesize.Parse(parts[4]); err != nil {
+			return fmt.Errorf("tenant %s: guarantee %q: %v", t.Name, parts[4], err)
+		}
+	}
+	f.defs = append(f.defs, t)
+	return nil
+}
+
 func main() {
+	var tenants tenantFlag
 	var (
 		baseDir   = flag.String("basedir", "", "directory for the control socket and per-container directories (required)")
 		capacity  = flag.String("capacity", "5GiB", "schedulable GPU memory")
-		algorithm = flag.String("algorithm", core.AlgFIFO, "redistribution algorithm: fifo|bestfit|recentuse|random")
+		algorithm = flag.String("algorithm", core.AlgFIFO, "wake-order policy: "+strings.Join(policy.WakeNames(), "|"))
+		algAlias  = flag.String("alg", "", "deprecated alias for -algorithm")
 		devices   = flag.Int("devices", 1, "number of GPUs to serve; -capacity is per device when > 1")
-		placement = flag.String("placement", multigpu.PolicyLeastLoaded, "device placement policy: roundrobin|leastloaded|firstfit|bestfit (multi-device only)")
+		placement = flag.String("placement", multigpu.PolicyLeastLoaded, "device placement policy: "+strings.Join(policy.PlaceNames(), "|")+" (multi-device only)")
 		nodes     = flag.Int("nodes", 1, "number of cluster nodes, each with -devices GPUs; > 1 enables the cluster tier")
 		strategy  = flag.String("strategy", cluster.StrategySpread, "node placement strategy: spread|binpack|random (cluster only)")
 		health    = flag.Duration("node-health", 0, "probe nodes at this interval, failing over unresponsive ones (0 = off; cluster only)")
@@ -79,18 +143,38 @@ func main() {
 		walDir    = flag.String("wal-dir", "", "write-ahead log directory; when set, admissions are durable and restart recovery replays the log (empty = session.json files)")
 		fsync     = flag.String("fsync", "always", "WAL fsync policy: always | none | a duration like 50ms (group commit)")
 	)
+	flag.Var(&tenants, "tenant", "provision a named tenant: NAME[:WEIGHT[:PRIORITY[:QUOTA[:GUARANTEE]]]] (repeatable)")
 	flag.Parse()
 	if *baseDir == "" {
 		fmt.Fprintln(os.Stderr, "convgpu-scheduler: -basedir is required")
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *algAlias != "" {
+		log.Printf("convgpu-scheduler: -alg is deprecated, use -algorithm")
+		*algorithm = *algAlias
+	}
 	cap, err := bytesize.Parse(*capacity)
 	if err != nil {
 		log.Fatalf("convgpu-scheduler: -capacity: %v", err)
 	}
+	// Resolve both policy names through the unified registry up front:
+	// legacy spellings and aliases map to their canonical names, unknown
+	// ones fail with the full policy list before anything is built.
+	algName, ok := policy.ResolveWake(*algorithm)
+	if !ok {
+		log.Fatalf("convgpu-scheduler: -algorithm: unknown policy %q (have %s)",
+			*algorithm, strings.Join(policy.WakeNames(), "|"))
+	}
+	placeName, ok := policy.ResolvePlace(*placement)
+	if !ok {
+		log.Fatalf("convgpu-scheduler: -placement: unknown policy %q (have %s)",
+			*placement, strings.Join(policy.PlaceNames(), "|"))
+	}
+	wakeFactory := func(seed int64) (core.Algorithm, error) {
+		return policy.NewWake(algName, policy.Config{Seed: seed})
+	}
 	var st core.Scheduler
-	var algName string
 	var clus *cluster.Cluster
 	if *nodes > 1 {
 		strat, err := cluster.NewStrategy(*strategy, *seed)
@@ -98,36 +182,40 @@ func main() {
 			log.Fatalf("convgpu-scheduler: -strategy: %v", err)
 		}
 		clus, err = cluster.New(cluster.Config{
-			Nodes:          *nodes,
-			GPUsPerNode:    *devices,
-			CapacityPerGPU: cap,
-			Algorithm:      *algorithm,
-			AlgSeed:        *seed,
-			DevicePolicy:   *placement,
-			Strategy:       strat,
+			Nodes:            *nodes,
+			GPUsPerNode:      *devices,
+			CapacityPerGPU:   cap,
+			Algorithm:        algName,
+			AlgorithmFactory: wakeFactory,
+			AlgSeed:          *seed,
+			DevicePolicyFactory: func() (multigpu.Policy, error) {
+				return policy.NewPlace(placeName, policy.Config{Seed: *seed})
+			},
+			Strategy: strat,
 		})
 		if err != nil {
 			log.Fatalf("convgpu-scheduler: %v", err)
 		}
-		st, algName = clus, *algorithm
+		st = clus
 	} else if *devices > 1 {
-		pol, err := multigpu.NewPolicy(*placement)
+		pol, err := policy.NewPlace(placeName, policy.Config{Seed: *seed})
 		if err != nil {
 			log.Fatalf("convgpu-scheduler: -placement: %v", err)
 		}
 		mg, err := multigpu.New(multigpu.Config{
 			Devices:           *devices,
 			CapacityPerDevice: cap,
-			Algorithm:         *algorithm,
+			Algorithm:         algName,
+			AlgorithmFactory:  wakeFactory,
 			AlgSeed:           *seed,
 			Policy:            pol,
 		})
 		if err != nil {
 			log.Fatalf("convgpu-scheduler: %v", err)
 		}
-		st, algName = mg, mg.AlgorithmName()
+		st = mg
 	} else {
-		alg, err := core.NewAlgorithm(*algorithm, *seed)
+		alg, err := policy.NewWake(algName, policy.Config{Seed: *seed})
 		if err != nil {
 			log.Fatalf("convgpu-scheduler: %v", err)
 		}
@@ -135,7 +223,7 @@ func main() {
 		if err != nil {
 			log.Fatalf("convgpu-scheduler: %v", err)
 		}
-		st, algName = single, alg.Name()
+		st = single
 	}
 	bundle := obs.New(obs.Config{Algorithm: algName, TraceCapacity: *traceCap})
 	var walLog *wal.Log
@@ -150,7 +238,7 @@ func main() {
 		}
 		defer walLog.Close()
 	}
-	d, err := daemon.Start(daemon.Config{BaseDir: *baseDir, Core: st, Lease: *lease, Obs: bundle, Logf: log.Printf, WAL: walLog})
+	d, err := daemon.Start(daemon.Config{BaseDir: *baseDir, Core: st, Lease: *lease, Obs: bundle, Logf: log.Printf, WAL: walLog, Tenants: tenants.defs})
 	if err != nil {
 		log.Fatalf("convgpu-scheduler: %v", err)
 	}
@@ -169,7 +257,7 @@ func main() {
 			*nodes, *devices, cap, algName, clus.StrategyName(), d.ControlSocket())
 	} else if *devices > 1 {
 		log.Printf("GPU memory scheduler up: devices=%d capacity=%v/device algorithm=%s placement=%s control=%s",
-			*devices, cap, algName, *placement, d.ControlSocket())
+			*devices, cap, algName, placeName, d.ControlSocket())
 	} else {
 		log.Printf("GPU memory scheduler up: capacity=%v algorithm=%s control=%s",
 			cap, algName, d.ControlSocket())
@@ -223,6 +311,10 @@ func main() {
 					log.Printf("  device %d: capacity=%v free=%v containers=%d",
 						dev.Index, dev.Capacity, dev.PoolFree, dev.Containers)
 				}
+			}
+			for _, t := range st.Tenants() {
+				log.Printf("  tenant %-12s weight=%d priority=%d quota=%v guarantee=%v containers=%d grant=%v used=%v pending=%d",
+					t.Name, t.Weight, t.Priority, t.Quota, t.Guarantee, t.Containers, t.Grant, t.Used, t.Pending)
 			}
 			for _, c := range snap {
 				state := "running"

@@ -11,6 +11,7 @@
 //	convgpu-stats -socket /var/run/convgpu/convgpu.sock devices
 //	convgpu-stats -socket /var/run/convgpu/convgpu.sock sessions [after]
 //	convgpu-stats -socket /var/run/convgpu/convgpu.sock ops [id]
+//	convgpu-stats -socket /var/run/convgpu/convgpu.sock tenants
 //	convgpu-stats -socket /var/run/convgpu/convgpu.sock nodes
 //	convgpu-stats -socket /var/run/convgpu/convgpu.sock drain 0
 //	convgpu-stats -socket /var/run/convgpu/convgpu.sock revive 0
@@ -20,6 +21,11 @@
 // The sessions query pages the registered-session listing (pass the
 // last container ID printed to continue); ops lists the admin plane's
 // retained operations, or polls one by ID.
+//
+// The tenants query renders the per-tenant usage rollup — one row per
+// named tenant with its configured weight, priority, quota and
+// guarantee next to its live container count, granted and used memory —
+// on a daemon whose containers registered under tenant identities.
 //
 // The devices query renders the dump's per-device breakdown as a table
 // (one row per GPU plus each container's device assignment) instead of
@@ -53,7 +59,7 @@ func main() {
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: convgpu-stats -socket PATH {stats | trace [container] | dump | devices | sessions [after] | ops [id] | nodes | drain NODE | revive NODE}\n")
+			"usage: convgpu-stats -socket PATH {stats | trace [container] | dump | devices | sessions [after] | ops [id] | tenants | nodes | drain NODE | revive NODE}\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -65,7 +71,7 @@ func main() {
 	var typ protocol.Type
 	var container string
 	var node int
-	var renderDevices, renderNodes bool
+	var renderDevices, renderNodes, renderTenants bool
 	switch flag.Arg(0) {
 	case "stats":
 		typ = protocol.TypeStats
@@ -83,6 +89,9 @@ func main() {
 	case "ops":
 		typ = protocol.TypeOps
 		container = flag.Arg(1) // operation ID; empty lists all
+	case "tenants":
+		typ = protocol.TypeTenants
+		renderTenants = true
 	case "nodes":
 		typ = protocol.TypeNodes
 		renderNodes = true
@@ -152,6 +161,13 @@ func main() {
 		}
 		return
 	}
+	if renderTenants {
+		if err := printTenants([]byte(resp.Data)); err != nil {
+			fmt.Fprintf(os.Stderr, "convgpu-stats: tenants: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	var pretty json.RawMessage = []byte(resp.Data)
 	out, err := json.MarshalIndent(pretty, "", "  ")
 	if err != nil {
@@ -204,6 +220,52 @@ func printNodes(data []byte) error {
 	for _, n := range nodes {
 		fmt.Printf("%-6d %-12s %-10s %-12v %-12v %-12d %d\n",
 			n.Index, n.Name, n.State, bytesize.Size(n.Capacity), bytesize.Size(n.Free), n.Containers, n.Failovers)
+	}
+	return nil
+}
+
+// tenantUsage mirrors the daemon's tenants payload (core.TenantUsage).
+type tenantUsage struct {
+	Name       string `json:"name"`
+	Weight     int    `json:"weight"`
+	Priority   int    `json:"priority"`
+	Quota      int64  `json:"quota"`
+	Guarantee  int64  `json:"guarantee"`
+	Containers int    `json:"containers"`
+	Suspended  int    `json:"suspended"`
+	Grant      int64  `json:"grant"`
+	Used       int64  `json:"used"`
+	Pending    int    `json:"pending"`
+}
+
+// printTenants renders the per-tenant usage rollup as a table. Weight 0
+// reads as the fair-share default (1); quota/guarantee 0 mean none.
+func printTenants(data []byte) error {
+	var tenants []tenantUsage
+	if err := json.Unmarshal(data, &tenants); err != nil {
+		return err
+	}
+	if len(tenants) == 0 {
+		fmt.Println("no named tenants registered")
+		return nil
+	}
+	fmt.Printf("%-16s %-7s %-5s %-10s %-10s %-11s %-10s %-10s %-10s %s\n",
+		"TENANT", "WEIGHT", "PRIO", "QUOTA", "GUARANTEE", "CONTAINERS", "SUSPENDED", "GRANT", "USED", "PENDING")
+	for _, t := range tenants {
+		weight := t.Weight
+		if weight <= 0 {
+			weight = 1
+		}
+		quota, guarantee := "-", "-"
+		if t.Quota > 0 {
+			quota = bytesize.Size(t.Quota).String()
+		}
+		if t.Guarantee > 0 {
+			guarantee = bytesize.Size(t.Guarantee).String()
+		}
+		fmt.Printf("%-16s %-7d %-5d %-10s %-10s %-11d %-10d %-10v %-10v %d\n",
+			t.Name, weight, t.Priority, quota, guarantee,
+			t.Containers, t.Suspended, bytesize.Size(t.Grant), bytesize.Size(t.Used), t.Pending)
 	}
 	return nil
 }

@@ -56,6 +56,7 @@ import (
 	"convgpu/internal/multigpu"
 	"convgpu/internal/nvdocker"
 	"convgpu/internal/plugin"
+	"convgpu/internal/policy"
 	"convgpu/internal/sim"
 	"convgpu/internal/workload"
 )
@@ -81,8 +82,37 @@ const (
 	Random    = core.AlgRandom
 )
 
+// Tenant-aware policy names from the unified policy registry: the three
+// wake-order policies for WithPolicy/WithAlgorithm and the
+// fragmentation-aware placement policy for WithPlacementPolicy.
+const (
+	FairShare = policy.WakeFairShare
+	QuotaFair = policy.WakeQuota
+	Priority  = policy.WakePriority
+	FragAware = policy.PlaceFragAware
+)
+
 // Algorithms lists the four algorithm names in the paper's order.
 func Algorithms() []string { return core.AlgorithmNames() }
+
+// Policies lists every registered wake-order policy: the paper's four
+// first, then the tenant-aware ones.
+func Policies() []string { return policy.WakeNames() }
+
+// PlacementPolicies lists every registered device placement policy.
+func PlacementPolicies() []string { return policy.PlaceNames() }
+
+// Tenant is the identity a container registers under on a shared
+// scheduler: name, fair-share weight, preemption priority, and optional
+// quota (hard per-device cap on summed grants) and guarantee (soft pool
+// reservation). Provision tenants with WithTenant; bind containers with
+// RunOptions.Tenant.
+type Tenant = core.Tenant
+
+// TenantUsage is one named tenant's aggregated scheduler state
+// (Stack.Tenants): configured attributes plus live containers, grants,
+// usage and pending requests.
+type TenantUsage = core.TenantUsage
 
 // Re-exported workload types (paper Table III).
 type ContainerType = workload.ContainerType

@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"convgpu/internal/clock"
+	"convgpu/internal/core"
 	"convgpu/internal/daemon"
 	"convgpu/internal/protocol"
 )
@@ -189,6 +190,13 @@ func (h *Handler) routes() *http.ServeMux {
 	mux.HandleFunc("GET /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
 		page := h.d.Sessions(r.URL.Query().Get("after"), intQuery(r, "limit", 0))
 		h.writeJSON(w, r, http.StatusOK, page)
+	})
+	mux.HandleFunc("GET /v1/tenants", func(w http.ResponseWriter, r *http.Request) {
+		tenants := h.d.Tenants()
+		if tenants == nil {
+			tenants = []core.TenantUsage{}
+		}
+		h.writeJSON(w, r, http.StatusOK, tenants)
 	})
 	mux.HandleFunc("GET /v1/nodes", func(w http.ResponseWriter, r *http.Request) {
 		nodes, err := h.d.NodeStatuses()

@@ -172,11 +172,20 @@ type Config struct {
 	CapacityPerGPU bytesize.Size
 	// Algorithm is the per-GPU redistribution algorithm name.
 	Algorithm string
+	// AlgorithmFactory, when non-nil, supplies each GPU's wake-order
+	// algorithm instead of resolving Algorithm by name — the policy
+	// registry's construction path. Called per GPU with its seed.
+	AlgorithmFactory func(seed int64) (core.Algorithm, error)
 	// AlgSeed seeds the Random redistribution algorithm.
 	AlgSeed int64
 	// DevicePolicy places containers on GPUs within a node (default
 	// least-loaded).
 	DevicePolicy string
+	// DevicePolicyFactory, when non-nil, supplies each node's device
+	// placement policy instead of resolving DevicePolicy by name —
+	// called once per node, so stateful policies (round-robin) stay
+	// per-node like the string path builds them.
+	DevicePolicyFactory func() (multigpu.Policy, error)
 	// Strategy places containers on nodes (default spread).
 	Strategy Strategy
 	// Clock is shared by every scheduler in the cluster.
@@ -264,7 +273,13 @@ func New(cfg Config) (*Cluster, error) {
 // exactly as it started, so a revived node is indistinguishable from a
 // freshly booted one (and the model oracle can mirror the reset).
 func (c *Cluster) newMember(i int) (core.Scheduler, error) {
-	pol, err := multigpu.NewPolicy(c.cfg.DevicePolicy)
+	var pol multigpu.Policy
+	var err error
+	if c.cfg.DevicePolicyFactory != nil {
+		pol, err = c.cfg.DevicePolicyFactory()
+	} else {
+		pol, err = multigpu.NewPolicy(c.cfg.DevicePolicy)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -272,6 +287,7 @@ func (c *Cluster) newMember(i int) (core.Scheduler, error) {
 		Devices:           c.cfg.GPUsPerNode,
 		CapacityPerDevice: c.cfg.CapacityPerGPU,
 		Algorithm:         c.cfg.Algorithm,
+		AlgorithmFactory:  c.cfg.AlgorithmFactory,
 		AlgSeed:           c.cfg.AlgSeed + int64(i)*100,
 		Policy:            pol,
 		Clock:             c.cfg.Clock,
@@ -309,10 +325,16 @@ func (c *Cluster) StrategyName() string { return c.strategy.Name() }
 // hold no capacity. With no eligible node at all, admission fails
 // closed with ErrDaemonUnavailable.
 func (c *Cluster) Register(id core.ContainerID, limit bytesize.Size) (bytesize.Size, error) {
+	return c.RegisterTenant(id, limit, core.Tenant{})
+}
+
+// RegisterTenant is Register carrying a tenant identity, forwarded to
+// the chosen node's scheduler.
+func (c *Cluster) RegisterTenant(id core.ContainerID, limit bytesize.Size, t core.Tenant) (bytesize.Size, error) {
 	c.regMu.Lock()
 	defer c.regMu.Unlock()
 	if n, err := c.PlacementIndex(id); err == nil {
-		return c.Member(n).Register(id, limit)
+		return c.Member(n).RegisterTenant(id, limit, t)
 	}
 	nodes, anyEligible := c.eligibleNodes()
 	if !anyEligible {
@@ -322,7 +344,7 @@ func (c *Cluster) Register(id core.ContainerID, limit bytesize.Size) (bytesize.S
 	if node < 0 || node >= c.NumMembers() || !c.eligible(node) {
 		return 0, fmt.Errorf("%w: no node can hold a %v container", core.ErrLimitExceedsCapacity, limit)
 	}
-	granted, err := c.Member(node).Register(id, limit)
+	granted, err := c.Member(node).RegisterTenant(id, limit, t)
 	if err != nil {
 		return 0, err
 	}
@@ -333,10 +355,16 @@ func (c *Cluster) Register(id core.ContainerID, limit bytesize.Size) (bytesize.S
 // EnsureRegistered routes to the recorded node when the container is
 // known and places it afresh otherwise.
 func (c *Cluster) EnsureRegistered(id core.ContainerID, limit bytesize.Size) (bytesize.Size, error) {
+	return c.EnsureRegisteredTenant(id, limit, core.Tenant{})
+}
+
+// EnsureRegisteredTenant is EnsureRegistered carrying a tenant
+// identity.
+func (c *Cluster) EnsureRegisteredTenant(id core.ContainerID, limit bytesize.Size, t core.Tenant) (bytesize.Size, error) {
 	if n, err := c.PlacementIndex(id); err == nil {
-		return c.Member(n).EnsureRegistered(id, limit)
+		return c.Member(n).EnsureRegisteredTenant(id, limit, t)
 	}
-	return c.Register(id, limit)
+	return c.RegisterTenant(id, limit, t)
 }
 
 // RestorePlacement pins a recovering container onto a node that serves

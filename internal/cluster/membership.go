@@ -162,6 +162,7 @@ func (c *Cluster) FailNode(node int) (core.FailoverReport, error) {
 	type dying struct {
 		id      core.ContainerID
 		limit   bytesize.Size
+		tenant  core.Tenant
 		pending []core.PendingRequest
 	}
 	old := c.Member(node)
@@ -173,7 +174,7 @@ func (c *Cluster) FailNode(node int) (core.FailoverReport, error) {
 			continue
 		}
 		pend, _ := old.PendingRequests(id)
-		doomed = append(doomed, dying{id: id, limit: info.Limit, pending: pend})
+		doomed = append(doomed, dying{id: id, limit: info.Limit, tenant: info.TenantDef, pending: pend})
 	}
 
 	// Install the replacement before re-placing anything, so migration
@@ -186,7 +187,7 @@ func (c *Cluster) FailNode(node int) (core.FailoverReport, error) {
 
 	report := core.FailoverReport{Node: node}
 	for _, d := range doomed {
-		move := core.ContainerMove{ID: d.id, Limit: d.limit, From: node, To: -1}
+		move := core.ContainerMove{ID: d.id, Limit: d.limit, Tenant: d.tenant, From: node, To: -1}
 		target := -1
 		if nodes, any := c.eligibleNodes(); any {
 			if n := c.strategy.Place(d.limit, nodes); n >= 0 && n < c.NumMembers() && c.eligible(n) {
@@ -194,7 +195,7 @@ func (c *Cluster) FailNode(node int) (core.FailoverReport, error) {
 			}
 		}
 		if target >= 0 {
-			granted, err := c.Member(target).Register(d.id, d.limit)
+			granted, err := c.Member(target).RegisterTenant(d.id, d.limit, d.tenant)
 			if err != nil {
 				target = -1
 			} else {

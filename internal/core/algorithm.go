@@ -11,12 +11,25 @@ import (
 
 // Candidate describes a paused container eligible for additional memory
 // during redistribution. Deficit is the memory still missing relative to
-// what the container requested at creation time (limit - grant).
+// what the container requested at creation time (limit - grant); with
+// named tenants active it is further capped by the tenant's quota
+// headroom and guarantee-reserved pool share (the effective deficit —
+// what the container could actually receive right now).
+//
+// The tenant fields are populated only while the scheduler has named
+// tenants registered; tenant-aware wake policies order candidates by
+// them, and the paper's four algorithms ignore them.
 type Candidate struct {
 	ID         ContainerID
 	CreatedSeq uint64 // creation order (smaller = older)
 	SuspendSeq uint64 // most recent suspension order (larger = more recent)
 	Deficit    bytesize.Size
+
+	Tenant          string        // tenant name ("" = default tenant)
+	TenantWeight    int           // fair-share weight (0 reads as 1)
+	TenantPriority  int           // preemption priority
+	TenantGrant     bytesize.Size // tenant's summed grants on this device
+	TenantGuarantee bytesize.Size // tenant's soft reservation
 }
 
 // Algorithm selects which paused container receives freed GPU memory

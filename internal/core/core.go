@@ -200,6 +200,7 @@ type containerState struct {
 	mu sync.Mutex
 
 	id         ContainerID
+	tenant     Tenant
 	limit      bytesize.Size
 	grant      bytesize.Size
 	used       bytesize.Size
@@ -246,6 +247,13 @@ type State struct {
 	nextSeq    uint64
 	nextTicket Ticket
 	closedIDs  map[ContainerID]bool
+
+	// namedTenants counts registered containers bound to a named (non
+	// default) tenant. Zero means every tenant-aware clamp and the
+	// preemption hook are skipped, keeping the single-tenant scheduler
+	// byte-identical to its pre-tenant behavior. Changes only under
+	// lockAll (register, close, tenant adoption).
+	namedTenants int
 
 	// eventSeq numbers events across all shard logs (see events.go).
 	eventSeq atomic.Uint64
@@ -345,14 +353,10 @@ func (s *State) AlgorithmName() string { return s.cfg.Algorithm.Name() }
 // Register admits a new container with its creation-time memory request
 // (paper: sent by the customized nvidia-docker before the container is
 // created). It returns the memory granted immediately, which may be
-// partial (Fig. 3b) or zero.
+// partial (Fig. 3b) or zero. The container belongs to the default
+// tenant; RegisterTenant carries a tenant identity.
 func (s *State) Register(id ContainerID, limit bytesize.Size) (granted bytesize.Size, err error) {
-	s.lockAll()
-	defer s.unlockAll()
-	if _, ok := s.lookupLocked(id); ok {
-		return 0, fmt.Errorf("%w: %s", ErrDuplicateContainer, id)
-	}
-	return s.registerLocked(id, limit)
+	return s.RegisterTenant(id, limit, Tenant{})
 }
 
 // EnsureRegistered is Register that tolerates the container already
@@ -361,20 +365,13 @@ func (s *State) Register(id ContainerID, limit bytesize.Size) (granted bytesize.
 // The daemon uses it to re-adopt persisted sessions after a restart —
 // whether the scheduler state survived (same core) or is being rebuilt.
 func (s *State) EnsureRegistered(id ContainerID, limit bytesize.Size) (granted bytesize.Size, err error) {
-	s.lockAll()
-	defer s.unlockAll()
-	if c, ok := s.lookupLocked(id); ok {
-		if c.limit != limit {
-			return 0, fmt.Errorf("%w: %s has %v, got %v", ErrLimitMismatch, id, c.limit, limit)
-		}
-		return c.grant, nil
-	}
-	return s.registerLocked(id, limit)
+	return s.EnsureRegisteredTenant(id, limit, Tenant{})
 }
 
-// registerLocked is the shared body of Register and EnsureRegistered.
-// The caller holds lockAll and has established that id is free.
-func (s *State) registerLocked(id ContainerID, limit bytesize.Size) (bytesize.Size, error) {
+// registerLocked is the shared body of Register and EnsureRegistered
+// (and their tenant-carrying variants). The caller holds lockAll and
+// has established that id is free.
+func (s *State) registerLocked(id ContainerID, limit bytesize.Size, t Tenant) (bytesize.Size, error) {
 	if limit <= 0 {
 		return 0, ErrInvalidLimit
 	}
@@ -384,6 +381,7 @@ func (s *State) registerLocked(id ContainerID, limit bytesize.Size) (bytesize.Si
 	s.nextSeq++
 	c := &containerState{
 		id:         id,
+		tenant:     t,
 		limit:      limit,
 		createdSeq: s.nextSeq,
 		createdAt:  s.cfg.Clock.Now(),
@@ -393,8 +391,14 @@ func (s *State) registerLocked(id ContainerID, limit bytesize.Size) (bytesize.Si
 	if c.grant > s.pool {
 		c.grant = s.pool
 	}
+	if t.Name != "" || s.namedTenants > 0 {
+		c.grant = s.clampTakeLocked(c, c.grant)
+	}
 	s.pool -= c.grant
 	s.shardFor(id).containers[id] = c
+	if t.Name != "" {
+		s.namedTenants++
+	}
 	delete(s.closedIDs, id)
 	s.logEvent(EvRegister, id, 0, c.grant)
 	return c.grant, nil
@@ -460,10 +464,20 @@ func (s *State) RequestAlloc(id ContainerID, pid int, size bytesize.Size) (Alloc
 		if take > s.pool {
 			take = s.pool
 		}
+		if s.namedTenants > 0 {
+			take = s.clampTakeLocked(c, take)
+		}
 		c.grant += take
 		s.pool -= take
 	}
 	if c.used+charge <= c.grant {
+		s.admit(c, pid, size)
+		s.logEvent(EvAccept, id, pid, charge)
+		return AllocResult{Decision: Accept}, nil
+	}
+	if s.namedTenants > 0 && s.tryPreemptLocked(c, charge) {
+		// A preempting algorithm reclaimed enough unused grant from
+		// lower-ranked holders to admit the request in place.
 		s.admit(c, pid, size)
 		s.logEvent(EvAccept, id, pid, charge)
 		return AllocResult{Decision: Accept}, nil
@@ -619,6 +633,13 @@ func (s *State) Restore(id ContainerID, pid int, addr uint64, size bytesize.Size
 		if need > s.pool {
 			return fmt.Errorf("%w: container %s needs %v, pool has %v",
 				ErrRestoreInfeasible, id, need, s.pool)
+		}
+		// The quota is a hard invariant, so a restore cannot grow the
+		// tenant's grants past it; guarantees are soft reservations and do
+		// not fail recovery.
+		if s.namedTenants > 0 && s.quotaHeadroomLocked(c.tenant) < need {
+			return fmt.Errorf("%w: container %s needs %v beyond tenant %q quota",
+				ErrRestoreInfeasible, id, need, c.tenant.Name)
 		}
 		c.grant += need
 		s.pool -= need
@@ -822,6 +843,9 @@ func (s *State) Close(id ContainerID) (bytesize.Size, Update, error) {
 	released := c.grant
 	s.pool += c.grant
 	delete(s.shardFor(id).containers, id)
+	if c.tenant.Name != "" {
+		s.namedTenants--
+	}
 	s.closedIDs[id] = true
 	s.logEvent(EvClose, id, 0, released)
 	more := s.afterRelease()
@@ -914,6 +938,9 @@ func (s *State) rescueLocked() []Admitted {
 			if need > s.pool {
 				continue // infeasible right now
 			}
+			if s.namedTenants > 0 && s.quotaHeadroomLocked(c.tenant) < need {
+				continue // the rescue pass may ignore soft guarantees, not quotas
+			}
 			if pick == nil || need < pickNeed {
 				pick, pickNeed = c, need
 			}
@@ -981,7 +1008,11 @@ func (s *State) redistributeLocked() []Admitted {
 			break
 		}
 		c := byIdx[i]
-		give := c.limit - c.grant
+		// Candidate.Deficit is the effective deficit — limit-grant, already
+		// capped by the tenant's quota headroom and guarantee-reserved pool
+		// share when named tenants are active — so the give can never bust
+		// a tenant cap, and a picked candidate always receives > 0.
+		give := cands[i].Deficit
 		if give > s.pool {
 			give = s.pool
 		}
@@ -999,10 +1030,19 @@ func (s *State) redistributeLocked() []Admitted {
 }
 
 // candidatesLocked assembles the paused containers (those with pending
-// requests), ordered by creation.
+// requests), ordered by creation. With named tenants active, each
+// candidate's Deficit is the *effective* deficit — capped by its
+// tenant's quota headroom and guarantee-reserved pool share — and
+// candidates whose effective deficit is zero are excluded entirely, so
+// the redistribution loop cannot spin on a capped tenant; the tenant
+// identity fields let tenant-aware wake policies order candidates.
 func (s *State) candidatesLocked() ([]Candidate, []*containerState) {
 	var cands []Candidate
 	var byIdx []*containerState
+	var grantSums map[string]bytesize.Size
+	if s.namedTenants > 0 {
+		grantSums = s.tenantGrantSumsLocked()
+	}
 	for _, c := range s.sortedContainersLocked() {
 		if len(c.pending) == 0 || c.grant >= c.limit {
 			// Not paused, or already holds its full creation-time request
@@ -1010,12 +1050,29 @@ func (s *State) candidatesLocked() ([]Candidate, []*containerState) {
 			// frees): more memory cannot help it.
 			continue
 		}
-		cands = append(cands, Candidate{
+		cand := Candidate{
 			ID:         c.id,
 			CreatedSeq: c.createdSeq,
 			SuspendSeq: c.suspendSeq,
 			Deficit:    c.limit - c.grant,
-		})
+		}
+		if s.namedTenants > 0 {
+			if hr := s.quotaHeadroomLocked(c.tenant); cand.Deficit > hr {
+				cand.Deficit = hr
+			}
+			if avail := s.availableForLocked(c.tenant); cand.Deficit > avail {
+				cand.Deficit = avail
+			}
+			if cand.Deficit <= 0 {
+				continue // capped: more memory cannot legally reach it
+			}
+			cand.Tenant = c.tenant.Name
+			cand.TenantWeight = c.tenant.Weight
+			cand.TenantPriority = c.tenant.Priority
+			cand.TenantGrant = grantSums[c.tenant.Name]
+			cand.TenantGuarantee = c.tenant.Guarantee
+		}
+		cands = append(cands, cand)
 		byIdx = append(byIdx, c)
 	}
 	return cands, byIdx
@@ -1054,7 +1111,12 @@ func (s *State) noteSuspensionEnd(c *containerState) {
 
 // ContainerInfo is a snapshot of one container's scheduler state.
 type ContainerInfo struct {
-	ID        ContainerID
+	ID ContainerID
+	// Tenant is the name of the tenant the container registered under
+	// (empty for the default tenant); TenantDef is the full identity —
+	// failover re-registers the container with it on the surviving node.
+	Tenant    string
+	TenantDef Tenant
 	Limit     bytesize.Size
 	Grant     bytesize.Size
 	Used      bytesize.Size
@@ -1077,6 +1139,8 @@ func (s *State) Snapshot() []ContainerInfo {
 	for _, c := range s.sortedContainersLocked() {
 		info := ContainerInfo{
 			ID:             c.id,
+			Tenant:         c.tenant.Name,
+			TenantDef:      c.tenant,
 			Limit:          c.limit,
 			Grant:          c.grant,
 			Used:           c.used,
@@ -1209,6 +1273,27 @@ func (s *State) CheckInvariants() error {
 	}
 	if grantSum+s.pool != s.cfg.Capacity {
 		return fmt.Errorf("core: grants %v + pool %v != capacity %v", grantSum, s.pool, s.cfg.Capacity)
+	}
+	if s.namedTenants > 0 {
+		// Per-tenant quota invariant: a tenant's summed grants never
+		// exceed its quota. Containers of one tenant should agree on the
+		// quota; if they do not, the loosest (largest) binding is checked.
+		sums := make(map[string]bytesize.Size)
+		quotas := make(map[string]bytesize.Size)
+		for _, c := range s.allContainersLocked() {
+			if c.tenant.Name == "" {
+				continue
+			}
+			sums[c.tenant.Name] += c.grant
+			if c.tenant.Quota > quotas[c.tenant.Name] {
+				quotas[c.tenant.Name] = c.tenant.Quota
+			}
+		}
+		for name, q := range quotas {
+			if q > 0 && sums[name] > q {
+				return fmt.Errorf("core: tenant %s grants %v exceed quota %v", name, sums[name], q)
+			}
+		}
 	}
 	return nil
 }

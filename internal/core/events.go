@@ -28,11 +28,12 @@ const (
 	EvClose                     // container closed; Amount = returned grant
 	EvRestore                   // re-attach restore; Amount = charged size
 	EvDrop                      // parked tickets dropped (connection died)
+	EvPreempt                   // unused grant reclaimed by a preempting policy; Amount = memory taken
 )
 
 // NumEventKinds bounds the EventKind space so observers can index
 // fixed-size per-kind tables.
-const NumEventKinds = int(EvDrop) + 1
+const NumEventKinds = int(EvPreempt) + 1
 
 func (k EventKind) String() string {
 	switch k {
@@ -62,6 +63,8 @@ func (k EventKind) String() string {
 		return "restore"
 	case EvDrop:
 		return "drop"
+	case EvPreempt:
+		return "preempt"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}

@@ -119,7 +119,11 @@ type TicketMove struct {
 type ContainerMove struct {
 	ID    ContainerID
 	Limit bytesize.Size
-	From  int
+	// Tenant is the container's tenant identity, carried across the
+	// failover so the surviving node re-registers it under the same
+	// quota/priority accounting (zero for the default tenant).
+	Tenant Tenant
+	From   int
 	// To is the surviving node, or -1 when Evicted.
 	To      int
 	Evicted bool

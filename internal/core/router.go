@@ -291,6 +291,38 @@ func (r *Router) SetObserver(fn func(EventRecord)) {
 	}
 }
 
+// Tenants merges the members' per-tenant aggregations by tenant name,
+// summing the usage counters; the attribute fields (weight, priority,
+// quota, guarantee) come from whichever member reported the tenant
+// first — registrations carry the same attributes to every member, so
+// they agree. Sorted by name. Like Register, the tenant-carrying
+// registrations stay with the embedding type: they are placement
+// decisions.
+func (r *Router) Tenants() []TenantUsage {
+	byName := make(map[string]*TenantUsage)
+	for _, m := range r.membersView() {
+		for _, u := range m.Tenants() {
+			have, ok := byName[u.Name]
+			if !ok {
+				c := u
+				byName[u.Name] = &c
+				continue
+			}
+			have.Containers += u.Containers
+			have.Suspended += u.Suspended
+			have.Grant += u.Grant
+			have.Used += u.Used
+			have.Pending += u.Pending
+		}
+	}
+	out := make([]TenantUsage, 0, len(byName))
+	for _, u := range byName {
+		out = append(out, *u)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
 // PausedContainers sums the members' suspended-container counts.
 func (r *Router) PausedContainers() int {
 	var n int

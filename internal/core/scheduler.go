@@ -32,6 +32,14 @@ type Scheduler interface {
 	Close(id ContainerID) (bytesize.Size, Update, error)
 	MemInfo(id ContainerID) (free, total bytesize.Size, err error)
 
+	// Tenant plane: registration carrying a tenant identity (the zero
+	// Tenant is the default tenant and behaves exactly like the plain
+	// calls), plus the per-tenant usage aggregation the admin surfaces
+	// render.
+	RegisterTenant(id ContainerID, limit bytesize.Size, t Tenant) (bytesize.Size, error)
+	EnsureRegisteredTenant(id ContainerID, limit bytesize.Size, t Tenant) (bytesize.Size, error)
+	Tenants() []TenantUsage
+
 	// Session recovery (PR 2): idempotent re-registration, replayed
 	// allocations, and parked-ticket cleanup when a connection dies.
 	EnsureRegistered(id ContainerID, limit bytesize.Size) (bytesize.Size, error)

@@ -82,6 +82,13 @@ type Config struct {
 	// obs bundle exports the log's counters. The caller owns the log's
 	// lifecycle — open it before Start, close it after Close.
 	WAL *wal.Log
+	// Tenants is the operator's static tenant table. A registration
+	// naming one of these tenants uses the configured definition,
+	// overriding any attributes the wire message carries; names the
+	// table does not know are adopted from the wire. Empty is fine —
+	// every container then belongs to the default tenant unless its
+	// registration says otherwise.
+	Tenants []core.Tenant
 }
 
 // Daemon is a running scheduler service.
@@ -111,7 +118,13 @@ type Daemon struct {
 	parked  map[parkedKey]parkedResponder
 	servers map[core.ContainerID]*ipc.Server
 	dirs    map[core.ContainerID]string
-	closed  bool
+	// tenantDefs is the resolved tenant table: Config.Tenants seeded at
+	// Start, WAL-recovered definitions merged under it, inline wire
+	// definitions adopted on first sight. tenantLogged marks the names
+	// whose current definition is durable in the WAL.
+	tenantDefs   map[string]core.Tenant
+	tenantLogged map[string]bool
+	closed       bool
 }
 
 // parkedKey identifies a parked response. Tickets are only unique per
@@ -170,15 +183,26 @@ func Start(cfg Config) (*Daemon, error) {
 		cfg.Logf = func(string, ...any) {}
 	}
 	d := &Daemon{
-		cfg:      cfg,
-		clk:      cfg.Clock,
-		obs:      cfg.Obs,
-		wire:     &ipc.WireStats{},
-		parked:   make(map[parkedKey]parkedResponder),
-		servers:  make(map[core.ContainerID]*ipc.Server),
-		dirs:     make(map[core.ContainerID]string),
-		reapStop: make(chan struct{}),
-		reapDone: make(chan struct{}),
+		cfg:          cfg,
+		clk:          cfg.Clock,
+		obs:          cfg.Obs,
+		wire:         &ipc.WireStats{},
+		parked:       make(map[parkedKey]parkedResponder),
+		servers:      make(map[core.ContainerID]*ipc.Server),
+		dirs:         make(map[core.ContainerID]string),
+		tenantDefs:   make(map[string]core.Tenant),
+		tenantLogged: make(map[string]bool),
+		reapStop:     make(chan struct{}),
+		reapDone:     make(chan struct{}),
+	}
+	for _, t := range cfg.Tenants {
+		if t.Name == "" {
+			return nil, fmt.Errorf("daemon: Config.Tenants entry without a name")
+		}
+		if _, dup := d.tenantDefs[t.Name]; dup {
+			return nil, fmt.Errorf("daemon: Config.Tenants defines %q twice", t.Name)
+		}
+		d.tenantDefs[t.Name] = t
 	}
 	if fs, ok := cfg.Core.(core.FailoverSource); ok {
 		// A cluster backend reports node failovers synchronously; the
@@ -284,10 +308,11 @@ func (d *Daemon) containerDir(id core.ContainerID) string {
 }
 
 // register implements the Register control message: it admits the
-// container with the core, prepares its directory, socket and wrapper
-// module copy, and reports the directory back to nvidia-docker.
-func (d *Daemon) register(id core.ContainerID, limit int64) (*protocol.Message, error) {
-	granted, err := d.cfg.Core.Register(id, bytesize.Size(limit))
+// container with the core under its resolved tenant, prepares its
+// directory, socket and wrapper module copy, and reports the directory
+// back to nvidia-docker.
+func (d *Daemon) register(id core.ContainerID, limit int64, t core.Tenant) (*protocol.Message, error) {
+	granted, err := d.cfg.Core.RegisterTenant(id, bytesize.Size(limit), t)
 	if err != nil {
 		return nil, err
 	}
@@ -310,14 +335,19 @@ func (d *Daemon) register(id core.ContainerID, limit int64) (*protocol.Message, 
 		return nil, fmt.Errorf("daemon: write wrapper module: %w", err)
 	}
 	// Persist the admission before acknowledging it: a registration the
-	// daemon cannot make durable is unwound, not acked.
+	// daemon cannot make durable is unwound, not acked. The tenant's
+	// definition lands first so replay folds it before the session that
+	// references it.
 	if d.cfg.WAL == nil {
-		if err := writeSessionFile(dir, id, bytesize.Size(limit), device); err != nil {
+		if err := writeSessionFile(dir, id, bytesize.Size(limit), device, t); err != nil {
 			d.cfg.Core.Close(id)
 			return nil, err
 		}
+	} else if err := d.persistTenant(t); err != nil {
+		d.cfg.Core.Close(id)
+		return nil, err
 	} else if err := d.walAppend(wal.Record{
-		Kind: wal.KindRegister, Container: string(id), Amount: limit, Device: int32(device),
+		Kind: wal.KindRegister, Container: string(id), Amount: limit, Device: int32(device), Tenant: t.Name,
 	}); err != nil {
 		d.cfg.Core.Close(id)
 		return nil, err
@@ -492,7 +522,7 @@ func (h controlHandler) Handle(conn *ipc.ServerConn, msg *protocol.Message, resp
 func (h controlHandler) handle(conn *ipc.ServerConn, msg *protocol.Message, respond func(*protocol.Message)) {
 	switch msg.Type {
 	case protocol.TypeRegister:
-		resp, err := h.d.register(core.ContainerID(msg.Container), msg.Limit)
+		resp, err := h.d.register(core.ContainerID(msg.Container), msg.Limit, h.d.resolveTenant(msg))
 		if err != nil {
 			respond(codedError(msg, err))
 			return
@@ -513,6 +543,8 @@ func (h controlHandler) handle(conn *ipc.ServerConn, msg *protocol.Message, resp
 		h.d.handleSessions(msg, respond)
 	case protocol.TypeOps:
 		h.d.handleOps(msg, respond)
+	case protocol.TypeTenants:
+		h.d.handleTenants(msg, respond)
 	default:
 		respond(protocol.ErrorResponse(msg, "daemon: unexpected %s on control socket", msg.Type))
 	}
@@ -625,9 +657,35 @@ func (h containerHandler) handle(conn *ipc.ServerConn, msg *protocol.Message, re
 		// session file (restarted daemon); either way the container must
 		// be known — an attach for an unknown one is refused so the
 		// wrapper does not run against a scheduler with no account of it.
-		if _, err := c.Info(h.id); err != nil {
+		info, err := c.Info(h.id)
+		if err != nil {
 			respond(codedError(msg, err))
 			return
+		}
+		if msg.Tenant != "" && info.Tenant != msg.Tenant {
+			// A pre-tenant session re-attaching under a tenant identity:
+			// adopt the binding (the core keeps an existing conflicting
+			// binding per the EnsureRegisteredTenant contract) and make
+			// the rebind durable so replay converges on it.
+			t := h.d.resolveTenant(msg)
+			if _, err := c.EnsureRegisteredTenant(h.id, info.Limit, t); err == nil {
+				device, _ := c.Placement(h.id)
+				if h.d.cfg.WAL == nil {
+					if dir, ok := h.d.sessionDirFor(h.id); ok {
+						if err := writeSessionFile(dir, h.id, info.Limit, device, t); err != nil {
+							h.d.cfg.Logf("daemon: attach %q: tenant rebind not persisted: %v", h.id, err)
+						}
+					}
+				} else if err := h.d.persistTenant(t); err != nil {
+					h.d.cfg.Logf("daemon: attach %q: tenant definition not persisted: %v", h.id, err)
+				} else if err := h.d.walAppend(wal.Record{
+					Kind: wal.KindRegister, Container: string(h.id),
+					Amount: int64(info.Limit), Device: int32(device), Tenant: t.Name,
+					Meta: "tenant adopted at attach",
+				}); err != nil {
+					h.d.cfg.Logf("daemon: attach %q: tenant rebind not persisted: %v", h.id, err)
+				}
+			}
 		}
 		m := ok()
 		if device, err := c.Placement(h.id); err == nil {

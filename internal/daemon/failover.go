@@ -141,9 +141,13 @@ func (d *Daemon) handleFailover(rep core.FailoverReport) {
 		if d.cfg.WAL != nil {
 			// The migrate record folds to the session's new placement on
 			// replay — the WAL-mode equivalent of the session-file rewrite.
+			// The tenant binding travels with it (definition first).
+			if err := d.persistTenant(mv.Tenant); err != nil {
+				d.cfg.Logf("daemon: failover: persist tenant for %s: %v", mv.ID, err)
+			}
 			if err := d.walAppend(wal.Record{
 				Kind: wal.KindMigrate, Container: string(mv.ID),
-				Amount: int64(mv.Limit), Device: int32(device),
+				Amount: int64(mv.Limit), Device: int32(device), Tenant: mv.Tenant.Name,
 				Meta: fmt.Sprintf("node %d -> %d", mv.From, mv.To),
 			}); err != nil {
 				d.cfg.Logf("daemon: failover: persist migration %s: %v", mv.ID, err)
@@ -153,7 +157,7 @@ func (d *Daemon) handleFailover(rep core.FailoverReport) {
 			dir := d.dirs[mv.ID]
 			d.mu.Unlock()
 			if dir != "" {
-				if err := writeSessionFile(dir, mv.ID, mv.Limit, device); err != nil {
+				if err := writeSessionFile(dir, mv.ID, mv.Limit, device, mv.Tenant); err != nil {
 					d.cfg.Logf("daemon: failover: rewrite session %s: %v", mv.ID, err)
 				}
 			}

@@ -36,10 +36,22 @@ type sessionRecord struct {
 	Container string `json:"container"`
 	Limit     int64  `json:"limit"`
 	Device    int    `json:"device,omitempty"`
+	// Tenant identity travels with the session so a restarted daemon
+	// re-binds the container to the same tenant with the same
+	// scheduling attributes (the configured table still wins).
+	Tenant          string `json:"tenant,omitempty"`
+	TenantWeight    int    `json:"tenant_weight,omitempty"`
+	TenantPriority  int    `json:"tenant_priority,omitempty"`
+	TenantQuota     int64  `json:"tenant_quota,omitempty"`
+	TenantGuarantee int64  `json:"tenant_guarantee,omitempty"`
 }
 
-func writeSessionFile(dir string, id core.ContainerID, limit bytesize.Size, device int) error {
-	data, err := json.Marshal(sessionRecord{Container: string(id), Limit: int64(limit), Device: device})
+func writeSessionFile(dir string, id core.ContainerID, limit bytesize.Size, device int, t core.Tenant) error {
+	data, err := json.Marshal(sessionRecord{
+		Container: string(id), Limit: int64(limit), Device: device,
+		Tenant: t.Name, TenantWeight: t.Weight, TenantPriority: t.Priority,
+		TenantQuota: int64(t.Quota), TenantGuarantee: int64(t.Guarantee),
+	})
 	if err != nil {
 		return fmt.Errorf("daemon: encode session record: %w", err)
 	}
@@ -112,7 +124,8 @@ func (d *Daemon) recoverSessions() error {
 			d.discardSession(dir, e.Name(), fmt.Errorf("device %d not restorable: %w", rec.Device, err))
 			continue
 		}
-		if _, err := d.cfg.Core.EnsureRegistered(id, bytesize.Size(rec.Limit)); err != nil {
+		t := d.tenantFromParts(rec.Tenant, rec.TenantWeight, rec.TenantPriority, rec.TenantQuota, rec.TenantGuarantee)
+		if _, err := d.cfg.Core.EnsureRegisteredTenant(id, bytesize.Size(rec.Limit), t); err != nil {
 			d.discardSession(dir, e.Name(), fmt.Errorf("registration refused: %w", err))
 			continue
 		}

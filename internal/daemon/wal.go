@@ -83,13 +83,34 @@ func (d *Daemon) recoverFromWAL() error {
 			return err
 		}
 	}
+	// Adopt the log's folded tenant definitions. The configured table
+	// still wins for names it defines; for those, the durable copy is
+	// considered logged only when it already matches, so the next
+	// registration under the name re-appends the overriding definition.
+	d.mu.Lock()
+	for _, def := range l.Tenants() {
+		t := core.Tenant{
+			Name: def.Name, Weight: def.Weight, Priority: def.Priority,
+			Quota: bytesize.Size(def.Quota), Guarantee: bytesize.Size(def.Guarantee),
+		}
+		if cfgDef, ok := d.tenantDefs[def.Name]; ok {
+			if cfgDef == t {
+				d.tenantLogged[def.Name] = true
+			}
+			continue
+		}
+		d.tenantDefs[def.Name] = t
+		d.tenantLogged[def.Name] = true
+	}
+	d.mu.Unlock()
 	for _, s := range l.Sessions() {
 		id := core.ContainerID(s.Container)
 		if err := d.cfg.Core.RestorePlacement(id, s.Device); err != nil {
 			d.discardWALSession(id, fmt.Errorf("device %d not restorable: %w", s.Device, err))
 			continue
 		}
-		if _, err := d.cfg.Core.EnsureRegistered(id, bytesize.Size(s.Limit)); err != nil {
+		t := d.tenantFromParts(s.Tenant, 0, 0, 0, 0)
+		if _, err := d.cfg.Core.EnsureRegisteredTenant(id, bytesize.Size(s.Limit), t); err != nil {
 			d.discardWALSession(id, fmt.Errorf("registration refused: %w", err))
 			continue
 		}

@@ -83,7 +83,7 @@ func runChaosMultiDeviceSchedule(t *testing.T, seed int64) {
 		if i >= 2 {
 			limit = cmib(chaosLimitB)
 		}
-		socks[i] = chaosRegister(t, ctl, id, limit)
+		socks[i] = chaosRegister(t, ctl, id, limit, core.Tenant{})
 		wantDev := i % 2
 		if dev, err := st.Placement(core.ContainerID(id)); err != nil || dev != wantDev {
 			t.Fatalf("placement %s = (%d, %v), want device %d", id, dev, err, wantDev)

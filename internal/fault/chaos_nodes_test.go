@@ -93,7 +93,7 @@ func runNodeKillSchedule(t *testing.T, seed int64) {
 
 	socks := make([]string, nodeContainers)
 	for i := range socks {
-		socks[i] = chaosRegister(t, ctl, fmt.Sprintf("c%d", i), cmib(nodeLimit))
+		socks[i] = chaosRegister(t, ctl, fmt.Sprintf("c%d", i), cmib(nodeLimit), core.Tenant{})
 	}
 
 	ctx, cancel := context.WithCancel(context.Background())

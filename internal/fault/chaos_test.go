@@ -41,6 +41,30 @@ const (
 
 func cmib(n int) bytesize.Size { return bytesize.Size(n) * bytesize.MiB }
 
+// chaosTenants is the two-tenant table every chaos schedule registers
+// under: both carry a hard quota below the device capacity, so the
+// tenant quota invariant (sum of a tenant's grants never exceeds its
+// quota) is live on every interleaving the fault plan produces —
+// including mid-reconnect replays and watchdog-cancelled teardowns.
+func chaosTenants() (a, b core.Tenant) {
+	a = core.Tenant{Name: "alpha", Weight: 2, Priority: 5, Quota: cmib(768)}
+	b = core.Tenant{Name: "beta", Weight: 1, Priority: 1, Quota: cmib(512)}
+	return
+}
+
+// checkTenantQuotas asserts the hard quota invariant over the live
+// rollup. CheckInvariants enforces the same bound inside the core; this
+// re-derives it from the public Tenants() surface so a rollup bug can't
+// mask a quota breach (or vice versa).
+func checkTenantQuotas(st core.Scheduler) error {
+	for _, tu := range st.Tenants() {
+		if tu.Quota > 0 && tu.Grant > tu.Quota {
+			return fmt.Errorf("tenant %s grant %v exceeds quota %v", tu.Name, tu.Grant, tu.Quota)
+		}
+	}
+	return nil
+}
+
 // TestChaos replays seeded fault schedules against the full
 // daemon↔wrapper stack: two wrapper modules over reconnecting clients
 // whose connections drop, delay, corrupt, truncate, and hard-close on
@@ -84,8 +108,9 @@ func runChaosSchedule(t *testing.T, seed int64) {
 		t.Fatal(err)
 	}
 	defer ctl.Close()
-	sockA := chaosRegister(t, ctl, "a", cmib(chaosLimitA))
-	sockB := chaosRegister(t, ctl, "b", cmib(chaosLimitB))
+	tenA, tenB := chaosTenants()
+	sockA := chaosRegister(t, ctl, "a", cmib(chaosLimitA), tenA)
+	sockB := chaosRegister(t, ctl, "b", cmib(chaosLimitB), tenB)
 
 	plan := fault.NewPlan(seed, fault.Config{
 		DropProb:     0.02,
@@ -151,6 +176,9 @@ func runChaosSchedule(t *testing.T, seed int64) {
 	if err := st.CheckInvariants(); err != nil {
 		t.Fatalf("invariant violated after disconnect: %v", err)
 	}
+	if err := checkTenantQuotas(st); err != nil {
+		t.Fatalf("tenant quota violated after disconnect: %v", err)
+	}
 	for _, id := range []string{"a", "b"} {
 		resp, err := ctl.Call(context.Background(), &protocol.Message{Type: protocol.TypeClose, Container: id})
 		if err != nil {
@@ -175,10 +203,12 @@ func runChaosSchedule(t *testing.T, seed int64) {
 	}
 }
 
-func chaosRegister(t *testing.T, ctl *ipc.Client, id string, limit bytesize.Size) string {
+func chaosRegister(t *testing.T, ctl *ipc.Client, id string, limit bytesize.Size, ten core.Tenant) string {
 	t.Helper()
 	resp, err := ctl.Call(context.Background(), &protocol.Message{
 		Type: protocol.TypeRegister, Container: id, Limit: int64(limit),
+		Tenant: ten.Name, TenantWeight: ten.Weight, TenantPriority: ten.Priority,
+		TenantQuota: int64(ten.Quota), TenantGuarantee: int64(ten.Guarantee),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -236,6 +266,9 @@ func chaosOpsLoop(ctx context.Context, st core.Scheduler, mod *wrapper.Module, o
 			mod.MemGetInfo()
 		}
 		if err := st.CheckInvariants(); err != nil {
+			return fmt.Errorf("after op %d: %w", i, err)
+		}
+		if err := checkTenantQuotas(st); err != nil {
 			return fmt.Errorf("after op %d: %w", i, err)
 		}
 	}

@@ -68,8 +68,9 @@ func runChaosWALSchedule(t *testing.T, seed int64) {
 		t.Fatal(err)
 	}
 	defer ctl.Close()
-	sockA := chaosRegister(t, ctl, "a", cmib(chaosLimitA))
-	sockB := chaosRegister(t, ctl, "b", cmib(chaosLimitB))
+	tenA, tenB := chaosTenants()
+	sockA := chaosRegister(t, ctl, "a", cmib(chaosLimitA), tenA)
+	sockB := chaosRegister(t, ctl, "b", cmib(chaosLimitB), tenB)
 
 	plan := fault.NewPlan(seed, fault.Config{
 		DropProb:     0.02,

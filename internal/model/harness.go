@@ -40,6 +40,10 @@ type Backend struct {
 	// (the flapping-restart path: the slot already holds a fresh
 	// scheduler).
 	Revive func(s core.Scheduler, node int) error
+	// Tenants is the tenant table Op.Tenant indexes resolve against
+	// (entry k-1 for Op.Tenant k, wrapping). Empty disables tenant
+	// registrations: every op degenerates to the default tenant.
+	Tenants []core.Tenant
 }
 
 // Divergence reports the first point where the real scheduler and the
@@ -79,6 +83,7 @@ func RunOps(b Backend, ops []Op) (*Divergence, error) {
 		live:  make(map[int][]allocRec),
 		pend:  make(map[int][]pendRec),
 		lims:  make(map[int]bytesize.Size),
+		tens:  make(map[int]core.Tenant),
 	}
 	for i, op := range ops {
 		if d := r.step(i, op); d != nil {
@@ -109,10 +114,11 @@ type runner struct {
 	model *Model
 	addr  uint64
 
-	live     map[int][]allocRec      // slot -> confirmed allocations, oldest first
-	pend     map[int][]pendRec       // slot -> parked requests, suspend order
-	lims     map[int]bytesize.Size   // slot -> registered limit
-	regOrder []int                   // slots currently registered, registration order
+	live     map[int][]allocRec    // slot -> confirmed allocations, oldest first
+	pend     map[int][]pendRec     // slot -> parked requests, suspend order
+	lims     map[int]bytesize.Size // slot -> registered limit
+	tens     map[int]core.Tenant   // slot -> tenant at registration
+	regOrder []int                 // slots currently registered, registration order
 }
 
 // badAddr is a device address the harness never hands out (real
@@ -135,6 +141,14 @@ func (r *runner) nextAddr() uint64 {
 	return r.addr
 }
 
+// tenantOf resolves an op's tenant index against the backend's table.
+func (r *runner) tenantOf(op Op) core.Tenant {
+	if op.Tenant <= 0 || len(r.b.Tenants) == 0 {
+		return core.Tenant{}
+	}
+	return r.b.Tenants[(op.Tenant-1)%len(r.b.Tenants)]
+}
+
 func (r *runner) deviceOf(id core.ContainerID) (int, error) {
 	if r.b.DeviceOf != nil {
 		return r.b.DeviceOf(r.real, id)
@@ -150,7 +164,14 @@ func (r *runner) step(i int, op Op) *Divergence {
 	id := r.id(op.C)
 	switch op.Kind {
 	case OpRegister:
-		rg, rerr := r.real.Register(id, op.Limit)
+		t := r.tenantOf(op)
+		var rg bytesize.Size
+		var rerr error
+		if t.Name != "" {
+			rg, rerr = r.real.RegisterTenant(id, op.Limit, t)
+		} else {
+			rg, rerr = r.real.Register(id, op.Limit)
+		}
 		device := -1
 		if rerr == nil {
 			d, derr := r.deviceOf(id)
@@ -159,7 +180,7 @@ func (r *runner) step(i int, op Op) *Divergence {
 			}
 			device = d
 		}
-		mg, merr := r.model.Register(id, op.Limit, device)
+		mg, merr := r.model.RegisterTenant(id, op.Limit, device, t)
 		if c := diffErr(rerr, merr); c != "" {
 			return r.fail(i, op, "register error mismatch: %s", c)
 		}
@@ -168,6 +189,7 @@ func (r *runner) step(i int, op Op) *Divergence {
 				return r.fail(i, op, "granted %v, model predicts %v", rg, mg)
 			}
 			r.lims[op.C] = op.Limit
+			r.tens[op.C] = t
 			r.live[op.C] = nil
 			r.pend[op.C] = nil
 			r.regOrder = append(r.regOrder, op.C)
@@ -406,7 +428,11 @@ func (r *runner) nodeKill(i int, op Op) *Divergence {
 		if flat/gpus != mv.To {
 			return r.fail(i, op, "%s reported on node %d but placed on device %d", mv.ID, mv.To, flat)
 		}
-		mg, merr := r.model.Register(mv.ID, mv.Limit, flat)
+		if mv.Tenant != r.tens[slot] {
+			return r.fail(i, op, "%s migrated with tenant %+v, registered with %+v — tenant binding lost",
+				mv.ID, mv.Tenant, r.tens[slot])
+		}
+		mg, merr := r.model.RegisterTenant(mv.ID, mv.Limit, flat, mv.Tenant)
 		if merr != nil {
 			return r.fail(i, op, "model refuses migrated registration of %s: %v", mv.ID, merr)
 		}
@@ -509,8 +535,13 @@ func (r *runner) restart(i int, op Op) *Divergence {
 		if c := diffErr(rerr, merr); c != "" {
 			return r.fail(i, op, "restoreplacement %s error mismatch: %s", reg.id, c)
 		}
-		rg, rerr := r.real.EnsureRegistered(reg.id, r.lims[reg.slot])
-		mg, merr := r.model.EnsureRegistered(reg.id, r.lims[reg.slot], reg.device)
+		var rg bytesize.Size
+		if t := r.tens[reg.slot]; t.Name != "" {
+			rg, rerr = r.real.EnsureRegisteredTenant(reg.id, r.lims[reg.slot], t)
+		} else {
+			rg, rerr = r.real.EnsureRegistered(reg.id, r.lims[reg.slot])
+		}
+		mg, merr := r.model.EnsureRegisteredTenant(reg.id, r.lims[reg.slot], reg.device, r.tens[reg.slot])
 		if c := diffErr(rerr, merr); c != "" {
 			return r.fail(i, op, "ensureregistered %s error mismatch: %s", reg.id, c)
 		}
@@ -611,6 +642,17 @@ func (r *runner) crossCheck(i int, op Op) *Divergence {
 	for j, d := range devs {
 		if d.PoolFree != pools[j] {
 			return r.fail(i, op, "device %d pool: real %v, model %v", j, d.PoolFree, pools[j])
+		}
+	}
+	rten := r.real.Tenants()
+	mten := r.model.Tenants()
+	if len(rten) != len(mten) {
+		return r.fail(i, op, "real reports %d tenants, model has %d (real %+v, model %+v)",
+			len(rten), len(mten), rten, mten)
+	}
+	for j := range rten {
+		if rten[j] != mten[j] {
+			return r.fail(i, op, "tenant rollup mismatch: real %+v, model %+v", rten[j], mten[j])
 		}
 	}
 	return nil

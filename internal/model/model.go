@@ -22,7 +22,8 @@ type Config struct {
 	// Overhead is the per-process context overhead, already resolved
 	// (the model never substitutes a default).
 	Overhead bytesize.Size
-	// Algorithm is one of core.AlgFIFO/AlgBestFit/AlgRecentUse/AlgRandom.
+	// Algorithm is one of core.AlgFIFO/AlgBestFit/AlgRecentUse/AlgRandom
+	// or a tenant-aware wake policy ("fairshare", "quota", "priority").
 	Algorithm string
 	// AlgSeeds seeds the Random algorithm, one per device, mirroring how
 	// the real topology derives them (multigpu device i: AlgSeed+i;
@@ -50,6 +51,7 @@ type mproc struct {
 
 type mcontainer struct {
 	id         core.ContainerID
+	tenant     core.Tenant
 	limit      bytesize.Size
 	grant      bytesize.Size
 	used       bytesize.Size
@@ -60,12 +62,13 @@ type mcontainer struct {
 }
 
 type mdevice struct {
-	index      int
-	pool       bytesize.Size
-	nextSeq    uint64
-	nextTicket core.Ticket
-	rng        *rand.Rand // Random algorithm only
-	containers map[core.ContainerID]*mcontainer
+	index        int
+	pool         bytesize.Size
+	nextSeq      uint64
+	nextTicket   core.Ticket
+	namedTenants int        // containers bound to a named tenant
+	rng          *rand.Rand // Random algorithm only
+	containers   map[core.ContainerID]*mcontainer
 }
 
 // Model is the sequential reference scheduler. It is not safe for
@@ -84,7 +87,8 @@ func New(cfg Config) *Model {
 		panic(fmt.Sprintf("model: bad config: %d devices, capacity %v", cfg.Devices, cfg.Capacity))
 	}
 	switch cfg.Algorithm {
-	case core.AlgFIFO, core.AlgBestFit, core.AlgRecentUse:
+	case core.AlgFIFO, core.AlgBestFit, core.AlgRecentUse,
+		algFairShare, algQuota, algPriority:
 	case core.AlgRandom:
 		if len(cfg.AlgSeeds) != cfg.Devices {
 			panic(fmt.Sprintf("model: random needs %d seeds, got %d", cfg.Devices, len(cfg.AlgSeeds)))
@@ -158,6 +162,14 @@ func (d *mdevice) sorted() []*mcontainer {
 // real backend placed it on (device may be -1 when the real call
 // failed; the model only consults it after deciding the call succeeds).
 func (m *Model) Register(id core.ContainerID, limit bytesize.Size, device int) (bytesize.Size, error) {
+	return m.RegisterTenant(id, limit, device, core.Tenant{})
+}
+
+// RegisterTenant is Register carrying a tenant identity, mirroring
+// core.State.RegisterTenant: a named tenant's initial grant is clamped
+// by its quota headroom and by the pool share left after other tenants'
+// guarantees.
+func (m *Model) RegisterTenant(id core.ContainerID, limit bytesize.Size, device int, t core.Tenant) (bytesize.Size, error) {
 	if dev, ok := m.placement[id]; ok {
 		// A placement pinned by RestorePlacement without a registered
 		// container (recovery in flight) does not make id a duplicate.
@@ -174,14 +186,15 @@ func (m *Model) Register(id core.ContainerID, limit bytesize.Size, device int) (
 	if device < 0 || device >= len(m.devs) {
 		return 0, fmt.Errorf("model: real backend placed %s on device %d of %d — illegal placement", id, device, len(m.devs))
 	}
-	return m.registerAt(id, limit, device), nil
+	return m.registerAt(id, limit, device, t), nil
 }
 
-func (m *Model) registerAt(id core.ContainerID, limit bytesize.Size, device int) bytesize.Size {
+func (m *Model) registerAt(id core.ContainerID, limit bytesize.Size, device int, t core.Tenant) bytesize.Size {
 	d := m.devs[device]
 	d.nextSeq++
 	c := &mcontainer{
 		id:         id,
+		tenant:     t,
 		limit:      limit,
 		createdSeq: d.nextSeq,
 		procs:      make(map[int]*mproc),
@@ -190,9 +203,15 @@ func (m *Model) registerAt(id core.ContainerID, limit bytesize.Size, device int)
 	if c.grant > d.pool {
 		c.grant = d.pool
 	}
+	if t.Name != "" || d.namedTenants > 0 {
+		c.grant = m.clampTake(d, c, c.grant)
+	}
 	d.pool -= c.grant
 	d.containers[id] = c
 	m.placement[id] = device
+	if t.Name != "" {
+		d.namedTenants++
+	}
 	delete(m.closed, id)
 	return c.grant
 }
@@ -202,13 +221,27 @@ func (m *Model) registerAt(id core.ContainerID, limit bytesize.Size, device int)
 // unknown one registers afresh on device (typically pinned beforehand
 // with RestorePlacement).
 func (m *Model) EnsureRegistered(id core.ContainerID, limit bytesize.Size, device int) (bytesize.Size, error) {
-	if _, c, err := m.find(id); err == nil {
+	return m.EnsureRegisteredTenant(id, limit, device, core.Tenant{})
+}
+
+// EnsureRegisteredTenant is EnsureRegistered carrying a tenant
+// identity, mirroring core.State.EnsureRegisteredTenant's adoption
+// rules: a known container's binding is refreshed when the names agree
+// (or it had none); an existing different binding is kept.
+func (m *Model) EnsureRegisteredTenant(id core.ContainerID, limit bytesize.Size, device int, t core.Tenant) (bytesize.Size, error) {
+	if d, c, err := m.find(id); err == nil {
 		if c.limit != limit {
 			return 0, core.ErrLimitMismatch
 		}
+		if t.Name != "" && (c.tenant.Name == "" || c.tenant.Name == t.Name) {
+			if c.tenant.Name == "" {
+				d.namedTenants++
+			}
+			c.tenant = t
+		}
 		return c.grant, nil
 	}
-	return m.Register(id, limit, device)
+	return m.RegisterTenant(id, limit, device, t)
 }
 
 // ResetDevices mirrors a node death: every listed device is rebuilt
@@ -276,10 +309,17 @@ func (m *Model) RequestAlloc(id core.ContainerID, pid int, size bytesize.Size) (
 		if take > d.pool {
 			take = d.pool
 		}
+		if d.namedTenants > 0 {
+			take = m.clampTake(d, c, take)
+		}
 		c.grant += take
 		d.pool -= take
 	}
 	if c.used+charge <= c.grant {
+		m.admit(c, pid, size)
+		return core.AllocResult{Decision: core.Accept}, nil
+	}
+	if d.namedTenants > 0 && m.tryPreempt(d, c, charge) {
 		m.admit(c, pid, size)
 		return core.AllocResult{Decision: core.Accept}, nil
 	}
@@ -409,6 +449,9 @@ func (m *Model) Close(id core.ContainerID) (bytesize.Size, core.Update, error) {
 	c.pending = nil
 	released := c.grant
 	d.pool += c.grant
+	if c.tenant.Name != "" {
+		d.namedTenants--
+	}
 	delete(d.containers, id)
 	delete(m.placement, id)
 	m.closed[id] = true
@@ -451,6 +494,9 @@ func (m *Model) Restore(id core.ContainerID, pid int, addr uint64, size bytesize
 	if c.used+charge > c.grant {
 		need := c.used + charge - c.grant
 		if need > d.pool {
+			return core.ErrRestoreInfeasible
+		}
+		if d.namedTenants > 0 && m.quotaHeadroom(d, c.tenant) < need {
 			return core.ErrRestoreInfeasible
 		}
 		c.grant += need
@@ -545,8 +591,8 @@ func (m *Model) redistribute(d *mdevice) []core.Admitted {
 		if i < 0 || i >= len(cands) {
 			break
 		}
-		c := cands[i]
-		give := c.limit - c.grant
+		c := cands[i].con
+		give := cands[i].deficit
 		if give > d.pool {
 			give = d.pool
 		}
@@ -557,29 +603,68 @@ func (m *Model) redistribute(d *mdevice) []core.Admitted {
 	return admitted
 }
 
+// mcand is one redistribution candidate: the container plus its
+// effective deficit (limit - grant, further capped by the tenant's
+// quota headroom and guarantee-reserved pool share when named tenants
+// are active) and the tenant attributes the tenant-aware wake policies
+// order by.
+type mcand struct {
+	con     *mcontainer
+	deficit bytesize.Size
+	tWeight int
+	tPrio   int
+	tGrant  bytesize.Size // tenant's summed grants on this device
+	tGuar   bytesize.Size
+}
+
 // candidates lists paused containers that more memory could help, in
-// creation order.
-func (m *Model) candidates(d *mdevice) []*mcontainer {
-	var out []*mcontainer
+// creation order. With named tenants active, candidates whose effective
+// deficit clamps to zero are excluded, mirroring core.candidatesLocked.
+func (m *Model) candidates(d *mdevice) []mcand {
+	var grantSums map[string]bytesize.Size
+	if d.namedTenants > 0 {
+		grantSums = make(map[string]bytesize.Size)
+		for _, c := range d.containers {
+			grantSums[c.tenant.Name] += c.grant
+		}
+	}
+	var out []mcand
 	for _, c := range d.sorted() {
 		if len(c.pending) == 0 || c.grant >= c.limit {
 			continue
 		}
-		out = append(out, c)
+		cand := mcand{con: c, deficit: c.limit - c.grant}
+		if d.namedTenants > 0 {
+			if hr := m.quotaHeadroom(d, c.tenant); cand.deficit > hr {
+				cand.deficit = hr
+			}
+			if avail := m.availableFor(d, c.tenant); cand.deficit > avail {
+				cand.deficit = avail
+			}
+			if cand.deficit <= 0 {
+				continue
+			}
+			cand.tWeight = c.tenant.Weight
+			cand.tPrio = c.tenant.Priority
+			cand.tGrant = grantSums[c.tenant.Name]
+			cand.tGuar = c.tenant.Guarantee
+		}
+		out = append(out, cand)
 	}
 	return out
 }
 
-// pick reimplements the four paper algorithms over creation-ordered
-// candidates. Independent from internal/core on purpose: a bug in
-// either implementation diverges here.
-func (m *Model) pick(d *mdevice, cands []*mcontainer) int {
+// pick reimplements the paper's four algorithms and the tenant-aware
+// wake policies over creation-ordered candidates. Independent from
+// internal/core and internal/policy on purpose: a bug in either
+// implementation diverges here.
+func (m *Model) pick(d *mdevice, cands []mcand) int {
 	switch m.cfg.Algorithm {
 	case core.AlgFIFO:
 		// Oldest container first.
 		best := 0
 		for i, c := range cands {
-			if c.createdSeq < cands[best].createdSeq {
+			if c.con.createdSeq < cands[best].con.createdSeq {
 				best = i
 			}
 		}
@@ -590,13 +675,12 @@ func (m *Model) pick(d *mdevice, cands []*mcontainer) int {
 		// the older container.
 		fit, small := -1, -1
 		for i, c := range cands {
-			deficit := c.limit - c.grant
-			if deficit <= d.pool {
-				if fit == -1 || deficit > cands[fit].limit-cands[fit].grant {
+			if c.deficit <= d.pool {
+				if fit == -1 || c.deficit > cands[fit].deficit {
 					fit = i
 				}
 			}
-			if small == -1 || deficit < cands[small].limit-cands[small].grant {
+			if small == -1 || c.deficit < cands[small].deficit {
 				small = i
 			}
 		}
@@ -608,7 +692,7 @@ func (m *Model) pick(d *mdevice, cands []*mcontainer) int {
 		// Most recently suspended container; the first maximum wins ties.
 		best := 0
 		for i, c := range cands {
-			if c.suspendSeq > cands[best].suspendSeq {
+			if c.con.suspendSeq > cands[best].con.suspendSeq {
 				best = i
 			}
 		}
@@ -617,6 +701,49 @@ func (m *Model) pick(d *mdevice, cands []*mcontainer) int {
 		// Uniform over creation-ordered candidates; one Intn draw per
 		// pick, exactly like core's seeded Random.
 		return d.rng.Intn(len(cands))
+	case algFairShare:
+		// Smallest weighted tenant share (grant/weight ratio,
+		// cross-multiplied), then creation order.
+		best := 0
+		for i, c := range cands {
+			if i == 0 {
+				continue
+			}
+			b := cands[best]
+			sa := int64(c.tGrant) * mweight(b.tWeight)
+			sb := int64(b.tGrant) * mweight(c.tWeight)
+			if sa < sb || (sa == sb && c.con.createdSeq < b.con.createdSeq) {
+				best = i
+			}
+		}
+		return best
+	case algQuota:
+		// Largest guarantee shortfall first, then creation order.
+		best := 0
+		for i, c := range cands {
+			if i == 0 {
+				continue
+			}
+			b := cands[best]
+			sa, sb := mshortfall(c), mshortfall(b)
+			if sa > sb || (sa == sb && c.con.createdSeq < b.con.createdSeq) {
+				best = i
+			}
+		}
+		return best
+	case algPriority:
+		// Highest tenant priority first, then creation order.
+		best := 0
+		for i, c := range cands {
+			if i == 0 {
+				continue
+			}
+			b := cands[best]
+			if c.tPrio > b.tPrio || (c.tPrio == b.tPrio && c.con.createdSeq < b.con.createdSeq) {
+				best = i
+			}
+		}
+		return best
 	}
 	return -1
 }

@@ -41,13 +41,17 @@ func (brokenBestFit) Pick(pool bytesize.Size, cands []core.Candidate) int {
 // from the given config while the model side stays faithful to the
 // paper semantics.
 func mutantBackend(name string, cfg core.Config) model.Backend {
+	return mutantBackendAlg(name, cfg, core.AlgBestFit)
+}
+
+func mutantBackendAlg(name string, cfg core.Config, modelAlg string) model.Backend {
 	mk := func() (core.Scheduler, error) { return core.New(cfg) }
 	return model.Backend{
 		Name: name, New: mk, Restart: mk,
 		Model: func() *model.Model {
 			return model.New(model.Config{
 				Devices: 1, Capacity: capacity, Overhead: overhead,
-				Algorithm: core.AlgBestFit, AlgSeeds: []int64{1},
+				Algorithm: modelAlg, AlgSeeds: []int64{1},
 			})
 		},
 	}
@@ -59,6 +63,9 @@ func mutantBackend(name string, cfg core.Config) model.Backend {
 func detectMutation(t *testing.T, b model.Backend) {
 	t.Helper()
 	g := model.DefaultGenConfig()
+	if len(b.Tenants) > 0 {
+		g.TenantSlots = len(b.Tenants)
+	}
 	ops := model.Generate(mutationSeed, maxMutationOps, g)
 	div, err := model.RunOps(b, ops)
 	if err != nil {
@@ -97,4 +104,72 @@ func TestMutationCapacityOffByOne(t *testing.T) {
 	detectMutation(t, mutantBackend("capacity-off-by-one", core.Config{
 		Capacity: capacity + 1, ContextOverhead: overhead, Algorithm: alg,
 	}))
+}
+
+// invertedFairShare wakes the tenant holding the LARGEST weighted share
+// — fair share backwards. The tenant oracle must catch it.
+type invertedFairShare struct{}
+
+func (invertedFairShare) Name() string { return "fairshare" }
+
+func (invertedFairShare) Pick(pool bytesize.Size, cands []core.Candidate) int {
+	w := func(n int) int64 {
+		if n <= 0 {
+			return 1
+		}
+		return int64(n)
+	}
+	best := 0
+	for i, c := range cands {
+		b := cands[best]
+		if int64(c.TenantGrant)*w(b.TenantWeight) > int64(b.TenantGrant)*w(c.TenantWeight) {
+			best = i
+		}
+	}
+	return best
+}
+
+// TestMutationInvertedFairShare plants the inverted fair-share policy
+// under tenant streams: the oracle's rollup and grant cross-checks must
+// expose the wrong wake order quickly.
+func TestMutationInvertedFairShare(t *testing.T) {
+	b := mutantBackendAlg("inverted-fairshare", core.Config{
+		Capacity: capacity, ContextOverhead: overhead, Algorithm: invertedFairShare{},
+	}, "fairshare")
+	b.Tenants = tenantTable()
+	detectMutation(t, b)
+}
+
+// greedyPreemptor is the priority policy with the eligibility check
+// broken: it also victimizes holders of EQUAL priority, so same-tenant
+// and same-rank containers steal each other's unused grant.
+type greedyPreemptor struct{ core.Algorithm }
+
+func (greedyPreemptor) Victims(need bytesize.Size, req core.Holder, holders []core.Holder) []core.ContainerID {
+	var out []core.ContainerID
+	var sum bytesize.Size
+	for _, h := range holders {
+		if h.Priority <= req.Priority && h.Grant > h.Used {
+			out = append(out, h.ID)
+			if sum += h.Grant - h.Used; sum >= need {
+				return out
+			}
+		}
+	}
+	return nil
+}
+
+// TestMutationGreedyPreemptor plants the over-eager preemptor under
+// tenant streams and demands the oracle catches the illegal reclaim.
+func TestMutationGreedyPreemptor(t *testing.T) {
+	alg, err := core.NewAlgorithm(core.AlgFIFO, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := mutantBackendAlg("greedy-preemptor", core.Config{
+		Capacity: capacity, ContextOverhead: overhead,
+		Algorithm: greedyPreemptor{Algorithm: alg},
+	}, core.AlgFIFO)
+	b.Tenants = tenantTable()
+	detectMutation(t, b)
 }

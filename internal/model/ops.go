@@ -59,17 +59,21 @@ func (k OpKind) String() string {
 // both the real scheduler and the model. That makes any subsequence of
 // a stream executable, which is what lets ddmin shrink soundly.
 type Op struct {
-	Kind  OpKind
-	C     int           // container slot, 0-based ("c0", "c1", ...)
-	PID   int           // process id, 1-based
-	Size  bytesize.Size // OpAlloc/OpAbort request size
-	Limit bytesize.Size // OpRegister limit
-	Pick  int           // OpFree: live-alloc index; OpDrop: parked-ticket index (mod current count)
+	Kind   OpKind
+	C      int           // container slot, 0-based ("c0", "c1", ...)
+	PID    int           // process id, 1-based
+	Size   bytesize.Size // OpAlloc/OpAbort request size
+	Limit  bytesize.Size // OpRegister limit
+	Pick   int           // OpFree: live-alloc index; OpDrop: parked-ticket index (mod current count)
+	Tenant int           // OpRegister: 0 = default tenant, k > 0 = Backend.Tenants[(k-1) mod len]
 }
 
 func (o Op) String() string {
 	switch o.Kind {
 	case OpRegister:
+		if o.Tenant > 0 {
+			return fmt.Sprintf("register c%d limit=%v tenant=%d", o.C, o.Limit, o.Tenant)
+		}
 		return fmt.Sprintf("register c%d limit=%v", o.C, o.Limit)
 	case OpAlloc, OpAbort:
 		return fmt.Sprintf("%s c%d pid=%d size=%v", o.Kind, o.C, o.PID, o.Size)
@@ -115,6 +119,11 @@ type GenConfig struct {
 	Restarts bool
 	// NodeKills enables OpNodeKill (the backend must support FailNode).
 	NodeKills bool
+	// TenantSlots > 0 stamps each register with a tenant draw in
+	// [0, TenantSlots]: 0 keeps the default tenant, k > 0 resolves
+	// against the backend's tenant table. Zero (the default) adds no
+	// generator draws, so legacy streams stay byte-identical per seed.
+	TenantSlots int
 }
 
 // DefaultGenConfig returns the profile the conformance tests use: six
@@ -147,6 +156,9 @@ func Generate(seed int64, n int, g GenConfig) []Op {
 				limit = 4 * g.MaxLimitMiB // exceeds any device: error path
 			}
 			op.Limit = bytesize.Size(limit) * bytesize.MiB
+			if g.TenantSlots > 0 {
+				op.Tenant = rng.Intn(g.TenantSlots + 1)
+			}
 		case w < 51:
 			op.Kind = OpAlloc
 			op.Size = allocSize(rng, g)

@@ -1,0 +1,210 @@
+package model
+
+import (
+	"sort"
+
+	"convgpu/internal/bytesize"
+	"convgpu/internal/core"
+)
+
+// Tenant-aware wake policy names the model mirrors. Spelled as local
+// string literals rather than imports of internal/policy on purpose:
+// the oracle must stay an independent reimplementation.
+const (
+	algFairShare = "fairshare"
+	algQuota     = "quota"
+	algPriority  = "priority"
+)
+
+// munboundedQuota stands in for "no cap" in headroom arithmetic,
+// mirroring core's unboundedQuota.
+const munboundedQuota = bytesize.Size(1) << 62
+
+// mweight reads a fair-share weight; zero or negative reads as 1.
+func mweight(w int) int64 {
+	if w <= 0 {
+		return 1
+	}
+	return int64(w)
+}
+
+// mshortfall is a candidate tenant's guarantee shortfall (zero at or
+// above the guarantee).
+func mshortfall(c mcand) bytesize.Size {
+	if c.tGuar <= c.tGrant {
+		return 0
+	}
+	return c.tGuar - c.tGrant
+}
+
+// quotaHeadroom mirrors core.quotaHeadroomLocked: how much more grant
+// tenant t may hold on device d before its quota is exhausted. The
+// default tenant and tenants without a quota have unbounded headroom.
+func (m *Model) quotaHeadroom(d *mdevice, t core.Tenant) bytesize.Size {
+	if t.Name == "" || t.Quota <= 0 {
+		return munboundedQuota
+	}
+	var sum bytesize.Size
+	for _, c := range d.containers {
+		if c.tenant.Name == t.Name {
+			sum += c.grant
+		}
+	}
+	if sum >= t.Quota {
+		return 0
+	}
+	return t.Quota - sum
+}
+
+// availableFor mirrors core.availableForLocked: the pool memory tenant
+// t may draw on after honoring every *other* named tenant's guarantee
+// shortfall.
+func (m *Model) availableFor(d *mdevice, t core.Tenant) bytesize.Size {
+	reserved := bytesize.Size(0)
+	seen := make(map[string]bool)
+	for _, c := range d.containers {
+		name := c.tenant.Name
+		if name == "" || name == t.Name || seen[name] || c.tenant.Guarantee <= 0 {
+			continue
+		}
+		seen[name] = true
+		var sum bytesize.Size
+		for _, o := range d.containers {
+			if o.tenant.Name == name {
+				sum += o.grant
+			}
+		}
+		if sum < c.tenant.Guarantee {
+			reserved += c.tenant.Guarantee - sum
+		}
+	}
+	if reserved >= d.pool {
+		return 0
+	}
+	return d.pool - reserved
+}
+
+// clampTake mirrors core.clampTakeLocked: cap a pool take by the
+// container's tenant quota headroom (hard) and the pool share left
+// after other tenants' guarantees (soft). The caller has already capped
+// take by the pool itself.
+func (m *Model) clampTake(d *mdevice, c *mcontainer, take bytesize.Size) bytesize.Size {
+	if hr := m.quotaHeadroom(d, c.tenant); take > hr {
+		take = hr
+	}
+	if avail := m.availableFor(d, c.tenant); take > avail {
+		take = avail
+	}
+	return take
+}
+
+// tryPreempt mirrors core.tryPreemptLocked with the priority policy's
+// Victims ordering: reclaim unused grant (grant - used) from holders of
+// strictly lower-priority tenants — lowest priority first, youngest
+// first within a priority — until the requester's need is covered, then
+// top the requester up from the pool. Declines when even all eligible
+// victims together cannot cover the need, or when the requester's own
+// quota headroom cannot absorb it.
+func (m *Model) tryPreempt(d *mdevice, c *mcontainer, charge bytesize.Size) bool {
+	if m.cfg.Algorithm != algPriority {
+		return false
+	}
+	need := c.used + charge - c.grant
+	if need <= 0 {
+		return false
+	}
+	if m.quotaHeadroom(d, c.tenant) < need {
+		return false
+	}
+	var eligible []*mcontainer
+	for _, h := range d.sorted() {
+		if h == c || h.grant <= h.used {
+			continue
+		}
+		if h.tenant.Priority < c.tenant.Priority {
+			eligible = append(eligible, h)
+		}
+	}
+	if len(eligible) == 0 {
+		return false
+	}
+	sort.Slice(eligible, func(i, j int) bool {
+		if eligible[i].tenant.Priority != eligible[j].tenant.Priority {
+			return eligible[i].tenant.Priority < eligible[j].tenant.Priority
+		}
+		return eligible[i].createdSeq > eligible[j].createdSeq
+	})
+	var covered bytesize.Size
+	last := -1
+	for i, h := range eligible {
+		covered += h.grant - h.used
+		if covered >= need {
+			last = i
+			break
+		}
+	}
+	if last < 0 {
+		return false // Victims declines: partial preemption admits nobody
+	}
+	var reclaimed bytesize.Size
+	for _, v := range eligible[:last+1] {
+		if reclaimed >= need {
+			break
+		}
+		take := v.grant - v.used
+		if take > need-reclaimed {
+			take = need - reclaimed
+		}
+		v.grant -= take
+		d.pool += take
+		reclaimed += take
+	}
+	if reclaimed == 0 {
+		return false
+	}
+	take := c.used + charge - c.grant
+	if take > d.pool {
+		take = d.pool
+	}
+	c.grant += take
+	d.pool -= take
+	return c.used+charge <= c.grant
+}
+
+// Tenants mirrors core.State.Tenants through core.Router.Tenants:
+// per-tenant usage aggregated across every device, sorted by name;
+// default-tenant containers are not listed.
+func (m *Model) Tenants() []core.TenantUsage {
+	byName := make(map[string]*core.TenantUsage)
+	for _, d := range m.devs {
+		for _, c := range d.containers {
+			if c.tenant.Name == "" {
+				continue
+			}
+			u, ok := byName[c.tenant.Name]
+			if !ok {
+				u = &core.TenantUsage{
+					Name:      c.tenant.Name,
+					Weight:    c.tenant.Weight,
+					Priority:  c.tenant.Priority,
+					Quota:     c.tenant.Quota,
+					Guarantee: c.tenant.Guarantee,
+				}
+				byName[c.tenant.Name] = u
+			}
+			u.Containers++
+			if len(c.pending) > 0 {
+				u.Suspended++
+			}
+			u.Grant += c.grant
+			u.Used += c.used
+			u.Pending += len(c.pending)
+		}
+	}
+	out := make([]core.TenantUsage, 0, len(byName))
+	for _, u := range byName {
+		out = append(out, *u)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -166,6 +166,12 @@ type Config struct {
 	CapacityPerDevice bytesize.Size
 	// Algorithm is the per-device redistribution algorithm name.
 	Algorithm string
+	// AlgorithmFactory, when non-nil, supplies each device's wake-order
+	// algorithm instead of resolving Algorithm by name — the policy
+	// registry's construction path, which also reaches policies
+	// core.NewAlgorithm does not know. It is called once per device with
+	// that device's seed (AlgSeed + device index).
+	AlgorithmFactory func(seed int64) (core.Algorithm, error)
 	// AlgSeed seeds the Random algorithm.
 	AlgSeed int64
 	// Policy places containers onto devices (default least-loaded).
@@ -208,7 +214,13 @@ func New(cfg Config) (*State, error) {
 	}
 	members := make([]core.Scheduler, cfg.Devices)
 	for i := range members {
-		alg, err := core.NewAlgorithm(cfg.Algorithm, cfg.AlgSeed+int64(i))
+		var alg core.Algorithm
+		var err error
+		if cfg.AlgorithmFactory != nil {
+			alg, err = cfg.AlgorithmFactory(cfg.AlgSeed + int64(i))
+		} else {
+			alg, err = core.NewAlgorithm(cfg.Algorithm, cfg.AlgSeed+int64(i))
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -236,18 +248,26 @@ func (s *State) PolicyName() string { return s.policy.Name() }
 
 // Register places the container on a device per the policy and
 // registers it there; Placement reports the chosen device afterwards.
+// The container belongs to the default tenant; RegisterTenant carries a
+// tenant identity.
 func (s *State) Register(id core.ContainerID, limit bytesize.Size) (bytesize.Size, error) {
+	return s.RegisterTenant(id, limit, core.Tenant{})
+}
+
+// RegisterTenant is Register carrying a tenant identity, forwarded to
+// the chosen device's scheduler.
+func (s *State) RegisterTenant(id core.ContainerID, limit bytesize.Size, t core.Tenant) (bytesize.Size, error) {
 	s.regMu.Lock()
 	defer s.regMu.Unlock()
 	if d, err := s.PlacementIndex(id); err == nil {
 		// Already placed: let the owning device report the duplicate.
-		return s.Member(d).Register(id, limit)
+		return s.Member(d).RegisterTenant(id, limit, t)
 	}
 	device := s.policy.Place(limit, s.Devices())
 	if device < 0 || device >= s.NumMembers() {
 		return 0, fmt.Errorf("%w: no device can hold a %v container", core.ErrLimitExceedsCapacity, limit)
 	}
-	granted, err := s.Member(device).Register(id, limit)
+	granted, err := s.Member(device).RegisterTenant(id, limit, t)
 	if err != nil {
 		return 0, err
 	}
@@ -261,8 +281,14 @@ func (s *State) Register(id core.ContainerID, limit bytesize.Size) (bytesize.Siz
 // re-registration the daemon's recovery path needs on a multi-device
 // scheduler.
 func (s *State) EnsureRegistered(id core.ContainerID, limit bytesize.Size) (bytesize.Size, error) {
+	return s.EnsureRegisteredTenant(id, limit, core.Tenant{})
+}
+
+// EnsureRegisteredTenant is EnsureRegistered carrying a tenant
+// identity.
+func (s *State) EnsureRegisteredTenant(id core.ContainerID, limit bytesize.Size, t core.Tenant) (bytesize.Size, error) {
 	if d, err := s.PlacementIndex(id); err == nil {
-		return s.Member(d).EnsureRegistered(id, limit)
+		return s.Member(d).EnsureRegisteredTenant(id, limit, t)
 	}
-	return s.Register(id, limit)
+	return s.RegisterTenant(id, limit, t)
 }

@@ -74,6 +74,15 @@ type Options struct {
 	Volumes map[string]string
 	// Program is the container workload.
 	Program container.Program
+	// Tenant names the tenant the container registers under (empty =
+	// the default tenant). The remaining fields carry the tenant's
+	// inline scheduling attributes for a daemon whose configured tenant
+	// table does not know the name; a configured definition wins.
+	Tenant          string
+	TenantWeight    int
+	TenantPriority  int
+	TenantQuota     bytesize.Size
+	TenantGuarantee bytesize.Size
 }
 
 // NVDocker is the customized command wrapper.
@@ -159,9 +168,14 @@ func (n *NVDocker) Create(ctx context.Context, opts Options) (*container.Contain
 	// Register before creation (paper: "This limitation is sent to the
 	// scheduler via the UNIX socket before the container is created").
 	resp, err := n.sched.Call(ctx, &protocol.Message{
-		Type:      protocol.TypeRegister,
-		Container: name,
-		Limit:     int64(limit),
+		Type:            protocol.TypeRegister,
+		Container:       name,
+		Limit:           int64(limit),
+		Tenant:          opts.Tenant,
+		TenantWeight:    opts.TenantWeight,
+		TenantPriority:  opts.TenantPriority,
+		TenantQuota:     int64(opts.TenantQuota),
+		TenantGuarantee: int64(opts.TenantGuarantee),
 	})
 	if err != nil {
 		return nil, fmt.Errorf("nvdocker: scheduler unreachable: %w (%v)", errs.ErrDaemonUnavailable, err)

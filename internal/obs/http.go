@@ -19,6 +19,7 @@ import (
 func (o *Observability) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		o.refreshTenantGauges()
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		o.reg.WritePrometheus(w)
 	})

@@ -46,6 +46,13 @@ const (
 	MetricWALAppends        = "convgpu_wal_appends_total"
 	MetricWALSyncs          = "convgpu_wal_fsyncs_total"
 	MetricWALFsyncLatency   = "convgpu_wal_fsync_seconds"
+	MetricTenantContainers  = "convgpu_tenant_containers"
+	MetricTenantSuspended   = "convgpu_tenant_containers_suspended"
+	MetricTenantPending     = "convgpu_tenant_pending_requests"
+	MetricTenantGrant       = "convgpu_tenant_grant_bytes"
+	MetricTenantUsed        = "convgpu_tenant_used_bytes"
+	MetricTenantQuota       = "convgpu_tenant_quota_bytes"
+	MetricTenantGuarantee   = "convgpu_tenant_guarantee_bytes"
 )
 
 // Config parameterizes an Observability bundle.
@@ -102,6 +109,13 @@ type Observability struct {
 	// BindCore registers for each device the bound backend serves.
 	devMu        sync.RWMutex
 	suspendByDev map[int]*Histogram
+
+	// tenantMu guards the per-tenant gauge machinery: tenants appear at
+	// registration time, not bind time, so their series are registered
+	// lazily at each export against the bound backend.
+	tenantMu   sync.Mutex
+	tenantSrc  core.Scheduler
+	tenantSeen map[string]bool
 }
 
 // New builds an Observability bundle with every series registered.
@@ -221,6 +235,88 @@ func (o *Observability) BindCore(st core.Scheduler) {
 		}
 	}
 	o.devMu.Unlock()
+	o.BindTenants(st)
+}
+
+// BindTenants points the per-tenant gauge series at a scheduling
+// backend. Named tenants appear when their first container registers,
+// so series registration is deferred to export time
+// (refreshTenantGauges); a tenant whose containers all closed keeps its
+// series and renders zeros rather than disappearing mid-scrape.
+// BindCore calls this; rebinding swaps the backend under the existing
+// series.
+func (o *Observability) BindTenants(st core.Scheduler) {
+	o.tenantMu.Lock()
+	o.tenantSrc = st
+	if o.tenantSeen == nil {
+		o.tenantSeen = make(map[string]bool)
+	}
+	o.tenantMu.Unlock()
+	o.refreshTenantGauges()
+}
+
+// refreshTenantGauges registers the gauge set for any tenant that
+// appeared since the last export: containers, suspended containers,
+// pending requests, granted and used bytes, plus the configured quota
+// and guarantee. Labelled {"tenant": name}; evaluated live at scrape
+// time. Export paths call this, so the cost is paid per scrape, never
+// on the scheduling hot path.
+func (o *Observability) refreshTenantGauges() {
+	o.tenantMu.Lock()
+	st := o.tenantSrc
+	o.tenantMu.Unlock()
+	if st == nil {
+		return
+	}
+	for _, u := range st.Tenants() {
+		o.tenantMu.Lock()
+		seen := o.tenantSeen[u.Name]
+		o.tenantSeen[u.Name] = true
+		o.tenantMu.Unlock()
+		if seen {
+			continue
+		}
+		name := u.Name
+		tl := Labels{"tenant": name}
+		o.reg.GaugeFunc(MetricTenantContainers,
+			"Registered containers bound to one tenant.", tl,
+			func() int64 { return int64(o.tenantUsage(name).Containers) })
+		o.reg.GaugeFunc(MetricTenantSuspended,
+			"Tenant containers with at least one suspended allocation.", tl,
+			func() int64 { return int64(o.tenantUsage(name).Suspended) })
+		o.reg.GaugeFunc(MetricTenantPending,
+			"Suspended allocation requests across one tenant's containers.", tl,
+			func() int64 { return int64(o.tenantUsage(name).Pending) })
+		o.reg.GaugeFunc(MetricTenantGrant,
+			"GPU memory granted to one tenant's containers.", tl,
+			func() int64 { return int64(o.tenantUsage(name).Grant) })
+		o.reg.GaugeFunc(MetricTenantUsed,
+			"GPU memory one tenant's containers have allocated.", tl,
+			func() int64 { return int64(o.tenantUsage(name).Used) })
+		o.reg.GaugeFunc(MetricTenantQuota,
+			"Configured hard cap on one tenant's granted memory (0 = none).", tl,
+			func() int64 { return int64(o.tenantUsage(name).Quota) })
+		o.reg.GaugeFunc(MetricTenantGuarantee,
+			"Configured soft reservation for one tenant (0 = none).", tl,
+			func() int64 { return int64(o.tenantUsage(name).Guarantee) })
+	}
+}
+
+// tenantUsage re-reads one tenant's live usage at export time. A
+// tenant no longer reported (every container closed) reads as zeros.
+func (o *Observability) tenantUsage(name string) core.TenantUsage {
+	o.tenantMu.Lock()
+	st := o.tenantSrc
+	o.tenantMu.Unlock()
+	if st == nil {
+		return core.TenantUsage{}
+	}
+	for _, u := range st.Tenants() {
+		if u.Name == name {
+			return u
+		}
+	}
+	return core.TenantUsage{}
 }
 
 // BindMembership registers scrape-time gauges over a cluster backend's
@@ -401,6 +497,7 @@ type StatsPayload struct {
 
 // StatsJSON renders the full metric snapshot for the control socket.
 func (o *Observability) StatsJSON() ([]byte, error) {
+	o.refreshTenantGauges()
 	return json.Marshal(StatsPayload{
 		Algorithm: o.algo,
 		AtNano:    time.Now().UnixNano(),

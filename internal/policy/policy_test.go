@@ -1,0 +1,276 @@
+package policy
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"convgpu/internal/bytesize"
+	"convgpu/internal/core"
+	"convgpu/internal/multigpu"
+)
+
+func TestWakeNamesOrder(t *testing.T) {
+	want := append(core.AlgorithmNames(), WakeFairShare, WakeQuota, WakePriority)
+	if got := WakeNames(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("WakeNames() = %v, want %v", got, want)
+	}
+}
+
+func TestPlaceNamesOrder(t *testing.T) {
+	want := append(multigpu.PolicyNames(), PlaceFragAware)
+	if got := PlaceNames(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("PlaceNames() = %v, want %v", got, want)
+	}
+}
+
+func TestResolveWakeAliases(t *testing.T) {
+	cases := map[string]string{
+		"fifo": core.AlgFIFO, "first-in-first-out": core.AlgFIFO,
+		"bestfit": core.AlgBestFit, "bf": core.AlgBestFit, "best-fit": core.AlgBestFit,
+		"recentuse": core.AlgRecentUse, "ru": core.AlgRecentUse, "recent-use": core.AlgRecentUse,
+		"random": core.AlgRandom, "rand": core.AlgRandom,
+		"fairshare": WakeFairShare, "fair-share": WakeFairShare, "fs": WakeFairShare, "drf": WakeFairShare,
+		"quota": WakeQuota, "guarantee": WakeQuota,
+		"priority": WakePriority, "prio": WakePriority, "preempt": WakePriority,
+		"FIFO": core.AlgFIFO, "FairShare": WakeFairShare, // case-insensitive
+	}
+	for in, want := range cases {
+		got, ok := ResolveWake(in)
+		if !ok || got != want {
+			t.Errorf("ResolveWake(%q) = %q, %v; want %q, true", in, got, ok, want)
+		}
+	}
+	if _, ok := ResolveWake("nope"); ok {
+		t.Errorf("ResolveWake(\"nope\") resolved; want unknown")
+	}
+}
+
+func TestResolvePlaceAliases(t *testing.T) {
+	cases := map[string]string{
+		"roundrobin": multigpu.PolicyRoundRobin, "rr": multigpu.PolicyRoundRobin,
+		"leastloaded": multigpu.PolicyLeastLoaded, "ll": multigpu.PolicyLeastLoaded,
+		"firstfit": multigpu.PolicyFirstFit, "ff": multigpu.PolicyFirstFit,
+		"bestfit": multigpu.PolicyBestFit, "bf": multigpu.PolicyBestFit,
+		"fragaware": PlaceFragAware, "frag": PlaceFragAware, "fragmentation-aware": PlaceFragAware,
+	}
+	for in, want := range cases {
+		got, ok := ResolvePlace(in)
+		if !ok || got != want {
+			t.Errorf("ResolvePlace(%q) = %q, %v; want %q, true", in, got, ok, want)
+		}
+	}
+}
+
+func TestNewWakeUnknown(t *testing.T) {
+	_, err := NewWake("no-such-policy", Config{})
+	if err == nil {
+		t.Fatal("NewWake of unknown name succeeded")
+	}
+	if !strings.Contains(err.Error(), "fifo") {
+		t.Fatalf("unknown-policy error should list the registry: %v", err)
+	}
+}
+
+// TestNewWakeLegacyByteIdentical drives each legacy algorithm resolved
+// through the registry and its core.NewAlgorithm twin over identical
+// generated candidate sets: every pick must match, pick for pick — the
+// registry refactor must not perturb the paper's algorithms.
+func TestNewWakeLegacyByteIdentical(t *testing.T) {
+	for _, name := range core.AlgorithmNames() {
+		viaRegistry, err := NewWake(name, Config{Seed: 7})
+		if err != nil {
+			t.Fatalf("NewWake(%q): %v", name, err)
+		}
+		direct, err := core.NewAlgorithm(name, 7)
+		if err != nil {
+			t.Fatalf("NewAlgorithm(%q): %v", name, err)
+		}
+		rng := rand.New(rand.NewSource(11))
+		for round := 0; round < 500; round++ {
+			n := 1 + rng.Intn(8)
+			cands := make([]core.Candidate, n)
+			for i := range cands {
+				cands[i] = core.Candidate{
+					ID:         core.ContainerID(string(rune('a' + i))),
+					CreatedSeq: uint64(rng.Intn(40)),
+					SuspendSeq: uint64(rng.Intn(40)),
+					Deficit:    bytesize.Size(1+rng.Intn(1024)) * bytesize.MiB,
+				}
+			}
+			pool := bytesize.Size(rng.Intn(2048)) * bytesize.MiB
+			if got, want := viaRegistry.Pick(pool, cands), direct.Pick(pool, cands); got != want {
+				t.Fatalf("%s round %d: registry pick %d, direct pick %d", name, round, got, want)
+			}
+		}
+	}
+}
+
+// TestNewPlaceLegacyByteIdentical is the placement twin of the above.
+func TestNewPlaceLegacyByteIdentical(t *testing.T) {
+	for _, name := range multigpu.PolicyNames() {
+		viaRegistry, err := NewPlace(name, Config{})
+		if err != nil {
+			t.Fatalf("NewPlace(%q): %v", name, err)
+		}
+		direct, err := multigpu.NewPolicy(name)
+		if err != nil {
+			t.Fatalf("NewPolicy(%q): %v", name, err)
+		}
+		rng := rand.New(rand.NewSource(13))
+		for round := 0; round < 500; round++ {
+			n := 1 + rng.Intn(6)
+			devs := make([]core.DeviceInfo, n)
+			for i := range devs {
+				cap := bytesize.Size(1+rng.Intn(8)) * bytesize.GiB
+				devs[i] = core.DeviceInfo{
+					Index:      i,
+					Capacity:   cap,
+					PoolFree:   bytesize.Size(rng.Int63n(int64(cap) + 1)),
+					Containers: rng.Intn(5),
+				}
+			}
+			limit := bytesize.Size(1+rng.Intn(4096)) * bytesize.MiB
+			if got, want := viaRegistry.Place(limit, devs), direct.Place(limit, devs); got != want {
+				t.Fatalf("%s round %d: registry place %d, direct place %d", name, round, got, want)
+			}
+		}
+	}
+}
+
+func cand(id string, seq uint64, weight, prio int, tGrant, tGuar bytesize.Size) core.Candidate {
+	return core.Candidate{
+		ID: core.ContainerID(id), CreatedSeq: seq, Deficit: bytesize.MiB,
+		TenantWeight: weight, TenantPriority: prio,
+		TenantGrant: tGrant, TenantGuarantee: tGuar,
+	}
+}
+
+func TestFairSharePick(t *testing.T) {
+	// b's tenant holds 100 MiB at weight 1 (share 100); a's holds
+	// 300 MiB at weight 4 (share 75): a is more underserved.
+	cands := []core.Candidate{
+		cand("a", 1, 4, 0, 300*bytesize.MiB, 0),
+		cand("b", 2, 1, 0, 100*bytesize.MiB, 0),
+	}
+	if got := (FairShare{}).Pick(bytesize.GiB, cands); got != 0 {
+		t.Fatalf("Pick = %d, want 0 (weighted share 75 < 100)", got)
+	}
+	// Equal shares tie-break on creation order.
+	cands = []core.Candidate{
+		cand("old", 5, 2, 0, 200*bytesize.MiB, 0),
+		cand("older", 3, 2, 0, 200*bytesize.MiB, 0),
+	}
+	if got := (FairShare{}).Pick(bytesize.GiB, cands); got != 1 {
+		t.Fatalf("tie Pick = %d, want 1 (older container)", got)
+	}
+	// Zero weight reads as 1, so single-tenant candidates degrade to FIFO.
+	cands = []core.Candidate{
+		cand("c1", 9, 0, 0, 0, 0),
+		cand("c0", 2, 0, 0, 0, 0),
+	}
+	if got := (FairShare{}).Pick(bytesize.GiB, cands); got != 1 {
+		t.Fatalf("default-tenant Pick = %d, want 1 (FIFO fallback)", got)
+	}
+}
+
+func TestQuotaPick(t *testing.T) {
+	// b's tenant is 200 MiB below its guarantee, a's is at it.
+	cands := []core.Candidate{
+		cand("a", 1, 0, 0, 256*bytesize.MiB, 256*bytesize.MiB),
+		cand("b", 2, 0, 0, 56*bytesize.MiB, 256*bytesize.MiB),
+	}
+	if got := (Quota{}).Pick(bytesize.GiB, cands); got != 1 {
+		t.Fatalf("Pick = %d, want 1 (largest guarantee shortfall)", got)
+	}
+	// No shortfalls: FIFO order.
+	cands = []core.Candidate{
+		cand("young", 7, 0, 0, 0, 0),
+		cand("old", 1, 0, 0, 0, 0),
+	}
+	if got := (Quota{}).Pick(bytesize.GiB, cands); got != 1 {
+		t.Fatalf("no-shortfall Pick = %d, want 1 (FIFO fallback)", got)
+	}
+}
+
+func TestPriorityPick(t *testing.T) {
+	cands := []core.Candidate{
+		cand("low", 1, 0, 1, 0, 0),
+		cand("high", 2, 0, 9, 0, 0),
+		cand("mid", 3, 0, 5, 0, 0),
+	}
+	if got := (Priority{}).Pick(bytesize.GiB, cands); got != 1 {
+		t.Fatalf("Pick = %d, want 1 (highest priority)", got)
+	}
+}
+
+func holder(id string, prio int, seq uint64, grant, used bytesize.Size) core.Holder {
+	return core.Holder{ID: core.ContainerID(id), Priority: prio, CreatedSeq: seq, Grant: grant, Used: used}
+}
+
+func TestPriorityVictims(t *testing.T) {
+	req := core.Holder{ID: "req", Priority: 5}
+	holders := []core.Holder{
+		holder("equal", 5, 1, 500*bytesize.MiB, 0),              // same priority: never a victim
+		holder("above", 9, 2, 500*bytesize.MiB, 0),              // higher: never a victim
+		holder("low-old", 1, 3, 100*bytesize.MiB, 0),            // lowest priority, older
+		holder("low-young", 1, 4, 100*bytesize.MiB, 0),          // lowest priority, younger: first victim
+		holder("mid", 3, 5, 400*bytesize.MiB, 300*bytesize.MiB), // 100 MiB unused
+	}
+	got := (Priority{}).Victims(250*bytesize.MiB, req, holders)
+	want := []core.ContainerID{"low-young", "low-old", "mid"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Victims = %v, want %v", got, want)
+	}
+	// Need beyond all eligible unused grant: decline entirely.
+	if got := (Priority{}).Victims(500*bytesize.MiB, req, holders); got != nil {
+		t.Fatalf("uncoverable need returned victims %v, want nil", got)
+	}
+	// No lower-priority holders: decline.
+	if got := (Priority{}).Victims(bytesize.MiB, req, holders[:2]); got != nil {
+		t.Fatalf("no eligible holders returned %v, want nil", got)
+	}
+}
+
+func dev(i int, cap, free bytesize.Size) core.DeviceInfo {
+	return core.DeviceInfo{Index: i, Capacity: cap, PoolFree: free}
+}
+
+func TestFragAwarePlace(t *testing.T) {
+	devs := []core.DeviceInfo{
+		dev(0, 8*bytesize.GiB, 6*bytesize.GiB),
+		dev(1, 2*bytesize.GiB, bytesize.GiB),
+		dev(2, 4*bytesize.GiB, 3*bytesize.GiB),
+	}
+	// A small container goes to the smallest device that fits it,
+	// keeping the 8 GiB pool whole.
+	if got := (FragAware{}).Place(512*bytesize.MiB, devs); got != 1 {
+		t.Fatalf("small Place = %d, want 1 (smallest fitting device)", got)
+	}
+	// A large one must take the big device.
+	if got := (FragAware{}).Place(5*bytesize.GiB, devs); got != 0 {
+		t.Fatalf("large Place = %d, want 0", got)
+	}
+	// Capacity ties prefer the fuller device (smaller free pool).
+	tied := []core.DeviceInfo{
+		dev(0, 4*bytesize.GiB, 3*bytesize.GiB),
+		dev(1, 4*bytesize.GiB, 2*bytesize.GiB),
+	}
+	if got := (FragAware{}).Place(bytesize.GiB, tied); got != 1 {
+		t.Fatalf("tie Place = %d, want 1 (fuller device)", got)
+	}
+	// Nothing's free pool covers the limit: least-loaded fallback among
+	// devices whose capacity could ever hold it.
+	full := []core.DeviceInfo{
+		dev(0, 2*bytesize.GiB, 256*bytesize.MiB),
+		dev(1, 4*bytesize.GiB, 512*bytesize.MiB),
+	}
+	if got := (FragAware{}).Place(bytesize.GiB, full); got != 1 {
+		t.Fatalf("fallback Place = %d, want 1 (largest free pool)", got)
+	}
+	// No device large enough at all: -1.
+	if got := (FragAware{}).Place(16*bytesize.GiB, devs); got != -1 {
+		t.Fatalf("oversized Place = %d, want -1", got)
+	}
+}

@@ -1,0 +1,209 @@
+package policy
+
+import (
+	"sort"
+
+	"convgpu/internal/bytesize"
+	"convgpu/internal/core"
+)
+
+// Names of the tenant-aware policies.
+const (
+	WakeFairShare  = "fairshare"
+	WakeQuota      = "quota"
+	WakePriority   = "priority"
+	PlaceFragAware = "fragaware"
+)
+
+// weightOf reads a candidate's fair-share weight; zero or negative
+// (including the default tenant's zero value) reads as 1.
+func weightOf(w int) int64 {
+	if w <= 0 {
+		return 1
+	}
+	return int64(w)
+}
+
+// FairShare wakes the paused container whose tenant holds the smallest
+// weighted share of granted memory — DRF-style deficit ordering across
+// tenants: the tenant with the lowest grant/weight ratio is the most
+// underserved and receives freed memory first. Ties (including the
+// single-tenant case, where every candidate shares one ratio) fall back
+// to FIFO order, so a fair-share scheduler with one tenant behaves
+// exactly like the paper's FIFO.
+type FairShare struct{}
+
+// Name implements core.Algorithm.
+func (FairShare) Name() string { return WakeFairShare }
+
+// Pick implements core.Algorithm.
+func (FairShare) Pick(pool bytesize.Size, cands []core.Candidate) int {
+	best := -1
+	for i, c := range cands {
+		if best == -1 || fairLess(c, cands[best]) {
+			best = i
+		}
+	}
+	return best
+}
+
+// fairLess orders candidates by weighted tenant share ascending
+// (cross-multiplied to stay in integer arithmetic), then by creation.
+func fairLess(a, b core.Candidate) bool {
+	sa := int64(a.TenantGrant) * weightOf(b.TenantWeight)
+	sb := int64(b.TenantGrant) * weightOf(a.TenantWeight)
+	if sa != sb {
+		return sa < sb
+	}
+	return a.CreatedSeq < b.CreatedSeq
+}
+
+// Quota wakes the paused container whose tenant is furthest below its
+// guarantee (largest guarantee - grant shortfall), pushing every tenant
+// toward its reserved floor first; ties and tenants at or above their
+// guarantees fall back to FIFO order. The hard quota ceiling itself is
+// enforced by the core's admit/top-up/redistribution clamps regardless
+// of the wake policy — this policy adds the SGDRC-style ordering that
+// fills guarantees before surplus.
+type Quota struct{}
+
+// Name implements core.Algorithm.
+func (Quota) Name() string { return WakeQuota }
+
+// Pick implements core.Algorithm.
+func (Quota) Pick(pool bytesize.Size, cands []core.Candidate) int {
+	best := -1
+	for i, c := range cands {
+		if best == -1 || quotaLess(c, cands[best]) {
+			best = i
+		}
+	}
+	return best
+}
+
+// quotaLess orders candidates by guarantee shortfall descending, then
+// by creation.
+func quotaLess(a, b core.Candidate) bool {
+	sa, sb := shortfall(a), shortfall(b)
+	if sa != sb {
+		return sa > sb
+	}
+	return a.CreatedSeq < b.CreatedSeq
+}
+
+func shortfall(c core.Candidate) bytesize.Size {
+	if c.TenantGuarantee <= c.TenantGrant {
+		return 0
+	}
+	return c.TenantGuarantee - c.TenantGrant
+}
+
+// Priority wakes the paused container of the highest-priority tenant
+// (ties fall back to FIFO order) and implements core.Preemptor: a
+// request that would suspend may instead reclaim *unused* grant
+// (grant - used) from containers of strictly lower-priority tenants —
+// volcano's reclaim mapped onto our suspend machinery. Victims lose
+// only memory they are not occupying, so no running allocation is
+// disturbed; a victim's next over-grant allocation suspends and waits
+// its redistribution turn like any other.
+type Priority struct{}
+
+// Name implements core.Algorithm.
+func (Priority) Name() string { return WakePriority }
+
+// Pick implements core.Algorithm.
+func (Priority) Pick(pool bytesize.Size, cands []core.Candidate) int {
+	best := -1
+	for i, c := range cands {
+		if best == -1 || priorityLess(c, cands[best]) {
+			best = i
+		}
+	}
+	return best
+}
+
+// priorityLess orders candidates by tenant priority descending, then by
+// creation.
+func priorityLess(a, b core.Candidate) bool {
+	if a.TenantPriority != b.TenantPriority {
+		return a.TenantPriority > b.TenantPriority
+	}
+	return a.CreatedSeq < b.CreatedSeq
+}
+
+// Victims implements core.Preemptor: holders of strictly lower
+// priority than the requester, lowest priority first (youngest first
+// within a priority), taken until their unused grants cover need.
+// Declines (nil) when even all eligible victims together cannot cover
+// it — partial preemption would strip grants without admitting anyone.
+func (Priority) Victims(need bytesize.Size, req core.Holder, holders []core.Holder) []core.ContainerID {
+	var eligible []core.Holder
+	for _, h := range holders {
+		if h.Priority < req.Priority && h.Grant > h.Used {
+			eligible = append(eligible, h)
+		}
+	}
+	if len(eligible) == 0 {
+		return nil
+	}
+	sort.Slice(eligible, func(i, j int) bool {
+		if eligible[i].Priority != eligible[j].Priority {
+			return eligible[i].Priority < eligible[j].Priority
+		}
+		return eligible[i].CreatedSeq > eligible[j].CreatedSeq
+	})
+	var out []core.ContainerID
+	var sum bytesize.Size
+	for _, h := range eligible {
+		out = append(out, h.ID)
+		sum += h.Grant - h.Used
+		if sum >= need {
+			return out
+		}
+	}
+	return nil
+}
+
+// FragAware places a new container on the smallest device that can
+// still hold its whole limit in free pool — the online
+// fragmentation-aware packing of heterogeneous MIG-cloud schedulers:
+// small containers are kept off large devices so that large pools stay
+// whole for large containers. Ties prefer the fuller device (smaller
+// free pool), packing tight; when no device's free pool covers the
+// limit it falls back to the least-loaded device, like the other
+// fit-based placement policies.
+type FragAware struct{}
+
+// Name implements multigpu.Policy.
+func (FragAware) Name() string { return PlaceFragAware }
+
+// Place implements multigpu.Policy.
+func (FragAware) Place(limit bytesize.Size, devs []core.DeviceInfo) int {
+	best := -1
+	for _, d := range devs {
+		if d.Capacity < limit || d.PoolFree < limit {
+			continue
+		}
+		if best == -1 {
+			best = d.Index
+			continue
+		}
+		b := devs[best]
+		if d.Capacity < b.Capacity || (d.Capacity == b.Capacity && d.PoolFree < b.PoolFree) {
+			best = d.Index
+		}
+	}
+	if best != -1 {
+		return best
+	}
+	fallback := -1
+	for _, d := range devs {
+		if d.Capacity < limit {
+			continue
+		}
+		if fallback == -1 || d.PoolFree > devs[fallback].PoolFree {
+			fallback = d.Index
+		}
+	}
+	return fallback
+}

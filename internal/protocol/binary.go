@@ -72,6 +72,16 @@ const (
 	tagTotal     = 15 // i64
 	tagData      = 16 // string
 	tagAfter     = 17 // u64 (trace page cursor)
+
+	// Tenant identity fields (register/attach). New tags extend the
+	// format compatibly: zero values are omitted, so single-tenant
+	// traffic emits byte-identical frames, and an old decoder only ever
+	// sees these tags from a peer that negotiated with a new server.
+	tagTenant          = 18 // string
+	tagTenantWeight    = 19 // i64
+	tagTenantPriority  = 20 // i64
+	tagTenantQuota     = 21 // i64
+	tagTenantGuarantee = 22 // i64
 )
 
 // typeByOpcode maps opcode bytes back to message types. Opcode values
@@ -94,6 +104,7 @@ var typeByOpcode = [...]Type{
 	14: TypeDump,
 	15: TypeCodec,
 	16: TypeResponse,
+	17: TypeTenants,
 }
 
 // opcodeOf returns the opcode for a type, or false for a type with no
@@ -150,6 +161,14 @@ func AppendEncodeBinary(dst []byte, m *Message) (out []byte, ok bool) {
 	dst = appendBinaryInt(dst, tagLimit, m.Limit)
 	dst = appendBinaryInt(dst, tagAddr, int64(m.Addr))
 	dst = appendBinaryInt(dst, tagAfter, int64(m.After))
+	dst, ok = appendBinaryString(dst, tagTenant, m.Tenant)
+	if !ok {
+		return dst[:base], false
+	}
+	dst = appendBinaryInt(dst, tagTenantWeight, int64(m.TenantWeight))
+	dst = appendBinaryInt(dst, tagTenantPriority, int64(m.TenantPriority))
+	dst = appendBinaryInt(dst, tagTenantQuota, m.TenantQuota)
+	dst = appendBinaryInt(dst, tagTenantGuarantee, m.TenantGuarantee)
 	dst, ok = appendBinaryString(dst, tagAPI, m.API)
 	if !ok {
 		return dst[:base], false
@@ -292,7 +311,8 @@ func DecodeBinaryInto(m *Message, op byte, seq uint64, payload []byte) error {
 				return fmt.Errorf("protocol: unknown decision byte %d", payload[i])
 			}
 			i++
-		case tagPID, tagSize, tagLimit, tagAddr, tagAfter, tagGranted, tagDevice, tagFree, tagTotal:
+		case tagPID, tagSize, tagLimit, tagAddr, tagAfter, tagGranted, tagDevice, tagFree, tagTotal,
+			tagTenantWeight, tagTenantPriority, tagTenantQuota, tagTenantGuarantee:
 			if i+8 > len(payload) {
 				return errTruncatedField(tag)
 			}
@@ -317,8 +337,16 @@ func DecodeBinaryInto(m *Message, op byte, seq uint64, payload []byte) error {
 				m.Free = int64(v)
 			case tagTotal:
 				m.Total = int64(v)
+			case tagTenantWeight:
+				m.TenantWeight = int(int64(v))
+			case tagTenantPriority:
+				m.TenantPriority = int(int64(v))
+			case tagTenantQuota:
+				m.TenantQuota = int64(v)
+			case tagTenantGuarantee:
+				m.TenantGuarantee = int64(v)
 			}
-		case tagContainer, tagAPI, tagError, tagCode, tagSocketDir, tagData:
+		case tagContainer, tagAPI, tagError, tagCode, tagSocketDir, tagData, tagTenant:
 			if i+2 > len(payload) {
 				return errTruncatedField(tag)
 			}
@@ -342,6 +370,8 @@ func DecodeBinaryInto(m *Message, op byte, seq uint64, payload []byte) error {
 				m.SocketDir = string(s)
 			case tagData:
 				m.Data = string(s)
+			case tagTenant:
+				m.Tenant = string(s)
 			}
 		default:
 			return fmt.Errorf("protocol: unknown payload tag %d", tag)

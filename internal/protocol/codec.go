@@ -120,6 +120,26 @@ func AppendEncode(dst []byte, m *Message) []byte {
 		dst = append(dst, `,"after":`...)
 		dst = strconv.AppendUint(dst, m.After, 10)
 	}
+	if m.Tenant != "" {
+		dst = append(dst, `,"tenant":`...)
+		dst = appendJSONString(dst, m.Tenant)
+	}
+	if m.TenantWeight != 0 {
+		dst = append(dst, `,"tenant_weight":`...)
+		dst = strconv.AppendInt(dst, int64(m.TenantWeight), 10)
+	}
+	if m.TenantPriority != 0 {
+		dst = append(dst, `,"tenant_priority":`...)
+		dst = strconv.AppendInt(dst, int64(m.TenantPriority), 10)
+	}
+	if m.TenantQuota != 0 {
+		dst = append(dst, `,"tenant_quota":`...)
+		dst = strconv.AppendInt(dst, m.TenantQuota, 10)
+	}
+	if m.TenantGuarantee != 0 {
+		dst = append(dst, `,"tenant_guarantee":`...)
+		dst = strconv.AppendInt(dst, m.TenantGuarantee, 10)
+	}
 	if m.OK {
 		dst = append(dst, `,"ok":true`...)
 	}
@@ -410,6 +430,41 @@ func scanField(m *Message, b []byte, i int, key []byte) (int, bool) {
 		}
 		m.Total = n
 		return next, true
+	case "tenant":
+		s, next, ok := scanString(b, i)
+		if !ok {
+			return 0, false
+		}
+		m.Tenant = string(s)
+		return next, true
+	case "tenant_weight":
+		n, next, ok := scanInt(b, i)
+		if !ok {
+			return 0, false
+		}
+		m.TenantWeight = int(n)
+		return next, true
+	case "tenant_priority":
+		n, next, ok := scanInt(b, i)
+		if !ok {
+			return 0, false
+		}
+		m.TenantPriority = int(n)
+		return next, true
+	case "tenant_quota":
+		n, next, ok := scanInt(b, i)
+		if !ok {
+			return 0, false
+		}
+		m.TenantQuota = n
+		return next, true
+	case "tenant_guarantee":
+		n, next, ok := scanInt(b, i)
+		if !ok {
+			return 0, false
+		}
+		m.TenantGuarantee = n
+		return next, true
 	default:
 		return skipScalar(b, i)
 	}
@@ -452,6 +507,8 @@ func typeToken(s []byte) Type {
 		return TypeSessions
 	case string(TypeOps):
 		return TypeOps
+	case string(TypeTenants):
+		return TypeTenants
 	case string(TypeResponse):
 		return TypeResponse
 	default:

@@ -113,7 +113,7 @@ func TestDecodeFallbackAgreesWithStdlibErrors(t *testing.T) {
 	// like the old encoding/json-based decoder: accepted when it
 	// accepted, rejected when it rejected.
 	accept := []string{
-		`{"type":"meminfo","seq":1e2}`,          // exponent seq: stdlib rejects into uint64? (checked below)
+		`{"type":"meminfo","seq":1e2}`,                          // exponent seq: stdlib rejects into uint64? (checked below)
 		`{"type":"close","container":"c","extra":{"nested":1}}`, // nested unknown value
 		`{"type":"close","container":"c","extra":[1,2]}`,        // array unknown value
 	}

@@ -108,6 +108,10 @@ const (
 	// carries an operation ID. The response's Data field carries the
 	// JSON payload.
 	TypeOps Type = "ops"
+	// TypeTenants asks the daemon for its per-tenant usage rollup
+	// (control socket only). The response's Data field carries the JSON
+	// payload (a list of tenant usage summaries).
+	TypeTenants Type = "tenants"
 	// TypeResponse is the reply to any request.
 	TypeResponse Type = "response"
 )
@@ -140,6 +144,15 @@ type Message struct {
 	Addr      uint64 `json:"addr,omitempty"`
 	API       string `json:"api,omitempty"`   // originating CUDA API name
 	After     uint64 `json:"after,omitempty"` // trace page cursor: return events with Seq > After
+
+	// Tenant identity fields (register/attach only; absent = default
+	// tenant, which keeps single-tenant wire bytes identical to older
+	// peers).
+	Tenant          string `json:"tenant,omitempty"`           // tenant name
+	TenantWeight    int    `json:"tenant_weight,omitempty"`    // fair-share weight
+	TenantPriority  int    `json:"tenant_priority,omitempty"`  // preemption priority
+	TenantQuota     int64  `json:"tenant_quota,omitempty"`     // bytes, hard cap on the tenant's grants
+	TenantGuarantee int64  `json:"tenant_guarantee,omitempty"` // bytes, soft reservation floor
 
 	// Response fields.
 	OK        bool     `json:"ok,omitempty"`
@@ -223,7 +236,7 @@ func (m *Message) Validate() error {
 		if m.Size <= 0 {
 			return fmt.Errorf("protocol: restore with non-positive size %d", m.Size)
 		}
-	case TypeMemInfo, TypeResponse, TypeHeartbeat, TypeStats, TypeTrace, TypeDump, TypeCodec, TypeNodes, TypeDrain, TypeRevive, TypeSessions, TypeOps:
+	case TypeMemInfo, TypeResponse, TypeHeartbeat, TypeStats, TypeTrace, TypeDump, TypeCodec, TypeNodes, TypeDrain, TypeRevive, TypeSessions, TypeOps, TypeTenants:
 		// No required request fields beyond the type itself (trace may
 		// carry an optional Container filter and an After cursor; codec
 		// carries the offered token in Data; drain/revive carry the node

@@ -39,6 +39,11 @@ const (
 	// KindEvict ends a session a failover could not re-place — folds
 	// exactly like KindClose, kept distinct for audit.
 	KindEvict Kind = 5
+	// KindTenant defines (or redefines) a tenant: Container carries the
+	// tenant name and Meta its JSON-encoded TenantDef. Folded so a
+	// restarted daemon recovers every tenant's quota/priority attributes
+	// alongside the sessions bound to them.
+	KindTenant Kind = 6
 
 	// Audit kinds: the allocation plane. Replay ignores them.
 	KindGrant   Kind = 16 // allocation accepted (Amount bytes, PID)
@@ -62,6 +67,8 @@ func (k Kind) String() string {
 		return "lease_expire"
 	case KindEvict:
 		return "evict"
+	case KindTenant:
+		return "tenant"
 	case KindGrant:
 		return "grant"
 	case KindSuspend:
@@ -80,8 +87,8 @@ func (k Kind) String() string {
 }
 
 // sessionKind reports whether the kind changes the recovered session
-// set (true for register/migrate/close/lease/evict).
-func (k Kind) sessionKind() bool { return k >= KindRegister && k <= KindEvict }
+// set (true for register/migrate/close/lease/evict/tenant).
+func (k Kind) sessionKind() bool { return k >= KindRegister && k <= KindTenant }
 
 // Record is one appended event. Seq is assigned by the log at append
 // time (strictly increasing, never reused); all other fields are the
@@ -95,8 +102,14 @@ type Record struct {
 	Kind      Kind
 	Container string
 	// Meta carries audit context: an eviction reason, the request ID of
-	// the admin operation that caused the event, a failover's node pair.
+	// the admin operation that caused the event, a failover's node pair
+	// (and, for KindTenant, the JSON-encoded tenant definition).
 	Meta string
+	// Tenant names the tenant a register/migrate event binds the session
+	// to (empty for the default tenant). Encoded as an optional trailer,
+	// so tenantless records keep their historical byte layout and old
+	// logs replay unchanged.
+	Tenant string
 }
 
 // Encoded payload layout (after the 8-byte frame header):
@@ -109,6 +122,8 @@ type Record struct {
 //	kind   uint8
 //	clen   uint16 LE, container bytes
 //	mlen   uint16 LE, meta bytes
+//	tlen   uint16 LE, tenant bytes — optional trailer, present only when
+//	       the tenant name is non-empty (old records end at the meta)
 const (
 	frameHeaderSize = 8
 	payloadFixed    = 8 + 8 + 8 + 4 + 4 + 1 + 2 + 2
@@ -127,7 +142,13 @@ func appendRecord(dst []byte, rec *Record) ([]byte, error) {
 	if len(rec.Meta) > 0xFFFF {
 		return dst, fmt.Errorf("wal: meta %d bytes exceeds 64 KiB", len(rec.Meta))
 	}
+	if len(rec.Tenant) > 0xFFFF {
+		return dst, fmt.Errorf("wal: tenant %d bytes exceeds 64 KiB", len(rec.Tenant))
+	}
 	plen := payloadFixed + len(rec.Container) + len(rec.Meta)
+	if rec.Tenant != "" {
+		plen += 2 + len(rec.Tenant)
+	}
 	if plen > maxRecordSize {
 		return dst, fmt.Errorf("wal: record payload %d bytes exceeds cap %d", plen, maxRecordSize)
 	}
@@ -143,6 +164,10 @@ func appendRecord(dst []byte, rec *Record) ([]byte, error) {
 	dst = append(dst, rec.Container...)
 	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(rec.Meta)))
 	dst = append(dst, rec.Meta...)
+	if rec.Tenant != "" {
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(len(rec.Tenant)))
+		dst = append(dst, rec.Tenant...)
+	}
 	payload := dst[base+frameHeaderSize:]
 	binary.LittleEndian.PutUint32(dst[base:], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(dst[base+4:], crc32.ChecksumIEEE(payload))
@@ -184,10 +209,24 @@ func decodeRecord(buf []byte, rec *Record) (int, error) {
 	rest = rest[clen:]
 	mlen := int(binary.LittleEndian.Uint16(rest))
 	rest = rest[2:]
-	if len(rest) != mlen {
-		return 0, fmt.Errorf("wal: record meta length %d does not close payload (%d left)", mlen, len(rest))
+	if len(rest) < mlen {
+		return 0, fmt.Errorf("wal: record meta length %d overruns payload", mlen)
 	}
-	rec.Meta = string(rest)
+	rec.Meta = string(rest[:mlen])
+	rest = rest[mlen:]
+	// Optional tenant trailer: pre-tenant records end at the meta.
+	rec.Tenant = ""
+	if len(rest) > 0 {
+		if len(rest) < 2 {
+			return 0, fmt.Errorf("wal: record tenant trailer truncated")
+		}
+		tlen := int(binary.LittleEndian.Uint16(rest))
+		rest = rest[2:]
+		if len(rest) != tlen {
+			return 0, fmt.Errorf("wal: record tenant length %d does not close payload (%d left)", tlen, len(rest))
+		}
+		rec.Tenant = string(rest)
+	}
 	return frameHeaderSize + plen, nil
 }
 

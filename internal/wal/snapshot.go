@@ -14,6 +14,7 @@
 package wal
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -30,6 +31,22 @@ type Session struct {
 	Container string `json:"container"`
 	Limit     int64  `json:"limit"`
 	Device    int    `json:"device"`
+	// Tenant names the tenant the session is bound to (empty for the
+	// default tenant); the daemon re-binds it against the recovered
+	// tenant table at restart.
+	Tenant string `json:"tenant,omitempty"`
+}
+
+// TenantDef is one folded tenant definition: the scheduling attributes
+// a restarted daemon re-applies when re-admitting the tenant's
+// sessions. The log stores it JSON-encoded in a KindTenant record's
+// Meta, keeping the record framing fixed.
+type TenantDef struct {
+	Name      string `json:"name"`
+	Weight    int    `json:"weight,omitempty"`
+	Priority  int    `json:"priority,omitempty"`
+	Quota     int64  `json:"quota,omitempty"`
+	Guarantee int64  `json:"guarantee,omitempty"`
 }
 
 // snapshotName builds the file name for a snapshot covering seq.
@@ -39,14 +56,30 @@ func snapshotName(seq uint64) string { return fmt.Sprintf("snap-%016x.snap", seq
 // fsyncs it, and returns its path. The write goes through a temp file +
 // rename so a crash mid-snapshot can never leave a half-written file
 // under a valid snapshot name.
-func writeSnapshot(dir string, seq uint64, sessions map[string]Session) (string, error) {
-	buf := make([]byte, 0, 64+len(sessions)*64)
+func writeSnapshot(dir string, seq uint64, sessions map[string]Session, tenants map[string]TenantDef) (string, error) {
+	buf := make([]byte, 0, 64+(len(sessions)+len(tenants))*64)
 	hdr := Record{Seq: seq, Kind: kindSnapshotHeader, Amount: int64(len(sessions))}
 	buf, err := appendRecord(buf, &hdr)
 	if err != nil {
 		return "", err
 	}
-	// Deterministic order: stable files for identical states.
+	// Deterministic order: stable files for identical states. Tenant
+	// definitions precede the sessions that reference them.
+	names := make([]string, 0, len(tenants))
+	for name := range tenants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		rec, err := TenantRecord(tenants[name])
+		if err != nil {
+			return "", err
+		}
+		rec.Seq = seq
+		if buf, err = appendRecord(buf, &rec); err != nil {
+			return "", err
+		}
+	}
 	ids := make([]string, 0, len(sessions))
 	for id := range sessions {
 		ids = append(ids, id)
@@ -54,7 +87,7 @@ func writeSnapshot(dir string, seq uint64, sessions map[string]Session) (string,
 	sort.Strings(ids)
 	for _, id := range ids {
 		s := sessions[id]
-		rec := Record{Seq: seq, Kind: KindRegister, Container: s.Container, Amount: s.Limit, Device: int32(s.Device)}
+		rec := Record{Seq: seq, Kind: KindRegister, Container: s.Container, Amount: s.Limit, Device: int32(s.Device), Tenant: s.Tenant}
 		if buf, err = appendRecord(buf, &rec); err != nil {
 			return "", err
 		}
@@ -87,37 +120,47 @@ func writeSnapshot(dir string, seq uint64, sessions map[string]Session) (string,
 }
 
 // loadSnapshot reads and validates one snapshot file, returning the
-// covered sequence number and the session set.
-func loadSnapshot(path string) (uint64, map[string]Session, error) {
+// covered sequence number, the session set and the tenant table.
+func loadSnapshot(path string) (uint64, map[string]Session, map[string]TenantDef, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, nil, err
 	}
 	var hdr Record
 	n, err := decodeRecord(data, &hdr)
 	if err != nil {
-		return 0, nil, fmt.Errorf("wal: snapshot header: %w", err)
+		return 0, nil, nil, fmt.Errorf("wal: snapshot header: %w", err)
 	}
 	if hdr.Kind != kindSnapshotHeader {
-		return 0, nil, fmt.Errorf("wal: snapshot header kind %v", hdr.Kind)
+		return 0, nil, nil, fmt.Errorf("wal: snapshot header kind %v", hdr.Kind)
 	}
 	data = data[n:]
 	want := int(hdr.Amount)
 	sessions := make(map[string]Session, want)
+	tenants := make(map[string]TenantDef)
 	for len(data) > 0 {
 		var rec Record
 		n, err := decodeRecord(data, &rec)
 		if err != nil {
-			return 0, nil, fmt.Errorf("wal: snapshot entry: %w", err)
+			return 0, nil, nil, fmt.Errorf("wal: snapshot entry: %w", err)
 		}
-		if rec.Kind != KindRegister || rec.Container == "" {
-			return 0, nil, fmt.Errorf("wal: snapshot entry kind %v", rec.Kind)
+		switch {
+		case rec.Kind == KindRegister && rec.Container != "":
+			sessions[rec.Container] = Session{Container: rec.Container, Limit: rec.Amount, Device: int(rec.Device), Tenant: rec.Tenant}
+		case rec.Kind == KindTenant && rec.Container != "":
+			var def TenantDef
+			if err := json.Unmarshal([]byte(rec.Meta), &def); err != nil {
+				return 0, nil, nil, fmt.Errorf("wal: snapshot tenant %q: %w", rec.Container, err)
+			}
+			def.Name = rec.Container
+			tenants[rec.Container] = def
+		default:
+			return 0, nil, nil, fmt.Errorf("wal: snapshot entry kind %v", rec.Kind)
 		}
-		sessions[rec.Container] = Session{Container: rec.Container, Limit: rec.Amount, Device: int(rec.Device)}
 		data = data[n:]
 	}
 	if len(sessions) != want {
-		return 0, nil, fmt.Errorf("wal: snapshot has %d sessions, header says %d", len(sessions), want)
+		return 0, nil, nil, fmt.Errorf("wal: snapshot has %d sessions, header says %d", len(sessions), want)
 	}
-	return hdr.Seq, sessions, nil
+	return hdr.Seq, sessions, tenants, nil
 }

@@ -17,6 +17,7 @@
 package wal
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -89,6 +90,7 @@ type Stats struct {
 	LastSeq     uint64 `json:"last_seq"`
 	SnapshotSeq uint64 `json:"snapshot_seq"`
 	Sessions    int    `json:"sessions"`
+	Tenants     int    `json:"tenants,omitempty"`
 	Appends     uint64 `json:"appends"`
 	Syncs       uint64 `json:"syncs"`
 	// Replayed counts records folded at Open; TailDropped counts bytes
@@ -110,6 +112,7 @@ type Log struct {
 	nextSeq  uint64
 	snapSeq  uint64
 	sessions map[string]Session
+	tenants  map[string]TenantDef
 	buf      []byte
 	lastSync time.Time
 	appends  uint64
@@ -154,7 +157,7 @@ func Open(opts Options) (*Log, error) {
 	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: create dir: %w", err)
 	}
-	l := &Log{opts: opts, sessions: make(map[string]Session)}
+	l := &Log{opts: opts, sessions: make(map[string]Session), tenants: make(map[string]TenantDef)}
 	if err := l.recover(); err != nil {
 		return nil, err
 	}
@@ -187,7 +190,7 @@ func (l *Log) recover() error {
 	// the next restart does not re-try them.
 	for _, seq := range snapSeqs {
 		path := filepath.Join(l.opts.Dir, snapshotName(seq))
-		snapSeq, sessions, err := loadSnapshot(path)
+		snapSeq, sessions, tenants, err := loadSnapshot(path)
 		if err != nil {
 			l.opts.Logf("wal: discarding unreadable snapshot %s: %v", snapshotName(seq), err)
 			os.Remove(path)
@@ -195,6 +198,7 @@ func (l *Log) recover() error {
 		}
 		l.snapSeq = snapSeq
 		l.sessions = sessions
+		l.tenants = tenants
 		break
 	}
 	l.nextSeq = l.snapSeq + 1
@@ -292,9 +296,17 @@ func (l *Log) fold(rec *Record) {
 	}
 	switch rec.Kind {
 	case KindRegister, KindMigrate:
-		l.sessions[rec.Container] = Session{Container: rec.Container, Limit: rec.Amount, Device: int(rec.Device)}
+		l.sessions[rec.Container] = Session{Container: rec.Container, Limit: rec.Amount, Device: int(rec.Device), Tenant: rec.Tenant}
 	case KindClose, KindLeaseExpire, KindEvict:
 		delete(l.sessions, rec.Container)
+	case KindTenant:
+		var def TenantDef
+		if err := json.Unmarshal([]byte(rec.Meta), &def); err != nil {
+			l.opts.Logf("wal: tenant record %q has unreadable definition: %v", rec.Container, err)
+			return
+		}
+		def.Name = rec.Container
+		l.tenants[rec.Container] = def
 	}
 }
 
@@ -399,6 +411,33 @@ func (l *Log) Sessions() []Session {
 	return out
 }
 
+// Tenants returns the folded tenant definitions, sorted by name — the
+// recovered tenant table a restarted daemon re-binds sessions against.
+func (l *Log) Tenants() []TenantDef {
+	l.mu.Lock()
+	out := make([]TenantDef, 0, len(l.tenants))
+	for _, t := range l.tenants {
+		out = append(out, t)
+	}
+	l.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// TenantRecord builds the KindTenant record persisting one tenant
+// definition; the caller appends it (stamping the event time) like any
+// other session-changing record.
+func TenantRecord(def TenantDef) (Record, error) {
+	if def.Name == "" {
+		return Record{}, fmt.Errorf("wal: tenant definition without a name")
+	}
+	meta, err := json.Marshal(def)
+	if err != nil {
+		return Record{}, fmt.Errorf("wal: encode tenant definition: %w", err)
+	}
+	return Record{Kind: KindTenant, Container: def.Name, Meta: string(meta)}, nil
+}
+
 // LastSeq reports the highest assigned sequence number (0 when empty).
 func (l *Log) LastSeq() uint64 {
 	l.mu.Lock()
@@ -424,7 +463,7 @@ func (l *Log) snapshotLocked() (uint64, error) {
 		return 0, err
 	}
 	seq := l.nextSeq - 1
-	if _, err := writeSnapshot(l.opts.Dir, seq, l.sessions); err != nil {
+	if _, err := writeSnapshot(l.opts.Dir, seq, l.sessions, l.tenants); err != nil {
 		return 0, err
 	}
 	l.snapSeq = seq
@@ -498,6 +537,7 @@ func (l *Log) Stats() Stats {
 		LastSeq:     l.nextSeq - 1,
 		SnapshotSeq: l.snapSeq,
 		Sessions:    len(l.sessions),
+		Tenants:     len(l.tenants),
 		Appends:     l.appends,
 		Syncs:       l.syncs,
 		Replayed:    l.replayed,

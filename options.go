@@ -2,10 +2,13 @@ package convgpu
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
+	"convgpu/internal/core"
 	"convgpu/internal/gpu"
 	"convgpu/internal/obs"
+	"convgpu/internal/policy"
 )
 
 // Option configures a Stack built by New. Options replace the old
@@ -39,6 +42,8 @@ type stackConfig struct {
 	persistentGrants bool
 	eventLogSize     int
 	jsonWire         bool
+
+	tenants []core.Tenant
 
 	walDir  string
 	walSync string
@@ -89,8 +94,9 @@ func WithDevices(n int) Option {
 }
 
 // WithPlacementPolicy selects the device placement policy for a
-// multi-device stack (round-robin, least-loaded, first-fit, best-fit;
-// default least-loaded). Ignored without WithDevices.
+// multi-device stack through the policy registry (round-robin,
+// least-loaded, first-fit, best-fit, fragmentation-aware; default
+// least-loaded). Ignored without WithDevices.
 func WithPlacementPolicy(name string) Option {
 	return func(c *stackConfig) error {
 		if name == "" {
@@ -155,6 +161,47 @@ func WithAlgorithm(name string) Option {
 			return fmt.Errorf("convgpu: WithAlgorithm: empty name")
 		}
 		c.algorithm = name
+		return nil
+	}
+}
+
+// WithPolicy selects the wake-order policy through the unified policy
+// registry: the paper's four algorithms by name or alias, plus the
+// tenant-aware policies (FairShare, QuotaAware, Priority). Unknown
+// names fail at option time with the full registry listing. WithPolicy
+// and WithAlgorithm set the same knob; WithPolicy validates eagerly and
+// accepts every registered alias.
+func WithPolicy(name string) Option {
+	return func(c *stackConfig) error {
+		canonical, ok := policy.ResolveWake(name)
+		if !ok {
+			return fmt.Errorf("convgpu: WithPolicy: unknown policy %q (have %s)",
+				name, strings.Join(policy.WakeNames(), "|"))
+		}
+		c.algorithm = canonical
+		return nil
+	}
+}
+
+// WithTenant provisions one named tenant on the stack's daemon
+// (repeatable). Containers whose RunOptions carry the tenant's name
+// register under these attributes: Weight orders the tenant under the
+// fair-share policy, Priority under the priority policy (and entitles
+// preemption of strictly lower priorities), Quota caps the tenant's
+// summed grants per device, and Guarantee reserves pool memory while
+// the tenant sits below it. The configured definition wins over
+// attributes carried inline on the wire.
+func WithTenant(t Tenant) Option {
+	return func(c *stackConfig) error {
+		if t.Name == "" {
+			return fmt.Errorf("convgpu: WithTenant: tenant has no name")
+		}
+		for _, have := range c.tenants {
+			if have.Name == t.Name {
+				return fmt.Errorf("convgpu: WithTenant: tenant %q defined twice", t.Name)
+			}
+		}
+		c.tenants = append(c.tenants, t)
 		return nil
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"convgpu/internal/nvdocker"
 	"convgpu/internal/obs"
 	"convgpu/internal/plugin"
+	"convgpu/internal/policy"
 	"convgpu/internal/protocol"
 	"convgpu/internal/wal"
 )
@@ -104,6 +105,13 @@ func New(options ...Option) (*Stack, error) {
 		gpuOpts = append(gpuOpts, gpu.WithLatency(gpu.PaperLatency(), nil))
 	}
 
+	// Every wake-order and placement policy resolves through the unified
+	// policy registry: legacy algorithm names yield the exact values
+	// core.NewAlgorithm builds (byte-identical behavior), and the
+	// tenant-aware policies are reached by the same Option surface.
+	wakeFactory := func(seed int64) (core.Algorithm, error) {
+		return policy.NewWake(cfg.algorithm, policy.Config{Seed: seed})
+	}
 	var state core.Scheduler
 	var clus *cluster.Cluster
 	if cfg.nodes > 1 {
@@ -121,14 +129,21 @@ func New(options ...Option) (*Stack, error) {
 		if gpus < 1 {
 			gpus = 1
 		}
+		devicePolicy := cfg.placement
+		if devicePolicy == "" {
+			devicePolicy = multigpu.PolicyLeastLoaded
+		}
 		clus, err = cluster.New(cluster.Config{
-			Nodes:          cfg.nodes,
-			GPUsPerNode:    gpus,
-			CapacityPerGPU: cfg.capacity,
-			Algorithm:      cfg.algorithm,
-			AlgSeed:        cfg.algorithmSeed,
-			DevicePolicy:   cfg.placement,
-			Strategy:       strat,
+			Nodes:            cfg.nodes,
+			GPUsPerNode:      gpus,
+			CapacityPerGPU:   cfg.capacity,
+			Algorithm:        cfg.algorithm,
+			AlgorithmFactory: wakeFactory,
+			AlgSeed:          cfg.algorithmSeed,
+			DevicePolicyFactory: func() (multigpu.Policy, error) {
+				return policy.NewPlace(devicePolicy, policy.Config{Seed: cfg.algorithmSeed})
+			},
+			Strategy: strat,
 		})
 		if err != nil {
 			return nil, err
@@ -141,7 +156,7 @@ func New(options ...Option) (*Stack, error) {
 		if policyName == "" {
 			policyName = multigpu.PolicyLeastLoaded
 		}
-		pol, err := multigpu.NewPolicy(policyName)
+		pol, err := policy.NewPlace(policyName, policy.Config{Seed: cfg.algorithmSeed})
 		if err != nil {
 			return nil, err
 		}
@@ -149,6 +164,7 @@ func New(options ...Option) (*Stack, error) {
 			Devices:           cfg.devices,
 			CapacityPerDevice: cfg.capacity,
 			Algorithm:         cfg.algorithm,
+			AlgorithmFactory:  wakeFactory,
 			AlgSeed:           cfg.algorithmSeed,
 			Policy:            pol,
 			PersistentGrants:  cfg.persistentGrants,
@@ -157,7 +173,7 @@ func New(options ...Option) (*Stack, error) {
 			return nil, err
 		}
 	} else {
-		alg, err := core.NewAlgorithm(cfg.algorithm, cfg.algorithmSeed)
+		alg, err := policy.NewWake(cfg.algorithm, policy.Config{Seed: cfg.algorithmSeed})
 		if err != nil {
 			return nil, err
 		}
@@ -234,6 +250,7 @@ func (s *Stack) Start(ctx context.Context) error {
 		Lease:   s.cfg.lease,
 		Obs:     s.obs,
 		WAL:     s.wal,
+		Tenants: s.cfg.tenants,
 	})
 	if err != nil {
 		return fail(err)
@@ -456,6 +473,23 @@ func (s *Stack) Nodes(ctx context.Context) ([]NodeStatus, error) {
 		return nil, fmt.Errorf("convgpu: nodes: %w", err)
 	}
 	return nodes, nil
+}
+
+// Tenants asks the live daemon for the per-tenant usage rollup: one
+// TenantUsage per named tenant with its configured attributes (weight,
+// priority, quota, guarantee) and live scheduling state (containers,
+// grants, usage, pending requests), sorted by name. Containers of the
+// default tenant are not listed.
+func (s *Stack) Tenants(ctx context.Context) ([]TenantUsage, error) {
+	data, err := s.introspect(ctx, protocol.TypeTenants, "")
+	if err != nil {
+		return nil, err
+	}
+	var tenants []TenantUsage
+	if err := json.Unmarshal(data, &tenants); err != nil {
+		return nil, fmt.Errorf("convgpu: tenants: %w", err)
+	}
+	return tenants, nil
 }
 
 // DrainNode makes a cluster node refuse new containers while its
