@@ -4,8 +4,9 @@
 GO ?= go
 
 .PHONY: all build test vet lint check apicheck apigen race chaos chaos-nodes \
-	bench bench-all bench-recovery bench-policy benchdiff benchdiff-policy \
-	clean model model-long policy fuzz-smoke cover recovery-smoke
+	bench bench-all bench-recovery bench-policy bench-load benchdiff \
+	benchdiff-policy clean model model-long policy fuzz-smoke cover \
+	recovery-smoke load-smoke
 
 all: build test
 
@@ -27,7 +28,7 @@ lint: vet
 		echo "lint: files need gofmt:"; echo "$$out"; exit 1; \
 	fi
 
-check: lint apicheck test policy fuzz-smoke cover recovery-smoke
+check: lint apicheck test policy fuzz-smoke cover recovery-smoke load-smoke
 
 # apicheck guards the public facade: the exported API of package
 # convgpu is dumped in normalized form (tools/apidump) and diffed
@@ -116,6 +117,15 @@ fuzz-smoke:
 recovery-smoke:
 	$(GO) test -run '^TestRecoverySmoke$$' -count=1 -v ./internal/wal
 
+# load-smoke is the CI gate on the open-loop load harness: a small
+# fixed-seed scenario runs the deterministic in-process path, the
+# BENCH_load report schema must round-trip, and the calm-load p99
+# admission latency must stay under CONVGPU_LOAD_SMOKE_P99_MS (virtual
+# milliseconds, default 60000 — an order of magnitude of slack, and
+# deterministic because the path runs on the virtual clock).
+load-smoke:
+	$(GO) test -run '^TestLoadSmoke$$' -count=1 -v ./internal/load
+
 # cover enforces per-package statement-coverage floors on the packages
 # that carry the correctness burden. The floors are recorded a couple of
 # points below the measured value at the time they were set — they exist
@@ -166,6 +176,16 @@ bench-recovery:
 bench-policy:
 	$(GO) test -run '^$$' -bench 'BenchmarkPolicy' -benchmem -count=1 . | tee BENCH_policy.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkPolicy' -benchmem -count=1 -json . > BENCH_policy.json
+
+# bench-load regenerates the open-loop SLO artifact quoted by
+# EXPERIMENTS.md: 3200-container arrivals (100x the paper's Fig. 7/8
+# cohort) across all seven wake policies on both the deterministic
+# in-process path and the daemon+IPC wire path, with
+# goodput-vs-offered-load curves and p50/p99/p999 admission tails.
+# Repeat runs with the same seed reproduce BENCH_load.json's in-process
+# section byte-for-byte; `convgpu-stats load` renders the artifact.
+bench-load:
+	$(GO) run ./cmd/convgpu-load -out BENCH_load
 
 # benchdiff compares the current hot-path numbers against the committed
 # BENCH_hotpath.txt baseline with the home-grown comparer (benchstat

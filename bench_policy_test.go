@@ -14,6 +14,11 @@
 //	                               priority policy: a high-priority
 //	                               tenant's request reclaims an idle
 //	                               low-priority grant and is admitted
+//	BenchmarkPolicyHeteroPlace/<name>  the pure placement decision over a
+//	                               fixed 16-device MIG-style
+//	                               mixed-capacity summary, per placement
+//	                               policy — where fragaware pays for its
+//	                               capacity-argmin scan
 //
 // BENCH_policy.txt is the committed baseline `make benchdiff-policy`
 // compares against; allocation counts are deterministic, so the strict
@@ -118,6 +123,42 @@ func BenchmarkPolicyPick(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if k := alg.Pick(pool, cands); k < 0 || k >= len(cands) {
 					b.Fatalf("pick returned %d", k)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPolicyHeteroPlace measures the bare placement decision over
+// a fixed 16-device heterogeneous summary mixing MIG-style instance
+// sizes (5/10/20/40 GiB) at varying fill levels. Placement runs once
+// per container registration — not per allocation — so wall time is
+// informational; the allocation count is the budget: every registered
+// placement policy must decide without allocating.
+func BenchmarkPolicyHeteroPlace(b *testing.B) {
+	caps := []bytesize.Size{5, 10, 20, 40}
+	devs := make([]core.DeviceInfo, 16)
+	for i := range devs {
+		c := caps[i%len(caps)] * bytesize.GiB
+		devs[i] = core.DeviceInfo{
+			Index:      i,
+			Capacity:   c,
+			PoolFree:   c / bytesize.Size(i%3+1),
+			Containers: i % 5,
+		}
+	}
+	const limit = 4 * bytesize.GiB
+	for _, name := range policy.PlaceNames() {
+		b.Run(name, func(b *testing.B) {
+			pol, err := policy.NewPlace(name, policy.Config{Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if k := pol.Place(limit, devs); k < 0 || k >= len(devs) {
+					b.Fatalf("place returned %d", k)
 				}
 			}
 		})

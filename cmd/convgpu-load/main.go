@@ -1,0 +1,167 @@
+// Command convgpu-load runs the open-loop load harness: an arrival
+// process (Poisson, bursty MMPP-2 or diurnal ramp) over the workload
+// library (deadline-carrying inference bursts, memcpy-heavy streaming,
+// long-lived training with periodic reallocation, the paper's batch
+// jobs) replayed against the scheduler on two paths — in-process under
+// a virtual clock (deterministic, byte-identical by seed) and through
+// the full daemon+IPC wire stack under a compressed real clock (tails
+// include genuine socket costs). It writes the BENCH_load.{json,txt}
+// artifacts with p50/p99/p999 admission-latency and suspend-wait tails,
+// SLO attainment, and goodput-vs-offered-load curves per
+// (wake policy × placement policy).
+//
+// Usage:
+//
+//	convgpu-load                                  # full bench (all 7 wake policies, both paths)
+//	convgpu-load -quick                           # small fast variant
+//	convgpu-load -path inprocess -out BENCH_load  # deterministic path only
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"convgpu/internal/load"
+	"convgpu/internal/policy"
+)
+
+func main() {
+	var (
+		out        = flag.String("out", "BENCH_load", "artifact basename (writes <out>.json and <out>.txt)")
+		path       = flag.String("path", "both", "which paths to run: inprocess|wire|both")
+		containers = flag.Int("containers", 3200, "arrivals per run (the 100x-scale open-loop cohort)")
+		seed       = flag.Int64("seed", 20260808, "scenario seed (same seed => byte-identical in-process report)")
+		arrival    = flag.String("arrival", string(load.ArrivalBursty), "arrival process: uniform|poisson|bursty|diurnal")
+		spacing    = flag.Duration("spacing", 2*time.Second, "mean inter-arrival time at load x1")
+		wakes      = flag.String("wakes", strings.Join(policy.WakeNames(), ","), "comma-separated wake policies")
+		place      = flag.String("place", "leastloaded", "placement policy paired with every wake policy")
+		placeSweep = flag.Bool("place-sweep", true, "additionally sweep all placement policies under the bestfit wake policy")
+		devices    = flag.Int("devices", 4, "GPU count")
+		loads      = flag.String("loads", "0.5,1,2,4", "offered-load multipliers for the in-process curves")
+		wireLoads  = flag.String("wire-loads", "1", "offered-load multipliers for the wire path")
+		timeScale  = flag.Float64("timescale", 0.002, "wire-path duration compression factor")
+		quick      = flag.Bool("quick", false, "small fast variant (CI smoke): fewer containers, fewer cells")
+		timeout    = flag.Duration("timeout", 30*time.Minute, "overall deadline")
+	)
+	flag.Parse()
+
+	scn := load.Scenario{
+		Name:        "bench",
+		Containers:  *containers,
+		Seed:        *seed,
+		Arrival:     load.ArrivalKind(*arrival),
+		MeanSpacing: *spacing,
+	}
+	loadsX := parseLoads(*loads)
+	wireX := parseLoads(*wireLoads)
+	wakeList := splitList(*wakes)
+	if *quick {
+		scn.Name = "quick"
+		scn.Containers = 160
+		loadsX = []float64{1, 4}
+		wireX = []float64{1}
+		*timeScale = 0.02
+	}
+
+	var pairs []load.PolicyPair
+	for _, w := range wakeList {
+		pairs = append(pairs, load.PolicyPair{Wake: w, Place: *place})
+	}
+	if *placeSweep && !*quick {
+		for _, p := range policy.PlaceNames() {
+			if p != *place {
+				pairs = append(pairs, load.PolicyPair{Wake: "bestfit", Place: p})
+			}
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	ecfg := load.Config{Devices: *devices}
+	var sections []load.Section
+	if *path == "inprocess" || *path == "both" {
+		start := time.Now()
+		sec, err := load.RunInProcessSweep(ctx, scn, pairs, loadsX, ecfg)
+		if err != nil {
+			log.Fatalf("convgpu-load: in-process sweep: %v", err)
+		}
+		sections = append(sections, sec)
+		fmt.Fprintf(os.Stderr, "convgpu-load: in-process sweep: %d cells in %v\n", len(sec.Runs), time.Since(start).Round(time.Millisecond))
+	}
+	if *path == "wire" || *path == "both" {
+		start := time.Now()
+		// The wire path carries real socket costs per request; compress
+		// durations so the scenario replays in seconds. Only the wake
+		// policies run here: the placement sweep adds nothing the
+		// in-process section does not already cover, and wall clock is
+		// the scarce resource on this path.
+		var wirePairs []load.PolicyPair
+		for _, w := range wakeList {
+			wirePairs = append(wirePairs, load.PolicyPair{Wake: w, Place: *place})
+		}
+		sec, err := load.RunWireSweep(ctx, scn, wirePairs, wireX,
+			load.WireConfig{Config: ecfg, TimeScale: *timeScale})
+		if err != nil {
+			log.Fatalf("convgpu-load: wire sweep: %v", err)
+		}
+		sections = append(sections, sec)
+		fmt.Fprintf(os.Stderr, "convgpu-load: wire sweep: %d cells in %v\n", len(sec.Runs), time.Since(start).Round(time.Millisecond))
+	}
+	if len(sections) == 0 {
+		log.Fatalf("convgpu-load: -path %q selected nothing (want inprocess|wire|both)", *path)
+	}
+
+	rep := load.NewReport(scn, *devices, sections...)
+	js, err := rep.JSON()
+	if err != nil {
+		log.Fatalf("convgpu-load: %v", err)
+	}
+	if err := os.WriteFile(*out+".json", js, 0o644); err != nil {
+		log.Fatalf("convgpu-load: %v", err)
+	}
+	txt, err := os.Create(*out + ".txt")
+	if err != nil {
+		log.Fatalf("convgpu-load: %v", err)
+	}
+	if err := rep.Render(txt); err != nil {
+		log.Fatalf("convgpu-load: %v", err)
+	}
+	if err := txt.Close(); err != nil {
+		log.Fatalf("convgpu-load: %v", err)
+	}
+	if err := rep.Render(os.Stdout); err != nil {
+		log.Fatalf("convgpu-load: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "convgpu-load: wrote %s.json and %s.txt\n", *out, *out)
+}
+
+func parseLoads(s string) []float64 {
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		var x float64
+		if _, err := fmt.Sscanf(f, "%g", &x); err != nil || x <= 0 {
+			log.Fatalf("convgpu-load: bad load multiplier %q", f)
+		}
+		out = append(out, x)
+	}
+	return out
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}

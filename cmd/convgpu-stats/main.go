@@ -15,6 +15,7 @@
 //	convgpu-stats -socket /var/run/convgpu/convgpu.sock nodes
 //	convgpu-stats -socket /var/run/convgpu/convgpu.sock drain 0
 //	convgpu-stats -socket /var/run/convgpu/convgpu.sock revive 0
+//	convgpu-stats load [BENCH_load.json]
 //
 // The trace query follows the daemon's page cursor until the ring is
 // exhausted, so a trace larger than one IPC frame is printed whole.
@@ -35,6 +36,11 @@
 // refuse new containers while existing ones complete, revive returns a
 // drained or down node to service. All three require the daemon to run
 // the cluster tier (convgpu-scheduler -nodes).
+//
+// The load query is local, not a daemon round trip: it reads the
+// BENCH_load.json artifact `make bench-load` wrote (default name, or an
+// explicit path) and renders its latency tails, SLO attainment and
+// goodput-vs-offered-load curves as tables. No -socket required.
 package main
 
 import (
@@ -48,6 +54,7 @@ import (
 
 	"convgpu/internal/bytesize"
 	"convgpu/internal/ipc"
+	"convgpu/internal/load"
 	"convgpu/internal/protocol"
 )
 
@@ -59,10 +66,18 @@ func main() {
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: convgpu-stats -socket PATH {stats | trace [container] | dump | devices | sessions [after] | ops [id] | tenants | nodes | drain NODE | revive NODE}\n")
+			"usage: convgpu-stats -socket PATH {stats | trace [container] | dump | devices | sessions [after] | ops [id] | tenants | nodes | drain NODE | revive NODE}\n"+
+				"       convgpu-stats load [BENCH_load.json]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if flag.NArg() >= 1 && flag.Arg(0) == "load" {
+		if err := printLoad(flag.Arg(1)); err != nil {
+			fmt.Fprintf(os.Stderr, "convgpu-stats: load: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *socket == "" || flag.NArg() < 1 {
 		flag.Usage()
 		os.Exit(2)
@@ -176,6 +191,23 @@ func main() {
 		return
 	}
 	os.Stdout.Write(append(out, '\n'))
+}
+
+// printLoad renders the load harness artifact's tails and curves as
+// tables, reusing the report's own metrics.Table rendering.
+func printLoad(path string) error {
+	if path == "" {
+		path = "BENCH_load.json"
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	rep, err := load.ParseReport(b)
+	if err != nil {
+		return err
+	}
+	return rep.Render(os.Stdout)
 }
 
 // devicesDump mirrors the daemon's dump payload fields the devices

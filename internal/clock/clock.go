@@ -55,6 +55,31 @@ func (Real) After(d time.Duration) <-chan time.Time { return time.After(d) }
 // Since implements Clock.
 func (Real) Since(t time.Time) time.Duration { return time.Since(t) }
 
+// Coarse is the wall clock with plain time.Sleep semantics: waits are
+// handed to the OS timer and may round up to a few milliseconds. The
+// load harness's wire path runs hundreds of concurrent containers whose
+// service times all sleep at once; Real's sub-millisecond spin-wait
+// would turn that fan-out into a CPU-bound stampede, while Coarse keeps
+// the sleepers off the run queue. Use Real where microsecond fidelity
+// matters (the Figure 4 latency rig), Coarse where only throughput does.
+type Coarse struct{}
+
+// Now implements Clock.
+func (Coarse) Now() time.Time { return time.Now() }
+
+// Sleep implements Clock.
+func (Coarse) Sleep(d time.Duration) {
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// After implements Clock.
+func (Coarse) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// Since implements Clock.
+func (Coarse) Since(t time.Time) time.Duration { return time.Since(t) }
+
 // Epoch is the instant a Manual clock starts at. A fixed epoch keeps
 // simulated traces reproducible across runs and machines.
 var Epoch = time.Date(2017, time.May, 10, 0, 0, 0, 0, time.UTC)
@@ -171,5 +196,6 @@ func (m *Manual) Pending() int {
 
 var (
 	_ Clock = Real{}
+	_ Clock = Coarse{}
 	_ Clock = (*Manual)(nil)
 )

@@ -182,6 +182,7 @@ type pendingReq struct {
 	ticket Ticket
 	pid    int
 	size   bytesize.Size // raw request size; overhead is computed at admit time
+	at     time.Time     // when the request was parked (admit-wait accounting)
 }
 
 type procState struct {
@@ -239,6 +240,11 @@ type shard struct {
 type State struct {
 	cfg    Config
 	shards [numShards]shard
+
+	// admitObs receives one AdmitObservation per admitted request.
+	// Written only under lockAll (SetAdmitObserver); read by fast paths
+	// under a shard read lock, which lockAll excludes.
+	admitObs func(AdmitObservation)
 
 	// The fields below are global scheduler state touched only by slow
 	// paths, which hold every shard's write lock — lockAll is their
@@ -473,6 +479,7 @@ func (s *State) RequestAlloc(id ContainerID, pid int, size bytesize.Size) (Alloc
 	if c.used+charge <= c.grant {
 		s.admit(c, pid, size)
 		s.logEvent(EvAccept, id, pid, charge)
+		s.observeAdmit(id, pid, 0, size, 0)
 		return AllocResult{Decision: Accept}, nil
 	}
 	if s.namedTenants > 0 && s.tryPreemptLocked(c, charge) {
@@ -480,12 +487,13 @@ func (s *State) RequestAlloc(id ContainerID, pid int, size bytesize.Size) (Alloc
 		// lower-ranked holders to admit the request in place.
 		s.admit(c, pid, size)
 		s.logEvent(EvAccept, id, pid, charge)
+		s.observeAdmit(id, pid, 0, size, 0)
 		return AllocResult{Decision: Accept}, nil
 	}
 	// Suspend: park the request until redistribution grants enough.
 	s.nextTicket++
 	t := s.nextTicket
-	c.pending = append(c.pending, pendingReq{ticket: t, pid: pid, size: size})
+	c.pending = append(c.pending, pendingReq{ticket: t, pid: pid, size: size, at: s.cfg.Clock.Now()})
 	s.nextSeq++
 	c.suspendSeq = s.nextSeq
 	if len(c.pending) == 1 {
@@ -532,6 +540,7 @@ func (s *State) fastRequestAlloc(id ContainerID, pid int, size bytesize.Size) (r
 	}
 	s.admit(c, pid, size)
 	s.logEvent(EvAccept, id, pid, charge)
+	s.observeAdmit(id, pid, 0, size, 0)
 	return AllocResult{Decision: Accept}, true, nil
 }
 
@@ -967,6 +976,9 @@ func (s *State) admitFittingLocked(c *containerState) []Admitted {
 		}
 		s.admit(c, req.pid, req.size)
 		s.logEventT(EvResume, c.id, req.pid, charge, req.ticket)
+		if s.admitObs != nil {
+			s.observeAdmit(c.id, req.pid, req.ticket, req.size, s.cfg.Clock.Now().Sub(req.at))
+		}
 		admitted = append(admitted, Admitted{Container: c.id, Ticket: req.ticket})
 		c.pending = c.pending[1:]
 	}

@@ -218,6 +218,54 @@ func (s *State) SetObserver(fn func(EventRecord)) {
 	}
 }
 
+// AdmitObservation describes one admitted allocation request at the
+// moment the scheduler let it through: immediately (Ticket 0, Waited 0)
+// or after a park, in which case Waited is the time the request spent
+// suspended before a redistribution released it. It is the per-request
+// signal SLO-tail evaluation needs — the event log records that an
+// admission happened, this hook records how long the requester waited
+// for it — and it fires synchronously on the admitting path, so a
+// deadline judge sees the admission before the response leaves the
+// scheduler.
+type AdmitObservation struct {
+	// Container the request belonged to.
+	Container ContainerID
+	// PID of the requesting process.
+	PID int
+	// Ticket the request was parked under; 0 for immediate accepts.
+	Ticket Ticket
+	// Size is the raw requested size (overhead excluded).
+	Size bytesize.Size
+	// Device is the admitting scheduler's device index.
+	Device int
+	// Waited is how long the request was suspended before admission
+	// (zero when it was accepted in place).
+	Waited time.Duration
+}
+
+// SetAdmitObserver installs fn to receive one AdmitObservation per
+// admitted allocation request — immediate accepts and resumed parks
+// alike. Like SetObserver, fn runs on the admitting path (under the
+// scheduler's locks) and must be cheap, concurrency-safe, and must
+// never call back into the State. A nil fn removes the observer.
+func (s *State) SetAdmitObserver(fn func(AdmitObservation)) {
+	s.lockAll()
+	s.admitObs = fn
+	s.unlockAll()
+}
+
+// observeAdmit fires the admit observer, if any. Callers hold at least
+// the container's shard read lock, which excludes SetAdmitObserver's
+// write-locked store.
+func (s *State) observeAdmit(id ContainerID, pid int, t Ticket, size bytesize.Size, waited time.Duration) {
+	if s.admitObs != nil {
+		s.admitObs(AdmitObservation{
+			Container: id, PID: pid, Ticket: t, Size: size,
+			Device: s.cfg.DeviceIndex, Waited: waited,
+		})
+	}
+}
+
 // PausedContainers returns the number of containers with at least one
 // pending (suspended) request — the scheduler's queue depth in
 // containers. Lock-free; safe to call from metric scrapes.

@@ -32,6 +32,7 @@ type Router struct {
 	members   []Scheduler
 	placement map[ContainerID]int
 	observer  func(EventRecord)
+	admitObs  func(AdmitObservation)
 }
 
 // NewRouter builds a router over members. memberNoun names a member in
@@ -75,9 +76,13 @@ func (r *Router) ReplaceMember(i int, fresh Scheduler, drop []ContainerID) {
 		delete(r.placement, id)
 	}
 	fn := r.observer
+	afn := r.admitObs
 	r.mu.Unlock()
 	if fn != nil {
 		fresh.SetObserver(fn)
+	}
+	if afn != nil {
+		fresh.SetAdmitObserver(afn)
 	}
 }
 
@@ -288,6 +293,19 @@ func (r *Router) SetObserver(fn func(EventRecord)) {
 	r.mu.Unlock()
 	for _, m := range ms {
 		m.SetObserver(fn)
+	}
+}
+
+// SetAdmitObserver installs fn on every member (and, like SetObserver,
+// on members installed later by ReplaceMember), so per-request admit
+// observations keep flowing across failovers.
+func (r *Router) SetAdmitObserver(fn func(AdmitObservation)) {
+	r.mu.Lock()
+	r.admitObs = fn
+	ms := r.members
+	r.mu.Unlock()
+	for _, m := range ms {
+		m.SetAdmitObserver(fn)
 	}
 }
 

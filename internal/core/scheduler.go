@@ -55,6 +55,7 @@ type Scheduler interface {
 	Snapshot() []ContainerInfo
 	Events() []EventRecord
 	SetObserver(fn func(EventRecord))
+	SetAdmitObserver(fn func(AdmitObservation))
 	PausedContainers() int
 	AlgorithmName() string
 	Capacity() bytesize.Size

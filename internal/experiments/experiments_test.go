@@ -67,7 +67,7 @@ func runTimingQuick(t *testing.T, id string) {
 func TestIDsAndDescribe(t *testing.T) {
 	ids := IDs()
 	want := []string{"ablation-grants", "ablation-transport", "cluster", "deadlock",
-		"fig4", "fig5", "fig6", "fig7", "fig8", "multigpu", "poisson",
+		"fig4", "fig5", "fig6", "fig7", "fig78-scale", "fig8", "multigpu", "poisson",
 		"sensitivity", "starvation", "table1", "table2", "table3"}
 	if len(ids) != len(want) {
 		t.Fatalf("IDs() = %v", ids)
@@ -129,6 +129,16 @@ func TestFig8Quick(t *testing.T) {
 	rep := runQuick(t, "fig8")
 	// fig8 carries an expected caveat note; only hard mismatches fail.
 	assertShapes(t, rep)
+}
+
+func TestFig78ScaleQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large virtual-time sweep")
+	}
+	// The 5% Best-Fit gap note is a soft observation at quick scale
+	// (320 containers); only the no-stall shape is load-bearing, and
+	// assertShapes catches it through the shared prefix.
+	assertShapes(t, runQuick(t, "fig78-scale"))
 }
 
 func TestDeadlockQuick(t *testing.T) {

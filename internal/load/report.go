@@ -1,0 +1,357 @@
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"convgpu/internal/metrics"
+)
+
+// ReportSchema versions the BENCH_load.json layout for consumers
+// (convgpu-stats, the smoke gate).
+const ReportSchema = 1
+
+// Tails summarizes a latency population in seconds.
+type Tails struct {
+	N    int     `json:"n"`
+	Mean float64 `json:"mean_s"`
+	P50  float64 `json:"p50_s"`
+	P99  float64 `json:"p99_s"`
+	P999 float64 `json:"p999_s"`
+	Max  float64 `json:"max_s"`
+}
+
+// TailsOf computes the tail summary of a duration population.
+func TailsOf(ds []time.Duration) Tails {
+	if len(ds) == 0 {
+		return Tails{}
+	}
+	xs := metrics.Seconds(ds)
+	t := Tails{
+		N:    len(xs),
+		Mean: metrics.Mean(xs),
+		P50:  metrics.Percentile(xs, 0.50),
+		P99:  metrics.Percentile(xs, 0.99),
+		P999: metrics.Percentile(xs, 0.999),
+	}
+	for _, x := range xs {
+		if x > t.Max {
+			t.Max = x
+		}
+	}
+	return t
+}
+
+// ClassReport aggregates one request class within a run.
+type ClassReport struct {
+	Class      string  `json:"class"`
+	Requests   int     `json:"requests"`
+	Completed  int     `json:"completed"`
+	Met        int     `json:"deadline_met"`
+	Attainment float64 `json:"slo_attainment"`
+	AdmitWait  Tails   `json:"admit_wait"`
+}
+
+// RunReport is one (wake × place × offered-load) cell of the report.
+type RunReport struct {
+	Wake  string `json:"wake"`
+	Place string `json:"place"`
+	// LoadX is the offered-load multiplier relative to the scenario's
+	// base arrival rate (1 = the scenario as generated).
+	LoadX      float64 `json:"load_x"`
+	Containers int     `json:"containers"`
+	// OfferedPerSec is the realized arrival rate over the run.
+	OfferedPerSec float64 `json:"offered_per_sec"`
+	// GoodputPerSec counts deadline-met completions per second — the
+	// curve metric: past saturation it flattens or falls while offered
+	// load keeps rising.
+	GoodputPerSec float64 `json:"goodput_per_sec"`
+	// ThroughputPerSec counts all completions per second.
+	ThroughputPerSec float64 `json:"throughput_per_sec"`
+	// SLOAttainment is deadline-met / total requests.
+	SLOAttainment float64       `json:"slo_attainment"`
+	DeadlineMet   int           `json:"deadline_met"`
+	Missed        int           `json:"deadline_missed"`
+	Incomplete    int           `json:"incomplete"`
+	AdmitLatency  Tails         `json:"admit_latency"`
+	SuspendWait   Tails         `json:"suspend_wait"`
+	Classes       []ClassReport `json:"classes"`
+	ElapsedSec    float64       `json:"elapsed_s"`
+	Stalled       bool          `json:"stalled,omitempty"`
+}
+
+// BuildRunReport aggregates one run's raw measurements.
+func BuildRunReport(wake, place string, loadX float64, res RunResult) RunReport {
+	rr := RunReport{
+		Wake:         wake,
+		Place:        place,
+		LoadX:        loadX,
+		Containers:   len(res.Outcomes),
+		AdmitLatency: TailsOf(res.AdmitWaits),
+		ElapsedSec:   res.Elapsed.Seconds(),
+		Stalled:      res.Stalled,
+	}
+	var suspends []time.Duration
+	byClass := map[string]*ClassReport{}
+	classWaits := map[string][]time.Duration{}
+	for _, o := range res.Outcomes {
+		suspends = append(suspends, o.SuspendWait)
+		cr := byClass[o.Class]
+		if cr == nil {
+			cr = &ClassReport{Class: o.Class}
+			byClass[o.Class] = cr
+		}
+		cr.Requests++
+		classWaits[o.Class] = append(classWaits[o.Class], o.AdmitWaitMax)
+		if o.Completed {
+			cr.Completed++
+		} else {
+			rr.Incomplete++
+		}
+		if o.DeadlineMet {
+			rr.DeadlineMet++
+			cr.Met++
+		} else {
+			rr.Missed++
+		}
+	}
+	rr.SuspendWait = TailsOf(suspends)
+	if rr.Containers > 0 {
+		rr.SLOAttainment = float64(rr.DeadlineMet) / float64(rr.Containers)
+	}
+	if rr.ElapsedSec > 0 {
+		rr.GoodputPerSec = float64(rr.DeadlineMet) / rr.ElapsedSec
+		rr.ThroughputPerSec = float64(rr.Containers-rr.Incomplete) / rr.ElapsedSec
+		if span := lastArrival(res.Outcomes); span > 0 {
+			rr.OfferedPerSec = float64(rr.Containers) / span.Seconds()
+		}
+	}
+	names := make([]string, 0, len(byClass))
+	for name := range byClass {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		cr := byClass[name]
+		if cr.Requests > 0 {
+			cr.Attainment = float64(cr.Met) / float64(cr.Requests)
+		}
+		cr.AdmitWait = TailsOf(classWaits[name])
+		rr.Classes = append(rr.Classes, *cr)
+	}
+	return rr
+}
+
+func lastArrival(outs []Outcome) time.Duration {
+	var last time.Duration
+	for _, o := range outs {
+		if o.Arrival > last {
+			last = o.Arrival
+		}
+	}
+	return last
+}
+
+// Section groups one path's runs.
+type Section struct {
+	// Path is "inprocess" or "wire".
+	Path string `json:"path"`
+	// Deterministic marks whether repeat runs with the same seed
+	// reproduce this section byte-identically (true for the virtual
+	// clock path, false for real-clock wire timings).
+	Deterministic bool `json:"deterministic"`
+	// TimeScale records the wire path's compression factor (1 for the
+	// in-process path).
+	TimeScale float64     `json:"time_scale"`
+	Runs      []RunReport `json:"runs"`
+}
+
+// Report is the BENCH_load.json document.
+type Report struct {
+	Schema   int    `json:"schema"`
+	Scenario string `json:"scenario"`
+	Seed     int64  `json:"seed"`
+	// Arrival and Containers echo the scenario for replay.
+	Arrival    string    `json:"arrival"`
+	Containers int       `json:"containers"`
+	Devices    int       `json:"devices"`
+	Sections   []Section `json:"sections"`
+}
+
+// SortRuns orders every section's runs by (wake, place, loadX) so the
+// document layout is independent of execution order.
+func (r *Report) SortRuns() {
+	for i := range r.Sections {
+		runs := r.Sections[i].Runs
+		sort.Slice(runs, func(a, b int) bool {
+			if runs[a].Wake != runs[b].Wake {
+				return runs[a].Wake < runs[b].Wake
+			}
+			if runs[a].Place != runs[b].Place {
+				return runs[a].Place < runs[b].Place
+			}
+			return runs[a].LoadX < runs[b].LoadX
+		})
+	}
+}
+
+// JSON renders the report deterministically (sorted runs, indented,
+// trailing newline).
+func (r *Report) JSON() ([]byte, error) {
+	r.SortRuns()
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// ParseReport reads a BENCH_load.json document.
+func ParseReport(b []byte) (*Report, error) {
+	var r Report
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("load: parse report: %w", err)
+	}
+	if r.Schema != ReportSchema {
+		return nil, fmt.Errorf("load: report schema %d, want %d", r.Schema, ReportSchema)
+	}
+	return &r, nil
+}
+
+// Tables renders the report as text tables: per section, the latency
+// tails and the goodput-vs-offered-load curve.
+func (r *Report) Tables() []*metrics.Table {
+	r.SortRuns()
+	var out []*metrics.Table
+	for _, sec := range r.Sections {
+		det := "deterministic"
+		if !sec.Deterministic {
+			det = fmt.Sprintf("real-clock, timescale %g", sec.TimeScale)
+		}
+		tails := &metrics.Table{
+			Title:     fmt.Sprintf("[%s] admit latency and SLO per policy (%s), scenario %q seed %d", sec.Path, det, r.Scenario, r.Seed),
+			ColHeader: "wake/place @ load_x",
+		}
+		rows := map[string][]float64{}
+		order := []string{"admit p50 (ms)", "admit p99 (ms)", "admit p999 (ms)", "suspend p99 (ms)", "SLO attainment (%)", "goodput (req/s)"}
+		for _, run := range sec.Runs {
+			tails.Cols = append(tails.Cols, fmt.Sprintf("%s/%s@%g", run.Wake, run.Place, run.LoadX))
+			rows["admit p50 (ms)"] = append(rows["admit p50 (ms)"], run.AdmitLatency.P50*1000)
+			rows["admit p99 (ms)"] = append(rows["admit p99 (ms)"], run.AdmitLatency.P99*1000)
+			rows["admit p999 (ms)"] = append(rows["admit p999 (ms)"], run.AdmitLatency.P999*1000)
+			rows["suspend p99 (ms)"] = append(rows["suspend p99 (ms)"], run.SuspendWait.P99*1000)
+			rows["SLO attainment (%)"] = append(rows["SLO attainment (%)"], run.SLOAttainment*100)
+			rows["goodput (req/s)"] = append(rows["goodput (req/s)"], run.GoodputPerSec)
+		}
+		for _, label := range order {
+			tails.AddRow(label, rows[label])
+		}
+		out = append(out, tails)
+
+		// Goodput-vs-offered-load curve: one row per wake/place pair,
+		// one column per load multiplier.
+		loads := map[float64]bool{}
+		pairs := map[string]bool{}
+		for _, run := range sec.Runs {
+			loads[run.LoadX] = true
+			pairs[run.Wake+"/"+run.Place] = true
+		}
+		if len(loads) > 1 {
+			var xs []float64
+			for x := range loads {
+				xs = append(xs, x)
+			}
+			sort.Float64s(xs)
+			curve := &metrics.Table{
+				Title:     fmt.Sprintf("[%s] goodput (req/s) vs offered load multiplier", sec.Path),
+				ColHeader: "offered load ×",
+			}
+			for _, x := range xs {
+				curve.Cols = append(curve.Cols, fmt.Sprintf("%g", x))
+			}
+			var names []string
+			for p := range pairs {
+				names = append(names, p)
+			}
+			sort.Strings(names)
+			for _, p := range names {
+				var cells []float64
+				for _, x := range xs {
+					v := 0.0
+					for _, run := range sec.Runs {
+						if run.Wake+"/"+run.Place == p && run.LoadX == x {
+							v = run.GoodputPerSec
+						}
+					}
+					cells = append(cells, v)
+				}
+				curve.AddRow(p, cells)
+			}
+			out = append(out, curve)
+		}
+	}
+	return out
+}
+
+// Render writes the text form of the report.
+func (r *Report) Render(w io.Writer) error {
+	for _, t := range r.Tables() {
+		if err := t.Render(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// SLO is a service-level objective the report can be checked against.
+type SLO struct {
+	// MinAttainment is the minimum acceptable deadline-met fraction
+	// (0 disables).
+	MinAttainment float64
+	// MaxAdmitP99 bounds the p99 admission latency (0 disables).
+	MaxAdmitP99 time.Duration
+	// NoStalls fails any stalled run.
+	NoStalls bool
+}
+
+// Violation describes one SLO breach in a report.
+type Violation struct {
+	Path   string
+	Wake   string
+	Place  string
+	LoadX  float64
+	Reason string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("[%s] %s/%s@%g: %s", v.Path, v.Wake, v.Place, v.LoadX, v.Reason)
+}
+
+// CheckSLO evaluates every run in the report against the SLO.
+func CheckSLO(r *Report, slo SLO) []Violation {
+	var out []Violation
+	add := func(sec Section, run RunReport, format string, args ...any) {
+		out = append(out, Violation{
+			Path: sec.Path, Wake: run.Wake, Place: run.Place, LoadX: run.LoadX,
+			Reason: fmt.Sprintf(format, args...),
+		})
+	}
+	for _, sec := range r.Sections {
+		for _, run := range sec.Runs {
+			if slo.MinAttainment > 0 && run.SLOAttainment < slo.MinAttainment {
+				add(sec, run, "SLO attainment %.3f < %.3f", run.SLOAttainment, slo.MinAttainment)
+			}
+			if slo.MaxAdmitP99 > 0 && run.AdmitLatency.P99 > slo.MaxAdmitP99.Seconds() {
+				add(sec, run, "admit p99 %.1fms > %.1fms", run.AdmitLatency.P99*1000, float64(slo.MaxAdmitP99.Milliseconds()))
+			}
+			if slo.NoStalls && run.Stalled {
+				add(sec, run, "run stalled")
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+package load
+
+import (
+	"context"
+	"os"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// TestLoadSmoke is the CI gate on the load harness (make load-smoke):
+// a small fixed-seed calm scenario runs the deterministic in-process
+// path across a representative policy set, the report must parse back
+// under the current schema with fully populated tails, and the p99
+// admission latency must stay under a loose ceiling —
+// CONVGPU_LOAD_SMOKE_P99_MS, default 60000 virtual milliseconds, an
+// order of magnitude of slack over the measured calm-load value so
+// only a real admission regression (or a policy that stops waking
+// waiters) trips it. The times are virtual-clock, so the gate is
+// deterministic and runner-speed independent.
+func TestLoadSmoke(t *testing.T) {
+	ceiling := 60_000.0
+	if env := os.Getenv("CONVGPU_LOAD_SMOKE_P99_MS"); env != "" {
+		v, err := strconv.ParseFloat(env, 64)
+		if err != nil || v <= 0 {
+			t.Fatalf("bad CONVGPU_LOAD_SMOKE_P99_MS=%q", env)
+		}
+		ceiling = v
+	}
+	scn := Scenario{
+		Name:        "load-smoke",
+		Containers:  100,
+		Seed:        20260808,
+		Arrival:     ArrivalPoisson,
+		MeanSpacing: 5 * time.Second,
+	}
+	pairs := []PolicyPair{
+		{"fifo", "leastloaded"},
+		{"bestfit", "bestfit"},
+		{"fairshare", "fragaware"},
+	}
+	// Load x1 is the gated calm point; x3 heats the system enough that
+	// requests actually suspend, proving the wake path is measured.
+	sec, err := RunInProcessSweep(context.Background(), scn, pairs, []float64{1, 3}, Config{Devices: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	js, err := NewReport(scn, 4, sec).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ParseReport(js)
+	if err != nil {
+		t.Fatalf("report does not round-trip under schema %d: %v", ReportSchema, err)
+	}
+	if len(rep.Sections) != 1 || len(rep.Sections[0].Runs) != 2*len(pairs) {
+		t.Fatalf("schema assert: want 1 section with %d runs, got %+v", 2*len(pairs), rep.Sections)
+	}
+	sawWait := false
+	for _, run := range rep.Sections[0].Runs {
+		if run.Containers != scn.Containers || run.AdmitLatency.N == 0 || run.SuspendWait.N != scn.Containers {
+			t.Errorf("schema assert: %s/%s@%g tails unpopulated: %+v", run.Wake, run.Place, run.LoadX, run)
+		}
+		if run.Incomplete != 0 || run.Stalled {
+			t.Errorf("%s/%s@%g: smoke scenario left %d incomplete (stalled=%v)",
+				run.Wake, run.Place, run.LoadX, run.Incomplete, run.Stalled)
+		}
+		if run.SLOAttainment <= 0 || run.GoodputPerSec <= 0 {
+			t.Errorf("%s/%s@%g: no goodput: %+v", run.Wake, run.Place, run.LoadX, run)
+		}
+		if run.AdmitLatency.Max > 0 {
+			sawWait = true
+		}
+		p99ms := run.AdmitLatency.P99 * 1000
+		t.Logf("%s/%s@%g: admit p99 %.1fms (ceiling %.0fms at x1), SLO %.1f%%",
+			run.Wake, run.Place, run.LoadX, p99ms, ceiling, run.SLOAttainment*100)
+		if run.LoadX == 1 && p99ms > ceiling {
+			t.Errorf("%s/%s: calm admit p99 %.1fms exceeds the %.0fms smoke ceiling", run.Wake, run.Place, p99ms, ceiling)
+		}
+	}
+	if !sawWait {
+		t.Errorf("no run ever suspended a request — the smoke is not exercising the wake path")
+	}
+}

@@ -1,20 +1,20 @@
 package model
 
-// Shrink reduces a failing op stream to a minimal reproducer using
-// ddmin-style chunk removal followed by a single-op elimination sweep.
-// fails must report whether a candidate stream still reproduces the
-// failure on a fresh backend; it is assumed deterministic (the harness
-// and generator are). The input is never mutated.
+// Minimize reduces a failing item sequence to a minimal reproducer
+// using ddmin-style chunk removal followed by a single-item elimination
+// sweep. fails must report whether a candidate sequence still
+// reproduces the failure from a fresh start; it is assumed
+// deterministic. The input is never mutated.
 //
-// Because ops address containers by slot and allocations/tickets by
-// pick index — both resolved at execution time — every subsequence of a
-// valid stream is itself executable, so removal never produces an
-// un-runnable candidate, only one that may or may not still fail.
-func Shrink(ops []Op, fails func([]Op) bool) []Op {
-	cur := append([]Op(nil), ops...)
+// It is the engine under Shrink, exported generically so other
+// deterministic harnesses (the load generator's SLO-violation
+// reproducer) can shrink their own sequence types without round-tripping
+// through model ops.
+func Minimize[T any](items []T, fails func([]T) bool) []T {
+	cur := append([]T(nil), items...)
 
 	// ddmin: try removing ever-finer chunks until granularity exceeds
-	// the stream length.
+	// the sequence length.
 	for chunk := len(cur) / 2; chunk >= 1; {
 		removed := false
 		for start := 0; start < len(cur); {
@@ -22,7 +22,7 @@ func Shrink(ops []Op, fails func([]Op) bool) []Op {
 			if end > len(cur) {
 				end = len(cur)
 			}
-			cand := make([]Op, 0, len(cur)-(end-start))
+			cand := make([]T, 0, len(cur)-(end-start))
 			cand = append(cand, cur[:start]...)
 			cand = append(cand, cur[end:]...)
 			if len(cand) < len(cur) && fails(cand) {
@@ -38,12 +38,12 @@ func Shrink(ops []Op, fails func([]Op) bool) []Op {
 		}
 	}
 
-	// Final pass: drop single ops until a fixpoint. ddmin with chunk=1
+	// Final pass: drop single items until a fixpoint. ddmin with chunk=1
 	// already does one sweep, but removals can enable earlier removals.
 	for {
 		removed := false
 		for i := 0; i < len(cur); i++ {
-			cand := make([]Op, 0, len(cur)-1)
+			cand := make([]T, 0, len(cur)-1)
 			cand = append(cand, cur[:i]...)
 			cand = append(cand, cur[i+1:]...)
 			if fails(cand) {
@@ -56,4 +56,17 @@ func Shrink(ops []Op, fails func([]Op) bool) []Op {
 			return cur
 		}
 	}
+}
+
+// Shrink reduces a failing op stream to a minimal reproducer. fails
+// must report whether a candidate stream still reproduces the failure
+// on a fresh backend; it is assumed deterministic (the harness and
+// generator are).
+//
+// Because ops address containers by slot and allocations/tickets by
+// pick index — both resolved at execution time — every subsequence of a
+// valid stream is itself executable, so removal never produces an
+// un-runnable candidate, only one that may or may not still fail.
+func Shrink(ops []Op, fails func([]Op) bool) []Op {
+	return Minimize(ops, fails)
 }

@@ -164,6 +164,14 @@ type Config struct {
 	Devices int
 	// CapacityPerDevice is each device's schedulable memory.
 	CapacityPerDevice bytesize.Size
+	// Capacities, when non-empty, gives every device its own schedulable
+	// memory instead of the uniform CapacityPerDevice — the MIG-style
+	// heterogeneous topology where one physical GPU is partitioned into
+	// unequal instances (a 3g.20gb next to two 1g.5gb slices). Its
+	// length must equal Devices. Placement policies see the per-device
+	// capacities through DeviceInfo.Capacity exactly as before; nothing
+	// else in the scheduler assumes uniformity.
+	Capacities []bytesize.Size
 	// Algorithm is the per-device redistribution algorithm name.
 	Algorithm string
 	// AlgorithmFactory, when non-nil, supplies each device's wake-order
@@ -212,6 +220,9 @@ func New(cfg Config) (*State, error) {
 	if cfg.Algorithm == "" {
 		cfg.Algorithm = core.AlgFIFO
 	}
+	if len(cfg.Capacities) > 0 && len(cfg.Capacities) != cfg.Devices {
+		return nil, fmt.Errorf("multigpu: %d per-device capacities for %d devices", len(cfg.Capacities), cfg.Devices)
+	}
 	members := make([]core.Scheduler, cfg.Devices)
 	for i := range members {
 		var alg core.Algorithm
@@ -224,8 +235,12 @@ func New(cfg Config) (*State, error) {
 		if err != nil {
 			return nil, err
 		}
+		capacity := cfg.CapacityPerDevice
+		if len(cfg.Capacities) > 0 {
+			capacity = cfg.Capacities[i]
+		}
 		st, err := core.New(core.Config{
-			Capacity:         cfg.CapacityPerDevice,
+			Capacity:         capacity,
 			DeviceIndex:      i,
 			Algorithm:        alg,
 			Clock:            cfg.Clock,

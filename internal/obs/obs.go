@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"convgpu/internal/core"
@@ -53,6 +54,10 @@ const (
 	MetricTenantUsed        = "convgpu_tenant_used_bytes"
 	MetricTenantQuota       = "convgpu_tenant_quota_bytes"
 	MetricTenantGuarantee   = "convgpu_tenant_guarantee_bytes"
+	MetricAdmitLatency      = "convgpu_admit_latency_seconds"
+	MetricDeadlineMet       = "convgpu_deadline_met_total"
+	MetricDeadlineMissed    = "convgpu_deadline_missed_total"
+	MetricGoodput           = "convgpu_goodput_milli_per_sec"
 )
 
 // Config parameterizes an Observability bundle.
@@ -104,6 +109,22 @@ type Observability struct {
 	TicketsMigrated  *Counter
 	TicketsEvicted   *Counter
 	MigrationLatency *Histogram
+	// AdmitLatency times every admitted allocation request from the
+	// requester's point of view: zero for requests accepted in place,
+	// the park-to-release wait for suspended ones. BindCore feeds it
+	// through the scheduler's admit observer, so the histogram covers
+	// immediate accepts the SuspendWait series never sees.
+	AdmitLatency *Histogram
+	// DeadlineMet / DeadlineMissed count per-request SLO outcomes as a
+	// deadline-aware driver (the open-loop load harness, an
+	// inference-serving shim) reports them via ObserveDeadline.
+	DeadlineMet    *Counter
+	DeadlineMissed *Counter
+
+	// goodputMilli holds the most recent goodput reading in
+	// milli-requests per second (gauges are integral; 1/1000 resolution
+	// keeps sub-1/s rates visible). Set via SetGoodput.
+	goodputMilli atomic.Int64
 
 	// devMu guards suspendByDev, the per-device suspend-wait series
 	// BindCore registers for each device the bound backend serves.
@@ -159,7 +180,37 @@ func New(cfg Config) *Observability {
 		"Parked tickets observably rejected because no surviving node had capacity.", nil)
 	o.MigrationLatency = reg.NewHistogram(MetricMigrationLatency,
 		"End-to-end latency of one node failover (capture to report).", nil)
+	o.AdmitLatency = reg.NewHistogram(MetricAdmitLatency,
+		"Time from allocation request to admission (0 for in-place accepts).", nil)
+	o.DeadlineMet = reg.NewCounter(MetricDeadlineMet,
+		"Requests whose per-request deadline was met, as reported by a deadline-aware driver.", nil)
+	o.DeadlineMissed = reg.NewCounter(MetricDeadlineMissed,
+		"Requests whose per-request deadline was missed, as reported by a deadline-aware driver.", nil)
+	reg.GaugeFunc(MetricGoodput,
+		"Most recent goodput reading (deadline-met completions), in milli-requests per second.", nil,
+		func() int64 { return o.goodputMilli.Load() })
 	return o
+}
+
+// ObserveAdmit records one admission into the admit-latency histogram —
+// the hook BindCore installs via the scheduler's SetAdmitObserver.
+func (o *Observability) ObserveAdmit(a core.AdmitObservation) {
+	o.AdmitLatency.Observe(a.Waited)
+}
+
+// ObserveDeadline counts one per-request SLO outcome.
+func (o *Observability) ObserveDeadline(met bool) {
+	if met {
+		o.DeadlineMet.Inc()
+	} else {
+		o.DeadlineMissed.Inc()
+	}
+}
+
+// SetGoodput publishes a goodput reading (deadline-met completions per
+// second) on the convgpu_goodput_milli_per_sec gauge.
+func (o *Observability) SetGoodput(perSec float64) {
+	o.goodputMilli.Store(int64(perSec * 1000))
 }
 
 // Registry exposes the metric registry (for extra series or export).
@@ -197,6 +248,7 @@ func (o *Observability) CoreObserver() func(core.EventRecord) {
 // so a long-lived bundle follows the current core.
 func (o *Observability) BindCore(st core.Scheduler) {
 	st.SetObserver(o.observeEvent)
+	st.SetAdmitObserver(o.ObserveAdmit)
 	al := Labels{"algorithm": o.algo}
 	o.reg.GaugeFunc(MetricPoolFree,
 		"Schedulable GPU memory not granted to any container (all devices).", al,

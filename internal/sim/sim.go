@@ -34,6 +34,11 @@ type Config struct {
 	Capacity bytesize.Size
 	// Algorithm names the redistribution algorithm (default "fifo").
 	Algorithm string
+	// WakeFactory, when non-nil, resolves Algorithm instead of
+	// core.NewAlgorithm — the hook that lets a sweep run registry-only
+	// wake policies (fairshare, quota, priority) the core does not know
+	// by name. It is called with the algorithm name and the run's seed.
+	WakeFactory func(name string, seed int64) (core.Algorithm, error)
 	// AlgSeed seeds the Random algorithm.
 	AlgSeed int64
 	// PCIeBandwidth models host<->device copy speed for the sample
@@ -177,7 +182,11 @@ func Run(trace []workload.TraceEntry, cfg Config) (Result, error) {
 // run (virtual time never blocks, but huge traces still cost real CPU).
 func RunContext(ctx context.Context, trace []workload.TraceEntry, cfg Config) (Result, error) {
 	cfg = cfg.withDefaults()
-	alg, err := core.NewAlgorithm(cfg.Algorithm, cfg.AlgSeed)
+	newAlg := cfg.WakeFactory
+	if newAlg == nil {
+		newAlg = core.NewAlgorithm
+	}
+	alg, err := newAlg(cfg.Algorithm, cfg.AlgSeed)
 	if err != nil {
 		return Result{}, err
 	}

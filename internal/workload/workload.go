@@ -11,6 +11,7 @@ package workload
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"strings"
 	"time"
@@ -268,6 +269,105 @@ func GeneratePoissonTrace(n int, meanSpacing time.Duration, seed int64) []TraceE
 		}
 		// Exponential inter-arrival with the given mean.
 		at += time.Duration(rng.ExpFloat64() * float64(meanSpacing))
+	}
+	return out
+}
+
+// GenerateBurstyTrace draws n arrivals from a two-state Markov-modulated
+// Poisson process (MMPP-2): a calm state at the base rate and a burst
+// state at burst× that rate, with exponentially distributed dwell times
+// in each state. It is the canonical model of correlated demand — many
+// tenants deploying at once, a serving fleet retrying in sync — and
+// produces the heavy arrival tails an open-loop SLO evaluation needs
+// that a plain Poisson process cannot. meanSpacing is the calm-state
+// mean inter-arrival; burst >= 1 multiplies the rate while bursting
+// (burst <= 1 degenerates to Poisson). Dwell times average 20 arrivals
+// calm and 10 arrivals bursting, so a trace alternates regimes several
+// times regardless of n.
+func GenerateBurstyTrace(n int, meanSpacing time.Duration, burst float64, seed int64) []TraceEntry {
+	if burst < 1 {
+		burst = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	types := Types()
+	out := make([]TraceEntry, n)
+	var at time.Duration
+	bursting := false
+	// Remaining dwell time in the current state.
+	dwell := time.Duration(rng.ExpFloat64() * float64(meanSpacing) * 20)
+	for i := 0; i < n; i++ {
+		out[i] = TraceEntry{
+			Seq:     i,
+			Type:    types[rng.Intn(len(types))],
+			Arrival: at,
+		}
+		spacing := meanSpacing
+		if bursting {
+			spacing = time.Duration(float64(meanSpacing) / burst)
+		}
+		step := time.Duration(rng.ExpFloat64() * float64(spacing))
+		for step >= dwell {
+			// State flips mid-gap: spend the dwell remainder, then redraw
+			// the step at the new state's rate for the rest of the gap.
+			at += dwell
+			step -= dwell
+			bursting = !bursting
+			if bursting {
+				dwell = time.Duration(rng.ExpFloat64() * float64(meanSpacing) * 10 / burst)
+				step = time.Duration(rng.ExpFloat64() * float64(meanSpacing) / burst)
+			} else {
+				dwell = time.Duration(rng.ExpFloat64() * float64(meanSpacing) * 20)
+				step = time.Duration(rng.ExpFloat64() * float64(meanSpacing))
+			}
+		}
+		dwell -= step
+		at += step
+	}
+	return out
+}
+
+// GenerateDiurnalTrace draws n arrivals from a non-homogeneous Poisson
+// process whose rate follows a sinusoidal day/night cycle:
+//
+//	rate(t) = base * (1 + amplitude*sin(2πt/period))
+//
+// sampled by thinning (Lewis & Shedler): candidates are drawn at the
+// peak rate and kept with probability rate(t)/peak. meanSpacing is the
+// base (time-averaged) inter-arrival, period the cycle length, and
+// amplitude in [0,1) the swing — 0.8 means peak traffic is 9× the
+// trough. The diurnal ramp is the regime where placement policies earn
+// their keep: the trough drains the backlog and the next peak re-packs
+// devices from a half-empty state.
+func GenerateDiurnalTrace(n int, meanSpacing, period time.Duration, amplitude float64, seed int64) []TraceEntry {
+	if amplitude < 0 {
+		amplitude = 0
+	}
+	if amplitude >= 1 {
+		amplitude = 0.999
+	}
+	if period <= 0 {
+		period = 24 * time.Hour
+	}
+	rng := rand.New(rand.NewSource(seed))
+	types := Types()
+	base := 1 / float64(meanSpacing) // arrivals per ns
+	peak := base * (1 + amplitude)
+	out := make([]TraceEntry, n)
+	var at time.Duration
+	for i := 0; i < n; i++ {
+		for {
+			at += time.Duration(rng.ExpFloat64() / peak)
+			phase := 2 * math.Pi * float64(at%period) / float64(period)
+			rate := base * (1 + amplitude*math.Sin(phase))
+			if rng.Float64()*peak <= rate {
+				break
+			}
+		}
+		out[i] = TraceEntry{
+			Seq:     i,
+			Type:    types[rng.Intn(len(types))],
+			Arrival: at,
+		}
 	}
 	return out
 }

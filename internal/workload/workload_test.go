@@ -227,3 +227,75 @@ func TestGenerateTraceCoversAllTypes(t *testing.T) {
 		}
 	}
 }
+
+func TestGenerateBurstyTrace(t *testing.T) {
+	trace := GenerateBurstyTrace(400, time.Second, 8, 21)
+	var last time.Duration
+	for i, e := range trace {
+		if e.Seq != i {
+			t.Fatalf("entry %d Seq = %d", i, e.Seq)
+		}
+		if e.Arrival < last {
+			t.Fatalf("arrivals not monotone at %d: %v < %v", i, e.Arrival, last)
+		}
+		last = e.Arrival
+	}
+	// Determinism per seed.
+	again := GenerateBurstyTrace(400, time.Second, 8, 21)
+	for i := range trace {
+		if trace[i].Arrival != again[i].Arrival || trace[i].Type.Name != again[i].Type.Name {
+			t.Fatalf("same seed diverged at %d", i)
+		}
+	}
+	// The burst state must actually compress inter-arrivals: the
+	// shortest decile of gaps should be far below the calm mean, and the
+	// whole trace should finish faster than a pure calm-rate Poisson
+	// trace of the same length would on average.
+	short := 0
+	for i := 1; i < len(trace); i++ {
+		if trace[i].Arrival-trace[i-1].Arrival < time.Second/4 {
+			short++
+		}
+	}
+	if short < len(trace)/10 {
+		t.Fatalf("only %d/%d gaps below 250ms — MMPP burst state never engaged", short, len(trace))
+	}
+	// burst=1 degenerates to Poisson pacing: mean spacing near 1s.
+	calm := GenerateBurstyTrace(400, time.Second, 1, 21)
+	mean := calm[len(calm)-1].Arrival / time.Duration(len(calm)-1)
+	if mean < 600*time.Millisecond || mean > 1400*time.Millisecond {
+		t.Fatalf("burst=1 mean inter-arrival = %v, want ~1s", mean)
+	}
+}
+
+func TestGenerateDiurnalTrace(t *testing.T) {
+	period := 100 * time.Second
+	trace := GenerateDiurnalTrace(600, time.Second, period, 0.8, 33)
+	var last time.Duration
+	for i, e := range trace {
+		if e.Arrival < last {
+			t.Fatalf("arrivals not monotone at %d", i)
+		}
+		last = e.Arrival
+	}
+	again := GenerateDiurnalTrace(600, time.Second, period, 0.8, 33)
+	for i := range trace {
+		if trace[i].Arrival != again[i].Arrival {
+			t.Fatalf("same seed diverged at %d", i)
+		}
+	}
+	// The first half-period of each cycle (rate above base) must receive
+	// more arrivals than the second (rate below base): count arrivals by
+	// cycle phase over the whole trace.
+	up, down := 0, 0
+	for _, e := range trace {
+		if e.Arrival%period < period/2 {
+			up++
+		} else {
+			down++
+		}
+	}
+	if up <= down {
+		t.Fatalf("diurnal ramp missing: %d arrivals in the up phase vs %d in the down phase", up, down)
+	}
+}
